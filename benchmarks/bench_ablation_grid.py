@@ -1,0 +1,70 @@
+"""Ablation: intra-partition grid cell size (§V-B).
+
+The paper states the grid "is able to accelerate the distance comparison
+within a partition" but leaves the configuration open ("the grid
+configuration is not the focus of this paper").  This ablation sweeps the
+cell edge length to expose the trade-off: tiny cells mean many cell visits,
+huge cells degenerate to a full bucket scan.
+"""
+
+import pytest
+
+from repro.bench.harness import get_building, get_framework
+from repro.queries import knn_query, range_query
+from repro.synthetic import build_object_store, random_positions
+
+OBJECTS = 10_000
+FLOORS = 30
+QUERIES = 10
+
+_stores = {}
+
+
+def framework_with_cell_size(cell_size):
+    key = cell_size
+    if key not in _stores:
+        _stores[key] = build_object_store(
+            get_building(FLOORS), OBJECTS, seed=7, cell_size=cell_size
+        )
+    return get_framework(FLOORS).with_objects(_stores[key])
+
+
+@pytest.mark.parametrize("cell_size", [0.5, 1.0, 2.0, 4.0, 8.0])
+def test_ablation_grid_cell_size_knn(benchmark, cell_size):
+    framework = framework_with_cell_size(cell_size)
+    positions = random_positions(get_building(FLOORS), QUERIES, seed=71)
+    benchmark.extra_info.update({"cell_size_m": cell_size, "k": 100})
+
+    def run():
+        for q in positions:
+            knn_query(framework, q, 100)
+
+    benchmark.pedantic(run, rounds=2, iterations=1)
+
+
+@pytest.mark.parametrize("cell_size", [0.5, 2.0, 8.0])
+def test_ablation_grid_cell_size_range(benchmark, cell_size):
+    framework = framework_with_cell_size(cell_size)
+    positions = random_positions(get_building(FLOORS), QUERIES, seed=72)
+    benchmark.extra_info.update({"cell_size_m": cell_size, "radius_m": 30})
+
+    def run():
+        for q in positions:
+            range_query(framework, q, 30.0)
+
+    benchmark.pedantic(run, rounds=2, iterations=1)
+
+
+def test_ablation_grid_results_invariant_to_cell_size(benchmark):
+    """The cell size is performance-only: results must not change."""
+    coarse = framework_with_cell_size(8.0)
+    fine = framework_with_cell_size(8.0 / 16)
+    positions = random_positions(get_building(FLOORS), 3, seed=73)
+    for q in positions:
+        assert range_query(coarse, q, 25.0) == range_query(fine, q, 25.0)
+
+    def run():
+        for q in positions:
+            range_query(coarse, q, 25.0)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)

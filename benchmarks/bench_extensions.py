@@ -1,0 +1,147 @@
+"""Benchmarks for the extension layers (not paper figures).
+
+Covers the §VII-derived extensions so their costs are visible: temporal
+snapshot materialisation, integrated indoor-outdoor distances, composite
+queries, and continuous-monitor churn throughput.
+"""
+
+import random
+
+import pytest
+
+from repro import IndoorObject, Point, QueryEngine
+from repro.bench.harness import get_building
+from repro.index import IndexFramework
+from repro.model.figure1 import build_figure1
+from repro.queries import aggregate_nn, distance_join, range_query_with_distances
+from repro.synthetic import BuildingConfig, build_object_store, generate_building, random_positions
+from repro.temporal import DoorSchedule, TemporalIndoorSpace
+from repro.tracking import TrackingSession
+
+
+def test_temporal_snapshot_build(benchmark):
+    """Materialising a door-closure snapshot of a 10-floor building."""
+    building = get_building(10)
+    schedule = DoorSchedule()
+    for staircase_id in building.staircase_ids[:4]:
+        for door_id in building.space.topology.doors_of(staircase_id):
+            schedule.set_closed(door_id)
+    temporal = TemporalIndoorSpace(building.space, schedule)
+
+    def build_snapshot():
+        temporal._snapshots.clear()
+        return temporal.snapshot(0.0)
+
+    benchmark.pedantic(build_snapshot, rounds=3, iterations=1)
+
+
+def test_temporal_distance_with_warm_snapshot(benchmark):
+    building = get_building(10)
+    schedule = DoorSchedule()
+    temporal = TemporalIndoorSpace(building.space, schedule)
+    positions = random_positions(building, 4, seed=61)
+    temporal.distance(0.0, positions[0], positions[1])  # warm the snapshot
+
+    def run():
+        temporal.distance(0.0, positions[0], positions[1])
+        temporal.distance(0.0, positions[2], positions[3])
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_composite_range_with_distances(benchmark):
+    framework = IndexFramework.build(get_building(10).space).with_objects(
+        build_object_store(get_building(10), 5_000, seed=3)
+    )
+    positions = random_positions(get_building(10), 10, seed=62)
+
+    def run():
+        for q in positions:
+            range_query_with_distances(framework, q, 25.0)
+
+    benchmark.pedantic(run, rounds=2, iterations=1)
+
+
+def test_composite_aggregate_nn(benchmark):
+    framework = IndexFramework.build(get_building(10).space).with_objects(
+        build_object_store(get_building(10), 2_000, seed=4)
+    )
+    members = random_positions(get_building(10), 3, seed=63)
+    benchmark.pedantic(
+        aggregate_nn, args=(framework, members), kwargs={"k": 5},
+        rounds=2, iterations=1,
+    )
+
+
+def test_composite_distance_join(benchmark):
+    """Distance join over a small population (quadratic-ish by nature)."""
+    framework = IndexFramework.build(build_figure1())
+    rng = random.Random(9)
+    for i in range(60):
+        while True:
+            candidate = Point(rng.uniform(0, 20), rng.uniform(0, 10))
+            if framework.space.get_host_partition(candidate) is not None:
+                framework.objects.add(IndoorObject(i, candidate))
+                break
+    benchmark.pedantic(distance_join, args=(framework, 5.0), rounds=2, iterations=1)
+
+
+def test_tracking_churn_throughput(benchmark):
+    """100 mixed mutations against 4 standing monitors."""
+    building = generate_building(BuildingConfig(floors=2, rooms_per_floor=8))
+    engine = QueryEngine.for_space(building.space)
+    rng = random.Random(11)
+    positions = random_positions(building, 120, seed=64)
+    for i in range(20):
+        engine.add_object(IndoorObject(i, positions[i]))
+    session = TrackingSession(engine)
+    anchors = random_positions(building, 4, seed=65)
+    for anchor in anchors[:2]:
+        session.watch_range(anchor, 15.0)
+    for anchor in anchors[2:]:
+        session.watch_knn(anchor, 5)
+
+    moves = positions[20:]
+
+    def churn():
+        for step in range(100):
+            live = [o.object_id for o in engine.framework.objects]
+            session.move_object(
+                live[step % len(live)], moves[step % len(moves)]
+            )
+
+    benchmark.pedantic(churn, rounds=1, iterations=1)
+
+
+def test_integrated_campus_distance(benchmark):
+    """Union-graph Dijkstra over a 10-floor building + a 100-node road grid."""
+    from repro.outdoor import IntegratedSpace, RoadNetwork
+
+    building = get_building(10)
+    network = RoadNetwork()
+    for row in range(10):
+        for col in range(10):
+            network.add_node(row * 10 + col, Point(col * 20 - 50, row * 20 + 20))
+    for row in range(10):
+        for col in range(10):
+            nid = row * 10 + col
+            if col < 9:
+                network.add_edge(nid, nid + 1)
+            if row < 9:
+                network.add_edge(nid, nid + 10)
+    integrated = IntegratedSpace(building.space, network)
+    # Anchor the ground-floor staircase doors as entrances.
+    for staircase_id in building.staircase_ids[:2]:
+        for door_id in building.space.topology.doors_of(staircase_id):
+            integrated.anchor(door_id, network.nearest_node(
+                building.space.door(door_id).midpoint.on_floor(0)
+            ))
+    source = random_positions(building, 1, seed=66)[0]
+    from repro.outdoor import OutdoorLocation
+
+    target = OutdoorLocation(99)
+
+    def run():
+        return integrated.distance(source, target)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)

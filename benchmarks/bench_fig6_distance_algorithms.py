@@ -1,0 +1,96 @@
+"""Figure 6: position-to-position distance algorithms on the desktop.
+
+Paper setting: buildings of 10-40 floors (30 rooms + 2 staircases per floor,
+star-connected), random indoor position pairs, mean runtime of Algorithms 2,
+3, and 4.  Paper findings to reproduce in shape:
+
+* Algorithm 2 is far slower than Algorithms 3 and 4 and degrades with
+  building size (blind per-pair door-to-door searches);
+* Algorithms 3 and 4 scale roughly linearly with the number of floors;
+* Algorithm 4 is at least as fast as Algorithm 3, with the gap widening on
+  large buildings.
+"""
+
+import time
+
+import pytest
+
+from repro.bench.harness import get_building
+from repro.distance import (
+    pt2pt_distance_basic,
+    pt2pt_distance_memoized,
+    pt2pt_distance_refined,
+)
+from repro.synthetic import random_position_pairs
+
+ALGORITHMS = {
+    "algorithm2": pt2pt_distance_basic,
+    "algorithm3": pt2pt_distance_refined,
+    "algorithm4": pt2pt_distance_memoized,
+}
+
+PAIRS_PER_POINT = 4
+
+
+def _run_pairs(space, fn, pairs):
+    for source, target in pairs:
+        fn(space, source, target)
+
+
+@pytest.mark.parametrize("floors", [10, 20, 30, 40])
+@pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+def test_fig6_distance_algorithm(benchmark, floors, algorithm):
+    building = get_building(floors)
+    pairs = random_position_pairs(building, PAIRS_PER_POINT, seed=floors)
+    fn = ALGORITHMS[algorithm]
+    benchmark.extra_info["floors"] = floors
+    benchmark.extra_info["pairs"] = PAIRS_PER_POINT
+    benchmark.pedantic(
+        _run_pairs, args=(building.space, fn, pairs), rounds=1, iterations=1
+    )
+
+
+def test_fig6_trend_refined_beats_basic(benchmark):
+    """Paper trend: the refined algorithms clearly outperform Algorithm 2 on
+    mixed workloads (the timing ratio is large, so the assertion is safe)."""
+    building = get_building(30)
+    pairs = random_position_pairs(building, 6, seed=30)
+
+    start = time.perf_counter()
+    _run_pairs(building.space, pt2pt_distance_basic, pairs)
+    basic_time = time.perf_counter() - start
+
+    start = time.perf_counter()
+    _run_pairs(building.space, pt2pt_distance_refined, pairs)
+    refined_time = time.perf_counter() - start
+
+    benchmark.extra_info["basic_over_refined"] = basic_time / refined_time
+    assert basic_time > refined_time, (
+        f"Algorithm 2 ({basic_time:.3f}s) should be slower than "
+        f"Algorithm 3 ({refined_time:.3f}s) on a 30-floor mixed workload"
+    )
+    benchmark.pedantic(
+        _run_pairs,
+        args=(building.space, pt2pt_distance_refined, pairs),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_fig6_algorithms_agree(benchmark):
+    """Sanity gate for the whole figure: all three algorithms must return
+    the same distances on the benchmark workload."""
+    building = get_building(20)
+    pairs = random_position_pairs(building, 6, seed=20)
+    for source, target in pairs:
+        basic = pt2pt_distance_basic(building.space, source, target)
+        refined = pt2pt_distance_refined(building.space, source, target)
+        memoized = pt2pt_distance_memoized(building.space, source, target)
+        assert abs(basic - refined) < 1e-6
+        assert abs(basic - memoized) < 1e-6
+    benchmark.pedantic(
+        _run_pairs,
+        args=(building.space, pt2pt_distance_memoized, pairs),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,81 @@
+"""Figure 8: range query performance (Algorithm 5).
+
+Paper setting: 30-floor building (~1 000 doors) for the object-count and
+radius sweeps; 10-40 floors at fixed per-floor density for the floor sweep;
+100 queries per point; r defaults to 30 m.  Paper findings to reproduce in
+shape:
+
+* (a) the M_idx index improves range queries only *moderately* (the sorted
+  scan helps little when the radius bounds the search anyway);
+* (b) the index helps more as the building grows;
+* (c) response time grows with the radius but stays moderate.
+"""
+
+import pytest
+
+from conftest import query_framework
+from repro.bench.harness import get_building
+from repro.queries import range_query
+from repro.synthetic import random_positions
+
+QUERIES_PER_POINT = 10
+
+
+def _run_queries(framework, positions, radius, use_index):
+    for q in positions:
+        range_query(framework, q, radius, use_index=use_index)
+
+
+@pytest.mark.parametrize("objects", [1_000, 10_000, 50_000])
+@pytest.mark.parametrize("use_index", [True, False], ids=["with_idx", "without_idx"])
+def test_fig8a_range_vs_object_count(benchmark, objects, use_index):
+    framework = query_framework(30, objects)
+    positions = random_positions(get_building(30), QUERIES_PER_POINT, seed=81)
+    benchmark.extra_info.update({"objects": objects, "radius_m": 30})
+    benchmark.pedantic(
+        _run_queries,
+        args=(framework, positions, 30.0, use_index),
+        rounds=2,
+        iterations=1,
+    )
+
+
+@pytest.mark.parametrize("floors", [10, 20, 30, 40])
+@pytest.mark.parametrize("use_index", [True, False], ids=["with_idx", "without_idx"])
+def test_fig8b_range_vs_floor_count(benchmark, floors, use_index):
+    framework = query_framework(floors, floors * 1_500)
+    positions = random_positions(get_building(floors), QUERIES_PER_POINT, seed=82)
+    benchmark.extra_info.update({"floors": floors, "radius_m": 20})
+    benchmark.pedantic(
+        _run_queries,
+        args=(framework, positions, 20.0, use_index),
+        rounds=2,
+        iterations=1,
+    )
+
+
+@pytest.mark.parametrize("radius", [10.0, 20.0, 30.0, 40.0, 50.0])
+def test_fig8c_range_vs_radius(benchmark, radius):
+    framework = query_framework(30, 10_000)
+    positions = random_positions(get_building(30), QUERIES_PER_POINT, seed=83)
+    benchmark.extra_info.update({"objects": 10_000, "radius_m": radius})
+    benchmark.pedantic(
+        _run_queries,
+        args=(framework, positions, radius, True),
+        rounds=2,
+        iterations=1,
+    )
+
+
+def test_fig8_results_identical_with_and_without_index(benchmark):
+    """Sanity gate: the no-index baseline is an execution strategy, not a
+    different query — results must match exactly."""
+    framework = query_framework(30, 5_000)
+    positions = random_positions(get_building(30), 5, seed=85)
+    for q in positions:
+        assert range_query(framework, q, 30.0, use_index=True) == range_query(
+            framework, q, 30.0, use_index=False
+        )
+    benchmark.pedantic(
+        _run_queries, args=(framework, positions, 30.0, True), rounds=1, iterations=1
+    )

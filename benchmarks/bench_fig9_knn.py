@@ -1,0 +1,105 @@
+"""Figure 9: kNN query performance (Algorithm 6, k extension).
+
+Paper setting: 30-floor building for the object-count and k sweeps; 10-40
+floors at fixed per-floor density for the floor sweep; k defaults to 100.
+Paper findings to reproduce in shape:
+
+* (a) M_idx improves kNN *significantly* (about 4x in the paper) across all
+  object cardinalities;
+* (b) the gain grows with building size;
+* (c) larger k costs more, but even k = 200 stays in the milliseconds.
+"""
+
+import time
+
+import pytest
+
+from conftest import query_framework
+from repro.bench.harness import get_building
+from repro.queries import knn_query
+from repro.synthetic import random_positions
+
+QUERIES_PER_POINT = 10
+
+
+def _run_queries(framework, positions, k, use_index):
+    for q in positions:
+        knn_query(framework, q, k, use_index=use_index)
+
+
+@pytest.mark.parametrize("objects", [1_000, 10_000, 50_000])
+@pytest.mark.parametrize("use_index", [True, False], ids=["with_idx", "without_idx"])
+def test_fig9a_knn_vs_object_count(benchmark, objects, use_index):
+    framework = query_framework(30, objects)
+    positions = random_positions(get_building(30), QUERIES_PER_POINT, seed=91)
+    benchmark.extra_info.update({"objects": objects, "k": 100})
+    benchmark.pedantic(
+        _run_queries,
+        args=(framework, positions, 100, use_index),
+        rounds=2,
+        iterations=1,
+    )
+
+
+@pytest.mark.parametrize("floors", [10, 20, 30, 40])
+@pytest.mark.parametrize("use_index", [True, False], ids=["with_idx", "without_idx"])
+def test_fig9b_knn_vs_floor_count(benchmark, floors, use_index):
+    framework = query_framework(floors, floors * 1_500)
+    positions = random_positions(get_building(floors), QUERIES_PER_POINT, seed=92)
+    benchmark.extra_info.update({"floors": floors, "k": 100})
+    benchmark.pedantic(
+        _run_queries,
+        args=(framework, positions, 100, use_index),
+        rounds=2,
+        iterations=1,
+    )
+
+
+@pytest.mark.parametrize("k", [1, 50, 100, 150, 200])
+def test_fig9c_knn_vs_k(benchmark, k):
+    framework = query_framework(30, 10_000)
+    positions = random_positions(get_building(30), QUERIES_PER_POINT, seed=93)
+    benchmark.extra_info.update({"objects": 10_000, "k": k})
+    benchmark.pedantic(
+        _run_queries,
+        args=(framework, positions, k, True),
+        rounds=2,
+        iterations=1,
+    )
+
+
+def test_fig9_trend_index_speeds_up_knn(benchmark):
+    """Paper trend: the index matters a lot for kNN.  The measured gap is
+    ~4x, so asserting 'with-index is faster' is safe."""
+    framework = query_framework(30, 10_000)
+    positions = random_positions(get_building(30), 10, seed=95)
+
+    start = time.perf_counter()
+    _run_queries(framework, positions, 100, True)
+    with_index = time.perf_counter() - start
+
+    start = time.perf_counter()
+    _run_queries(framework, positions, 100, False)
+    without_index = time.perf_counter() - start
+
+    benchmark.extra_info["speedup"] = without_index / with_index
+    assert with_index < without_index, (
+        f"kNN with M_idx ({with_index:.3f}s) should beat the no-index "
+        f"baseline ({without_index:.3f}s)"
+    )
+    benchmark.pedantic(
+        _run_queries, args=(framework, positions, 100, True), rounds=1, iterations=1
+    )
+
+
+def test_fig9_results_identical_with_and_without_index(benchmark):
+    """Sanity gate: identical distance multisets either way."""
+    framework = query_framework(30, 5_000)
+    positions = random_positions(get_building(30), 5, seed=96)
+    for q in positions:
+        with_idx = [d for _, d in knn_query(framework, q, 50, use_index=True)]
+        without_idx = [d for _, d in knn_query(framework, q, 50, use_index=False)]
+        assert with_idx == pytest.approx(without_idx)
+    benchmark.pedantic(
+        _run_queries, args=(framework, positions, 50, True), rounds=1, iterations=1
+    )

@@ -1,0 +1,22 @@
+"""Shared fixtures for the figure benchmarks.
+
+Buildings, frameworks, and object stores are cached for the whole pytest
+session through the harness-level caches, so the expensive substrate
+construction (door-distance matrix, R-tree, 50 000-object stores) is paid
+once per configuration, exactly as the paper's precomputation story implies.
+"""
+
+import pytest
+
+from repro.bench.harness import get_framework, get_store
+
+
+@pytest.fixture(scope="session")
+def framework_30():
+    """The 30-floor building's static indexes (no objects)."""
+    return get_framework(30)
+
+
+def query_framework(floors: int, objects: int):
+    """Framework for `floors` with an `objects`-sized store attached."""
+    return get_framework(floors).with_objects(get_store(floors, objects))

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Render floor plans, queries, and routes to SVG.
+
+Draws the paper's Figure-1 floor plan with the motivating shortest path and
+a range-query disc overlaid, plus the ground floor of a synthetic office
+building — a visual sanity check of the model and the generator.
+
+Run:  python examples/floorplan_render.py [output_dir]
+Writes figure1.svg and office_floor0.svg into the output directory
+(default: the current directory).
+"""
+
+import sys
+from pathlib import Path
+
+from repro import IndoorObject, Point, pt2pt_path
+from repro.model.figure1 import P, Q, build_figure1
+from repro.synthetic import BuildingConfig, generate_building
+from repro.viz import render_svg, save_svg
+
+
+def render_figure1(out_dir: Path) -> Path:
+    space = build_figure1()
+    objects = [
+        IndoorObject(1, Point(6.5, 9.0), payload="defibrillator"),
+        IndoorObject(2, Point(1.0, 5.0), payload="extinguisher"),
+        IndoorObject(3, Point(18.0, 8.0), payload="coffee machine"),
+    ]
+    path = pt2pt_path(space, P, Q)
+    svg = render_svg(
+        space,
+        objects=objects,
+        paths=[path],
+        query=(P, 8.0),
+        width=900,
+    )
+    target = out_dir / "figure1.svg"
+    save_svg(svg, target)
+    return target
+
+
+def render_office_floor(out_dir: Path) -> Path:
+    building = generate_building(BuildingConfig(floors=2, rooms_per_floor=10))
+    svg = render_svg(building.space, floor=0, width=1100, labels=False)
+    target = out_dir / "office_floor0.svg"
+    save_svg(svg, target)
+    return target
+
+
+def main():
+    out_dir = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(".")
+    out_dir.mkdir(parents=True, exist_ok=True)
+    for produced in (render_figure1(out_dir), render_office_floor(out_dir)):
+        print(f"wrote {produced}")
+
+
+if __name__ == "__main__":
+    main()

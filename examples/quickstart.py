@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Quickstart: the paper's running example, end to end.
+
+Builds the Figure-1 floor plan, inspects the topology mappings, prints the
+door-to-door distance matrix and distance index matrix of the six-door
+sub-plan (the paper's Figures 3 and 4), reproduces the motivating shortest
+path example, and runs a range and a kNN query.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import IndoorObject, Point, QueryEngine
+from repro.index import DistanceIndexMatrix
+from repro.model.figure1 import (
+    D12,
+    D13,
+    D15,
+    P,
+    Q,
+    ROOM_12,
+    ROOM_13,
+    SUBPLAN_DOORS,
+    build_figure1,
+    build_figure1_subplan,
+)
+
+
+def show_topology(space):
+    print("== Topology mappings (paper §III-A) ==")
+    topo = space.topology
+    print(f"D2P(d12)  = {sorted(topo.d2p(D12))}   (unidirectional)")
+    print(f"D2P(d15)  = {sorted(topo.d2p(D15))}   (unidirectional)")
+    print(f"P2D-enter(room 12) = {sorted(topo.enterable_doors(ROOM_12))}")
+    print(f"P2D-leave(room 12) = {sorted(topo.leaveable_doors(ROOM_12))}")
+    print(f"P2D-leave(room 13) = {sorted(topo.leaveable_doors(ROOM_13))}")
+    print()
+
+
+def show_matrices():
+    print("== M_d2d and M_idx of the six-door sub-plan (Figures 3-4) ==")
+    subplan = build_figure1_subplan()
+    index = DistanceIndexMatrix.build(subplan.distance_graph)
+    labels = [f"d{d}" for d in SUBPLAN_DOORS]
+    print("M_d2d (metres):")
+    print("      " + " ".join(f"{label:>6}" for label in labels))
+    for i, from_door in enumerate(SUBPLAN_DOORS):
+        row = " ".join(
+            f"{index.distance(from_door, to_door):6.2f}"
+            for to_door in SUBPLAN_DOORS
+        )
+        print(f"{labels[i]:>5} {row}")
+    print("M_idx (door ids, ascending distance per row):")
+    for i, from_door in enumerate(SUBPLAN_DOORS):
+        ordered = " ".join(f"d{d:<3}" for d in index.midx[i])
+        print(f"{labels[i]:>5}  {ordered}")
+    asym = (
+        index.distance(11, 15),
+        index.distance(15, 11),
+    )
+    print(f"asymmetry from one-way doors: M[d11,d15]={asym[0]:.2f} "
+          f"!= M[d15,d11]={asym[1]:.2f}")
+    print()
+
+
+def show_motivating_example(engine):
+    print("== The motivating example (paper Figure 1) ==")
+    path = engine.shortest_path(P, Q)
+    print(f"p = {P} (room 13),  q = {Q} (hallway)")
+    print(f"shortest walk:   {path.describe()}")
+    baseline = engine.door_count_distance(P, Q)
+    print(
+        f"door-count model (Li & Lee): crosses {baseline.doors_crossed} door "
+        f"but walks {baseline.walking_distance:.2f} m "
+        f"(+{baseline.walking_distance - path.distance:.2f} m extra)"
+    )
+    print()
+
+
+def show_queries(engine):
+    print("== Distance-aware queries (paper §V) ==")
+    engine.add_objects(
+        [
+            IndoorObject(1, Point(6.5, 9.0), payload="defibrillator"),
+            IndoorObject(2, Point(1.0, 5.0), payload="extinguisher"),
+            IndoorObject(3, Point(2.0, 8.0), payload="printer"),
+            IndoorObject(4, Point(18.0, 8.0), payload="coffee machine"),
+        ]
+    )
+    in_range = engine.range_query(P, radius=8.0)
+    print(f"objects within 8 m of p: "
+          f"{[engine.get_object(i).payload for i in in_range]}")
+    for object_id, distance in engine.knn(P, k=3):
+        print(f"  kNN: {engine.get_object(object_id).payload:<15} "
+              f"{distance:6.2f} m")
+    print()
+
+
+def main():
+    space = build_figure1()
+    engine = QueryEngine.for_space(space)
+    print(f"Figure-1 plan: {space.num_partitions} partitions, "
+          f"{space.num_doors} doors\n")
+    show_topology(space)
+    show_matrices()
+    show_motivating_example(engine)
+    show_queries(engine)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,143 @@
+"""repro — a distance-aware data management infrastructure for indoor spaces.
+
+A faithful, from-scratch Python implementation of
+
+    Hua Lu, Xin Cao, Christian S. Jensen.
+    "A Foundation for Efficient Indoor Distance-Aware Query Processing."
+    ICDE 2012.
+
+The public API mirrors the paper's architecture:
+
+* **Model** (§III): :class:`IndoorSpaceBuilder` / :class:`IndoorSpace` with
+  the topology mappings, the accessibility graph G_accs, and the
+  distance-aware graph G_dist (f_dv, f_d2d).
+* **Distances** (§III-D): :func:`d2d_distance` (Algorithm 1) and the three
+  position-to-position algorithms (:func:`pt2pt_distance_basic` /
+  ``_refined`` / ``_memoized``; Algorithms 2-4), plus path reconstruction.
+* **Indexes** (§IV): :class:`IndexFramework` bundling M_d2d + M_idx, the
+  Door-to-Partition Table, an R-tree partition locator, and grid-indexed
+  object buckets.
+* **Queries** (§V): :class:`QueryEngine` with range and kNN queries.
+* **Experiments** (§VI): :mod:`repro.synthetic` generates the paper's
+  multi-floor office buildings, objects, and workloads; ``benchmarks/``
+  regenerates every figure.
+
+Quickstart::
+
+    from repro import IndoorObject, Point, QueryEngine
+    from repro.model.figure1 import build_figure1, P, Q
+
+    engine = QueryEngine.for_space(build_figure1())
+    engine.add_object(IndoorObject(1, Point(1.0, 5.0), payload="exit sign"))
+    print(engine.distance(P, Q))
+    print(engine.shortest_path(P, Q).describe())
+    print(engine.knn(P, k=1))
+"""
+
+from repro.exceptions import (
+    GeometryError,
+    ModelError,
+    QueryError,
+    ReproError,
+    TopologyError,
+    UnknownEntityError,
+    UnreachableError,
+)
+from repro.geometry import BoundingBox, Point, Polygon, Segment, rectangle
+from repro.model import (
+    AccessibilityGraph,
+    DistanceAwareGraph,
+    Door,
+    IndoorSpace,
+    IndoorSpaceBuilder,
+    Partition,
+    PartitionKind,
+    Topology,
+)
+from repro.distance import (
+    DoorPath,
+    IndoorPath,
+    build_distance_matrix,
+    d2d_distance,
+    d2d_path,
+    door_count_distance,
+    door_count_pt2pt,
+    pt2pt_distance,
+    pt2pt_distance_basic,
+    pt2pt_distance_memoized,
+    pt2pt_distance_refined,
+    pt2pt_path,
+)
+from repro.index import (
+    DistanceIndexMatrix,
+    DoorPartitionTable,
+    IndexFramework,
+    IndoorObject,
+    ObjectStore,
+    PartitionGrid,
+    PartitionRTree,
+)
+from repro.queries import (
+    QueryEngine,
+    brute_force_knn,
+    brute_force_range,
+    knn_query,
+    nn_query,
+    range_query,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # errors
+    "ReproError",
+    "ModelError",
+    "TopologyError",
+    "GeometryError",
+    "QueryError",
+    "UnknownEntityError",
+    "UnreachableError",
+    # geometry
+    "Point",
+    "Segment",
+    "Polygon",
+    "BoundingBox",
+    "rectangle",
+    # model
+    "Door",
+    "Partition",
+    "PartitionKind",
+    "Topology",
+    "AccessibilityGraph",
+    "DistanceAwareGraph",
+    "IndoorSpace",
+    "IndoorSpaceBuilder",
+    # distance
+    "d2d_distance",
+    "d2d_path",
+    "pt2pt_distance",
+    "pt2pt_distance_basic",
+    "pt2pt_distance_refined",
+    "pt2pt_distance_memoized",
+    "pt2pt_path",
+    "build_distance_matrix",
+    "door_count_distance",
+    "door_count_pt2pt",
+    "DoorPath",
+    "IndoorPath",
+    # index
+    "DistanceIndexMatrix",
+    "DoorPartitionTable",
+    "IndexFramework",
+    "IndoorObject",
+    "ObjectStore",
+    "PartitionGrid",
+    "PartitionRTree",
+    # queries
+    "QueryEngine",
+    "range_query",
+    "knn_query",
+    "nn_query",
+    "brute_force_range",
+    "brute_force_knn",
+]

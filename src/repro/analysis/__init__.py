@@ -1,0 +1,31 @@
+"""Topological analysis of indoor spaces.
+
+The paper's §IV-A closes with: "It is possible that a particular door or
+staircase is topologically more important than others.  In such cases, it
+is of interest to build such knowledge into our proposal ... identifying
+the different degrees of topological significance of doors and staircases
+requires extra effort and domain knowledge ... we leave topological
+significance for future research."
+
+This package supplies that analysis:
+
+* :func:`door_betweenness` — how often each door lies on door-to-door
+  shortest paths (a betweenness centrality over the door graph);
+* :func:`critical_doors` — doors whose closure disconnects some currently
+  connected partition pair (the single points of failure an evacuation
+  planner cares about);
+* :func:`strongly_connected_partitions` — the SCCs of the accessibility
+  graph (Tarjan), the substrate of the criticality test.
+"""
+
+from repro.analysis.importance import (
+    critical_doors,
+    door_betweenness,
+    strongly_connected_partitions,
+)
+
+__all__ = [
+    "door_betweenness",
+    "critical_doors",
+    "strongly_connected_partitions",
+]

@@ -1,0 +1,154 @@
+"""Topological significance of doors (paper §IV-A future research).
+
+Two complementary notions:
+
+* *betweenness*: a door that intermediate shortest paths keep passing
+  through is a traffic concentrator — precompute harder around it, expect
+  congestion at it;
+* *criticality*: a door whose closure strictly reduces partition-level
+  reachability is a single point of failure.
+
+Both operate purely on the model layer (no object data needed).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.distance.door_to_door import d2d_path
+from repro.model.builder import IndoorSpace
+from repro.model.topology import Topology
+
+
+def door_betweenness(
+    space: IndoorSpace,
+    sample_pairs: Optional[Sequence[Tuple[int, int]]] = None,
+) -> Dict[int, float]:
+    """Fraction of door-to-door shortest paths each door participates in.
+
+    Endpoints count as participation (a door everyone starts or ends at is
+    significant too).  With ``sample_pairs`` unset, all ordered door pairs
+    are evaluated — O(N²) path computations, fine up to a few hundred doors;
+    pass a sample for big buildings.
+
+    Returns:
+        door id → fraction in [0, 1] of evaluated reachable pairs whose
+        shortest path visits the door.  0 for doors on no evaluated path.
+    """
+    door_ids = space.door_ids
+    graph = space.distance_graph
+    if sample_pairs is None:
+        sample_pairs = [
+            (a, b) for a in door_ids for b in door_ids if a != b
+        ]
+    counts: Dict[int, int] = {door_id: 0 for door_id in door_ids}
+    evaluated = 0
+    for source, target in sample_pairs:
+        path = d2d_path(graph, source, target)
+        if not path.is_reachable:
+            continue
+        evaluated += 1
+        for door_id in set(path.doors):
+            counts[door_id] += 1
+    if evaluated == 0:
+        return {door_id: 0.0 for door_id in door_ids}
+    return {door_id: counts[door_id] / evaluated for door_id in door_ids}
+
+
+def strongly_connected_partitions(space: IndoorSpace) -> List[FrozenSet[int]]:
+    """The strongly connected components of the accessibility graph
+    (iterative Tarjan), largest first."""
+    graph = space.accessibility
+    vertices = list(graph.vertices)
+    index_of: Dict[int, int] = {}
+    lowlink: Dict[int, int] = {}
+    on_stack: Dict[int, bool] = {}
+    stack: List[int] = []
+    components: List[FrozenSet[int]] = []
+    counter = [0]
+
+    for root in vertices:
+        if root in index_of:
+            continue
+        # Iterative Tarjan with an explicit work stack of (vertex, iterator).
+        work = [(root, iter([e.target for e in graph.out_edges(root)]))]
+        index_of[root] = lowlink[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack[root] = True
+        while work:
+            vertex, successors = work[-1]
+            advanced = False
+            for successor in successors:
+                if successor not in index_of:
+                    index_of[successor] = lowlink[successor] = counter[0]
+                    counter[0] += 1
+                    stack.append(successor)
+                    on_stack[successor] = True
+                    work.append(
+                        (
+                            successor,
+                            iter(
+                                [e.target for e in graph.out_edges(successor)]
+                            ),
+                        )
+                    )
+                    advanced = True
+                    break
+                if on_stack.get(successor):
+                    lowlink[vertex] = min(lowlink[vertex], index_of[successor])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[vertex])
+            if lowlink[vertex] == index_of[vertex]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack[member] = False
+                    component.append(member)
+                    if member == vertex:
+                        break
+                components.append(frozenset(component))
+    components.sort(key=len, reverse=True)
+    return components
+
+
+def _reachable_pair_count(topology: Topology, closed_door: Optional[int]) -> int:
+    """Number of ordered partition pairs (a, b), a != b, with a route from a
+    to b when ``closed_door`` is impassable."""
+    adjacency: Dict[int, List[int]] = {p: [] for p in topology.partition_ids}
+    for source, target, door_id in topology.directed_edges():
+        if door_id != closed_door:
+            adjacency[source].append(target)
+    total = 0
+    for start in topology.partition_ids:
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            current = frontier.pop()
+            for neighbor in adjacency[current]:
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    frontier.append(neighbor)
+        total += len(seen) - 1
+    return total
+
+
+def critical_doors(space: IndoorSpace) -> List[int]:
+    """Doors whose closure strictly reduces partition reachability.
+
+    A door between two partitions that are also connected another way is
+    redundant; a door that is the only route between parts of the building
+    is critical — close it (fire, security lockdown) and some partition pair
+    becomes unreachable.  O(doors × (partitions + edges)).
+    """
+    topology = space.topology
+    baseline = _reachable_pair_count(topology, closed_door=None)
+    critical = []
+    for door_id in topology.door_ids:
+        if _reachable_pair_count(topology, closed_door=door_id) < baseline:
+            critical.append(door_id)
+    return critical

@@ -1,0 +1,39 @@
+"""Benchmark harness regenerating every figure of the paper's §VI.
+
+Run ``python -m repro.bench <figure>`` (``fig6``, ``fig7``, ``fig8a`` ...
+``fig9c``, or ``all``) to print the corresponding series.  The pytest
+wrappers in ``benchmarks/`` drive the same code through pytest-benchmark.
+
+Workload scale is controlled by the ``REPRO_BENCH_SCALE`` environment
+variable: ``quick`` (default; minutes on a laptop) or ``paper`` (the paper's
+repetition counts; pure CPython makes this substantially slower than the
+authors' Java setup).
+"""
+
+from repro.bench.harness import (
+    BenchScale,
+    current_scale,
+    measure_fig6,
+    measure_fig7,
+    measure_fig8a,
+    measure_fig8b,
+    measure_fig8c,
+    measure_fig9a,
+    measure_fig9b,
+    measure_fig9c,
+    render_table,
+)
+
+__all__ = [
+    "BenchScale",
+    "current_scale",
+    "measure_fig6",
+    "measure_fig7",
+    "measure_fig8a",
+    "measure_fig8b",
+    "measure_fig8c",
+    "measure_fig9a",
+    "measure_fig9b",
+    "measure_fig9c",
+    "render_table",
+]

@@ -1,0 +1,414 @@
+"""Measurement harness for the paper's §VI experiments (Figures 6-9).
+
+Every ``measure_*`` function returns a list of row dicts (one per x-axis
+point of the corresponding figure) so the CLI, the pytest benchmarks, and
+EXPERIMENTS.md generation all share one code path.
+
+Workloads are seeded and deterministic.  Scale is selected through the
+``REPRO_BENCH_SCALE`` environment variable:
+
+* ``quick`` (default) — the paper's parameter ranges with reduced repetition
+  counts; minutes on a laptop.
+* ``paper`` — the paper's repetition counts (50 distance runs, 100 queries,
+  10 000 objects per floor); substantially slower in CPython than in the
+  authors' Java setup.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.distance import (
+    pt2pt_distance_basic,
+    pt2pt_distance_memoized,
+    pt2pt_distance_refined,
+)
+from repro.index.framework import IndexFramework
+from repro.index.objects import ObjectStore
+from repro.queries import knn_query, range_query
+from repro.synthetic import (
+    BuildingConfig,
+    SyntheticBuilding,
+    build_object_store,
+    generate_building,
+    random_position_pairs,
+    random_positions,
+)
+
+#: Simulated slowdown of the paper's 1 GHz Samsung Nexus S relative to its
+#: 2.66 GHz Core2 desktop, used by the Figure-7 constrained-device model.
+PHONE_SLOWDOWN = 6.0
+
+
+@dataclass(frozen=True)
+class BenchScale:
+    """Repetition counts and sweep ranges for one benchmark scale."""
+
+    name: str
+    fig6_floors: Tuple[int, ...]
+    fig6_pairs: int
+    fig7_pairs: int
+    query_count: int
+    object_counts: Tuple[int, ...]
+    query_floors: Tuple[int, ...]
+    objects_per_floor: int
+    fig8_radii: Tuple[float, ...]
+    fig9_ks: Tuple[int, ...]
+
+
+QUICK = BenchScale(
+    name="quick",
+    fig6_floors=(10, 20, 30, 40),
+    fig6_pairs=8,
+    fig7_pairs=5,
+    query_count=20,
+    object_counts=(1_000, 5_000, 10_000, 20_000, 50_000),
+    query_floors=(10, 20, 30, 40),
+    objects_per_floor=1_500,
+    fig8_radii=(10.0, 20.0, 30.0, 40.0, 50.0),
+    fig9_ks=(1, 50, 100, 150, 200),
+)
+
+PAPER = BenchScale(
+    name="paper",
+    fig6_floors=(10, 20, 30, 40),
+    fig6_pairs=50,
+    fig7_pairs=10,
+    query_count=100,
+    object_counts=(1_000, 5_000, 10_000, 20_000, 30_000, 40_000, 50_000),
+    query_floors=(10, 20, 30, 40),
+    objects_per_floor=10_000,
+    fig8_radii=(10.0, 20.0, 30.0, 40.0, 50.0),
+    fig9_ks=(1, 50, 100, 150, 200),
+)
+
+
+def current_scale() -> BenchScale:
+    """The scale selected by ``REPRO_BENCH_SCALE`` (default: quick)."""
+    name = os.environ.get("REPRO_BENCH_SCALE", "quick").strip().lower()
+    if name == "paper":
+        return PAPER
+    return QUICK
+
+
+# ----------------------------------------------------------------------
+# Cached experiment substrates (buildings are deterministic per floor count)
+# ----------------------------------------------------------------------
+_buildings: Dict[int, SyntheticBuilding] = {}
+_frameworks: Dict[int, IndexFramework] = {}
+
+
+def get_building(floors: int) -> SyntheticBuilding:
+    """The synthetic building with the paper's per-floor layout, cached."""
+    if floors not in _buildings:
+        building = generate_building(BuildingConfig(floors=floors))
+        building.space.distance_graph.precompute()
+        _buildings[floors] = building
+    return _buildings[floors]
+
+
+def get_framework(floors: int) -> IndexFramework:
+    """The fully built index framework for a building, cached (objects are
+    swapped per experiment through :meth:`IndexFramework.with_objects`)."""
+    if floors not in _frameworks:
+        _frameworks[floors] = IndexFramework.build(get_building(floors).space)
+    return _frameworks[floors]
+
+
+def _time_per_call_ms(calls: Sequence[Callable[[], object]]) -> float:
+    """Mean wall-clock milliseconds over a sequence of thunks."""
+    start = time.perf_counter()
+    for call in calls:
+        call()
+    return (time.perf_counter() - start) * 1000.0 / max(1, len(calls))
+
+
+# ----------------------------------------------------------------------
+# Figures 6 and 7: distance computation algorithms
+# ----------------------------------------------------------------------
+def measure_fig6(
+    scale: Optional[BenchScale] = None,
+    include_basic: bool = True,
+) -> List[dict]:
+    """Figure 6: Algorithms 2/3/4 runtime vs. number of floors (desktop)."""
+    scale = scale or current_scale()
+    rows = []
+    for floors in scale.fig6_floors:
+        building = get_building(floors)
+        pairs = random_position_pairs(building, scale.fig6_pairs, seed=floors)
+        row = {"floors": floors}
+        algorithms = [
+            ("algorithm3_ms", pt2pt_distance_refined),
+            ("algorithm4_ms", pt2pt_distance_memoized),
+        ]
+        if include_basic:
+            algorithms.insert(0, ("algorithm2_ms", pt2pt_distance_basic))
+        for key, fn in algorithms:
+            row[key] = _time_per_call_ms(
+                [
+                    (lambda f=fn, s=s, t=t: f(building.space, s, t))
+                    for s, t in pairs
+                ]
+            )
+        rows.append(row)
+    return rows
+
+
+def measure_fig7(scale: Optional[BenchScale] = None) -> List[dict]:
+    """Figure 7: Algorithms 3/4 on the simulated constrained device.
+
+    The paper runs the same sweep on a 1 GHz Android phone; we model the
+    phone as a deterministic ``PHONE_SLOWDOWN`` interpreter-overhead
+    multiplier on the measured desktop times (see DESIGN.md substitutions)
+    and additionally report the raw measured ratio between the algorithms.
+    """
+    scale = scale or current_scale()
+    rows = []
+    for floors in scale.fig6_floors:
+        building = get_building(floors)
+        pairs = random_position_pairs(
+            building, scale.fig7_pairs, seed=1000 + floors
+        )
+        alg3 = _time_per_call_ms(
+            [
+                (lambda s=s, t=t: pt2pt_distance_refined(building.space, s, t))
+                for s, t in pairs
+            ]
+        )
+        alg4 = _time_per_call_ms(
+            [
+                (lambda s=s, t=t: pt2pt_distance_memoized(building.space, s, t))
+                for s, t in pairs
+            ]
+        )
+        rows.append(
+            {
+                "floors": floors,
+                "algorithm3_ms": alg3 * PHONE_SLOWDOWN,
+                "algorithm4_ms": alg4 * PHONE_SLOWDOWN,
+                "alg4_speedup": alg3 / alg4 if alg4 > 0 else float("nan"),
+            }
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figures 8 and 9: query processing
+# ----------------------------------------------------------------------
+_stores: Dict[Tuple[int, int], ObjectStore] = {}
+
+
+def get_store(floors: int, object_count: int) -> ObjectStore:
+    """A populated object store for a cached building, cached per size."""
+    key = (floors, object_count)
+    if key not in _stores:
+        _stores[key] = build_object_store(
+            get_building(floors), object_count, seed=object_count
+        )
+    return _stores[key]
+
+
+def _query_framework(floors: int, object_count: int) -> IndexFramework:
+    return get_framework(floors).with_objects(get_store(floors, object_count))
+
+
+def _measure_queries(
+    framework: IndexFramework,
+    floors: int,
+    query_count: int,
+    runner: Callable,
+    seed: int,
+) -> float:
+    positions = random_positions(get_building(floors), query_count, seed=seed)
+    return _time_per_call_ms(
+        [(lambda q=q: runner(framework, q)) for q in positions]
+    )
+
+
+def measure_fig8a(scale: Optional[BenchScale] = None) -> List[dict]:
+    """Figure 8(a): range query vs. object count, with/without M_idx.
+    30 floors, r = 30 m."""
+    scale = scale or current_scale()
+    floors = 30
+    rows = []
+    for count in scale.object_counts:
+        framework = _query_framework(floors, count)
+        rows.append(
+            {
+                "objects": count,
+                "with_index_ms": _measure_queries(
+                    framework,
+                    floors,
+                    scale.query_count,
+                    lambda fw, q: range_query(fw, q, 30.0, use_index=True),
+                    seed=81,
+                ),
+                "without_index_ms": _measure_queries(
+                    framework,
+                    floors,
+                    scale.query_count,
+                    lambda fw, q: range_query(fw, q, 30.0, use_index=False),
+                    seed=81,
+                ),
+            }
+        )
+    return rows
+
+
+def measure_fig8b(scale: Optional[BenchScale] = None) -> List[dict]:
+    """Figure 8(b): range query vs. floor count, with/without M_idx.
+    Fixed per-floor object density, r = 20 m."""
+    scale = scale or current_scale()
+    rows = []
+    for floors in scale.query_floors:
+        framework = _query_framework(floors, floors * scale.objects_per_floor)
+        rows.append(
+            {
+                "floors": floors,
+                "objects": floors * scale.objects_per_floor,
+                "with_index_ms": _measure_queries(
+                    framework,
+                    floors,
+                    scale.query_count,
+                    lambda fw, q: range_query(fw, q, 20.0, use_index=True),
+                    seed=82,
+                ),
+                "without_index_ms": _measure_queries(
+                    framework,
+                    floors,
+                    scale.query_count,
+                    lambda fw, q: range_query(fw, q, 20.0, use_index=False),
+                    seed=82,
+                ),
+            }
+        )
+    return rows
+
+
+def measure_fig8c(scale: Optional[BenchScale] = None) -> List[dict]:
+    """Figure 8(c): range query vs. object count for r in 10..50 m (with
+    M_idx).  30 floors."""
+    scale = scale or current_scale()
+    floors = 30
+    rows = []
+    for count in scale.object_counts:
+        framework = _query_framework(floors, count)
+        row = {"objects": count}
+        for radius in scale.fig8_radii:
+            row[f"r{int(radius)}m_ms"] = _measure_queries(
+                framework,
+                floors,
+                scale.query_count,
+                lambda fw, q, r=radius: range_query(fw, q, r, use_index=True),
+                seed=83,
+            )
+        rows.append(row)
+    return rows
+
+
+def measure_fig9a(scale: Optional[BenchScale] = None) -> List[dict]:
+    """Figure 9(a): kNN query vs. object count, with/without M_idx.
+    30 floors, k = 100."""
+    scale = scale or current_scale()
+    floors = 30
+    rows = []
+    for count in scale.object_counts:
+        framework = _query_framework(floors, count)
+        rows.append(
+            {
+                "objects": count,
+                "with_index_ms": _measure_queries(
+                    framework,
+                    floors,
+                    scale.query_count,
+                    lambda fw, q: knn_query(fw, q, 100, use_index=True),
+                    seed=91,
+                ),
+                "without_index_ms": _measure_queries(
+                    framework,
+                    floors,
+                    scale.query_count,
+                    lambda fw, q: knn_query(fw, q, 100, use_index=False),
+                    seed=91,
+                ),
+            }
+        )
+    return rows
+
+
+def measure_fig9b(scale: Optional[BenchScale] = None) -> List[dict]:
+    """Figure 9(b): kNN query vs. floor count, with/without M_idx.
+    Fixed per-floor object density, k = 100."""
+    scale = scale or current_scale()
+    rows = []
+    for floors in scale.query_floors:
+        framework = _query_framework(floors, floors * scale.objects_per_floor)
+        rows.append(
+            {
+                "floors": floors,
+                "objects": floors * scale.objects_per_floor,
+                "with_index_ms": _measure_queries(
+                    framework,
+                    floors,
+                    scale.query_count,
+                    lambda fw, q: knn_query(fw, q, 100, use_index=True),
+                    seed=92,
+                ),
+                "without_index_ms": _measure_queries(
+                    framework,
+                    floors,
+                    scale.query_count,
+                    lambda fw, q: knn_query(fw, q, 100, use_index=False),
+                    seed=92,
+                ),
+            }
+        )
+    return rows
+
+
+def measure_fig9c(scale: Optional[BenchScale] = None) -> List[dict]:
+    """Figure 9(c): kNN query vs. object count for k in 1..200 (with
+    M_idx).  30 floors."""
+    scale = scale or current_scale()
+    floors = 30
+    rows = []
+    for count in scale.object_counts:
+        framework = _query_framework(floors, count)
+        row = {"objects": count}
+        for k in scale.fig9_ks:
+            row[f"k{k}_ms"] = _measure_queries(
+                framework,
+                floors,
+                scale.query_count,
+                lambda fw, q, k=k: knn_query(fw, q, k, use_index=True),
+                seed=93,
+            )
+        rows.append(row)
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+def render_table(rows: List[dict], title: str = "") -> str:
+    """Plain-text table, one row per x-axis point, floats to 2 decimals."""
+    if not rows:
+        return f"{title}\n(no data)"
+    columns = list(rows[0].keys())
+    widths = {c: max(len(c), 12) for c in columns}
+
+    def fmt(value):
+        if isinstance(value, float):
+            return f"{value:.2f}"
+        return str(value)
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(c.rjust(widths[c]) for c in columns))
+    for row in rows:
+        lines.append("  ".join(fmt(row[c]).rjust(widths[c]) for c in columns))
+    return "\n".join(lines)

@@ -1,0 +1,197 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``info PLAN.json`` — model statistics plus the floor-plan lint report;
+* ``audit PLAN.json [--exits ID ...]`` — door-significance analysis
+  (betweenness, single points of failure) and evacuation safety;
+* ``distance PLAN.json X1 Y1 X2 Y2 [--floor1 N] [--floor2 N]`` — minimum
+  indoor walking distance and turn-by-turn directions between two points;
+* ``render PLAN.json -o OUT.svg [--floor N]`` — draw a floor to SVG;
+* ``dot PLAN.json`` — print the accessibility graph as Graphviz DOT;
+* ``export-figure1 OUT.json`` — write the paper's running-example floor
+  plan to a JSON file (a starting point for experiments);
+* ``bench ...`` — alias for ``python -m repro.bench ...``.
+
+Floor plans use the JSON format of :mod:`repro.io`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.distance.point_to_point import pt2pt_path
+from repro.geometry import Point
+from repro.io import load_space, save_space
+from repro.model.validation import validate_space
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    space = load_space(args.plan)
+    floors = sorted({f for p in space.partitions() for f in p.floors})
+    print(f"plan:        {args.plan}")
+    print(f"partitions:  {space.num_partitions}")
+    print(f"doors:       {space.num_doors}")
+    one_way = sum(
+        1 for d in space.door_ids if space.topology.is_unidirectional(d)
+    )
+    print(f"one-way:     {one_way}")
+    print(f"floors:      {floors}")
+    connected = space.accessibility.is_strongly_connected()
+    print(f"strongly connected: {'yes' if connected else 'no'}")
+    issues = validate_space(space)
+    if issues:
+        print(f"lint: {len(issues)} issue(s)")
+        for issue in issues:
+            print(f"  {issue}")
+        return 1
+    print("lint: clean")
+    return 0
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    from repro.analysis import critical_doors, door_betweenness
+    from repro.routing import evacuation_report
+
+    space = load_space(args.plan)
+    print("door traffic (betweenness, descending):")
+    for door_id, score in sorted(
+        door_betweenness(space).items(), key=lambda kv: (-kv[1], kv[0])
+    ):
+        print(f"  {space.door(door_id).label:<8} {score:6.1%}")
+    critical = critical_doors(space)
+    if critical:
+        print("single points of failure:")
+        for door_id in critical:
+            print(f"  {space.door(door_id).label}")
+    else:
+        print("single points of failure: none")
+    if args.exits:
+        report = evacuation_report(space, args.exits)
+        if report.is_safe:
+            print(f"evacuation via {list(args.exits)}: all partitions safe")
+        else:
+            print(
+                f"evacuation via {list(args.exits)}: "
+                f"TRAPPED partitions {list(report.trapped)}"
+            )
+            return 1
+    return 0
+
+
+def _cmd_dot(args: argparse.Namespace) -> int:
+    from repro.viz import to_dot
+
+    print(to_dot(load_space(args.plan)), end="")
+    return 0
+
+
+def _cmd_distance(args: argparse.Namespace) -> int:
+    from repro.routing import directions
+
+    space = load_space(args.plan)
+    source = Point(args.x1, args.y1, args.floor1)
+    target = Point(args.x2, args.y2, args.floor2)
+    path = pt2pt_path(space, source, target)
+    if not path.is_reachable:
+        print("unreachable")
+        return 1
+    print(f"distance: {path.distance:.2f} m")
+    for step in directions(space, path):
+        print(f"  {step}")
+    return 0
+
+
+def _cmd_render(args: argparse.Namespace) -> int:
+    from repro.viz import render_svg, save_svg
+
+    space = load_space(args.plan)
+    svg = render_svg(space, floor=args.floor, width=args.width)
+    save_svg(svg, args.output)
+    print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_export_figure1(args: argparse.Namespace) -> int:
+    from repro.model.figure1 import build_figure1
+
+    save_space(build_figure1(), args.output)
+    print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench.__main__ import main as bench_main
+
+    return bench_main(args.bench_args)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser with all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Indoor distance-aware query processing toolkit "
+        "(Lu/Cao/Jensen, ICDE 2012 reproduction).",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    info = commands.add_parser("info", help="plan statistics + lint report")
+    info.add_argument("plan", help="floor plan JSON file")
+    info.set_defaults(handler=_cmd_info)
+
+    audit = commands.add_parser(
+        "audit", help="door significance + evacuation analysis"
+    )
+    audit.add_argument("plan")
+    audit.add_argument(
+        "--exits", type=int, nargs="*", default=[],
+        help="exit partition ids for the evacuation check",
+    )
+    audit.set_defaults(handler=_cmd_audit)
+
+    dot = commands.add_parser("dot", help="accessibility graph as Graphviz DOT")
+    dot.add_argument("plan")
+    dot.set_defaults(handler=_cmd_dot)
+
+    distance = commands.add_parser(
+        "distance", help="walking distance and directions between two points"
+    )
+    distance.add_argument("plan")
+    distance.add_argument("x1", type=float)
+    distance.add_argument("y1", type=float)
+    distance.add_argument("x2", type=float)
+    distance.add_argument("y2", type=float)
+    distance.add_argument("--floor1", type=int, default=0)
+    distance.add_argument("--floor2", type=int, default=0)
+    distance.set_defaults(handler=_cmd_distance)
+
+    render = commands.add_parser("render", help="draw a floor to SVG")
+    render.add_argument("plan")
+    render.add_argument("-o", "--output", required=True)
+    render.add_argument("--floor", type=int, default=0)
+    render.add_argument("--width", type=int, default=900)
+    render.set_defaults(handler=_cmd_render)
+
+    export = commands.add_parser(
+        "export-figure1", help="write the paper's Figure-1 plan to JSON"
+    )
+    export.add_argument("output")
+    export.set_defaults(handler=_cmd_export_figure1)
+
+    bench = commands.add_parser("bench", help="run figure benchmarks")
+    bench.add_argument("bench_args", nargs=argparse.REMAINDER)
+    bench.set_defaults(handler=_cmd_bench)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

@@ -1,0 +1,51 @@
+"""Indoor distance computation (paper §III-D).
+
+* :mod:`repro.distance.door_to_door` — Algorithm 1, the door-to-door minimum
+  walking distance search over G_dist, with shortest-path reconstruction.
+* :mod:`repro.distance.point_to_point` — Algorithms 2, 3, and 4, the three
+  position-to-position distance algorithms the paper compares in Figure 6.
+* :mod:`repro.distance.matrix` — all-pairs door-to-door distances: the
+  paper-faithful reference (repeated Algorithm 1) and a numerically identical
+  bulk builder on :func:`scipy.sparse.csgraph.dijkstra`.
+* :mod:`repro.distance.door_count` — the Li & Lee door-count baseline [11]
+  the paper argues against.
+* :mod:`repro.distance.path` — path value objects.
+"""
+
+from repro.distance.door_to_door import (
+    DoorSearchResult,
+    d2d_distance,
+    d2d_path,
+    door_to_door_search,
+)
+from repro.distance.point_to_point import (
+    pt2pt_distance,
+    pt2pt_distance_basic,
+    pt2pt_distance_memoized,
+    pt2pt_distance_refined,
+    pt2pt_path,
+)
+from repro.distance.matrix import (
+    build_distance_matrix,
+    build_distance_matrix_reference,
+)
+from repro.distance.door_count import door_count_distance, door_count_pt2pt
+from repro.distance.path import DoorPath, IndoorPath
+
+__all__ = [
+    "DoorSearchResult",
+    "d2d_distance",
+    "d2d_path",
+    "door_to_door_search",
+    "pt2pt_distance",
+    "pt2pt_distance_basic",
+    "pt2pt_distance_refined",
+    "pt2pt_distance_memoized",
+    "pt2pt_path",
+    "build_distance_matrix",
+    "build_distance_matrix_reference",
+    "door_count_distance",
+    "door_count_pt2pt",
+    "DoorPath",
+    "IndoorPath",
+]

@@ -1,0 +1,142 @@
+"""The door-count baseline: Li & Lee's lattice-based "distance" [11].
+
+The lattice-based semantic location model defines the *length* of an indoor
+path as the number of doors it goes through, not the walking distance.  The
+paper's Figure-1 motivating example shows why this falls short: from position
+``p`` to position ``q`` the door-count model prefers the single-door route
+through d13 even though the two-door route through d15 and d12 is a shorter
+walk.
+
+This module implements that baseline so examples, tests, and benchmarks can
+reproduce the comparison.  Paths are ranked lexicographically by
+``(doors crossed, walking distance)``: the walking distance is the tie-break,
+and it is also reported so callers can measure how much extra walking the
+door-count criterion costs.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.geometry import Point
+from repro.model.builder import IndoorSpace
+
+
+@dataclass(frozen=True)
+class DoorCountResult:
+    """Outcome of a door-count shortest path computation.
+
+    Attributes:
+        doors_crossed: the path "length" in the Li & Lee sense.
+        walking_distance: the actual walking distance of the chosen path —
+            *not* necessarily the minimum walking distance between the two
+            positions; comparing it against :func:`repro.distance.pt2pt_distance`
+            quantifies the baseline's detour.
+    """
+
+    doors_crossed: int
+    walking_distance: float
+
+    @property
+    def is_reachable(self) -> bool:
+        return not math.isinf(self.walking_distance)
+
+
+_UNREACHABLE = DoorCountResult(-1, math.inf)
+
+
+def door_count_distance(
+    space: IndoorSpace, source_door: int, target_door: int
+) -> DoorCountResult:
+    """Fewest-doors path between two doors (both doors included in the count),
+    walking distance as tie-break."""
+    graph = space.distance_graph
+    topology = space.topology
+    best: Dict[int, Tuple[int, float]] = {source_door: (1, 0.0)}
+    heap: list = [(1, 0.0, source_door)]
+    settled = set()
+    while heap:
+        count, walk, current = heapq.heappop(heap)
+        if current in settled:
+            continue
+        settled.add(current)
+        if current == target_door:
+            return DoorCountResult(count, walk)
+        for partition_id in topology.enterable_partitions(current):
+            for next_door in topology.leaveable_doors(partition_id):
+                if next_door in settled:
+                    continue
+                weight = graph.fd2d(partition_id, current, next_door)
+                if math.isinf(weight):
+                    continue
+                label = (count + 1, walk + weight)
+                if label < best.get(next_door, (1 << 30, math.inf)):
+                    best[next_door] = label
+                    heapq.heappush(heap, (label[0], label[1], next_door))
+    return _UNREACHABLE
+
+
+def door_count_pt2pt(
+    space: IndoorSpace, source: Point, target: Point
+) -> DoorCountResult:
+    """Fewest-doors path between two indoor positions.
+
+    A same-partition pair resolves to zero doors when directly connected
+    (count 0 beats any door route lexicographically, as in the lattice
+    model).
+    """
+    vs = space.require_host_partition(source)
+    vt = space.require_host_partition(target)
+    graph = space.distance_graph
+    topology = space.topology
+
+    best_key: Tuple[int, float] = (1 << 30, math.inf)
+    best_result = _UNREACHABLE
+    if vs.partition_id == vt.partition_id:
+        direct = vs.intra_distance(source, target)
+        if not math.isinf(direct):
+            best_key = (0, direct)
+            best_result = DoorCountResult(0, direct)
+
+    best: Dict[int, Tuple[int, float]] = {}
+    heap: list = []
+    for ds in sorted(topology.leaveable_doors(vs.partition_id)):
+        leg = space.dist_v(source, ds, vs)
+        if math.isinf(leg):
+            continue
+        label = (1, leg)
+        if label < best.get(ds, (1 << 30, math.inf)):
+            best[ds] = label
+            heapq.heappush(heap, (1, leg, ds))
+
+    target_doors = {
+        dt: space.dist_v(target, dt, vt)
+        for dt in topology.enterable_doors(vt.partition_id)
+    }
+    settled = set()
+    while heap:
+        count, walk, current = heapq.heappop(heap)
+        if current in settled:
+            continue
+        settled.add(current)
+        final_leg = target_doors.get(current, math.inf)
+        if not math.isinf(final_leg):
+            key = (count, walk + final_leg)
+            if key < best_key:
+                best_key = key
+                best_result = DoorCountResult(count, walk + final_leg)
+        for partition_id in topology.enterable_partitions(current):
+            for next_door in topology.leaveable_doors(partition_id):
+                if next_door in settled:
+                    continue
+                weight = graph.fd2d(partition_id, current, next_door)
+                if math.isinf(weight):
+                    continue
+                label = (count + 1, walk + weight)
+                if label < best.get(next_door, (1 << 30, math.inf)):
+                    best[next_door] = label
+                    heapq.heappush(heap, (label[0], label[1], next_door))
+    return best_result

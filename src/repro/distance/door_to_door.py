@@ -1,0 +1,145 @@
+"""Algorithm 1: door-to-door minimum walking distance (paper §III-D1).
+
+The search expands over *doors* (not partitions) in the spirit of Dijkstra's
+algorithm, which is the paper's stated distinction from the textbook version:
+graph edges (doors) carry no weights of their own; instead each relaxation
+step crosses one partition ``v`` from an entering door ``d_i`` to a leaving
+door ``d_j`` at cost ``f_d2d(v, d_i, d_j)``.
+
+The implementation uses a lazy-deletion binary heap, which is semantically
+identical to the paper's "replace d_j's element in H" decrease-key but does
+not require an addressable heap.  Each door is still settled (visited) at
+most once, as the paper requires.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Set, Tuple
+
+from repro.exceptions import UnknownEntityError
+from repro.distance.path import DoorPath
+from repro.model.distance_graph import DistanceAwareGraph
+
+
+@dataclass(frozen=True)
+class DoorSearchResult:
+    """Outcome of a (possibly early-terminated) door-graph search.
+
+    Attributes:
+        source: the source door id.
+        dist: settled-or-relaxed distances per door id.  Doors never reached
+            are absent; treat absence as ``inf``.
+        prev: for every reached door, the ``(partition, door)`` pair through
+            which the shortest path arrives (``None`` for the source) — the
+            paper's ``prev[.]`` array.
+        settled: doors whose distance is final (popped from the heap).
+    """
+
+    source: int
+    dist: Dict[int, float]
+    prev: Dict[int, Optional[Tuple[int, int]]]
+    settled: Set[int]
+
+    def distance_to(self, door_id: int) -> float:
+        """Final distance to ``door_id`` (``inf`` when not settled)."""
+        if door_id in self.settled:
+            return self.dist[door_id]
+        return math.inf
+
+
+def door_to_door_search(
+    graph: DistanceAwareGraph,
+    source_door: int,
+    target_door: Optional[int] = None,
+    targets: Optional[Iterable[int]] = None,
+) -> DoorSearchResult:
+    """Run Algorithm 1's expansion from ``source_door``.
+
+    Args:
+        graph: the distance-aware graph G_dist.
+        source_door: door to start from (distance 0 at its midpoint).
+        target_door: stop as soon as this door is settled.
+        targets: stop as soon as *all* of these doors are settled (used by
+            the refined position-to-position algorithms).  When both stopping
+            criteria are ``None`` the search settles every reachable door,
+            which is how the all-pairs matrix is built.
+
+    Returns:
+        A :class:`DoorSearchResult`; query it with
+        :meth:`~DoorSearchResult.distance_to`.
+    """
+    topology = graph.space.topology
+    if not topology.has_door(source_door):
+        raise UnknownEntityError("door", source_door)
+    if target_door is not None and not topology.has_door(target_door):
+        raise UnknownEntityError("door", target_door)
+
+    pending: Optional[Set[int]] = set(targets) if targets is not None else None
+    dist: Dict[int, float] = {source_door: 0.0}
+    prev: Dict[int, Optional[Tuple[int, int]]] = {source_door: None}
+    settled: Set[int] = set()
+    heap: list = [(0.0, source_door)]
+
+    while heap:
+        d, current = heapq.heappop(heap)
+        if current in settled:
+            continue
+        settled.add(current)
+        if current == target_door:
+            break
+        if pending is not None:
+            pending.discard(current)
+            if not pending:
+                break
+        for partition_id in topology.enterable_partitions(current):
+            for next_door in topology.leaveable_doors(partition_id):
+                if next_door in settled:
+                    continue
+                weight = graph.fd2d(partition_id, current, next_door)
+                if math.isinf(weight):
+                    continue
+                candidate = d + weight
+                if candidate < dist.get(next_door, math.inf):
+                    dist[next_door] = candidate
+                    prev[next_door] = (partition_id, current)
+                    heapq.heappush(heap, (candidate, next_door))
+
+    return DoorSearchResult(source_door, dist, prev, settled)
+
+
+def d2d_distance(
+    graph: DistanceAwareGraph, source_door: int, target_door: int
+) -> float:
+    """d2dDistance(d_s, d_t): the minimum walking distance between two door
+    midpoints, or ``inf`` when the target cannot be reached."""
+    result = door_to_door_search(graph, source_door, target_door=target_door)
+    return result.distance_to(target_door)
+
+
+def d2d_path(
+    graph: DistanceAwareGraph, source_door: int, target_door: int
+) -> DoorPath:
+    """Like :func:`d2d_distance` but also reconstructs the concrete shortest
+    path (door and partition sequence) from the ``prev`` array."""
+    result = door_to_door_search(graph, source_door, target_door=target_door)
+    distance = result.distance_to(target_door)
+    if math.isinf(distance):
+        return DoorPath(math.inf, (), ())
+
+    doors = [target_door]
+    partitions = []
+    cursor = target_door
+    while True:
+        step = result.prev[cursor]
+        if step is None:
+            break
+        partition_id, previous_door = step
+        partitions.append(partition_id)
+        doors.append(previous_door)
+        cursor = previous_door
+    doors.reverse()
+    partitions.reverse()
+    return DoorPath(distance, tuple(doors), tuple(partitions))

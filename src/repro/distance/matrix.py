@@ -1,0 +1,125 @@
+"""All-pairs door-to-door distances (the raw material of §IV's indexes).
+
+Two builders produce the same N×N matrix:
+
+* :func:`build_distance_matrix_reference` — the paper-faithful construction:
+  one full Algorithm-1 expansion per source door.
+* :func:`build_distance_matrix` — a numerically identical bulk builder that
+  assembles the door graph (doors = nodes, finite f_d2d entries = directed
+  weighted edges, parallel edges reduced by minimum) into a sparse CSR matrix
+  and runs :func:`scipy.sparse.csgraph.dijkstra` over it.  On a 40-floor
+  synthetic building this is ~two orders of magnitude faster in CPython,
+  which matters because the paper's query experiments precompute the matrix
+  for buildings with ~1 300 doors.
+
+Tests assert element-wise equality of the two builders on several topologies.
+
+Matrix rows/columns are ordered by ascending door id; the mapping is returned
+alongside the matrix so callers never guess.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+from scipy.sparse import csr_matrix
+from scipy.sparse.csgraph import dijkstra
+
+from repro.distance.door_to_door import door_to_door_search
+from repro.model.distance_graph import DistanceAwareGraph
+
+
+@dataclass(frozen=True)
+class DoorDistanceMatrix:
+    """An all-pairs door-to-door distance matrix with its id mapping.
+
+    Attributes:
+        matrix: ``matrix[i, j]`` is the minimum walking distance from door
+            ``door_ids[i]`` to door ``door_ids[j]``; ``inf`` marks
+            unreachable pairs; the diagonal is 0.
+        door_ids: ascending door ids; ``index_of`` inverts the mapping.
+    """
+
+    matrix: np.ndarray
+    door_ids: Tuple[int, ...]
+
+    @property
+    def index_of(self) -> Dict[int, int]:
+        """Door id → row/column index."""
+        return {door_id: i for i, door_id in enumerate(self.door_ids)}
+
+    def distance(self, from_door: int, to_door: int) -> float:
+        """Distance between two doors by id."""
+        index = self.index_of
+        return float(self.matrix[index[from_door], index[to_door]])
+
+    @property
+    def size(self) -> int:
+        """Number of doors N (the matrix is N×N)."""
+        return len(self.door_ids)
+
+
+def _door_graph_edges(
+    graph: DistanceAwareGraph,
+) -> List[Tuple[int, int, float]]:
+    """All finite f_d2d edges ``(from_door, to_door, weight)``, with parallel
+    edges (several partitions connecting the same door pair) reduced to their
+    minimum weight."""
+    topology = graph.space.topology
+    best: Dict[Tuple[int, int], float] = {}
+    for partition_id in topology.partition_ids:
+        enterable = topology.enterable_doors(partition_id)
+        leaveable = topology.leaveable_doors(partition_id)
+        for from_door in enterable:
+            for to_door in leaveable:
+                if from_door == to_door:
+                    continue
+                weight = graph.fd2d(partition_id, from_door, to_door)
+                if math.isinf(weight):
+                    continue
+                key = (from_door, to_door)
+                if weight < best.get(key, math.inf):
+                    best[key] = weight
+    return [(i, j, w) for (i, j), w in best.items()]
+
+
+def build_distance_matrix(graph: DistanceAwareGraph) -> DoorDistanceMatrix:
+    """Bulk all-pairs builder over a sparse door graph (see module docs).
+
+    The subtlety versus a naive Dijkstra on the door graph is that there is
+    none: once f_d2d weights are materialised as directed edges between door
+    midpoints, Algorithm 1 *is* Dijkstra on that graph, so the bulk builder
+    is exact, not an approximation.
+    """
+    door_ids = graph.space.topology.door_ids
+    n = len(door_ids)
+    index = {door_id: i for i, door_id in enumerate(door_ids)}
+    if n == 0:
+        return DoorDistanceMatrix(np.zeros((0, 0)), ())
+
+    edges = _door_graph_edges(graph)
+    rows = np.fromiter((index[i] for i, _, _ in edges), dtype=np.int64, count=len(edges))
+    cols = np.fromiter((index[j] for _, j, _ in edges), dtype=np.int64, count=len(edges))
+    weights = np.fromiter((w for _, _, w in edges), dtype=np.float64, count=len(edges))
+    adjacency = csr_matrix((weights, (rows, cols)), shape=(n, n))
+    matrix = dijkstra(adjacency, directed=True)
+    np.fill_diagonal(matrix, 0.0)
+    return DoorDistanceMatrix(matrix, door_ids)
+
+
+def build_distance_matrix_reference(
+    graph: DistanceAwareGraph,
+) -> DoorDistanceMatrix:
+    """Paper-faithful all-pairs builder: one Algorithm-1 run per door."""
+    door_ids = graph.space.topology.door_ids
+    n = len(door_ids)
+    matrix = np.full((n, n), math.inf)
+    for i, source in enumerate(door_ids):
+        result = door_to_door_search(graph, source)
+        for j, target in enumerate(door_ids):
+            matrix[i, j] = result.distance_to(target)
+        matrix[i, i] = 0.0
+    return DoorDistanceMatrix(matrix, door_ids)

@@ -1,0 +1,102 @@
+"""Value objects describing indoor shortest paths.
+
+Algorithm 1 keeps a ``prev`` array precisely so that "the concrete shortest
+path, in terms of indoor partitions and doors" can be reconstructed
+(paper §III-D1); these classes are that reconstruction's result type.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.geometry import Point
+
+
+@dataclass(frozen=True)
+class DoorPath:
+    """A door-to-door shortest path.
+
+    Attributes:
+        distance: total walking distance (``inf`` when unreachable).
+        doors: the door sequence, starting at the source door and ending at
+            the target door.  A one-element sequence means source == target.
+        partitions: the partitions crossed between consecutive doors;
+            ``len(partitions) == len(doors) - 1``.
+    """
+
+    distance: float
+    doors: Tuple[int, ...]
+    partitions: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.doors and len(self.partitions) != len(self.doors) - 1:
+            raise ValueError(
+                f"door/partition sequence mismatch: {len(self.doors)} doors "
+                f"but {len(self.partitions)} partitions"
+            )
+
+    @property
+    def is_reachable(self) -> bool:
+        """False when no path exists."""
+        return not math.isinf(self.distance)
+
+    @property
+    def hops(self) -> int:
+        """Number of partitions crossed."""
+        return len(self.partitions)
+
+    def describe(self) -> str:
+        """``d15 -(v12)-> d12`` style rendering, for logs and examples."""
+        if not self.is_reachable:
+            return "<unreachable>"
+        if len(self.doors) == 1:
+            return f"d{self.doors[0]}"
+        parts = [f"d{self.doors[0]}"]
+        for door, partition in zip(self.doors[1:], self.partitions):
+            parts.append(f"-(v{partition})-> d{door}")
+        return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class IndoorPath:
+    """A position-to-position shortest path.
+
+    Attributes:
+        distance: total walking distance (``inf`` when unreachable).
+        source: the start position.
+        target: the end position.
+        doors: the doors crossed, in order (empty when the whole path stays
+            inside one partition).
+        partitions: the partitions traversed, in order; always one more than
+            ``doors`` for reachable paths (host partition, then one partition
+            per door crossed).
+    """
+
+    distance: float
+    source: Point
+    target: Point
+    doors: Tuple[int, ...]
+    partitions: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.is_reachable and len(self.partitions) != len(self.doors) + 1:
+            raise ValueError(
+                f"door/partition sequence mismatch: {len(self.doors)} doors "
+                f"but {len(self.partitions)} partitions"
+            )
+
+    @property
+    def is_reachable(self) -> bool:
+        """False when no path exists."""
+        return not math.isinf(self.distance)
+
+    def describe(self) -> str:
+        """``p -> d15 -> d12 -> q (3.24 m)`` style rendering."""
+        if not self.is_reachable:
+            return "<unreachable>"
+        steps = [str(self.source)]
+        steps.extend(f"d{door}" for door in self.doors)
+        steps.append(str(self.target))
+        return " -> ".join(steps) + f" ({self.distance:.2f} m)"

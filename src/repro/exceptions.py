@@ -1,0 +1,61 @@
+"""Exception hierarchy for the :mod:`repro` indoor query-processing library.
+
+All library-raised errors derive from :class:`ReproError` so that callers can
+catch every library failure with a single ``except`` clause while still being
+able to distinguish model-construction problems from query-time problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ModelError(ReproError):
+    """A floor plan or indoor-space model is malformed or inconsistent."""
+
+
+class TopologyError(ModelError):
+    """A topology mapping (D2P / P2D) is violated or queried inconsistently.
+
+    Examples: registering a door that connects more than two partitions, or
+    asking for the partitions of a door that was never registered.
+    """
+
+
+class GeometryError(ReproError):
+    """A geometric primitive is degenerate or an operation is undefined.
+
+    Examples: a polygon with fewer than three vertices, or a visibility
+    query between points that lie in no common partition.
+    """
+
+
+class UnknownEntityError(ModelError):
+    """An entity identifier (door, partition, object) is not in the model."""
+
+    def __init__(self, kind: str, identifier: object) -> None:
+        self.kind = kind
+        self.identifier = identifier
+        super().__init__(f"unknown {kind}: {identifier!r}")
+
+
+class UnreachableError(ReproError):
+    """No indoor path exists between the requested source and destination."""
+
+
+class QueryError(ReproError):
+    """A query is malformed (e.g. negative range, k < 1, position outdoors)."""
+
+
+class IndexError_(ReproError):
+    """An index structure is missing, stale, or inconsistent with the model.
+
+    Named with a trailing underscore to avoid shadowing the built-in
+    :class:`IndexError`.
+    """
+
+
+class SerializationError(ReproError):
+    """A building, matrix, or object set could not be (de)serialized."""

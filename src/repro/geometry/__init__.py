@@ -1,0 +1,22 @@
+"""Geometric substrate: points, segments, polygons, and visibility graphs.
+
+This subpackage provides everything the indoor-space model needs to measure
+intra-partition distances: Euclidean primitives, polygon containment tests,
+and visibility-graph shortest paths for partitions that contain obstacles
+(paper §III-C1 and §V-A, Figure 5).
+"""
+
+from repro.geometry.primitives import EPSILON, Point, Segment
+from repro.geometry.polygon import BoundingBox, Polygon, rectangle
+from repro.geometry.visibility import VisibilityGraph, obstructed_distance
+
+__all__ = [
+    "EPSILON",
+    "Point",
+    "Segment",
+    "BoundingBox",
+    "Polygon",
+    "rectangle",
+    "VisibilityGraph",
+    "obstructed_distance",
+]

@@ -1,0 +1,298 @@
+"""Simple polygons and axis-aligned bounding boxes.
+
+Indoor partitions (rooms, hallways, staircases) and obstacles are modelled as
+simple polygons.  The library only needs containment tests, edges, areas, and
+bounding boxes — no boolean operations — so the implementation favours clarity
+and robustness over generality.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+from repro.exceptions import GeometryError
+from repro.geometry.primitives import EPSILON, Point, Segment
+
+
+@dataclass(frozen=True)
+class BoundingBox:
+    """An axis-aligned rectangle, used by the R-tree and the grid index."""
+
+    min_x: float
+    min_y: float
+    max_x: float
+    max_y: float
+
+    def __post_init__(self) -> None:
+        if self.min_x > self.max_x or self.min_y > self.max_y:
+            raise GeometryError(f"inverted bounding box: {self}")
+
+    @property
+    def width(self) -> float:
+        return self.max_x - self.min_x
+
+    @property
+    def height(self) -> float:
+        return self.max_y - self.min_y
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def center(self) -> Tuple[float, float]:
+        return ((self.min_x + self.max_x) / 2.0, (self.min_y + self.max_y) / 2.0)
+
+    def contains_point(self, p: Point, tol: float = EPSILON) -> bool:
+        """True when ``p``'s planar coordinates fall inside (or on) the box."""
+        return (
+            self.min_x - tol <= p.x <= self.max_x + tol
+            and self.min_y - tol <= p.y <= self.max_y + tol
+        )
+
+    def intersects(self, other: "BoundingBox") -> bool:
+        """True when the two boxes share at least a boundary point."""
+        return not (
+            self.max_x < other.min_x
+            or other.max_x < self.min_x
+            or self.max_y < other.min_y
+            or other.max_y < self.min_y
+        )
+
+    def union(self, other: "BoundingBox") -> "BoundingBox":
+        """The smallest box enclosing both boxes."""
+        return BoundingBox(
+            min(self.min_x, other.min_x),
+            min(self.min_y, other.min_y),
+            max(self.max_x, other.max_x),
+            max(self.max_y, other.max_y),
+        )
+
+    def enlargement(self, other: "BoundingBox") -> float:
+        """Area increase needed for this box to also cover ``other``."""
+        return self.union(other).area - self.area
+
+    def min_distance_to_point(self, p: Point) -> float:
+        """Smallest Euclidean distance from ``p`` to any point of the box."""
+        dx = max(self.min_x - p.x, 0.0, p.x - self.max_x)
+        dy = max(self.min_y - p.y, 0.0, p.y - self.max_y)
+        return math.hypot(dx, dy)
+
+    def max_distance_to_point(self, p: Point) -> float:
+        """Largest Euclidean distance from ``p`` to any point of the box."""
+        dx = max(abs(p.x - self.min_x), abs(p.x - self.max_x))
+        dy = max(abs(p.y - self.min_y), abs(p.y - self.max_y))
+        return math.hypot(dx, dy)
+
+
+class Polygon:
+    """A simple (non-self-intersecting) polygon on a single floor.
+
+    Vertices may be given in either winding order; they are normalised to
+    counter-clockwise.  The polygon is closed implicitly (the last vertex
+    connects back to the first).
+    """
+
+    def __init__(self, vertices: Sequence[Point]) -> None:
+        if len(vertices) < 3:
+            raise GeometryError("a polygon needs at least three vertices")
+        floors = {v.floor for v in vertices}
+        if len(floors) != 1:
+            raise GeometryError("all polygon vertices must share a floor")
+        if len({(v.x, v.y) for v in vertices}) != len(vertices):
+            raise GeometryError("polygon has duplicate vertices")
+        self._vertices: Tuple[Point, ...] = tuple(vertices)
+        if self.signed_area() < 0:
+            self._vertices = tuple(reversed(self._vertices))
+        if abs(self.signed_area()) <= EPSILON:
+            raise GeometryError("degenerate (zero-area) polygon")
+
+    @property
+    def vertices(self) -> Tuple[Point, ...]:
+        """The vertices in counter-clockwise order."""
+        return self._vertices
+
+    @property
+    def floor(self) -> int:
+        """The floor every vertex lies on."""
+        return self._vertices[0].floor
+
+    def __len__(self) -> int:
+        return len(self._vertices)
+
+    def __iter__(self) -> Iterator[Point]:
+        return iter(self._vertices)
+
+    def signed_area(self) -> float:
+        """Shoelace signed area (positive for counter-clockwise rings)."""
+        total = 0.0
+        n = len(self._vertices)
+        for i, a in enumerate(self._vertices):
+            b = self._vertices[(i + 1) % n]
+            total += a.x * b.y - b.x * a.y
+        return total / 2.0
+
+    @property
+    def area(self) -> float:
+        """Unsigned area of the polygon."""
+        return abs(self.signed_area())
+
+    @property
+    def centroid(self) -> Point:
+        """Area centroid of the polygon."""
+        a = self.signed_area()
+        cx = cy = 0.0
+        n = len(self._vertices)
+        for i, p in enumerate(self._vertices):
+            q = self._vertices[(i + 1) % n]
+            cross = p.x * q.y - q.x * p.y
+            cx += (p.x + q.x) * cross
+            cy += (p.y + q.y) * cross
+        return Point(cx / (6.0 * a), cy / (6.0 * a), self.floor)
+
+    def is_convex(self) -> bool:
+        """True when every interior angle is at most 180 degrees.
+
+        Convex, obstacle-free partitions admit straight-line intra-partition
+        distances, which the grid index exploits as a fast path.
+        """
+        n = len(self._vertices)
+        for i in range(n):
+            a = self._vertices[i]
+            b = self._vertices[(i + 1) % n]
+            c = self._vertices[(i + 2) % n]
+            cross = (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x)
+            if cross < -EPSILON:
+                return False
+        return True
+
+    def edges(self) -> List[Segment]:
+        """The boundary segments, counter-clockwise."""
+        n = len(self._vertices)
+        return [
+            Segment(self._vertices[i], self._vertices[(i + 1) % n]) for i in range(n)
+        ]
+
+    @property
+    def bounding_box(self) -> BoundingBox:
+        """The smallest axis-aligned box containing the polygon."""
+        xs = [v.x for v in self._vertices]
+        ys = [v.y for v in self._vertices]
+        return BoundingBox(min(xs), min(ys), max(xs), max(ys))
+
+    def contains_point(self, p: Point, tol: float = EPSILON) -> bool:
+        """Boundary-inclusive point-in-polygon test (ray casting).
+
+        Points on another floor are never contained.
+        """
+        if p.floor != self.floor:
+            return False
+        if not self.bounding_box.contains_point(p, tol):
+            return False
+        for edge in self.edges():
+            if edge.contains_point(p, tol):
+                return True
+        inside = False
+        n = len(self._vertices)
+        for i in range(n):
+            a = self._vertices[i]
+            b = self._vertices[(i + 1) % n]
+            if (a.y > p.y) != (b.y > p.y):
+                x_cross = a.x + (p.y - a.y) * (b.x - a.x) / (b.y - a.y)
+                if p.x < x_cross:
+                    inside = not inside
+        return inside
+
+    def strictly_contains_point(self, p: Point, tol: float = EPSILON) -> bool:
+        """True when ``p`` is inside the polygon but not on its boundary."""
+        if not self.contains_point(p, tol):
+            return False
+        return not any(edge.contains_point(p, tol) for edge in self.edges())
+
+    def segment_crosses_boundary(self, seg: Segment) -> bool:
+        """True when ``seg`` properly crosses any boundary edge."""
+        return any(seg.properly_intersects(edge) for edge in self.edges())
+
+    def contains_segment(self, seg: Segment, samples: int = 8) -> bool:
+        """True when the whole segment stays inside (or on) the polygon.
+
+        Uses boundary-crossing plus interior sampling; exact for convex
+        polygons and reliable for the rectilinear partitions used throughout
+        the library.
+        """
+        if seg.floor != self.floor:
+            return False
+        if not (self.contains_point(seg.start) and self.contains_point(seg.end)):
+            return False
+        if self.segment_crosses_boundary(seg):
+            return False
+        for i in range(1, samples):
+            t = i / samples
+            p = Point(
+                seg.start.x + t * (seg.end.x - seg.start.x),
+                seg.start.y + t * (seg.end.y - seg.start.y),
+                seg.floor,
+            )
+            if not self.contains_point(p):
+                return False
+        return True
+
+    def on_floor(self, floor: int) -> "Polygon":
+        """A copy of the polygon with every vertex moved to ``floor``."""
+        return Polygon([v.on_floor(floor) for v in self._vertices])
+
+    def translated(self, dx: float, dy: float) -> "Polygon":
+        """A copy of the polygon shifted by ``(dx, dy)``."""
+        return Polygon([v.translated(dx, dy) for v in self._vertices])
+
+    def __repr__(self) -> str:
+        pts = ", ".join(str(v) for v in self._vertices)
+        return f"Polygon([{pts}])"
+
+
+def rectangle(
+    min_x: float, min_y: float, max_x: float, max_y: float, floor: int = 0
+) -> Polygon:
+    """Convenience constructor for an axis-aligned rectangular polygon."""
+    if min_x >= max_x or min_y >= max_y:
+        raise GeometryError(
+            f"rectangle needs min < max, got x: [{min_x}, {max_x}], "
+            f"y: [{min_y}, {max_y}]"
+        )
+    return Polygon(
+        [
+            Point(min_x, min_y, floor),
+            Point(max_x, min_y, floor),
+            Point(max_x, max_y, floor),
+            Point(min_x, max_y, floor),
+        ]
+    )
+
+
+def convex_hull(points: Iterable[Point]) -> List[Point]:
+    """Andrew's monotone-chain convex hull (counter-clockwise, no duplicates).
+
+    Used by tests and by the synthetic generator when deriving partition
+    outlines from sampled points.
+    """
+    unique = sorted({(p.x, p.y, p.floor) for p in points})
+    pts = [Point(x, y, f) for x, y, f in unique]
+    if len(pts) <= 2:
+        return pts
+
+    def cross(o: Point, a: Point, b: Point) -> float:
+        return (a.x - o.x) * (b.y - o.y) - (a.y - o.y) * (b.x - o.x)
+
+    lower: List[Point] = []
+    for p in pts:
+        while len(lower) >= 2 and cross(lower[-2], lower[-1], p) <= EPSILON:
+            lower.pop()
+        lower.append(p)
+    upper: List[Point] = []
+    for p in reversed(pts):
+        while len(upper) >= 2 and cross(upper[-2], upper[-1], p) <= EPSILON:
+            upper.pop()
+        upper.append(p)
+    return lower[:-1] + upper[:-1]

@@ -1,0 +1,201 @@
+"""Visibility graphs for obstructed intra-partition distances.
+
+The paper notes (§III-C1) that the intra-partition distance ``‖d_i, d_j‖_v``
+is not necessarily Euclidean: exhibition stands or other obstacles may block
+the line of sight (the d22–d24 example of Figure 1, and the room layout of
+Figure 5).  Following the classical approach the paper cites [21], a partition
+with obstacles measures distances over a visibility graph whose nodes are the
+obstacle vertices (plus the boundary vertices, so non-convex partitions are
+handled too) and whose edges connect mutually visible nodes.
+
+The static part of the graph — visibility among obstacle/boundary vertices —
+is computed once per partition and cached; each distance query only adds the
+two query points.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import GeometryError
+from repro.geometry.polygon import Polygon
+from repro.geometry.primitives import Point, Segment
+
+
+class VisibilityGraph:
+    """Shortest obstructed paths inside one polygonal partition.
+
+    Args:
+        boundary: the partition outline; paths never leave it.
+        obstacles: polygons fully inside the boundary that paths must avoid.
+            Obstacles are *open* sets, as in the obstructed-distance
+            literature the paper cites: their interiors block movement, but
+            walking along their edges (even an edge flush with a wall) is
+            allowed.
+    """
+
+    def __init__(self, boundary: Polygon, obstacles: Sequence[Polygon] = ()) -> None:
+        self.boundary = boundary
+        self.obstacles: Tuple[Polygon, ...] = tuple(obstacles)
+        for obstacle in self.obstacles:
+            if obstacle.floor != boundary.floor:
+                raise GeometryError("obstacle floor differs from boundary floor")
+        self._nodes: List[Point] = self._collect_static_nodes()
+        self._static_adjacency: List[List[Tuple[int, float]]] = (
+            self._build_static_adjacency()
+        )
+
+    @property
+    def has_obstacles(self) -> bool:
+        """True when at least one obstacle constrains movement."""
+        return bool(self.obstacles)
+
+    @property
+    def nodes(self) -> Tuple[Point, ...]:
+        """The static visibility nodes (boundary + obstacle vertices)."""
+        return tuple(self._nodes)
+
+    def _collect_static_nodes(self) -> List[Point]:
+        nodes: List[Point] = []
+        seen = set()
+        for polygon in (self.boundary, *self.obstacles):
+            for vertex in polygon.vertices:
+                key = (vertex.x, vertex.y)
+                if key not in seen:
+                    seen.add(key)
+                    nodes.append(vertex)
+        return nodes
+
+    def _build_static_adjacency(self) -> List[List[Tuple[int, float]]]:
+        n = len(self._nodes)
+        adjacency: List[List[Tuple[int, float]]] = [[] for _ in range(n)]
+        for i in range(n):
+            for j in range(i + 1, n):
+                if self.is_visible(self._nodes[i], self._nodes[j]):
+                    weight = self._nodes[i].distance_to(self._nodes[j])
+                    adjacency[i].append((j, weight))
+                    adjacency[j].append((i, weight))
+        return adjacency
+
+    def is_visible(self, p: Point, q: Point) -> bool:
+        """True when the straight segment ``p → q`` is walkable.
+
+        Walkable means: inside the boundary polygon and not passing through
+        the interior of any obstacle.  Touching obstacle corners or sliding
+        along obstacle edges is allowed.
+        """
+        if p.approx_equals(q):
+            return True
+        segment = Segment(p, q)
+        if not self.boundary.contains_segment(segment):
+            return False
+        for obstacle in self.obstacles:
+            if self._blocked_by(segment, obstacle):
+                return False
+        return True
+
+    @staticmethod
+    def _blocked_by(segment: Segment, obstacle: Polygon) -> bool:
+        if any(segment.properly_intersects(edge) for edge in obstacle.edges()):
+            return True
+        # A segment can pierce an obstacle corner-to-corner without properly
+        # crossing any edge; sample interior points to catch that.
+        for i in range(1, 8):
+            t = i / 8.0
+            p = Point(
+                segment.start.x + t * (segment.end.x - segment.start.x),
+                segment.start.y + t * (segment.end.y - segment.start.y),
+                segment.floor,
+            )
+            if obstacle.strictly_contains_point(p):
+                return True
+        return False
+
+    def shortest_path(
+        self, source: Point, target: Point
+    ) -> Tuple[float, List[Point]]:
+        """Shortest walkable path from ``source`` to ``target``.
+
+        Returns:
+            ``(distance, waypoints)`` where ``waypoints`` starts at ``source``
+            and ends at ``target``.  ``(inf, [])`` when no path exists.
+        """
+        if source.floor != self.boundary.floor or target.floor != self.boundary.floor:
+            raise GeometryError("query points must be on the partition's floor")
+        if self.is_visible(source, target):
+            return source.distance_to(target), [source, target]
+        if not self.has_obstacles and len(self.boundary.vertices) == 4:
+            # A convex quadrilateral with no obstacles: invisibility can only
+            # be numeric noise at the boundary; fall through to the graph.
+            pass
+
+        # Build the query graph: static nodes + source (index n) + target (n+1).
+        n = len(self._nodes)
+        source_index, target_index = n, n + 1
+        adjacency: Dict[int, List[Tuple[int, float]]] = {
+            i: list(self._static_adjacency[i]) for i in range(n)
+        }
+        adjacency[source_index] = []
+        adjacency[target_index] = []
+        for i, node in enumerate(self._nodes):
+            if self.is_visible(source, node):
+                weight = source.distance_to(node)
+                adjacency[source_index].append((i, weight))
+                adjacency[i].append((source_index, weight))
+            if self.is_visible(target, node):
+                weight = target.distance_to(node)
+                adjacency[target_index].append((i, weight))
+                adjacency[i].append((target_index, weight))
+
+        dist = [math.inf] * (n + 2)
+        prev: List[Optional[int]] = [None] * (n + 2)
+        dist[source_index] = 0.0
+        heap: List[Tuple[float, int]] = [(0.0, source_index)]
+        visited = [False] * (n + 2)
+        while heap:
+            d, u = heapq.heappop(heap)
+            if visited[u]:
+                continue
+            visited[u] = True
+            if u == target_index:
+                break
+            for v, w in adjacency[u]:
+                if not visited[v] and d + w < dist[v]:
+                    dist[v] = d + w
+                    prev[v] = u
+                    heapq.heappush(heap, (dist[v], v))
+
+        if math.isinf(dist[target_index]):
+            return math.inf, []
+        points = {i: node for i, node in enumerate(self._nodes)}
+        points[source_index] = source
+        points[target_index] = target
+        path: List[Point] = []
+        cursor: Optional[int] = target_index
+        while cursor is not None:
+            path.append(points[cursor])
+            cursor = prev[cursor]
+        path.reverse()
+        return dist[target_index], path
+
+    def distance(self, source: Point, target: Point) -> float:
+        """Shortest walkable distance (``inf`` when unreachable)."""
+        if self.is_visible(source, target):
+            return source.distance_to(target)
+        return self.shortest_path(source, target)[0]
+
+
+def obstructed_distance(
+    boundary: Polygon,
+    obstacles: Sequence[Polygon],
+    source: Point,
+    target: Point,
+) -> float:
+    """One-shot obstructed distance without caching the visibility graph.
+
+    Prefer constructing a :class:`VisibilityGraph` per partition when many
+    queries hit the same partition (the model layer does exactly that).
+    """
+    return VisibilityGraph(boundary, obstacles).distance(source, target)

@@ -1,0 +1,33 @@
+"""The indoor distance-aware indexing framework (paper §IV).
+
+* :mod:`repro.index.distance_matrix` — the Door-to-Door Distance Matrix
+  M_d2d and the Distance Index Matrix M_idx (§IV-A, Figures 3-4).
+* :mod:`repro.index.dpt` — the Door-to-Partition Table (§IV-B).
+* :mod:`repro.index.rtree` — an STR bulk-loaded R-tree used to implement the
+  ``getHostPartition`` point query (§III-D2 mentions "a spatial access
+  method (e.g., an R-tree)"); built from scratch.
+* :mod:`repro.index.grid` — the per-partition uniform grid over object
+  buckets / sub-buckets (§V-B).
+* :mod:`repro.index.objects` — indoor objects and the per-partition bucket
+  store.
+* :mod:`repro.index.framework` — ties everything together into the structure
+  the query algorithms of §V consume.
+"""
+
+from repro.index.distance_matrix import DistanceIndexMatrix
+from repro.index.dpt import DoorPartitionTable, DptRecord
+from repro.index.grid import PartitionGrid
+from repro.index.objects import IndoorObject, ObjectStore
+from repro.index.rtree import PartitionRTree
+from repro.index.framework import IndexFramework
+
+__all__ = [
+    "DistanceIndexMatrix",
+    "DoorPartitionTable",
+    "DptRecord",
+    "PartitionGrid",
+    "IndoorObject",
+    "ObjectStore",
+    "PartitionRTree",
+    "IndexFramework",
+]

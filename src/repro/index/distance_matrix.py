@@ -1,0 +1,157 @@
+"""M_d2d and M_idx: the base indexing structure of §IV-A.
+
+``M_d2d`` stores every door-to-door minimum walking distance; it is generally
+asymmetric because of directional doors (the paper's Figure-3 remark).
+``M_idx`` is the Distance Index Matrix: row ``d_i`` lists *door ids* in
+non-descending order of ``M_d2d[d_i, ·]``, so query processing can scan a
+door's neighbourhood nearest-first and stop as soon as a distance exceeds the
+query bound — the with/without-M_idx comparison is Figures 8 and 9's central
+experiment.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.distance.matrix import (
+    DoorDistanceMatrix,
+    build_distance_matrix,
+    build_distance_matrix_reference,
+)
+from repro.exceptions import UnknownEntityError
+from repro.model.distance_graph import DistanceAwareGraph
+
+
+class DistanceIndexMatrix:
+    """The pair (M_d2d, M_idx) plus id/index bookkeeping.
+
+    Rows and columns are ordered by ascending door id.  ``M_idx`` is stored
+    as integer *matrix indices* internally and translated to door ids at the
+    API boundary, matching the paper's presentation (Figure 4 shows door
+    ids).
+    """
+
+    def __init__(self, distances: DoorDistanceMatrix) -> None:
+        self._distances = distances
+        # argsort is stable, so equal distances order by ascending door id —
+        # deterministic, which tests rely on.
+        self._order = np.argsort(distances.matrix, axis=1, kind="stable")
+        self._index_of: Dict[int, int] = dict(distances.index_of)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls, graph: DistanceAwareGraph, reference: bool = False
+    ) -> "DistanceIndexMatrix":
+        """Compute M_d2d with Algorithm 1 (or the bulk builder) and derive
+        M_idx from it.
+
+        Args:
+            graph: the distance-aware graph.
+            reference: use the paper-faithful per-door Algorithm 1 builder
+                instead of the fast bulk builder (both produce identical
+                matrices; the reference exists for validation).
+        """
+        if reference:
+            distances = build_distance_matrix_reference(graph)
+        else:
+            distances = build_distance_matrix(graph)
+        return cls(distances)
+
+    # ------------------------------------------------------------------
+    # M_d2d access
+    # ------------------------------------------------------------------
+    @property
+    def door_ids(self) -> Tuple[int, ...]:
+        """Ascending door ids labelling rows and columns."""
+        return self._distances.door_ids
+
+    @property
+    def size(self) -> int:
+        """Number of doors N."""
+        return self._distances.size
+
+    @property
+    def md2d(self) -> np.ndarray:
+        """The raw N×N distance matrix (row/column order = ``door_ids``)."""
+        return self._distances.matrix
+
+    def distance(self, from_door: int, to_door: int) -> float:
+        """M_d2d[d_i, d_j] by door id."""
+        try:
+            i = self._index_of[from_door]
+            j = self._index_of[to_door]
+        except KeyError as exc:
+            raise UnknownEntityError("door", exc.args[0]) from None
+        return float(self._distances.matrix[i, j])
+
+    # ------------------------------------------------------------------
+    # M_idx access
+    # ------------------------------------------------------------------
+    @property
+    def midx(self) -> np.ndarray:
+        """The raw N×N index matrix: row i holds door *ids* sorted by
+        ascending distance from ``door_ids[i]``."""
+        ids = np.asarray(self._distances.door_ids)
+        return ids[self._order]
+
+    def doors_by_distance(
+        self, from_door: int, max_distance: Optional[float] = None
+    ) -> Iterator[Tuple[int, float]]:
+        """Yield ``(door_id, distance)`` in non-descending distance order
+        from ``from_door`` — the sorted scan the range/kNN algorithms run.
+
+        Stops before yielding any door farther than ``max_distance`` (and
+        always skips unreachable, infinite-distance doors), mirroring the
+        early-termination check of Algorithm 5 lines 7-8.
+        """
+        try:
+            i = self._index_of[from_door]
+        except KeyError:
+            raise UnknownEntityError("door", from_door) from None
+        matrix = self._distances.matrix
+        ids = self._distances.door_ids
+        for j in self._order[i]:
+            dist = float(matrix[i, j])
+            if math.isinf(dist):
+                break
+            if max_distance is not None and dist > max_distance:
+                break
+            yield ids[j], dist
+
+    def doors_unsorted(
+        self, from_door: int
+    ) -> Iterator[Tuple[int, float]]:
+        """Yield ``(door_id, distance)`` in plain door-id order — the
+        "without d2d index" baseline of §VI-B, which must scan the whole
+        M_d2d row because no cutoff is possible."""
+        try:
+            i = self._index_of[from_door]
+        except KeyError:
+            raise UnknownEntityError("door", from_door) from None
+        matrix = self._distances.matrix
+        for j, door_id in enumerate(self._distances.door_ids):
+            dist = float(matrix[i, j])
+            if math.isinf(dist):
+                continue
+            yield door_id, dist
+
+    def nearest_doors(self, from_door: int, k: int) -> Tuple[Tuple[int, float], ...]:
+        """The k nearest doors (by walking distance) from ``from_door``,
+        nearest first — a convenience view over M_idx."""
+        result = []
+        for door_id, dist in self.doors_by_distance(from_door):
+            result.append((door_id, dist))
+            if len(result) == k:
+                break
+        return tuple(result)
+
+    def memory_bytes(self) -> int:
+        """Approximate memory footprint of M_d2d + M_idx, for the §VI-B
+        storage-size accounting."""
+        return int(self._distances.matrix.nbytes + self._order.nbytes)

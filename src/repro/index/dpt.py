@@ -1,0 +1,108 @@
+"""The Door-to-Partition Table (paper §IV-B).
+
+Each record is the paper's 5-tuple ``(d_i, vPtr1, dist1, vPtr2, dist2)``:
+
+* for a unidirectional door ``v_j → v_k``: ``vPtr1`` is null, ``dist1 = ∞``,
+  ``vPtr2`` points to ``v_k``'s object bucket, ``dist2 = f_dv(d_i, v_k)``;
+* for a bidirectional door between ``v_j < v_k``: ``vPtr1 → v_j`` with
+  ``dist1 = f_dv(d_i, v_j)`` and ``vPtr2 → v_k`` with
+  ``dist2 = f_dv(d_i, v_k)``.
+
+The "pointers" are partition ids here (the bucket lives in the
+:class:`~repro.index.objects.ObjectStore`); the distances are the f_dv
+longest-reach values that let Algorithm 5 decide a whole partition lies
+inside a query range without opening its bucket.  The table is sorted by
+door id (its primary key), as the paper specifies.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.exceptions import UnknownEntityError
+from repro.model.distance_graph import DistanceAwareGraph
+
+
+@dataclass(frozen=True)
+class DptRecord:
+    """One Door-to-Partition Table row.
+
+    Attributes:
+        door_id: the primary key.
+        partition1: id of the first enterable partition or ``None``.
+        dist1: f_dv into ``partition1`` (``inf`` when ``partition1`` is None).
+        partition2: id of the second enterable partition (never ``None`` —
+            every door can be entered from somewhere by construction).
+        dist2: f_dv into ``partition2``.
+    """
+
+    door_id: int
+    partition1: Optional[int]
+    dist1: float
+    partition2: int
+    dist2: float
+
+    def enterable(self) -> Iterator[Tuple[int, float]]:
+        """Yield ``(partition_id, f_dv)`` for each enterable partition."""
+        if self.partition1 is not None:
+            yield self.partition1, self.dist1
+        yield self.partition2, self.dist2
+
+
+class DoorPartitionTable:
+    """All DPT records, keyed and sorted by door id."""
+
+    def __init__(self, records: Dict[int, DptRecord]) -> None:
+        self._records = dict(sorted(records.items()))
+
+    @classmethod
+    def build(cls, graph: DistanceAwareGraph) -> "DoorPartitionTable":
+        """Derive the table from a distance-aware graph."""
+        topology = graph.space.topology
+        records: Dict[int, DptRecord] = {}
+        for door_id in topology.door_ids:
+            enterable = sorted(topology.enterable_partitions(door_id))
+            if len(enterable) == 1:
+                target = enterable[0]
+                records[door_id] = DptRecord(
+                    door_id,
+                    partition1=None,
+                    dist1=math.inf,
+                    partition2=target,
+                    dist2=graph.fdv(door_id, target),
+                )
+            else:
+                first, second = enterable
+                records[door_id] = DptRecord(
+                    door_id,
+                    partition1=first,
+                    dist1=graph.fdv(door_id, first),
+                    partition2=second,
+                    dist2=graph.fdv(door_id, second),
+                )
+        return cls(records)
+
+    def record(self, door_id: int) -> DptRecord:
+        """DPT[d_i]: the record for a door."""
+        try:
+            return self._records[door_id]
+        except KeyError:
+            raise UnknownEntityError("door", door_id) from None
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[DptRecord]:
+        return iter(self._records.values())
+
+    @property
+    def door_ids(self) -> List[int]:
+        """All door ids, ascending (the table's sort order)."""
+        return list(self._records)
+
+    def memory_bytes(self) -> int:
+        """The paper's §VI-B size accounting: 28 bytes per record
+        (4 + 4 + 8 + 4 + 8)."""
+        return 28 * len(self._records)

@@ -1,0 +1,160 @@
+"""Indoor objects and the per-partition bucket store (paper §IV-B, §V-B).
+
+"Motivated by the fact that any indoor object must be located in some
+partition, we store objects within the same partition together in an object
+bucket" — :class:`ObjectStore` is that arrangement: one
+:class:`~repro.index.grid.PartitionGrid` bucket per occupied partition, plus
+an object-id directory so objects can be moved and removed (indoor
+populations move).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.exceptions import ModelError, UnknownEntityError
+from repro.geometry import Point
+from repro.index.grid import PartitionGrid
+from repro.model.builder import IndoorSpace
+
+#: Default grid cell edge length in metres (see §V-B; the ablation benchmark
+#: sweeps this).
+DEFAULT_CELL_SIZE = 2.0
+
+
+@dataclass(frozen=True)
+class IndoorObject:
+    """A point of interest or a tracked entity inside the building.
+
+    Attributes:
+        object_id: unique non-negative integer.
+        position: current indoor position.
+        payload: free-form label (flight number, exhibit name, ...).
+    """
+
+    object_id: int
+    position: Point
+    payload: str = ""
+
+    def __post_init__(self) -> None:
+        if self.object_id < 0:
+            raise ModelError(f"object id must be non-negative, got {self.object_id}")
+
+
+class ObjectStore:
+    """All indoor objects, bucketed by host partition and grid-indexed.
+
+    Args:
+        space: the indoor space objects live in.
+        cell_size: grid cell edge length handed to each partition bucket.
+    """
+
+    def __init__(
+        self, space: IndoorSpace, cell_size: float = DEFAULT_CELL_SIZE
+    ) -> None:
+        if cell_size <= 0:
+            raise ModelError(f"cell size must be positive, got {cell_size}")
+        self._space = space
+        self._cell_size = cell_size
+        self._buckets: Dict[int, PartitionGrid] = {}
+        self._directory: Dict[int, Tuple[int, IndoorObject]] = {}
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add(
+        self, obj: IndoorObject, partition_id: Optional[int] = None
+    ) -> int:
+        """Insert an object; returns the id of its host partition.
+
+        Args:
+            obj: the object to insert.
+            partition_id: skip host-partition lookup when the caller already
+                knows it (the synthetic generator does); validated cheaply.
+        """
+        if obj.object_id in self._directory:
+            raise ModelError(f"duplicate object id {obj.object_id}")
+        if partition_id is None:
+            partition = self._space.require_host_partition(obj.position)
+            partition_id = partition.partition_id
+        bucket = self._buckets.get(partition_id)
+        if bucket is None:
+            bucket = PartitionGrid(
+                self._space.partition(partition_id), self._cell_size
+            )
+            self._buckets[partition_id] = bucket
+        bucket.insert(obj.object_id, obj.position)
+        self._directory[obj.object_id] = (partition_id, obj)
+        return partition_id
+
+    def add_all(self, objects: Iterable[IndoorObject]) -> None:
+        """Insert many objects (host partitions resolved per object)."""
+        for obj in objects:
+            self.add(obj)
+
+    def remove(self, object_id: int) -> IndoorObject:
+        """Remove an object and return it."""
+        try:
+            partition_id, obj = self._directory.pop(object_id)
+        except KeyError:
+            raise UnknownEntityError("object", object_id) from None
+        self._buckets[partition_id].remove(object_id)
+        return obj
+
+    def move(self, object_id: int, new_position: Point) -> IndoorObject:
+        """Relocate an object (possibly across partitions); returns the
+        updated object."""
+        old = self.remove(object_id)
+        updated = IndoorObject(object_id, new_position, old.payload)
+        self.add(updated)
+        return updated
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def get(self, object_id: int) -> IndoorObject:
+        """The object with the given id."""
+        try:
+            return self._directory[object_id][1]
+        except KeyError:
+            raise UnknownEntityError("object", object_id) from None
+
+    def host_partition_id(self, object_id: int) -> int:
+        """Which partition currently hosts the object."""
+        try:
+            return self._directory[object_id][0]
+        except KeyError:
+            raise UnknownEntityError("object", object_id) from None
+
+    def bucket(self, partition_id: int) -> Optional[PartitionGrid]:
+        """The grid bucket of a partition (``None`` when it holds nothing)."""
+        return self._buckets.get(partition_id)
+
+    def objects_in(self, partition_id: int) -> List[IndoorObject]:
+        """All objects currently inside the given partition."""
+        bucket = self._buckets.get(partition_id)
+        if bucket is None:
+            return []
+        return [self._directory[obj_id][1] for obj_id in bucket.object_ids()]
+
+    def __len__(self) -> int:
+        return len(self._directory)
+
+    def __contains__(self, object_id: int) -> bool:
+        return object_id in self._directory
+
+    def __iter__(self) -> Iterator[IndoorObject]:
+        return (obj for _, obj in self._directory.values())
+
+    @property
+    def cell_size(self) -> float:
+        """Grid cell edge length used by all buckets."""
+        return self._cell_size
+
+    @property
+    def occupied_partitions(self) -> Tuple[int, ...]:
+        """Ids of partitions whose bucket currently holds >= 1 object."""
+        return tuple(
+            sorted(p for p, b in self._buckets.items() if len(b) > 0)
+        )

@@ -1,0 +1,184 @@
+"""A from-scratch R-tree over partitions, backing ``getHostPartition``.
+
+The paper implements ``getHostPartition(p)`` "as a point query using a
+spatial access method (e.g., an R-tree) that indexes all partitions"
+(§III-D2).  Floor plans are static, so the tree is bulk-loaded with the
+Sort-Tile-Recursive (STR) packing algorithm; no dynamic insertion is needed
+(objects are indexed separately, per partition, by the grid index of §V-B).
+
+Floors are handled by giving every entry the set of floors its partition
+spans; a point query filters on the query point's floor before testing
+bounding boxes, and finishes with the exact polygon containment test.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.geometry import BoundingBox, Point
+from repro.model.builder import IndoorSpace
+
+#: Maximum number of entries per R-tree node.
+DEFAULT_NODE_CAPACITY = 8
+
+
+@dataclass(frozen=True)
+class _LeafEntry:
+    box: BoundingBox
+    partition_id: int
+    floors: Tuple[int, ...]
+
+
+class _Node:
+    """An R-tree node: either a leaf (entries) or internal (children)."""
+
+    __slots__ = ("box", "entries", "children")
+
+    def __init__(
+        self,
+        box: BoundingBox,
+        entries: Optional[List[_LeafEntry]] = None,
+        children: Optional[List["_Node"]] = None,
+    ) -> None:
+        self.box = box
+        self.entries = entries
+        self.children = children
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.entries is not None
+
+
+def _enclosing_box(boxes: Sequence[BoundingBox]) -> BoundingBox:
+    box = boxes[0]
+    for other in boxes[1:]:
+        box = box.union(other)
+    return box
+
+
+class PartitionRTree:
+    """STR bulk-loaded R-tree answering partition point queries.
+
+    Args:
+        space: the indoor space whose partitions to index.
+        node_capacity: maximum entries/children per node.
+    """
+
+    def __init__(
+        self, space: IndoorSpace, node_capacity: int = DEFAULT_NODE_CAPACITY
+    ) -> None:
+        if node_capacity < 2:
+            raise ValueError(f"node capacity must be >= 2, got {node_capacity}")
+        self._space = space
+        self._capacity = node_capacity
+        entries = [
+            _LeafEntry(p.polygon.bounding_box, p.partition_id, p.floors)
+            for p in space.partitions()
+        ]
+        self._root = self._bulk_load(entries)
+        self._height = self._measure_height()
+
+    # ------------------------------------------------------------------
+    # STR bulk loading
+    # ------------------------------------------------------------------
+    def _bulk_load(self, entries: List[_LeafEntry]) -> Optional[_Node]:
+        if not entries:
+            return None
+        leaves = self._pack_leaves(entries)
+        level: List[_Node] = leaves
+        while len(level) > 1:
+            level = self._pack_internal(level)
+        return level[0]
+
+    def _str_tiles(self, items: list, key_x, key_y) -> List[list]:
+        """Sort-Tile-Recursive packing: sort by x, slice into vertical tiles,
+        sort each tile by y, and chunk into node-sized groups."""
+        capacity = self._capacity
+        count = len(items)
+        node_count = math.ceil(count / capacity)
+        slice_count = max(1, math.ceil(math.sqrt(node_count)))
+        slice_size = math.ceil(count / slice_count)
+        items = sorted(items, key=key_x)
+        groups: List[list] = []
+        for start in range(0, count, slice_size):
+            tile = sorted(items[start : start + slice_size], key=key_y)
+            for offset in range(0, len(tile), capacity):
+                groups.append(tile[offset : offset + capacity])
+        return groups
+
+    def _pack_leaves(self, entries: List[_LeafEntry]) -> List[_Node]:
+        groups = self._str_tiles(
+            entries,
+            key_x=lambda e: e.box.center[0],
+            key_y=lambda e: e.box.center[1],
+        )
+        return [
+            _Node(_enclosing_box([e.box for e in group]), entries=group)
+            for group in groups
+        ]
+
+    def _pack_internal(self, nodes: List[_Node]) -> List[_Node]:
+        groups = self._str_tiles(
+            nodes,
+            key_x=lambda n: n.box.center[0],
+            key_y=lambda n: n.box.center[1],
+        )
+        return [
+            _Node(_enclosing_box([n.box for n in group]), children=group)
+            for group in groups
+        ]
+
+    def _measure_height(self) -> int:
+        height = 0
+        node = self._root
+        while node is not None:
+            height += 1
+            node = None if node.is_leaf else node.children[0]
+        return height
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def height(self) -> int:
+        """Tree height (0 for an empty tree)."""
+        return self._height
+
+    def candidate_partitions(self, point: Point) -> List[int]:
+        """Partition ids whose bounding box contains ``point`` on its floor,
+        ascending.  A superset of the true answer; callers refine with the
+        exact polygon test."""
+        results: List[int] = []
+        if self._root is None:
+            return results
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if not node.box.contains_point(point):
+                continue
+            if node.is_leaf:
+                for entry in node.entries:
+                    if point.floor in entry.floors and entry.box.contains_point(
+                        point
+                    ):
+                        results.append(entry.partition_id)
+            else:
+                stack.extend(node.children)
+        results.sort()
+        return results
+
+    def locate(self, point: Point) -> Optional[int]:
+        """The id of the partition containing ``point`` (lowest id wins on
+        shared walls), or ``None`` — the ``getHostPartition`` point query."""
+        for partition_id in self.candidate_partitions(point):
+            if self._space.partition(partition_id).contains(point):
+                return partition_id
+        return None
+
+    def install(self) -> "PartitionRTree":
+        """Register this tree as the space's partition locator and return
+        itself, so ``space.get_host_partition`` uses the index."""
+        self._space.set_partition_locator(self.locate)
+        return self

@@ -1,0 +1,35 @@
+"""Persistence: JSON floor plans and object sets, NPZ distance matrices.
+
+Floor plans are static, so deployments serialise the model once and the
+precomputed distance matrix alongside it; loading both restores a working
+:class:`~repro.index.framework.IndexFramework` without re-running the
+all-pairs computation.
+"""
+
+from repro.io.asciiplan import AsciiPlan, parse_ascii_plan
+from repro.io.json_io import (
+    load_objects,
+    load_space,
+    objects_from_dict,
+    objects_to_dict,
+    save_objects,
+    save_space,
+    space_from_dict,
+    space_to_dict,
+)
+from repro.io.matrix_io import load_distance_index, save_distance_index
+
+__all__ = [
+    "AsciiPlan",
+    "parse_ascii_plan",
+    "space_to_dict",
+    "space_from_dict",
+    "save_space",
+    "load_space",
+    "objects_to_dict",
+    "objects_from_dict",
+    "save_objects",
+    "load_objects",
+    "save_distance_index",
+    "load_distance_index",
+]

@@ -1,0 +1,232 @@
+"""ASCII-art floor plans.
+
+A quick way to author test and demo plans::
+
+    plan = parse_ascii_plan('''
+        #########
+        #AAA#BBB#
+        #AAA1BBB#
+        #AAA#BBB#
+        ####2####
+        #CCCCCCC#
+        #########
+    ''')
+
+Format rules:
+
+* letters ``A``-``Z`` are partition cells; all cells of one letter must fill
+  a solid rectangle, and different letters must be separated by at least one
+  wall cell (walls are one cell thick);
+* ``#`` is wall;
+* a digit ``0``-``9`` in a wall cell between two partition cells is a
+  bidirectional door;
+* ``<`` ``>`` ``^`` ``v`` are one-way doors permitting movement only in the
+  arrow's direction (screen coordinates: ``^`` means towards the top line).
+
+Geometry: each grid cell is ``cell_size`` × ``cell_size`` metres, and every
+partition expands half a cell into the walls around it — so one-cell walls
+collapse to shared zero-thickness boundaries, exactly as the model expects,
+and doors sit on those shared midlines.
+
+Returns the built :class:`~repro.model.builder.IndoorSpace` plus name
+mappings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.exceptions import SerializationError
+from repro.geometry import Point, Segment, rectangle
+from repro.model.builder import IndoorSpace, IndoorSpaceBuilder
+
+WALL = "#"
+DOOR_CHARS = set("0123456789<>^v")
+
+
+@dataclass(frozen=True)
+class AsciiPlan:
+    """The parse result.
+
+    Attributes:
+        space: the built indoor space.
+        partitions: letter → partition id.
+        doors: (row, column) of each door char → door id.
+    """
+
+    space: IndoorSpace
+    partitions: Dict[str, int]
+    doors: Dict[Tuple[int, int], int]
+
+
+def _grid_from_text(text: str) -> List[str]:
+    lines = [line.rstrip() for line in text.strip("\n").splitlines()]
+    lines = [line for line in lines if line.strip()]
+    if not lines:
+        raise SerializationError("empty ASCII plan")
+    width = max(len(line) for line in lines)
+    grid = [line.ljust(width) for line in lines]
+    for row, line in enumerate(grid):
+        for col, char in enumerate(line):
+            if char == " ":
+                continue
+            if char != WALL and char not in DOOR_CHARS and not char.isupper():
+                raise SerializationError(
+                    f"unexpected character {char!r} at row {row}, column {col}"
+                )
+    return grid
+
+
+def _validate_partitions(grid: List[str]) -> Dict[str, Tuple[int, int, int, int]]:
+    """Letter extents, with solid-rectangle and wall-separation checks."""
+    extents: Dict[str, List[int]] = {}
+    for row, line in enumerate(grid):
+        for col, char in enumerate(line):
+            if not char.isupper():
+                continue
+            box = extents.setdefault(char, [row, row, col, col])
+            box[0] = min(box[0], row)
+            box[1] = max(box[1], row)
+            box[2] = min(box[2], col)
+            box[3] = max(box[3], col)
+    if not extents:
+        raise SerializationError("plan has no partitions")
+    for letter, (r0, r1, c0, c1) in extents.items():
+        for row in range(r0, r1 + 1):
+            for col in range(c0, c1 + 1):
+                if grid[row][col] != letter:
+                    raise SerializationError(
+                        f"partition {letter!r} is not a solid rectangle "
+                        f"(hole at row {row}, column {col})"
+                    )
+    height, width = len(grid), len(grid[0])
+    for row in range(height):
+        for col in range(width):
+            char = grid[row][col]
+            if not char.isupper():
+                continue
+            for dr, dc in ((0, 1), (1, 0)):
+                nr, nc = row + dr, col + dc
+                if nr < height and nc < width:
+                    other = grid[nr][nc]
+                    if other.isupper() and other != char:
+                        raise SerializationError(
+                            f"partitions {char!r} and {other!r} touch without "
+                            f"a wall at row {row}, column {col}; separate "
+                            "them by one wall cell"
+                        )
+    return {letter: tuple(box) for letter, box in extents.items()}
+
+
+def _door_geometry(
+    grid: List[str], row: int, col: int, cell: float
+) -> Optional[Tuple[str, str, Segment, bool, Tuple[str, str]]]:
+    """For a door cell: (from_letter, to_letter, segment, one_way, pair)."""
+    height, width = len(grid), len(grid[0])
+    char = grid[row][col]
+    left = grid[row][col - 1] if col > 0 else WALL
+    right = grid[row][col + 1] if col + 1 < width else WALL
+    above = grid[row - 1][col] if row > 0 else WALL
+    below = grid[row + 1][col] if row + 1 < height else WALL
+
+    horizontal = left.isupper() and right.isupper()
+    vertical = above.isupper() and below.isupper()
+    if horizontal == vertical:
+        raise SerializationError(
+            f"door {char!r} at row {row}, column {col} must face exactly "
+            "two partitions across a wall"
+        )
+    if horizontal:
+        if left == right:
+            raise SerializationError(
+                f"door {char!r} at row {row}, column {col} connects "
+                f"partition {left!r} to itself"
+            )
+        x = (col + 0.5) * cell
+        y0 = (height - 1 - row) * cell
+        segment = Segment(Point(x, y0), Point(x, y0 + cell))
+        if char == ">":
+            return left, right, segment, True, (left, right)
+        if char == "<":
+            return right, left, segment, True, (left, right)
+        if char in ("^", "v"):
+            raise SerializationError(
+                f"vertical arrow {char!r} in a vertical wall at "
+                f"row {row}, column {col}"
+            )
+        return left, right, segment, False, (left, right)
+
+    # Vertical wall run: partitions above and below.
+    if above == below:
+        raise SerializationError(
+            f"door {char!r} at row {row}, column {col} connects "
+            f"partition {above!r} to itself"
+        )
+    y = (height - 1 - row + 0.5) * cell
+    x0 = col * cell
+    segment = Segment(Point(x0, y), Point(x0 + cell, y))
+    # 'below' in text is the smaller y (textual down = south).
+    south, north = below, above
+    if char == "^":
+        return south, north, segment, True, (south, north)
+    if char == "v":
+        return north, south, segment, True, (south, north)
+    if char in ("<", ">"):
+        raise SerializationError(
+            f"horizontal arrow {char!r} in a horizontal wall at "
+            f"row {row}, column {col}"
+        )
+    return south, north, segment, False, (south, north)
+
+
+def parse_ascii_plan(text: str, cell_size: float = 2.0) -> AsciiPlan:
+    """Parse an ASCII floor plan into an :class:`IndoorSpace`.
+
+    Raises:
+        SerializationError: on malformed input (ragged partitions,
+            unseparated partitions, doors in the open, ...).
+    """
+    if cell_size <= 0:
+        raise SerializationError(f"cell size must be positive, got {cell_size}")
+    grid = _grid_from_text(text)
+    height = len(grid)
+    extents = _validate_partitions(grid)
+
+    builder = IndoorSpaceBuilder()
+    partition_ids: Dict[str, int] = {}
+    half = cell_size / 2.0
+    for index, letter in enumerate(sorted(extents), start=1):
+        r0, r1, c0, c1 = extents[letter]
+        builder.add_partition(
+            index,
+            rectangle(
+                c0 * cell_size - half,
+                (height - 1 - r1) * cell_size - half,
+                (c1 + 1) * cell_size + half,
+                (height - r0) * cell_size + half,
+            ),
+            name=letter,
+        )
+        partition_ids[letter] = index
+
+    door_ids: Dict[Tuple[int, int], int] = {}
+    next_door = 1
+    for row, line in enumerate(grid):
+        for col, char in enumerate(line):
+            if char not in DOOR_CHARS:
+                continue
+            from_letter, to_letter, segment, one_way, pair = _door_geometry(
+                grid, row, col, cell_size
+            )
+            builder.add_door(
+                next_door,
+                segment,
+                connects=(partition_ids[from_letter], partition_ids[to_letter]),
+                one_way=one_way,
+                name=f"{pair[0]}{char}{pair[1]}",
+            )
+            door_ids[(row, col)] = next_door
+            next_door += 1
+
+    return AsciiPlan(builder.build(), partition_ids, door_ids)

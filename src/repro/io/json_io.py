@@ -1,0 +1,177 @@
+"""JSON (de)serialisation of indoor spaces and object sets.
+
+The format is versioned and deliberately explicit: partitions carry their
+polygon ring, obstacles, kind, and staircase walking length; doors carry
+their doorway segment and the *directed* D2P edges, from which the builder
+reconstructs directionality exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Union
+
+from repro.exceptions import SerializationError
+from repro.geometry import Point, Polygon, Segment
+from repro.index.objects import IndoorObject
+from repro.model.builder import IndoorSpace, IndoorSpaceBuilder
+from repro.model.entities import PartitionKind
+
+FORMAT_VERSION = 1
+
+PathLike = Union[str, Path]
+
+
+def _point_to_list(point: Point) -> list:
+    return [point.x, point.y, point.floor]
+
+
+def _point_from_list(raw: list) -> Point:
+    return Point(float(raw[0]), float(raw[1]), int(raw[2]))
+
+
+def _polygon_to_list(polygon: Polygon) -> list:
+    return [_point_to_list(v) for v in polygon.vertices]
+
+
+def _polygon_from_list(raw: list) -> Polygon:
+    return Polygon([_point_from_list(v) for v in raw])
+
+
+def space_to_dict(space: IndoorSpace) -> dict:
+    """A JSON-ready dict capturing the full indoor space model."""
+    partitions = []
+    for partition in space.partitions():
+        partitions.append(
+            {
+                "id": partition.partition_id,
+                "kind": partition.kind.value,
+                "name": partition.name,
+                "polygon": _polygon_to_list(partition.polygon),
+                "obstacles": [_polygon_to_list(o) for o in partition.obstacles],
+                "stair_length": partition.stair_length,
+            }
+        )
+    doors = []
+    for door in space.doors():
+        edges = sorted(space.topology.d2p(door.door_id))
+        doors.append(
+            {
+                "id": door.door_id,
+                "name": door.name,
+                "segment": [
+                    _point_to_list(door.segment.start),
+                    _point_to_list(door.segment.end),
+                ],
+                "edges": [list(edge) for edge in edges],
+            }
+        )
+    return {
+        "format_version": FORMAT_VERSION,
+        "partitions": partitions,
+        "doors": doors,
+    }
+
+
+def space_from_dict(data: dict) -> IndoorSpace:
+    """Rebuild an :class:`IndoorSpace` from :func:`space_to_dict` output."""
+    version = data.get("format_version")
+    if version != FORMAT_VERSION:
+        raise SerializationError(
+            f"unsupported floor-plan format version: {version!r}"
+        )
+    builder = IndoorSpaceBuilder()
+    try:
+        for raw in data["partitions"]:
+            builder.add_partition(
+                int(raw["id"]),
+                _polygon_from_list(raw["polygon"]),
+                PartitionKind(raw["kind"]),
+                name=raw.get("name", ""),
+                obstacles=tuple(
+                    _polygon_from_list(o) for o in raw.get("obstacles", [])
+                ),
+                stair_length=raw.get("stair_length"),
+            )
+        for raw in data["doors"]:
+            start, end = raw["segment"]
+            segment = Segment(_point_from_list(start), _point_from_list(end))
+            edges = [tuple(edge) for edge in raw["edges"]]
+            if not edges:
+                raise SerializationError(f"door {raw['id']} has no edges")
+            reverse = {(b, a) for a, b in edges}
+            one_way = not reverse <= set(edges)
+            from_p, to_p = edges[0]
+            builder.add_door(
+                int(raw["id"]),
+                segment,
+                connects=(int(from_p), int(to_p)),
+                one_way=one_way,
+                name=raw.get("name", ""),
+            )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError(f"malformed floor-plan data: {exc}") from exc
+    return builder.build()
+
+
+def save_space(space: IndoorSpace, path: PathLike) -> None:
+    """Write a floor plan to a JSON file."""
+    Path(path).write_text(json.dumps(space_to_dict(space), indent=1))
+
+
+def load_space(path: PathLike) -> IndoorSpace:
+    """Read a floor plan from a JSON file."""
+    try:
+        data = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"invalid JSON in {path}: {exc}") from exc
+    return space_from_dict(data)
+
+
+def objects_to_dict(objects: List[IndoorObject]) -> dict:
+    """A JSON-ready dict for an object set."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "objects": [
+            {
+                "id": obj.object_id,
+                "position": _point_to_list(obj.position),
+                "payload": obj.payload,
+            }
+            for obj in objects
+        ],
+    }
+
+
+def objects_from_dict(data: dict) -> List[IndoorObject]:
+    """Rebuild an object list from :func:`objects_to_dict` output."""
+    if data.get("format_version") != FORMAT_VERSION:
+        raise SerializationError(
+            f"unsupported object-set format version: {data.get('format_version')!r}"
+        )
+    try:
+        return [
+            IndoorObject(
+                int(raw["id"]),
+                _point_from_list(raw["position"]),
+                raw.get("payload", ""),
+            )
+            for raw in data["objects"]
+        ]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError(f"malformed object data: {exc}") from exc
+
+
+def save_objects(objects: List[IndoorObject], path: PathLike) -> None:
+    """Write an object set to a JSON file."""
+    Path(path).write_text(json.dumps(objects_to_dict(objects), indent=1))
+
+
+def load_objects(path: PathLike) -> List[IndoorObject]:
+    """Read an object set from a JSON file."""
+    try:
+        data = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"invalid JSON in {path}: {exc}") from exc
+    return objects_from_dict(data)

@@ -1,0 +1,46 @@
+"""NPZ persistence for the door-to-door distance matrix.
+
+M_d2d for a 40-floor building is ~1 350² doubles; recomputing it is cheap
+with the bulk builder but free when loaded from disk.  M_idx is derived, so
+only M_d2d and the door-id labelling are stored.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.distance.matrix import DoorDistanceMatrix
+from repro.exceptions import SerializationError
+from repro.index.distance_matrix import DistanceIndexMatrix
+
+PathLike = Union[str, Path]
+
+
+def save_distance_index(index: DistanceIndexMatrix, path: PathLike) -> None:
+    """Write M_d2d (+ door ids) to a compressed ``.npz`` file."""
+    np.savez_compressed(
+        Path(path),
+        matrix=index.md2d,
+        door_ids=np.asarray(index.door_ids, dtype=np.int64),
+    )
+
+
+def load_distance_index(path: PathLike) -> DistanceIndexMatrix:
+    """Read a distance index back; M_idx is re-derived on load."""
+    try:
+        with np.load(Path(path)) as data:
+            matrix = data["matrix"]
+            door_ids = tuple(int(d) for d in data["door_ids"])
+    except (OSError, KeyError, ValueError) as exc:
+        raise SerializationError(f"cannot load distance matrix: {exc}") from exc
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise SerializationError(f"matrix is not square: {matrix.shape}")
+    if matrix.shape[0] != len(door_ids):
+        raise SerializationError(
+            f"door id count {len(door_ids)} does not match matrix "
+            f"size {matrix.shape[0]}"
+        )
+    return DistanceIndexMatrix(DoorDistanceMatrix(matrix, door_ids))

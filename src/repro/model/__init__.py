@@ -1,0 +1,31 @@
+"""The distance-aware indoor space model (paper §III).
+
+The model layer turns a floor plan into the structures the paper builds on:
+
+* :class:`~repro.model.entities.Partition` and
+  :class:`~repro.model.entities.Door` — the indoor entities;
+* :class:`~repro.model.topology.Topology` — the D2P / P2D mappings of §III-A;
+* :class:`~repro.model.accessibility.AccessibilityGraph` — G_accs of §III-B;
+* :class:`~repro.model.distance_graph.DistanceAwareGraph` — G_dist of §III-C,
+  exposing f_dv and f_d2d;
+* :class:`~repro.model.builder.IndoorSpace` /
+  :class:`~repro.model.builder.IndoorSpaceBuilder` — the construction API;
+* :mod:`repro.model.figure1` — the paper's running example floor plan.
+"""
+
+from repro.model.entities import Door, Partition, PartitionKind
+from repro.model.topology import Topology
+from repro.model.accessibility import AccessibilityGraph
+from repro.model.distance_graph import DistanceAwareGraph
+from repro.model.builder import IndoorSpace, IndoorSpaceBuilder
+
+__all__ = [
+    "Door",
+    "Partition",
+    "PartitionKind",
+    "Topology",
+    "AccessibilityGraph",
+    "DistanceAwareGraph",
+    "IndoorSpace",
+    "IndoorSpaceBuilder",
+]

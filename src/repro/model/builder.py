@@ -1,0 +1,276 @@
+"""Indoor space assembly: :class:`IndoorSpace` and :class:`IndoorSpaceBuilder`.
+
+:class:`IndoorSpace` is the immutable* container the rest of the library works
+against: partitions, doors, the topology mappings, and lazily constructed
+views (accessibility graph, distance-aware graph).  It also hosts
+``get_host_partition`` (the paper's point query of §III-D2, backed by a
+pluggable spatial index — the query engine installs an R-tree) and ``dist_v``
+(the intra-partition point-to-door distance of Eq. 6).
+
+:class:`IndoorSpaceBuilder` offers a forgiving construction API and performs
+all validation at :meth:`~IndoorSpaceBuilder.build` time.
+
+*"Immutable" in the conventional sense: nothing in the library mutates a
+built space, and derived caches are transparent.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.exceptions import ModelError, UnknownEntityError
+from repro.geometry import Point, Polygon, Segment
+from repro.model.accessibility import AccessibilityGraph
+from repro.model.entities import Door, Partition, PartitionKind
+from repro.model.topology import Topology
+
+#: Signature of a pluggable host-partition locator: point -> partition id or None.
+PartitionLocator = Callable[[Point], Optional[int]]
+
+
+class IndoorSpace:
+    """A complete indoor space: entities + topology + derived graphs."""
+
+    def __init__(
+        self,
+        partitions: Dict[int, Partition],
+        doors: Dict[int, Door],
+        topology: Topology,
+    ) -> None:
+        self._partitions = dict(partitions)
+        self._doors = dict(doors)
+        self._topology = topology
+        self._accessibility: Optional[AccessibilityGraph] = None
+        self._distance_graph = None  # constructed lazily to avoid import cycle
+        self._locator: Optional[PartitionLocator] = None
+
+    # ------------------------------------------------------------------
+    # Entity access
+    # ------------------------------------------------------------------
+    @property
+    def topology(self) -> Topology:
+        """The D2P / P2D mappings."""
+        return self._topology
+
+    @property
+    def partition_ids(self) -> Tuple[int, ...]:
+        """All partition ids, ascending."""
+        return self._topology.partition_ids
+
+    @property
+    def door_ids(self) -> Tuple[int, ...]:
+        """All door ids, ascending."""
+        return self._topology.door_ids
+
+    @property
+    def num_partitions(self) -> int:
+        return len(self._partitions)
+
+    @property
+    def num_doors(self) -> int:
+        return len(self._doors)
+
+    @property
+    def num_floors(self) -> int:
+        """Count of distinct base floors among the partitions."""
+        return len({p.floor for p in self._partitions.values()})
+
+    def partition(self, partition_id: int) -> Partition:
+        """The partition entity with the given id."""
+        try:
+            return self._partitions[partition_id]
+        except KeyError:
+            raise UnknownEntityError("partition", partition_id) from None
+
+    def door(self, door_id: int) -> Door:
+        """The door entity with the given id."""
+        try:
+            return self._doors[door_id]
+        except KeyError:
+            raise UnknownEntityError("door", door_id) from None
+
+    def partitions(self) -> Iterable[Partition]:
+        """All partition entities, ascending by id."""
+        return (self._partitions[p] for p in self.partition_ids)
+
+    def doors(self) -> Iterable[Door]:
+        """All door entities, ascending by id."""
+        return (self._doors[d] for d in self.door_ids)
+
+    def partitions_on_floor(self, floor: int) -> List[Partition]:
+        """Partitions whose span includes ``floor``."""
+        return [p for p in self.partitions() if floor in p.floors]
+
+    # ------------------------------------------------------------------
+    # Derived graphs
+    # ------------------------------------------------------------------
+    @property
+    def accessibility(self) -> AccessibilityGraph:
+        """G_accs, the accessibility base graph (built on first use)."""
+        if self._accessibility is None:
+            self._accessibility = AccessibilityGraph(self._topology)
+        return self._accessibility
+
+    @property
+    def distance_graph(self):
+        """G_dist, the distance-aware graph with f_dv and f_d2d."""
+        if self._distance_graph is None:
+            from repro.model.distance_graph import DistanceAwareGraph
+
+            self._distance_graph = DistanceAwareGraph(self)
+        return self._distance_graph
+
+    # ------------------------------------------------------------------
+    # Point location and intra-partition distances (paper §III-D2)
+    # ------------------------------------------------------------------
+    def set_partition_locator(self, locator: Optional[PartitionLocator]) -> None:
+        """Install a spatial index callback for :meth:`get_host_partition`.
+
+        The query engine installs an R-tree here; without one the model falls
+        back to a linear scan over the partitions of the point's floor.
+        """
+        self._locator = locator
+
+    def get_host_partition(self, point: Point) -> Optional[Partition]:
+        """The partition containing ``point`` (paper's getHostPartition).
+
+        Points on a wall shared by several partitions resolve to the lowest
+        partition id deterministically.  Returns ``None`` for points in no
+        partition (e.g. inside a wall or outside a modelled outdoor apron).
+        """
+        if self._locator is not None:
+            partition_id = self._locator(point)
+            if partition_id is None:
+                return None
+            return self._partitions[partition_id]
+        for partition_id in self.partition_ids:
+            if self._partitions[partition_id].contains(point):
+                return self._partitions[partition_id]
+        return None
+
+    def require_host_partition(self, point: Point) -> Partition:
+        """Like :meth:`get_host_partition` but raises when no partition hosts
+        the point."""
+        partition = self.get_host_partition(point)
+        if partition is None:
+            raise ModelError(f"no partition contains {point}")
+        return partition
+
+    def dist_v(
+        self, point: Point, door_id: int, partition: Optional[Partition] = None
+    ) -> float:
+        """distV(p, d) of Eq. 6: shortest intra-partition distance between a
+        position and a door touching the position's host partition.
+
+        Returns ``inf`` when the door does not touch the host partition (the
+        paper's stipulation), or when ``point`` lies in no partition.
+        """
+        if partition is None:
+            partition = self.get_host_partition(point)
+            if partition is None:
+                return float("inf")
+        if not self._topology.touches(door_id, partition.partition_id):
+            return float("inf")
+        return partition.intra_distance(point, self.door(door_id).midpoint)
+
+
+class IndoorSpaceBuilder:
+    """Incremental construction of an :class:`IndoorSpace`.
+
+    Example::
+
+        builder = IndoorSpaceBuilder()
+        builder.add_partition(10, rectangle(0, 0, 12, 2), PartitionKind.HALLWAY)
+        builder.add_partition(11, rectangle(0, 2, 4, 6))
+        builder.add_door(11, Segment(Point(2, 2), Point(3, 2)),
+                         connects=(11, 10))           # bidirectional
+        builder.add_door(12, Segment(Point(5, 2), Point(6, 2)),
+                         connects=(12, 10), one_way=True)  # 12 -> 10 only
+        space = builder.build()
+    """
+
+    def __init__(self) -> None:
+        self._partitions: Dict[int, Partition] = {}
+        self._doors: Dict[int, Door] = {}
+        self._topology = Topology()
+
+    def add_partition(
+        self,
+        partition_id: int,
+        polygon: Polygon,
+        kind: PartitionKind = PartitionKind.ROOM,
+        name: str = "",
+        obstacles: Tuple[Polygon, ...] = (),
+        stair_length: Optional[float] = None,
+    ) -> Partition:
+        """Register a partition; returns the created entity."""
+        if partition_id in self._partitions:
+            raise ModelError(f"duplicate partition id {partition_id}")
+        partition = Partition(
+            partition_id, polygon, kind, name, tuple(obstacles), stair_length
+        )
+        self._partitions[partition_id] = partition
+        self._topology.add_partition(partition_id)
+        return partition
+
+    def add_door(
+        self,
+        door_id: int,
+        geometry,
+        connects: Tuple[int, int],
+        one_way: bool = False,
+        name: str = "",
+    ) -> Door:
+        """Register a door.
+
+        Args:
+            door_id: unique non-negative integer.
+            geometry: a :class:`Segment` (the doorway) or a :class:`Point`
+                (a zero-width door).
+            connects: ``(from_partition, to_partition)``.  With
+                ``one_way=True`` movement is permitted only from → to;
+                otherwise both ways.
+            one_way: door directionality.
+            name: optional label.
+        """
+        if door_id in self._doors:
+            raise ModelError(f"duplicate door id {door_id}")
+        if isinstance(geometry, Point):
+            door = Door.at_point(door_id, geometry, name)
+        elif isinstance(geometry, Segment):
+            door = Door(door_id, geometry, name)
+        else:
+            raise ModelError(
+                f"door geometry must be a Point or Segment, got {type(geometry)!r}"
+            )
+        from_partition, to_partition = connects
+        self._topology.connect(
+            door_id, from_partition, to_partition, bidirectional=not one_way
+        )
+        self._doors[door_id] = door
+        return door
+
+    def build(self, validate_geometry: bool = True) -> IndoorSpace:
+        """Validate everything and return the finished :class:`IndoorSpace`.
+
+        Args:
+            validate_geometry: also check that each door's midpoint lies
+                within (the boundary of) both partitions it touches.  Disable
+                for huge synthetic buildings where the generator guarantees
+                placement by construction.
+        """
+        self._topology.validate()
+        if validate_geometry:
+            self._validate_door_placement()
+        return IndoorSpace(self._partitions, self._doors, self._topology)
+
+    def _validate_door_placement(self) -> None:
+        for door_id in self._topology.door_ids:
+            door = self._doors[door_id]
+            for partition_id in self._topology.partitions_of(door_id):
+                partition = self._partitions[partition_id]
+                if not partition.contains(door.midpoint):
+                    raise ModelError(
+                        f"door {door.label} midpoint {door.midpoint} lies "
+                        f"outside partition {partition.label}"
+                    )

@@ -1,0 +1,151 @@
+"""The paper's running example floor plan (Figure 1).
+
+The paper never publishes exact coordinates, so this module reconstructs a
+floor plan with the same *structure*: the same partitions (hallway 10, rooms
+11–14 in the top-left block, rooms 20–22 on the right, staircase 50, outdoor
+0), the same doors with the same directionality (d12 one-way room 12 → hallway,
+d15 one-way room 13 → room 12, everything else bidirectional), an obstacle in
+a right-block room making the d22–d24 distance obstructed, and — crucially —
+geometry chosen so the motivating example holds: the shortest walking path
+from position ``p`` (in room 13) to position ``q`` (in the hallway) goes
+through doors d15 and d12, while the door-count model of Li & Lee picks the
+longer path through d13.
+
+Absolute distances therefore differ from the handful of numbers quoted in the
+paper's §III (whose own text and Figure 3 already disagree: 1.6 m vs 1.5 m for
+the same entry); every structural property is reproduced and unit-tested.
+
+Coordinates are metres on floor 0.  Outdoor space is modelled as a finite
+apron strip west of the building so that it can carry geometry like any other
+partition (see DESIGN.md, "substitutions").
+"""
+
+from __future__ import annotations
+
+from repro.geometry import Point, Segment, rectangle
+from repro.model.builder import IndoorSpace, IndoorSpaceBuilder
+from repro.model.entities import PartitionKind
+
+#: Identifiers used by the running example, matching the paper's labels.
+OUTDOOR = 0
+HALLWAY = 10
+ROOM_11, ROOM_12, ROOM_13, ROOM_14 = 11, 12, 13, 14
+ROOM_20, ROOM_21, ROOM_22 = 20, 21, 22
+STAIRCASE_50 = 50
+
+D1, D2, D3 = 1, 2, 3
+D11, D12, D13, D14, D15 = 11, 12, 13, 14, 15
+D21, D22, D24 = 21, 22, 24
+
+#: The doors of the top-left sub-plan whose distance matrix the paper shows
+#: in Figures 3 and 4.
+SUBPLAN_DOORS = (D1, D11, D12, D13, D14, D15)
+
+#: The motivating example positions of Figure 1: ``P`` sits in room 13 close
+#: to the one-way door d15; ``Q`` sits in the hallway close to d12.
+P = Point(6.2, 8.0)
+Q = Point(5.0, 5.2)
+
+
+def _add_top_left_block(builder: IndoorSpaceBuilder) -> None:
+    """Outdoor apron, hallway 10, and rooms 11-14 with doors d1, d11-d15."""
+    builder.add_partition(
+        OUTDOOR, rectangle(-4, 0, 0, 14), PartitionKind.OUTDOOR, name="outdoor"
+    )
+    builder.add_partition(
+        HALLWAY, rectangle(0, 4, 12, 6), PartitionKind.HALLWAY, name="hallway 10"
+    )
+    builder.add_partition(ROOM_11, rectangle(0, 6, 4, 10), name="room 11")
+    builder.add_partition(ROOM_12, rectangle(4, 6, 6, 10), name="room 12")
+    builder.add_partition(ROOM_13, rectangle(6, 6, 10, 10), name="room 13")
+    builder.add_partition(ROOM_14, rectangle(10, 6, 12, 10), name="room 14")
+
+    builder.add_door(
+        D1, Segment(Point(0, 4.6), Point(0, 5.4)), connects=(OUTDOOR, HALLWAY),
+        name="d1",
+    )
+    builder.add_door(
+        D11, Segment(Point(1.6, 6), Point(2.4, 6)), connects=(ROOM_11, HALLWAY),
+        name="d11",
+    )
+    # d12 is unidirectional: one can only leave room 12 into the hallway.
+    builder.add_door(
+        D12, Segment(Point(4.6, 6), Point(5.4, 6)), connects=(ROOM_12, HALLWAY),
+        one_way=True, name="d12",
+    )
+    builder.add_door(
+        D13, Segment(Point(7.6, 6), Point(8.4, 6)), connects=(ROOM_13, HALLWAY),
+        name="d13",
+    )
+    builder.add_door(
+        D14, Segment(Point(10.6, 6), Point(11.4, 6)), connects=(ROOM_14, HALLWAY),
+        name="d14",
+    )
+    # d15 is unidirectional: one can only walk from room 13 into room 12.
+    builder.add_door(
+        D15, Segment(Point(6, 7.6), Point(6, 8.4)), connects=(ROOM_13, ROOM_12),
+        one_way=True, name="d15",
+    )
+
+
+def _add_right_block(builder: IndoorSpaceBuilder) -> None:
+    """Rooms 20-22 with doors d2, d21, d22, d24 and the d22-d24 obstacle."""
+    builder.add_partition(ROOM_20, rectangle(12, 4, 20, 10), name="room 20")
+    builder.add_partition(ROOM_21, rectangle(12, 0, 16, 4), name="room 21")
+    # Room 22 holds an exhibition-stand obstacle that blocks the straight
+    # line between doors d22 and d24, making their distance obstructed
+    # (the paper's §III-C1 example).
+    builder.add_partition(
+        ROOM_22,
+        rectangle(16, 0, 20, 4),
+        name="room 22",
+        obstacles=(rectangle(16.4, 1.2, 19.2, 3.2),),
+    )
+    builder.add_door(
+        D2, Segment(Point(12, 4.6), Point(12, 5.4)), connects=(HALLWAY, ROOM_20),
+        name="d2",
+    )
+    builder.add_door(
+        D21, Segment(Point(13.6, 4), Point(14.4, 4)), connects=(ROOM_20, ROOM_21),
+        name="d21",
+    )
+    builder.add_door(
+        D22, Segment(Point(17.6, 4), Point(18.4, 4)), connects=(ROOM_20, ROOM_22),
+        name="d22",
+    )
+    builder.add_door(
+        D24, Segment(Point(16, 1.6), Point(16, 2.4)), connects=(ROOM_21, ROOM_22),
+        name="d24",
+    )
+
+
+def _add_staircase(builder: IndoorSpaceBuilder) -> None:
+    """Staircase 50 south-west of the hallway, door d3."""
+    builder.add_partition(
+        STAIRCASE_50,
+        rectangle(0, 0, 4, 4),
+        PartitionKind.STAIRCASE,
+        name="staircase 50",
+    )
+    builder.add_door(
+        D3, Segment(Point(1.6, 4), Point(2.4, 4)), connects=(STAIRCASE_50, HALLWAY),
+        name="d3",
+    )
+
+
+def build_figure1() -> IndoorSpace:
+    """The complete Figure-1 floor plan: 10 partitions, 11 doors."""
+    builder = IndoorSpaceBuilder()
+    _add_top_left_block(builder)
+    _add_right_block(builder)
+    _add_staircase(builder)
+    return builder.build()
+
+
+def build_figure1_subplan() -> IndoorSpace:
+    """Only the top-left block of Figure 1: the six doors d1, d11–d15 whose
+    door-to-door distance matrix and distance index matrix the paper prints
+    as Figures 3 and 4."""
+    builder = IndoorSpaceBuilder()
+    _add_top_left_block(builder)
+    return builder.build()

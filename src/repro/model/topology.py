@@ -1,0 +1,189 @@
+"""Topology information mappings (paper §III-A).
+
+The fundamental mapping is D2P, which sends a door ``d_k`` to the set of
+ordered partition pairs ``(v_i, v_j)`` such that one can move from ``v_i`` to
+``v_j`` through ``d_k``.  Everything else — D2P⊣ (enterable partitions),
+D2P⊢ (leaveable partitions), P2D⊣ (enterable doors), P2D⊢ (leaveable doors)
+and the undirected P2D — is derived from it, exactly as in the paper.
+
+The paper stipulates that each door connects exactly two partitions (outdoor
+space being itself a partition); :meth:`Topology.connect` enforces it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Set, Tuple
+
+from repro.exceptions import TopologyError, UnknownEntityError
+
+
+class Topology:
+    """The D2P mapping and its derived P2D views.
+
+    Partitions and doors are referred to by integer identifiers; the entity
+    objects live in :class:`~repro.model.builder.IndoorSpace`.
+    """
+
+    def __init__(self) -> None:
+        self._d2p: Dict[int, Set[Tuple[int, int]]] = {}
+        self._enterable_doors: Dict[int, Set[int]] = {}
+        self._leaveable_doors: Dict[int, Set[int]] = {}
+        self._partitions: Set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_partition(self, partition_id: int) -> None:
+        """Register a partition identifier (idempotent)."""
+        self._partitions.add(partition_id)
+        self._enterable_doors.setdefault(partition_id, set())
+        self._leaveable_doors.setdefault(partition_id, set())
+
+    def connect(
+        self,
+        door_id: int,
+        from_partition: int,
+        to_partition: int,
+        bidirectional: bool = True,
+    ) -> None:
+        """Declare that ``door_id`` permits movement ``from → to``.
+
+        With ``bidirectional=True`` (the common case) the reverse movement is
+        registered too.  A door may be connected incrementally, but it must
+        always touch exactly the same two distinct partitions.
+
+        Raises:
+            TopologyError: if the two partitions are equal, a partition is
+                unknown, or the door already connects a different pair.
+        """
+        if from_partition == to_partition:
+            raise TopologyError(
+                f"door {door_id} cannot connect partition "
+                f"{from_partition} to itself"
+            )
+        for partition_id in (from_partition, to_partition):
+            if partition_id not in self._partitions:
+                raise UnknownEntityError("partition", partition_id)
+
+        pair = {from_partition, to_partition}
+        existing = self._d2p.get(door_id)
+        if existing:
+            touched = {p for edge in existing for p in edge}
+            if touched != pair:
+                raise TopologyError(
+                    f"door {door_id} already connects partitions {sorted(touched)}; "
+                    f"cannot also connect {sorted(pair)} "
+                    "(each door connects exactly two partitions)"
+                )
+        edges = self._d2p.setdefault(door_id, set())
+        edges.add((from_partition, to_partition))
+        if bidirectional:
+            edges.add((to_partition, from_partition))
+        for from_p, to_p in edges:
+            self._leaveable_doors[from_p].add(door_id)
+            self._enterable_doors[to_p].add(door_id)
+
+    # ------------------------------------------------------------------
+    # The fundamental mapping and its derivations (paper Eq. 1-5)
+    # ------------------------------------------------------------------
+    def d2p(self, door_id: int) -> FrozenSet[Tuple[int, int]]:
+        """D2P(d): the ordered partition pairs the door permits."""
+        self._require_door(door_id)
+        return frozenset(self._d2p[door_id])
+
+    def enterable_partitions(self, door_id: int) -> FrozenSet[int]:
+        """D2P⊣(d) = π₂(D2P(d)): partitions one can *enter* through d."""
+        self._require_door(door_id)
+        return frozenset(to_p for _, to_p in self._d2p[door_id])
+
+    def leaveable_partitions(self, door_id: int) -> FrozenSet[int]:
+        """D2P⊢(d) = π₁(D2P(d)): partitions one can *leave* through d."""
+        self._require_door(door_id)
+        return frozenset(from_p for from_p, _ in self._d2p[door_id])
+
+    def partitions_of(self, door_id: int) -> FrozenSet[int]:
+        """The (exactly two) partitions the door touches."""
+        self._require_door(door_id)
+        return frozenset(p for edge in self._d2p[door_id] for p in edge)
+
+    def enterable_doors(self, partition_id: int) -> FrozenSet[int]:
+        """P2D⊣(v): doors through which one can enter v."""
+        self._require_partition(partition_id)
+        return frozenset(self._enterable_doors[partition_id])
+
+    def leaveable_doors(self, partition_id: int) -> FrozenSet[int]:
+        """P2D⊢(v): doors through which one can leave v."""
+        self._require_partition(partition_id)
+        return frozenset(self._leaveable_doors[partition_id])
+
+    def doors_of(self, partition_id: int) -> FrozenSet[int]:
+        """P2D(v) = P2D⊣(v) ∪ P2D⊢(v): all doors touching v."""
+        return self.enterable_doors(partition_id) | self.leaveable_doors(partition_id)
+
+    def touches(self, door_id: int, partition_id: int) -> bool:
+        """True when the door touches the partition (either direction)."""
+        return partition_id in self.partitions_of(door_id)
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    @property
+    def door_ids(self) -> Tuple[int, ...]:
+        """All registered door ids, ascending."""
+        return tuple(sorted(self._d2p))
+
+    @property
+    def partition_ids(self) -> Tuple[int, ...]:
+        """All registered partition ids, ascending."""
+        return tuple(sorted(self._partitions))
+
+    def is_unidirectional(self, door_id: int) -> bool:
+        """True when |D2P(d)| = 1 — the door permits one direction only."""
+        self._require_door(door_id)
+        return len(self._d2p[door_id]) == 1
+
+    def is_bidirectional(self, door_id: int) -> bool:
+        """True when |D2P(d)| = 2."""
+        return not self.is_unidirectional(door_id)
+
+    def has_door(self, door_id: int) -> bool:
+        """True when the door id is registered with at least one edge."""
+        return door_id in self._d2p
+
+    def has_partition(self, partition_id: int) -> bool:
+        """True when the partition id is registered."""
+        return partition_id in self._partitions
+
+    def directed_edges(self) -> Iterable[Tuple[int, int, int]]:
+        """All ``(from_partition, to_partition, door_id)`` triples — the edge
+        set E_a of the accessibility graph (paper §III-B)."""
+        for door_id in sorted(self._d2p):
+            for from_p, to_p in sorted(self._d2p[door_id]):
+                yield (from_p, to_p, door_id)
+
+    def validate(self) -> None:
+        """Check global invariants; raises :class:`TopologyError` on failure.
+
+        Invariants: every door touches exactly two distinct partitions, and
+        every referenced partition is registered.
+        """
+        for door_id, edges in self._d2p.items():
+            touched = {p for edge in edges for p in edge}
+            if len(touched) != 2:
+                raise TopologyError(
+                    f"door {door_id} touches partitions {sorted(touched)}; "
+                    "exactly two are required"
+                )
+            if not touched <= self._partitions:
+                missing = sorted(touched - self._partitions)
+                raise TopologyError(
+                    f"door {door_id} references unregistered partitions {missing}"
+                )
+
+    def _require_door(self, door_id: int) -> None:
+        if door_id not in self._d2p:
+            raise UnknownEntityError("door", door_id)
+
+    def _require_partition(self, partition_id: int) -> None:
+        if partition_id not in self._partitions:
+            raise UnknownEntityError("partition", partition_id)

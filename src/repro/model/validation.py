@@ -1,0 +1,216 @@
+"""Floor-plan diagnostics beyond the builder's hard constraints.
+
+The builder rejects structurally invalid plans (doors touching three
+partitions, doors floating outside their partitions); this module *lints*
+plans for the softer mistakes that produce surprising distances rather than
+errors:
+
+* partitions whose interiors overlap (positions resolve ambiguously);
+* doors whose midpoint does not lie on the shared boundary of the two
+  partitions they connect (teleport-like doors);
+* partitions that cannot be left, cannot be entered, or are disconnected
+  from the rest of the plan;
+* obstacles poking outside their partition outline.
+
+Each finding is an :class:`Issue` with a severity; :func:`validate_space`
+returns all of them so tools can render a report.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List
+
+from repro.geometry.primitives import Point
+from repro.model.builder import IndoorSpace
+
+
+class Severity(enum.Enum):
+    """How bad a finding is."""
+
+    WARNING = "warning"
+    ERROR = "error"
+
+
+@dataclass(frozen=True)
+class Issue:
+    """One diagnostic finding.
+
+    Attributes:
+        severity: error (distances will be wrong / undefined) or warning
+            (legal but suspicious).
+        code: stable machine-readable identifier.
+        message: human-readable description.
+    """
+
+    severity: Severity
+    code: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.severity.value}] {self.code}: {self.message}"
+
+
+def _interiors_overlap(space: IndoorSpace, a, b) -> bool:
+    """Approximate interior-overlap test via mutual sampling.
+
+    Exact polygon intersection is overkill for a linter; sampling interior
+    points of each polygon against the other catches real overlaps.
+    """
+    if not a.polygon.bounding_box.intersects(b.polygon.bounding_box):
+        return False
+    for first, second in ((a, b), (b, a)):
+        box = first.polygon.bounding_box
+        steps = 6
+        for i in range(1, steps):
+            for j in range(1, steps):
+                point = Point(
+                    box.min_x + (box.max_x - box.min_x) * i / steps,
+                    box.min_y + (box.max_y - box.min_y) * j / steps,
+                    first.polygon.floor,
+                )
+                if first.polygon.strictly_contains_point(
+                    point
+                ) and second.polygon.strictly_contains_point(point):
+                    return True
+    return False
+
+
+def check_partition_overlaps(space: IndoorSpace) -> List[Issue]:
+    """Partitions on a common floor whose interiors overlap."""
+    issues: List[Issue] = []
+    partitions = list(space.partitions())
+    for i, a in enumerate(partitions):
+        for b in partitions[i + 1 :]:
+            if not set(a.floors) & set(b.floors):
+                continue
+            if _interiors_overlap(space, a, b):
+                issues.append(
+                    Issue(
+                        Severity.ERROR,
+                        "partition-overlap",
+                        f"{a.label} and {b.label} have overlapping interiors; "
+                        "getHostPartition is ambiguous inside the overlap",
+                    )
+                )
+    return issues
+
+
+def check_door_placement(space: IndoorSpace) -> List[Issue]:
+    """Doors whose midpoint is not on the boundary of both partitions."""
+    issues: List[Issue] = []
+    for door_id in space.door_ids:
+        door = space.door(door_id)
+        for partition_id in space.topology.partitions_of(door_id):
+            partition = space.partition(partition_id)
+            midpoint = door.midpoint
+            if midpoint.floor not in partition.floors:
+                issues.append(
+                    Issue(
+                        Severity.ERROR,
+                        "door-floor-mismatch",
+                        f"{door.label} is on floor {midpoint.floor} but "
+                        f"{partition.label} spans {partition.floors}",
+                    )
+                )
+                continue
+            projected = midpoint.on_floor(partition.polygon.floor)
+            on_boundary = any(
+                edge.contains_point(projected, tol=1e-6)
+                for edge in partition.polygon.edges()
+            )
+            if not on_boundary:
+                inside = partition.polygon.strictly_contains_point(projected)
+                issues.append(
+                    Issue(
+                        Severity.WARNING,
+                        "door-off-wall",
+                        f"{door.label} midpoint {midpoint} is "
+                        f"{'inside' if inside else 'outside'} {partition.label} "
+                        "rather than on its wall",
+                    )
+                )
+    return issues
+
+
+def check_connectivity(space: IndoorSpace) -> List[Issue]:
+    """Partitions that cannot be entered, cannot be left, or are isolated."""
+    issues: List[Issue] = []
+    topology = space.topology
+    if space.num_partitions <= 1:
+        return issues
+    for partition in space.partitions():
+        pid = partition.partition_id
+        enterable = topology.enterable_doors(pid)
+        leaveable = topology.leaveable_doors(pid)
+        if not enterable and not leaveable:
+            issues.append(
+                Issue(
+                    Severity.WARNING,
+                    "isolated-partition",
+                    f"{partition.label} has no doors at all",
+                )
+            )
+        elif not leaveable:
+            issues.append(
+                Issue(
+                    Severity.WARNING,
+                    "no-way-out",
+                    f"{partition.label} can be entered but never left "
+                    "(one-way trap)",
+                )
+            )
+        elif not enterable:
+            issues.append(
+                Issue(
+                    Severity.WARNING,
+                    "no-way-in",
+                    f"{partition.label} can be left but never entered",
+                )
+            )
+    if not space.accessibility.is_strongly_connected():
+        issues.append(
+            Issue(
+                Severity.WARNING,
+                "not-strongly-connected",
+                "some partition pairs have no connecting route "
+                "(may be intentional for one-way spaces)",
+            )
+        )
+    return issues
+
+
+def check_obstacles(space: IndoorSpace) -> List[Issue]:
+    """Obstacles whose vertices leave their partition outline."""
+    issues: List[Issue] = []
+    for partition in space.partitions():
+        for index, obstacle in enumerate(partition.obstacles):
+            outside = [
+                v
+                for v in obstacle.vertices
+                if not partition.polygon.contains_point(v, tol=1e-6)
+            ]
+            if outside:
+                issues.append(
+                    Issue(
+                        Severity.ERROR,
+                        "obstacle-outside-partition",
+                        f"obstacle #{index} of {partition.label} has "
+                        f"{len(outside)} vertices outside the outline",
+                    )
+                )
+    return issues
+
+
+def validate_space(space: IndoorSpace) -> List[Issue]:
+    """Run every check; errors first, then warnings, each group stably
+    ordered by check."""
+    issues = (
+        check_partition_overlaps(space)
+        + check_door_placement(space)
+        + check_connectivity(space)
+        + check_obstacles(space)
+    )
+    issues.sort(key=lambda issue: (issue.severity is not Severity.ERROR,))
+    return issues

@@ -1,0 +1,20 @@
+"""Integrated indoor-outdoor distance model (paper §VII, future work).
+
+"Yet another relevant possibility is to propose an integrated distance model
+for both outdoor and indoor spaces ... the shortest distance path from an
+outdoor/indoor position to another outdoor/indoor position may involve
+outdoor and indoor spaces in an interweaved fashion.  Consequently, simply
+applying an outdoor model followed by an indoor model, or the other way
+around, does not work because it disables the interweaving."
+
+:class:`RoadNetwork` is a conventional weighted road graph;
+:class:`IntegratedSpace` joins it to an indoor space by *anchoring* exterior
+doors to road nodes and runs one Dijkstra over the union graph — so routes
+are free to leave a building, traverse roads, and re-enter (possibly another
+building within the same model), which the naive composition cannot do.
+"""
+
+from repro.outdoor.network import RoadNetwork
+from repro.outdoor.integrated import IntegratedSpace, OutdoorLocation
+
+__all__ = ["RoadNetwork", "IntegratedSpace", "OutdoorLocation"]

@@ -1,0 +1,213 @@
+"""The integrated indoor-outdoor distance model.
+
+:class:`IntegratedSpace` runs a single Dijkstra over the union graph
+
+    doors (weighted by f_d2d)  ∪  road junctions (weighted road edges)
+
+joined by *anchor* edges between exterior doors and road junctions.  Because
+everything is one graph, shortest routes interweave freely: exit a building,
+walk a road, enter a building — including leaving and re-entering the same
+building when the outdoor shortcut is shorter, which is precisely what the
+paper says naive model composition cannot express (§VII).
+
+Positions are indoor :class:`~repro.geometry.Point`s or
+:class:`OutdoorLocation`s (a road junction).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.exceptions import ModelError, UnknownEntityError
+from repro.geometry import Point
+from repro.model.builder import IndoorSpace
+from repro.outdoor.network import RoadNetwork
+
+#: Union-graph node keys: ("door", door_id) or ("road", node_id).
+_Node = Tuple[str, int]
+
+
+@dataclass(frozen=True)
+class OutdoorLocation:
+    """A position on the road network: a junction id."""
+
+    node_id: int
+
+
+Location = Union[Point, OutdoorLocation]
+
+
+class IntegratedSpace:
+    """One indoor space + one road network + door anchors."""
+
+    def __init__(self, space: IndoorSpace, network: RoadNetwork) -> None:
+        self.space = space
+        self.network = network
+        self._anchors: Dict[int, List[Tuple[int, float]]] = {}
+
+    def anchor(
+        self, door_id: int, node_id: int, cost: Optional[float] = None
+    ) -> None:
+        """Join an exterior door to a road junction (both directions).
+
+        Args:
+            door_id: the building door serving as an entrance/exit.
+            node_id: the road junction in front of it.
+            cost: walking distance between them; defaults to the planar
+                Euclidean distance between the door midpoint and the node.
+        """
+        if not self.space.topology.has_door(door_id):
+            raise UnknownEntityError("door", door_id)
+        position = self.network.node_position(node_id)  # validates the node
+        if cost is None:
+            midpoint = self.space.door(door_id).midpoint
+            cost = position.on_floor(midpoint.floor).distance_to(midpoint)
+        if cost < 0:
+            raise ModelError(f"negative anchor cost {cost}")
+        self._anchors.setdefault(door_id, []).append((node_id, cost))
+
+    @property
+    def anchored_doors(self) -> Tuple[int, ...]:
+        """Doors joined to the road network, ascending."""
+        return tuple(sorted(self._anchors))
+
+    # ------------------------------------------------------------------
+    # The union-graph search
+    # ------------------------------------------------------------------
+    def _expand(self, node: _Node):
+        """Yield ``(neighbor, weight)`` over the union graph."""
+        kind, identifier = node
+        if kind == "road":
+            for neighbor, length in self.network.neighbors(identifier):
+                yield ("road", neighbor), length
+            # Road -> anchored doors.
+            for door_id, links in self._anchors.items():
+                for node_id, cost in links:
+                    if node_id == identifier:
+                        yield ("door", door_id), cost
+        else:
+            graph = self.space.distance_graph
+            topology = self.space.topology
+            for partition_id in topology.enterable_partitions(identifier):
+                for next_door in topology.leaveable_doors(partition_id):
+                    weight = graph.fd2d(partition_id, identifier, next_door)
+                    if not math.isinf(weight):
+                        yield ("door", next_door), weight
+            for node_id, cost in self._anchors.get(identifier, ()):
+                yield ("road", node_id), cost
+
+    def _sources(self, origin: Location) -> List[Tuple[_Node, float]]:
+        if isinstance(origin, OutdoorLocation):
+            self.network.node_position(origin.node_id)  # validate
+            return [(("road", origin.node_id), 0.0)]
+        host = self.space.require_host_partition(origin)
+        sources = []
+        for door_id in self.space.topology.leaveable_doors(host.partition_id):
+            leg = self.space.dist_v(origin, door_id, host)
+            if not math.isinf(leg):
+                sources.append((("door", door_id), leg))
+        return sources
+
+    def _terminals(self, destination: Location) -> Dict[_Node, float]:
+        if isinstance(destination, OutdoorLocation):
+            self.network.node_position(destination.node_id)
+            return {("road", destination.node_id): 0.0}
+        host = self.space.require_host_partition(destination)
+        terminals: Dict[_Node, float] = {}
+        for door_id in self.space.topology.enterable_doors(host.partition_id):
+            leg = self.space.dist_v(destination, door_id, host)
+            if not math.isinf(leg):
+                terminals[("door", door_id)] = leg
+        return terminals
+
+    def _search(
+        self, origin: Location, destination: Location
+    ) -> Tuple[float, Optional[List[_Node]]]:
+        """Union-graph Dijkstra; returns the best total distance and the
+        hop sequence of union-graph nodes (``None`` when the direct
+        intra-partition walk wins or nothing is reachable)."""
+        best_direct = math.inf
+        if isinstance(origin, Point) and isinstance(destination, Point):
+            host_a = self.space.require_host_partition(origin)
+            host_b = self.space.require_host_partition(destination)
+            if host_a.partition_id == host_b.partition_id:
+                best_direct = host_a.intra_distance(origin, destination)
+
+        sources = self._sources(origin)
+        terminals = self._terminals(destination)
+        if not sources or not terminals:
+            return best_direct, None
+
+        dist: Dict[_Node, float] = {}
+        prev: Dict[_Node, Optional[_Node]] = {}
+        heap: List[Tuple[float, _Node]] = []
+        for node, leg in sources:
+            if leg < dist.get(node, math.inf):
+                dist[node] = leg
+                prev[node] = None
+                heapq.heappush(heap, (leg, node))
+        settled = set()
+        pending = set(terminals)
+        best = best_direct
+        best_terminal: Optional[_Node] = None
+        while heap:
+            d, current = heapq.heappop(heap)
+            if current in settled:
+                continue
+            settled.add(current)
+            if current in pending:
+                pending.discard(current)
+                candidate = d + terminals[current]
+                if candidate < best:
+                    best = candidate
+                    best_terminal = current
+                if not pending:
+                    break
+            if d >= best:
+                break
+            for neighbor, weight in self._expand(current):
+                if neighbor in settled:
+                    continue
+                candidate = d + weight
+                if candidate < dist.get(neighbor, math.inf):
+                    dist[neighbor] = candidate
+                    prev[neighbor] = current
+                    heapq.heappush(heap, (candidate, neighbor))
+
+        if best_terminal is None:
+            return best, None
+        hops: List[_Node] = []
+        cursor: Optional[_Node] = best_terminal
+        while cursor is not None:
+            hops.append(cursor)
+            cursor = prev[cursor]
+        hops.reverse()
+        return best, hops
+
+    def distance(self, origin: Location, destination: Location) -> float:
+        """Minimum walking distance over the integrated graph.
+
+        Indoor/indoor pairs in the same partition also consider the direct
+        intra-partition walk; every other combination routes through doors
+        and/or roads as the union Dijkstra finds cheapest.
+        """
+        return self._search(origin, destination)[0]
+
+    def route(
+        self, origin: Location, destination: Location
+    ) -> Tuple[float, List[Tuple[str, int]]]:
+        """The best integrated route as ``(distance, hops)``.
+
+        Each hop is ``("door", door_id)`` or ``("road", node_id)`` in
+        travel order; an empty hop list with a finite distance means the
+        direct intra-partition walk won.
+        """
+        distance, hops = self._search(origin, destination)
+        return distance, list(hops) if hops else []
+
+    def is_reachable(self, origin: Location, destination: Location) -> bool:
+        """Whether any integrated route exists."""
+        return not math.isinf(self.distance(origin, destination))

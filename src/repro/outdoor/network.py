@@ -1,0 +1,138 @@
+"""A minimal weighted road network (the outdoor substrate).
+
+Nodes are junctions with planar coordinates; edges are road segments with a
+length (defaulting to the Euclidean distance between their endpoints).  The
+network supports directed edges (one-way streets) and provides Dijkstra
+shortest distances and paths.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Dict, List, Optional, Tuple
+
+from repro.exceptions import ModelError, UnknownEntityError
+from repro.geometry import Point
+
+
+class RoadNetwork:
+    """A directed, weighted outdoor road graph."""
+
+    def __init__(self) -> None:
+        self._nodes: Dict[int, Point] = {}
+        self._adjacency: Dict[int, List[Tuple[int, float]]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_node(self, node_id: int, position: Point) -> None:
+        """Register a junction."""
+        if node_id in self._nodes:
+            raise ModelError(f"duplicate road node id {node_id}")
+        self._nodes[node_id] = position
+        self._adjacency[node_id] = []
+
+    def add_edge(
+        self,
+        from_node: int,
+        to_node: int,
+        length: Optional[float] = None,
+        bidirectional: bool = True,
+    ) -> None:
+        """Register a road segment.
+
+        Args:
+            from_node / to_node: junction ids (must exist).
+            length: road length; defaults to the Euclidean node distance.
+            bidirectional: two-way street (default) or one-way.
+        """
+        for node_id in (from_node, to_node):
+            if node_id not in self._nodes:
+                raise UnknownEntityError("road node", node_id)
+        if from_node == to_node:
+            raise ModelError(f"self-loop road edge at node {from_node}")
+        if length is None:
+            length = self._nodes[from_node].distance_to(self._nodes[to_node])
+        if length < 0:
+            raise ModelError(f"negative road length {length}")
+        self._adjacency[from_node].append((to_node, length))
+        if bidirectional:
+            self._adjacency[to_node].append((from_node, length))
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    @property
+    def node_ids(self) -> Tuple[int, ...]:
+        """All junction ids, ascending."""
+        return tuple(sorted(self._nodes))
+
+    def node_position(self, node_id: int) -> Point:
+        """Position of a junction."""
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise UnknownEntityError("road node", node_id) from None
+
+    def neighbors(self, node_id: int) -> Tuple[Tuple[int, float], ...]:
+        """Outgoing ``(node, length)`` pairs of a junction."""
+        if node_id not in self._nodes:
+            raise UnknownEntityError("road node", node_id)
+        return tuple(self._adjacency[node_id])
+
+    def nearest_node(self, position: Point) -> Optional[int]:
+        """The junction closest (Euclidean) to an arbitrary position."""
+        if not self._nodes:
+            return None
+        return min(
+            self._nodes,
+            key=lambda nid: (
+                self._nodes[nid].distance_to(position.on_floor(0)),
+                nid,
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Shortest paths
+    # ------------------------------------------------------------------
+    def distance(self, from_node: int, to_node: int) -> float:
+        """Shortest road distance between two junctions (``inf`` when
+        disconnected)."""
+        return self.shortest_path(from_node, to_node)[0]
+
+    def shortest_path(
+        self, from_node: int, to_node: int
+    ) -> Tuple[float, List[int]]:
+        """``(distance, node sequence)``; ``(inf, [])`` when disconnected."""
+        for node_id in (from_node, to_node):
+            if node_id not in self._nodes:
+                raise UnknownEntityError("road node", node_id)
+        dist: Dict[int, float] = {from_node: 0.0}
+        prev: Dict[int, Optional[int]] = {from_node: None}
+        settled = set()
+        heap: List[Tuple[float, int]] = [(0.0, from_node)]
+        while heap:
+            d, current = heapq.heappop(heap)
+            if current in settled:
+                continue
+            settled.add(current)
+            if current == to_node:
+                break
+            for neighbor, length in self._adjacency[current]:
+                if neighbor in settled:
+                    continue
+                candidate = d + length
+                if candidate < dist.get(neighbor, math.inf):
+                    dist[neighbor] = candidate
+                    prev[neighbor] = current
+                    heapq.heappush(heap, (candidate, neighbor))
+        if to_node not in settled:
+            return math.inf, []
+        path: List[int] = []
+        cursor: Optional[int] = to_node
+        while cursor is not None:
+            path.append(cursor)
+            cursor = prev[cursor]
+        path.reverse()
+        return dist[to_node], path

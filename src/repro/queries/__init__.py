@@ -1,0 +1,36 @@
+"""Indoor distance-aware query processing (paper §V).
+
+* :mod:`repro.queries.range_query` — Algorithm 5, the range query.
+* :mod:`repro.queries.knn_query` — Algorithm 6 and its k > 1 extension.
+* :mod:`repro.queries.baselines` — brute-force oracles used for result
+  verification (every object's exact pt2pt distance), complementing the
+  ``use_index=False`` no-M_idx baseline built into the query functions.
+* :mod:`repro.queries.engine` — :class:`~repro.queries.engine.QueryEngine`,
+  the public facade tying the model, indexes, and queries together.
+"""
+
+from repro.queries.range_query import range_query
+from repro.queries.knn_query import knn_query, nn_query
+from repro.queries.baselines import brute_force_knn, brute_force_range
+from repro.queries.advanced import (
+    aggregate_nn,
+    closest_pair,
+    distance_join,
+    distances_to_all_objects,
+    range_query_with_distances,
+)
+from repro.queries.engine import QueryEngine
+
+__all__ = [
+    "range_query",
+    "range_query_with_distances",
+    "knn_query",
+    "nn_query",
+    "brute_force_range",
+    "brute_force_knn",
+    "aggregate_nn",
+    "closest_pair",
+    "distance_join",
+    "distances_to_all_objects",
+    "QueryEngine",
+]

@@ -1,0 +1,47 @@
+"""Brute-force query oracles.
+
+These evaluate the exact position-to-position distance (Algorithm 3) from
+the query position to *every* object — no indexes, no pruning.  They are the
+ground truth the engine's results are verified against in tests, and the
+"how bad would it be with no infrastructure at all" datapoint in examples.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+from repro.distance.point_to_point import pt2pt_distance_refined
+from repro.exceptions import QueryError
+from repro.geometry import Point
+from repro.index.objects import ObjectStore
+from repro.model.builder import IndoorSpace
+
+
+def brute_force_range(
+    space: IndoorSpace, store: ObjectStore, position: Point, radius: float
+) -> List[int]:
+    """Exact range query by evaluating pt2pt distance per object."""
+    if radius < 0:
+        raise QueryError(f"range radius must be non-negative, got {radius}")
+    results = []
+    for obj in store:
+        distance = pt2pt_distance_refined(space, position, obj.position)
+        if distance <= radius + 1e-9:
+            results.append(obj.object_id)
+    return sorted(results)
+
+
+def brute_force_knn(
+    space: IndoorSpace, store: ObjectStore, position: Point, k: int
+) -> List[Tuple[int, float]]:
+    """Exact kNN by evaluating pt2pt distance per object."""
+    if k < 1:
+        raise QueryError(f"k must be >= 1, got {k}")
+    scored = []
+    for obj in store:
+        distance = pt2pt_distance_refined(space, position, obj.position)
+        if not math.isinf(distance):
+            scored.append((distance, obj.object_id))
+    scored.sort()
+    return [(oid, dist) for dist, oid in scored[:k]]

@@ -1,0 +1,160 @@
+"""The public query facade: :class:`QueryEngine`.
+
+One object that owns an indoor space plus its §IV indexes and exposes the
+paper's full query surface — distances, shortest paths, range queries, and
+kNN — together with object maintenance (insert / remove / move).  All the
+examples and benchmarks drive the library through this class.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+from repro.distance.door_count import DoorCountResult, door_count_pt2pt
+from repro.distance.path import IndoorPath
+from repro.distance.point_to_point import pt2pt_distance, pt2pt_path
+from repro.geometry import Point
+from repro.index.framework import IndexFramework
+from repro.index.objects import DEFAULT_CELL_SIZE, IndoorObject
+from repro.model.builder import IndoorSpace
+from repro.queries.advanced import (
+    aggregate_nn,
+    closest_pair,
+    distance_join,
+    distances_to_all_objects,
+    range_query_with_distances,
+)
+from repro.queries.knn_query import knn_query, nn_query
+from repro.queries.range_query import range_query
+
+
+class QueryEngine:
+    """Distance-aware indoor query processing over an indexed space."""
+
+    def __init__(self, framework: IndexFramework) -> None:
+        self.framework = framework
+
+    @classmethod
+    def for_space(
+        cls,
+        space: IndoorSpace,
+        objects: Optional[Iterable[IndoorObject]] = None,
+        cell_size: float = DEFAULT_CELL_SIZE,
+    ) -> "QueryEngine":
+        """Build every index structure for ``space`` and wrap it."""
+        return cls(IndexFramework.build(space, objects, cell_size))
+
+    @classmethod
+    def load(
+        cls,
+        plan_path,
+        objects_path=None,
+        cell_size: float = DEFAULT_CELL_SIZE,
+    ) -> "QueryEngine":
+        """Load a JSON floor plan (and optionally a JSON object set) from
+        disk and build a ready-to-query engine."""
+        from repro.io import load_objects, load_space
+
+        space = load_space(plan_path)
+        objects = load_objects(objects_path) if objects_path else None
+        return cls.for_space(space, objects, cell_size)
+
+    # ------------------------------------------------------------------
+    # Distances and paths
+    # ------------------------------------------------------------------
+    @property
+    def space(self) -> IndoorSpace:
+        """The underlying indoor space."""
+        return self.framework.space
+
+    def distance(self, source: Point, target: Point) -> float:
+        """Minimum indoor walking distance between two positions."""
+        return pt2pt_distance(self.space, source, target)
+
+    def shortest_path(self, source: Point, target: Point) -> IndoorPath:
+        """Shortest indoor path with its door / partition sequence."""
+        return pt2pt_path(self.space, source, target)
+
+    def door_distance(self, from_door: int, to_door: int) -> float:
+        """Precomputed door-to-door distance (M_d2d lookup)."""
+        return self.framework.distance_index.distance(from_door, to_door)
+
+    def door_count_distance(self, source: Point, target: Point) -> DoorCountResult:
+        """The Li & Lee door-count baseline, for comparisons."""
+        return door_count_pt2pt(self.space, source, target)
+
+    # ------------------------------------------------------------------
+    # Queries (§V)
+    # ------------------------------------------------------------------
+    def range_query(
+        self, position: Point, radius: float, use_index: bool = True
+    ) -> List[int]:
+        """Algorithm 5: ids of all objects within ``radius`` of ``position``."""
+        return range_query(self.framework, position, radius, use_index)
+
+    def knn(
+        self, position: Point, k: int = 1, use_index: bool = True
+    ) -> List[Tuple[int, float]]:
+        """Algorithm 6 (k extension): the k nearest objects with distances."""
+        return knn_query(self.framework, position, k, use_index)
+
+    def nearest_neighbor(
+        self, position: Point, use_index: bool = True
+    ) -> Optional[Tuple[int, float]]:
+        """The single nearest object, or ``None`` when none is reachable."""
+        return nn_query(self.framework, position, use_index)
+
+    # ------------------------------------------------------------------
+    # Composite queries (§VII building-block compositions)
+    # ------------------------------------------------------------------
+    def range_query_with_distances(
+        self, position: Point, radius: float
+    ) -> List[Tuple[int, float]]:
+        """Range query returning exact per-object distances, nearest first."""
+        return range_query_with_distances(self.framework, position, radius)
+
+    def distances_to_all_objects(self, position: Point) -> dict:
+        """Walking distance from ``position`` to every reachable object."""
+        return distances_to_all_objects(self.framework, position)
+
+    def distance_join(self, radius: float) -> List[Tuple[int, int, float]]:
+        """All object pairs within ``radius`` of each other."""
+        return distance_join(self.framework, radius)
+
+    def aggregate_nn(
+        self, positions: List[Point], k: int = 1, agg: str = "sum"
+    ) -> List[Tuple[int, float]]:
+        """Group nearest neighbour over a set of positions."""
+        return aggregate_nn(self.framework, positions, k, agg)
+
+    def closest_pair(self) -> Optional[Tuple[int, int, float]]:
+        """The two objects nearest each other."""
+        return closest_pair(self.framework)
+
+    # ------------------------------------------------------------------
+    # Object maintenance
+    # ------------------------------------------------------------------
+    def add_object(self, obj: IndoorObject) -> int:
+        """Insert an object; returns its host partition id."""
+        return self.framework.objects.add(obj)
+
+    def add_objects(self, objects: Iterable[IndoorObject]) -> None:
+        """Insert many objects."""
+        self.framework.objects.add_all(objects)
+
+    def remove_object(self, object_id: int) -> IndoorObject:
+        """Remove an object by id."""
+        return self.framework.objects.remove(object_id)
+
+    def move_object(self, object_id: int, new_position: Point) -> IndoorObject:
+        """Relocate an object, rebucketing it if it changed partition."""
+        return self.framework.objects.move(object_id, new_position)
+
+    def get_object(self, object_id: int) -> IndoorObject:
+        """Fetch an object by id."""
+        return self.framework.objects.get(object_id)
+
+    @property
+    def num_objects(self) -> int:
+        """How many objects the store currently holds."""
+        return len(self.framework.objects)

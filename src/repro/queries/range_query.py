@@ -1,0 +1,90 @@
+"""Algorithm 5: the indoor range query Q_r(q, r) (paper §V-A1).
+
+Given a query position ``q`` and a radius ``r``, return every object whose
+minimum indoor walking distance from ``q`` is at most ``r``.
+
+The algorithm first searches ``q``'s host partition, then, for each door
+``d_i`` through which the host partition can be left, scans all other doors
+``d_j`` in non-descending M_d2d[d_i, ·] order (via M_idx), stopping as soon
+as a door exceeds the remaining budget.  For each reachable door it consults
+the DPT: a partition whose f_dv fits entirely inside the remaining budget
+contributes its whole bucket without opening it; otherwise a grid-pruned
+``rangeSearch`` from the door runs inside the bucket.
+
+``use_index=False`` reproduces the paper's §VI-B baseline: the same
+algorithm forced to scan the entire M_d2d row (no sorted order, no cutoff).
+
+Note the paper's §V-A1 remark: the host partition may be *re-entered*
+through a door (the Figure-5 out-and-back phenomenon), so its bucket can be
+searched more than once — the union semantics below handles that naturally.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.exceptions import QueryError
+from repro.geometry import Point
+from repro.index.framework import IndexFramework
+
+
+def range_query(
+    framework: IndexFramework,
+    position: Point,
+    radius: float,
+    use_index: bool = True,
+) -> List[int]:
+    """All object ids within walking distance ``radius`` of ``position``.
+
+    Args:
+        framework: the §IV index structures.
+        position: the query position ``q`` (must lie in some partition).
+        radius: the range ``r`` in metres; must be non-negative.
+        use_index: scan doors through M_idx (sorted, early-terminating) or
+            through the raw M_d2d row (the paper's no-index baseline).
+
+    Returns:
+        Sorted object ids (each object reported once).
+    """
+    if radius < 0:
+        raise QueryError(f"range radius must be non-negative, got {radius}")
+    space = framework.space
+    host = space.require_host_partition(position)
+    store = framework.objects
+
+    results: Set[int] = set()
+    bucket = store.bucket(host.partition_id)
+    if bucket is not None:
+        results.update(oid for oid, _ in bucket.range_search(position, radius))
+
+    for di in sorted(space.topology.leaveable_doors(host.partition_id)):
+        budget = radius - space.dist_v(position, di, host)
+        if budget < 0:
+            continue
+        if use_index:
+            scan = framework.distance_index.doors_by_distance(
+                di, max_distance=budget
+            )
+        else:
+            scan = framework.distance_index.doors_unsorted(di)
+        for dj, door_distance in scan:
+            if door_distance > budget:
+                continue  # only reachable on the unsorted scan
+            remaining = budget - door_distance
+            door_point = space.door(dj).midpoint
+            for partition_id, longest_reach in framework.dpt.record(dj).enterable():
+                target_bucket = store.bucket(partition_id)
+                if target_bucket is None:
+                    continue
+                if longest_reach <= remaining:
+                    # The whole partition fits inside the range: take the
+                    # bucket without opening it (Algorithm 5 lines 12-13).
+                    results.update(target_bucket.object_ids())
+                else:
+                    results.update(
+                        oid
+                        for oid, _ in target_bucket.range_search(
+                            door_point, remaining
+                        )
+                    )
+    return sorted(results)

@@ -1,0 +1,34 @@
+"""Navigation services on top of the distance foundation.
+
+The paper motivates the model with guidance services — museum tours,
+boarding directions, emergency response (§I).  This package supplies the
+service-level pieces those scenarios need beyond raw distances:
+
+* :mod:`repro.routing.directions` — turn shortest paths into per-leg,
+  human-readable walking instructions;
+* :mod:`repro.routing.tour` — multi-stop visit planning (exact for small
+  stop sets, greedy + or-opt for larger ones, one-way-door aware);
+* :mod:`repro.routing.reachability` — reachability / evacuation-safety
+  analysis over the accessibility graph.
+"""
+
+from repro.routing.directions import RouteLeg, directions, route_legs
+from repro.routing.reachability import (
+    EvacuationReport,
+    evacuation_report,
+    partitions_that_can_reach,
+    trapped_partitions,
+)
+from repro.routing.tour import TourPlan, plan_tour
+
+__all__ = [
+    "RouteLeg",
+    "route_legs",
+    "directions",
+    "TourPlan",
+    "plan_tour",
+    "EvacuationReport",
+    "evacuation_report",
+    "partitions_that_can_reach",
+    "trapped_partitions",
+]

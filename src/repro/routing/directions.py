@@ -1,0 +1,101 @@
+"""Turn-by-turn directions from indoor shortest paths.
+
+Splits an :class:`~repro.distance.path.IndoorPath` into legs — one per
+partition traversed — with exact distances (the legs sum to the path
+distance), and renders them as human-readable instructions using partition
+and door display names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.distance.path import IndoorPath
+from repro.exceptions import QueryError
+from repro.model.builder import IndoorSpace
+
+
+@dataclass(frozen=True)
+class RouteLeg:
+    """One walking leg of a route.
+
+    Attributes:
+        partition_id: the partition this leg crosses.
+        distance: walking distance of the leg.
+        exit_door: the door this leg ends at (``None`` for the final leg,
+            which ends at the destination position).
+    """
+
+    partition_id: int
+    distance: float
+    exit_door: Optional[int]
+
+
+def route_legs(space: IndoorSpace, path: IndoorPath) -> List[RouteLeg]:
+    """Decompose a reachable path into per-partition legs.
+
+    The leg distances sum to ``path.distance`` exactly: the first leg is the
+    intra-partition walk from the source to the first door, middle legs are
+    the f_d2d crossings, and the last leg walks from the final door to the
+    destination.
+    """
+    if not path.is_reachable:
+        raise QueryError("cannot decompose an unreachable path")
+    graph = space.distance_graph
+    if not path.doors:
+        return [RouteLeg(path.partitions[0], path.distance, None)]
+
+    legs: List[RouteLeg] = []
+    host = space.partition(path.partitions[0])
+    first = host.intra_distance(path.source, space.door(path.doors[0]).midpoint)
+    legs.append(RouteLeg(host.partition_id, first, path.doors[0]))
+    for i in range(1, len(path.doors)):
+        partition_id = path.partitions[i]
+        legs.append(
+            RouteLeg(
+                partition_id,
+                graph.fd2d(partition_id, path.doors[i - 1], path.doors[i]),
+                path.doors[i],
+            )
+        )
+    last_partition = space.partition(path.partitions[-1])
+    last = last_partition.intra_distance(
+        space.door(path.doors[-1]).midpoint, path.target
+    )
+    legs.append(RouteLeg(last_partition.partition_id, last, None))
+    return legs
+
+
+def directions(space: IndoorSpace, path: IndoorPath) -> List[str]:
+    """Human-readable walking instructions for a path.
+
+    Example output::
+
+        Walk 2.7 m through room 13 to d15.
+        Pass through d15; walk 2.2 m through room 12 to d12.
+        Pass through d12; walk 0.8 m through hallway 10 to your destination.
+
+    Unreachable paths yield a single "no route" line.
+    """
+    if not path.is_reachable:
+        return ["No route exists to the destination."]
+    steps: List[str] = []
+    previous_door: Optional[int] = None
+    for leg in route_legs(space, path):
+        partition = space.partition(leg.partition_id)
+        goal = (
+            space.door(leg.exit_door).label
+            if leg.exit_door is not None
+            else "your destination"
+        )
+        sentence = f"walk {leg.distance:.1f} m through {partition.label} to {goal}."
+        if previous_door is None:
+            sentence = sentence[0].upper() + sentence[1:]
+        else:
+            sentence = (
+                f"Pass through {space.door(previous_door).label}; " + sentence
+            )
+        steps.append(sentence)
+        previous_door = leg.exit_door
+    return steps

@@ -1,0 +1,81 @@
+"""Reachability and evacuation-safety analysis.
+
+Directed reachability over the accessibility graph answers questions the
+paper's emergency-response motivation raises: which partitions can reach an
+exit at all?  One-way doors (security gates) and temporal closures make the
+answer non-trivial — a room can be enterable yet offer no way out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Set, Tuple
+
+from collections import deque
+
+from repro.exceptions import UnknownEntityError
+from repro.model.builder import IndoorSpace
+
+
+def partitions_that_can_reach(
+    space: IndoorSpace, targets: Iterable[int]
+) -> FrozenSet[int]:
+    """All partitions from which at least one of ``targets`` is reachable
+    (respecting door directionality); includes the targets themselves."""
+    target_set = set(targets)
+    for target in target_set:
+        if not space.topology.has_partition(target):
+            raise UnknownEntityError("partition", target)
+    # Backward BFS over the accessibility graph's reversed edges.
+    graph = space.accessibility
+    seen: Set[int] = set(target_set)
+    queue = deque(target_set)
+    while queue:
+        current = queue.popleft()
+        for edge in graph.in_edges(current):
+            if edge.source not in seen:
+                seen.add(edge.source)
+                queue.append(edge.source)
+    return frozenset(seen)
+
+
+def trapped_partitions(
+    space: IndoorSpace, exits: Iterable[int]
+) -> FrozenSet[int]:
+    """Partitions from which *no* exit partition can be reached."""
+    safe = partitions_that_can_reach(space, exits)
+    return frozenset(set(space.partition_ids) - safe)
+
+
+@dataclass(frozen=True)
+class EvacuationReport:
+    """Outcome of an evacuation-safety analysis.
+
+    Attributes:
+        exits: the designated exit partitions.
+        safe: partitions with a route to some exit.
+        trapped: partitions with no route to any exit.
+    """
+
+    exits: Tuple[int, ...]
+    safe: Tuple[int, ...]
+    trapped: Tuple[int, ...]
+
+    @property
+    def is_safe(self) -> bool:
+        """True when every partition can reach an exit."""
+        return not self.trapped
+
+
+def evacuation_report(
+    space: IndoorSpace, exits: Iterable[int]
+) -> EvacuationReport:
+    """Classify every partition as safe or trapped w.r.t. the given exits."""
+    exit_tuple = tuple(sorted(set(exits)))
+    safe = partitions_that_can_reach(space, exit_tuple)
+    trapped = set(space.partition_ids) - safe
+    return EvacuationReport(
+        exits=exit_tuple,
+        safe=tuple(sorted(safe)),
+        trapped=tuple(sorted(trapped)),
+    )

@@ -1,0 +1,174 @@
+"""Multi-stop indoor tour planning.
+
+Given a start position and a set of stops (exhibits, inspection points,
+delivery drops), find a visiting order minimising the total indoor walking
+distance.  Indoor distances are asymmetric when one-way doors are present,
+so the planner treats the problem as an *asymmetric* open-path TSP:
+
+* up to :data:`EXACT_LIMIT` stops: exact Held–Karp dynamic programming;
+* beyond that: nearest-neighbour construction followed by or-opt moves
+  (segment relocation), which — unlike classical 2-opt — never reverses a
+  segment and therefore stays valid under asymmetric distances.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.distance.point_to_point import pt2pt_distance_memoized
+from repro.exceptions import QueryError, UnreachableError
+from repro.geometry import Point
+from repro.model.builder import IndoorSpace
+
+#: Largest stop count solved exactly (Held-Karp is O(2^n * n^2)).
+EXACT_LIMIT = 10
+
+
+@dataclass(frozen=True)
+class TourPlan:
+    """A planned visiting order.
+
+    Attributes:
+        order: indices into the caller's ``stops`` sequence, visit order.
+        leg_distances: walking distance of each leg (start → first stop,
+            then stop to stop); ``len(leg_distances) == len(order)``.
+        total_distance: sum of the legs.
+        exact: True when the order is provably optimal (Held-Karp).
+    """
+
+    order: Tuple[int, ...]
+    leg_distances: Tuple[float, ...]
+    total_distance: float
+    exact: bool
+
+
+def _distance_table(
+    space: IndoorSpace, start: Point, stops: Sequence[Point]
+) -> List[List[float]]:
+    """(1+n)×(1+n) walking distance matrix; index 0 is the start."""
+    points = [start, *stops]
+    table = [[0.0] * len(points) for _ in points]
+    for i, a in enumerate(points):
+        for j, b in enumerate(points):
+            if i != j:
+                table[i][j] = pt2pt_distance_memoized(space, a, b)
+    return table
+
+
+def _held_karp(table: List[List[float]], n: int) -> Tuple[List[int], float]:
+    """Exact open-path ATSP from node 0 over nodes 1..n."""
+    full = 1 << n
+    cost = [[math.inf] * n for _ in range(full)]
+    parent: List[List[int]] = [[-1] * n for _ in range(full)]
+    for j in range(n):
+        cost[1 << j][j] = table[0][j + 1]
+    for mask in range(full):
+        for j in range(n):
+            if not mask & (1 << j) or math.isinf(cost[mask][j]):
+                continue
+            base = cost[mask][j]
+            for nxt in range(n):
+                if mask & (1 << nxt):
+                    continue
+                new_mask = mask | (1 << nxt)
+                candidate = base + table[j + 1][nxt + 1]
+                if candidate < cost[new_mask][nxt]:
+                    cost[new_mask][nxt] = candidate
+                    parent[new_mask][nxt] = j
+    final_mask = full - 1
+    best_end = min(range(n), key=lambda j: cost[final_mask][j])
+    best_cost = cost[final_mask][best_end]
+    order: List[int] = []
+    mask, j = final_mask, best_end
+    while j != -1:
+        order.append(j)
+        previous = parent[mask][j]
+        mask ^= 1 << j
+        j = previous
+    order.reverse()
+    return order, best_cost
+
+
+def _nearest_neighbour(table: List[List[float]], n: int) -> List[int]:
+    unvisited = set(range(n))
+    order: List[int] = []
+    current = 0  # table index of the start
+    while unvisited:
+        nxt = min(unvisited, key=lambda j: table[current][j + 1])
+        order.append(nxt)
+        unvisited.remove(nxt)
+        current = nxt + 1
+    return order
+
+
+def _path_cost(table: List[List[float]], order: Sequence[int]) -> float:
+    cost = table[0][order[0] + 1]
+    for a, b in zip(order, order[1:]):
+        cost += table[a + 1][b + 1]
+    return cost
+
+
+def _or_opt(table: List[List[float]], order: List[int]) -> List[int]:
+    """Relocate segments of length 1-3 while improvements exist."""
+    improved = True
+    best_cost = _path_cost(table, order)
+    while improved:
+        improved = False
+        for seg_len in (1, 2, 3):
+            for i in range(len(order) - seg_len + 1):
+                segment = order[i : i + seg_len]
+                rest = order[:i] + order[i + seg_len :]
+                if not rest:
+                    continue
+                for j in range(len(rest) + 1):
+                    if j == i:
+                        continue
+                    candidate = rest[:j] + segment + rest[j:]
+                    cost = _path_cost(table, candidate)
+                    if cost < best_cost - 1e-12:
+                        order = candidate
+                        best_cost = cost
+                        improved = True
+                        break
+                if improved:
+                    break
+            if improved:
+                break
+    return order
+
+
+def plan_tour(
+    space: IndoorSpace, start: Point, stops: Sequence[Point]
+) -> TourPlan:
+    """Plan a visiting order over ``stops`` starting from ``start``.
+
+    Raises:
+        QueryError: when no stops are given.
+        UnreachableError: when some stop cannot be reached at all.
+    """
+    if not stops:
+        raise QueryError("plan_tour needs at least one stop")
+    n = len(stops)
+    table = _distance_table(space, start, stops)
+    for j in range(1, n + 1):
+        if math.isinf(table[0][j]) and all(
+            math.isinf(table[i][j]) for i in range(1, n + 1) if i != j
+        ):
+            raise UnreachableError(f"stop {j - 1} is unreachable from anywhere")
+
+    if n <= EXACT_LIMIT:
+        order, total = _held_karp(table, n)
+        exact = True
+    else:
+        order = _or_opt(table, _nearest_neighbour(table, n))
+        total = _path_cost(table, order)
+        exact = False
+    if math.isinf(total):
+        raise UnreachableError("no feasible visiting order exists")
+
+    legs: List[float] = [table[0][order[0] + 1]]
+    for a, b in zip(order, order[1:]):
+        legs.append(table[a + 1][b + 1])
+    return TourPlan(tuple(order), tuple(legs), total, exact)

@@ -1,0 +1,29 @@
+"""Synthetic experimental apparatus (paper §VI).
+
+* :mod:`repro.synthetic.building` — the paper's multi-floor office building
+  generator: 30 rooms + 2 staircases per floor, star-connected to a hallway,
+  staircases flattened into virtual rooms (§VI-A).
+* :mod:`repro.synthetic.objects` — uniformly random indoor objects / POIs
+  (§VI-B: random floor → random partition → random position).
+* :mod:`repro.synthetic.workload` — random query positions, position pairs,
+  and parameter sweeps for the benchmark harness.
+"""
+
+from repro.synthetic.building import BuildingConfig, SyntheticBuilding, generate_building
+from repro.synthetic.objects import build_object_store, generate_objects
+from repro.synthetic.workload import (
+    random_position,
+    random_position_pairs,
+    random_positions,
+)
+
+__all__ = [
+    "BuildingConfig",
+    "SyntheticBuilding",
+    "generate_building",
+    "generate_objects",
+    "build_object_store",
+    "random_position",
+    "random_positions",
+    "random_position_pairs",
+]

@@ -1,0 +1,221 @@
+"""The paper's synthetic office building generator (§VI-A).
+
+"For each floor of a building, we generate 30 rooms and 2 staircases, and
+all of them are connected by doors to a hallway in a star-like manner. ...
+we treat each staircase as a special room with two doors, each of which
+connects to its corresponding floor.  Inside such a virtual room, the
+door-to-door distance is the actual walking distance when using the
+corresponding staircase.  This way, the entire multi-floor building is
+'transformed' into a flat one."
+
+Layout produced here (per floor, all units metres):
+
+* a horizontal hallway spanning the floor,
+* ``rooms_per_floor`` rooms split between the north and south sides of the
+  hallway, each with a single bidirectional door onto the hallway (the
+  star-like connection),
+* staircases flanking the hallway's west and east ends; each staircase
+  between floors f and f+1 is one partition with a lower door on floor f and
+  an upper door on floor f+1, and an intra-partition cross-floor distance of
+  ``stair_length`` — the §VI-A flattening.
+
+Door-count accounting: ``rooms_per_floor`` room doors per floor plus
+2 doors per staircase; with the paper's parameters and 40 floors this gives
+1 200 + 156 = 1 356 doors, matching the paper's "about 1 300 doors" scale
+(its own 32x40 = 1 280 figure counts staircases as one virtual door each).
+
+Everything is deterministic: same configuration, same building.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.exceptions import ModelError
+from repro.geometry import Point, Segment, rectangle
+from repro.model.builder import IndoorSpace, IndoorSpaceBuilder
+from repro.model.entities import PartitionKind
+
+
+@dataclass(frozen=True)
+class BuildingConfig:
+    """Parameters of the synthetic building (paper defaults)."""
+
+    floors: int = 10
+    rooms_per_floor: int = 30
+    staircases_per_gap: int = 2
+    room_width: float = 5.0
+    room_depth: float = 4.0
+    hallway_width: float = 4.0
+    staircase_size: float = 4.0
+    stair_length: float = 6.0
+
+    def __post_init__(self) -> None:
+        if self.floors < 1:
+            raise ModelError(f"a building needs >= 1 floor, got {self.floors}")
+        if self.rooms_per_floor < 2 or self.rooms_per_floor % 2 != 0:
+            raise ModelError(
+                "rooms_per_floor must be a positive even number, got "
+                f"{self.rooms_per_floor}"
+            )
+        if self.staircases_per_gap not in (1, 2):
+            raise ModelError(
+                f"staircases_per_gap must be 1 or 2, got {self.staircases_per_gap}"
+            )
+        for name in ("room_width", "room_depth", "hallway_width",
+                     "staircase_size", "stair_length"):
+            if getattr(self, name) <= 0:
+                raise ModelError(f"{name} must be positive")
+
+    @property
+    def rooms_per_side(self) -> int:
+        return self.rooms_per_floor // 2
+
+    @property
+    def hallway_length(self) -> float:
+        return self.rooms_per_side * self.room_width
+
+    @property
+    def doors_total(self) -> int:
+        """Total door count of the generated building."""
+        room_doors = self.rooms_per_floor * self.floors
+        stair_doors = 2 * self.staircases_per_gap * max(0, self.floors - 1)
+        return room_doors + stair_doors
+
+
+@dataclass
+class SyntheticBuilding:
+    """A generated building plus the id bookkeeping the benchmarks use."""
+
+    space: IndoorSpace
+    config: BuildingConfig
+    hallway_ids: Dict[int, int] = field(default_factory=dict)
+    room_ids: Dict[int, List[int]] = field(default_factory=dict)
+    staircase_ids: List[int] = field(default_factory=list)
+
+    @property
+    def floors(self) -> int:
+        return self.config.floors
+
+    def rooms_on_floor(self, floor: int) -> List[int]:
+        """Room partition ids of one floor."""
+        return list(self.room_ids[floor])
+
+    def hallway_on_floor(self, floor: int) -> int:
+        """Hallway partition id of one floor."""
+        return self.hallway_ids[floor]
+
+    @property
+    def indoor_partition_ids(self) -> List[int]:
+        """All partition ids (no outdoor partition is generated)."""
+        return list(self.space.partition_ids)
+
+
+def generate_building(config: BuildingConfig = BuildingConfig()) -> SyntheticBuilding:
+    """Generate the §VI-A synthetic building for ``config``."""
+    builder = IndoorSpaceBuilder()
+    result = SyntheticBuilding(space=None, config=config)  # space set below
+
+    next_partition = 1
+    next_door = 1
+    south_y0 = 0.0
+    south_y1 = config.room_depth
+    hall_y1 = south_y1 + config.hallway_width
+    north_y1 = hall_y1 + config.room_depth
+    length = config.hallway_length
+
+    for floor in range(config.floors):
+        hallway_id = next_partition
+        next_partition += 1
+        builder.add_partition(
+            hallway_id,
+            rectangle(0, south_y1, length, hall_y1, floor=floor),
+            PartitionKind.HALLWAY,
+            name=f"hallway F{floor}",
+        )
+        result.hallway_ids[floor] = hallway_id
+        result.room_ids[floor] = []
+
+        for i in range(config.rooms_per_side):
+            x0 = i * config.room_width
+            x1 = x0 + config.room_width
+            mid = (x0 + x1) / 2.0
+            # South room: door on the wall it shares with the hallway.
+            south_id = next_partition
+            next_partition += 1
+            builder.add_partition(
+                south_id,
+                rectangle(x0, south_y0, x1, south_y1, floor=floor),
+                name=f"room F{floor}S{i}",
+            )
+            builder.add_door(
+                next_door,
+                Segment(
+                    Point(mid - 0.5, south_y1, floor),
+                    Point(mid + 0.5, south_y1, floor),
+                ),
+                connects=(south_id, hallway_id),
+            )
+            next_door += 1
+            # North room, mirrored.
+            north_id = next_partition
+            next_partition += 1
+            builder.add_partition(
+                north_id,
+                rectangle(x0, hall_y1, x1, north_y1, floor=floor),
+                name=f"room F{floor}N{i}",
+            )
+            builder.add_door(
+                next_door,
+                Segment(
+                    Point(mid - 0.5, hall_y1, floor),
+                    Point(mid + 0.5, hall_y1, floor),
+                ),
+                connects=(north_id, hallway_id),
+            )
+            next_door += 1
+            result.room_ids[floor].extend((south_id, north_id))
+
+    # Staircases between consecutive floors, flanking the hallway ends.
+    hall_mid = (south_y1 + hall_y1) / 2.0
+    for floor in range(config.floors - 1):
+        ends = [
+            (-config.staircase_size, 0.0, 0.0),  # west: x0, x1=0, door at x=0
+            (length, length + config.staircase_size, length),  # east
+        ]
+        for end_index in range(config.staircases_per_gap):
+            x0, x1, door_x = ends[end_index]
+            staircase_id = next_partition
+            next_partition += 1
+            builder.add_partition(
+                staircase_id,
+                rectangle(x0, south_y1, x1, hall_y1, floor=floor),
+                PartitionKind.STAIRCASE,
+                name=f"stairs F{floor}-{floor + 1} {'WE'[end_index]}",
+                stair_length=config.stair_length,
+            )
+            result.staircase_ids.append(staircase_id)
+            # Lower door onto this floor's hallway.
+            builder.add_door(
+                next_door,
+                Segment(
+                    Point(door_x, hall_mid - 0.5, floor),
+                    Point(door_x, hall_mid + 0.5, floor),
+                ),
+                connects=(staircase_id, result.hallway_ids[floor]),
+            )
+            next_door += 1
+            # Upper door onto the hallway one floor up.
+            builder.add_door(
+                next_door,
+                Segment(
+                    Point(door_x, hall_mid - 0.5, floor + 1),
+                    Point(door_x, hall_mid + 0.5, floor + 1),
+                ),
+                connects=(staircase_id, result.hallway_ids[floor + 1]),
+            )
+            next_door += 1
+
+    result.space = builder.build()
+    return result

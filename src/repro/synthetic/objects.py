@@ -1,0 +1,90 @@
+"""Random indoor object (POI) generation (paper §VI-B).
+
+"Given an indoor space ..., a floor is first chosen at random, and then a
+partition is picked at random on that floor.  Subsequently, a random
+position within the particular indoor partition is chosen as the object's
+position.  In summary, all indoor objects are distributed randomly in the
+given indoor space."
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from repro.geometry import Point
+from repro.index.objects import DEFAULT_CELL_SIZE, IndoorObject, ObjectStore
+from repro.model.builder import IndoorSpace
+from repro.model.entities import Partition
+from repro.synthetic.building import SyntheticBuilding
+
+
+def random_point_in_partition(partition: Partition, rng: random.Random) -> Point:
+    """Rejection-sample a uniform position inside a partition (on its base
+    floor, avoiding obstacle interiors)."""
+    box = partition.polygon.bounding_box
+    while True:
+        point = Point(
+            rng.uniform(box.min_x, box.max_x),
+            rng.uniform(box.min_y, box.max_y),
+            partition.floor,
+        )
+        if partition.contains(point):
+            return point
+
+
+def generate_objects(
+    space: IndoorSpace,
+    count: int,
+    seed: int = 0,
+    partition_ids: Optional[Sequence[int]] = None,
+) -> List[Tuple[IndoorObject, int]]:
+    """``count`` uniformly random objects with their host partition ids.
+
+    Args:
+        space: the indoor space to populate.
+        count: how many objects.
+        seed: RNG seed; same seed, same objects.
+        partition_ids: candidate host partitions (defaults to every
+            partition in the space).
+
+    Returns:
+        ``(object, partition_id)`` pairs — the partition id is returned so
+        bulk loading can skip the host-partition lookup.
+    """
+    rng = random.Random(seed)
+    candidates = list(partition_ids) if partition_ids else list(space.partition_ids)
+    results: List[Tuple[IndoorObject, int]] = []
+    for object_id in range(count):
+        partition_id = rng.choice(candidates)
+        partition = space.partition(partition_id)
+        position = random_point_in_partition(partition, rng)
+        results.append((IndoorObject(object_id, position), partition_id))
+    return results
+
+
+def build_object_store(
+    building: SyntheticBuilding,
+    count: int,
+    seed: int = 0,
+    cell_size: float = DEFAULT_CELL_SIZE,
+) -> ObjectStore:
+    """A populated :class:`ObjectStore` for a synthetic building.
+
+    Mirrors the paper's generation recipe exactly: first a random floor,
+    then a random partition on that floor (rooms and the hallway — objects
+    are points of interest, which do not live in staircases), then a random
+    position within it.
+    """
+    rng = random.Random(seed)
+    space = building.space
+    store = ObjectStore(space, cell_size)
+    for object_id in range(count):
+        floor = rng.randrange(building.floors)
+        partition_id = rng.choice(
+            building.rooms_on_floor(floor) + [building.hallway_on_floor(floor)]
+        )
+        partition = space.partition(partition_id)
+        position = random_point_in_partition(partition, rng)
+        store.add(IndoorObject(object_id, position), partition_id=partition_id)
+    return store

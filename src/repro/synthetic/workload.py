@@ -1,0 +1,58 @@
+"""Query workload generation for the benchmark harness (paper §VI).
+
+Distance experiments use random position pairs ("for each algorithm
+invocation, we generate at random two indoor positions"); query experiments
+use random query positions ("we randomly pick a floor and generate a random
+query position on that particular floor").
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from repro.geometry import Point
+from repro.synthetic.building import SyntheticBuilding
+from repro.synthetic.objects import random_point_in_partition
+
+
+def random_position(
+    building: SyntheticBuilding,
+    rng: random.Random,
+    floor: Optional[int] = None,
+) -> Point:
+    """One random indoor position: random floor, then a position uniform
+    over the floor's walkable area (rooms + hallway).
+
+    Area-uniform sampling matters: the hallway is roughly a third of each
+    floor, so multi-door source/destination partitions occur with realistic
+    frequency — which is what separates Algorithm 2 from Algorithms 3/4 in
+    the Figure-6 experiment.
+    """
+    if floor is None:
+        floor = rng.randrange(building.floors)
+    candidates = building.rooms_on_floor(floor) + [building.hallway_on_floor(floor)]
+    partitions = [building.space.partition(pid) for pid in candidates]
+    weights = [p.polygon.area for p in partitions]
+    (partition,) = rng.choices(partitions, weights=weights, k=1)
+    return random_point_in_partition(partition, rng)
+
+
+def random_positions(
+    building: SyntheticBuilding, count: int, seed: int = 0
+) -> List[Point]:
+    """``count`` random query positions (deterministic per seed)."""
+    rng = random.Random(seed)
+    return [random_position(building, rng) for _ in range(count)]
+
+
+def random_position_pairs(
+    building: SyntheticBuilding, count: int, seed: int = 0
+) -> List[Tuple[Point, Point]]:
+    """``count`` random (source, destination) pairs for the distance
+    algorithm experiments (Figures 6-7)."""
+    rng = random.Random(seed)
+    return [
+        (random_position(building, rng), random_position(building, rng))
+        for _ in range(count)
+    ]

@@ -1,0 +1,25 @@
+"""Temporal door-state extension (paper §VII, future work).
+
+"Some doors in a building may be open only during particular periods of
+time.  Accordingly, an indoor space model must be able to return
+corresponding indoor distances for different time points."
+
+:class:`DoorSchedule` attaches open intervals to doors;
+:class:`TemporalIndoorSpace` materialises, per queried time point, a
+snapshot indoor space containing only the then-open doors (sharing all
+partition geometry), over which every distance algorithm and query of the
+core library runs unchanged.  Snapshots are cached by open-door set, so a
+schedule with a handful of regimes (day/night, security lockdown) costs a
+handful of graphs.
+"""
+
+from repro.temporal.schedule import DoorSchedule, TimeInterval
+from repro.temporal.temporal_space import TemporalIndoorSpace
+from repro.temporal.engine import TemporalQueryEngine
+
+__all__ = [
+    "TimeInterval",
+    "DoorSchedule",
+    "TemporalIndoorSpace",
+    "TemporalQueryEngine",
+]

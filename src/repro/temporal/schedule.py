@@ -1,0 +1,88 @@
+"""Door opening schedules.
+
+Times are plain floats in any consistent unit (seconds since midnight,
+minutes, simulation ticks); intervals are half-open ``[start, end)`` so
+adjacent intervals compose without double-counting the boundary instant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+from repro.exceptions import ModelError
+
+
+@dataclass(frozen=True, order=True)
+class TimeInterval:
+    """A half-open time interval ``[start, end)``."""
+
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ModelError(
+                f"interval end must exceed start: [{self.start}, {self.end})"
+            )
+
+    def contains(self, t: float) -> bool:
+        """True when ``t`` falls inside the interval."""
+        return self.start <= t < self.end
+
+    def overlaps(self, other: "TimeInterval") -> bool:
+        """True when the two intervals share any instant."""
+        return self.start < other.end and other.start < self.end
+
+
+class DoorSchedule:
+    """Open intervals per door; doors without an entry are always open.
+
+    Example::
+
+        schedule = DoorSchedule()
+        schedule.set_open(D13, [TimeInterval(8 * 60, 18 * 60)])  # office hours
+        schedule.set_closed(D1)                                  # sealed
+    """
+
+    def __init__(self) -> None:
+        self._intervals: Dict[int, Tuple[TimeInterval, ...]] = {}
+
+    def set_open(
+        self, door_id: int, intervals: Iterable[TimeInterval]
+    ) -> None:
+        """Restrict a door to the given open intervals (sorted, may not
+        overlap — overlapping intervals indicate a modelling slip)."""
+        ordered: List[TimeInterval] = sorted(intervals)
+        for first, second in zip(ordered, ordered[1:]):
+            if first.overlaps(second):
+                raise ModelError(
+                    f"overlapping open intervals for door {door_id}: "
+                    f"{first} / {second}"
+                )
+        self._intervals[door_id] = tuple(ordered)
+
+    def set_closed(self, door_id: int) -> None:
+        """Seal a door at all times."""
+        self._intervals[door_id] = ()
+
+    def set_always_open(self, door_id: int) -> None:
+        """Remove any restriction from a door (the default state)."""
+        self._intervals.pop(door_id, None)
+
+    def is_open(self, door_id: int, t: float) -> bool:
+        """True when the door is passable at time ``t``."""
+        intervals = self._intervals.get(door_id)
+        if intervals is None:
+            return True
+        return any(interval.contains(t) for interval in intervals)
+
+    def restricted_doors(self) -> Tuple[int, ...]:
+        """Doors that carry any schedule entry, ascending."""
+        return tuple(sorted(self._intervals))
+
+    def intervals_of(self, door_id: int) -> Tuple[TimeInterval, ...]:
+        """The open intervals of a restricted door (empty = sealed)."""
+        if door_id not in self._intervals:
+            raise ModelError(f"door {door_id} is not restricted")
+        return self._intervals[door_id]

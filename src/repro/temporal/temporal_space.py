@@ -1,0 +1,89 @@
+"""Time-parameterised indoor spaces.
+
+A :class:`TemporalIndoorSpace` answers "what is the indoor distance at time
+t?" by materialising a snapshot :class:`~repro.model.builder.IndoorSpace`
+containing exactly the doors open at ``t`` (partition entities are shared,
+so geometry and visibility caches are reused).  Snapshots are cached by the
+open-door set — a day/night schedule yields two graphs, not one per query.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, FrozenSet
+
+from repro.distance.path import IndoorPath
+from repro.distance.point_to_point import pt2pt_distance, pt2pt_path
+from repro.geometry import Point
+from repro.model.builder import IndoorSpace
+from repro.model.topology import Topology
+from repro.temporal.schedule import DoorSchedule
+
+
+class TemporalIndoorSpace:
+    """An indoor space whose doors follow a :class:`DoorSchedule`."""
+
+    def __init__(self, space: IndoorSpace, schedule: DoorSchedule) -> None:
+        self._space = space
+        self._schedule = schedule
+        self._snapshots: Dict[FrozenSet[int], IndoorSpace] = {}
+
+    @property
+    def base_space(self) -> IndoorSpace:
+        """The underlying all-doors-open indoor space."""
+        return self._space
+
+    @property
+    def schedule(self) -> DoorSchedule:
+        """The door schedule in force."""
+        return self._schedule
+
+    def open_doors(self, t: float) -> FrozenSet[int]:
+        """Ids of doors passable at time ``t``."""
+        return frozenset(
+            door_id
+            for door_id in self._space.door_ids
+            if self._schedule.is_open(door_id, t)
+        )
+
+    def snapshot(self, t: float) -> IndoorSpace:
+        """The indoor space as it stands at time ``t`` (cached by open-door
+        set).  Every core algorithm and index can be built on the snapshot.
+        """
+        key = self.open_doors(t)
+        cached = self._snapshots.get(key)
+        if cached is not None:
+            return cached
+
+        topology = Topology()
+        partitions = {}
+        for partition in self._space.partitions():
+            topology.add_partition(partition.partition_id)
+            partitions[partition.partition_id] = partition
+        doors = {}
+        base_topology = self._space.topology
+        for door_id in sorted(key):
+            doors[door_id] = self._space.door(door_id)
+            for from_p, to_p in sorted(base_topology.d2p(door_id)):
+                topology.connect(door_id, from_p, to_p, bidirectional=False)
+        snapshot = IndoorSpace(partitions, doors, topology)
+        self._snapshots[key] = snapshot
+        return snapshot
+
+    def distance(self, t: float, source: Point, target: Point) -> float:
+        """Minimum walking distance at time ``t`` (``inf`` when closed doors
+        sever every route)."""
+        return pt2pt_distance(self.snapshot(t), source, target)
+
+    def shortest_path(self, t: float, source: Point, target: Point) -> IndoorPath:
+        """Shortest path at time ``t``."""
+        return pt2pt_path(self.snapshot(t), source, target)
+
+    def is_reachable(self, t: float, source: Point, target: Point) -> bool:
+        """Whether any route exists at time ``t``."""
+        return not math.isinf(self.distance(t, source, target))
+
+    @property
+    def snapshot_count(self) -> int:
+        """How many distinct door regimes have been materialised."""
+        return len(self._snapshots)

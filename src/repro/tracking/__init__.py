@@ -1,0 +1,30 @@
+"""Continuous query monitoring over moving indoor objects.
+
+Indoor populations move (the paper's §I services track passengers and
+visitors), so one-shot queries are often the wrong shape: the boarding
+reminder service wants to *keep watching* which passengers are far from
+their gate.  This package maintains standing range and kNN queries under
+object insertions, deletions, and moves:
+
+* :class:`RangeMonitor` — a standing Q_r(q, r); emits ENTER/EXIT events;
+* :class:`KnnMonitor` — a standing kNN(q, k); emits result-change events;
+* :class:`TrackingSession` — routes object mutations to every registered
+  monitor while keeping the underlying :class:`~repro.queries.engine.QueryEngine`
+  store authoritative.
+
+Monitors are exact: every maintained result equals what re-running the
+corresponding one-shot query would return (property-tested).
+"""
+
+from repro.tracking.monitors import KnnMonitor, MonitorEvent, RangeMonitor
+from repro.tracking.session import TrackingSession
+from repro.tracking.trajectory import IndoorTrajectory, drive_session
+
+__all__ = [
+    "RangeMonitor",
+    "KnnMonitor",
+    "MonitorEvent",
+    "TrackingSession",
+    "IndoorTrajectory",
+    "drive_session",
+]

@@ -1,0 +1,197 @@
+"""Standing range / kNN queries maintained under object churn.
+
+Maintenance strategy: cheap local updates where possible, falling back to a
+full re-evaluation only where removing information demands it (an object
+leaving a kNN result opens a slot only a fresh search can fill).  Each
+monitor records the events a service would act on.
+"""
+
+from __future__ import annotations
+
+import bisect
+import enum
+import math
+from dataclasses import dataclass
+from typing import List, Set, Tuple
+
+from repro.distance.point_to_point import pt2pt_distance_memoized
+from repro.exceptions import QueryError
+from repro.geometry import Point
+from repro.index.framework import IndexFramework
+from repro.queries.knn_query import knn_query
+from repro.queries.range_query import range_query
+
+
+class EventKind(enum.Enum):
+    """What happened to a monitored result."""
+
+    ENTER = "enter"  # object entered a range result
+    EXIT = "exit"  # object left a range result
+    RESULT_CHANGED = "result-changed"  # kNN membership or order changed
+
+
+@dataclass(frozen=True)
+class MonitorEvent:
+    """One observed change.
+
+    Attributes:
+        kind: what happened.
+        object_id: the object concerned (for ENTER/EXIT) or the object whose
+            mutation triggered a kNN change.
+        sequence: monotonically increasing per monitor.
+    """
+
+    kind: EventKind
+    object_id: int
+    sequence: int
+
+
+class RangeMonitor:
+    """A standing range query ``Q_r(q, r)`` with ENTER/EXIT events."""
+
+    def __init__(
+        self, framework: IndexFramework, position: Point, radius: float
+    ) -> None:
+        if radius < 0:
+            raise QueryError(f"range radius must be non-negative, got {radius}")
+        self._framework = framework
+        self.position = position
+        self.radius = radius
+        self._members: Set[int] = set(range_query(framework, position, radius))
+        self.events: List[MonitorEvent] = []
+        self._sequence = 0
+
+    @property
+    def result(self) -> List[int]:
+        """Current member object ids, sorted."""
+        return sorted(self._members)
+
+    def _emit(self, kind: EventKind, object_id: int) -> None:
+        self.events.append(MonitorEvent(kind, object_id, self._sequence))
+        self._sequence += 1
+
+    def _distance_to(self, object_id: int) -> float:
+        obj = self._framework.objects.get(object_id)
+        return pt2pt_distance_memoized(
+            self._framework.space, self.position, obj.position
+        )
+
+    def on_added(self, object_id: int) -> None:
+        """An object was inserted into the store."""
+        if self._distance_to(object_id) <= self.radius:
+            self._members.add(object_id)
+            self._emit(EventKind.ENTER, object_id)
+
+    def on_removed(self, object_id: int) -> None:
+        """An object was removed from the store."""
+        if object_id in self._members:
+            self._members.discard(object_id)
+            self._emit(EventKind.EXIT, object_id)
+
+    def on_moved(self, object_id: int) -> None:
+        """An object changed position (already updated in the store)."""
+        inside = self._distance_to(object_id) <= self.radius
+        was_inside = object_id in self._members
+        if inside and not was_inside:
+            self._members.add(object_id)
+            self._emit(EventKind.ENTER, object_id)
+        elif not inside and was_inside:
+            self._members.discard(object_id)
+            self._emit(EventKind.EXIT, object_id)
+
+
+class KnnMonitor:
+    """A standing kNN query with result-change events."""
+
+    def __init__(
+        self, framework: IndexFramework, position: Point, k: int
+    ) -> None:
+        if k < 1:
+            raise QueryError(f"k must be >= 1, got {k}")
+        self._framework = framework
+        self.position = position
+        self.k = k
+        self._result: List[Tuple[float, int]] = [
+            (distance, object_id)
+            for object_id, distance in knn_query(framework, position, k)
+        ]
+        self.events: List[MonitorEvent] = []
+        self._sequence = 0
+
+    @property
+    def result(self) -> List[Tuple[int, float]]:
+        """Current ``(object_id, distance)`` pairs, nearest first."""
+        return [(object_id, distance) for distance, object_id in self._result]
+
+    @property
+    def _bound(self) -> float:
+        if len(self._result) < self.k:
+            return math.inf
+        return self._result[-1][0]
+
+    def _emit(self, object_id: int) -> None:
+        self.events.append(
+            MonitorEvent(EventKind.RESULT_CHANGED, object_id, self._sequence)
+        )
+        self._sequence += 1
+
+    def _distance_to(self, object_id: int) -> float:
+        obj = self._framework.objects.get(object_id)
+        return pt2pt_distance_memoized(
+            self._framework.space, self.position, obj.position
+        )
+
+    def _refresh(self) -> None:
+        self._result = [
+            (distance, object_id)
+            for object_id, distance in knn_query(
+                self._framework, self.position, self.k
+            )
+        ]
+
+    def _drop(self, object_id: int) -> bool:
+        for index, (_, member) in enumerate(self._result):
+            if member == object_id:
+                del self._result[index]
+                return True
+        return False
+
+    def on_added(self, object_id: int) -> None:
+        """An object was inserted into the store."""
+        distance = self._distance_to(object_id)
+        if math.isinf(distance) or distance >= self._bound:
+            return
+        bisect.insort(self._result, (distance, object_id))
+        del self._result[self.k :]
+        self._emit(object_id)
+
+    def on_removed(self, object_id: int) -> None:
+        """An object was removed from the store."""
+        if self._drop(object_id):
+            # A slot opened: only a fresh search knows the next candidate.
+            self._refresh()
+            self._emit(object_id)
+
+    def on_moved(self, object_id: int) -> None:
+        """An object changed position (already updated in the store).
+
+        Every non-member is known to be at least ``old_bound`` away, so a
+        member that stays within ``old_bound`` keeps the membership set
+        intact (only its distance changes); a member moving beyond it may
+        have been overtaken by a cut-off non-member, which only a fresh
+        search can reveal.
+        """
+        old_bound = self._bound
+        distance = self._distance_to(object_id)
+        was_member = self._drop(object_id)
+        if was_member:
+            if not math.isinf(distance) and distance <= old_bound:
+                bisect.insort(self._result, (distance, object_id))
+            else:
+                self._refresh()
+            self._emit(object_id)
+        else:
+            if not math.isinf(distance) and distance < old_bound:
+                bisect.insort(self._result, (distance, object_id))
+                del self._result[self.k :]
+                self._emit(object_id)

@@ -1,0 +1,81 @@
+"""The tracking session: object mutations fanned out to standing queries."""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+from repro.geometry import Point
+from repro.index.objects import IndoorObject
+from repro.queries.engine import QueryEngine
+from repro.tracking.monitors import KnnMonitor, RangeMonitor
+
+Monitor = Union[RangeMonitor, KnnMonitor]
+
+
+class TrackingSession:
+    """Wraps a :class:`QueryEngine`, keeping standing queries consistent.
+
+    All object churn must flow through the session's mutation methods; each
+    registered monitor is updated (and its events appended) before the call
+    returns.
+
+    Example::
+
+        session = TrackingSession(engine)
+        watch = session.watch_range(gate_position, radius=40.0)
+        session.move_object(passenger_id, new_position)
+        for event in watch.events:
+            ...  # ENTER/EXIT notifications
+    """
+
+    def __init__(self, engine: QueryEngine) -> None:
+        self.engine = engine
+        self._monitors: List[Monitor] = []
+
+    # ------------------------------------------------------------------
+    # Standing queries
+    # ------------------------------------------------------------------
+    def watch_range(self, position: Point, radius: float) -> RangeMonitor:
+        """Register a standing range query."""
+        monitor = RangeMonitor(self.engine.framework, position, radius)
+        self._monitors.append(monitor)
+        return monitor
+
+    def watch_knn(self, position: Point, k: int) -> KnnMonitor:
+        """Register a standing kNN query."""
+        monitor = KnnMonitor(self.engine.framework, position, k)
+        self._monitors.append(monitor)
+        return monitor
+
+    def unwatch(self, monitor: Monitor) -> None:
+        """Deregister a monitor (its result freezes)."""
+        self._monitors.remove(monitor)
+
+    @property
+    def monitor_count(self) -> int:
+        """How many standing queries are registered."""
+        return len(self._monitors)
+
+    # ------------------------------------------------------------------
+    # Object churn
+    # ------------------------------------------------------------------
+    def add_object(self, obj: IndoorObject) -> int:
+        """Insert an object and update every monitor."""
+        partition_id = self.engine.add_object(obj)
+        for monitor in self._monitors:
+            monitor.on_added(obj.object_id)
+        return partition_id
+
+    def remove_object(self, object_id: int) -> IndoorObject:
+        """Remove an object and update every monitor."""
+        removed = self.engine.remove_object(object_id)
+        for monitor in self._monitors:
+            monitor.on_removed(object_id)
+        return removed
+
+    def move_object(self, object_id: int, new_position: Point) -> IndoorObject:
+        """Relocate an object and update every monitor."""
+        moved = self.engine.move_object(object_id, new_position)
+        for monitor in self._monitors:
+            monitor.on_moved(object_id)
+        return moved

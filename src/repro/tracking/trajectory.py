@@ -1,0 +1,148 @@
+"""Indoor trajectories: timed playback of walking paths.
+
+Bridges the navigation layer and the monitoring layer: an
+:class:`IndoorTrajectory` materialises a shortest path as a timed polyline
+(constant walking speed through the path's door sequence), and
+:func:`drive_session` replays one or more trajectories against a
+:class:`~repro.tracking.session.TrackingSession`, producing the stream of
+object moves a positioning system would deliver.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.distance.path import IndoorPath
+from repro.exceptions import QueryError
+from repro.geometry import Point
+from repro.model.builder import IndoorSpace
+
+#: A comfortable indoor walking speed (metres / second).
+DEFAULT_SPEED = 1.4
+
+
+def _waypoints(space: IndoorSpace, path: IndoorPath) -> List[Point]:
+    points = [path.source]
+    points.extend(space.door(d).midpoint for d in path.doors)
+    points.append(path.target)
+    return points
+
+
+@dataclass(frozen=True)
+class IndoorTrajectory:
+    """A timed walk along a path: piecewise-linear between waypoints.
+
+    Waypoints on different floors (staircase hops) jump at the segment
+    boundary — playback positions are always valid indoor points.
+
+    Attributes:
+        waypoints: positions visited, in order.
+        timestamps: arrival time at each waypoint; strictly increasing,
+            same length as ``waypoints``.
+    """
+
+    waypoints: Tuple[Point, ...]
+    timestamps: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.waypoints) != len(self.timestamps):
+            raise QueryError("waypoints and timestamps must align")
+        if len(self.waypoints) < 1:
+            raise QueryError("a trajectory needs at least one waypoint")
+        if any(
+            b <= a for a, b in zip(self.timestamps, self.timestamps[1:])
+        ):
+            raise QueryError("timestamps must be strictly increasing")
+
+    @classmethod
+    def from_path(
+        cls,
+        space: IndoorSpace,
+        path: IndoorPath,
+        start_time: float = 0.0,
+        speed: float = DEFAULT_SPEED,
+    ) -> "IndoorTrajectory":
+        """Walk a shortest path at constant speed, departing at
+        ``start_time``."""
+        if not path.is_reachable:
+            raise QueryError("cannot walk an unreachable path")
+        if speed <= 0:
+            raise QueryError(f"speed must be positive, got {speed}")
+        waypoints = _waypoints(space, path)
+        timestamps = [start_time]
+        for a, b in zip(waypoints, waypoints[1:]):
+            if a.floor == b.floor:
+                leg = a.distance_to(b)
+            else:
+                # Staircase hop: bill the stair walking length.
+                host = space.get_host_partition(a)
+                leg = host.stair_length if host and host.stair_length else 0.0
+            timestamps.append(timestamps[-1] + max(leg, 1e-9) / speed)
+        return cls(tuple(waypoints), tuple(timestamps))
+
+    @property
+    def start_time(self) -> float:
+        """Departure time."""
+        return self.timestamps[0]
+
+    @property
+    def end_time(self) -> float:
+        """Arrival time."""
+        return self.timestamps[-1]
+
+    @property
+    def duration(self) -> float:
+        """Total walking time."""
+        return self.end_time - self.start_time
+
+    def position_at(self, t: float) -> Point:
+        """Position at time ``t`` (clamped to the endpoints outside the
+        trajectory's time span)."""
+        if t <= self.start_time:
+            return self.waypoints[0]
+        if t >= self.end_time:
+            return self.waypoints[-1]
+        index = bisect.bisect_right(self.timestamps, t) - 1
+        a, b = self.waypoints[index], self.waypoints[index + 1]
+        t0, t1 = self.timestamps[index], self.timestamps[index + 1]
+        fraction = (t - t0) / (t1 - t0)
+        if a.floor != b.floor:
+            # Inside a staircase hop: report the landing we are closer to.
+            return a if fraction < 0.5 else b
+        return Point(
+            a.x + fraction * (b.x - a.x),
+            a.y + fraction * (b.y - a.y),
+            a.floor,
+        )
+
+
+def drive_session(
+    session,
+    trajectories: Dict[int, IndoorTrajectory],
+    tick: float,
+) -> List[float]:
+    """Replay trajectories against a tracking session.
+
+    At every ``tick`` from the earliest departure to the latest arrival,
+    each listed object is moved to its trajectory position (objects must
+    already exist in the session's store).
+
+    Returns:
+        The tick times that were replayed.
+    """
+    if tick <= 0:
+        raise QueryError(f"tick must be positive, got {tick}")
+    if not trajectories:
+        return []
+    start = min(t.start_time for t in trajectories.values())
+    end = max(t.end_time for t in trajectories.values())
+    times: List[float] = []
+    t = start
+    while t <= end + 1e-9:
+        for object_id, trajectory in trajectories.items():
+            session.move_object(object_id, trajectory.position_at(t))
+        times.append(t)
+        t += tick
+    return times

@@ -1,0 +1,22 @@
+"""Queries over objects with uncertain indoor positions.
+
+Indoor positioning (Wi-Fi, RFID, Bluetooth — the paper's §I technology list)
+is noisy: a tracked object's position is better modelled as a small discrete
+distribution over candidate positions than as a point.  The paper's own
+lineage treats this — its minimum indoor walking distance metric originates
+in "Probabilistic threshold k nearest neighbor queries over moving objects
+in symbolic indoor space" (Yang, Lu & Jensen, EDBT 2010; the paper's
+ref [18]).  This package provides the corresponding *probabilistic
+threshold* query forms over this library's exact distance machinery:
+
+* :func:`probabilistic_range` — objects whose probability of lying within
+  walking distance ``r`` of the query point exceeds a threshold;
+* :func:`probabilistic_knn` — objects whose probability of belonging to the
+  kNN result exceeds a threshold (exact possible-worlds enumeration for
+  small sample sets, seeded Monte Carlo beyond).
+"""
+
+from repro.uncertain.objects import UncertainObject
+from repro.uncertain.queries import probabilistic_knn, probabilistic_range
+
+__all__ = ["UncertainObject", "probabilistic_range", "probabilistic_knn"]

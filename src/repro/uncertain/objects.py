@@ -1,0 +1,73 @@
+"""Uncertain indoor objects: discrete position distributions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.exceptions import ModelError
+from repro.geometry import Point
+
+#: Tolerance when checking that sample probabilities sum to one.
+_PROBABILITY_TOLERANCE = 1e-6
+
+
+@dataclass(frozen=True)
+class UncertainObject:
+    """An object whose position is a discrete probability distribution.
+
+    Attributes:
+        object_id: unique non-negative integer.
+        samples: ``(position, probability)`` pairs; probabilities are
+            positive and sum to 1.
+        payload: free-form label.
+    """
+
+    object_id: int
+    samples: Tuple[Tuple[Point, float], ...]
+    payload: str = ""
+
+    def __post_init__(self) -> None:
+        if self.object_id < 0:
+            raise ModelError(f"object id must be non-negative, got {self.object_id}")
+        if not self.samples:
+            raise ModelError("an uncertain object needs at least one sample")
+        total = 0.0
+        for position, probability in self.samples:
+            if not isinstance(position, Point):
+                raise ModelError(f"sample position must be a Point: {position!r}")
+            if probability <= 0:
+                raise ModelError(
+                    f"sample probabilities must be positive, got {probability}"
+                )
+            total += probability
+        if abs(total - 1.0) > _PROBABILITY_TOLERANCE:
+            raise ModelError(
+                f"sample probabilities must sum to 1, got {total:.6f}"
+            )
+
+    @classmethod
+    def certain(
+        cls, object_id: int, position: Point, payload: str = ""
+    ) -> "UncertainObject":
+        """An object with a single, certain position (probability 1)."""
+        return cls(object_id, ((position, 1.0),), payload)
+
+    @property
+    def sample_count(self) -> int:
+        """How many candidate positions the distribution has."""
+        return len(self.samples)
+
+    def expected_position(self) -> Point:
+        """The probability-weighted mean position (same-floor samples only;
+        raises for distributions spanning floors, where a mean position is
+        meaningless)."""
+        floors = {p.floor for p, _ in self.samples}
+        if len(floors) != 1:
+            raise ModelError(
+                "expected_position is undefined across floors "
+                f"(samples span floors {sorted(floors)})"
+            )
+        x = sum(p.x * w for p, w in self.samples)
+        y = sum(p.y * w for p, w in self.samples)
+        return Point(x, y, next(iter(floors)))

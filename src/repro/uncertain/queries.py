@@ -1,0 +1,157 @@
+"""Probabilistic threshold range and kNN queries.
+
+Both queries first evaluate every sample's exact minimum indoor walking
+distance from the query point (one pt2pt computation per sample — samples
+are few), then reason over the resulting per-object distance distributions:
+
+* range: ``P(dist(q, o) ≤ r)`` is simply the probability mass of samples
+  within ``r``;
+* kNN: membership probability requires joint reasoning across objects
+  ("possible worlds": one sample drawn per object).  Small products of
+  sample counts are enumerated exactly; larger ones fall back to seeded
+  Monte Carlo with a caller-visible sample budget.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import random
+from typing import Dict, List, Sequence, Tuple
+
+from repro.distance.point_to_point import pt2pt_distance_memoized
+from repro.exceptions import QueryError
+from repro.geometry import Point
+from repro.model.builder import IndoorSpace
+from repro.uncertain.objects import UncertainObject
+
+#: Above this many possible worlds, probabilistic_knn switches to Monte Carlo.
+EXACT_WORLD_LIMIT = 50_000
+
+
+def _sample_distances(
+    space: IndoorSpace, query: Point, objects: Sequence[UncertainObject]
+) -> Dict[int, List[Tuple[float, float]]]:
+    """Per object: list of ``(distance, probability)`` over its samples."""
+    distances: Dict[int, List[Tuple[float, float]]] = {}
+    for obj in objects:
+        distances[obj.object_id] = [
+            (pt2pt_distance_memoized(space, query, position), probability)
+            for position, probability in obj.samples
+        ]
+    return distances
+
+
+def probabilistic_range(
+    space: IndoorSpace,
+    objects: Sequence[UncertainObject],
+    query: Point,
+    radius: float,
+    threshold: float,
+) -> List[Tuple[int, float]]:
+    """Objects with ``P(dist(query, o) ≤ radius) ≥ threshold``.
+
+    Returns ``(object_id, probability)`` sorted by descending probability
+    (ties by ascending id).  Range probabilities are independent per object,
+    so this query needs no joint reasoning.
+    """
+    if radius < 0:
+        raise QueryError(f"range radius must be non-negative, got {radius}")
+    if not 0.0 < threshold <= 1.0:
+        raise QueryError(f"threshold must be in (0, 1], got {threshold}")
+    results: List[Tuple[int, float]] = []
+    for obj in objects:
+        probability = sum(
+            weight
+            for position, weight in obj.samples
+            if pt2pt_distance_memoized(space, query, position) <= radius
+        )
+        if probability >= threshold - 1e-12:
+            results.append((obj.object_id, probability))
+    results.sort(key=lambda item: (-item[1], item[0]))
+    return results
+
+
+def _knn_members_of_world(
+    world: Sequence[Tuple[int, float]], k: int
+) -> Tuple[int, ...]:
+    """The ids of the k nearest objects in one concrete world."""
+    ranked = sorted(
+        (distance, object_id)
+        for object_id, distance in world
+        if not math.isinf(distance)
+    )
+    return tuple(object_id for _, object_id in ranked[:k])
+
+
+def probabilistic_knn(
+    space: IndoorSpace,
+    objects: Sequence[UncertainObject],
+    query: Point,
+    k: int,
+    threshold: float,
+    monte_carlo_worlds: int = 2_000,
+    seed: int = 0,
+) -> List[Tuple[int, float]]:
+    """Objects with ``P(o ∈ kNN(query)) ≥ threshold``.
+
+    Exact possible-worlds enumeration when the joint sample space has at
+    most :data:`EXACT_WORLD_LIMIT` worlds; otherwise seeded Monte Carlo over
+    ``monte_carlo_worlds`` draws.
+
+    Returns ``(object_id, probability)`` sorted by descending probability
+    (ties by ascending id).
+    """
+    if k < 1:
+        raise QueryError(f"k must be >= 1, got {k}")
+    if not 0.0 < threshold <= 1.0:
+        raise QueryError(f"threshold must be in (0, 1], got {threshold}")
+    if not objects:
+        return []
+
+    distances = _sample_distances(space, query, objects)
+    object_ids = [obj.object_id for obj in objects]
+    per_object = [distances[oid] for oid in object_ids]
+
+    world_count = 1
+    for samples in per_object:
+        world_count *= len(samples)
+        if world_count > EXACT_WORLD_LIMIT:
+            break
+
+    membership: Dict[int, float] = {oid: 0.0 for oid in object_ids}
+    if world_count <= EXACT_WORLD_LIMIT:
+        for combo in itertools.product(*per_object):
+            weight = 1.0
+            for _, probability in combo:
+                weight *= probability
+            world = [
+                (oid, distance)
+                for oid, (distance, _) in zip(object_ids, combo)
+            ]
+            for member in _knn_members_of_world(world, k):
+                membership[member] += weight
+    else:
+        rng = random.Random(seed)
+        for _ in range(monte_carlo_worlds):
+            world = []
+            for oid, samples in zip(object_ids, per_object):
+                pick = rng.random()
+                cumulative = 0.0
+                chosen = samples[-1][0]
+                for distance, probability in samples:
+                    cumulative += probability
+                    if pick <= cumulative:
+                        chosen = distance
+                        break
+                world.append((oid, chosen))
+            for member in _knn_members_of_world(world, k):
+                membership[member] += 1.0 / monte_carlo_worlds
+
+    results = [
+        (oid, probability)
+        for oid, probability in membership.items()
+        if probability >= threshold - 1e-9
+    ]
+    results.sort(key=lambda item: (-item[1], item[0]))
+    return results

@@ -1,0 +1,11 @@
+"""Floor-plan visualisation (SVG, dependency-free).
+
+Renders one floor of an indoor space — partitions coloured by kind,
+obstacles, doors (one-way doors highlighted), objects, shortest paths, and
+query ranges — to an SVG string for docs, debugging, and the examples.
+"""
+
+from repro.viz.dot import to_dot
+from repro.viz.svg import render_svg, save_svg
+
+__all__ = ["render_svg", "save_svg", "to_dot"]

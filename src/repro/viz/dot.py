@@ -1,0 +1,53 @@
+"""Graphviz DOT export of the accessibility graph.
+
+Renders G_accs (partitions = nodes, door movements = edges) for inspection
+with standard graph tooling.  Bidirectional doors collapse to one undirected
+edge (``dir=both``); one-way doors keep their arrow.  Node shape follows the
+partition kind.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.model.builder import IndoorSpace
+from repro.model.entities import PartitionKind
+
+_SHAPES: Dict[PartitionKind, str] = {
+    PartitionKind.ROOM: "box",
+    PartitionKind.HALLWAY: "ellipse",
+    PartitionKind.STAIRCASE: "parallelogram",
+    PartitionKind.OUTDOOR: "doubleoctagon",
+}
+
+
+def _quote(label: str) -> str:
+    return '"' + label.replace('"', '\\"') + '"'
+
+
+def to_dot(space: IndoorSpace, name: str = "indoor") -> str:
+    """The accessibility graph as a Graphviz ``digraph`` document."""
+    lines = [f"digraph {name} {{", "  rankdir=LR;"]
+    for partition in space.partitions():
+        lines.append(
+            f"  p{partition.partition_id} "
+            f"[label={_quote(partition.label)} "
+            f"shape={_SHAPES[partition.kind]}];"
+        )
+    topology = space.topology
+    for door_id in topology.door_ids:
+        label = _quote(space.door(door_id).label)
+        edges = sorted(topology.d2p(door_id))
+        if topology.is_bidirectional(door_id):
+            source, target = edges[0]
+            lines.append(
+                f"  p{source} -> p{target} [label={label} dir=both];"
+            )
+        else:
+            ((source, target),) = edges
+            lines.append(
+                f"  p{source} -> p{target} "
+                f"[label={label} color=orangered];"
+            )
+    lines.append("}")
+    return "\n".join(lines) + "\n"

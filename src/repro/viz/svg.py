@@ -1,0 +1,213 @@
+"""SVG rendering of floor plans.
+
+The renderer draws a single floor: partition outlines filled by kind,
+obstacle polygons, doorway segments (one-way doors in a warning colour),
+indoor objects as dots, an optional query circle, and optional paths as
+polylines through door midpoints (a schematic of the route — exact
+obstacle-avoiding waypoints inside partitions are not reconstructed).
+
+SVG's y axis points down, so the scene is flipped vertically to keep the
+floor plan in conventional orientation.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path as FilePath
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+from xml.sax.saxutils import escape
+
+from repro.distance.path import IndoorPath
+from repro.exceptions import GeometryError
+from repro.geometry import Point
+from repro.index.objects import IndoorObject
+from repro.model.builder import IndoorSpace
+from repro.model.entities import PartitionKind
+
+#: Fill colours per partition kind.
+KIND_FILLS = {
+    PartitionKind.ROOM: "#dbeafe",
+    PartitionKind.HALLWAY: "#fef9c3",
+    PartitionKind.STAIRCASE: "#e9d5ff",
+    PartitionKind.OUTDOOR: "#dcfce7",
+}
+
+OBSTACLE_FILL = "#9ca3af"
+DOOR_COLOR = "#16a34a"
+ONE_WAY_DOOR_COLOR = "#ea580c"
+OBJECT_COLOR = "#1d4ed8"
+PATH_COLOR = "#dc2626"
+QUERY_COLOR = "#7c3aed"
+
+
+class _Canvas:
+    """Coordinate transform + element buffer for one SVG document."""
+
+    def __init__(
+        self, min_x: float, min_y: float, max_x: float, max_y: float, width: int
+    ) -> None:
+        pad = 0.03 * max(max_x - min_x, max_y - min_y, 1.0)
+        self.min_x, self.min_y = min_x - pad, min_y - pad
+        self.max_x, self.max_y = max_x + pad, max_y + pad
+        self.scale = width / (self.max_x - self.min_x)
+        self.width = width
+        self.height = int(round((self.max_y - self.min_y) * self.scale))
+        self.elements: List[str] = []
+
+    def to_px(self, point: Point) -> Tuple[float, float]:
+        """Model coordinates -> pixel coordinates (y flipped)."""
+        x = (point.x - self.min_x) * self.scale
+        y = (self.max_y - point.y) * self.scale
+        return round(x, 2), round(y, 2)
+
+    def polygon(self, points: Sequence[Point], fill: str, stroke: str = "#374151",
+                stroke_width: float = 1.5, css_class: str = "") -> None:
+        coords = " ".join(f"{x},{y}" for x, y in (self.to_px(p) for p in points))
+        cls = f' class="{css_class}"' if css_class else ""
+        self.elements.append(
+            f'<polygon{cls} points="{coords}" fill="{fill}" '
+            f'stroke="{stroke}" stroke-width="{stroke_width}"/>'
+        )
+
+    def line(self, a: Point, b: Point, stroke: str, width: float,
+             css_class: str = "") -> None:
+        (x1, y1), (x2, y2) = self.to_px(a), self.to_px(b)
+        cls = f' class="{css_class}"' if css_class else ""
+        self.elements.append(
+            f'<line{cls} x1="{x1}" y1="{y1}" x2="{x2}" y2="{y2}" '
+            f'stroke="{stroke}" stroke-width="{width}" stroke-linecap="round"/>'
+        )
+
+    def circle(self, center: Point, radius_px: float, fill: str,
+               stroke: str = "none", stroke_width: float = 0.0,
+               fill_opacity: float = 1.0, css_class: str = "") -> None:
+        x, y = self.to_px(center)
+        cls = f' class="{css_class}"' if css_class else ""
+        self.elements.append(
+            f'<circle{cls} cx="{x}" cy="{y}" r="{round(radius_px, 2)}" '
+            f'fill="{fill}" fill-opacity="{fill_opacity}" '
+            f'stroke="{stroke}" stroke-width="{stroke_width}"/>'
+        )
+
+    def polyline(self, points: Sequence[Point], stroke: str, width: float,
+                 css_class: str = "") -> None:
+        coords = " ".join(f"{x},{y}" for x, y in (self.to_px(p) for p in points))
+        cls = f' class="{css_class}"' if css_class else ""
+        self.elements.append(
+            f'<polyline{cls} points="{coords}" fill="none" stroke="{stroke}" '
+            f'stroke-width="{width}" stroke-dasharray="6,4"/>'
+        )
+
+    def text(self, at: Point, content: str, size_px: float = 11.0) -> None:
+        x, y = self.to_px(at)
+        self.elements.append(
+            f'<text x="{x}" y="{y}" font-size="{size_px}" '
+            f'font-family="sans-serif" fill="#111827" '
+            f'text-anchor="middle">{escape(content)}</text>'
+        )
+
+    def document(self) -> str:
+        body = "\n  ".join(self.elements)
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" '
+            f'width="{self.width}" height="{self.height}" '
+            f'viewBox="0 0 {self.width} {self.height}">\n  {body}\n</svg>\n'
+        )
+
+
+def _path_waypoints(space: IndoorSpace, path: IndoorPath) -> List[Point]:
+    waypoints = [path.source]
+    waypoints.extend(space.door(d).midpoint for d in path.doors)
+    waypoints.append(path.target)
+    return waypoints
+
+
+def render_svg(
+    space: IndoorSpace,
+    floor: int = 0,
+    objects: Optional[Iterable[IndoorObject]] = None,
+    paths: Optional[Sequence[IndoorPath]] = None,
+    query: Optional[Tuple[Point, float]] = None,
+    width: int = 800,
+    labels: bool = True,
+) -> str:
+    """Render one floor of a space to an SVG string.
+
+    Args:
+        space: the indoor space.
+        floor: which floor to draw.
+        objects: indoor objects to mark (those on other floors are skipped).
+        paths: shortest paths to overlay as dashed polylines.
+        query: optional ``(position, radius)`` range-query disc.
+        width: output width in pixels (height follows the aspect ratio).
+        labels: draw partition labels at centroids.
+
+    Raises:
+        GeometryError: when the floor holds no partitions.
+    """
+    partitions = space.partitions_on_floor(floor)
+    if not partitions:
+        raise GeometryError(f"no partitions on floor {floor}")
+
+    boxes = [p.polygon.bounding_box for p in partitions]
+    canvas = _Canvas(
+        min(b.min_x for b in boxes),
+        min(b.min_y for b in boxes),
+        max(b.max_x for b in boxes),
+        max(b.max_y for b in boxes),
+        width,
+    )
+
+    for partition in partitions:
+        canvas.polygon(
+            partition.polygon.vertices,
+            KIND_FILLS[partition.kind],
+            css_class="partition",
+        )
+        for obstacle in partition.obstacles:
+            canvas.polygon(
+                obstacle.vertices, OBSTACLE_FILL, stroke="#4b5563",
+                stroke_width=1.0, css_class="obstacle",
+            )
+        if labels:
+            canvas.text(partition.polygon.centroid, partition.label)
+
+    for door_id in space.door_ids:
+        door = space.door(door_id)
+        if door.floor != floor:
+            continue
+        one_way = space.topology.is_unidirectional(door_id)
+        color = ONE_WAY_DOOR_COLOR if one_way else DOOR_COLOR
+        if door.width > 0:
+            canvas.line(door.segment.start, door.segment.end, color, 4.0,
+                        css_class="door")
+        else:
+            canvas.circle(door.midpoint, 4.0, color, css_class="door")
+
+    if query is not None:
+        position, radius = query
+        canvas.circle(
+            position, radius * canvas.scale, QUERY_COLOR,
+            stroke=QUERY_COLOR, stroke_width=1.0, fill_opacity=0.12,
+            css_class="query",
+        )
+        canvas.circle(position, 4.0, QUERY_COLOR, css_class="query-center")
+
+    if objects is not None:
+        for obj in objects:
+            if obj.position.floor == floor:
+                canvas.circle(obj.position, 3.5, OBJECT_COLOR, css_class="object")
+
+    if paths is not None:
+        for path in paths:
+            if path.is_reachable:
+                canvas.polyline(
+                    _path_waypoints(space, path), PATH_COLOR, 2.5,
+                    css_class="path",
+                )
+
+    return canvas.document()
+
+
+def save_svg(svg: str, path: Union[str, FilePath]) -> None:
+    """Write an SVG string to disk."""
+    FilePath(path).write_text(svg)

@@ -1,0 +1,135 @@
+"""Tests for topological door-significance analysis."""
+
+import pytest
+
+from repro.analysis import (
+    critical_doors,
+    door_betweenness,
+    strongly_connected_partitions,
+)
+from repro.geometry import Point, Segment, rectangle
+from repro.model import IndoorSpaceBuilder
+from repro.model.figure1 import (
+    D1,
+    D2,
+    D13,
+    D15,
+    D21,
+    D22,
+    D24,
+    ROOM_13,
+    build_figure1,
+)
+from repro.synthetic import BuildingConfig, generate_building
+
+
+@pytest.fixture(scope="module")
+def figure1():
+    return build_figure1()
+
+
+def chain_space(rooms=4, extra_door=False):
+    """Rooms in a row, one connecting door per wall; optionally a second
+    door duplicating the middle wall."""
+    builder = IndoorSpaceBuilder()
+    for i in range(rooms):
+        builder.add_partition(i + 1, rectangle(i * 10, 0, i * 10 + 10, 10))
+    door_id = 1
+    for i in range(rooms - 1):
+        builder.add_door(
+            door_id,
+            Segment(Point((i + 1) * 10, 4), Point((i + 1) * 10, 6)),
+            connects=(i + 1, i + 2),
+        )
+        door_id += 1
+    if extra_door:
+        builder.add_door(
+            door_id,
+            Segment(Point(20, 8), Point(20, 9)),
+            connects=(2, 3),
+        )
+    return builder.build()
+
+
+class TestBetweenness:
+    def test_middle_door_of_a_chain_dominates(self):
+        space = chain_space(rooms=4)
+        scores = door_betweenness(space)
+        # Door 2 (between rooms 2 and 3) lies on every cross-building path.
+        assert scores[2] == max(scores.values())
+        assert scores[2] > scores[1]
+
+    def test_scores_are_fractions(self, figure1):
+        scores = door_betweenness(figure1)
+        assert set(scores) == set(figure1.door_ids)
+        for value in scores.values():
+            assert 0.0 <= value <= 1.0
+
+    def test_every_door_participates_in_its_own_pairs(self, figure1):
+        # Endpoints count, so every door has nonzero betweenness in a
+        # strongly connected plan.
+        scores = door_betweenness(figure1)
+        assert all(value > 0 for value in scores.values())
+
+    def test_sampling_restricts_evaluation(self, figure1):
+        scores = door_betweenness(figure1, sample_pairs=[(D1, D13)])
+        assert scores[D1] == 1.0
+        assert scores[D13] == 1.0
+        assert scores[D24] == 0.0
+
+    def test_d13_outranks_d15_for_room13_traffic(self, figure1):
+        # d13 is bidirectional and on most routes touching room 13; d15 only
+        # serves the one-way shortcut.
+        scores = door_betweenness(figure1)
+        assert scores[D13] > scores[D15]
+
+
+class TestScc:
+    def test_figure1_is_one_component(self, figure1):
+        components = strongly_connected_partitions(figure1)
+        assert len(components) == 1
+        assert components[0] == frozenset(figure1.partition_ids)
+
+    def test_one_way_trap_splits_components(self):
+        builder = IndoorSpaceBuilder()
+        builder.add_partition(1, rectangle(0, 0, 10, 10))
+        builder.add_partition(2, rectangle(10, 0, 14, 4))
+        builder.add_door(
+            1, Segment(Point(10, 1), Point(10, 3)), connects=(1, 2), one_way=True
+        )
+        components = strongly_connected_partitions(builder.build())
+        assert sorted(len(c) for c in components) == [1, 1]
+
+    def test_synthetic_building_is_one_component(self):
+        building = generate_building(BuildingConfig(floors=2, rooms_per_floor=4))
+        components = strongly_connected_partitions(building.space)
+        assert len(components) == 1
+
+
+class TestCriticalDoors:
+    def test_every_chain_door_is_critical(self):
+        space = chain_space(rooms=4)
+        assert critical_doors(space) == [1, 2, 3]
+
+    def test_redundant_door_is_not_critical(self):
+        space = chain_space(rooms=4, extra_door=True)
+        critical = critical_doors(space)
+        # The duplicated middle wall (doors 2 and 4) is redundant.
+        assert 2 not in critical
+        assert 4 not in critical
+        assert critical == [1, 3]
+
+    def test_figure1_critical_set(self, figure1):
+        critical = set(critical_doors(figure1))
+        # Star-like doors with a single partition behind them are critical...
+        assert {D1, D2, D13} <= critical
+        # ...but the d21/d22/d24 triangle has redundancy: closing d21 still
+        # leaves v21 reachable via d24.
+        assert D21 not in critical
+        assert D24 not in critical
+
+    def test_one_way_door_criticality(self, figure1):
+        # Closing d15 removes the shortcut but room 12 stays reachable only
+        # through d15 — so d15 is critical for entering room 12.
+        critical = set(critical_doors(figure1))
+        assert D15 in critical

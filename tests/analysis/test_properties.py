@@ -1,0 +1,102 @@
+"""Property-based tests for the analysis layer."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.analysis import (
+    critical_doors,
+    door_betweenness,
+    strongly_connected_partitions,
+)
+from repro.analysis.importance import _reachable_pair_count
+from repro.temporal import DoorSchedule, TemporalIndoorSpace
+from tests.strategies import grid_plans
+
+RELAXED = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+class TestBetweennessProperties:
+    @RELAXED
+    @given(grid_plans(one_way_probability=0.3))
+    def test_scores_are_valid_fractions(self, plan):
+        scores = door_betweenness(plan.space)
+        assert set(scores) == set(plan.space.door_ids)
+        assert all(0.0 <= v <= 1.0 for v in scores.values())
+
+    @RELAXED
+    @given(grid_plans())
+    def test_connected_plan_every_door_used(self, plan):
+        # Spanning-tree plans are connected; endpoints count, so every door
+        # participates in at least its own pairs.
+        if len(plan.space.door_ids) < 2:
+            return
+        scores = door_betweenness(plan.space)
+        assert all(v > 0 for v in scores.values())
+
+
+class TestSccProperties:
+    @RELAXED
+    @given(grid_plans(one_way_probability=0.5))
+    def test_components_partition_the_vertices(self, plan):
+        components = strongly_connected_partitions(plan.space)
+        seen = [p for component in components for p in component]
+        assert sorted(seen) == sorted(plan.space.partition_ids)
+        assert len(seen) == len(set(seen))
+
+    @RELAXED
+    @given(grid_plans())
+    def test_bidirectional_plan_is_one_component(self, plan):
+        components = strongly_connected_partitions(plan.space)
+        assert len(components) == 1
+
+    @RELAXED
+    @given(grid_plans(one_way_probability=0.5))
+    def test_single_component_iff_strongly_connected(self, plan):
+        components = strongly_connected_partitions(plan.space)
+        assert (len(components) == 1) == (
+            plan.space.accessibility.is_strongly_connected()
+        )
+
+
+class TestCriticalDoorProperties:
+    @RELAXED
+    @given(grid_plans(one_way_probability=0.3))
+    def test_closing_a_critical_door_reduces_reachability(self, plan):
+        space = plan.space
+        baseline = _reachable_pair_count(space.topology, None)
+        for door_id in critical_doors(space):
+            reduced = _reachable_pair_count(space.topology, door_id)
+            assert reduced < baseline
+
+    @RELAXED
+    @given(grid_plans(one_way_probability=0.3))
+    def test_closing_a_redundant_door_preserves_reachability(self, plan):
+        space = plan.space
+        critical = set(critical_doors(space))
+        baseline = _reachable_pair_count(space.topology, None)
+        for door_id in space.door_ids:
+            if door_id in critical:
+                continue
+            assert _reachable_pair_count(space.topology, door_id) == baseline
+
+    @RELAXED
+    @given(grid_plans())
+    def test_critical_door_closure_matches_temporal_snapshot(self, plan):
+        """Criticality analysis and the temporal layer must agree: closing a
+        critical door breaks strong connectivity of the snapshot; closing a
+        redundant one keeps the snapshot strongly connected (on connected
+        bidirectional plans)."""
+        space = plan.space
+        if len(space.door_ids) < 2:
+            return
+        critical = set(critical_doors(space))
+        for door_id in list(space.door_ids)[:4]:
+            schedule = DoorSchedule()
+            schedule.set_closed(door_id)
+            snapshot = TemporalIndoorSpace(space, schedule).snapshot(0.0)
+            connected = snapshot.accessibility.is_strongly_connected()
+            assert connected == (door_id not in critical)

@@ -1,0 +1,49 @@
+"""Tests for the benchmark CLI plumbing (figures stubbed for speed)."""
+
+import pytest
+
+import repro.bench.__main__ as bench_cli
+
+
+@pytest.fixture
+def stubbed_figures(monkeypatch):
+    rows = [
+        {"floors": 10, "algorithm3_ms": 1.5},
+        {"floors": 20, "algorithm3_ms": 3.25},
+    ]
+    monkeypatch.setattr(
+        bench_cli,
+        "FIGURES",
+        {
+            "fig6": ("Stub figure six", lambda: rows),
+            "fig7": ("Stub figure seven", lambda: rows),
+        },
+    )
+    return rows
+
+
+class TestBenchCli:
+    def test_single_figure(self, stubbed_figures, capsys):
+        assert bench_cli.main(["fig6"]) == 0
+        out = capsys.readouterr().out
+        assert "Stub figure six" in out
+        assert "3.25" in out
+        assert "scale:" in out
+
+    def test_all_runs_every_figure(self, stubbed_figures, capsys):
+        assert bench_cli.main(["all"]) == 0
+        out = capsys.readouterr().out
+        assert "Stub figure six" in out
+        assert "Stub figure seven" in out
+
+    def test_markdown_output(self, stubbed_figures, capsys, tmp_path):
+        target = tmp_path / "report.md"
+        assert bench_cli.main(["fig6", "--out", str(target)]) == 0
+        content = target.read_text()
+        assert "### Stub figure six" in content
+        assert "| floors | algorithm3_ms |" in content
+        assert "| 20 | 3.25 |" in content
+
+    def test_unknown_figure_rejected(self, stubbed_figures):
+        with pytest.raises(SystemExit):
+            bench_cli.main(["nonexistent"])

@@ -1,0 +1,124 @@
+"""Unit tests for the benchmark harness (tiny scales: correctness of the
+plumbing, not performance)."""
+
+import pytest
+
+from repro.bench.harness import (
+    BenchScale,
+    PAPER,
+    QUICK,
+    current_scale,
+    measure_fig6,
+    measure_fig7,
+    measure_fig8a,
+    measure_fig8b,
+    measure_fig8c,
+    measure_fig9a,
+    measure_fig9b,
+    measure_fig9c,
+    render_table,
+)
+
+TINY = BenchScale(
+    name="tiny",
+    fig6_floors=(2,),
+    fig6_pairs=2,
+    fig7_pairs=2,
+    query_count=3,
+    object_counts=(50,),
+    query_floors=(2,),
+    objects_per_floor=20,
+    fig8_radii=(10.0, 20.0),
+    fig9_ks=(1, 5),
+)
+
+
+class TestScaleSelection:
+    def test_default_is_quick(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        assert current_scale() is QUICK
+
+    def test_paper_scale(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "paper")
+        assert current_scale() is PAPER
+
+    def test_unknown_scale_falls_back_to_quick(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "bogus")
+        assert current_scale() is QUICK
+
+
+class TestMeasurements:
+    def test_fig6_rows(self):
+        rows = measure_fig6(TINY)
+        assert [row["floors"] for row in rows] == [2]
+        for key in ("algorithm2_ms", "algorithm3_ms", "algorithm4_ms"):
+            assert rows[0][key] > 0
+
+    def test_fig6_without_basic(self):
+        rows = measure_fig6(TINY, include_basic=False)
+        assert "algorithm2_ms" not in rows[0]
+
+    def test_fig7_rows_have_speedup(self):
+        rows = measure_fig7(TINY)
+        assert rows[0]["alg4_speedup"] > 0
+        assert rows[0]["algorithm3_ms"] > 0
+
+    def test_fig8_rows(self):
+        for measure in (measure_fig8a, measure_fig8b):
+            rows = measure(TINY)
+            assert rows[0]["with_index_ms"] > 0
+            assert rows[0]["without_index_ms"] > 0
+        rows = measure_fig8c(TINY)
+        assert rows[0]["r10m_ms"] > 0
+        assert rows[0]["r20m_ms"] > 0
+
+    def test_fig9_rows(self):
+        for measure in (measure_fig9a, measure_fig9b):
+            rows = measure(TINY)
+            assert rows[0]["with_index_ms"] > 0
+        rows = measure_fig9c(TINY)
+        assert rows[0]["k1_ms"] > 0
+        assert rows[0]["k5_ms"] > 0
+
+
+class TestCaches:
+    def test_buildings_are_cached_by_floor_count(self):
+        from repro.bench.harness import get_building
+
+        assert get_building(2) is get_building(2)
+
+    def test_frameworks_are_cached(self):
+        from repro.bench.harness import get_framework
+
+        assert get_framework(2) is get_framework(2)
+
+    def test_stores_are_cached_by_size(self):
+        from repro.bench.harness import get_store
+
+        assert get_store(2, 10) is get_store(2, 10)
+        assert get_store(2, 10) is not get_store(2, 20)
+
+    def test_with_objects_shares_static_indexes(self):
+        from repro.bench.harness import get_framework, get_store
+
+        base = get_framework(2)
+        combined = base.with_objects(get_store(2, 10))
+        assert combined.distance_index is base.distance_index
+        assert combined.dpt is base.dpt
+        assert combined.rtree is base.rtree
+        assert combined.objects is get_store(2, 10)
+
+
+class TestRendering:
+    def test_render_table(self):
+        text = render_table(
+            [{"floors": 10, "ms": 1.234}, {"floors": 20, "ms": 5.0}],
+            title="demo",
+        )
+        assert "demo" in text
+        assert "floors" in text
+        assert "1.23" in text
+        assert "20" in text
+
+    def test_render_empty(self):
+        assert "(no data)" in render_table([], title="empty")

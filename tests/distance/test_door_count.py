@@ -1,0 +1,85 @@
+"""Tests for the Li & Lee door-count baseline."""
+
+import math
+
+import pytest
+
+from repro.distance import door_count_distance, door_count_pt2pt, pt2pt_distance
+from repro.geometry import Point, Segment, rectangle
+from repro.model import IndoorSpaceBuilder
+from repro.model.figure1 import D12, D13, D15, P, Q, build_figure1
+
+
+@pytest.fixture(scope="module")
+def space():
+    return build_figure1()
+
+
+class TestMotivatingExample:
+    def test_door_count_model_picks_the_longer_walk(self, space):
+        """§I / §II: the lattice model prefers p -> d13 -> q (one door) even
+        though p -> d15 -> d12 -> q is the shorter walk."""
+        baseline = door_count_pt2pt(space, P, Q)
+        assert baseline.doors_crossed == 1  # through d13
+        true_distance = pt2pt_distance(space, P, Q)
+        assert baseline.walking_distance > true_distance
+        # The one-door route is exactly p -> d13 -> q.
+        expected = P.distance_to(Point(8, 6)) + Point(8, 6).distance_to(Q)
+        assert baseline.walking_distance == pytest.approx(expected)
+
+    def test_true_shortest_route_crosses_two_doors(self, space):
+        from repro.distance import pt2pt_path
+
+        assert len(pt2pt_path(space, P, Q).doors) == 2
+
+
+class TestDoorCountPt2pt:
+    def test_same_partition_is_zero_doors(self, space):
+        result = door_count_pt2pt(space, P, Point(9, 9))
+        assert result.doors_crossed == 0
+        assert result.walking_distance == pytest.approx(P.distance_to(Point(9, 9)))
+
+    def test_unreachable(self):
+        builder = IndoorSpaceBuilder()
+        builder.add_partition(1, rectangle(0, 0, 4, 4))
+        builder.add_partition(2, rectangle(4, 0, 8, 4))
+        builder.add_door(
+            1, Segment(Point(4, 1), Point(4, 3)), connects=(2, 1), one_way=True
+        )
+        space = builder.build()
+        result = door_count_pt2pt(space, Point(1, 1), Point(6, 2))
+        assert not result.is_reachable
+        assert math.isinf(result.walking_distance)
+
+    def test_ties_break_by_walking_distance(self):
+        # Two parallel one-door routes; the baseline must choose the shorter.
+        builder = IndoorSpaceBuilder()
+        builder.add_partition(1, rectangle(0, 0, 4, 8))
+        builder.add_partition(2, rectangle(4, 0, 8, 8))
+        builder.add_door(1, Segment(Point(4, 6.5), Point(4, 7.5)), connects=(1, 2))
+        builder.add_door(2, Segment(Point(4, 0.5), Point(4, 1.5)), connects=(1, 2))
+        space = builder.build()
+        source, target = Point(1, 6), Point(7, 6)
+        result = door_count_pt2pt(space, source, target)
+        assert result.doors_crossed == 1
+        expected = source.distance_to(Point(4, 7)) + Point(4, 7).distance_to(target)
+        assert result.walking_distance == pytest.approx(expected)
+
+
+class TestDoorCountD2d:
+    def test_direct_neighbour_doors(self, space):
+        result = door_count_distance(space, D15, D12)
+        assert result.doors_crossed == 2
+        expected = Point(6, 8).distance_to(Point(5, 6))
+        assert result.walking_distance == pytest.approx(expected)
+
+    def test_one_way_asymmetry(self, space):
+        forward = door_count_distance(space, D15, D12)
+        backward = door_count_distance(space, D12, D15)
+        assert backward.doors_crossed == 3  # d12 -> d13 -> d15
+        assert backward.doors_crossed > forward.doors_crossed
+
+    def test_same_door(self, space):
+        result = door_count_distance(space, D13, D13)
+        assert result.doors_crossed == 1
+        assert result.walking_distance == 0.0

@@ -1,0 +1,187 @@
+"""Tests for Algorithm 1 (door-to-door search) and path reconstruction."""
+
+import math
+
+import pytest
+
+from repro.distance import d2d_distance, d2d_path, door_to_door_search
+from repro.exceptions import UnknownEntityError
+from repro.geometry import Point
+from repro.model.figure1 import (
+    D1,
+    D11,
+    D12,
+    D13,
+    D14,
+    D15,
+    D21,
+    D22,
+    D24,
+    HALLWAY,
+    ROOM_12,
+    ROOM_13,
+    build_figure1,
+)
+
+
+@pytest.fixture(scope="module")
+def space():
+    return build_figure1()
+
+
+@pytest.fixture(scope="module")
+def gdist(space):
+    return space.distance_graph
+
+
+class TestD2dDistance:
+    def test_same_door_is_zero(self, gdist):
+        assert d2d_distance(gdist, D13, D13) == 0.0
+
+    def test_one_hop_through_room_12(self, gdist):
+        # d15 (6,8) -> d12 (5,6) within room 12.
+        expected = Point(6, 8).distance_to(Point(5, 6))
+        assert d2d_distance(gdist, D15, D12) == pytest.approx(expected)
+
+    def test_reverse_direction_takes_long_way(self, gdist):
+        # d12 -> d15 cannot cross room 12 (both doors one-way); the path runs
+        # d12 -(hallway)-> d13 -(room 13)-> d15.
+        expected = Point(5, 6).distance_to(Point(8, 6)) + Point(8, 6).distance_to(
+            Point(6, 8)
+        )
+        assert d2d_distance(gdist, D12, D15) == pytest.approx(expected)
+
+    def test_asymmetry_from_directed_doors(self, gdist):
+        assert d2d_distance(gdist, D15, D12) != pytest.approx(
+            d2d_distance(gdist, D12, D15)
+        )
+
+    def test_symmetric_for_bidirectional_route(self, gdist):
+        assert d2d_distance(gdist, D1, D11) == pytest.approx(
+            d2d_distance(gdist, D11, D1)
+        )
+
+    def test_multi_partition_route(self, gdist):
+        # d11 -> d21 goes hallway -> room 20 -> door d21.
+        expected = (
+            Point(2, 6).distance_to(Point(12, 5))
+            + Point(12, 5).distance_to(Point(14, 4))
+        )
+        assert d2d_distance(gdist, D11, D21) == pytest.approx(expected)
+
+    def test_obstructed_leg_is_used(self, space, gdist):
+        # d21 -> d24 via room 21 is a straight 2-2.236... walk; via room 22
+        # the obstacle would make it longer.  The search must pick room 21.
+        expected = Point(14, 4).distance_to(Point(16, 2))
+        assert d2d_distance(gdist, D21, D24) == pytest.approx(expected)
+
+    def test_unknown_door_raises(self, gdist):
+        with pytest.raises(UnknownEntityError):
+            d2d_distance(gdist, 999, D12)
+        with pytest.raises(UnknownEntityError):
+            d2d_distance(gdist, D12, 999)
+
+    def test_unreachable_is_inf(self):
+        from repro.geometry import Segment, rectangle
+        from repro.model import IndoorSpaceBuilder
+
+        builder = IndoorSpaceBuilder()
+        builder.add_partition(1, rectangle(0, 0, 4, 4))
+        builder.add_partition(2, rectangle(4, 0, 8, 4))
+        builder.add_partition(3, rectangle(8, 0, 12, 4))
+        builder.add_door(1, Segment(Point(4, 1), Point(4, 3)), connects=(1, 2))
+        # Door 2 only allows movement 2 -> 3, so door 1 is unreachable from 2's
+        # far side once we are in partition 3.
+        builder.add_door(
+            2, Segment(Point(8, 1), Point(8, 3)), connects=(2, 3), one_way=True
+        )
+        gdist = builder.build().distance_graph
+        assert math.isinf(d2d_distance(gdist, 2, 1))
+        assert d2d_distance(gdist, 1, 2) == pytest.approx(4.0)
+
+
+class TestSearch:
+    def test_full_search_settles_all_reachable_doors(self, gdist, space):
+        result = door_to_door_search(gdist, D1)
+        assert result.settled == set(space.door_ids)
+
+    def test_early_termination_at_target(self, gdist):
+        result = door_to_door_search(gdist, D1, target_door=D11)
+        # d11 is among the closest doors to d1; far doors stay unsettled.
+        assert D11 in result.settled
+        assert D24 not in result.settled
+
+    def test_multi_target_termination(self, gdist):
+        result = door_to_door_search(gdist, D1, targets={D11, D13})
+        assert {D11, D13} <= result.settled
+
+    def test_early_terminated_distances_match_full_search(self, gdist, space):
+        full = door_to_door_search(gdist, D14)
+        for target in space.door_ids:
+            early = door_to_door_search(gdist, D14, target_door=target)
+            assert early.distance_to(target) == pytest.approx(
+                full.distance_to(target)
+            )
+
+    def test_distance_to_unsettled_door_is_inf(self, gdist):
+        result = door_to_door_search(gdist, D1, target_door=D11)
+        assert math.isinf(result.distance_to(D24))
+
+    def test_prev_of_source_is_none(self, gdist):
+        result = door_to_door_search(gdist, D1)
+        assert result.prev[D1] is None
+
+
+class TestPathReconstruction:
+    def test_single_hop_path(self, gdist):
+        path = d2d_path(gdist, D15, D12)
+        assert path.doors == (D15, D12)
+        assert path.partitions == (ROOM_12,)
+        assert path.hops == 1
+        assert path.describe() == "d15 -(v12)-> d12"
+
+    def test_two_hop_path(self, gdist):
+        path = d2d_path(gdist, D12, D15)
+        assert path.doors == (D12, D13, D15)
+        assert path.partitions == (HALLWAY, ROOM_13)
+
+    def test_same_door_path(self, gdist):
+        path = d2d_path(gdist, D13, D13)
+        assert path.distance == 0.0
+        assert path.doors == (D13,)
+        assert path.partitions == ()
+
+    def test_unreachable_path(self):
+        from repro.geometry import Segment, rectangle
+        from repro.model import IndoorSpaceBuilder
+
+        builder = IndoorSpaceBuilder()
+        builder.add_partition(1, rectangle(0, 0, 4, 4))
+        builder.add_partition(2, rectangle(4, 0, 8, 4))
+        builder.add_partition(3, rectangle(8, 0, 12, 4))
+        builder.add_door(1, Segment(Point(4, 1), Point(4, 3)), connects=(1, 2))
+        builder.add_door(
+            2, Segment(Point(8, 1), Point(8, 3)), connects=(2, 3), one_way=True
+        )
+        path = d2d_path(builder.build().distance_graph, 2, 1)
+        assert not path.is_reachable
+        assert path.describe() == "<unreachable>"
+
+    def test_path_distance_matches_d2d_distance(self, gdist, space):
+        for source in space.door_ids:
+            for target in space.door_ids:
+                path = d2d_path(gdist, source, target)
+                assert path.distance == pytest.approx(
+                    d2d_distance(gdist, source, target)
+                )
+
+    def test_path_segments_are_consistent(self, gdist, space):
+        # Each consecutive (door, partition, door) triple must have a finite
+        # f_d2d and the sum of legs must equal the total distance.
+        path = d2d_path(gdist, D1, D24)
+        total = 0.0
+        for i, partition in enumerate(path.partitions):
+            leg = gdist.fd2d(partition, path.doors[i], path.doors[i + 1])
+            assert not math.isinf(leg)
+            total += leg
+        assert total == pytest.approx(path.distance)

@@ -1,0 +1,109 @@
+"""Tests for the all-pairs door distance matrix builders."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.distance import build_distance_matrix, build_distance_matrix_reference
+from repro.distance.door_to_door import d2d_distance
+from repro.model.figure1 import (
+    D1,
+    D11,
+    D12,
+    D15,
+    build_figure1,
+    build_figure1_subplan,
+)
+
+
+@pytest.fixture(scope="module")
+def space():
+    return build_figure1()
+
+
+@pytest.fixture(scope="module")
+def bulk(space):
+    return build_distance_matrix(space.distance_graph)
+
+
+class TestBulkBuilder:
+    def test_matches_reference_on_figure1(self, space, bulk):
+        reference = build_distance_matrix_reference(space.distance_graph)
+        assert bulk.door_ids == reference.door_ids
+        np.testing.assert_allclose(bulk.matrix, reference.matrix)
+
+    def test_matches_reference_on_subplan(self):
+        space = build_figure1_subplan()
+        bulk = build_distance_matrix(space.distance_graph)
+        reference = build_distance_matrix_reference(space.distance_graph)
+        np.testing.assert_allclose(bulk.matrix, reference.matrix)
+
+    def test_matches_single_pair_algorithm1(self, space, bulk):
+        for source in space.door_ids:
+            for target in space.door_ids:
+                assert bulk.distance(source, target) == pytest.approx(
+                    d2d_distance(space.distance_graph, source, target)
+                )
+
+
+class TestMatrixProperties:
+    def test_shape_and_ordering(self, space, bulk):
+        assert bulk.size == space.num_doors
+        assert bulk.door_ids == space.door_ids
+        assert list(bulk.door_ids) == sorted(bulk.door_ids)
+
+    def test_diagonal_is_zero(self, bulk):
+        assert np.all(np.diag(bulk.matrix) == 0.0)
+
+    def test_all_pairs_finite_in_strongly_connected_plan(self, bulk):
+        assert np.all(np.isfinite(bulk.matrix))
+
+    def test_asymmetry_from_directed_doors(self, bulk):
+        # The paper's §IV-A observation on Figure 3: the matrix is not
+        # symmetric because of directional doors.
+        assert bulk.distance(D11, D15) != pytest.approx(bulk.distance(D15, D11))
+
+    def test_triangle_inequality(self, bulk):
+        m = bulk.matrix
+        n = bulk.size
+        for i in range(n):
+            for j in range(n):
+                for k in range(n):
+                    assert m[i, j] <= m[i, k] + m[k, j] + 1e-9
+
+    def test_nonnegative(self, bulk):
+        assert np.all(bulk.matrix >= 0.0)
+
+    def test_index_of_mapping(self, bulk):
+        index = bulk.index_of
+        for i, door_id in enumerate(bulk.door_ids):
+            assert index[door_id] == i
+
+    def test_empty_space(self):
+        from repro.geometry import rectangle
+        from repro.model import IndoorSpaceBuilder
+
+        builder = IndoorSpaceBuilder()
+        builder.add_partition(1, rectangle(0, 0, 4, 4))
+        matrix = build_distance_matrix(builder.build().distance_graph)
+        assert matrix.size == 0
+
+    def test_unreachable_pairs_are_inf(self):
+        from repro.geometry import Point, Segment, rectangle
+        from repro.model import IndoorSpaceBuilder
+
+        builder = IndoorSpaceBuilder()
+        builder.add_partition(1, rectangle(0, 0, 4, 4))
+        builder.add_partition(2, rectangle(4, 0, 8, 4))
+        builder.add_partition(3, rectangle(8, 0, 12, 4))
+        builder.add_door(1, Segment(Point(4, 1), Point(4, 3)), connects=(1, 2))
+        builder.add_door(
+            2, Segment(Point(8, 1), Point(8, 3)), connects=(2, 3), one_way=True
+        )
+        space = builder.build()
+        bulk = build_distance_matrix(space.distance_graph)
+        reference = build_distance_matrix_reference(space.distance_graph)
+        np.testing.assert_allclose(bulk.matrix, reference.matrix)
+        assert math.isinf(bulk.distance(2, 1))
+        assert bulk.distance(1, 2) == pytest.approx(4.0)

@@ -1,0 +1,54 @@
+"""Tests for the path value objects themselves (validation + rendering)."""
+
+import math
+
+import pytest
+
+from repro.distance import DoorPath, IndoorPath
+from repro.geometry import Point
+
+
+class TestDoorPath:
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            DoorPath(5.0, (1, 2, 3), (10,))  # needs 2 partitions
+
+    def test_empty_path_is_valid(self):
+        path = DoorPath(math.inf, (), ())
+        assert not path.is_reachable
+
+    def test_single_door_path(self):
+        path = DoorPath(0.0, (7,), ())
+        assert path.hops == 0
+        assert path.describe() == "d7"
+
+    def test_describe_multi_hop(self):
+        path = DoorPath(4.2, (1, 2, 3), (10, 20))
+        assert path.describe() == "d1 -(v10)-> d2 -(v20)-> d3"
+
+    def test_hops_counts_partitions(self):
+        assert DoorPath(4.2, (1, 2, 3), (10, 20)).hops == 2
+
+
+class TestIndoorPath:
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            IndoorPath(3.0, Point(0, 0), Point(1, 1), (1,), (10,))
+
+    def test_unreachable_skips_validation(self):
+        path = IndoorPath(math.inf, Point(0, 0), Point(1, 1), (), ())
+        assert not path.is_reachable
+        assert path.describe() == "<unreachable>"
+
+    def test_direct_path(self):
+        path = IndoorPath(1.41, Point(0, 0), Point(1, 1), (), (10,))
+        assert path.is_reachable
+        assert "(1.41 m)" in path.describe()
+
+    def test_describe_lists_doors(self):
+        path = IndoorPath(
+            5.0, Point(0, 0), Point(4, 4), (15, 12), (13, 12, 10)
+        )
+        text = path.describe()
+        assert "d15" in text and "d12" in text
+        assert text.index("d15") < text.index("d12")

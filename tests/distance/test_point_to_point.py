@@ -1,0 +1,211 @@
+"""Tests for Algorithms 2-4 (position-to-position distance).
+
+The three algorithms must return identical distances everywhere; this is the
+paper's central claim (they differ only in work sharing) and is checked both
+on hand-computed cases and property-style over random positions.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.distance import (
+    pt2pt_distance,
+    pt2pt_distance_basic,
+    pt2pt_distance_memoized,
+    pt2pt_distance_refined,
+    pt2pt_path,
+)
+from repro.exceptions import ModelError
+from repro.geometry import Point, Segment, rectangle
+from repro.model import IndoorSpaceBuilder
+from repro.model.figure1 import (
+    D12,
+    D13,
+    D15,
+    HALLWAY,
+    P,
+    Q,
+    ROOM_12,
+    ROOM_13,
+    build_figure1,
+)
+
+ALGORITHMS = [
+    pytest.param(pt2pt_distance_basic, id="algorithm2"),
+    pytest.param(pt2pt_distance_refined, id="algorithm3"),
+    pytest.param(pt2pt_distance_memoized, id="algorithm4"),
+]
+
+
+@pytest.fixture(scope="module")
+def space():
+    return build_figure1()
+
+
+def motivating_example_expected():
+    """p -> d15 -> d12 -> q, the Figure-1 shortest path, by hand."""
+    return (
+        P.distance_to(Point(6, 8))
+        + Point(6, 8).distance_to(Point(5, 6))
+        + Point(5, 6).distance_to(Q)
+    )
+
+
+class TestMotivatingExample:
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_p_to_q_goes_through_d15_and_d12(self, space, algorithm):
+        assert algorithm(space, P, Q) == pytest.approx(motivating_example_expected())
+
+    def test_route_through_d13_is_longer(self, space):
+        via_d13 = (
+            P.distance_to(Point(8, 6)) + Point(8, 6).distance_to(Q)
+        )
+        assert pt2pt_distance(space, P, Q) < via_d13
+
+    def test_path_object_reports_the_door_sequence(self, space):
+        path = pt2pt_path(space, P, Q)
+        assert path.doors == (D15, D12)
+        assert path.partitions == (ROOM_13, ROOM_12, HALLWAY)
+        assert path.distance == pytest.approx(motivating_example_expected())
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_reverse_direction_must_use_d13(self, space, algorithm):
+        # One-way doors make q -> p asymmetric: entering room 13 is only
+        # possible through d13.
+        expected = Q.distance_to(Point(8, 6)) + Point(8, 6).distance_to(P)
+        assert algorithm(space, Q, P) == pytest.approx(expected)
+
+    def test_reverse_path_doors(self, space):
+        path = pt2pt_path(space, Q, P)
+        assert path.doors == (D13,)
+        assert path.partitions == (HALLWAY, ROOM_13)
+
+
+class TestEdgeCases:
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_same_position_is_zero(self, space, algorithm):
+        assert algorithm(space, P, P) == 0.0
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_same_partition_is_intra_distance(self, space, algorithm):
+        a, b = Point(6.5, 7), Point(9.5, 9.5)
+        assert algorithm(space, a, b) == pytest.approx(a.distance_to(b))
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_position_outside_any_partition_raises(self, space, algorithm):
+        with pytest.raises(ModelError):
+            algorithm(space, Point(100, 100), Q)
+        with pytest.raises(ModelError):
+            algorithm(space, Q, Point(100, 100))
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_unreachable_destination_is_inf(self, algorithm):
+        builder = IndoorSpaceBuilder()
+        builder.add_partition(1, rectangle(0, 0, 4, 4))
+        builder.add_partition(2, rectangle(4, 0, 8, 4))
+        builder.add_partition(3, rectangle(8, 0, 12, 4))
+        builder.add_door(1, Segment(Point(4, 1), Point(4, 3)), connects=(1, 2))
+        builder.add_door(
+            2, Segment(Point(8, 1), Point(8, 3)), connects=(3, 2), one_way=True
+        )
+        space = builder.build()
+        assert math.isinf(algorithm(space, Point(1, 1), Point(10, 2)))
+        assert not math.isinf(algorithm(space, Point(10, 2), Point(1, 1)))
+
+    def test_out_and_back_beats_obstructed_intra_path(self):
+        """The Figure-5 phenomenon: leaving the partition and re-entering
+        through another door can beat the intra-partition detour."""
+        from repro.geometry import Polygon
+
+        builder = IndoorSpaceBuilder()
+        # Room 1 is U-shaped: two vertical arms joined by a low base.  Room 2
+        # fills the notch between the arms, with a door into each arm near
+        # the top, so crossing room 2 short-cuts the long walk down and
+        # around the base.
+        builder.add_partition(
+            1,
+            Polygon(
+                [
+                    Point(0, 0),
+                    Point(14, 0),
+                    Point(14, 10),
+                    Point(10, 10),
+                    Point(10, 2),
+                    Point(4, 2),
+                    Point(4, 10),
+                    Point(0, 10),
+                ]
+            ),
+        )
+        builder.add_partition(2, rectangle(4, 2, 10, 10))
+        builder.add_door(1, Segment(Point(4, 8.5), Point(4, 9.5)), connects=(1, 2))
+        builder.add_door(2, Segment(Point(10, 8.5), Point(10, 9.5)), connects=(1, 2))
+        space = builder.build()
+        source, target = Point(2, 9), Point(12, 9)
+        intra = space.partition(1).intra_distance(source, target)
+        door_route = (
+            source.distance_to(Point(4, 9))
+            + Point(4, 9).distance_to(Point(10, 9))
+            + Point(10, 9).distance_to(target)
+        )
+        assert door_route < intra
+        for algorithm in (
+            pt2pt_distance_basic,
+            pt2pt_distance_refined,
+            pt2pt_distance_memoized,
+        ):
+            assert algorithm(space, source, target) == pytest.approx(door_route)
+
+    def test_intra_path_beats_door_route_in_clear_partition(self, space):
+        a, b = Point(1, 4.5), Point(11, 5.5)
+        assert pt2pt_distance(space, a, b) == pytest.approx(a.distance_to(b))
+
+
+def random_indoor_point(space, rng):
+    """A uniformly random point inside a random (non-outdoor) partition."""
+    partition_ids = [p for p in space.partition_ids if p != 0]
+    while True:
+        partition = space.partition(rng.choice(partition_ids))
+        box = partition.polygon.bounding_box
+        point = Point(
+            rng.uniform(box.min_x, box.max_x),
+            rng.uniform(box.min_y, box.max_y),
+            partition.floor,
+        )
+        if partition.contains(point) and space.get_host_partition(point) is not None:
+            return point
+
+
+class TestAlgorithmAgreement:
+    def test_algorithms_agree_on_random_positions(self, space):
+        rng = random.Random(42)
+        for _ in range(60):
+            a = random_indoor_point(space, rng)
+            b = random_indoor_point(space, rng)
+            basic = pt2pt_distance_basic(space, a, b)
+            refined = pt2pt_distance_refined(space, a, b)
+            memoized = pt2pt_distance_memoized(space, a, b)
+            assert refined == pytest.approx(basic), (a, b)
+            assert memoized == pytest.approx(basic), (a, b)
+
+    def test_path_distance_agrees_with_algorithms(self, space):
+        rng = random.Random(7)
+        for _ in range(20):
+            a = random_indoor_point(space, rng)
+            b = random_indoor_point(space, rng)
+            assert pt2pt_path(space, a, b).distance == pytest.approx(
+                pt2pt_distance_basic(space, a, b)
+            )
+
+    def test_triangle_inequality_over_random_triples(self, space):
+        rng = random.Random(11)
+        for _ in range(25):
+            a = random_indoor_point(space, rng)
+            b = random_indoor_point(space, rng)
+            c = random_indoor_point(space, rng)
+            ab = pt2pt_distance(space, a, b)
+            bc = pt2pt_distance(space, b, c)
+            ac = pt2pt_distance(space, a, c)
+            assert ac <= ab + bc + 1e-6

@@ -1,0 +1,139 @@
+"""Property-based tests of the distance layer on random indoor spaces.
+
+These are the library's strongest correctness guarantees: on arbitrary
+grid plans (with and without one-way doors), the three position-to-position
+algorithms agree, distances form a metric-like structure, and the bulk
+matrix builder matches the paper-faithful Algorithm-1 builder.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.distance import (
+    build_distance_matrix,
+    build_distance_matrix_reference,
+    d2d_distance,
+    d2d_path,
+    pt2pt_distance_basic,
+    pt2pt_distance_memoized,
+    pt2pt_distance_refined,
+    pt2pt_path,
+)
+from tests.strategies import grid_plans, plan_with_points
+
+RELAXED = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+class TestAlgorithmAgreement:
+    @RELAXED
+    @given(plan_with_points(count=2))
+    def test_all_algorithms_agree_on_bidirectional_plans(self, data):
+        plan, (a, b) = data
+        basic = pt2pt_distance_basic(plan.space, a, b)
+        assert pt2pt_distance_refined(plan.space, a, b) == pytest.approx(basic)
+        assert pt2pt_distance_memoized(plan.space, a, b) == pytest.approx(basic)
+
+    @RELAXED
+    @given(plan_with_points(count=2, one_way_probability=0.5))
+    def test_all_algorithms_agree_with_one_way_doors(self, data):
+        plan, (a, b) = data
+        basic = pt2pt_distance_basic(plan.space, a, b)
+        refined = pt2pt_distance_refined(plan.space, a, b)
+        memoized = pt2pt_distance_memoized(plan.space, a, b)
+        if math.isinf(basic):
+            assert math.isinf(refined) and math.isinf(memoized)
+        else:
+            assert refined == pytest.approx(basic)
+            assert memoized == pytest.approx(basic)
+
+    @RELAXED
+    @given(plan_with_points(count=2))
+    def test_path_distance_matches_algorithms(self, data):
+        plan, (a, b) = data
+        path = pt2pt_path(plan.space, a, b)
+        assert path.distance == pytest.approx(
+            pt2pt_distance_refined(plan.space, a, b)
+        )
+
+
+class TestMetricStructure:
+    @RELAXED
+    @given(plan_with_points(count=1))
+    def test_identity(self, data):
+        plan, (a,) = data
+        assert pt2pt_distance_refined(plan.space, a, a) == 0.0
+
+    @RELAXED
+    @given(plan_with_points(count=2))
+    def test_symmetry_on_bidirectional_plans(self, data):
+        plan, (a, b) = data
+        forward = pt2pt_distance_refined(plan.space, a, b)
+        backward = pt2pt_distance_refined(plan.space, b, a)
+        assert forward == pytest.approx(backward)
+
+    @RELAXED
+    @given(plan_with_points(count=3))
+    def test_triangle_inequality(self, data):
+        plan, (a, b, c) = data
+        ab = pt2pt_distance_refined(plan.space, a, b)
+        bc = pt2pt_distance_refined(plan.space, b, c)
+        ac = pt2pt_distance_refined(plan.space, a, c)
+        assert ac <= ab + bc + 1e-6
+
+    @RELAXED
+    @given(plan_with_points(count=2))
+    def test_distance_at_least_euclidean(self, data):
+        """Walking can never beat the straight line."""
+        plan, (a, b) = data
+        assert pt2pt_distance_refined(plan.space, a, b) >= a.distance_to(b) - 1e-9
+
+    @RELAXED
+    @given(plan_with_points(count=2))
+    def test_connected_plan_is_always_reachable(self, data):
+        plan, (a, b) = data  # spanning-tree doors are all bidirectional
+        assert not math.isinf(pt2pt_distance_refined(plan.space, a, b))
+
+
+class TestDoorGraphConsistency:
+    @RELAXED
+    @given(grid_plans(one_way_probability=0.4))
+    def test_bulk_matrix_matches_reference(self, plan):
+        graph = plan.space.distance_graph
+        bulk = build_distance_matrix(graph)
+        reference = build_distance_matrix_reference(graph)
+        np.testing.assert_allclose(bulk.matrix, reference.matrix)
+
+    @RELAXED
+    @given(grid_plans(one_way_probability=0.3), st.integers(0, 10_000))
+    def test_d2d_path_legs_sum_to_distance(self, plan, pick):
+        doors = plan.space.door_ids
+        if len(doors) < 2:
+            return
+        source = doors[pick % len(doors)]
+        target = doors[(pick * 7 + 3) % len(doors)]
+        path = d2d_path(plan.space.distance_graph, source, target)
+        if not path.is_reachable:
+            assert math.isinf(
+                d2d_distance(plan.space.distance_graph, source, target)
+            )
+            return
+        graph = plan.space.distance_graph
+        total = sum(
+            graph.fd2d(partition, path.doors[i], path.doors[i + 1])
+            for i, partition in enumerate(path.partitions)
+        )
+        assert total == pytest.approx(path.distance)
+
+    @RELAXED
+    @given(grid_plans())
+    def test_matrix_symmetric_without_one_way_doors(self, plan):
+        matrix = build_distance_matrix(plan.space.distance_graph).matrix
+        np.testing.assert_allclose(matrix, matrix.T, atol=1e-9)

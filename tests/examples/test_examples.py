@@ -1,0 +1,85 @@
+"""Smoke tests: every shipped example must run end-to-end and print the
+claims its scenario is built around."""
+
+import runpy
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name, capsys):
+    runpy.run_path(str(EXAMPLES_DIR / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = run_example("quickstart.py", capsys)
+    assert "M_d2d" in out
+    assert "d15 -> d12" in out  # the motivating shortest path
+    assert "asymmetry" in out
+    assert "kNN" in out
+
+
+def test_airport_boarding(capsys):
+    out = run_example("airport_boarding.py", capsys)
+    assert "one-way security: unreachable" in out
+    assert "REMIND" in out
+    assert "reminders sent:" in out
+    # Not everyone gets pinged — the whole point of the service.
+    assert "14/14" not in out
+
+
+def test_museum_guide(capsys):
+    out = run_example("museum_guide.py", capsys)
+    assert "nearest exhibits" in out
+    assert "stand in the way" in out
+    assert "door-count model crosses 1 door" in out
+
+
+def test_emergency_evacuation(capsys):
+    out = run_example("emergency_evacuation.py", capsys)
+    assert "Evacuation planning" in out
+    assert "during the fire" in out
+    assert "east exit" in out  # the fire forces rerouting eastwards
+
+
+def test_campus_navigation(capsys):
+    out = run_example("campus_navigation.py", capsys)
+    assert "indoor-only model: seat -> desk = inf" in out
+    assert "integrated model" in out
+    assert "matches: yes" in out
+
+
+def test_airport_live_monitor(capsys):
+    out = run_example("airport_boarding.py", capsys)
+    assert "Live gate-area monitor" in out
+    assert "enters the gate area" in out
+    assert "exits the gate area" in out
+
+
+def test_uncertain_positioning(capsys):
+    out = run_example("uncertain_positioning.py", capsys)
+    assert "Dr. Amin         90%" in out
+    assert "paged (threshold 60%): ['Dr. Amin']" in out
+    assert "Nurse Brook       4%" in out
+
+
+def test_facility_audit(capsys):
+    out = run_example("facility_audit.py", capsys)
+    assert "lint: 0 issue(s)" in out
+    assert "single points of failure" in out
+    assert "B2C" in out
+    assert "trapped = ['C']" in out
+
+
+def test_floorplan_render(capsys, tmp_path, monkeypatch):
+    import sys
+    import xml.etree.ElementTree as ET
+
+    monkeypatch.setattr(sys, "argv", ["floorplan_render.py", str(tmp_path)])
+    out = run_example("floorplan_render.py", capsys)
+    assert "figure1.svg" in out
+    for name in ("figure1.svg", "office_floor0.svg"):
+        ET.fromstring((tmp_path / name).read_text())

@@ -1,0 +1,99 @@
+"""Geometry edge cases: degenerate inputs, boundary coincidences, convexity."""
+
+import pytest
+
+from repro.geometry import BoundingBox, Point, Polygon, Segment, rectangle
+
+
+class TestZeroLengthSegments:
+    def test_zero_length_segment_is_legal(self):
+        seg = Segment(Point(3, 3), Point(3, 3))
+        assert seg.length == 0.0
+        assert seg.midpoint == Point(3, 3)
+
+    def test_zero_length_contains_only_its_point(self):
+        seg = Segment(Point(3, 3), Point(3, 3))
+        assert seg.contains_point(Point(3, 3))
+        assert not seg.contains_point(Point(3, 3.1))
+
+    def test_zero_length_intersection(self):
+        dot = Segment(Point(1, 1), Point(1, 1))
+        through = Segment(Point(0, 0), Point(2, 2))
+        assert dot.intersects(through)
+        assert not dot.properly_intersects(through)
+
+
+class TestDegenerateBoxes:
+    def test_zero_area_box_is_legal(self):
+        box = BoundingBox(2, 3, 2, 3)
+        assert box.area == 0.0
+        assert box.contains_point(Point(2, 3))
+        assert not box.contains_point(Point(2.1, 3))
+
+    def test_line_box(self):
+        box = BoundingBox(0, 5, 10, 5)
+        assert box.height == 0
+        assert box.intersects(BoundingBox(5, 0, 6, 10))
+
+
+class TestConvexity:
+    def test_rectangle_is_convex(self):
+        assert rectangle(0, 0, 4, 2).is_convex()
+
+    def test_triangle_is_convex(self):
+        assert Polygon([Point(0, 0), Point(4, 0), Point(2, 3)]).is_convex()
+
+    def test_l_shape_is_not_convex(self):
+        shape = Polygon(
+            [
+                Point(0, 0),
+                Point(4, 0),
+                Point(4, 2),
+                Point(2, 2),
+                Point(2, 4),
+                Point(0, 4),
+            ]
+        )
+        assert not shape.is_convex()
+
+    def test_convexity_independent_of_winding(self):
+        cw = Polygon([Point(0, 0), Point(0, 2), Point(2, 2), Point(2, 0)])
+        assert cw.is_convex()
+
+    def test_collinear_edge_still_convex(self):
+        # A redundant vertex on an edge keeps the polygon convex.
+        shape = Polygon(
+            [Point(0, 0), Point(2, 0), Point(4, 0), Point(4, 4), Point(0, 4)]
+        )
+        assert shape.is_convex()
+
+
+class TestBoundaryCoincidences:
+    def test_point_exactly_on_vertex(self):
+        square = rectangle(0, 0, 2, 2)
+        for vertex in square.vertices:
+            assert square.contains_point(vertex)
+            assert not square.strictly_contains_point(vertex)
+
+    def test_segment_along_polygon_edge_is_contained(self):
+        square = rectangle(0, 0, 4, 4)
+        assert square.contains_segment(Segment(Point(0, 0), Point(4, 0)))
+
+    def test_adjacent_rectangles_share_only_the_wall(self):
+        west = rectangle(0, 0, 4, 4)
+        east = rectangle(4, 0, 8, 4)
+        wall_point = Point(4, 2)
+        assert west.contains_point(wall_point)
+        assert east.contains_point(wall_point)
+        assert not west.strictly_contains_point(wall_point)
+        assert not east.strictly_contains_point(wall_point)
+
+    def test_ray_casting_through_vertex(self):
+        # Classic ray-casting trap: the ray through a vertex must not
+        # double-count.  Query points horizontally aligned with vertices.
+        diamond = Polygon(
+            [Point(2, 0), Point(4, 2), Point(2, 4), Point(0, 2)]
+        )
+        assert diamond.contains_point(Point(2, 2))
+        assert not diamond.contains_point(Point(5, 2))
+        assert not diamond.contains_point(Point(-1, 2))

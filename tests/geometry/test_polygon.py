@@ -1,0 +1,182 @@
+"""Unit and property tests for polygons and bounding boxes."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import GeometryError
+from repro.geometry import BoundingBox, Point, Polygon, rectangle
+from repro.geometry.polygon import convex_hull
+from repro.geometry.primitives import Segment
+
+
+class TestBoundingBox:
+    def test_inverted_box_raises(self):
+        with pytest.raises(GeometryError):
+            BoundingBox(1, 0, 0, 1)
+
+    def test_dimensions(self):
+        box = BoundingBox(0, 0, 4, 2)
+        assert box.width == 4
+        assert box.height == 2
+        assert box.area == 8
+        assert box.center == (2, 1)
+
+    def test_contains_point(self):
+        box = BoundingBox(0, 0, 2, 2)
+        assert box.contains_point(Point(1, 1))
+        assert box.contains_point(Point(0, 0))
+        assert not box.contains_point(Point(3, 1))
+
+    def test_intersects_and_union(self):
+        a = BoundingBox(0, 0, 2, 2)
+        b = BoundingBox(1, 1, 3, 3)
+        c = BoundingBox(5, 5, 6, 6)
+        assert a.intersects(b)
+        assert not a.intersects(c)
+        assert a.union(b) == BoundingBox(0, 0, 3, 3)
+
+    def test_enlargement(self):
+        a = BoundingBox(0, 0, 2, 2)
+        assert a.enlargement(BoundingBox(0, 0, 1, 1)) == 0
+        assert a.enlargement(BoundingBox(0, 0, 4, 2)) == pytest.approx(4)
+
+    def test_min_max_distance_to_point(self):
+        box = BoundingBox(0, 0, 2, 2)
+        assert box.min_distance_to_point(Point(1, 1)) == 0
+        assert box.min_distance_to_point(Point(5, 1)) == pytest.approx(3)
+        assert box.max_distance_to_point(Point(0, 0)) == pytest.approx(8 ** 0.5)
+
+
+class TestPolygon:
+    def test_too_few_vertices_raises(self):
+        with pytest.raises(GeometryError):
+            Polygon([Point(0, 0), Point(1, 1)])
+
+    def test_mixed_floors_raise(self):
+        with pytest.raises(GeometryError):
+            Polygon([Point(0, 0, 0), Point(1, 0, 1), Point(1, 1, 0)])
+
+    def test_duplicate_vertices_raise(self):
+        with pytest.raises(GeometryError):
+            Polygon([Point(0, 0), Point(1, 0), Point(1, 0), Point(0, 1)])
+
+    def test_degenerate_polygon_raises(self):
+        with pytest.raises(GeometryError):
+            Polygon([Point(0, 0), Point(1, 1), Point(2, 2)])
+
+    def test_winding_is_normalised_to_ccw(self):
+        clockwise = Polygon([Point(0, 0), Point(0, 1), Point(1, 1), Point(1, 0)])
+        assert clockwise.signed_area() > 0
+
+    def test_area_and_centroid_of_unit_square(self):
+        square = rectangle(0, 0, 1, 1)
+        assert square.area == pytest.approx(1.0)
+        assert square.centroid.approx_equals(Point(0.5, 0.5), tol=1e-9)
+
+    def test_contains_point_interior_boundary_exterior(self):
+        square = rectangle(0, 0, 2, 2)
+        assert square.contains_point(Point(1, 1))
+        assert square.contains_point(Point(0, 1))  # boundary inclusive
+        assert square.contains_point(Point(2, 2))  # corner inclusive
+        assert not square.contains_point(Point(2.1, 1))
+        assert not square.contains_point(Point(1, 1, floor=3))
+
+    def test_strictly_contains_excludes_boundary(self):
+        square = rectangle(0, 0, 2, 2)
+        assert square.strictly_contains_point(Point(1, 1))
+        assert not square.strictly_contains_point(Point(0, 1))
+
+    def test_contains_point_nonconvex(self):
+        # L-shaped polygon: the notch is outside.
+        shape = Polygon(
+            [
+                Point(0, 0),
+                Point(4, 0),
+                Point(4, 2),
+                Point(2, 2),
+                Point(2, 4),
+                Point(0, 4),
+            ]
+        )
+        assert shape.contains_point(Point(1, 3))
+        assert shape.contains_point(Point(3, 1))
+        assert not shape.contains_point(Point(3, 3))
+
+    def test_contains_segment(self):
+        square = rectangle(0, 0, 4, 4)
+        assert square.contains_segment(Segment(Point(1, 1), Point(3, 3)))
+        assert not square.contains_segment(Segment(Point(1, 1), Point(5, 5)))
+
+    def test_contains_segment_nonconvex_notch(self):
+        shape = Polygon(
+            [
+                Point(0, 0),
+                Point(4, 0),
+                Point(4, 2),
+                Point(2, 2),
+                Point(2, 4),
+                Point(0, 4),
+            ]
+        )
+        # Both endpoints inside, but the straight line leaves through the notch.
+        assert not shape.contains_segment(Segment(Point(1, 3.5), Point(3.5, 1)))
+        assert shape.contains_segment(Segment(Point(0.5, 0.5), Point(0.5, 3.5)))
+
+    def test_edges_count_and_closure(self):
+        square = rectangle(0, 0, 1, 1)
+        edges = square.edges()
+        assert len(edges) == 4
+        assert edges[-1].end == edges[0].start
+
+    def test_bounding_box(self):
+        tri = Polygon([Point(0, 0), Point(4, 1), Point(2, 3)])
+        assert tri.bounding_box == BoundingBox(0, 0, 4, 3)
+
+    def test_on_floor_and_translated(self):
+        square = rectangle(0, 0, 1, 1)
+        moved = square.translated(2, 3).on_floor(5)
+        assert moved.floor == 5
+        assert moved.bounding_box == BoundingBox(2, 3, 3, 4)
+
+    def test_rectangle_validation(self):
+        with pytest.raises(GeometryError):
+            rectangle(2, 0, 1, 1)
+
+    @given(
+        st.floats(min_value=0.5, max_value=50, allow_nan=False),
+        st.floats(min_value=0.5, max_value=50, allow_nan=False),
+    )
+    def test_rectangle_area_property(self, w, h):
+        assert rectangle(0, 0, w, h).area == pytest.approx(w * h)
+
+
+class TestConvexHull:
+    def test_square_hull(self):
+        points = [Point(0, 0), Point(2, 0), Point(2, 2), Point(0, 2), Point(1, 1)]
+        hull = convex_hull(points)
+        assert len(hull) == 4
+        assert Point(1, 1) not in hull
+
+    def test_collinear_points_collapse(self):
+        hull = convex_hull([Point(0, 0), Point(1, 0), Point(2, 0)])
+        assert len(hull) == 2
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=-20, max_value=20),
+                st.integers(min_value=-20, max_value=20),
+            ),
+            min_size=3,
+            max_size=30,
+        )
+    )
+    def test_hull_contains_all_points(self, raw):
+        points = [Point(float(x), float(y)) for x, y in raw]
+        hull = convex_hull(points)
+        if len(hull) < 3:
+            return
+        polygon = Polygon(hull)
+        for p in points:
+            assert polygon.contains_point(p, tol=1e-7)

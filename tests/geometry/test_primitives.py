@@ -1,0 +1,114 @@
+"""Unit and property tests for points and segments."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import GeometryError
+from repro.geometry import Point, Segment
+from repro.geometry.primitives import orientation
+
+coords = st.floats(min_value=-1000, max_value=1000, allow_nan=False, width=32)
+
+
+class TestPoint:
+    def test_distance_is_euclidean(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == pytest.approx(5.0)
+
+    def test_distance_to_self_is_zero(self):
+        p = Point(2.5, -7.1)
+        assert p.distance_to(p) == 0.0
+
+    def test_cross_floor_distance_raises(self):
+        with pytest.raises(GeometryError):
+            Point(0, 0, floor=0).distance_to(Point(0, 0, floor=1))
+
+    def test_points_are_hashable_and_comparable(self):
+        assert len({Point(1, 2), Point(1, 2), Point(1, 3)}) == 2
+        assert Point(1, 2) < Point(1, 3)
+
+    def test_translated(self):
+        assert Point(1, 2, 3).translated(0.5, -1) == Point(1.5, 1.0, 3)
+
+    def test_on_floor(self):
+        assert Point(1, 2, 0).on_floor(4) == Point(1, 2, 4)
+
+    def test_approx_equals_respects_floor(self):
+        assert Point(1, 2, 0).approx_equals(Point(1 + 1e-12, 2, 0))
+        assert not Point(1, 2, 0).approx_equals(Point(1, 2, 1))
+
+    @given(coords, coords, coords, coords)
+    def test_distance_symmetry(self, x1, y1, x2, y2):
+        p, q = Point(x1, y1), Point(x2, y2)
+        assert p.distance_to(q) == pytest.approx(q.distance_to(p))
+
+    @given(coords, coords, coords, coords, coords, coords)
+    def test_triangle_inequality(self, x1, y1, x2, y2, x3, y3):
+        p, q, r = Point(x1, y1), Point(x2, y2), Point(x3, y3)
+        assert p.distance_to(r) <= p.distance_to(q) + q.distance_to(r) + 1e-6
+
+
+class TestOrientation:
+    def test_counter_clockwise(self):
+        assert orientation(Point(0, 0), Point(1, 0), Point(1, 1)) == 1
+
+    def test_clockwise(self):
+        assert orientation(Point(0, 0), Point(1, 0), Point(1, -1)) == -1
+
+    def test_collinear(self):
+        assert orientation(Point(0, 0), Point(1, 1), Point(2, 2)) == 0
+
+
+class TestSegment:
+    def test_length_and_midpoint(self):
+        seg = Segment(Point(0, 0), Point(4, 0))
+        assert seg.length == pytest.approx(4.0)
+        assert seg.midpoint == Point(2, 0)
+
+    def test_mixed_floor_endpoints_raise(self):
+        with pytest.raises(GeometryError):
+            Segment(Point(0, 0, 0), Point(1, 1, 1))
+
+    def test_contains_point_on_segment(self):
+        seg = Segment(Point(0, 0), Point(10, 10))
+        assert seg.contains_point(Point(5, 5))
+        assert seg.contains_point(Point(0, 0))
+        assert not seg.contains_point(Point(5, 5.1))
+        assert not seg.contains_point(Point(11, 11))
+
+    def test_crossing_segments_intersect(self):
+        a = Segment(Point(0, 0), Point(2, 2))
+        b = Segment(Point(0, 2), Point(2, 0))
+        assert a.intersects(b)
+        assert a.properly_intersects(b)
+
+    def test_touching_at_endpoint_is_not_proper(self):
+        a = Segment(Point(0, 0), Point(2, 2))
+        b = Segment(Point(2, 2), Point(4, 0))
+        assert a.intersects(b)
+        assert not a.properly_intersects(b)
+
+    def test_collinear_overlap_is_not_proper(self):
+        a = Segment(Point(0, 0), Point(4, 0))
+        b = Segment(Point(2, 0), Point(6, 0))
+        assert a.intersects(b)
+        assert not a.properly_intersects(b)
+
+    def test_parallel_disjoint_segments(self):
+        a = Segment(Point(0, 0), Point(4, 0))
+        b = Segment(Point(0, 1), Point(4, 1))
+        assert not a.intersects(b)
+
+    def test_different_floor_segments_never_intersect(self):
+        a = Segment(Point(0, 0, 0), Point(2, 2, 0))
+        b = Segment(Point(0, 2, 1), Point(2, 0, 1))
+        assert not a.intersects(b)
+
+    @given(coords, coords, coords, coords)
+    def test_intersects_is_symmetric(self, x1, y1, x2, y2):
+        a = Segment(Point(x1, y1), Point(x2, y2))
+        b = Segment(Point(y1, x2), Point(y2, x1))
+        assert a.intersects(b) == b.intersects(a)
+        assert a.properly_intersects(b) == b.properly_intersects(a)

@@ -1,0 +1,124 @@
+"""Tests for visibility graphs and obstructed distances."""
+
+import math
+
+import pytest
+
+from repro.exceptions import GeometryError
+from repro.geometry import Point, Polygon, VisibilityGraph, obstructed_distance, rectangle
+
+
+@pytest.fixture
+def empty_room():
+    return VisibilityGraph(rectangle(0, 0, 10, 10))
+
+
+@pytest.fixture
+def room_with_pillar():
+    """A 10x10 room with a 2x2 pillar dead centre."""
+    return VisibilityGraph(rectangle(0, 0, 10, 10), [rectangle(4, 4, 6, 6)])
+
+
+class TestVisibility:
+    def test_clear_line_of_sight(self, empty_room):
+        assert empty_room.is_visible(Point(1, 1), Point(9, 9))
+
+    def test_sight_blocked_by_pillar(self, room_with_pillar):
+        assert not room_with_pillar.is_visible(Point(1, 5), Point(9, 5))
+
+    def test_sight_past_pillar(self, room_with_pillar):
+        assert room_with_pillar.is_visible(Point(1, 1), Point(9, 1))
+
+    def test_sight_cannot_leave_boundary(self, empty_room):
+        assert not empty_room.is_visible(Point(1, 1), Point(15, 1))
+
+    def test_grazing_obstacle_edge_is_visible(self, room_with_pillar):
+        # Sliding exactly along the pillar's bottom edge is allowed.
+        assert room_with_pillar.is_visible(Point(0, 4), Point(10, 4))
+
+    def test_degenerate_same_point(self, empty_room):
+        assert empty_room.is_visible(Point(3, 3), Point(3, 3))
+
+
+class TestShortestPath:
+    def test_unobstructed_distance_is_euclidean(self, empty_room):
+        assert empty_room.distance(Point(0, 0), Point(3, 4)) == pytest.approx(5.0)
+
+    def test_path_detours_around_pillar(self, room_with_pillar):
+        dist, path = room_with_pillar.shortest_path(Point(1, 5), Point(9, 5))
+        # Must be longer than straight line but shorter than hugging the walls.
+        assert dist > 8.0
+        assert dist < 12.0
+        assert path[0] == Point(1, 5)
+        assert path[-1] == Point(9, 5)
+        assert len(path) >= 3  # at least one pillar corner as waypoint
+
+    def test_detour_distance_exact(self):
+        # 10x10 room, pillar from (4,1) to (6,9): the symmetric detours under
+        # the pillar (via its bottom corners) and over it both measure 12.
+        graph = VisibilityGraph(rectangle(0, 0, 10, 10), [rectangle(4, 1, 6, 9)])
+        dist = graph.distance(Point(1, 5), Point(9, 5))
+        expected = (
+            Point(1, 5).distance_to(Point(4, 1))
+            + Point(4, 1).distance_to(Point(6, 1))
+            + Point(6, 1).distance_to(Point(9, 5))
+        )
+        assert dist == pytest.approx(expected, rel=1e-9)
+
+    def test_obstacle_flush_with_wall_still_allows_edge_walk(self):
+        # Obstacles are open sets (Zhang et al. semantics): the path may hug
+        # the obstacle edge even when the obstacle touches the room wall.
+        graph = VisibilityGraph(rectangle(0, 0, 10, 10), [rectangle(4, 0, 6, 8)])
+        dist = graph.distance(Point(2, 1), Point(8, 1))
+        expected = (
+            Point(2, 1).distance_to(Point(4, 0))
+            + 2.0
+            + Point(6, 0).distance_to(Point(8, 1))
+        )
+        assert dist == pytest.approx(expected, rel=1e-9)
+
+    def test_point_inside_obstacle_is_unreachable(self):
+        graph = VisibilityGraph(rectangle(0, 0, 10, 10), [rectangle(4, 4, 6, 6)])
+        dist, path = graph.shortest_path(Point(1, 5), Point(5, 5))
+        assert math.isinf(dist)
+        assert path == []
+
+    def test_nonconvex_boundary_path(self):
+        # L-shaped room: path must round the inner corner at (2, 2).
+        shape = Polygon(
+            [
+                Point(0, 0),
+                Point(4, 0),
+                Point(4, 2),
+                Point(2, 2),
+                Point(2, 4),
+                Point(0, 4),
+            ]
+        )
+        graph = VisibilityGraph(shape)
+        dist, path = graph.shortest_path(Point(1, 3.5), Point(3.5, 1))
+        expected = Point(1, 3.5).distance_to(Point(2, 2)) + Point(2, 2).distance_to(
+            Point(3.5, 1)
+        )
+        assert dist == pytest.approx(expected, rel=1e-9)
+        assert any(p.approx_equals(Point(2, 2)) for p in path)
+
+    def test_query_point_on_wrong_floor_raises(self, empty_room):
+        with pytest.raises(GeometryError):
+            empty_room.shortest_path(Point(1, 1, floor=2), Point(2, 2, floor=2))
+
+    def test_distance_symmetry_with_obstacles(self, room_with_pillar):
+        a, b = Point(1, 5), Point(9, 5)
+        assert room_with_pillar.distance(a, b) == pytest.approx(
+            room_with_pillar.distance(b, a)
+        )
+
+    def test_obstructed_distance_helper(self):
+        d = obstructed_distance(
+            rectangle(0, 0, 10, 10), [rectangle(4, 4, 6, 6)], Point(1, 5), Point(9, 5)
+        )
+        assert d > 8.0
+
+    def test_obstacle_floor_mismatch_raises(self):
+        with pytest.raises(GeometryError):
+            VisibilityGraph(rectangle(0, 0, 5, 5, floor=0), [rectangle(1, 1, 2, 2, floor=1)])

@@ -1,0 +1,155 @@
+"""Tests for M_d2d + M_idx (§IV-A) — including the Figure 3/4 reproduction
+on the paper's six-door sub-plan (experiments E-F3 and E-F4)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.distance import d2d_distance
+from repro.exceptions import UnknownEntityError
+from repro.index import DistanceIndexMatrix
+from repro.model.figure1 import (
+    D1,
+    D11,
+    D12,
+    D13,
+    D14,
+    D15,
+    SUBPLAN_DOORS,
+    build_figure1,
+    build_figure1_subplan,
+)
+
+
+@pytest.fixture(scope="module")
+def subplan():
+    return build_figure1_subplan()
+
+
+@pytest.fixture(scope="module")
+def index(subplan):
+    return DistanceIndexMatrix.build(subplan.distance_graph)
+
+
+class TestFigure3Matrix:
+    """E-F3: structural properties of the 6-door M_d2d of Figure 3."""
+
+    def test_six_doors(self, index):
+        assert index.door_ids == SUBPLAN_DOORS
+        assert index.size == 6
+
+    def test_diagonal_zero(self, index):
+        assert np.all(np.diag(index.md2d) == 0.0)
+
+    def test_not_symmetric_because_of_directed_doors(self, index):
+        # Figure 3's remark: M_d2d[d11, d15] != M_d2d[d15, d11].
+        assert index.distance(D11, D15) != pytest.approx(index.distance(D15, D11))
+
+    def test_matches_algorithm1(self, subplan, index):
+        for source in SUBPLAN_DOORS:
+            for target in SUBPLAN_DOORS:
+                assert index.distance(source, target) == pytest.approx(
+                    d2d_distance(subplan.distance_graph, source, target)
+                )
+
+    def test_reference_build_matches_bulk(self, subplan, index):
+        reference = DistanceIndexMatrix.build(
+            subplan.distance_graph, reference=True
+        )
+        np.testing.assert_allclose(reference.md2d, index.md2d)
+        np.testing.assert_array_equal(reference.midx, index.midx)
+
+    def test_unknown_door_raises(self, index):
+        with pytest.raises(UnknownEntityError):
+            index.distance(999, D1)
+
+
+class TestFigure4IndexMatrix:
+    """E-F4: the Distance Index Matrix property of §IV-A: for j < k,
+    M_d2d[d_i, M_idx[d_i, j]] <= M_d2d[d_i, M_idx[d_i, k]]."""
+
+    def test_every_row_is_a_permutation_of_door_ids(self, index):
+        for row in index.midx:
+            assert sorted(row) == sorted(index.door_ids)
+
+    def test_rows_sort_distances_non_descending(self, index):
+        for door in index.door_ids:
+            ordered = [d for _, d in index.doors_by_distance(door)]
+            assert ordered == sorted(ordered)
+
+    def test_first_entry_of_each_row_is_the_door_itself(self, index):
+        for i, door in enumerate(index.door_ids):
+            assert index.midx[i][0] == door
+
+    def test_defining_inequality(self, index):
+        midx = index.midx
+        for i, door in enumerate(index.door_ids):
+            row = midx[i]
+            for j in range(len(row) - 1):
+                assert index.distance(door, int(row[j])) <= index.distance(
+                    door, int(row[j + 1])
+                ) + 1e-12
+
+
+class TestScans:
+    def test_doors_by_distance_respects_cutoff(self, index):
+        full = list(index.doors_by_distance(D1))
+        assert len(full) == 6
+        cutoff = full[2][1]
+        limited = list(index.doors_by_distance(D1, max_distance=cutoff))
+        assert all(dist <= cutoff for _, dist in limited)
+        assert len(limited) >= 3
+
+    def test_doors_by_distance_is_sorted(self, index):
+        distances = [d for _, d in index.doors_by_distance(D13)]
+        assert distances == sorted(distances)
+
+    def test_unsorted_scan_covers_all_reachable(self, index):
+        unsorted_doors = {door for door, _ in index.doors_unsorted(D1)}
+        sorted_doors = {door for door, _ in index.doors_by_distance(D1)}
+        assert unsorted_doors == sorted_doors
+
+    def test_unsorted_scan_is_in_id_order(self, index):
+        ids = [door for door, _ in index.doors_unsorted(D1)]
+        assert ids == sorted(ids)
+
+    def test_nearest_doors(self, index):
+        nearest = index.nearest_doors(D1, 3)
+        assert len(nearest) == 3
+        assert nearest[0] == (D1, 0.0)
+        assert [d for _, d in nearest] == sorted(d for _, d in nearest)
+
+    def test_unreachable_doors_are_never_yielded(self):
+        # A one-way trap: from door 2's far side, door 1 is unreachable, so
+        # the sorted scan from door 2 must stop before yielding it.
+        from repro.geometry import Point, Segment, rectangle
+        from repro.model import IndoorSpaceBuilder
+
+        builder = IndoorSpaceBuilder()
+        builder.add_partition(1, rectangle(0, 0, 4, 4))
+        builder.add_partition(2, rectangle(4, 0, 8, 4))
+        builder.add_partition(3, rectangle(8, 0, 12, 4))
+        builder.add_door(
+            1, Segment(Point(4, 1), Point(4, 3)), connects=(1, 2), one_way=True
+        )
+        builder.add_door(2, Segment(Point(8, 1), Point(8, 3)), connects=(2, 3))
+        space = builder.build()
+        index = DistanceIndexMatrix.build(space.distance_graph)
+        scanned = {door for door, _ in index.doors_by_distance(2)}
+        assert 1 not in scanned
+        assert scanned == {2}
+        assert {door for door, _ in index.doors_by_distance(1)} == {1, 2}
+
+    def test_memory_bytes_positive(self, index):
+        assert index.memory_bytes() > 0
+
+
+class TestFullPlanIndex:
+    def test_figure1_index_is_consistent_with_algorithm1(self):
+        space = build_figure1()
+        index = DistanceIndexMatrix.build(space.distance_graph)
+        for source in space.door_ids:
+            ordered = [d for _, d in index.doors_by_distance(source)]
+            assert ordered == sorted(ordered)
+            assert len(ordered) == space.num_doors

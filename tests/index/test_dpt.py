@@ -1,0 +1,85 @@
+"""Tests for the Door-to-Partition Table (§IV-B)."""
+
+import math
+
+import pytest
+
+from repro.exceptions import UnknownEntityError
+from repro.index import DoorPartitionTable
+from repro.model.figure1 import (
+    D12,
+    D15,
+    D21,
+    HALLWAY,
+    ROOM_12,
+    ROOM_20,
+    ROOM_21,
+    build_figure1,
+)
+
+
+@pytest.fixture(scope="module")
+def space():
+    return build_figure1()
+
+
+@pytest.fixture(scope="module")
+def dpt(space):
+    return DoorPartitionTable.build(space.distance_graph)
+
+
+class TestRecords:
+    def test_unidirectional_door_record(self, space, dpt):
+        # The paper's example: D2P(d15) = {(v13, v12)}, so d15's record is
+        # (d15, null, inf, ptr(v12), f_dv(d15, v12)).
+        record = dpt.record(D15)
+        assert record.partition1 is None
+        assert math.isinf(record.dist1)
+        assert record.partition2 == ROOM_12
+        assert record.dist2 == pytest.approx(
+            space.distance_graph.fdv(D15, ROOM_12)
+        )
+
+    def test_unidirectional_d12_enters_hallway_only(self, space, dpt):
+        record = dpt.record(D12)
+        assert record.partition1 is None
+        assert record.partition2 == HALLWAY
+        assert record.dist2 == pytest.approx(
+            space.distance_graph.fdv(D12, HALLWAY)
+        )
+
+    def test_bidirectional_door_record_orders_partitions(self, space, dpt):
+        record = dpt.record(D21)
+        assert record.partition1 == ROOM_20  # lower id first
+        assert record.partition2 == ROOM_21
+        assert record.dist1 == pytest.approx(space.distance_graph.fdv(D21, ROOM_20))
+        assert record.dist2 == pytest.approx(space.distance_graph.fdv(D21, ROOM_21))
+
+    def test_enterable_iteration(self, dpt):
+        assert list(dpt.record(D15).enterable()) == [
+            (ROOM_12, pytest.approx(dpt.record(D15).dist2))
+        ]
+        assert len(list(dpt.record(D21).enterable())) == 2
+
+    def test_unknown_door_raises(self, dpt):
+        with pytest.raises(UnknownEntityError):
+            dpt.record(999)
+
+
+class TestTable:
+    def test_one_record_per_door(self, space, dpt):
+        assert len(dpt) == space.num_doors
+
+    def test_sorted_by_door_id(self, dpt):
+        assert dpt.door_ids == sorted(dpt.door_ids)
+        iterated = [record.door_id for record in dpt]
+        assert iterated == dpt.door_ids
+
+    def test_memory_accounting(self, dpt):
+        # 28 bytes per record, as in §VI-B.
+        assert dpt.memory_bytes() == 28 * len(dpt)
+
+    def test_every_distance_is_positive_or_inf(self, dpt):
+        for record in dpt:
+            for _, dist in record.enterable():
+                assert dist > 0

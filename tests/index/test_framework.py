@@ -1,0 +1,126 @@
+"""Tests for the assembled IndexFramework and the ObjectStore."""
+
+import pytest
+
+from repro.exceptions import ModelError, UnknownEntityError
+from repro.geometry import Point
+from repro.index import IndexFramework, IndoorObject, ObjectStore
+from repro.model.figure1 import (
+    HALLWAY,
+    P,
+    Q,
+    ROOM_11,
+    ROOM_13,
+    build_figure1,
+)
+
+
+@pytest.fixture
+def space():
+    return build_figure1()
+
+
+@pytest.fixture
+def objects():
+    return [
+        IndoorObject(1, Point(6.5, 9.0), payload="defibrillator"),
+        IndoorObject(2, Point(1.0, 5.0), payload="extinguisher"),
+        IndoorObject(3, Point(2.0, 8.0), payload="printer"),
+    ]
+
+
+class TestObjectStore:
+    def test_add_resolves_host_partition(self, space, objects):
+        store = ObjectStore(space)
+        assert store.add(objects[0]) == ROOM_13
+        assert store.add(objects[1]) == HALLWAY
+        assert store.host_partition_id(1) == ROOM_13
+
+    def test_add_with_explicit_partition_skips_lookup(self, space):
+        store = ObjectStore(space)
+        store.add(IndoorObject(9, Point(6.5, 9.0)), partition_id=ROOM_13)
+        assert store.host_partition_id(9) == ROOM_13
+
+    def test_duplicate_id_raises(self, space, objects):
+        store = ObjectStore(space)
+        store.add(objects[0])
+        with pytest.raises(ModelError):
+            store.add(IndoorObject(1, Point(1, 5)))
+
+    def test_remove_and_len(self, space, objects):
+        store = ObjectStore(space)
+        store.add_all(objects)
+        assert len(store) == 3
+        removed = store.remove(2)
+        assert removed.payload == "extinguisher"
+        assert len(store) == 2
+        assert 2 not in store
+        with pytest.raises(UnknownEntityError):
+            store.remove(2)
+
+    def test_move_across_partitions(self, space, objects):
+        store = ObjectStore(space)
+        store.add(objects[0])
+        moved = store.move(1, Point(1.0, 5.0))
+        assert moved.payload == "defibrillator"
+        assert store.host_partition_id(1) == HALLWAY
+        assert store.objects_in(ROOM_13) == []
+
+    def test_objects_in_and_occupied(self, space, objects):
+        store = ObjectStore(space)
+        store.add_all(objects)
+        assert {o.object_id for o in store.objects_in(ROOM_11)} == {3}
+        assert store.occupied_partitions == (HALLWAY, ROOM_11, ROOM_13)
+        assert store.bucket(999) is None
+
+    def test_add_outside_any_partition_raises(self, space):
+        store = ObjectStore(space)
+        with pytest.raises(ModelError):
+            store.add(IndoorObject(1, Point(100, 100)))
+
+    def test_invalid_cell_size(self, space):
+        with pytest.raises(ModelError):
+            ObjectStore(space, cell_size=-1)
+
+    def test_negative_object_id_raises(self):
+        with pytest.raises(ModelError):
+            IndoorObject(-1, Point(0, 0))
+
+    def test_iteration(self, space, objects):
+        store = ObjectStore(space)
+        store.add_all(objects)
+        assert {o.object_id for o in store} == {1, 2, 3}
+
+
+class TestIndexFramework:
+    def test_build_assembles_everything(self, space, objects):
+        framework = IndexFramework.build(space, objects)
+        assert framework.distance_index.size == space.num_doors
+        assert len(framework.dpt) == space.num_doors
+        assert len(framework.objects) == 3
+        # The R-tree is installed as the host-partition locator.
+        assert space.get_host_partition(P).partition_id == ROOM_13
+
+    def test_reference_matrix_build_matches(self, objects):
+        import numpy as np
+
+        fast = IndexFramework.build(build_figure1(), objects)
+        slow = IndexFramework.build(
+            build_figure1(), objects, reference_matrix=True
+        )
+        np.testing.assert_allclose(
+            fast.distance_index.md2d, slow.distance_index.md2d
+        )
+
+    def test_memory_report(self, space, objects):
+        framework = IndexFramework.build(space, objects)
+        report = framework.memory_report()
+        assert report["doors"] == space.num_doors
+        assert report["matrix_bytes"] > 0
+        assert report["dpt_bytes"] == 28 * space.num_doors
+        assert report["objects"] == 3
+
+    def test_graph_is_precomputed(self, space):
+        framework = IndexFramework.build(space)
+        stats = framework.graph.cache_stats()
+        assert stats["fd2d_entries"] > 0

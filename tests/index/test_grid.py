@@ -1,0 +1,170 @@
+"""Tests for the per-partition uniform grid object index (§V-B)."""
+
+import math
+import random
+
+import pytest
+
+from repro.exceptions import ModelError
+from repro.geometry import Point, rectangle
+from repro.index import PartitionGrid
+from repro.model import Partition, PartitionKind
+
+
+@pytest.fixture
+def room():
+    return Partition(1, rectangle(0, 0, 20, 10))
+
+
+@pytest.fixture
+def grid(room):
+    return PartitionGrid(room, cell_size=2.0)
+
+
+def fill_random(grid, count, seed=0):
+    rng = random.Random(seed)
+    positions = {}
+    for object_id in range(count):
+        p = Point(rng.uniform(0, 20), rng.uniform(0, 10))
+        grid.insert(object_id, p)
+        positions[object_id] = p
+    return positions
+
+
+class TestMaintenance:
+    def test_insert_remove_roundtrip(self, grid):
+        grid.insert(1, Point(3, 3))
+        assert len(grid) == 1
+        assert grid.position_of(1) == Point(3, 3)
+        assert grid.remove(1) == Point(3, 3)
+        assert len(grid) == 0
+        assert grid.occupied_cells == 0
+
+    def test_duplicate_insert_raises(self, grid):
+        grid.insert(1, Point(3, 3))
+        with pytest.raises(ModelError):
+            grid.insert(1, Point(4, 4))
+
+    def test_remove_missing_raises(self, grid):
+        with pytest.raises(ModelError):
+            grid.remove(42)
+
+    def test_invalid_cell_size_raises(self, room):
+        with pytest.raises(ModelError):
+            PartitionGrid(room, cell_size=0)
+
+    def test_occupied_cells_grow_and_shrink(self, grid):
+        grid.insert(1, Point(0.5, 0.5))
+        grid.insert(2, Point(0.7, 0.7))  # same cell
+        grid.insert(3, Point(9, 9))
+        assert grid.occupied_cells == 2
+        grid.remove(2)
+        assert grid.occupied_cells == 2
+        grid.remove(1)
+        assert grid.occupied_cells == 1
+
+    def test_object_ids_and_iteration(self, grid):
+        grid.insert(5, Point(1, 1))
+        grid.insert(7, Point(2, 2))
+        assert set(grid.object_ids()) == {5, 7}
+        assert dict(grid.all_within()) == {5: Point(1, 1), 7: Point(2, 2)}
+
+
+class TestRangeSearch:
+    def test_matches_brute_force(self, grid):
+        positions = fill_random(grid, 200, seed=1)
+        anchor = Point(10, 5)
+        for radius in (0.5, 2.0, 5.0, 30.0):
+            expected = {
+                oid: anchor.distance_to(p)
+                for oid, p in positions.items()
+                if anchor.distance_to(p) <= radius
+            }
+            got = dict(grid.range_search(anchor, radius))
+            assert got.keys() == expected.keys()
+            for oid, dist in got.items():
+                assert dist == pytest.approx(expected[oid])
+
+    def test_zero_radius_finds_colocated_object(self, grid):
+        grid.insert(1, Point(4, 4))
+        assert grid.range_search(Point(4, 4), 0.0) == [(1, 0.0)]
+
+    def test_negative_radius_is_empty(self, grid):
+        grid.insert(1, Point(4, 4))
+        assert grid.range_search(Point(4, 4), -1.0) == []
+
+    def test_anchor_at_door_position(self, grid):
+        # Queries anchor range searches at door midpoints on the boundary.
+        grid.insert(1, Point(1, 1))
+        results = grid.range_search(Point(0, 0), 2.0)
+        assert results == [(1, pytest.approx(math.sqrt(2)))]
+
+    def test_obstacle_partition_uses_walking_distance(self):
+        room = Partition(
+            1, rectangle(0, 0, 20, 10), obstacles=(rectangle(9, 0.5, 11, 9.5),)
+        )
+        grid = PartitionGrid(room, cell_size=2.0)
+        grid.insert(1, Point(15, 6))
+        anchor = Point(5, 6)
+        euclidean = anchor.distance_to(Point(15, 6))
+        # Walking must round the obstacle's bottom corners.
+        results = dict(grid.range_search(anchor, 30.0))
+        assert results[1] > euclidean + 1.0
+        # A radius between the Euclidean and walking distance excludes it.
+        assert grid.range_search(anchor, euclidean + 0.5) == []
+
+
+class TestNnSearch:
+    def test_matches_brute_force_for_various_k(self, grid):
+        positions = fill_random(grid, 150, seed=2)
+        anchor = Point(3, 3)
+        by_distance = sorted(
+            (anchor.distance_to(p), oid) for oid, p in positions.items()
+        )
+        for k in (1, 5, 20):
+            got = grid.nn_search(anchor, k=k)
+            assert len(got) == k
+            for (oid, dist), (exp_dist, exp_oid) in zip(got, by_distance):
+                assert dist == pytest.approx(exp_dist)
+
+    def test_bound_excludes_far_objects(self, grid):
+        grid.insert(1, Point(1, 1))
+        grid.insert(2, Point(19, 9))
+        anchor = Point(0, 0)
+        got = grid.nn_search(anchor, bound=5.0, k=10)
+        assert [oid for oid, _ in got] == [1]
+
+    def test_empty_grid(self, grid):
+        assert grid.nn_search(Point(1, 1), k=3) == []
+
+    def test_k_zero_or_negative(self, grid):
+        grid.insert(1, Point(1, 1))
+        assert grid.nn_search(Point(1, 1), k=0) == []
+
+    def test_results_sorted_ascending(self, grid):
+        fill_random(grid, 80, seed=3)
+        got = grid.nn_search(Point(10, 5), k=10)
+        distances = [d for _, d in got]
+        assert distances == sorted(distances)
+
+    def test_fewer_objects_than_k(self, grid):
+        grid.insert(1, Point(1, 1))
+        grid.insert(2, Point(2, 2))
+        assert len(grid.nn_search(Point(0, 0), k=10)) == 2
+
+
+class TestStaircaseBucket:
+    def test_cross_floor_objects_are_found(self):
+        stairs = Partition(
+            50,
+            rectangle(0, 0, 4, 4, floor=0),
+            PartitionKind.STAIRCASE,
+            stair_length=6.0,
+        )
+        grid = PartitionGrid(stairs, cell_size=2.0)
+        grid.insert(1, Point(2, 2, floor=0))
+        anchor = Point(2, 2, floor=1)  # the upper landing
+        results = dict(grid.range_search(anchor, 10.0))
+        assert results[1] == pytest.approx(6.0)
+        nn = grid.nn_search(anchor, k=1)
+        assert nn == [(1, pytest.approx(6.0))]

@@ -1,0 +1,83 @@
+"""Grid index edge cases: ties, co-located objects, cell boundaries."""
+
+import pytest
+
+from repro.geometry import Point, rectangle
+from repro.index import PartitionGrid
+from repro.model import Partition
+
+
+@pytest.fixture
+def grid():
+    return PartitionGrid(Partition(1, rectangle(0, 0, 20, 10)), cell_size=2.0)
+
+
+class TestTies:
+    def test_colocated_objects_both_found(self, grid):
+        grid.insert(1, Point(5, 5))
+        grid.insert(2, Point(5, 5))
+        results = dict(grid.range_search(Point(5, 5), 0.0))
+        assert results == {1: 0.0, 2: 0.0}
+
+    def test_nn_with_exact_ties_returns_k(self, grid):
+        # Four objects at identical distance from the anchor.
+        for object_id, position in enumerate(
+            [Point(5, 7), Point(5, 3), Point(3, 5), Point(7, 5)], start=1
+        ):
+            grid.insert(object_id, position)
+        results = grid.nn_search(Point(5, 5), k=2)
+        assert len(results) == 2
+        assert all(d == pytest.approx(2.0) for _, d in results)
+
+    def test_equidistant_objects_in_range(self, grid):
+        grid.insert(1, Point(5, 7))
+        grid.insert(2, Point(5, 3))
+        results = dict(grid.range_search(Point(5, 5), 2.0))
+        assert set(results) == {1, 2}
+
+
+class TestCellBoundaries:
+    def test_object_on_cell_corner(self, grid):
+        # (2, 2) lies exactly on a grid line intersection.
+        grid.insert(1, Point(2, 2))
+        assert grid.range_search(Point(2, 2), 0.0) == [(1, 0.0)]
+        assert grid.nn_search(Point(2.5, 2.5), k=1)[0][0] == 1
+
+    def test_object_on_partition_edge(self, grid):
+        grid.insert(1, Point(20, 10))  # far corner of the partition
+        results = grid.range_search(Point(19, 9), 2.0)
+        assert [oid for oid, _ in results] == [1]
+
+    def test_anchor_outside_bucket_partition(self, grid):
+        # Query algorithms anchor searches at door midpoints, which lie on
+        # the partition boundary; an anchor marginally outside the bbox must
+        # still work via the cell min-distance pruning.
+        grid.insert(1, Point(1, 1))
+        results = grid.range_search(Point(0, 0), 2.0)
+        assert [oid for oid, _ in results] == [1]
+
+    def test_move_between_cells_preserves_search(self, grid):
+        grid.insert(1, Point(1, 1))
+        grid.remove(1)
+        grid.insert(1, Point(19, 9))
+        assert grid.range_search(Point(1, 1), 3.0) == []
+        assert [oid for oid, _ in grid.range_search(Point(19, 9), 1.0)] == [1]
+
+
+class TestSmallCellSizes:
+    def test_many_objects_one_tiny_cell_grid(self):
+        room = Partition(1, rectangle(0, 0, 4, 4))
+        grid = PartitionGrid(room, cell_size=0.1)
+        for i in range(50):
+            grid.insert(i, Point(0.05 + (i % 10) * 0.4, 0.05 + (i // 10) * 0.4))
+        assert len(grid) == 50
+        everything = grid.range_search(Point(2, 2), 10.0)
+        assert len(everything) == 50
+
+    def test_cell_size_larger_than_partition(self):
+        room = Partition(1, rectangle(0, 0, 4, 4))
+        grid = PartitionGrid(room, cell_size=100.0)
+        grid.insert(1, Point(1, 1))
+        grid.insert(2, Point(3, 3))
+        assert grid.occupied_cells == 1
+        assert len(grid.nn_search(Point(0, 0), k=5)) == 2

@@ -1,0 +1,128 @@
+"""Tests for the STR bulk-loaded partition R-tree."""
+
+import random
+
+import pytest
+
+from repro.geometry import Point, Segment, rectangle
+from repro.index import PartitionRTree
+from repro.model import IndoorSpaceBuilder, PartitionKind
+from repro.model.figure1 import HALLWAY, P, Q, ROOM_13, build_figure1
+
+
+@pytest.fixture(scope="module")
+def space():
+    return build_figure1()
+
+
+@pytest.fixture(scope="module")
+def rtree(space):
+    return PartitionRTree(space)
+
+
+class TestLocate:
+    def test_known_points(self, rtree):
+        assert rtree.locate(P) == ROOM_13
+        assert rtree.locate(Q) == HALLWAY
+
+    def test_outside_everything(self, rtree):
+        assert rtree.locate(Point(100, 100)) is None
+        assert rtree.locate(Point(5, 5, floor=7)) is None
+
+    def test_shared_wall_resolves_to_lowest_id(self, rtree):
+        assert rtree.locate(Point(8, 6)) == HALLWAY
+
+    def test_matches_linear_scan_on_random_points(self, space, rtree):
+        rng = random.Random(123)
+        space.set_partition_locator(None)  # force the linear fallback
+        try:
+            for _ in range(300):
+                point = Point(rng.uniform(-6, 22), rng.uniform(-2, 16))
+                linear = space.get_host_partition(point)
+                expected = None if linear is None else linear.partition_id
+                assert rtree.locate(point) == expected, point
+        finally:
+            space.set_partition_locator(None)
+
+    def test_candidate_partitions_are_a_superset(self, space, rtree):
+        rng = random.Random(5)
+        for _ in range(100):
+            point = Point(rng.uniform(-6, 22), rng.uniform(-2, 16))
+            candidates = set(rtree.candidate_partitions(point))
+            actual = {
+                p.partition_id for p in space.partitions() if p.contains(point)
+            }
+            assert actual <= candidates
+
+
+class TestStructure:
+    def test_height_is_positive(self, rtree):
+        assert rtree.height >= 1
+
+    def test_small_capacity_grows_height(self, space):
+        tall = PartitionRTree(space, node_capacity=2)
+        assert tall.height >= 2
+        # Same answers regardless of fan-out.
+        assert tall.locate(P) == ROOM_13
+
+    def test_capacity_validation(self, space):
+        with pytest.raises(ValueError):
+            PartitionRTree(space, node_capacity=1)
+
+    def test_empty_space(self):
+        builder = IndoorSpaceBuilder()
+        empty = builder.build()
+        tree = PartitionRTree(empty)
+        assert tree.height == 0
+        assert tree.locate(Point(0, 0)) is None
+
+    def test_large_synthetic_layout(self):
+        # A 20x20 grid of rooms exercises multi-level STR packing.
+        builder = IndoorSpaceBuilder()
+        for row in range(20):
+            for col in range(20):
+                pid = row * 20 + col + 1
+                builder.add_partition(
+                    pid, rectangle(col * 5, row * 5, col * 5 + 5, row * 5 + 5)
+                )
+        space = builder.build()
+        tree = PartitionRTree(space, node_capacity=4)
+        assert tree.height >= 3
+        rng = random.Random(9)
+        for _ in range(200):
+            col, row = rng.randrange(20), rng.randrange(20)
+            point = Point(col * 5 + 2.5, row * 5 + 2.5)
+            assert tree.locate(point) == row * 20 + col + 1
+
+
+class TestMultiFloor:
+    def test_floor_filtering(self):
+        builder = IndoorSpaceBuilder()
+        builder.add_partition(1, rectangle(0, 0, 10, 10, floor=0))
+        builder.add_partition(2, rectangle(0, 0, 10, 10, floor=1))
+        builder.add_partition(
+            3,
+            rectangle(10, 0, 14, 4, floor=0),
+            PartitionKind.STAIRCASE,
+            stair_length=6.0,
+        )
+        builder.add_door(1, Segment(Point(10, 1), Point(10, 3)), connects=(1, 3))
+        builder.add_door(
+            2, Segment(Point(10, 1, 1), Point(10, 3, 1)), connects=(3, 2)
+        )
+        space = builder.build()
+        tree = PartitionRTree(space)
+        assert tree.locate(Point(5, 5, 0)) == 1
+        assert tree.locate(Point(5, 5, 1)) == 2
+        # The staircase spans both floors.
+        assert tree.locate(Point(12, 2, 0)) == 3
+        assert tree.locate(Point(12, 2, 1)) == 3
+        assert tree.locate(Point(5, 5, 2)) is None
+
+
+class TestInstall:
+    def test_install_wires_the_space(self):
+        space = build_figure1()
+        tree = PartitionRTree(space).install()
+        assert space.get_host_partition(P).partition_id == ROOM_13
+        space.set_partition_locator(None)

@@ -1,0 +1,157 @@
+"""End-to-end integration tests across every subsystem: generate → persist
+→ reload → index → query → verify, plus temporal and routing layers on top
+of the same spaces."""
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro import (
+    IndexFramework,
+    IndoorObject,
+    Point,
+    QueryEngine,
+    pt2pt_distance,
+)
+from repro.distance import pt2pt_distance_refined
+from repro.index import DistanceIndexMatrix
+from repro.io import (
+    load_distance_index,
+    load_objects,
+    load_space,
+    save_distance_index,
+    save_objects,
+    save_space,
+)
+from repro.model.validation import validate_space
+from repro.queries import brute_force_knn, brute_force_range
+from repro.routing import evacuation_report
+from repro.synthetic import (
+    BuildingConfig,
+    build_object_store,
+    generate_building,
+    random_positions,
+)
+from repro.temporal import DoorSchedule, TemporalIndoorSpace, TimeInterval
+
+
+@pytest.fixture(scope="module")
+def building():
+    return generate_building(BuildingConfig(floors=3, rooms_per_floor=8))
+
+
+class TestPersistencePipeline:
+    def test_full_round_trip_preserves_queries(self, building, tmp_path):
+        space = building.space
+        plan_path = tmp_path / "building.json"
+        objects_path = tmp_path / "objects.json"
+        matrix_path = tmp_path / "matrix.npz"
+
+        store = build_object_store(building, 120, seed=5)
+        save_space(space, plan_path)
+        save_objects(list(store), objects_path)
+        index = DistanceIndexMatrix.build(space.distance_graph)
+        save_distance_index(index, matrix_path)
+
+        # A fresh process would do exactly this:
+        restored_space = load_space(plan_path)
+        restored_objects = load_objects(objects_path)
+        restored_index = load_distance_index(matrix_path)
+
+        np.testing.assert_allclose(restored_index.md2d, index.md2d)
+        engine_a = QueryEngine.for_space(space)
+        engine_a.add_objects(list(store))
+        engine_b = QueryEngine.for_space(restored_space)
+        engine_b.add_objects(restored_objects)
+
+        for q in random_positions(building, 5, seed=77):
+            assert engine_a.range_query(q, 18.0) == engine_b.range_query(q, 18.0)
+            knn_a = [d for _, d in engine_a.knn(q, k=7)]
+            knn_b = [d for _, d in engine_b.knn(q, k=7)]
+            assert knn_a == pytest.approx(knn_b)
+
+    def test_restored_plan_is_lint_clean(self, building, tmp_path):
+        plan_path = tmp_path / "plan.json"
+        save_space(building.space, plan_path)
+        assert validate_space(load_space(plan_path)) == []
+
+
+class TestQueriesAgainstOracle:
+    def test_synthetic_building_queries_match_brute_force(self, building):
+        store = build_object_store(building, 80, seed=9)
+        framework = IndexFramework.build(building.space).with_objects(store)
+        for q in random_positions(building, 4, seed=13):
+            assert framework is not None
+            from repro.queries import knn_query, range_query
+
+            assert range_query(framework, q, 25.0) == brute_force_range(
+                building.space, store, q, 25.0
+            )
+            got = [d for _, d in knn_query(framework, q, 9)]
+            expected = [
+                d for _, d in brute_force_knn(building.space, store, q, 9)
+            ]
+            assert got == pytest.approx(expected)
+
+
+class TestTemporalOverSyntheticBuilding:
+    def test_night_lockdown_of_a_staircase(self, building):
+        space = building.space
+        schedule = DoorSchedule()
+        # Close every staircase door overnight (open 6:00-22:00).
+        for staircase_id in building.staircase_ids:
+            for door_id in space.topology.doors_of(staircase_id):
+                schedule.set_open(door_id, [TimeInterval(6.0, 22.0)])
+        temporal = TemporalIndoorSpace(space, schedule)
+
+        ground = Point(2.5, 2.0, 0)
+        upstairs = Point(2.5, 2.0, 1)
+        day = temporal.distance(12.0, ground, upstairs)
+        assert day == pytest.approx(pt2pt_distance(space, ground, upstairs))
+        assert math.isinf(temporal.distance(23.0, ground, upstairs))
+
+    def test_evacuation_report_follows_the_schedule(self, building):
+        space = building.space
+        ground_hallway = building.hallway_on_floor(0)
+        report = evacuation_report(space, [ground_hallway])
+        assert report.is_safe
+
+        schedule = DoorSchedule()
+        for staircase_id in building.staircase_ids:
+            for door_id in space.topology.doors_of(staircase_id):
+                schedule.set_closed(door_id)
+        night = TemporalIndoorSpace(space, schedule).snapshot(0.0)
+        night_report = evacuation_report(night, [ground_hallway])
+        assert not night_report.is_safe
+        # Everything above the ground floor is trapped.
+        upper = {
+            p.partition_id
+            for p in space.partitions()
+            if p.floor > 0 and p.partition_id not in building.staircase_ids
+        }
+        assert upper <= set(night_report.trapped)
+
+
+class TestEngineOnFigure1AndSynthetic:
+    def test_engine_distance_agrees_with_free_functions(self, building):
+        engine = QueryEngine.for_space(building.space)
+        rng = random.Random(3)
+        pts = random_positions(building, 6, seed=21)
+        for a, b in zip(pts[::2], pts[1::2]):
+            assert engine.distance(a, b) == pytest.approx(
+                pt2pt_distance_refined(building.space, a, b)
+            )
+
+    def test_advanced_queries_compose(self, building):
+        store = build_object_store(building, 40, seed=2)
+        framework = IndexFramework.build(building.space).with_objects(store)
+        engine = QueryEngine(framework)
+        q = random_positions(building, 1, seed=4)[0]
+        ranked = engine.range_query_with_distances(q, 30.0)
+        assert sorted(oid for oid, _ in ranked) == engine.range_query(q, 30.0)
+        pair = engine.closest_pair()
+        assert pair is not None
+        join = engine.distance_join(pair[2] + 1e-6)
+        assert (pair[0], pair[1]) in {(a, b) for a, b, _ in join}

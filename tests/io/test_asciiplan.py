@@ -1,0 +1,184 @@
+"""Tests for the ASCII floor-plan parser."""
+
+import math
+
+import pytest
+
+from repro.distance import pt2pt_distance
+from repro.exceptions import SerializationError
+from repro.geometry import Point
+from repro.io import parse_ascii_plan
+from repro.model.validation import validate_space
+
+TWO_ROOMS = """
+#########
+#AAA#BBB#
+#AAA1BBB#
+#AAA#BBB#
+#########
+"""
+
+THREE_WITH_HALLWAY = """
+#########
+#AAA#BBB#
+#AAA#BBB#
+##1###2##
+#CCCCCCC#
+#########
+"""
+
+ONE_WAY_PLAN = """
+#########
+#AAA>BBB#
+#########
+"""
+
+
+class TestParsing:
+    def test_two_rooms_one_door(self):
+        plan = parse_ascii_plan(TWO_ROOMS, cell_size=2.0)
+        assert set(plan.partitions) == {"A", "B"}
+        assert plan.space.num_partitions == 2
+        assert plan.space.num_doors == 1
+        # Three 2 m cells per room plus half-cell expansion into the
+        # surrounding walls on both sides.
+        a = plan.space.partition(plan.partitions["A"])
+        assert a.polygon.bounding_box.width == pytest.approx(8.0)
+        assert a.polygon.bounding_box.height == pytest.approx(8.0)
+
+    def test_walls_collapse_so_rooms_touch(self):
+        plan = parse_ascii_plan(TWO_ROOMS, cell_size=2.0)
+        a = plan.space.partition(plan.partitions["A"])
+        b = plan.space.partition(plan.partitions["B"])
+        assert a.polygon.bounding_box.max_x == pytest.approx(
+            b.polygon.bounding_box.min_x
+        )
+
+    def test_door_lies_on_the_shared_wall(self):
+        plan = parse_ascii_plan(TWO_ROOMS, cell_size=2.0)
+        door = plan.space.door(1)
+        a = plan.space.partition(plan.partitions["A"])
+        assert door.midpoint.x == pytest.approx(a.polygon.bounding_box.max_x)
+        assert door.width == pytest.approx(2.0)
+
+    def test_parsed_plan_is_lint_clean(self):
+        plan = parse_ascii_plan(THREE_WITH_HALLWAY)
+        assert validate_space(plan.space) == []
+
+    def test_distances_work_on_parsed_plan(self):
+        plan = parse_ascii_plan(THREE_WITH_HALLWAY, cell_size=2.0)
+        space = plan.space
+        a = space.partition(plan.partitions["A"]).polygon.centroid
+        b = space.partition(plan.partitions["B"]).polygon.centroid
+        # A and B connect only through hallway C.
+        distance = pt2pt_distance(space, a, b)
+        assert not math.isinf(distance)
+        assert distance > a.distance_to(b)
+
+    def test_door_name_records_the_letters(self):
+        plan = parse_ascii_plan(TWO_ROOMS)
+        assert plan.space.door(1).name == "A1B"
+
+    def test_doors_mapping(self):
+        plan = parse_ascii_plan(THREE_WITH_HALLWAY)
+        assert len(plan.doors) == 2
+        assert set(plan.doors.values()) == {1, 2}
+
+
+class TestOneWayDoors:
+    def test_east_arrow(self):
+        plan = parse_ascii_plan(ONE_WAY_PLAN)
+        space = plan.space
+        topo = space.topology
+        a, b = plan.partitions["A"], plan.partitions["B"]
+        assert topo.is_unidirectional(1)
+        assert topo.d2p(1) == frozenset({(a, b)})
+
+    def test_west_arrow(self):
+        plan = parse_ascii_plan(ONE_WAY_PLAN.replace(">", "<"))
+        a, b = plan.partitions["A"], plan.partitions["B"]
+        assert plan.space.topology.d2p(1) == frozenset({(b, a)})
+
+    def test_vertical_arrows(self):
+        text = """
+#####
+#AAA#
+##^##
+#BBB#
+#####
+"""
+        plan = parse_ascii_plan(text)
+        a, b = plan.partitions["A"], plan.partitions["B"]
+        # '^' permits movement toward the top line: B (below) -> A (above).
+        assert plan.space.topology.d2p(1) == frozenset({(b, a)})
+
+    def test_wrong_arrow_orientation_rejected(self):
+        with pytest.raises(SerializationError):
+            parse_ascii_plan(
+                """
+#####
+#AAA#
+##>##
+#BBB#
+#####
+"""
+            )
+
+
+class TestRejections:
+    def test_empty_plan(self):
+        with pytest.raises(SerializationError):
+            parse_ascii_plan("   \n  ")
+
+    def test_unknown_character(self):
+        with pytest.raises(SerializationError):
+            parse_ascii_plan("#A?B#")
+
+    def test_non_rectangular_partition(self):
+        with pytest.raises(SerializationError):
+            parse_ascii_plan(
+                """
+######
+#AA###
+#AAAA#
+######
+"""
+            )
+
+    def test_touching_partitions_without_wall_rejected(self):
+        with pytest.raises(SerializationError):
+            parse_ascii_plan(
+                """
+######
+#AABB#
+######
+"""
+            )
+
+    def test_door_in_the_open_rejected(self):
+        with pytest.raises(SerializationError):
+            parse_ascii_plan(
+                """
+#######
+#A1A###
+#######
+"""
+            )
+
+    def test_door_facing_wall_rejected(self):
+        with pytest.raises(SerializationError):
+            parse_ascii_plan(
+                """
+#########
+#AAA#1###
+#########
+"""
+            )
+
+    def test_invalid_cell_size(self):
+        with pytest.raises(SerializationError):
+            parse_ascii_plan(TWO_ROOMS, cell_size=0)
+
+    def test_plan_without_partitions(self):
+        with pytest.raises(SerializationError):
+            parse_ascii_plan("#####\n#####")

@@ -1,0 +1,110 @@
+"""Round-trip tests for JSON floor-plan and object persistence."""
+
+import json
+
+import pytest
+
+from repro.exceptions import SerializationError
+from repro.geometry import Point
+from repro.index import IndoorObject
+from repro.io import (
+    load_objects,
+    load_space,
+    objects_from_dict,
+    objects_to_dict,
+    save_objects,
+    save_space,
+    space_from_dict,
+    space_to_dict,
+)
+from repro.model.figure1 import D12, D15, D21, P, Q, build_figure1
+from repro.distance import pt2pt_distance
+
+
+@pytest.fixture(scope="module")
+def space():
+    return build_figure1()
+
+
+class TestSpaceRoundTrip:
+    def test_entities_survive(self, space):
+        restored = space_from_dict(space_to_dict(space))
+        assert restored.partition_ids == space.partition_ids
+        assert restored.door_ids == space.door_ids
+        for door_id in space.door_ids:
+            assert restored.door(door_id).midpoint == space.door(door_id).midpoint
+            assert restored.door(door_id).name == space.door(door_id).name
+
+    def test_topology_survives(self, space):
+        restored = space_from_dict(space_to_dict(space))
+        for door_id in space.door_ids:
+            assert restored.topology.d2p(door_id) == space.topology.d2p(door_id)
+        assert restored.topology.is_unidirectional(D12)
+        assert restored.topology.is_unidirectional(D15)
+        assert restored.topology.is_bidirectional(D21)
+
+    def test_obstacles_survive(self, space):
+        restored = space_from_dict(space_to_dict(space))
+        room22 = restored.partition(22)
+        assert len(room22.obstacles) == 1
+
+    def test_distances_survive(self, space):
+        restored = space_from_dict(space_to_dict(space))
+        assert pt2pt_distance(restored, P, Q) == pytest.approx(
+            pt2pt_distance(space, P, Q)
+        )
+
+    def test_staircase_metadata_survives(self):
+        from repro.synthetic import BuildingConfig, generate_building
+
+        building = generate_building(BuildingConfig(floors=2, rooms_per_floor=4))
+        restored = space_from_dict(space_to_dict(building.space))
+        staircase = restored.partition(building.staircase_ids[0])
+        assert staircase.stair_length == building.config.stair_length
+        assert staircase.floors == (0, 1)
+
+    def test_file_round_trip(self, space, tmp_path):
+        path = tmp_path / "plan.json"
+        save_space(space, path)
+        restored = load_space(path)
+        assert restored.num_doors == space.num_doors
+
+    def test_bad_version_raises(self, space):
+        data = space_to_dict(space)
+        data["format_version"] = 999
+        with pytest.raises(SerializationError):
+            space_from_dict(data)
+
+    def test_malformed_data_raises(self, space):
+        data = space_to_dict(space)
+        del data["partitions"][0]["polygon"]
+        with pytest.raises(SerializationError):
+            space_from_dict(data)
+
+    def test_invalid_json_file_raises(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(SerializationError):
+            load_space(path)
+
+
+class TestObjectsRoundTrip:
+    def test_round_trip(self, tmp_path):
+        objects = [
+            IndoorObject(1, Point(1.5, 5.0), payload="extinguisher"),
+            IndoorObject(2, Point(7.0, 8.0, floor=0)),
+        ]
+        path = tmp_path / "objects.json"
+        save_objects(objects, path)
+        restored = load_objects(path)
+        assert restored == objects
+
+    def test_bad_version_raises(self):
+        with pytest.raises(SerializationError):
+            objects_from_dict({"format_version": 0, "objects": []})
+
+    def test_malformed_object_raises(self):
+        data = objects_to_dict([IndoorObject(1, Point(0, 0))])
+        del data["objects"][0]["position"]
+        with pytest.raises(SerializationError):
+            objects_from_dict(data)

@@ -1,0 +1,53 @@
+"""Round-trip tests for NPZ distance-matrix persistence."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SerializationError
+from repro.index import DistanceIndexMatrix
+from repro.io import load_distance_index, save_distance_index
+from repro.model.figure1 import build_figure1
+
+
+@pytest.fixture(scope="module")
+def index():
+    return DistanceIndexMatrix.build(build_figure1().distance_graph)
+
+
+class TestMatrixRoundTrip:
+    def test_round_trip(self, index, tmp_path):
+        path = tmp_path / "matrix.npz"
+        save_distance_index(index, path)
+        restored = load_distance_index(path)
+        assert restored.door_ids == index.door_ids
+        np.testing.assert_allclose(restored.md2d, index.md2d)
+        np.testing.assert_array_equal(restored.midx, index.midx)
+
+    def test_scans_work_after_reload(self, index, tmp_path):
+        path = tmp_path / "matrix.npz"
+        save_distance_index(index, path)
+        restored = load_distance_index(path)
+        first_door = index.door_ids[0]
+        assert list(restored.doors_by_distance(first_door)) == list(
+            index.doors_by_distance(first_door)
+        )
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(SerializationError):
+            load_distance_index(tmp_path / "nope.npz")
+
+    def test_corrupted_shape_raises(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez_compressed(
+            path, matrix=np.zeros((3, 4)), door_ids=np.array([1, 2, 3])
+        )
+        with pytest.raises(SerializationError):
+            load_distance_index(path)
+
+    def test_mismatched_ids_raise(self, tmp_path):
+        path = tmp_path / "bad2.npz"
+        np.savez_compressed(
+            path, matrix=np.zeros((3, 3)), door_ids=np.array([1, 2])
+        )
+        with pytest.raises(SerializationError):
+            load_distance_index(path)

@@ -1,0 +1,46 @@
+"""Property-based round-trip tests for persistence on random plans."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.distance import pt2pt_distance_refined
+from repro.io import space_from_dict, space_to_dict
+from tests.strategies import plan_with_points
+
+RELAXED = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+class TestRoundTripProperties:
+    @RELAXED
+    @given(plan_with_points(count=2, one_way_probability=0.4))
+    def test_distances_survive_serialisation(self, data):
+        plan, (a, b) = data
+        restored = space_from_dict(space_to_dict(plan.space))
+        original = pt2pt_distance_refined(plan.space, a, b)
+        after = pt2pt_distance_refined(restored, a, b)
+        if original == float("inf"):
+            assert after == float("inf")
+        else:
+            assert after == pytest.approx(original)
+
+    @RELAXED
+    @given(plan_with_points(count=0, one_way_probability=0.4))
+    def test_topology_survives_serialisation(self, data):
+        plan, _ = data
+        space = plan.space
+        restored = space_from_dict(space_to_dict(space))
+        assert restored.partition_ids == space.partition_ids
+        assert restored.door_ids == space.door_ids
+        for door_id in space.door_ids:
+            assert restored.topology.d2p(door_id) == space.topology.d2p(door_id)
+
+    @RELAXED
+    @given(plan_with_points(count=0))
+    def test_double_round_trip_is_stable(self, data):
+        plan, _ = data
+        once = space_to_dict(space_from_dict(space_to_dict(plan.space)))
+        assert once == space_to_dict(plan.space)

@@ -1,0 +1,111 @@
+"""Tests for the accessibility base graph G_accs (§III-B)."""
+
+import math
+
+import pytest
+
+from repro.model.figure1 import (
+    D12,
+    D13,
+    D15,
+    D21,
+    HALLWAY,
+    OUTDOOR,
+    ROOM_11,
+    ROOM_12,
+    ROOM_13,
+    ROOM_20,
+    ROOM_21,
+    STAIRCASE_50,
+    build_figure1,
+)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return build_figure1().accessibility
+
+
+class TestStructure:
+    def test_vertices_are_partitions(self, graph):
+        assert OUTDOOR in graph.vertices
+        assert HALLWAY in graph.vertices
+        assert STAIRCASE_50 in graph.vertices
+        assert len(graph.vertices) == 10
+
+    def test_labels_are_doors(self, graph):
+        assert set(graph.labels) == {1, 2, 3, 11, 12, 13, 14, 15, 21, 22, 24}
+
+    def test_unidirectional_door_yields_single_edge(self, graph):
+        d12_edges = [e for e in graph.edges if e.door_id == D12]
+        assert len(d12_edges) == 1
+        assert d12_edges[0].source == ROOM_12
+        assert d12_edges[0].target == HALLWAY
+
+    def test_bidirectional_door_yields_two_edges(self, graph):
+        d21_edges = [e for e in graph.edges if e.door_id == D21]
+        assert len(d21_edges) == 2
+        assert {(e.source, e.target) for e in d21_edges} == {
+            (ROOM_20, ROOM_21),
+            (ROOM_21, ROOM_20),
+        }
+
+    def test_out_edges_of_room_13(self, graph):
+        doors = {e.door_id for e in graph.out_edges(ROOM_13)}
+        assert doors == {D13, D15}
+
+    def test_in_edges_of_room_12(self, graph):
+        doors = {e.door_id for e in graph.in_edges(ROOM_12)}
+        assert doors == {D15}
+
+    def test_neighbors(self, graph):
+        assert graph.neighbors(ROOM_12) == frozenset({HALLWAY})
+        assert graph.neighbors(ROOM_13) == frozenset({HALLWAY, ROOM_12})
+
+
+class TestReachability:
+    def test_everything_reachable_from_hallway(self, graph):
+        assert graph.reachable_from(HALLWAY) == frozenset(graph.vertices)
+
+    def test_figure1_is_strongly_connected(self, graph):
+        # Room 12 is exit-only via d12 but can still be entered via d15,
+        # so the whole plan is strongly connected.
+        assert graph.is_strongly_connected()
+
+    def test_one_way_subgraph_breaks_strong_connectivity(self):
+        from repro.geometry import Point, Segment, rectangle
+        from repro.model import IndoorSpaceBuilder
+
+        builder = IndoorSpaceBuilder()
+        builder.add_partition(1, rectangle(0, 0, 4, 4))
+        builder.add_partition(2, rectangle(4, 0, 8, 4))
+        builder.add_door(
+            1, Segment(Point(4, 1), Point(4, 3)), connects=(1, 2), one_way=True
+        )
+        space = builder.build()
+        assert not space.accessibility.is_strongly_connected()
+
+    def test_door_hop_distance_motivating_example(self, graph):
+        # The Li & Lee "length" of the p -> q routes: via d13 one door is
+        # crossed; via d15 and d12 two doors are crossed.  The door-count
+        # model therefore prefers d13 even though walking is longer.
+        assert graph.door_hop_distance(ROOM_13, HALLWAY) == 1.0
+
+    def test_door_hop_distance_same_partition_is_zero(self, graph):
+        assert graph.door_hop_distance(HALLWAY, HALLWAY) == 0.0
+
+    def test_door_hop_distance_multi_hop(self, graph):
+        assert graph.door_hop_distance(ROOM_11, ROOM_21) == 3.0
+
+    def test_door_hop_distance_unreachable(self):
+        from repro.geometry import Point, Segment, rectangle
+        from repro.model import IndoorSpaceBuilder
+
+        builder = IndoorSpaceBuilder()
+        builder.add_partition(1, rectangle(0, 0, 4, 4))
+        builder.add_partition(2, rectangle(4, 0, 8, 4))
+        builder.add_door(
+            1, Segment(Point(4, 1), Point(4, 3)), connects=(1, 2), one_way=True
+        )
+        graph = builder.build().accessibility
+        assert math.isinf(graph.door_hop_distance(2, 1))

@@ -1,0 +1,144 @@
+"""Tests for IndoorSpace / IndoorSpaceBuilder."""
+
+import math
+
+import pytest
+
+from repro.exceptions import ModelError, UnknownEntityError
+from repro.geometry import Point, Segment, rectangle
+from repro.model import IndoorSpaceBuilder, PartitionKind
+from repro.model.figure1 import (
+    D12,
+    D13,
+    D15,
+    HALLWAY,
+    P,
+    Q,
+    ROOM_13,
+    build_figure1,
+)
+
+
+@pytest.fixture(scope="module")
+def space():
+    return build_figure1()
+
+
+class TestBuilderValidation:
+    def test_duplicate_partition_id_raises(self):
+        builder = IndoorSpaceBuilder()
+        builder.add_partition(1, rectangle(0, 0, 4, 4))
+        with pytest.raises(ModelError):
+            builder.add_partition(1, rectangle(4, 0, 8, 4))
+
+    def test_duplicate_door_id_raises(self):
+        builder = IndoorSpaceBuilder()
+        builder.add_partition(1, rectangle(0, 0, 4, 4))
+        builder.add_partition(2, rectangle(4, 0, 8, 4))
+        builder.add_door(1, Point(4, 2), connects=(1, 2))
+        with pytest.raises(ModelError):
+            builder.add_door(1, Point(4, 3), connects=(1, 2))
+
+    def test_bad_door_geometry_raises(self):
+        builder = IndoorSpaceBuilder()
+        builder.add_partition(1, rectangle(0, 0, 4, 4))
+        builder.add_partition(2, rectangle(4, 0, 8, 4))
+        with pytest.raises(ModelError):
+            builder.add_door(1, "not geometry", connects=(1, 2))
+
+    def test_door_outside_partition_raises_at_build(self):
+        builder = IndoorSpaceBuilder()
+        builder.add_partition(1, rectangle(0, 0, 4, 4))
+        builder.add_partition(2, rectangle(4, 0, 8, 4))
+        builder.add_door(1, Point(20, 20), connects=(1, 2))
+        with pytest.raises(ModelError):
+            builder.build()
+        # ... unless geometric validation is explicitly disabled.
+        builder.build(validate_geometry=False)
+
+    def test_door_to_unknown_partition_raises(self):
+        builder = IndoorSpaceBuilder()
+        builder.add_partition(1, rectangle(0, 0, 4, 4))
+        with pytest.raises(UnknownEntityError):
+            builder.add_door(1, Point(4, 2), connects=(1, 2))
+
+
+class TestIndoorSpaceAccess:
+    def test_entity_counts(self, space):
+        assert space.num_partitions == 10
+        assert space.num_doors == 11
+        assert space.num_floors == 1
+
+    def test_unknown_lookups_raise(self, space):
+        with pytest.raises(UnknownEntityError):
+            space.partition(999)
+        with pytest.raises(UnknownEntityError):
+            space.door(999)
+
+    def test_iteration_is_ordered(self, space):
+        ids = [p.partition_id for p in space.partitions()]
+        assert ids == sorted(ids)
+        door_ids = [d.door_id for d in space.doors()]
+        assert door_ids == sorted(door_ids)
+
+    def test_partitions_on_floor(self, space):
+        assert len(space.partitions_on_floor(0)) == 10
+        assert space.partitions_on_floor(3) == []
+
+
+class TestHostPartition:
+    def test_p_is_in_room_13(self, space):
+        assert space.get_host_partition(P).partition_id == ROOM_13
+
+    def test_q_is_in_hallway(self, space):
+        assert space.get_host_partition(Q).partition_id == HALLWAY
+
+    def test_point_in_no_partition(self, space):
+        assert space.get_host_partition(Point(100, 100)) is None
+        with pytest.raises(ModelError):
+            space.require_host_partition(Point(100, 100))
+
+    def test_shared_wall_resolves_to_lowest_id(self, space):
+        # (8, 6) is d13's midpoint, on the wall between hallway 10 and room 13.
+        host = space.get_host_partition(Point(8, 6))
+        assert host.partition_id == HALLWAY
+
+    def test_custom_locator_is_used(self, space):
+        calls = []
+
+        def locator(point):
+            calls.append(point)
+            return ROOM_13
+
+        space.set_partition_locator(locator)
+        try:
+            assert space.get_host_partition(Q).partition_id == ROOM_13
+            assert calls == [Q]
+        finally:
+            space.set_partition_locator(None)
+
+    def test_locator_returning_none(self, space):
+        space.set_partition_locator(lambda point: None)
+        try:
+            assert space.get_host_partition(Q) is None
+        finally:
+            space.set_partition_locator(None)
+
+
+class TestDistV:
+    def test_dist_v_to_touching_door(self, space):
+        # P = (6.2, 8) and d15's midpoint is (6, 8).
+        assert space.dist_v(P, D15) == pytest.approx(0.2)
+
+    def test_dist_v_to_non_touching_door_is_inf(self, space):
+        # d12 does not touch room 13, P's host partition.
+        assert math.isinf(space.dist_v(P, D12))
+
+    def test_dist_v_with_explicit_partition(self, space):
+        partition = space.partition(ROOM_13)
+        assert space.dist_v(P, D13, partition) == pytest.approx(
+            P.distance_to(Point(8, 6))
+        )
+
+    def test_dist_v_for_homeless_point_is_inf(self, space):
+        assert math.isinf(space.dist_v(Point(100, 100), D13))

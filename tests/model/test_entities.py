@@ -1,0 +1,143 @@
+"""Tests for partitions and doors."""
+
+import math
+
+import pytest
+
+from repro.exceptions import GeometryError, ModelError
+from repro.geometry import Point, Segment, rectangle
+from repro.model import Door, Partition, PartitionKind
+
+
+class TestDoor:
+    def test_midpoint_and_width(self):
+        door = Door(1, Segment(Point(0, 4), Point(2, 4)))
+        assert door.midpoint == Point(1, 4)
+        assert door.width == pytest.approx(2.0)
+
+    def test_point_door_has_zero_width(self):
+        door = Door.at_point(2, Point(3, 3))
+        assert door.width == 0.0
+        assert door.midpoint == Point(3, 3)
+
+    def test_negative_id_raises(self):
+        with pytest.raises(ModelError):
+            Door.at_point(-1, Point(0, 0))
+
+    def test_label_defaults_to_id(self):
+        assert Door.at_point(7, Point(0, 0)).label == "d7"
+        assert Door.at_point(7, Point(0, 0), name="main").label == "main"
+
+    def test_floor_follows_segment(self):
+        assert Door.at_point(1, Point(0, 0, floor=3)).floor == 3
+
+
+class TestPartition:
+    def test_negative_id_raises(self):
+        with pytest.raises(ModelError):
+            Partition(-5, rectangle(0, 0, 1, 1))
+
+    def test_stair_length_requires_staircase(self):
+        with pytest.raises(ModelError):
+            Partition(1, rectangle(0, 0, 1, 1), stair_length=3.0)
+        with pytest.raises(ModelError):
+            Partition(
+                1,
+                rectangle(0, 0, 1, 1),
+                PartitionKind.STAIRCASE,
+                stair_length=-1.0,
+            )
+
+    def test_obstacle_floor_mismatch_raises(self):
+        with pytest.raises(GeometryError):
+            Partition(
+                1,
+                rectangle(0, 0, 4, 4, floor=0),
+                obstacles=(rectangle(1, 1, 2, 2, floor=1),),
+            )
+
+    def test_contains_respects_obstacles(self):
+        room = Partition(
+            1, rectangle(0, 0, 10, 10), obstacles=(rectangle(4, 4, 6, 6),)
+        )
+        assert room.contains(Point(1, 1))
+        assert not room.contains(Point(5, 5))  # inside the obstacle
+        assert room.contains(Point(4, 5))  # on the obstacle edge
+        assert not room.contains(Point(11, 1))
+        assert not room.contains(Point(1, 1, floor=2))
+
+    def test_intra_distance_euclidean_when_clear(self):
+        room = Partition(1, rectangle(0, 0, 10, 10))
+        assert room.intra_distance(Point(0, 0), Point(3, 4)) == pytest.approx(5.0)
+
+    def test_intra_distance_detours_around_obstacle(self):
+        room = Partition(
+            1, rectangle(0, 0, 10, 10), obstacles=(rectangle(4, 4, 6, 6),)
+        )
+        d = room.intra_distance(Point(1, 5), Point(9, 5))
+        assert d > 8.0
+
+    def test_intra_distance_cross_floor_without_stairs_is_inf(self):
+        room = Partition(1, rectangle(0, 0, 10, 10))
+        assert math.isinf(room.intra_distance(Point(1, 1, 0), Point(1, 1, 1)))
+
+    def test_intra_path_returns_waypoints(self):
+        room = Partition(1, rectangle(0, 0, 10, 10))
+        dist, path = room.intra_path(Point(0, 0), Point(3, 4))
+        assert dist == pytest.approx(5.0)
+        assert path[0] == Point(0, 0)
+        assert path[-1] == Point(3, 4)
+
+    def test_max_distance_from_corner_is_diagonal(self):
+        room = Partition(1, rectangle(0, 0, 3, 4))
+        assert room.max_distance_from(Point(0, 0)) == pytest.approx(5.0)
+
+    def test_max_distance_from_door_in_wall(self):
+        # The paper's f_dv example: from a door in the middle of a wall, the
+        # farthest point is a far corner.
+        room = Partition(1, rectangle(0, 0, 10, 4))
+        assert room.max_distance_from(Point(5, 0)) == pytest.approx(
+            Point(5, 0).distance_to(Point(0, 4))
+        )
+
+    def test_label(self):
+        assert Partition(3, rectangle(0, 0, 1, 1)).label == "v3"
+        assert Partition(3, rectangle(0, 0, 1, 1), name="room 3").label == "room 3"
+
+
+class TestStaircasePartition:
+    @pytest.fixture
+    def stairs(self):
+        return Partition(
+            50,
+            rectangle(0, 0, 4, 4, floor=0),
+            PartitionKind.STAIRCASE,
+            stair_length=6.0,
+        )
+
+    def test_spans_two_floors(self, stairs):
+        assert stairs.floors == (0, 1)
+
+    def test_contains_on_both_floors(self, stairs):
+        assert stairs.contains(Point(2, 2, floor=0))
+        assert stairs.contains(Point(2, 2, floor=1))
+        assert not stairs.contains(Point(2, 2, floor=2))
+
+    def test_cross_floor_distance_is_stair_length(self, stairs):
+        assert stairs.intra_distance(
+            Point(2, 4, floor=0), Point(2, 4, floor=1)
+        ) == pytest.approx(6.0)
+
+    def test_same_floor_distance_is_planar(self, stairs):
+        assert stairs.intra_distance(
+            Point(0, 0, floor=1), Point(3, 4, floor=1)
+        ) == pytest.approx(5.0)
+
+    def test_max_distance_at_least_stair_length(self, stairs):
+        assert stairs.max_distance_from(Point(2, 4, floor=0)) >= 6.0
+
+    def test_staircase_without_stair_length_is_single_floor(self):
+        plain = Partition(
+            50, rectangle(0, 0, 4, 4), PartitionKind.STAIRCASE
+        )
+        assert plain.floors == (0,)

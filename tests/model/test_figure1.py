@@ -1,0 +1,127 @@
+"""Structural invariants of the Figure-1 running example itself.
+
+The floor plan is the substrate for much of the test suite, so its own
+shape is pinned down here: any accidental change to the plan that would
+silently weaken other tests fails loudly instead.
+"""
+
+import pytest
+
+from repro.geometry import Point
+from repro.model import PartitionKind
+from repro.model.figure1 import (
+    D1,
+    D11,
+    D12,
+    D13,
+    D14,
+    D15,
+    D2,
+    D21,
+    D22,
+    D24,
+    D3,
+    HALLWAY,
+    OUTDOOR,
+    P,
+    Q,
+    ROOM_11,
+    ROOM_12,
+    ROOM_13,
+    ROOM_14,
+    ROOM_20,
+    ROOM_21,
+    ROOM_22,
+    STAIRCASE_50,
+    SUBPLAN_DOORS,
+    build_figure1,
+    build_figure1_subplan,
+)
+from repro.model.validation import validate_space
+
+
+@pytest.fixture(scope="module")
+def space():
+    return build_figure1()
+
+
+class TestPlanShape:
+    def test_partition_inventory(self, space):
+        assert set(space.partition_ids) == {
+            OUTDOOR,
+            HALLWAY,
+            ROOM_11,
+            ROOM_12,
+            ROOM_13,
+            ROOM_14,
+            ROOM_20,
+            ROOM_21,
+            ROOM_22,
+            STAIRCASE_50,
+        }
+
+    def test_door_inventory(self, space):
+        assert set(space.door_ids) == {
+            D1, D2, D3, D11, D12, D13, D14, D15, D21, D22, D24,
+        }
+
+    def test_partition_kinds(self, space):
+        assert space.partition(OUTDOOR).kind is PartitionKind.OUTDOOR
+        assert space.partition(HALLWAY).kind is PartitionKind.HALLWAY
+        assert space.partition(STAIRCASE_50).kind is PartitionKind.STAIRCASE
+        assert space.partition(ROOM_13).kind is PartitionKind.ROOM
+
+    def test_exactly_two_one_way_doors(self, space):
+        one_way = [
+            d for d in space.door_ids if space.topology.is_unidirectional(d)
+        ]
+        assert one_way == [D12, D15]
+
+    def test_room_22_has_the_obstacle(self, space):
+        assert space.partition(ROOM_22).has_obstacles
+        others = [p for p in space.partitions() if p.partition_id != ROOM_22]
+        assert not any(p.has_obstacles for p in others)
+
+    def test_example_positions_are_where_the_paper_says(self, space):
+        assert space.get_host_partition(P).partition_id == ROOM_13
+        assert space.get_host_partition(Q).partition_id == HALLWAY
+
+    def test_plan_is_lint_clean(self, space):
+        assert validate_space(space) == []
+
+    def test_single_floor(self, space):
+        assert space.num_floors == 1
+        assert all(p.floor == 0 for p in space.partitions())
+
+
+class TestSubplan:
+    def test_subplan_doors_match_figure_3(self):
+        subplan = build_figure1_subplan()
+        assert subplan.door_ids == SUBPLAN_DOORS == (D1, D11, D12, D13, D14, D15)
+
+    def test_subplan_is_a_restriction_of_the_full_plan(self, space):
+        subplan = build_figure1_subplan()
+        for door_id in subplan.door_ids:
+            assert subplan.topology.d2p(door_id) == space.topology.d2p(door_id)
+            assert subplan.door(door_id).midpoint == space.door(door_id).midpoint
+
+    def test_subplan_partitions(self):
+        subplan = build_figure1_subplan()
+        assert set(subplan.partition_ids) == {
+            OUTDOOR, HALLWAY, ROOM_11, ROOM_12, ROOM_13, ROOM_14,
+        }
+
+
+class TestMotivatingGeometry:
+    def test_p_is_close_to_d15(self, space):
+        assert P.distance_to(space.door(D15).midpoint) < 0.5
+
+    def test_q_is_close_to_d12(self, space):
+        assert Q.distance_to(space.door(D12).midpoint) < 1.0
+
+    def test_one_way_routes_differ(self, space):
+        from repro.distance import pt2pt_distance
+
+        forward = pt2pt_distance(space, P, Q)
+        backward = pt2pt_distance(space, Q, P)
+        assert forward < backward  # the d15/d12 shortcut only works one way

@@ -1,0 +1,154 @@
+"""Tests for the D2P / P2D topology mappings, mirroring the paper's §III-A
+worked examples on the Figure-1 floor plan."""
+
+import pytest
+
+from repro.exceptions import TopologyError, UnknownEntityError
+from repro.model import Topology
+from repro.model.figure1 import (
+    D1,
+    D11,
+    D12,
+    D13,
+    D14,
+    D15,
+    D21,
+    HALLWAY,
+    ROOM_12,
+    ROOM_13,
+    ROOM_20,
+    ROOM_21,
+    build_figure1,
+    build_figure1_subplan,
+)
+
+
+@pytest.fixture(scope="module")
+def figure1():
+    return build_figure1()
+
+
+@pytest.fixture(scope="module")
+def subplan():
+    return build_figure1_subplan()
+
+
+class TestPaperExamples:
+    """Each assertion reproduces a concrete example from §III-A."""
+
+    def test_d2p_of_unidirectional_d12(self, figure1):
+        assert figure1.topology.d2p(D12) == frozenset({(ROOM_12, HALLWAY)})
+
+    def test_d2p_of_unidirectional_d15(self, figure1):
+        assert figure1.topology.d2p(D15) == frozenset({(ROOM_13, ROOM_12)})
+
+    def test_d2p_of_bidirectional_d21(self, figure1):
+        assert figure1.topology.d2p(D21) == frozenset(
+            {(ROOM_20, ROOM_21), (ROOM_21, ROOM_20)}
+        )
+
+    def test_directionality_predicates(self, figure1):
+        topo = figure1.topology
+        assert topo.is_unidirectional(D12)
+        assert topo.is_unidirectional(D15)
+        assert topo.is_bidirectional(D21)
+        assert topo.is_bidirectional(D13)
+
+    def test_enterable_and_leaveable_partitions_of_d12(self, figure1):
+        topo = figure1.topology
+        assert topo.enterable_partitions(D12) == frozenset({HALLWAY})
+        assert topo.leaveable_partitions(D12) == frozenset({ROOM_12})
+
+    def test_enterable_and_leaveable_partitions_of_d15(self, figure1):
+        topo = figure1.topology
+        assert topo.enterable_partitions(D15) == frozenset({ROOM_12})
+        assert topo.leaveable_partitions(D15) == frozenset({ROOM_13})
+
+    def test_enterable_and_leaveable_partitions_of_d21(self, figure1):
+        topo = figure1.topology
+        assert topo.enterable_partitions(D21) == frozenset({ROOM_20, ROOM_21})
+        assert topo.leaveable_partitions(D21) == frozenset({ROOM_20, ROOM_21})
+
+    def test_p2d_of_hallway_in_subplan(self, subplan):
+        # The paper: P2D⊣(v10) = {d1, d11, d12, d13, d14} and
+        # P2D⊢(v10) = {d1, d11, d13, d14} (d12 cannot be used to leave).
+        topo = subplan.topology
+        assert topo.enterable_doors(HALLWAY) == frozenset({D1, D11, D12, D13, D14})
+        assert topo.leaveable_doors(HALLWAY) == frozenset({D1, D11, D13, D14})
+
+    def test_p2d_of_room_12(self, figure1):
+        topo = figure1.topology
+        assert topo.enterable_doors(ROOM_12) == frozenset({D15})
+        assert topo.leaveable_doors(ROOM_12) == frozenset({D12})
+
+    def test_p2d_of_room_13(self, figure1):
+        topo = figure1.topology
+        assert topo.enterable_doors(ROOM_13) == frozenset({D13})
+        assert topo.leaveable_doors(ROOM_13) == frozenset({D13, D15})
+
+    def test_undirected_p2d_is_union(self, figure1):
+        topo = figure1.topology
+        assert topo.doors_of(ROOM_12) == frozenset({D12, D15})
+
+    def test_touches(self, figure1):
+        topo = figure1.topology
+        assert topo.touches(D12, ROOM_12)
+        assert topo.touches(D12, HALLWAY)
+        assert not topo.touches(D12, ROOM_13)
+
+    def test_partitions_of_every_door_has_size_two(self, figure1):
+        topo = figure1.topology
+        for door_id in topo.door_ids:
+            assert len(topo.partitions_of(door_id)) == 2
+
+
+class TestConstruction:
+    def test_self_loop_raises(self):
+        topo = Topology()
+        topo.add_partition(1)
+        with pytest.raises(TopologyError):
+            topo.connect(5, 1, 1)
+
+    def test_unknown_partition_raises(self):
+        topo = Topology()
+        topo.add_partition(1)
+        with pytest.raises(UnknownEntityError):
+            topo.connect(5, 1, 2)
+
+    def test_door_cannot_connect_three_partitions(self):
+        topo = Topology()
+        for p in (1, 2, 3):
+            topo.add_partition(p)
+        topo.connect(5, 1, 2)
+        with pytest.raises(TopologyError):
+            topo.connect(5, 2, 3)
+
+    def test_incremental_same_pair_is_allowed(self):
+        # A door declared one-way twice (both directions) becomes bidirectional.
+        topo = Topology()
+        topo.add_partition(1)
+        topo.add_partition(2)
+        topo.connect(5, 1, 2, bidirectional=False)
+        assert topo.is_unidirectional(5)
+        topo.connect(5, 2, 1, bidirectional=False)
+        assert topo.is_bidirectional(5)
+
+    def test_unknown_door_raises(self):
+        topo = Topology()
+        with pytest.raises(UnknownEntityError):
+            topo.d2p(99)
+
+    def test_unknown_partition_query_raises(self):
+        topo = Topology()
+        with pytest.raises(UnknownEntityError):
+            topo.enterable_doors(99)
+
+    def test_validate_passes_on_figure1(self, figure1):
+        figure1.topology.validate()
+
+    def test_directed_edges_are_deterministic(self, figure1):
+        edges_a = list(figure1.topology.directed_edges())
+        edges_b = list(figure1.topology.directed_edges())
+        assert edges_a == edges_b
+        assert (ROOM_12, HALLWAY, D12) in edges_a
+        assert (HALLWAY, ROOM_12, D12) not in edges_a

@@ -1,0 +1,141 @@
+"""Tests for the floor-plan linter."""
+
+import pytest
+
+from repro.geometry import Point, Segment, rectangle
+from repro.model import IndoorSpaceBuilder
+from repro.model.figure1 import build_figure1
+from repro.model.validation import (
+    Issue,
+    Severity,
+    check_connectivity,
+    check_door_placement,
+    check_obstacles,
+    check_partition_overlaps,
+    validate_space,
+)
+from repro.synthetic import BuildingConfig, generate_building
+
+
+class TestCleanPlans:
+    def test_figure1_is_clean(self):
+        assert validate_space(build_figure1()) == []
+
+    def test_synthetic_building_is_clean(self):
+        building = generate_building(BuildingConfig(floors=2, rooms_per_floor=4))
+        assert validate_space(building.space) == []
+
+
+class TestOverlapCheck:
+    def test_overlapping_partitions_detected(self):
+        builder = IndoorSpaceBuilder()
+        builder.add_partition(1, rectangle(0, 0, 10, 10))
+        builder.add_partition(2, rectangle(5, 0, 15, 10))  # overlaps 1
+        builder.add_door(1, Segment(Point(10, 4), Point(10, 6)), connects=(1, 2))
+        issues = check_partition_overlaps(builder.build())
+        assert len(issues) == 1
+        assert issues[0].code == "partition-overlap"
+        assert issues[0].severity is Severity.ERROR
+
+    def test_different_floors_do_not_overlap(self):
+        builder = IndoorSpaceBuilder()
+        builder.add_partition(1, rectangle(0, 0, 10, 10, floor=0))
+        builder.add_partition(2, rectangle(0, 0, 10, 10, floor=1))
+        assert check_partition_overlaps(builder.build()) == []
+
+    def test_touching_walls_are_fine(self):
+        builder = IndoorSpaceBuilder()
+        builder.add_partition(1, rectangle(0, 0, 10, 10))
+        builder.add_partition(2, rectangle(10, 0, 20, 10))
+        builder.add_door(1, Segment(Point(10, 4), Point(10, 6)), connects=(1, 2))
+        assert check_partition_overlaps(builder.build()) == []
+
+
+class TestDoorPlacementCheck:
+    def test_door_inside_partition_flagged(self):
+        builder = IndoorSpaceBuilder()
+        builder.add_partition(1, rectangle(0, 0, 10, 10))
+        builder.add_partition(2, rectangle(10, 0, 20, 10))
+        # The door sits strictly inside partition 1, not on the shared wall.
+        builder.add_door(1, Point(5, 5), connects=(1, 2))
+        issues = check_door_placement(builder.build(validate_geometry=False))
+        codes = {issue.code for issue in issues}
+        assert "door-off-wall" in codes
+
+    def test_wall_door_is_clean(self):
+        builder = IndoorSpaceBuilder()
+        builder.add_partition(1, rectangle(0, 0, 10, 10))
+        builder.add_partition(2, rectangle(10, 0, 20, 10))
+        builder.add_door(1, Segment(Point(10, 4), Point(10, 6)), connects=(1, 2))
+        assert check_door_placement(builder.build()) == []
+
+
+class TestConnectivityCheck:
+    def test_isolated_partition(self):
+        builder = IndoorSpaceBuilder()
+        builder.add_partition(1, rectangle(0, 0, 10, 10))
+        builder.add_partition(2, rectangle(10, 0, 20, 10))
+        builder.add_partition(3, rectangle(20, 0, 30, 10))  # no doors
+        builder.add_door(1, Segment(Point(10, 4), Point(10, 6)), connects=(1, 2))
+        issues = check_connectivity(builder.build())
+        codes = [issue.code for issue in issues]
+        assert "isolated-partition" in codes
+        assert "not-strongly-connected" in codes
+
+    def test_one_way_trap_flagged(self):
+        builder = IndoorSpaceBuilder()
+        builder.add_partition(1, rectangle(0, 0, 10, 10))
+        builder.add_partition(2, rectangle(10, 0, 14, 4))
+        builder.add_door(
+            1, Segment(Point(10, 1), Point(10, 3)), connects=(1, 2), one_way=True
+        )
+        issues = check_connectivity(builder.build())
+        codes = [issue.code for issue in issues]
+        assert "no-way-out" in codes  # partition 2
+        assert "no-way-in" in codes  # partition 1
+
+    def test_single_partition_plan_is_fine(self):
+        builder = IndoorSpaceBuilder()
+        builder.add_partition(1, rectangle(0, 0, 10, 10))
+        assert check_connectivity(builder.build()) == []
+
+
+class TestObstacleCheck:
+    def test_protruding_obstacle_flagged(self):
+        builder = IndoorSpaceBuilder()
+        builder.add_partition(
+            1, rectangle(0, 0, 10, 10), obstacles=(rectangle(8, 8, 12, 12),)
+        )
+        issues = check_obstacles(builder.build())
+        assert len(issues) == 1
+        assert issues[0].code == "obstacle-outside-partition"
+        assert issues[0].severity is Severity.ERROR
+
+    def test_contained_obstacle_is_fine(self):
+        builder = IndoorSpaceBuilder()
+        builder.add_partition(
+            1, rectangle(0, 0, 10, 10), obstacles=(rectangle(2, 2, 4, 4),)
+        )
+        assert check_obstacles(builder.build()) == []
+
+
+class TestValidateSpace:
+    def test_errors_sort_before_warnings(self):
+        builder = IndoorSpaceBuilder()
+        builder.add_partition(
+            1, rectangle(0, 0, 10, 10), obstacles=(rectangle(8, 8, 12, 12),)
+        )
+        builder.add_partition(2, rectangle(10, 0, 14, 4))
+        builder.add_door(
+            1, Segment(Point(10, 1), Point(10, 3)), connects=(1, 2), one_way=True
+        )
+        issues = validate_space(builder.build())
+        severities = [issue.severity for issue in issues]
+        assert severities == sorted(
+            severities, key=lambda s: s is not Severity.ERROR
+        )
+        assert severities[0] is Severity.ERROR
+
+    def test_issue_str(self):
+        issue = Issue(Severity.WARNING, "demo", "something odd")
+        assert str(issue) == "[warning] demo: something odd"

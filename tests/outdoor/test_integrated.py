@@ -1,0 +1,240 @@
+"""Tests for the integrated indoor-outdoor distance model (§VII)."""
+
+import math
+
+import pytest
+
+from repro.exceptions import ModelError, UnknownEntityError
+from repro.distance import pt2pt_distance_refined
+from repro.geometry import Point, Segment, rectangle
+from repro.model import IndoorSpaceBuilder, PartitionKind
+from repro.outdoor import IntegratedSpace, OutdoorLocation, RoadNetwork
+
+ROOM_WEST, ROOM_EAST = 1, 2
+APRON_WEST, APRON_EAST = 90, 91
+DOOR_WEST, DOOR_EAST = 1, 2
+NODE_WEST, NODE_EAST = 11, 12
+
+
+@pytest.fixture
+def campus():
+    """Two adjacent rooms with *no* indoor connection; each has an exterior
+    door onto its own apron, anchored to a road junction.  The only route
+    between the rooms interweaves indoor and outdoor space."""
+    builder = IndoorSpaceBuilder()
+    builder.add_partition(ROOM_WEST, rectangle(0, 0, 10, 10), name="west wing")
+    builder.add_partition(ROOM_EAST, rectangle(10, 0, 20, 10), name="east wing")
+    builder.add_partition(
+        APRON_WEST, rectangle(-4, 0, 0, 10), PartitionKind.OUTDOOR
+    )
+    builder.add_partition(
+        APRON_EAST, rectangle(20, 0, 24, 10), PartitionKind.OUTDOOR
+    )
+    builder.add_door(
+        DOOR_WEST, Segment(Point(0, 4), Point(0, 6)), connects=(ROOM_WEST, APRON_WEST)
+    )
+    builder.add_door(
+        DOOR_EAST, Segment(Point(20, 4), Point(20, 6)), connects=(ROOM_EAST, APRON_EAST)
+    )
+    space = builder.build()
+
+    network = RoadNetwork()
+    network.add_node(NODE_WEST, Point(-2, 12))
+    network.add_node(NODE_EAST, Point(22, 12))
+    network.add_edge(NODE_WEST, NODE_EAST)
+
+    integrated = IntegratedSpace(space, network)
+    integrated.anchor(DOOR_WEST, NODE_WEST)
+    integrated.anchor(DOOR_EAST, NODE_EAST)
+    return integrated
+
+
+def expected_cross_campus():
+    inner_west = Point(5, 5).distance_to(Point(0, 5))
+    anchor_west = Point(0, 5).distance_to(Point(-2, 12))
+    road = Point(-2, 12).distance_to(Point(22, 12))
+    anchor_east = Point(22, 12).distance_to(Point(20, 5))
+    inner_east = Point(20, 5).distance_to(Point(15, 5))
+    return inner_west + anchor_west + road + anchor_east + inner_east
+
+
+class TestInterweaving:
+    def test_indoor_only_route_does_not_exist(self, campus):
+        assert math.isinf(
+            pt2pt_distance_refined(campus.space, Point(5, 5), Point(15, 5))
+        )
+
+    def test_integrated_route_exists_and_is_exact(self, campus):
+        distance = campus.distance(Point(5, 5), Point(15, 5))
+        assert distance == pytest.approx(expected_cross_campus())
+
+    def test_symmetry_on_bidirectional_campus(self, campus):
+        forward = campus.distance(Point(5, 5), Point(15, 5))
+        backward = campus.distance(Point(15, 5), Point(5, 5))
+        assert forward == pytest.approx(backward)
+
+    def test_outdoor_to_indoor(self, campus):
+        distance = campus.distance(OutdoorLocation(NODE_EAST), Point(15, 5))
+        expected = Point(22, 12).distance_to(Point(20, 5)) + Point(20, 5).distance_to(
+            Point(15, 5)
+        )
+        assert distance == pytest.approx(expected)
+
+    def test_indoor_to_outdoor(self, campus):
+        distance = campus.distance(Point(5, 5), OutdoorLocation(NODE_WEST))
+        expected = 5.0 + Point(0, 5).distance_to(Point(-2, 12))
+        assert distance == pytest.approx(expected)
+
+    def test_outdoor_to_outdoor_is_road_distance(self, campus):
+        distance = campus.distance(
+            OutdoorLocation(NODE_WEST), OutdoorLocation(NODE_EAST)
+        )
+        assert distance == pytest.approx(campus.network.distance(NODE_WEST, NODE_EAST))
+
+    def test_same_partition_stays_direct(self, campus):
+        assert campus.distance(Point(2, 2), Point(8, 8)) == pytest.approx(
+            Point(2, 2).distance_to(Point(8, 8))
+        )
+
+    def test_reachability_helper(self, campus):
+        assert campus.is_reachable(Point(5, 5), Point(15, 5))
+
+
+class TestRouteReconstruction:
+    def test_cross_campus_hops(self, campus):
+        distance, hops = campus.route(Point(5, 5), Point(15, 5))
+        assert distance == pytest.approx(expected_cross_campus())
+        assert hops == [
+            ("door", DOOR_WEST),
+            ("road", NODE_WEST),
+            ("road", NODE_EAST),
+            ("door", DOOR_EAST),
+        ]
+
+    def test_direct_walk_has_no_hops(self, campus):
+        distance, hops = campus.route(Point(2, 2), Point(8, 8))
+        assert distance == pytest.approx(Point(2, 2).distance_to(Point(8, 8)))
+        assert hops == []
+
+    def test_outdoor_to_indoor_route(self, campus):
+        _, hops = campus.route(OutdoorLocation(NODE_EAST), Point(15, 5))
+        assert hops[0] == ("road", NODE_EAST)
+        assert hops[-1] == ("door", DOOR_EAST)
+
+    def test_unreachable_route(self, campus):
+        import math as _math
+
+        # There is no road from the west node to nowhere: block by removing
+        # anchors via a fresh integrated space with none.
+        fresh = IntegratedSpace(campus.space, campus.network)
+        distance, hops = fresh.route(Point(5, 5), Point(15, 5))
+        assert _math.isinf(distance)
+        assert hops == []
+
+    def test_route_distance_matches_distance(self, campus):
+        pairs = [
+            (Point(5, 5), Point(15, 5)),
+            (Point(15, 5), Point(5, 5)),
+            (OutdoorLocation(NODE_WEST), Point(15, 5)),
+        ]
+        for origin, destination in pairs:
+            assert campus.route(origin, destination)[0] == pytest.approx(
+                campus.distance(origin, destination)
+            )
+
+
+class TestIntegratedNeverWorseThanIndoor:
+    def test_roads_can_only_help(self):
+        """The union graph contains every indoor edge, so integrated
+        distances never exceed pure indoor distances."""
+        import random
+
+        from repro.distance import pt2pt_distance_refined
+        from repro.model.figure1 import D1, build_figure1
+
+        space = build_figure1()
+        network = RoadNetwork()
+        network.add_node(1, Point(-2, 12))
+        integrated = IntegratedSpace(space, network)
+        integrated.anchor(D1, 1)
+        rng = random.Random(3)
+        indoor_ids = [p for p in space.partition_ids if p != 0]
+        for _ in range(10):
+            points = []
+            while len(points) < 2:
+                pid = rng.choice(indoor_ids)
+                partition = space.partition(pid)
+                box = partition.polygon.bounding_box
+                candidate = Point(
+                    rng.uniform(box.min_x, box.max_x),
+                    rng.uniform(box.min_y, box.max_y),
+                )
+                if partition.contains(candidate):
+                    points.append(candidate)
+            indoor = pt2pt_distance_refined(space, points[0], points[1])
+            combined = integrated.distance(points[0], points[1])
+            assert combined <= indoor + 1e-9
+
+
+class TestOneWayExteriorDoors:
+    def test_exit_only_door_blocks_re_entry(self):
+        builder = IndoorSpaceBuilder()
+        builder.add_partition(1, rectangle(0, 0, 10, 10))
+        builder.add_partition(90, rectangle(-4, 0, 0, 10), PartitionKind.OUTDOOR)
+        builder.add_door(
+            1,
+            Segment(Point(0, 4), Point(0, 6)),
+            connects=(1, 90),
+            one_way=True,  # exit only
+        )
+        network = RoadNetwork()
+        network.add_node(11, Point(-2, 12))
+        integrated = IntegratedSpace(builder.build(), network)
+        integrated.anchor(1, 11)
+        # Leaving works; getting back in does not.
+        assert not math.isinf(
+            integrated.distance(Point(5, 5), OutdoorLocation(11))
+        )
+        assert math.isinf(integrated.distance(OutdoorLocation(11), Point(5, 5)))
+
+
+class TestAnchors:
+    def test_anchor_unknown_door_raises(self, campus):
+        with pytest.raises(UnknownEntityError):
+            campus.anchor(999, NODE_WEST)
+
+    def test_anchor_unknown_node_raises(self, campus):
+        with pytest.raises(UnknownEntityError):
+            campus.anchor(DOOR_WEST, 999)
+
+    def test_negative_anchor_cost_raises(self, campus):
+        with pytest.raises(ModelError):
+            campus.anchor(DOOR_WEST, NODE_WEST, cost=-1.0)
+
+    def test_explicit_anchor_cost(self, campus):
+        campus.anchor(DOOR_EAST, NODE_WEST, cost=1.0)
+        # A 1 m teleport-like link from the east door to the west node makes
+        # the cross-campus route much cheaper.
+        distance = campus.distance(Point(5, 5), Point(15, 5))
+        shortcut = (
+            5.0
+            + Point(0, 5).distance_to(Point(-2, 12))
+            + 1.0
+            + Point(20, 5).distance_to(Point(15, 5))
+        )
+        assert distance == pytest.approx(shortcut)
+
+    def test_anchored_doors_listing(self, campus):
+        assert campus.anchored_doors == (DOOR_WEST, DOOR_EAST)
+
+    def test_no_anchors_means_no_integration(self):
+        builder = IndoorSpaceBuilder()
+        builder.add_partition(1, rectangle(0, 0, 10, 10))
+        builder.add_partition(90, rectangle(-4, 0, 0, 10), PartitionKind.OUTDOOR)
+        builder.add_door(
+            1, Segment(Point(0, 4), Point(0, 6)), connects=(1, 90)
+        )
+        network = RoadNetwork()
+        network.add_node(11, Point(-2, 12))
+        integrated = IntegratedSpace(builder.build(), network)
+        assert math.isinf(integrated.distance(Point(5, 5), OutdoorLocation(11)))

@@ -1,0 +1,99 @@
+"""Tests for the road network substrate."""
+
+import math
+
+import pytest
+
+from repro.exceptions import ModelError, UnknownEntityError
+from repro.geometry import Point
+from repro.outdoor import RoadNetwork
+
+
+@pytest.fixture
+def grid_network():
+    """A 3x3 block grid with unit spacing 10."""
+    network = RoadNetwork()
+    for row in range(3):
+        for col in range(3):
+            network.add_node(row * 3 + col, Point(col * 10, row * 10))
+    for row in range(3):
+        for col in range(3):
+            nid = row * 3 + col
+            if col < 2:
+                network.add_edge(nid, nid + 1)
+            if row < 2:
+                network.add_edge(nid, nid + 3)
+    return network
+
+
+class TestConstruction:
+    def test_duplicate_node_raises(self):
+        network = RoadNetwork()
+        network.add_node(1, Point(0, 0))
+        with pytest.raises(ModelError):
+            network.add_node(1, Point(1, 1))
+
+    def test_edge_to_unknown_node_raises(self):
+        network = RoadNetwork()
+        network.add_node(1, Point(0, 0))
+        with pytest.raises(UnknownEntityError):
+            network.add_edge(1, 2)
+
+    def test_self_loop_raises(self):
+        network = RoadNetwork()
+        network.add_node(1, Point(0, 0))
+        with pytest.raises(ModelError):
+            network.add_edge(1, 1)
+
+    def test_negative_length_raises(self):
+        network = RoadNetwork()
+        network.add_node(1, Point(0, 0))
+        network.add_node(2, Point(10, 0))
+        with pytest.raises(ModelError):
+            network.add_edge(1, 2, length=-5)
+
+    def test_default_length_is_euclidean(self, grid_network):
+        assert grid_network.distance(0, 1) == pytest.approx(10.0)
+
+    def test_explicit_length_overrides(self):
+        network = RoadNetwork()
+        network.add_node(1, Point(0, 0))
+        network.add_node(2, Point(10, 0))
+        network.add_edge(1, 2, length=42.0)
+        assert network.distance(1, 2) == pytest.approx(42.0)
+
+
+class TestShortestPaths:
+    def test_manhattan_route(self, grid_network):
+        distance, path = grid_network.shortest_path(0, 8)
+        assert distance == pytest.approx(40.0)
+        assert path[0] == 0 and path[-1] == 8
+        assert len(path) == 5
+
+    def test_same_node(self, grid_network):
+        assert grid_network.distance(4, 4) == 0.0
+
+    def test_disconnected(self):
+        network = RoadNetwork()
+        network.add_node(1, Point(0, 0))
+        network.add_node(2, Point(10, 0))
+        distance, path = network.shortest_path(1, 2)
+        assert math.isinf(distance)
+        assert path == []
+
+    def test_one_way_street(self):
+        network = RoadNetwork()
+        network.add_node(1, Point(0, 0))
+        network.add_node(2, Point(10, 0))
+        network.add_edge(1, 2, bidirectional=False)
+        assert network.distance(1, 2) == pytest.approx(10.0)
+        assert math.isinf(network.distance(2, 1))
+
+    def test_unknown_node_raises(self, grid_network):
+        with pytest.raises(UnknownEntityError):
+            grid_network.distance(0, 99)
+
+    def test_nearest_node(self, grid_network):
+        assert grid_network.nearest_node(Point(11, 1)) == 1
+        assert grid_network.nearest_node(Point(9, 9)) == 4
+        assert RoadNetwork().nearest_node(Point(0, 0)) is None

@@ -1,0 +1,41 @@
+"""Shared fixtures for query-processing tests."""
+
+import random
+
+import pytest
+
+from repro.geometry import Point
+from repro.index import IndexFramework, IndoorObject
+from repro.model.figure1 import build_figure1
+
+
+def random_point_in(space, rng, partition_ids=None):
+    """A uniformly random point inside a random partition of the space."""
+    if partition_ids is None:
+        partition_ids = [p for p in space.partition_ids]
+    while True:
+        partition = space.partition(rng.choice(partition_ids))
+        box = partition.polygon.bounding_box
+        point = Point(
+            rng.uniform(box.min_x, box.max_x),
+            rng.uniform(box.min_y, box.max_y),
+            partition.floor,
+        )
+        if partition.contains(point):
+            host = space.get_host_partition(point)
+            if host is not None and host.partition_id == partition.partition_id:
+                return point
+
+
+@pytest.fixture(scope="module")
+def populated_figure1():
+    """Figure-1 space + 60 randomly placed objects, fully indexed."""
+    space = build_figure1()
+    rng = random.Random(2024)
+    indoor_ids = [p for p in space.partition_ids if p != 0]
+    objects = [
+        IndoorObject(i, random_point_in(space, rng, indoor_ids))
+        for i in range(60)
+    ]
+    framework = IndexFramework.build(space, objects)
+    return framework

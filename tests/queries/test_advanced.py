@@ -1,0 +1,235 @@
+"""Tests for the composite distance-aware queries (§VII compositions)."""
+
+import math
+import random
+
+import pytest
+
+from repro.distance import pt2pt_distance_refined
+from repro.exceptions import QueryError
+from repro.geometry import Point, Segment, rectangle
+from repro.index import IndexFramework, IndoorObject
+from repro.model import IndoorSpaceBuilder
+from repro.queries import (
+    aggregate_nn,
+    closest_pair,
+    distance_join,
+    distances_to_all_objects,
+    range_query,
+    range_query_with_distances,
+)
+from tests.queries.conftest import random_point_in
+
+
+class TestRangeWithDistances:
+    def test_same_ids_as_plain_range(self, populated_figure1):
+        framework = populated_figure1
+        rng = random.Random(31)
+        for _ in range(6):
+            q = random_point_in(framework.space, rng)
+            radius = rng.uniform(2.0, 20.0)
+            plain = range_query(framework, q, radius)
+            with_distances = range_query_with_distances(framework, q, radius)
+            assert sorted(oid for oid, _ in with_distances) == plain
+
+    def test_distances_are_exact_pt2pt(self, populated_figure1):
+        framework = populated_figure1
+        rng = random.Random(33)
+        q = random_point_in(framework.space, rng)
+        for object_id, distance in range_query_with_distances(framework, q, 15.0):
+            obj = framework.objects.get(object_id)
+            assert distance == pytest.approx(
+                pt2pt_distance_refined(framework.space, q, obj.position)
+            )
+
+    def test_sorted_by_distance(self, populated_figure1):
+        rng = random.Random(35)
+        q = random_point_in(populated_figure1.space, rng)
+        results = range_query_with_distances(populated_figure1, q, 20.0)
+        distances = [d for _, d in results]
+        assert distances == sorted(distances)
+
+    def test_negative_radius_raises(self, populated_figure1):
+        with pytest.raises(QueryError):
+            range_query_with_distances(populated_figure1, Point(5, 5), -1.0)
+
+    def test_no_index_variant_matches(self, populated_figure1):
+        rng = random.Random(36)
+        q = random_point_in(populated_figure1.space, rng)
+        assert range_query_with_distances(
+            populated_figure1, q, 12.0, use_index=True
+        ) == pytest.approx(
+            range_query_with_distances(populated_figure1, q, 12.0, use_index=False)
+        )
+
+
+class TestDistancesToAll:
+    def test_covers_every_reachable_object(self, populated_figure1):
+        framework = populated_figure1
+        rng = random.Random(37)
+        q = random_point_in(framework.space, rng)
+        distances = distances_to_all_objects(framework, q)
+        assert len(distances) == len(framework.objects)
+        for obj in framework.objects:
+            assert distances[obj.object_id] == pytest.approx(
+                pt2pt_distance_refined(framework.space, q, obj.position)
+            )
+
+    def test_excludes_unreachable_objects(self):
+        builder = IndoorSpaceBuilder()
+        builder.add_partition(1, rectangle(0, 0, 10, 10))
+        builder.add_partition(2, rectangle(10, 0, 14, 4))
+        builder.add_door(
+            1, Segment(Point(10, 1), Point(10, 3)), connects=(2, 1), one_way=True
+        )
+        framework = IndexFramework.build(
+            builder.build(), [IndoorObject(1, Point(12, 2))]
+        )
+        assert distances_to_all_objects(framework, Point(5, 5)) == {}
+
+
+class TestDistanceJoin:
+    @pytest.fixture
+    def small_framework(self):
+        builder = IndoorSpaceBuilder()
+        builder.add_partition(1, rectangle(0, 0, 10, 10))
+        builder.add_partition(2, rectangle(10, 0, 20, 10))
+        builder.add_door(1, Segment(Point(10, 4), Point(10, 6)), connects=(1, 2))
+        objects = [
+            IndoorObject(1, Point(1, 5)),
+            IndoorObject(2, Point(3, 5)),
+            IndoorObject(3, Point(11, 5)),
+        ]
+        return IndexFramework.build(builder.build(), objects)
+
+    def test_join_pairs(self, small_framework):
+        pairs = distance_join(small_framework, 2.5)
+        assert pairs == [(1, 2, pytest.approx(2.0))]
+
+    def test_join_through_door(self, small_framework):
+        pairs = distance_join(small_framework, 9.0)
+        ids = {(a, b) for a, b, _ in pairs}
+        assert (2, 3) in ids  # 3->2 is 8 m through the door
+        assert (1, 2) in ids
+
+    def test_each_pair_once(self, populated_figure1):
+        pairs = distance_join(populated_figure1, 5.0)
+        keys = [(a, b) for a, b, _ in pairs]
+        assert len(keys) == len(set(keys))
+        assert all(a < b for a, b in keys)
+
+    def test_join_matches_brute_force(self, small_framework):
+        space = small_framework.space
+        objects = list(small_framework.objects)
+        expected = set()
+        for i, a in enumerate(objects):
+            for b in objects[i + 1 :]:
+                if pt2pt_distance_refined(space, a.position, b.position) <= 9.0:
+                    expected.add(tuple(sorted((a.object_id, b.object_id))))
+        got = {(a, b) for a, b, _ in distance_join(small_framework, 9.0)}
+        assert got == expected
+
+    def test_negative_radius_raises(self, small_framework):
+        with pytest.raises(QueryError):
+            distance_join(small_framework, -1.0)
+
+
+class TestAggregateNN:
+    @pytest.fixture
+    def meeting_framework(self):
+        builder = IndoorSpaceBuilder()
+        builder.add_partition(1, rectangle(0, 0, 10, 10))
+        builder.add_partition(2, rectangle(10, 0, 20, 10))
+        builder.add_partition(3, rectangle(20, 0, 30, 10))
+        builder.add_door(1, Segment(Point(10, 4), Point(10, 6)), connects=(1, 2))
+        builder.add_door(2, Segment(Point(20, 4), Point(20, 6)), connects=(2, 3))
+        # The west and east objects sit off the door axis, so reaching them
+        # from the far member costs a detour — otherwise every object on the
+        # straight line between two members ties on the sum aggregate.
+        objects = [
+            IndoorObject(1, Point(5, 1)),     # west room, off-axis
+            IndoorObject(2, Point(15, 5)),    # middle room, on the axis
+            IndoorObject(3, Point(25, 1)),    # east room, off-axis
+        ]
+        return IndexFramework.build(builder.build(), objects)
+
+    def test_sum_aggregate_picks_the_middle(self, meeting_framework):
+        members = [Point(2, 5), Point(28, 5)]
+        (winner, score) = aggregate_nn(meeting_framework, members, k=1)[0]
+        assert winner == 2
+        assert score == pytest.approx(13.0 + 13.0)
+
+    def test_max_aggregate(self, meeting_framework):
+        members = [Point(2, 5), Point(28, 5)]
+        (winner, score) = aggregate_nn(
+            meeting_framework, members, k=1, agg="max"
+        )[0]
+        assert winner == 2
+        assert score == pytest.approx(13.0)
+
+    def test_k_results_sorted(self, meeting_framework):
+        results = aggregate_nn(meeting_framework, [Point(2, 5)], k=3)
+        scores = [s for _, s in results]
+        assert scores == sorted(scores)
+        assert len(results) == 3
+
+    def test_validation(self, meeting_framework):
+        with pytest.raises(QueryError):
+            aggregate_nn(meeting_framework, [], k=1)
+        with pytest.raises(QueryError):
+            aggregate_nn(meeting_framework, [Point(2, 5)], k=0)
+        with pytest.raises(QueryError):
+            aggregate_nn(meeting_framework, [Point(2, 5)], agg="median")
+
+    def test_matches_brute_force(self, populated_figure1):
+        framework = populated_figure1
+        rng = random.Random(39)
+        members = [random_point_in(framework.space, rng) for _ in range(3)]
+        (winner, score) = aggregate_nn(framework, members, k=1)[0]
+        space = framework.space
+        best = min(
+            (
+                sum(
+                    pt2pt_distance_refined(space, m, obj.position)
+                    for m in members
+                ),
+                obj.object_id,
+            )
+            for obj in framework.objects
+        )
+        assert score == pytest.approx(best[0])
+
+
+class TestClosestPair:
+    def test_obvious_pair(self):
+        builder = IndoorSpaceBuilder()
+        builder.add_partition(1, rectangle(0, 0, 10, 10))
+        objects = [
+            IndoorObject(1, Point(1, 1)),
+            IndoorObject(2, Point(1.5, 1)),
+            IndoorObject(3, Point(9, 9)),
+        ]
+        framework = IndexFramework.build(builder.build(), objects)
+        assert closest_pair(framework) == (1, 2, pytest.approx(0.5))
+
+    def test_fewer_than_two_objects(self):
+        builder = IndoorSpaceBuilder()
+        builder.add_partition(1, rectangle(0, 0, 10, 10))
+        framework = IndexFramework.build(
+            builder.build(), [IndoorObject(1, Point(1, 1))]
+        )
+        assert closest_pair(framework) is None
+
+    def test_matches_brute_force(self, populated_figure1):
+        framework = populated_figure1
+        space = framework.space
+        objects = list(framework.objects)
+        best = math.inf
+        for i, a in enumerate(objects):
+            for b in objects[i + 1 :]:
+                forward = pt2pt_distance_refined(space, a.position, b.position)
+                backward = pt2pt_distance_refined(space, b.position, a.position)
+                best = min(best, forward, backward)
+        pair = closest_pair(framework)
+        assert pair is not None
+        assert pair[2] == pytest.approx(best)

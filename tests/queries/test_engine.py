@@ -1,0 +1,90 @@
+"""Tests for the QueryEngine facade."""
+
+import pytest
+
+from repro import IndoorObject, Point, QueryEngine
+from repro.model.figure1 import P, Q, ROOM_13, build_figure1
+
+
+@pytest.fixture
+def engine():
+    engine = QueryEngine.for_space(build_figure1())
+    engine.add_objects(
+        [
+            IndoorObject(1, Point(6.5, 9.0), payload="defibrillator"),
+            IndoorObject(2, Point(1.0, 5.0), payload="extinguisher"),
+            IndoorObject(3, Point(13, 6), payload="coffee machine"),
+        ]
+    )
+    return engine
+
+
+class TestFacade:
+    def test_distance_and_path_are_consistent(self, engine):
+        assert engine.shortest_path(P, Q).distance == pytest.approx(
+            engine.distance(P, Q)
+        )
+
+    def test_door_distance_lookup(self, engine):
+        from repro.distance import d2d_distance
+        from repro.model.figure1 import D12, D15
+
+        assert engine.door_distance(D15, D12) == pytest.approx(
+            d2d_distance(engine.space.distance_graph, D15, D12)
+        )
+
+    def test_door_count_baseline_available(self, engine):
+        result = engine.door_count_distance(P, Q)
+        assert result.doors_crossed == 1
+        assert result.walking_distance > engine.distance(P, Q)
+
+    def test_range_and_knn(self, engine):
+        in_range = engine.range_query(P, 3.0)
+        assert in_range == [1]
+        nearest = engine.nearest_neighbor(P)
+        assert nearest[0] == 1
+        assert len(engine.knn(P, k=3)) == 3
+
+    def test_object_lifecycle(self, engine):
+        assert engine.num_objects == 3
+        engine.add_object(IndoorObject(4, Point(9, 9)))
+        assert engine.num_objects == 4
+        assert engine.get_object(4).position == Point(9, 9)
+        engine.move_object(4, Point(1, 5.5))
+        assert engine.framework.objects.host_partition_id(4) == 10
+        removed = engine.remove_object(4)
+        assert removed.object_id == 4
+        assert engine.num_objects == 3
+
+    def test_queries_reflect_object_moves(self, engine):
+        # Move the defibrillator out of room 13; a small range query in room
+        # 13 then finds nothing.
+        engine.move_object(1, Point(13, 9))
+        assert engine.range_query(P, 3.0) == []
+        engine.move_object(1, Point(6.5, 9.0))
+        assert engine.range_query(P, 3.0) == [1]
+
+    def test_add_object_returns_host_partition(self, engine):
+        assert engine.add_object(IndoorObject(9, Point(7, 7))) == ROOM_13
+
+    def test_load_from_disk(self, engine, tmp_path):
+        from repro.io import save_objects, save_space
+
+        plan_path = tmp_path / "plan.json"
+        objects_path = tmp_path / "objects.json"
+        save_space(engine.space, plan_path)
+        save_objects(
+            [engine.get_object(i) for i in (1, 2, 3)], objects_path
+        )
+        loaded = QueryEngine.load(plan_path, objects_path)
+        assert loaded.num_objects == 3
+        assert loaded.distance(P, Q) == pytest.approx(engine.distance(P, Q))
+        assert loaded.range_query(P, 3.0) == engine.range_query(P, 3.0)
+
+    def test_load_without_objects(self, engine, tmp_path):
+        from repro.io import save_space
+
+        plan_path = tmp_path / "plan.json"
+        save_space(engine.space, plan_path)
+        loaded = QueryEngine.load(plan_path)
+        assert loaded.num_objects == 0

@@ -1,0 +1,148 @@
+"""Tests for Algorithm 6 (nearest neighbour / kNN), verified against the
+brute-force pt2pt oracle."""
+
+import math
+import random
+
+import pytest
+
+from repro.exceptions import ModelError, QueryError
+from repro.geometry import Point, Segment, rectangle
+from repro.index import IndexFramework, IndoorObject
+from repro.model import IndoorSpaceBuilder
+from repro.queries import brute_force_knn, knn_query, nn_query
+from tests.queries.conftest import random_point_in
+
+
+class TestBasics:
+    def test_k_must_be_positive(self, populated_figure1):
+        with pytest.raises(QueryError):
+            knn_query(populated_figure1, Point(5, 5), 0)
+
+    def test_query_outside_any_partition_raises(self, populated_figure1):
+        with pytest.raises(ModelError):
+            knn_query(populated_figure1, Point(100, 100), 1)
+
+    def test_returns_at_most_k(self, populated_figure1):
+        assert len(knn_query(populated_figure1, Point(5, 5), 5)) == 5
+
+    def test_k_larger_than_population(self, populated_figure1):
+        result = knn_query(populated_figure1, Point(5, 5), 10_000)
+        assert len(result) == len(populated_figure1.objects)
+
+    def test_results_sorted_by_distance(self, populated_figure1):
+        result = knn_query(populated_figure1, Point(5, 5), 20)
+        distances = [d for _, d in result]
+        assert distances == sorted(distances)
+
+    def test_nn_query_wrapper(self, populated_figure1):
+        nearest = nn_query(populated_figure1, Point(5, 5))
+        assert nearest is not None
+        assert nearest == knn_query(populated_figure1, Point(5, 5), 1)[0]
+
+    def test_nn_query_empty_store(self):
+        builder = IndoorSpaceBuilder()
+        builder.add_partition(1, rectangle(0, 0, 10, 10))
+        framework = IndexFramework.build(builder.build())
+        assert nn_query(framework, Point(5, 5)) is None
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("k", [1, 3, 10, 25])
+    def test_matches_oracle(self, populated_figure1, k):
+        framework = populated_figure1
+        rng = random.Random(21)
+        for _ in range(8):
+            q = random_point_in(framework.space, rng)
+            expected = brute_force_knn(framework.space, framework.objects, q, k)
+            got = knn_query(framework, q, k)
+            got_distances = [d for _, d in got]
+            expected_distances = [d for _, d in expected]
+            assert got_distances == pytest.approx(expected_distances), (q, k)
+            # Ids must agree except possibly among exact ties.
+            for (gid, gd), (eid, ed) in zip(got, expected):
+                if gid != eid:
+                    assert gd == pytest.approx(ed)
+
+    def test_no_index_baseline_matches_indexed(self, populated_figure1):
+        framework = populated_figure1
+        rng = random.Random(5)
+        for _ in range(8):
+            q = random_point_in(framework.space, rng)
+            k = rng.choice([1, 5, 15])
+            indexed = knn_query(framework, q, k, use_index=True)
+            unindexed = knn_query(framework, q, k, use_index=False)
+            assert [d for _, d in indexed] == pytest.approx(
+                [d for _, d in unindexed]
+            )
+
+
+class TestStructuralBehaviour:
+    def test_object_in_host_partition_wins(self):
+        builder = IndoorSpaceBuilder()
+        builder.add_partition(1, rectangle(0, 0, 10, 10))
+        builder.add_partition(2, rectangle(10, 0, 20, 10))
+        builder.add_door(1, Segment(Point(10, 4), Point(10, 6)), connects=(1, 2))
+        space = builder.build()
+        framework = IndexFramework.build(
+            space,
+            [IndoorObject(1, Point(3, 3)), IndoorObject(2, Point(11, 5))],
+        )
+        assert nn_query(framework, Point(2, 2))[0] == 1
+
+    def test_object_through_door_wins_when_closer(self):
+        builder = IndoorSpaceBuilder()
+        builder.add_partition(1, rectangle(0, 0, 10, 10))
+        builder.add_partition(2, rectangle(10, 0, 20, 10))
+        builder.add_door(1, Segment(Point(10, 4), Point(10, 6)), connects=(1, 2))
+        space = builder.build()
+        framework = IndexFramework.build(
+            space,
+            [IndoorObject(1, Point(1, 9)), IndoorObject(2, Point(10.5, 5))],
+        )
+        # From (9.5, 5): object 2 is ~1 m through the door; object 1 ~9.4 m.
+        nearest_id, nearest_dist = nn_query(framework, Point(9.5, 5))
+        assert nearest_id == 2
+        expected = (
+            Point(9.5, 5).distance_to(Point(10, 5))
+            + Point(10, 5).distance_to(Point(10.5, 5))
+        )
+        assert nearest_dist == pytest.approx(expected)
+
+    def test_one_way_door_excludes_unreachable_objects(self):
+        builder = IndoorSpaceBuilder()
+        builder.add_partition(1, rectangle(0, 0, 10, 10))
+        builder.add_partition(2, rectangle(10, 0, 14, 4))
+        builder.add_door(
+            1, Segment(Point(10, 1), Point(10, 3)), connects=(2, 1), one_way=True
+        )
+        space = builder.build()
+        framework = IndexFramework.build(space, [IndoorObject(1, Point(12, 2))])
+        assert knn_query(framework, Point(5, 5), 1) == []
+
+    def test_knn_distance_is_minimum_over_routes(self):
+        """Two doors lead to the same object; kNN must report the cheaper."""
+        builder = IndoorSpaceBuilder()
+        builder.add_partition(1, rectangle(0, 0, 10, 10))
+        builder.add_partition(2, rectangle(10, 0, 20, 10))
+        builder.add_door(1, Segment(Point(10, 0.5), Point(10, 1.5)), connects=(1, 2))
+        builder.add_door(2, Segment(Point(10, 8.5), Point(10, 9.5)), connects=(1, 2))
+        space = builder.build()
+        framework = IndexFramework.build(space, [IndoorObject(7, Point(11, 9))])
+        q = Point(9, 9)
+        _, dist = nn_query(framework, q)
+        expected = (
+            q.distance_to(Point(10, 9)) + Point(10, 9).distance_to(Point(11, 9))
+        )
+        assert dist == pytest.approx(expected)
+
+    def test_bound_tightens_across_partitions(self, populated_figure1):
+        """k=1 must equal the global minimum over all objects."""
+        framework = populated_figure1
+        q = Point(5, 5)
+        nearest_id, nearest_dist = nn_query(framework, q)
+        from repro.distance import pt2pt_distance_refined
+
+        for obj in framework.objects:
+            d = pt2pt_distance_refined(framework.space, q, obj.position)
+            assert nearest_dist <= d + 1e-9

@@ -1,0 +1,162 @@
+"""Property-based tests of query processing on random indoor spaces:
+indexed queries must match the brute-force pt2pt oracle on arbitrary plans,
+object placements, and parameters."""
+
+import math
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.index import IndexFramework, IndoorObject
+from repro.queries import (
+    brute_force_knn,
+    brute_force_range,
+    knn_query,
+    range_query,
+)
+from tests.strategies import build_grid_plan, grid_plans
+
+RELAXED = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+def populate(plan, object_count, seed):
+    rng = random.Random(seed)
+    objects = [
+        IndoorObject(i, plan.random_interior_point(rng))
+        for i in range(object_count)
+    ]
+    return IndexFramework.build(plan.space, objects)
+
+
+@st.composite
+def query_scenarios(draw, one_way_probability: float = 0.0):
+    plan = draw(grid_plans(one_way_probability=one_way_probability))
+    object_count = draw(st.integers(min_value=0, max_value=25))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    framework = populate(plan, object_count, seed)
+    rng = random.Random(seed + 1)
+    query = plan.random_interior_point(rng)
+    return plan, framework, query
+
+
+class TestRangeProperties:
+    @RELAXED
+    @given(query_scenarios(), st.floats(min_value=0.0, max_value=60.0))
+    def test_matches_brute_force(self, scenario, radius):
+        plan, framework, query = scenario
+        expected = brute_force_range(
+            plan.space, framework.objects, query, radius
+        )
+        assert range_query(framework, query, radius) == expected
+
+    @RELAXED
+    @given(
+        query_scenarios(one_way_probability=0.5),
+        st.floats(min_value=0.0, max_value=60.0),
+    )
+    def test_matches_brute_force_with_one_way_doors(self, scenario, radius):
+        plan, framework, query = scenario
+        expected = brute_force_range(
+            plan.space, framework.objects, query, radius
+        )
+        assert range_query(framework, query, radius) == expected
+
+    @RELAXED
+    @given(
+        query_scenarios(),
+        st.floats(min_value=0.0, max_value=30.0),
+        st.floats(min_value=0.0, max_value=30.0),
+    )
+    def test_monotone_in_radius(self, scenario, r1, r2):
+        _, framework, query = scenario
+        small, large = sorted((r1, r2))
+        assert set(range_query(framework, query, small)) <= set(
+            range_query(framework, query, large)
+        )
+
+    @RELAXED
+    @given(query_scenarios())
+    def test_no_index_variant_identical(self, scenario):
+        _, framework, query = scenario
+        for radius in (5.0, 25.0):
+            assert range_query(framework, query, radius, use_index=True) == (
+                range_query(framework, query, radius, use_index=False)
+            )
+
+
+class TestKnnProperties:
+    @RELAXED
+    @given(query_scenarios(), st.integers(min_value=1, max_value=12))
+    def test_matches_brute_force_distances(self, scenario, k):
+        plan, framework, query = scenario
+        expected = brute_force_knn(plan.space, framework.objects, query, k)
+        got = knn_query(framework, query, k)
+        assert [d for _, d in got] == pytest.approx([d for _, d in expected])
+
+    @RELAXED
+    @given(
+        query_scenarios(one_way_probability=0.5),
+        st.integers(min_value=1, max_value=12),
+    )
+    def test_matches_brute_force_with_one_way_doors(self, scenario, k):
+        plan, framework, query = scenario
+        expected = brute_force_knn(plan.space, framework.objects, query, k)
+        got = knn_query(framework, query, k)
+        assert [d for _, d in got] == pytest.approx([d for _, d in expected])
+
+    @RELAXED
+    @given(query_scenarios(), st.integers(min_value=1, max_value=10))
+    def test_prefix_property(self, scenario, k):
+        """kNN(k) distances are a prefix of kNN(k+1) distances."""
+        _, framework, query = scenario
+        smaller = [d for _, d in knn_query(framework, query, k)]
+        larger = [d for _, d in knn_query(framework, query, k + 1)]
+        assert larger[: len(smaller)] == pytest.approx(smaller)
+
+    @RELAXED
+    @given(query_scenarios())
+    def test_knn_consistent_with_range(self, scenario):
+        """Every kNN result is in range of its own distance, and the count
+        of closer objects matches."""
+        _, framework, query = scenario
+        results = knn_query(framework, query, 5)
+        for object_id, distance in results:
+            in_range = range_query(framework, query, distance + 1e-9)
+            assert object_id in in_range
+
+
+class TestConsistencyUnderMutation:
+    def test_queries_track_object_churn(self):
+        """Insert / move / remove objects and re-verify against brute force
+        after every step (seeded, deterministic)."""
+        plan = build_grid_plan(3, 3, seed=42)
+        framework = populate(plan, 10, seed=7)
+        rng = random.Random(11)
+        query = plan.random_interior_point(rng)
+        store = framework.objects
+        next_id = 100
+        for step in range(12):
+            action = rng.choice(["add", "move", "remove"])
+            if action == "add" or len(store) == 0:
+                store.add(IndoorObject(next_id, plan.random_interior_point(rng)))
+                next_id += 1
+            elif action == "move":
+                victim = rng.choice([o.object_id for o in store])
+                store.move(victim, plan.random_interior_point(rng))
+            else:
+                victim = rng.choice([o.object_id for o in store])
+                store.remove(victim)
+            assert range_query(framework, query, 20.0) == brute_force_range(
+                plan.space, store, query, 20.0
+            ), f"diverged at step {step} after {action}"
+            got = [d for _, d in knn_query(framework, query, 3)]
+            expected = [
+                d for _, d in brute_force_knn(plan.space, store, query, 3)
+            ]
+            assert got == pytest.approx(expected)

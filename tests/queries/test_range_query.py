@@ -1,0 +1,147 @@
+"""Tests for Algorithm 5 (range query), verified against the brute-force
+pt2pt oracle."""
+
+import random
+
+import pytest
+
+from repro.exceptions import ModelError, QueryError
+from repro.geometry import Point, Segment, rectangle
+from repro.index import IndexFramework, IndoorObject
+from repro.model import IndoorSpaceBuilder
+from repro.queries import brute_force_range, range_query
+from tests.queries.conftest import random_point_in
+
+
+class TestBasics:
+    def test_negative_radius_raises(self, populated_figure1):
+        with pytest.raises(QueryError):
+            range_query(populated_figure1, Point(5, 5), -1.0)
+
+    def test_query_outside_any_partition_raises(self, populated_figure1):
+        with pytest.raises(ModelError):
+            range_query(populated_figure1, Point(100, 100), 10.0)
+
+    def test_zero_radius(self, populated_figure1):
+        space = populated_figure1.space
+        obj = next(iter(populated_figure1.objects))
+        result = range_query(populated_figure1, obj.position, 0.0)
+        assert obj.object_id in result
+
+    def test_radius_covering_everything(self, populated_figure1):
+        result = range_query(populated_figure1, Point(5, 5), 1000.0)
+        assert len(result) == len(populated_figure1.objects)
+
+    def test_results_are_sorted_and_unique(self, populated_figure1):
+        result = range_query(populated_figure1, Point(5, 5), 15.0)
+        assert result == sorted(set(result))
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("radius", [2.0, 5.0, 8.0, 12.0, 20.0])
+    def test_matches_oracle_at_fixed_radii(self, populated_figure1, radius):
+        framework = populated_figure1
+        rng = random.Random(7)
+        for _ in range(8):
+            q = random_point_in(framework.space, rng)
+            expected = brute_force_range(
+                framework.space, framework.objects, q, radius
+            )
+            assert range_query(framework, q, radius) == expected, (q, radius)
+
+    def test_no_index_baseline_matches_indexed(self, populated_figure1):
+        framework = populated_figure1
+        rng = random.Random(13)
+        for _ in range(10):
+            q = random_point_in(framework.space, rng)
+            radius = rng.uniform(1.0, 25.0)
+            indexed = range_query(framework, q, radius, use_index=True)
+            unindexed = range_query(framework, q, radius, use_index=False)
+            assert indexed == unindexed, (q, radius)
+
+
+class TestStructuralBehaviour:
+    def test_whole_partition_inclusion(self):
+        """When f_dv of a partition fits the remaining budget, the whole
+        bucket must be returned — including objects placed anywhere in it."""
+        builder = IndoorSpaceBuilder()
+        builder.add_partition(1, rectangle(0, 0, 10, 10))
+        builder.add_partition(2, rectangle(10, 0, 14, 4))
+        builder.add_door(1, Segment(Point(10, 1), Point(10, 3)), connects=(1, 2))
+        space = builder.build()
+        objects = [
+            IndoorObject(1, Point(13.9, 3.9)),  # far corner of room 2
+            IndoorObject(2, Point(11, 1)),
+        ]
+        framework = IndexFramework.build(space, objects)
+        q = Point(9, 2)
+        # f_dv(d1, room2) = distance from (10,2) to corner (14,4) ~ 4.47;
+        # budget after reaching d1 (1.0) with r=6 is 5, so room 2 is fully in.
+        result = range_query(framework, q, 6.0)
+        assert result == [1, 2]
+
+    def test_one_way_door_blocks_range(self):
+        """Objects behind a door that cannot be entered are not in range."""
+        builder = IndoorSpaceBuilder()
+        builder.add_partition(1, rectangle(0, 0, 10, 10))
+        builder.add_partition(2, rectangle(10, 0, 14, 4))
+        # One-way: 2 -> 1 only; from room 1 nothing in room 2 is reachable.
+        builder.add_door(
+            1, Segment(Point(10, 1), Point(10, 3)), connects=(2, 1), one_way=True
+        )
+        space = builder.build()
+        framework = IndexFramework.build(space, [IndoorObject(1, Point(12, 2))])
+        assert range_query(framework, Point(5, 5), 100.0) == []
+        # From inside room 2 the object is adjacent.
+        assert range_query(framework, Point(11, 2), 2.0) == [1]
+
+    def test_reentrant_host_partition(self):
+        """The Figure-5 situation: an object in the host partition that is
+        only within range via an out-and-back route must be found."""
+        from repro.geometry import Polygon
+
+        builder = IndoorSpaceBuilder()
+        builder.add_partition(
+            1,
+            Polygon(
+                [
+                    Point(0, 0),
+                    Point(14, 0),
+                    Point(14, 10),
+                    Point(10, 10),
+                    Point(10, 2),
+                    Point(4, 2),
+                    Point(4, 10),
+                    Point(0, 10),
+                ]
+            ),
+        )
+        builder.add_partition(2, rectangle(4, 2, 10, 10))
+        builder.add_door(1, Segment(Point(4, 8.5), Point(4, 9.5)), connects=(1, 2))
+        builder.add_door(2, Segment(Point(10, 8.5), Point(10, 9.5)), connects=(1, 2))
+        space = builder.build()
+        framework = IndexFramework.build(
+            space, [IndoorObject(1, Point(12, 9))]
+        )
+        q = Point(2, 9)
+        # Walking around the U base is ~20.6 m; through room 2 it is 10 m.
+        assert range_query(framework, q, 12.0) == [1]
+        assert range_query(framework, q, 9.0) == []
+
+    def test_object_appears_once_despite_multiple_routes(self):
+        """Two doors into the same partition must not duplicate results."""
+        builder = IndoorSpaceBuilder()
+        builder.add_partition(1, rectangle(0, 0, 10, 10))
+        builder.add_partition(2, rectangle(10, 0, 20, 10))
+        builder.add_door(1, Segment(Point(10, 1), Point(10, 3)), connects=(1, 2))
+        builder.add_door(2, Segment(Point(10, 7), Point(10, 9)), connects=(1, 2))
+        space = builder.build()
+        framework = IndexFramework.build(space, [IndoorObject(1, Point(15, 5))])
+        result = range_query(framework, Point(5, 5), 30.0)
+        assert result == [1]
+
+    def test_empty_store(self):
+        builder = IndoorSpaceBuilder()
+        builder.add_partition(1, rectangle(0, 0, 10, 10))
+        framework = IndexFramework.build(builder.build())
+        assert range_query(framework, Point(5, 5), 10.0) == []

@@ -1,0 +1,108 @@
+"""Tests for per-leg route decomposition and textual directions."""
+
+import math
+
+import pytest
+
+from repro.distance import pt2pt_path
+from repro.exceptions import QueryError
+from repro.geometry import Point, Segment, rectangle
+from repro.model import IndoorSpaceBuilder
+from repro.model.figure1 import D12, D15, P, Q, ROOM_12, ROOM_13, build_figure1
+from repro.routing import RouteLeg, directions, route_legs
+
+
+@pytest.fixture(scope="module")
+def space():
+    return build_figure1()
+
+
+class TestRouteLegs:
+    def test_legs_sum_to_path_distance(self, space):
+        path = pt2pt_path(space, P, Q)
+        legs = route_legs(space, path)
+        assert sum(leg.distance for leg in legs) == pytest.approx(path.distance)
+
+    def test_leg_structure_of_motivating_example(self, space):
+        path = pt2pt_path(space, P, Q)
+        legs = route_legs(space, path)
+        assert [leg.partition_id for leg in legs] == [ROOM_13, ROOM_12, 10]
+        assert [leg.exit_door for leg in legs] == [D15, D12, None]
+
+    def test_single_partition_path(self, space):
+        a, b = Point(6.5, 7), Point(9, 9)
+        path = pt2pt_path(space, a, b)
+        legs = route_legs(space, path)
+        assert len(legs) == 1
+        assert legs[0] == RouteLeg(ROOM_13, pytest.approx(a.distance_to(b)), None)
+
+    def test_unreachable_path_raises(self):
+        builder = IndoorSpaceBuilder()
+        builder.add_partition(1, rectangle(0, 0, 4, 4))
+        builder.add_partition(2, rectangle(4, 0, 8, 4))
+        builder.add_door(
+            1, Segment(Point(4, 1), Point(4, 3)), connects=(2, 1), one_way=True
+        )
+        space = builder.build()
+        path = pt2pt_path(space, Point(1, 1), Point(6, 2))
+        assert not path.is_reachable
+        with pytest.raises(QueryError):
+            route_legs(space, path)
+
+    def test_legs_on_random_positions(self, space):
+        import random
+
+        rng = random.Random(17)
+        indoor = [p for p in space.partition_ids if p != 0]
+        for _ in range(15):
+            partitions = [space.partition(rng.choice(indoor)) for _ in range(2)]
+            points = []
+            for partition in partitions:
+                box = partition.polygon.bounding_box
+                while True:
+                    candidate = Point(
+                        rng.uniform(box.min_x, box.max_x),
+                        rng.uniform(box.min_y, box.max_y),
+                    )
+                    if partition.contains(candidate):
+                        points.append(candidate)
+                        break
+            path = pt2pt_path(space, points[0], points[1])
+            legs = route_legs(space, path)
+            assert sum(leg.distance for leg in legs) == pytest.approx(
+                path.distance
+            )
+
+
+class TestDirections:
+    def test_motivating_example_text(self, space):
+        path = pt2pt_path(space, P, Q)
+        steps = directions(space, path)
+        assert len(steps) == 3
+        assert steps[0].startswith("Walk")
+        assert "d15" in steps[0]
+        assert steps[1].startswith("Pass through d15;")
+        assert "your destination" in steps[-1]
+
+    def test_uses_partition_names(self, space):
+        path = pt2pt_path(space, P, Q)
+        steps = directions(space, path)
+        assert "room 13" in steps[0]
+        assert "room 12" in steps[1]
+        assert "hallway 10" in steps[2]
+
+    def test_same_partition_directions(self, space):
+        steps = directions(space, pt2pt_path(space, P, Point(9, 9)))
+        assert len(steps) == 1
+        assert "your destination" in steps[0]
+
+    def test_unreachable_directions(self):
+        builder = IndoorSpaceBuilder()
+        builder.add_partition(1, rectangle(0, 0, 4, 4))
+        builder.add_partition(2, rectangle(4, 0, 8, 4))
+        builder.add_door(
+            1, Segment(Point(4, 1), Point(4, 3)), connects=(2, 1), one_way=True
+        )
+        space = builder.build()
+        path = pt2pt_path(space, Point(1, 1), Point(6, 2))
+        assert directions(space, path) == ["No route exists to the destination."]

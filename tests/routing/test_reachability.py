@@ -1,0 +1,99 @@
+"""Tests for reachability / evacuation analysis."""
+
+import pytest
+
+from repro.exceptions import UnknownEntityError
+from repro.geometry import Point, Segment, rectangle
+from repro.model import IndoorSpaceBuilder
+from repro.model.figure1 import OUTDOOR, ROOM_13, build_figure1
+from repro.routing import (
+    evacuation_report,
+    partitions_that_can_reach,
+    trapped_partitions,
+)
+
+
+@pytest.fixture(scope="module")
+def figure1():
+    return build_figure1()
+
+
+class TestReachability:
+    def test_figure1_everything_reaches_outdoor(self, figure1):
+        safe = partitions_that_can_reach(figure1, [OUTDOOR])
+        assert safe == frozenset(figure1.partition_ids)
+        assert trapped_partitions(figure1, [OUTDOOR]) == frozenset()
+
+    def test_unknown_target_raises(self, figure1):
+        with pytest.raises(UnknownEntityError):
+            partitions_that_can_reach(figure1, [999])
+
+    def test_one_way_trap(self):
+        """A room whose only door leads in (never out) is trapped — and with
+        the exit beyond it, everything else is trapped too."""
+        builder = IndoorSpaceBuilder()
+        builder.add_partition(1, rectangle(0, 0, 10, 10), name="lobby")
+        builder.add_partition(2, rectangle(10, 0, 14, 4), name="vault")
+        builder.add_door(
+            1, Segment(Point(10, 1), Point(10, 3)), connects=(1, 2), one_way=True
+        )
+        space = builder.build()
+        # Exit = lobby: the vault cannot get back out.
+        assert trapped_partitions(space, [1]) == frozenset({2})
+        # Exit = vault: everything can reach it.
+        assert trapped_partitions(space, [2]) == frozenset()
+
+    def test_multiple_exits_union(self):
+        builder = IndoorSpaceBuilder()
+        builder.add_partition(1, rectangle(0, 0, 10, 10))
+        builder.add_partition(2, rectangle(10, 0, 20, 10))
+        builder.add_partition(3, rectangle(20, 0, 30, 10))
+        builder.add_door(
+            1, Segment(Point(10, 4), Point(10, 6)), connects=(1, 2), one_way=True
+        )
+        builder.add_door(
+            2, Segment(Point(20, 4), Point(20, 6)), connects=(3, 2), one_way=True
+        )
+        space = builder.build()
+        # Only partition 2 is reachable-from 1 and 3; with exits {1, 3}, 2 is
+        # trapped; with exit {2}, everyone is safe.
+        assert trapped_partitions(space, [1, 3]) == frozenset({2})
+        assert trapped_partitions(space, [2]) == frozenset()
+
+
+class TestEvacuationReport:
+    def test_safe_building(self, figure1):
+        report = evacuation_report(figure1, [OUTDOOR])
+        assert report.is_safe
+        assert report.exits == (OUTDOOR,)
+        assert set(report.safe) == set(figure1.partition_ids)
+        assert report.trapped == ()
+
+    def test_report_with_trapped_rooms(self):
+        builder = IndoorSpaceBuilder()
+        builder.add_partition(1, rectangle(0, 0, 10, 10))
+        builder.add_partition(2, rectangle(10, 0, 14, 4))
+        builder.add_door(
+            1, Segment(Point(10, 1), Point(10, 3)), connects=(1, 2), one_way=True
+        )
+        report = evacuation_report(builder.build(), [1])
+        assert not report.is_safe
+        assert report.trapped == (2,)
+
+    def test_temporal_closure_creates_traps(self, figure1):
+        """Closing d13 at night turns room 13 unreachable *into* — but room
+        13 can still be *left* via d15, so evacuation stays safe; sealing
+        d15 too traps it."""
+        from repro.model.figure1 import D13, D15
+        from repro.temporal import DoorSchedule, TemporalIndoorSpace
+
+        schedule = DoorSchedule()
+        schedule.set_closed(D13)
+        temporal = TemporalIndoorSpace(figure1, schedule)
+        night = temporal.snapshot(0.0)
+        assert evacuation_report(night, [OUTDOOR]).is_safe
+
+        schedule.set_closed(D15)
+        locked = TemporalIndoorSpace(figure1, schedule).snapshot(0.0)
+        report = evacuation_report(locked, [OUTDOOR])
+        assert ROOM_13 in report.trapped

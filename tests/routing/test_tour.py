@@ -1,0 +1,113 @@
+"""Tests for multi-stop tour planning."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.distance import pt2pt_distance_memoized
+from repro.exceptions import QueryError, UnreachableError
+from repro.geometry import Point, Segment, rectangle
+from repro.model import IndoorSpaceBuilder
+from repro.routing import plan_tour
+from repro.routing.tour import _held_karp, _path_cost, _distance_table
+from tests.strategies import build_grid_plan
+
+
+@pytest.fixture(scope="module")
+def corridor_space():
+    """Three rooms in a row off a corridor — distances are intuitive."""
+    builder = IndoorSpaceBuilder()
+    builder.add_partition(1, rectangle(0, 4, 30, 8), name="corridor")
+    for i in range(3):
+        builder.add_partition(2 + i, rectangle(i * 10, 0, i * 10 + 10, 4))
+        builder.add_door(
+            1 + i,
+            Segment(Point(i * 10 + 4, 4), Point(i * 10 + 6, 4)),
+            connects=(2 + i, 1),
+        )
+    return builder.build()
+
+
+class TestPlanTour:
+    def test_visits_rooms_in_spatial_order(self, corridor_space):
+        start = Point(1, 6)  # west end of the corridor
+        stops = [Point(25, 2), Point(5, 2), Point(15, 2)]  # east, west, middle
+        plan = plan_tour(corridor_space, start, stops)
+        assert plan.order == (1, 2, 0)  # west room, middle room, east room
+        assert plan.exact
+        assert len(plan.leg_distances) == 3
+        assert plan.total_distance == pytest.approx(sum(plan.leg_distances))
+
+    def test_single_stop(self, corridor_space):
+        start = Point(1, 6)
+        stop = Point(15, 2)
+        plan = plan_tour(corridor_space, start, [stop])
+        assert plan.order == (0,)
+        assert plan.total_distance == pytest.approx(
+            pt2pt_distance_memoized(corridor_space, start, stop)
+        )
+
+    def test_no_stops_raises(self, corridor_space):
+        with pytest.raises(QueryError):
+            plan_tour(corridor_space, Point(1, 6), [])
+
+    def test_unreachable_stop_raises(self):
+        builder = IndoorSpaceBuilder()
+        builder.add_partition(1, rectangle(0, 0, 10, 10))
+        builder.add_partition(2, rectangle(10, 0, 14, 4))
+        builder.add_door(
+            1, Segment(Point(10, 1), Point(10, 3)), connects=(2, 1), one_way=True
+        )
+        space = builder.build()
+        with pytest.raises(UnreachableError):
+            plan_tour(space, Point(5, 5), [Point(12, 2)])
+
+    def test_exact_matches_exhaustive_enumeration(self):
+        plan_obj = build_grid_plan(3, 3, seed=5)
+        rng = random.Random(3)
+        start = plan_obj.random_interior_point(rng)
+        stops = [plan_obj.random_interior_point(rng) for _ in range(5)]
+        plan = plan_tour(plan_obj.space, start, stops)
+        assert plan.exact
+        table = _distance_table(plan_obj.space, start, stops)
+        best = min(
+            _path_cost(table, list(perm))
+            for perm in itertools.permutations(range(5))
+        )
+        assert plan.total_distance == pytest.approx(best)
+
+    def test_heuristic_mode_beyond_exact_limit(self):
+        plan_obj = build_grid_plan(4, 3, seed=9)
+        rng = random.Random(4)
+        start = plan_obj.random_interior_point(rng)
+        stops = [plan_obj.random_interior_point(rng) for _ in range(12)]
+        plan = plan_tour(plan_obj.space, start, stops)
+        assert not plan.exact
+        assert sorted(plan.order) == list(range(12))  # every stop once
+        assert plan.total_distance == pytest.approx(sum(plan.leg_distances))
+        # The heuristic must beat (or match) the identity ordering.
+        table = _distance_table(plan_obj.space, start, stops)
+        assert plan.total_distance <= _path_cost(table, list(range(12))) + 1e-9
+
+    def test_asymmetric_distances_are_respected(self):
+        """A one-way door makes A -> B cheap and B -> A expensive; the
+        planner must exploit the cheap direction."""
+        builder = IndoorSpaceBuilder()
+        builder.add_partition(1, rectangle(0, 0, 10, 10), name="A")
+        builder.add_partition(2, rectangle(10, 0, 20, 10), name="B")
+        builder.add_partition(3, rectangle(0, 10, 20, 14), name="loop corridor")
+        # Direct shortcut A -> B (one-way), long way back via the corridor.
+        builder.add_door(
+            1, Segment(Point(10, 4), Point(10, 6)), connects=(1, 2), one_way=True
+        )
+        builder.add_door(2, Segment(Point(4, 10), Point(6, 10)), connects=(1, 3))
+        builder.add_door(3, Segment(Point(14, 10), Point(16, 10)), connects=(2, 3))
+        space = builder.build()
+        start = Point(2, 5)  # in A
+        stop_b = Point(18, 5)  # in B
+        stop_a = Point(8, 2)  # in A
+        plan = plan_tour(space, start, [stop_b, stop_a])
+        # Visiting A's stop first, then using the one-way shortcut into B,
+        # avoids ever paying the expensive B -> A direction.
+        assert plan.order == (1, 0)

@@ -1,0 +1,71 @@
+"""Property-based tests for tour planning."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.routing import plan_tour
+from repro.routing.tour import _distance_table, _path_cost
+from tests.strategies import build_grid_plan
+
+RELAXED = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@st.composite
+def tour_scenarios(draw, max_stops=5):
+    columns = draw(st.integers(min_value=2, max_value=3))
+    rows = draw(st.integers(min_value=1, max_value=3))
+    seed = draw(st.integers(min_value=0, max_value=5_000))
+    stop_count = draw(st.integers(min_value=1, max_value=max_stops))
+    plan = build_grid_plan(columns, rows, seed)
+    rng = random.Random(seed + 1)
+    start = plan.random_interior_point(rng)
+    stops = [plan.random_interior_point(rng) for _ in range(stop_count)]
+    return plan, start, stops
+
+
+class TestTourProperties:
+    @RELAXED
+    @given(tour_scenarios())
+    def test_every_stop_visited_exactly_once(self, scenario):
+        plan, start, stops = scenario
+        tour = plan_tour(plan.space, start, stops)
+        assert sorted(tour.order) == list(range(len(stops)))
+
+    @RELAXED
+    @given(tour_scenarios())
+    def test_total_is_sum_of_legs(self, scenario):
+        plan, start, stops = scenario
+        tour = plan_tour(plan.space, start, stops)
+        assert tour.total_distance == pytest.approx(sum(tour.leg_distances))
+
+    @RELAXED
+    @given(tour_scenarios(max_stops=4))
+    def test_exact_plans_beat_every_permutation(self, scenario):
+        plan, start, stops = scenario
+        tour = plan_tour(plan.space, start, stops)
+        assert tour.exact
+        table = _distance_table(plan.space, start, stops)
+        for perm in itertools.permutations(range(len(stops))):
+            assert tour.total_distance <= _path_cost(table, list(perm)) + 1e-9
+
+    @RELAXED
+    @given(tour_scenarios())
+    def test_legs_match_pairwise_distances(self, scenario):
+        from repro.distance import pt2pt_distance_memoized
+
+        plan, start, stops = scenario
+        tour = plan_tour(plan.space, start, stops)
+        cursor = start
+        for index, leg in zip(tour.order, tour.leg_distances):
+            assert leg == pytest.approx(
+                pt2pt_distance_memoized(plan.space, cursor, stops[index])
+            )
+            cursor = stops[index]

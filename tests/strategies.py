@@ -1,0 +1,180 @@
+"""Hypothesis strategies generating random — but always valid — indoor
+spaces, used by the property-based test suites.
+
+The generator builds a W×H grid of rectangular rooms.  Adjacent rooms may
+be connected by a door placed at a random offset along their shared wall;
+doors are randomly one-way.  A spanning tree over the grid guarantees the
+plan is connected when every tree door is bidirectional (the default), so
+reachability-sensitive properties can opt in to a strongly connected plan.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from hypothesis import strategies as st
+
+from repro.geometry import Point, Segment
+from repro.geometry.polygon import rectangle
+from repro.model.builder import IndoorSpace, IndoorSpaceBuilder
+
+ROOM_SIZE = 10.0
+
+
+@dataclass(frozen=True)
+class GridPlan:
+    """A generated plan: the space plus bookkeeping for test assertions."""
+
+    space: IndoorSpace
+    columns: int
+    rows: int
+    seed: int
+
+    def partition_id(self, col: int, row: int) -> int:
+        return row * self.columns + col + 1
+
+    def room_center(self, col: int, row: int) -> Point:
+        return Point(
+            col * ROOM_SIZE + ROOM_SIZE / 2, row * ROOM_SIZE + ROOM_SIZE / 2
+        )
+
+    def random_interior_point(self, rng: random.Random) -> Point:
+        col = rng.randrange(self.columns)
+        row = rng.randrange(self.rows)
+        return Point(
+            col * ROOM_SIZE + rng.uniform(1.0, ROOM_SIZE - 1.0),
+            row * ROOM_SIZE + rng.uniform(1.0, ROOM_SIZE - 1.0),
+        )
+
+
+def _spanning_tree_edges(
+    columns: int, rows: int, rng: random.Random
+) -> List[Tuple[Tuple[int, int], Tuple[int, int]]]:
+    """A random spanning tree over the grid cells (randomised Prim)."""
+    start = (rng.randrange(columns), rng.randrange(rows))
+    in_tree = {start}
+    frontier = []
+
+    def neighbours(cell):
+        col, row = cell
+        for dc, dr in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+            nc, nr = col + dc, row + dr
+            if 0 <= nc < columns and 0 <= nr < rows:
+                yield (nc, nr)
+
+    for other in neighbours(start):
+        frontier.append((start, other))
+    edges = []
+    while frontier:
+        index = rng.randrange(len(frontier))
+        source, target = frontier.pop(index)
+        if target in in_tree:
+            continue
+        in_tree.add(target)
+        edges.append((source, target))
+        for other in neighbours(target):
+            if other not in in_tree:
+                frontier.append((target, other))
+    return edges
+
+
+def build_grid_plan(
+    columns: int,
+    rows: int,
+    seed: int,
+    extra_door_probability: float = 0.4,
+    one_way_probability: float = 0.0,
+) -> GridPlan:
+    """Deterministically build a random grid plan for the given seed.
+
+    The spanning-tree doors are always bidirectional, so with
+    ``one_way_probability = 0`` the plan is strongly connected; extra doors
+    (on non-tree shared walls) may be one-way with the given probability.
+    """
+    rng = random.Random(seed)
+    builder = IndoorSpaceBuilder()
+    for row in range(rows):
+        for col in range(columns):
+            builder.add_partition(
+                row * columns + col + 1,
+                rectangle(
+                    col * ROOM_SIZE,
+                    row * ROOM_SIZE,
+                    (col + 1) * ROOM_SIZE,
+                    (row + 1) * ROOM_SIZE,
+                ),
+                name=f"room ({col},{row})",
+            )
+
+    def pid(cell):
+        col, row = cell
+        return row * columns + col + 1
+
+    def door_segment(a, b, offset):
+        (ac, ar), (bc, br) = a, b
+        if ac == bc:  # vertical neighbours -> horizontal wall
+            y = max(ar, br) * ROOM_SIZE
+            x = ac * ROOM_SIZE + offset
+            return Segment(Point(x - 0.5, y), Point(x + 0.5, y))
+        x = max(ac, bc) * ROOM_SIZE
+        y = ar * ROOM_SIZE + offset
+        return Segment(Point(x, y - 0.5), Point(x, y + 0.5))
+
+    door_id = 1
+    used_walls = set()
+    for a, b in _spanning_tree_edges(columns, rows, rng):
+        offset = rng.uniform(1.0, ROOM_SIZE - 1.0)
+        builder.add_door(door_id, door_segment(a, b, offset), connects=(pid(a), pid(b)))
+        used_walls.add(frozenset((a, b)))
+        door_id += 1
+
+    # Extra doors on remaining shared walls, possibly one-way.
+    for row in range(rows):
+        for col in range(columns):
+            for other in ((col + 1, row), (col, row + 1)):
+                oc, orow = other
+                if oc >= columns or orow >= rows:
+                    continue
+                wall = frozenset(((col, row), other))
+                if wall in used_walls:
+                    continue
+                if rng.random() >= extra_door_probability:
+                    continue
+                offset = rng.uniform(1.0, ROOM_SIZE - 1.0)
+                one_way = rng.random() < one_way_probability
+                builder.add_door(
+                    door_id,
+                    door_segment((col, row), other, offset),
+                    connects=(pid((col, row)), pid(other)),
+                    one_way=one_way,
+                )
+                door_id += 1
+    return GridPlan(builder.build(), columns, rows, seed)
+
+
+@st.composite
+def grid_plans(
+    draw,
+    max_columns: int = 4,
+    max_rows: int = 3,
+    one_way_probability: float = 0.0,
+):
+    """Hypothesis strategy producing :class:`GridPlan` instances."""
+    columns = draw(st.integers(min_value=1, max_value=max_columns))
+    rows = draw(st.integers(min_value=1, max_value=max_rows))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    return build_grid_plan(
+        columns, rows, seed, one_way_probability=one_way_probability
+    )
+
+
+@st.composite
+def plan_with_points(draw, count: int = 2, one_way_probability: float = 0.0):
+    """A grid plan plus ``count`` random interior points."""
+    plan = draw(grid_plans(one_way_probability=one_way_probability))
+    point_seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = random.Random(point_seed)
+    points = [plan.random_interior_point(rng) for _ in range(count)]
+    return plan, points

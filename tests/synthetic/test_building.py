@@ -1,0 +1,134 @@
+"""Tests for the synthetic building generator (§VI-A)."""
+
+import pytest
+
+from repro.distance import pt2pt_distance, pt2pt_distance_basic
+from repro.exceptions import ModelError
+from repro.geometry import Point
+from repro.synthetic import BuildingConfig, generate_building
+
+
+@pytest.fixture(scope="module")
+def small_building():
+    """3 floors x 6 rooms — tiny but structurally complete."""
+    return generate_building(BuildingConfig(floors=3, rooms_per_floor=6))
+
+
+class TestConfig:
+    def test_paper_defaults(self):
+        config = BuildingConfig()
+        assert config.floors == 10
+        assert config.rooms_per_floor == 30
+        assert config.staircases_per_gap == 2
+
+    def test_door_accounting(self):
+        # 40 floors, paper parameters: 1200 room doors + 156 staircase doors.
+        config = BuildingConfig(floors=40)
+        assert config.doors_total == 40 * 30 + 2 * 2 * 39 == 1356
+
+    def test_invalid_configs_raise(self):
+        with pytest.raises(ModelError):
+            BuildingConfig(floors=0)
+        with pytest.raises(ModelError):
+            BuildingConfig(rooms_per_floor=7)
+        with pytest.raises(ModelError):
+            BuildingConfig(staircases_per_gap=3)
+        with pytest.raises(ModelError):
+            BuildingConfig(stair_length=-1)
+
+
+class TestStructure:
+    def test_partition_and_door_counts(self, small_building):
+        config = small_building.config
+        space = small_building.space
+        expected_partitions = (
+            config.floors * (config.rooms_per_floor + 1)
+            + config.staircases_per_gap * (config.floors - 1)
+        )
+        assert space.num_partitions == expected_partitions
+        assert space.num_doors == config.doors_total
+
+    def test_every_room_has_exactly_one_door(self, small_building):
+        space = small_building.space
+        for floor in range(small_building.floors):
+            for room_id in small_building.rooms_on_floor(floor):
+                assert len(space.topology.doors_of(room_id)) == 1
+
+    def test_star_topology(self, small_building):
+        """Every room door connects the room to its floor's hallway."""
+        space = small_building.space
+        for floor in range(small_building.floors):
+            hallway = small_building.hallway_on_floor(floor)
+            for room_id in small_building.rooms_on_floor(floor):
+                (door_id,) = space.topology.doors_of(room_id)
+                assert space.topology.partitions_of(door_id) == frozenset(
+                    {room_id, hallway}
+                )
+
+    def test_building_is_strongly_connected(self, small_building):
+        assert small_building.space.accessibility.is_strongly_connected()
+
+    def test_floor_count(self, small_building):
+        assert small_building.space.num_floors == 3
+
+    def test_staircases_span_adjacent_floors(self, small_building):
+        space = small_building.space
+        for staircase_id in small_building.staircase_ids:
+            staircase = space.partition(staircase_id)
+            assert staircase.stair_length == small_building.config.stair_length
+            assert staircase.floors == (staircase.floor, staircase.floor + 1)
+            doors = space.topology.doors_of(staircase_id)
+            assert len(doors) == 2
+            door_floors = {space.door(d).floor for d in doors}
+            assert door_floors == {staircase.floor, staircase.floor + 1}
+
+    def test_generation_is_deterministic(self):
+        a = generate_building(BuildingConfig(floors=2, rooms_per_floor=4))
+        b = generate_building(BuildingConfig(floors=2, rooms_per_floor=4))
+        assert a.space.partition_ids == b.space.partition_ids
+        assert a.space.door_ids == b.space.door_ids
+        for door_id in a.space.door_ids:
+            assert a.space.door(door_id).midpoint == b.space.door(door_id).midpoint
+
+
+class TestDistancesAcrossFloors:
+    def test_cross_floor_distance_includes_stair_walk(self, small_building):
+        """Going one floor up costs at least stair_length more than the
+        planar legs."""
+        space = small_building.space
+        config = small_building.config
+        ground = Point(2.5, 2.0, 0)  # inside room F0S0
+        upstairs = Point(2.5, 2.0, 1)  # same planar spot, floor 1
+        distance = pt2pt_distance(space, ground, upstairs)
+        assert distance > config.stair_length
+        assert distance < 1000
+
+    def test_same_floor_distance_stays_on_floor(self, small_building):
+        space = small_building.space
+        a = Point(2.5, 2.0, 0)
+        b = Point(12.5, 2.0, 0)
+        distance = pt2pt_distance(space, a, b)
+        # Through two doors and along the hallway; roughly the L1-ish walk.
+        assert 10 <= distance <= 20
+
+    def test_algorithms_agree_on_synthetic_building(self, small_building):
+        from repro.distance import pt2pt_distance_memoized, pt2pt_distance_refined
+        from repro.synthetic import random_position_pairs
+
+        pairs = random_position_pairs(small_building, 12, seed=3)
+        for source, target in pairs:
+            basic = pt2pt_distance_basic(small_building.space, source, target)
+            assert pt2pt_distance_refined(
+                small_building.space, source, target
+            ) == pytest.approx(basic)
+            assert pt2pt_distance_memoized(
+                small_building.space, source, target
+            ) == pytest.approx(basic)
+
+    def test_two_floors_up_uses_two_staircases(self, small_building):
+        space = small_building.space
+        config = small_building.config
+        ground = Point(2.5, 2.0, 0)
+        two_up = Point(2.5, 2.0, 2)
+        distance = pt2pt_distance(space, ground, two_up)
+        assert distance >= 2 * config.stair_length

@@ -1,0 +1,117 @@
+"""Tests for object and workload generation (§VI-B)."""
+
+import random
+
+import pytest
+
+from repro.geometry import Point
+from repro.synthetic import (
+    BuildingConfig,
+    build_object_store,
+    generate_building,
+    generate_objects,
+    random_position,
+    random_position_pairs,
+    random_positions,
+)
+from repro.synthetic.objects import random_point_in_partition
+
+
+@pytest.fixture(scope="module")
+def building():
+    return generate_building(BuildingConfig(floors=2, rooms_per_floor=6))
+
+
+class TestObjectGeneration:
+    def test_objects_live_in_their_claimed_partition(self, building):
+        pairs = generate_objects(building.space, 50, seed=1)
+        for obj, partition_id in pairs:
+            assert building.space.partition(partition_id).contains(obj.position)
+
+    def test_object_ids_are_sequential(self, building):
+        pairs = generate_objects(building.space, 10, seed=2)
+        assert [obj.object_id for obj, _ in pairs] == list(range(10))
+
+    def test_seed_determinism(self, building):
+        a = generate_objects(building.space, 20, seed=7)
+        b = generate_objects(building.space, 20, seed=7)
+        assert [(o.position, p) for o, p in a] == [(o.position, p) for o, p in b]
+        c = generate_objects(building.space, 20, seed=8)
+        assert [(o.position, p) for o, p in a] != [(o.position, p) for o, p in c]
+
+    def test_partition_filter(self, building):
+        target = building.rooms_on_floor(0)[0]
+        pairs = generate_objects(building.space, 15, seed=3, partition_ids=[target])
+        assert all(p == target for _, p in pairs)
+
+    def test_build_object_store(self, building):
+        store = build_object_store(building, 100, seed=4)
+        assert len(store) == 100
+        # Objects avoid staircases (they are POIs).
+        for staircase_id in building.staircase_ids:
+            assert store.objects_in(staircase_id) == []
+
+    def test_store_positions_match_host_buckets(self, building):
+        store = build_object_store(building, 50, seed=5)
+        for obj in store:
+            host = store.host_partition_id(obj.object_id)
+            assert building.space.partition(host).contains(obj.position)
+
+    def test_random_point_in_partition_respects_obstacles(self):
+        from repro.geometry import rectangle
+        from repro.model import Partition
+
+        room = Partition(
+            1, rectangle(0, 0, 10, 10), obstacles=(rectangle(2, 2, 8, 8),)
+        )
+        rng = random.Random(0)
+        for _ in range(50):
+            point = random_point_in_partition(room, rng)
+            assert room.contains(point)
+
+
+class TestWorkload:
+    def test_positions_are_indoor(self, building):
+        for point in random_positions(building, 30, seed=1):
+            host = building.space.get_host_partition(point)
+            assert host is not None
+
+    def test_positions_avoid_staircases(self, building):
+        staircases = set(building.staircase_ids)
+        for point in random_positions(building, 30, seed=2):
+            host = building.space.get_host_partition(point)
+            assert host.partition_id not in staircases
+
+    def test_fixed_floor(self, building):
+        rng = random.Random(3)
+        for _ in range(10):
+            point = random_position(building, rng, floor=1)
+            assert point.floor == 1
+
+    def test_pairs_determinism(self, building):
+        a = random_position_pairs(building, 10, seed=9)
+        b = random_position_pairs(building, 10, seed=9)
+        assert a == b
+
+    def test_pair_count(self, building):
+        assert len(random_position_pairs(building, 17, seed=0)) == 17
+
+    def test_positions_are_area_uniform(self, building):
+        """Hallways are roughly a third of each floor's area, so roughly a
+        third of sampled positions land in hallways — the mix that drives
+        the Figure-6 Algorithm-2 separation."""
+        hallways = set(building.hallway_ids.values())
+        count = 0
+        positions = random_positions(building, 400, seed=6)
+        for point in positions:
+            host = building.space.get_host_partition(point)
+            if host.partition_id in hallways:
+                count += 1
+        fraction = count / len(positions)
+        config = building.config
+        floor_area = (
+            config.hallway_length * config.hallway_width
+            + config.rooms_per_floor * config.room_width * config.room_depth
+        )
+        expected = (config.hallway_length * config.hallway_width) / floor_area
+        assert abs(fraction - expected) < 0.08, (fraction, expected)

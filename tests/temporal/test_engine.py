@@ -1,0 +1,94 @@
+"""Tests for time-parameterised query processing."""
+
+import pytest
+
+from repro.geometry import Point
+from repro.index import IndexFramework, IndoorObject
+from repro.model.figure1 import D13, D15, P, Q, ROOM_13, build_figure1
+from repro.queries import brute_force_knn, brute_force_range
+from repro.temporal import (
+    DoorSchedule,
+    TemporalIndoorSpace,
+    TemporalQueryEngine,
+    TimeInterval,
+)
+
+OBJECTS = [
+    IndoorObject(1, Point(6.5, 9.0), payload="in room 13"),
+    IndoorObject(2, Point(1.0, 5.0), payload="in hallway"),
+    IndoorObject(3, Point(13.0, 6.0), payload="in room 20"),
+]
+
+
+@pytest.fixture
+def engine():
+    """d13 (the only way INTO room 13) is open 8:00-18:00."""
+    schedule = DoorSchedule()
+    schedule.set_open(D13, [TimeInterval(8.0, 18.0)])
+    temporal = TemporalIndoorSpace(build_figure1(), schedule)
+    return TemporalQueryEngine(temporal, OBJECTS)
+
+
+class TestTimeDependentQueries:
+    def test_daytime_queries_match_static_behaviour(self, engine):
+        base = build_figure1()
+        framework = IndexFramework.build(base, OBJECTS)
+        day = engine.range_query(12.0, Q, 12.0)
+        from repro.queries import range_query
+
+        assert day == range_query(framework, Q, 12.0)
+
+    def test_object_behind_closed_door_leaves_range_results(self, engine):
+        # From the hallway, object 1 (in room 13) is reachable by day but
+        # not at night (d13 closed, d15 only leads OUT of room 13).
+        day = engine.range_query(12.0, Q, 12.0)
+        night = engine.range_query(22.0, Q, 12.0)
+        assert 1 in day
+        assert 1 not in night
+        assert 2 in night  # the hallway object is unaffected
+
+    def test_knn_at_night_skips_the_locked_room(self, engine):
+        day_ids = [oid for oid, _ in engine.knn(12.0, Q, 3)]
+        night_ids = [oid for oid, _ in engine.knn(22.0, Q, 3)]
+        assert 1 in day_ids
+        assert 1 not in night_ids
+        assert len(night_ids) == 2  # only two objects remain reachable
+
+    def test_queries_from_inside_the_locked_room_still_leave(self, engine):
+        # P is in room 13; at night one can still exit via one-way d15.
+        night = engine.range_query(22.0, P, 20.0)
+        assert 2 in night
+
+    def test_results_match_brute_force_on_the_snapshot(self, engine):
+        snapshot = engine.temporal.snapshot(22.0)
+        night_range = engine.range_query(22.0, Q, 15.0)
+        assert night_range == brute_force_range(
+            snapshot, engine.objects, Q, 15.0
+        )
+        night_knn = engine.knn(22.0, Q, 3)
+        expected = brute_force_knn(snapshot, engine.objects, Q, 3)
+        assert [d for _, d in night_knn] == pytest.approx(
+            [d for _, d in expected]
+        )
+
+    def test_regimes_are_cached(self, engine):
+        engine.range_query(9.0, Q, 5.0)
+        engine.range_query(10.0, Q, 5.0)  # same regime
+        engine.range_query(23.0, Q, 5.0)  # night regime
+        assert engine.regime_count == 2
+
+    def test_distance_passthrough(self, engine):
+        assert engine.distance(12.0, P, Q) == pytest.approx(3.236, abs=1e-3)
+
+
+class TestSharedObjectStore:
+    def test_object_churn_is_visible_in_every_regime(self, engine):
+        engine.range_query(12.0, Q, 12.0)  # build the day regime
+        engine.range_query(22.0, Q, 12.0)  # build the night regime
+        engine.add_object(IndoorObject(4, Point(2.0, 5.5)))
+        assert 4 in engine.range_query(12.0, Q, 12.0)
+        assert 4 in engine.range_query(22.0, Q, 12.0)
+        engine.move_object(4, Point(13.5, 8.0))
+        assert 4 not in engine.range_query(22.0, Q, 5.0)
+        engine.remove_object(4)
+        assert 4 not in engine.range_query(12.0, Q, 100.0)

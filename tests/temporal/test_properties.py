@@ -1,0 +1,91 @@
+"""Property-based tests for the temporal layer.
+
+Core monotonicity invariant: closing doors can only *increase* (or preserve)
+every indoor distance — never shrink one.  Dually, every distance in a
+snapshot with all doors open equals the base space's distance.
+"""
+
+import math
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.distance import pt2pt_distance_refined
+from repro.temporal import DoorSchedule, TemporalIndoorSpace
+from tests.strategies import plan_with_points
+
+RELAXED = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@st.composite
+def closure_scenarios(draw):
+    plan, points = draw(plan_with_points(count=2))
+    door_ids = list(plan.space.door_ids)
+    close_seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = random.Random(close_seed)
+    closed = [d for d in door_ids if rng.random() < 0.3]
+    return plan, points, closed
+
+
+class TestClosureMonotonicity:
+    @RELAXED
+    @given(closure_scenarios())
+    def test_closing_doors_never_shrinks_distances(self, scenario):
+        plan, (a, b), closed = scenario
+        schedule = DoorSchedule()
+        for door_id in closed:
+            schedule.set_closed(door_id)
+        temporal = TemporalIndoorSpace(plan.space, schedule)
+        base = pt2pt_distance_refined(plan.space, a, b)
+        restricted = temporal.distance(0.0, a, b)
+        if math.isinf(restricted):
+            return  # closing doors may sever the route entirely — fine
+        assert restricted >= base - 1e-9
+
+    @RELAXED
+    @given(plan_with_points(count=2))
+    def test_empty_schedule_matches_base(self, data):
+        plan, (a, b) = data
+        temporal = TemporalIndoorSpace(plan.space, DoorSchedule())
+        assert temporal.distance(0.0, a, b) == pytest.approx(
+            pt2pt_distance_refined(plan.space, a, b)
+        )
+
+    @RELAXED
+    @given(closure_scenarios())
+    def test_reopening_restores_base_distances(self, scenario):
+        plan, (a, b), closed = scenario
+        schedule = DoorSchedule()
+        for door_id in closed:
+            schedule.set_closed(door_id)
+        for door_id in closed:
+            schedule.set_always_open(door_id)
+        temporal = TemporalIndoorSpace(plan.space, schedule)
+        assert temporal.distance(0.0, a, b) == pytest.approx(
+            pt2pt_distance_refined(plan.space, a, b)
+        )
+
+    @RELAXED
+    @given(closure_scenarios())
+    def test_nested_closures_are_monotone(self, scenario):
+        """Closing a superset of doors is at least as restrictive."""
+        plan, (a, b), closed = scenario
+        if not closed:
+            return
+        partial = DoorSchedule()
+        for door_id in closed[: len(closed) // 2]:
+            partial.set_closed(door_id)
+        full = DoorSchedule()
+        for door_id in closed:
+            full.set_closed(door_id)
+        partial_distance = TemporalIndoorSpace(plan.space, partial).distance(
+            0.0, a, b
+        )
+        full_distance = TemporalIndoorSpace(plan.space, full).distance(0.0, a, b)
+        assert full_distance >= partial_distance - 1e-9

@@ -1,0 +1,76 @@
+"""Tests for door schedules."""
+
+import pytest
+
+from repro.exceptions import ModelError
+from repro.temporal import DoorSchedule, TimeInterval
+
+
+class TestTimeInterval:
+    def test_half_open_semantics(self):
+        interval = TimeInterval(8.0, 18.0)
+        assert interval.contains(8.0)
+        assert interval.contains(17.999)
+        assert not interval.contains(18.0)
+        assert not interval.contains(7.999)
+
+    def test_degenerate_interval_raises(self):
+        with pytest.raises(ModelError):
+            TimeInterval(5.0, 5.0)
+        with pytest.raises(ModelError):
+            TimeInterval(6.0, 5.0)
+
+    def test_overlaps(self):
+        a = TimeInterval(0, 10)
+        assert a.overlaps(TimeInterval(5, 15))
+        assert not a.overlaps(TimeInterval(10, 20))  # half-open: touching is ok
+        assert not a.overlaps(TimeInterval(20, 30))
+
+    def test_ordering(self):
+        assert TimeInterval(1, 2) < TimeInterval(3, 4)
+
+
+class TestDoorSchedule:
+    def test_unrestricted_door_is_always_open(self):
+        schedule = DoorSchedule()
+        assert schedule.is_open(13, 0.0)
+        assert schedule.is_open(13, 1e9)
+
+    def test_office_hours(self):
+        schedule = DoorSchedule()
+        schedule.set_open(13, [TimeInterval(8, 18)])
+        assert not schedule.is_open(13, 7)
+        assert schedule.is_open(13, 12)
+        assert not schedule.is_open(13, 20)
+
+    def test_multiple_intervals(self):
+        schedule = DoorSchedule()
+        schedule.set_open(13, [TimeInterval(8, 12), TimeInterval(13, 18)])
+        assert schedule.is_open(13, 9)
+        assert not schedule.is_open(13, 12.5)  # lunch lockdown
+        assert schedule.is_open(13, 14)
+
+    def test_overlapping_intervals_raise(self):
+        schedule = DoorSchedule()
+        with pytest.raises(ModelError):
+            schedule.set_open(13, [TimeInterval(8, 12), TimeInterval(11, 18)])
+
+    def test_sealed_door(self):
+        schedule = DoorSchedule()
+        schedule.set_closed(13)
+        assert not schedule.is_open(13, 12)
+        assert schedule.intervals_of(13) == ()
+
+    def test_reopening(self):
+        schedule = DoorSchedule()
+        schedule.set_closed(13)
+        schedule.set_always_open(13)
+        assert schedule.is_open(13, 12)
+        with pytest.raises(ModelError):
+            schedule.intervals_of(13)
+
+    def test_restricted_doors_listing(self):
+        schedule = DoorSchedule()
+        schedule.set_closed(13)
+        schedule.set_open(1, [TimeInterval(0, 1)])
+        assert schedule.restricted_doors() == (1, 13)

@@ -1,0 +1,89 @@
+"""Tests for time-parameterised indoor spaces."""
+
+import math
+
+import pytest
+
+from repro.distance import pt2pt_distance
+from repro.model.figure1 import D12, D13, D15, P, Q, build_figure1
+from repro.temporal import DoorSchedule, TemporalIndoorSpace, TimeInterval
+
+
+@pytest.fixture(scope="module")
+def base_space():
+    return build_figure1()
+
+
+def office_hours_space(base_space):
+    """d13 (the only door *into* room 13) is open 8:00-18:00 only."""
+    schedule = DoorSchedule()
+    schedule.set_open(D13, [TimeInterval(8.0, 18.0)])
+    return TemporalIndoorSpace(base_space, schedule)
+
+
+class TestSnapshots:
+    def test_unrestricted_schedule_matches_base(self, base_space):
+        temporal = TemporalIndoorSpace(base_space, DoorSchedule())
+        assert temporal.open_doors(12.0) == frozenset(base_space.door_ids)
+        assert temporal.distance(12.0, P, Q) == pytest.approx(
+            pt2pt_distance(base_space, P, Q)
+        )
+
+    def test_snapshot_caching_by_regime(self, base_space):
+        temporal = office_hours_space(base_space)
+        temporal.distance(9.0, P, Q)
+        temporal.distance(10.0, P, Q)  # same regime
+        temporal.distance(20.0, Q, Q.translated(0.5, 0))  # night regime
+        assert temporal.snapshot_count == 2
+
+    def test_directionality_survives_snapshot(self, base_space):
+        temporal = TemporalIndoorSpace(base_space, DoorSchedule())
+        snapshot = temporal.snapshot(0.0)
+        assert snapshot.topology.is_unidirectional(D12)
+        assert snapshot.topology.is_unidirectional(D15)
+
+
+class TestTimeDependentDistances:
+    def test_day_route_matches_base(self, base_space):
+        temporal = office_hours_space(base_space)
+        assert temporal.distance(12.0, P, Q) == pytest.approx(
+            pt2pt_distance(base_space, P, Q)
+        )
+
+    def test_p_to_q_still_works_at_night_via_d15(self, base_space):
+        # With d13 closed, p can still leave room 13 through one-way d15.
+        temporal = office_hours_space(base_space)
+        night = temporal.distance(22.0, P, Q)
+        assert night == pytest.approx(pt2pt_distance(base_space, P, Q))
+
+    def test_q_to_p_unreachable_at_night(self, base_space):
+        # d13 is the only door entering room 13: at night, no way in.
+        temporal = office_hours_space(base_space)
+        assert temporal.is_reachable(12.0, Q, P)
+        assert not temporal.is_reachable(22.0, Q, P)
+        assert math.isinf(temporal.distance(22.0, Q, P))
+
+    def test_night_path_object(self, base_space):
+        temporal = office_hours_space(base_space)
+        path = temporal.shortest_path(22.0, Q, P)
+        assert not path.is_reachable
+
+    def test_closing_d15_forces_p_through_d13(self, base_space):
+        schedule = DoorSchedule()
+        schedule.set_closed(D15)
+        temporal = TemporalIndoorSpace(base_space, schedule)
+        path = temporal.shortest_path(12.0, P, Q)
+        assert path.doors == (D13,)
+        assert temporal.distance(12.0, P, Q) > pt2pt_distance(base_space, P, Q)
+
+    def test_lockdown_isolates_everything(self, base_space):
+        schedule = DoorSchedule()
+        for door_id in base_space.door_ids:
+            schedule.set_closed(door_id)
+        temporal = TemporalIndoorSpace(base_space, schedule)
+        assert temporal.open_doors(0.0) == frozenset()
+        assert not temporal.is_reachable(0.0, P, Q)
+        # Within one partition movement is still possible.
+        assert temporal.distance(0.0, P, P.translated(0.5, 0.5)) == pytest.approx(
+            P.distance_to(P.translated(0.5, 0.5))
+        )

@@ -1,0 +1,143 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.cli import main
+from repro.io import save_space
+from repro.model.figure1 import P, Q, build_figure1
+
+
+@pytest.fixture
+def plan_file(tmp_path):
+    path = tmp_path / "plan.json"
+    save_space(build_figure1(), path)
+    return str(path)
+
+
+class TestInfo:
+    def test_clean_plan(self, plan_file, capsys):
+        assert main(["info", plan_file]) == 0
+        out = capsys.readouterr().out
+        assert "partitions:  10" in out
+        assert "doors:       11" in out
+        assert "one-way:     2" in out
+        assert "lint: clean" in out
+
+    def test_dirty_plan_exits_nonzero(self, tmp_path, capsys):
+        from repro.geometry import Point, Segment, rectangle
+        from repro.model import IndoorSpaceBuilder
+
+        builder = IndoorSpaceBuilder()
+        builder.add_partition(1, rectangle(0, 0, 10, 10))
+        builder.add_partition(2, rectangle(10, 0, 14, 4))
+        builder.add_door(
+            1, Segment(Point(10, 1), Point(10, 3)), connects=(1, 2), one_way=True
+        )
+        path = tmp_path / "trap.json"
+        save_space(builder.build(), path)
+        assert main(["info", str(path)]) == 1
+        assert "no-way-out" in capsys.readouterr().out
+
+
+class TestDistance:
+    def test_motivating_example(self, plan_file, capsys):
+        code = main(
+            ["distance", plan_file, str(P.x), str(P.y), str(Q.x), str(Q.y)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "distance: 3.24 m" in out
+        assert "d15" in out
+
+    def test_unreachable(self, tmp_path, capsys):
+        from repro.geometry import Point, Segment, rectangle
+        from repro.model import IndoorSpaceBuilder
+
+        builder = IndoorSpaceBuilder()
+        builder.add_partition(1, rectangle(0, 0, 10, 10))
+        builder.add_partition(2, rectangle(10, 0, 14, 4))
+        builder.add_door(
+            1, Segment(Point(10, 1), Point(10, 3)), connects=(2, 1), one_way=True
+        )
+        path = tmp_path / "oneway.json"
+        save_space(builder.build(), path)
+        assert main(["distance", str(path), "5", "5", "12", "2"]) == 1
+        assert "unreachable" in capsys.readouterr().out
+
+
+class TestRender:
+    def test_renders_svg(self, plan_file, tmp_path, capsys):
+        out_file = tmp_path / "plan.svg"
+        assert main(["render", plan_file, "-o", str(out_file)]) == 0
+        root = ET.fromstring(out_file.read_text())
+        assert root.tag.endswith("svg")
+
+
+class TestExport:
+    def test_export_figure1_roundtrip(self, tmp_path, capsys):
+        out_file = tmp_path / "figure1.json"
+        assert main(["export-figure1", str(out_file)]) == 0
+        assert main(["info", str(out_file)]) == 0
+
+
+class TestAudit:
+    def test_audit_lists_traffic_and_failures(self, plan_file, capsys):
+        assert main(["audit", plan_file]) == 0
+        out = capsys.readouterr().out
+        assert "door traffic" in out
+        assert "single points of failure:" in out
+        assert "d13" in out
+
+    def test_audit_evacuation_safe(self, plan_file, capsys):
+        assert main(["audit", plan_file, "--exits", "0"]) == 0
+        assert "all partitions safe" in capsys.readouterr().out
+
+    def test_audit_evacuation_trapped(self, tmp_path, capsys):
+        from repro.geometry import Point, Segment, rectangle
+        from repro.model import IndoorSpaceBuilder
+
+        builder = IndoorSpaceBuilder()
+        builder.add_partition(1, rectangle(0, 0, 10, 10))
+        builder.add_partition(2, rectangle(10, 0, 14, 4))
+        builder.add_door(
+            1, Segment(Point(10, 1), Point(10, 3)), connects=(1, 2), one_way=True
+        )
+        path = tmp_path / "trap.json"
+        save_space(builder.build(), path)
+        assert main(["audit", str(path), "--exits", "1"]) == 1
+        assert "TRAPPED" in capsys.readouterr().out
+
+
+class TestDot:
+    def test_dot_output(self, plan_file, capsys):
+        assert main(["dot", plan_file]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph indoor {")
+        assert "dir=both" in out
+
+
+class TestBenchPassthrough:
+    def test_arguments_are_forwarded(self, monkeypatch):
+        import repro.bench.__main__ as bench_cli
+
+        received = {}
+
+        def fake_main(argv):
+            received["argv"] = argv
+            return 0
+
+        monkeypatch.setattr(bench_cli, "main", fake_main)
+        assert main(["bench", "fig6", "fig7"]) == 0
+        assert received["argv"] == ["fig6", "fig7"]
+
+
+class TestParser:
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command_errors(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

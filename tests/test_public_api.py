@@ -1,0 +1,76 @@
+"""Guard rails for the public API surface and documentation discipline."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+
+class TestPublicApi:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.__all__ lists missing {name!r}"
+
+    def test_no_duplicates_in_all(self):
+        assert len(repro.__all__) == len(set(repro.__all__))
+
+    def test_version_is_exposed(self):
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3
+        assert all(part.isdigit() for part in parts)
+
+    def test_every_submodule_imports(self):
+        failures = []
+        for module_info in pkgutil.walk_packages(
+            repro.__path__, prefix="repro."
+        ):
+            if module_info.name.endswith("__main__"):
+                continue
+            try:
+                importlib.import_module(module_info.name)
+            except Exception as exc:  # pragma: no cover - failure reporting
+                failures.append((module_info.name, exc))
+        assert failures == []
+
+
+def public_objects():
+    """Every public module, class, and function in the repro package."""
+    results = []
+    for module_info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if module_info.name.endswith("__main__"):
+            continue
+        module = importlib.import_module(module_info.name)
+        results.append((module_info.name, module))
+        for name, obj in vars(module).items():
+            if name.startswith("_"):
+                continue
+            if getattr(obj, "__module__", None) != module_info.name:
+                continue
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                results.append((f"{module_info.name}.{name}", obj))
+                if inspect.isclass(obj):
+                    for method_name, method in vars(obj).items():
+                        if method_name.startswith("_"):
+                            continue
+                        if inspect.isfunction(method):
+                            results.append(
+                                (
+                                    f"{module_info.name}.{name}.{method_name}",
+                                    method,
+                                )
+                            )
+    return results
+
+
+class TestDocstrings:
+    @pytest.mark.parametrize(
+        "qualified_name,obj",
+        public_objects(),
+        ids=[name for name, _ in public_objects()],
+    )
+    def test_every_public_item_is_documented(self, qualified_name, obj):
+        doc = inspect.getdoc(obj)
+        assert doc and doc.strip(), f"{qualified_name} lacks a docstring"

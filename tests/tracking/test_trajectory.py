@@ -1,0 +1,114 @@
+"""Tests for indoor trajectories and session playback."""
+
+import pytest
+
+from repro import IndoorObject, Point, QueryEngine, pt2pt_path
+from repro.exceptions import QueryError
+from repro.model.figure1 import P, Q, build_figure1
+from repro.tracking import IndoorTrajectory, TrackingSession, drive_session
+from repro.tracking.monitors import EventKind
+
+
+@pytest.fixture(scope="module")
+def space():
+    return build_figure1()
+
+
+@pytest.fixture(scope="module")
+def p_to_q(space):
+    return pt2pt_path(space, P, Q)
+
+
+class TestConstruction:
+    def test_from_path_endpoints(self, space, p_to_q):
+        trajectory = IndoorTrajectory.from_path(space, p_to_q, start_time=10.0)
+        assert trajectory.waypoints[0] == P
+        assert trajectory.waypoints[-1] == Q
+        assert trajectory.start_time == 10.0
+
+    def test_duration_matches_distance_over_speed(self, space, p_to_q):
+        trajectory = IndoorTrajectory.from_path(space, p_to_q, speed=2.0)
+        assert trajectory.duration == pytest.approx(p_to_q.distance / 2.0)
+
+    def test_invalid_inputs(self, space, p_to_q):
+        import math
+
+        from repro.distance.path import IndoorPath
+
+        with pytest.raises(QueryError):
+            IndoorTrajectory.from_path(space, p_to_q, speed=0)
+        dead = IndoorPath(math.inf, P, Q, (), ())
+        with pytest.raises(QueryError):
+            IndoorTrajectory.from_path(space, dead)
+        with pytest.raises(QueryError):
+            IndoorTrajectory((P,), (1.0, 2.0))
+        with pytest.raises(QueryError):
+            IndoorTrajectory((P, Q), (2.0, 2.0))
+
+
+class TestPlayback:
+    def test_position_clamps_outside_span(self, space, p_to_q):
+        trajectory = IndoorTrajectory.from_path(space, p_to_q)
+        assert trajectory.position_at(-5.0) == P
+        assert trajectory.position_at(trajectory.end_time + 5.0) == Q
+
+    def test_midpoint_of_first_leg(self, space):
+        path = pt2pt_path(space, Point(6.5, 7.0), Point(9.5, 7.0))
+        trajectory = IndoorTrajectory.from_path(space, path, speed=1.0)
+        halfway = trajectory.position_at(1.5)
+        assert halfway.approx_equals(Point(8.0, 7.0), tol=1e-9)
+
+    def test_positions_are_always_indoor(self, space, p_to_q):
+        trajectory = IndoorTrajectory.from_path(space, p_to_q)
+        steps = 20
+        for i in range(steps + 1):
+            t = trajectory.start_time + trajectory.duration * i / steps
+            position = trajectory.position_at(t)
+            assert space.get_host_partition(position) is not None, (t, position)
+
+    def test_monotone_progress_toward_target(self, space, p_to_q):
+        trajectory = IndoorTrajectory.from_path(space, p_to_q)
+        # Remaining time decreases, so the final waypoint is reached exactly.
+        assert trajectory.position_at(trajectory.end_time) == Q
+
+
+class TestDriveSession:
+    def test_walker_triggers_monitor_events(self, space, p_to_q):
+        engine = QueryEngine.for_space(build_figure1())
+        engine.add_object(IndoorObject(1, P))
+        session = TrackingSession(engine)
+        watch = session.watch_range(Q, radius=2.0)
+        assert watch.result == []  # the walker starts far from q
+
+        trajectory = IndoorTrajectory.from_path(space, p_to_q, speed=1.0)
+        times = drive_session(session, {1: trajectory}, tick=0.25)
+        assert len(times) >= 4
+        assert watch.result == [1]
+        kinds = [event.kind for event in watch.events]
+        assert EventKind.ENTER in kinds
+
+    def test_tick_validation(self, space, p_to_q):
+        engine = QueryEngine.for_space(build_figure1())
+        engine.add_object(IndoorObject(1, P))
+        session = TrackingSession(engine)
+        trajectory = IndoorTrajectory.from_path(space, p_to_q)
+        with pytest.raises(QueryError):
+            drive_session(session, {1: trajectory}, tick=0)
+
+    def test_empty_trajectories(self):
+        engine = QueryEngine.for_space(build_figure1())
+        session = TrackingSession(engine)
+        assert drive_session(session, {}, tick=1.0) == []
+
+    def test_multi_floor_trajectory(self):
+        from repro.synthetic import BuildingConfig, generate_building
+
+        building = generate_building(BuildingConfig(floors=2, rooms_per_floor=4))
+        space = building.space
+        path = pt2pt_path(space, Point(2.5, 2.0, 0), Point(2.5, 2.0, 1))
+        trajectory = IndoorTrajectory.from_path(space, path)
+        for i in range(11):
+            t = trajectory.start_time + trajectory.duration * i / 10
+            position = trajectory.position_at(t)
+            assert space.get_host_partition(position) is not None
+        assert trajectory.position_at(trajectory.end_time).floor == 1

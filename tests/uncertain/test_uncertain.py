@@ -1,0 +1,183 @@
+"""Tests for probabilistic threshold queries over uncertain objects."""
+
+import pytest
+
+from repro.exceptions import ModelError, QueryError
+from repro.geometry import Point, rectangle
+from repro.model import IndoorSpaceBuilder
+from repro.uncertain import UncertainObject, probabilistic_knn, probabilistic_range
+
+
+@pytest.fixture(scope="module")
+def open_room():
+    builder = IndoorSpaceBuilder()
+    builder.add_partition(1, rectangle(0, 0, 40, 10))
+    return builder.build()
+
+
+class TestUncertainObject:
+    def test_probabilities_must_sum_to_one(self):
+        with pytest.raises(ModelError):
+            UncertainObject(1, ((Point(0, 0), 0.5), (Point(1, 1), 0.4)))
+
+    def test_probabilities_must_be_positive(self):
+        with pytest.raises(ModelError):
+            UncertainObject(1, ((Point(0, 0), 1.2), (Point(1, 1), -0.2)))
+
+    def test_needs_samples(self):
+        with pytest.raises(ModelError):
+            UncertainObject(1, ())
+
+    def test_certain_constructor(self):
+        obj = UncertainObject.certain(1, Point(3, 3), payload="tag")
+        assert obj.sample_count == 1
+        assert obj.samples[0] == (Point(3, 3), 1.0)
+
+    def test_expected_position(self):
+        obj = UncertainObject(
+            1, ((Point(0, 0), 0.5), (Point(4, 0), 0.25), (Point(0, 8), 0.25))
+        )
+        assert obj.expected_position().approx_equals(Point(1.0, 2.0))
+
+    def test_expected_position_across_floors_raises(self):
+        obj = UncertainObject(
+            1, ((Point(0, 0, 0), 0.5), (Point(0, 0, 1), 0.5))
+        )
+        with pytest.raises(ModelError):
+            obj.expected_position()
+
+
+class TestProbabilisticRange:
+    def test_probability_mass_within_radius(self, open_room):
+        obj = UncertainObject(
+            1, ((Point(5, 5), 0.6), (Point(20, 5), 0.3), (Point(39, 5), 0.1))
+        )
+        query = Point(4, 5)
+        results = probabilistic_range(open_room, [obj], query, 5.0, 0.5)
+        assert results == [(1, pytest.approx(0.6))]
+
+    def test_threshold_filters(self, open_room):
+        obj = UncertainObject(1, ((Point(5, 5), 0.4), (Point(30, 5), 0.6)))
+        query = Point(4, 5)
+        assert probabilistic_range(open_room, [obj], query, 5.0, 0.5) == []
+        assert probabilistic_range(open_room, [obj], query, 5.0, 0.4) == [
+            (1, pytest.approx(0.4))
+        ]
+
+    def test_sorted_by_probability(self, open_room):
+        a = UncertainObject(1, ((Point(5, 5), 0.5), (Point(30, 5), 0.5)))
+        b = UncertainObject.certain(2, Point(6, 5))
+        results = probabilistic_range(open_room, [a, b], Point(4, 5), 5.0, 0.1)
+        assert [oid for oid, _ in results] == [2, 1]
+
+    def test_validation(self, open_room):
+        with pytest.raises(QueryError):
+            probabilistic_range(open_room, [], Point(4, 5), -1.0, 0.5)
+        with pytest.raises(QueryError):
+            probabilistic_range(open_room, [], Point(4, 5), 1.0, 0.0)
+
+
+class TestProbabilisticKnn:
+    def test_certain_objects_reduce_to_plain_knn(self, open_room):
+        objects = [
+            UncertainObject.certain(1, Point(5, 5)),
+            UncertainObject.certain(2, Point(10, 5)),
+            UncertainObject.certain(3, Point(30, 5)),
+        ]
+        results = probabilistic_knn(open_room, objects, Point(4, 5), 2, 0.5)
+        assert results == [(1, pytest.approx(1.0)), (2, pytest.approx(1.0))]
+
+    def test_two_object_hand_computation(self, open_room):
+        # Object 1 is at 1 m (p=0.5) or 20 m (p=0.5); object 2 is surely at
+        # 10 m.  P(1 in 1NN) = 0.5, P(2 in 1NN) = 0.5.
+        query = Point(4, 5)
+        objects = [
+            UncertainObject(1, ((Point(5, 5), 0.5), (Point(24, 5), 0.5))),
+            UncertainObject.certain(2, Point(14, 5)),
+        ]
+        results = probabilistic_knn(open_room, objects, query, 1, 0.3)
+        as_dict = dict(results)
+        assert as_dict[1] == pytest.approx(0.5)
+        assert as_dict[2] == pytest.approx(0.5)
+
+    def test_three_way_joint_worlds(self, open_room):
+        # Object 1: 2 m (0.5) / 12 m (0.5); object 2: 6 m certain;
+        # object 3: 4 m (0.5) / 30 m (0.5).  k=1 winner per world:
+        #   1@2  & 3@4  -> 1   (0.25)
+        #   1@2  & 3@30 -> 1   (0.25)
+        #   1@12 & 3@4  -> 3   (0.25)
+        #   1@12 & 3@30 -> 2   (0.25)
+        query = Point(0, 5)
+        objects = [
+            UncertainObject(1, ((Point(2, 5), 0.5), (Point(12, 5), 0.5))),
+            UncertainObject.certain(2, Point(6, 5)),
+            UncertainObject(3, ((Point(4, 5), 0.5), (Point(30, 5), 0.5))),
+        ]
+        results = dict(probabilistic_knn(open_room, objects, query, 1, 0.2))
+        assert results[1] == pytest.approx(0.5)
+        assert results[2] == pytest.approx(0.25)
+        assert results[3] == pytest.approx(0.25)
+
+    def test_monte_carlo_approximates_exact(self, open_room, monkeypatch):
+        import repro.uncertain.queries as queries
+
+        query = Point(0, 5)
+        objects = [
+            UncertainObject(1, ((Point(2, 5), 0.5), (Point(12, 5), 0.5))),
+            UncertainObject.certain(2, Point(6, 5)),
+            UncertainObject(3, ((Point(4, 5), 0.5), (Point(30, 5), 0.5))),
+        ]
+        exact = dict(probabilistic_knn(open_room, objects, query, 1, 0.01))
+        monkeypatch.setattr(queries, "EXACT_WORLD_LIMIT", 1)
+        approx = dict(
+            probabilistic_knn(
+                open_room, objects, query, 1, 0.01,
+                monte_carlo_worlds=8_000, seed=3,
+            )
+        )
+        for object_id, probability in exact.items():
+            assert approx[object_id] == pytest.approx(probability, abs=0.03)
+
+    def test_membership_mass_sums_to_k(self, open_room):
+        query = Point(0, 5)
+        objects = [
+            UncertainObject(1, ((Point(2, 5), 0.3), (Point(12, 5), 0.7))),
+            UncertainObject(2, ((Point(6, 5), 0.6), (Point(25, 5), 0.4))),
+            UncertainObject.certain(3, Point(9, 5)),
+        ]
+        for k in (1, 2, 3):
+            results = probabilistic_knn(open_room, objects, query, k, 1e-9)
+            assert sum(p for _, p in results) == pytest.approx(min(k, 3))
+
+    def test_empty_and_validation(self, open_room):
+        assert probabilistic_knn(open_room, [], Point(4, 5), 1, 0.5) == []
+        with pytest.raises(QueryError):
+            probabilistic_knn(
+                open_room, [UncertainObject.certain(1, Point(5, 5))],
+                Point(4, 5), 0, 0.5,
+            )
+        with pytest.raises(QueryError):
+            probabilistic_knn(
+                open_room, [UncertainObject.certain(1, Point(5, 5))],
+                Point(4, 5), 1, 1.5,
+            )
+
+    def test_walls_shape_the_probabilities(self):
+        """Walking distance (not Euclidean) drives the probabilities: an
+        object Euclidean-near but behind a wall loses."""
+        builder = IndoorSpaceBuilder()
+        builder.add_partition(1, rectangle(0, 0, 10, 10))
+        builder.add_partition(2, rectangle(10, 0, 20, 10))
+        from repro.geometry import Segment
+
+        builder.add_door(1, Segment(Point(10, 8.5), Point(10, 9.5)), connects=(1, 2))
+        space = builder.build()
+        query = Point(9, 1)
+        objects = [
+            # Euclidean 2 m away, but the walk rounds through the far door.
+            UncertainObject.certain(1, Point(11, 1)),
+            # Euclidean 7 m away, same room: wins.
+            UncertainObject.certain(2, Point(2, 1)),
+        ]
+        results = probabilistic_knn(space, objects, query, 1, 0.5)
+        assert results == [(2, pytest.approx(1.0))]

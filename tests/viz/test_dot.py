@@ -1,0 +1,55 @@
+"""Tests for the Graphviz DOT export."""
+
+import re
+
+import pytest
+
+from repro.model.figure1 import build_figure1
+from repro.viz import to_dot
+
+
+@pytest.fixture(scope="module")
+def dot():
+    return to_dot(build_figure1())
+
+
+class TestToDot:
+    def test_is_a_digraph(self, dot):
+        assert dot.startswith("digraph indoor {")
+        assert dot.rstrip().endswith("}")
+
+    def test_one_node_per_partition(self, dot):
+        space = build_figure1()
+        nodes = re.findall(r"^\s*p(\d+) \[", dot, re.MULTILINE)
+        assert sorted(int(n) for n in nodes) == sorted(space.partition_ids)
+
+    def test_one_edge_per_door(self, dot):
+        space = build_figure1()
+        edges = re.findall(r"->", dot)
+        assert len(edges) == space.num_doors
+
+    def test_one_way_doors_are_marked(self, dot):
+        one_way_edges = [
+            line for line in dot.splitlines() if "color=orangered" in line
+        ]
+        assert len(one_way_edges) == 2  # d12 and d15
+        assert not any("dir=both" in line for line in one_way_edges)
+
+    def test_bidirectional_doors_use_dir_both(self, dot):
+        both = [line for line in dot.splitlines() if "dir=both" in line]
+        assert len(both) == 9
+
+    def test_labels_are_quoted(self, dot):
+        assert 'label="d15"' in dot
+        assert 'label="room 13"' in dot
+
+    def test_shapes_follow_kinds(self, dot):
+        assert "shape=doubleoctagon" in dot  # outdoor
+        assert "shape=parallelogram" in dot  # staircase
+        assert "shape=ellipse" in dot  # hallway
+        assert "shape=box" in dot  # rooms
+
+    def test_custom_graph_name(self):
+        assert to_dot(build_figure1(), name="campus").startswith(
+            "digraph campus {"
+        )

@@ -1,0 +1,102 @@
+"""Tests for the SVG floor-plan renderer."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.distance import pt2pt_path
+from repro.exceptions import GeometryError
+from repro.geometry import Point
+from repro.index import IndoorObject
+from repro.model.figure1 import P, Q, build_figure1
+from repro.viz import render_svg, save_svg
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+@pytest.fixture(scope="module")
+def space():
+    return build_figure1()
+
+
+def parse(svg):
+    return ET.fromstring(svg)
+
+
+def elements_with_class(root, name):
+    return [
+        el for el in root.iter() if el.get("class", "").startswith(name)
+    ]
+
+
+class TestRenderSvg:
+    def test_valid_xml_with_size(self, space):
+        root = parse(render_svg(space, width=640))
+        assert root.tag == f"{SVG_NS}svg"
+        assert root.get("width") == "640"
+        assert int(root.get("height")) > 0
+
+    def test_one_polygon_per_partition_plus_obstacles(self, space):
+        root = parse(render_svg(space))
+        partitions = elements_with_class(root, "partition")
+        obstacles = elements_with_class(root, "obstacle")
+        assert len(partitions) == space.num_partitions
+        assert len(obstacles) == 1  # room 22's exhibition stand
+
+    def test_doors_rendered_with_one_way_colour(self, space):
+        root = parse(render_svg(space))
+        doors = elements_with_class(root, "door")
+        assert len(doors) == space.num_doors
+        one_way = [d for d in doors if d.get("stroke") == "#ea580c"]
+        assert len(one_way) == 2  # d12 and d15
+
+    def test_objects_and_query_overlay(self, space):
+        objects = [IndoorObject(1, Point(6.5, 9.0)), IndoorObject(2, Point(1, 5))]
+        svg = render_svg(space, objects=objects, query=(P, 8.0))
+        root = parse(svg)
+        assert len(elements_with_class(root, "object")) == 2
+        assert len(elements_with_class(root, "query")) == 2  # disc + center
+
+    def test_objects_on_other_floors_are_skipped(self, space):
+        svg = render_svg(space, objects=[IndoorObject(1, Point(5, 5, floor=3))])
+        assert elements_with_class(parse(svg), "object") == []
+
+    def test_path_overlay(self, space):
+        path = pt2pt_path(space, P, Q)
+        root = parse(render_svg(space, paths=[path]))
+        polylines = elements_with_class(root, "path")
+        assert len(polylines) == 1
+        # Waypoints: source, d15, d12, target -> four coordinate pairs.
+        assert len(polylines[0].get("points").split()) == 4
+
+    def test_unreachable_path_is_skipped(self, space):
+        from repro.distance.path import IndoorPath
+        import math
+
+        dead = IndoorPath(math.inf, P, Q, (), ())
+        root = parse(render_svg(space, paths=[dead]))
+        assert elements_with_class(root, "path") == []
+
+    def test_labels_toggle(self, space):
+        with_labels = parse(render_svg(space, labels=True))
+        without = parse(render_svg(space, labels=False))
+        assert len(list(with_labels.iter(f"{SVG_NS}text"))) == space.num_partitions
+        assert list(without.iter(f"{SVG_NS}text")) == []
+
+    def test_empty_floor_raises(self, space):
+        with pytest.raises(GeometryError):
+            render_svg(space, floor=7)
+
+    def test_multi_floor_building_renders_each_floor(self):
+        from repro.synthetic import BuildingConfig, generate_building
+
+        building = generate_building(BuildingConfig(floors=2, rooms_per_floor=4))
+        for floor in (0, 1):
+            root = parse(render_svg(building.space, floor=floor))
+            assert len(elements_with_class(root, "partition")) > 0
+
+    def test_save_svg(self, space, tmp_path):
+        target = tmp_path / "plan.svg"
+        save_svg(render_svg(space), target)
+        assert target.exists()
+        parse(target.read_text())
