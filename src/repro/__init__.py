@@ -35,10 +35,15 @@ Quickstart::
 """
 
 from repro.exceptions import (
+    CorruptIndexError,
+    DeadlineExceededError,
     GeometryError,
+    IndexError_,
     ModelError,
     QueryError,
     ReproError,
+    SerializationError,
+    StaleIndexError,
     TopologyError,
     UnknownEntityError,
     UnreachableError,
@@ -85,8 +90,16 @@ from repro.queries import (
     nn_query,
     range_query,
 )
+from repro.runtime import (
+    Deadline,
+    QualityLevel,
+    ResilientQueryEngine,
+    ResilientResult,
+    RetryPolicy,
+    check_index_integrity,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     # errors
@@ -95,6 +108,11 @@ __all__ = [
     "TopologyError",
     "GeometryError",
     "QueryError",
+    "DeadlineExceededError",
+    "IndexError_",
+    "StaleIndexError",
+    "CorruptIndexError",
+    "SerializationError",
     "UnknownEntityError",
     "UnreachableError",
     # geometry
@@ -140,4 +158,11 @@ __all__ = [
     "nn_query",
     "brute_force_range",
     "brute_force_knn",
+    # runtime (robustness layer)
+    "Deadline",
+    "QualityLevel",
+    "ResilientQueryEngine",
+    "ResilientResult",
+    "RetryPolicy",
+    "check_index_integrity",
 ]

@@ -5,6 +5,9 @@ Commands:
 * ``info PLAN.json`` — model statistics plus the floor-plan lint report;
 * ``audit PLAN.json [--exits ID ...]`` — door-significance analysis
   (betweenness, single points of failure) and evacuation safety;
+* ``doctor PLAN.json [--objects OBJ.json]`` — one exit-code-bearing health
+  report: floor-plan lint plus §IV index integrity (M_d2d symmetry,
+  non-negativity, finiteness; DPT completeness);
 * ``distance PLAN.json X1 Y1 X2 Y2 [--floor1 N] [--floor2 N]`` — minimum
   indoor walking distance and turn-by-turn directions between two points;
 * ``render PLAN.json -o OUT.svg [--floor N]`` — draw a floor to SVG;
@@ -81,6 +84,53 @@ def _cmd_audit(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_doctor(args: argparse.Namespace) -> int:
+    from repro.index import IndexFramework
+    from repro.model.validation import Severity
+    from repro.runtime import check_index_integrity
+
+    space = load_space(args.plan)
+    plan_issues = validate_space(space)
+    print("floor plan lint:")
+    if plan_issues:
+        for issue in plan_issues:
+            print(f"  {issue}")
+    else:
+        print("  clean")
+
+    objects = None
+    if args.objects:
+        from repro.io import load_objects
+
+        objects = load_objects(args.objects)
+    framework = IndexFramework.build(space, objects, args.cell_size)
+    index_issues = check_index_integrity(framework)
+    print("index integrity:")
+    if index_issues:
+        for issue in index_issues:
+            print(f"  {issue}")
+    else:
+        print("  clean")
+    report = framework.memory_report()
+    print(
+        f"indexes: {report['doors']} doors, "
+        f"{report['matrix_bytes']} matrix bytes, "
+        f"{report['dpt_bytes']} DPT bytes, "
+        f"{report['objects']} objects"
+    )
+
+    errors = [
+        issue
+        for issue in plan_issues + index_issues
+        if issue.severity is Severity.ERROR
+    ]
+    if errors:
+        print(f"doctor: {len(errors)} error(s)")
+        return 1
+    print("doctor: healthy")
+    return 0
+
+
 def _cmd_dot(args: argparse.Namespace) -> int:
     from repro.viz import to_dot
 
@@ -150,6 +200,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit partition ids for the evacuation check",
     )
     audit.set_defaults(handler=_cmd_audit)
+
+    doctor = commands.add_parser(
+        "doctor", help="plan lint + index integrity health report"
+    )
+    doctor.add_argument("plan")
+    doctor.add_argument(
+        "--objects", default=None, help="optional JSON object set to load"
+    )
+    doctor.add_argument(
+        "--cell-size", type=float, default=2.0,
+        help="grid cell edge for the object buckets (metres)",
+    )
+    doctor.set_defaults(handler=_cmd_doctor)
 
     dot = commands.add_parser("dot", help="accessibility graph as Graphviz DOT")
     dot.add_argument("plan")

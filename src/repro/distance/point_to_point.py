@@ -30,13 +30,16 @@ from __future__ import annotations
 
 import heapq
 import math
-from typing import Dict, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
 
 from repro.distance.door_to_door import DoorSearchResult, door_to_door_search
 from repro.distance.path import IndoorPath
 from repro.geometry import Point
 from repro.model.builder import IndoorSpace
 from repro.model.entities import Partition
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.deadline import Deadline
 
 
 def _hosts(space: IndoorSpace, source: Point, target: Point) -> Tuple[Partition, Partition]:
@@ -78,10 +81,15 @@ def _source_doors(
 
 
 def pt2pt_distance_basic(
-    space: IndoorSpace, source: Point, target: Point
+    space: IndoorSpace,
+    source: Point,
+    target: Point,
+    deadline: Optional["Deadline"] = None,
 ) -> float:
     """Algorithm 2: iterate blindly over all (d_s, d_t) door pairs."""
     vs, vt = _hosts(space, source, target)
+    if deadline is not None:
+        deadline.check("pt2pt distance")
     graph = space.distance_graph
     topology = space.topology
 
@@ -92,6 +100,8 @@ def pt2pt_distance_basic(
         if math.isinf(dist1):
             continue
         for dt in doors_t:
+            if deadline is not None:
+                deadline.check("pt2pt distance")
             dist2 = space.dist_v(target, dt, vt)
             if math.isinf(dist2):
                 continue
@@ -103,10 +113,15 @@ def pt2pt_distance_basic(
 
 
 def pt2pt_distance_refined(
-    space: IndoorSpace, source: Point, target: Point
+    space: IndoorSpace,
+    source: Point,
+    target: Point,
+    deadline: Optional["Deadline"] = None,
 ) -> float:
     """Algorithm 3: one pruned multi-target expansion per source door."""
     vs, vt = _hosts(space, source, target)
+    if deadline is not None:
+        deadline.check("pt2pt distance")
     graph = space.distance_graph
     topology = space.topology
 
@@ -138,6 +153,8 @@ def pt2pt_distance_refined(
         settled: Set[int] = set()
         heap: list = [(0.0, ds)]
         while heap:
+            if deadline is not None:
+                deadline.check("pt2pt distance")
             d, current = heapq.heappop(heap)
             if current in settled:
                 continue
@@ -168,11 +185,16 @@ def pt2pt_distance_refined(
 
 
 def pt2pt_distance_memoized(
-    space: IndoorSpace, source: Point, target: Point
+    space: IndoorSpace,
+    source: Point,
+    target: Point,
+    deadline: Optional["Deadline"] = None,
 ) -> float:
     """Algorithm 4: Algorithm 3 plus cross-iteration reuse of door-to-door
     distances via the ``dists[.][.]`` table and the ``prev`` walk."""
     vs, vt = _hosts(space, source, target)
+    if deadline is not None:
+        deadline.check("pt2pt distance")
     graph = space.distance_graph
     topology = space.topology
 
@@ -205,6 +227,8 @@ def pt2pt_distance_memoized(
         settled: Set[int] = set()
         heap: list = [(0.0, ds)]
         while heap:
+            if deadline is not None:
+                deadline.check("pt2pt distance")
             d, current = heapq.heappop(heap)
             if current in settled:
                 continue
@@ -278,15 +302,23 @@ def pt2pt_distance_memoized(
     return best
 
 
-def pt2pt_distance(space: IndoorSpace, source: Point, target: Point) -> float:
+def pt2pt_distance(
+    space: IndoorSpace,
+    source: Point,
+    target: Point,
+    deadline: Optional["Deadline"] = None,
+) -> float:
     """The library default position-to-position distance: Algorithm 4.
 
     All three algorithms are exact in this implementation (Algorithm 4's
     forward short-circuit is replaced by a provably safe stopping bound —
     see DESIGN.md, "Algorithm 4 fix"); Algorithm 4 reuses the most work and
     is the fastest on multi-door source partitions, so it is the default.
+
+    ``deadline`` is an optional cooperative time budget checked in the
+    expansion loops; see :mod:`repro.runtime.deadline`.
     """
-    return pt2pt_distance_memoized(space, source, target)
+    return pt2pt_distance_memoized(space, source, target, deadline=deadline)
 
 
 def pt2pt_path(space: IndoorSpace, source: Point, target: Point) -> IndoorPath:

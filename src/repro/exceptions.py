@@ -49,6 +49,19 @@ class QueryError(ReproError):
     """A query is malformed (e.g. negative range, k < 1, position outdoors)."""
 
 
+class DeadlineExceededError(QueryError):
+    """A query exhausted its cooperative time budget before completing.
+
+    Raised by the hot loops of range / kNN / pt2pt evaluation when a
+    :class:`repro.runtime.Deadline` expires.  Carries the budget so callers
+    can log or widen it.
+    """
+
+    def __init__(self, message: str, budget: float = float("nan")) -> None:
+        self.budget = budget
+        super().__init__(message)
+
+
 class IndexError_(ReproError):
     """An index structure is missing, stale, or inconsistent with the model.
 
@@ -57,5 +70,44 @@ class IndexError_(ReproError):
     """
 
 
+class StaleIndexError(IndexError_):
+    """An index was built at an older topology epoch than its space.
+
+    The space mutated (door added / removed) after the index framework was
+    precomputed; indexed answers would silently reflect the old topology.
+    """
+
+    def __init__(
+        self, message: str, built_epoch: int = -1, current_epoch: int = -1
+    ) -> None:
+        self.built_epoch = built_epoch
+        self.current_epoch = current_epoch
+        super().__init__(message)
+
+
+class CorruptIndexError(IndexError_):
+    """An index structure holds values that violate its invariants.
+
+    Examples: NaN or negative entries in M_d2d, a non-zero diagonal, or a
+    mid-query loss of the distance matrix (see :mod:`repro.runtime.faults`).
+    """
+
+
 class SerializationError(ReproError):
     """A building, matrix, or object set could not be (de)serialized."""
+
+
+__all__ = [
+    "ReproError",
+    "ModelError",
+    "TopologyError",
+    "GeometryError",
+    "UnknownEntityError",
+    "UnreachableError",
+    "QueryError",
+    "DeadlineExceededError",
+    "IndexError_",
+    "StaleIndexError",
+    "CorruptIndexError",
+    "SerializationError",
+]

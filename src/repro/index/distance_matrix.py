@@ -94,6 +94,15 @@ class DistanceIndexMatrix:
     # M_idx access
     # ------------------------------------------------------------------
     @property
+    def scan_order(self) -> np.ndarray:
+        """The raw N×N ordering: row i holds *matrix indices* sorted by
+        ascending M_d2d[i, ·].  Integrity checks use it to verify that the
+        matrix and its index still agree (each row gathered in this order
+        must be non-descending — true by construction, broken by any
+        in-place tampering with M_d2d values)."""
+        return self._order
+
+    @property
     def midx(self) -> np.ndarray:
         """The raw N×N index matrix: row i holds door *ids* sorted by
         ascending distance from ``door_ids[i]``."""

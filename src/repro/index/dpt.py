@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.exceptions import UnknownEntityError
 from repro.model.distance_graph import DistanceAwareGraph
@@ -90,6 +90,21 @@ class DoorPartitionTable:
             return self._records[door_id]
         except KeyError:
             raise UnknownEntityError("door", door_id) from None
+
+    def without(self, door_ids: Iterable[int]) -> "DoorPartitionTable":
+        """A copy of the table with the given records dropped.
+
+        Used by the fault-injection harness (:mod:`repro.runtime.faults`) to
+        simulate lost DPT records without mutating the original table.
+        """
+        dropped = set(door_ids)
+        return DoorPartitionTable(
+            {d: r for d, r in self._records.items() if d not in dropped}
+        )
+
+    def has_record(self, door_id: int) -> bool:
+        """True when the table holds a record for ``door_id``."""
+        return door_id in self._records
 
     def __len__(self) -> int:
         return len(self._records)

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Iterable, Optional
 
+from repro.exceptions import StaleIndexError
 from repro.index.distance_matrix import DistanceIndexMatrix
 from repro.index.dpt import DoorPartitionTable
 from repro.index.objects import DEFAULT_CELL_SIZE, IndoorObject, ObjectStore
@@ -43,6 +44,9 @@ class IndexFramework:
         self.dpt = dpt
         self.rtree = rtree
         self.objects = objects
+        #: Topology epoch of ``space`` at the moment the indexes were built;
+        #: compared against ``space.topology_epoch`` by :meth:`check_fresh`.
+        self.built_epoch = space.topology_epoch
 
     @classmethod
     def build(
@@ -80,8 +84,47 @@ class IndexFramework:
         reuse the expensive door-distance matrix across object cardinalities
         exactly as a deployed system would.
         """
-        return IndexFramework(
+        derived = IndexFramework(
             self.space, self.distance_index, self.dpt, self.rtree, store
+        )
+        # The shared static indexes are exactly as fresh as this framework's,
+        # regardless of what the space's epoch says right now.
+        derived.built_epoch = self.built_epoch
+        return derived
+
+    # ------------------------------------------------------------------
+    # Staleness epochs
+    # ------------------------------------------------------------------
+    @property
+    def is_fresh(self) -> bool:
+        """True while the space has not mutated since the indexes were built."""
+        return self.built_epoch == self.space.topology_epoch
+
+    def check_fresh(self) -> None:
+        """Raise :class:`~repro.exceptions.StaleIndexError` when the space
+        topology mutated after this framework was built.
+
+        Every indexed query calls this on entry, so a stale M_d2d / DPT can
+        never silently answer for a changed building.
+        """
+        current = self.space.topology_epoch
+        if self.built_epoch != current:
+            raise StaleIndexError(
+                f"index built at topology epoch {self.built_epoch} but the "
+                f"space is now at epoch {current}; rebuild the framework",
+                built_epoch=self.built_epoch,
+                current_epoch=current,
+            )
+
+    def rebuild(self) -> "IndexFramework":
+        """Recompute every index structure against the space's current
+        topology, carrying the object population over.
+
+        Returns a fresh framework; the original is left untouched so callers
+        can swap atomically.
+        """
+        return IndexFramework.build(
+            self.space, list(self.objects), self.objects.cell_size
         )
 
     @property

@@ -10,8 +10,11 @@ pluggable spatial index — the query engine installs an R-tree) and ``dist_v``
 :class:`IndoorSpaceBuilder` offers a forgiving construction API and performs
 all validation at :meth:`~IndoorSpaceBuilder.build` time.
 
-*"Immutable" in the conventional sense: nothing in the library mutates a
-built space, and derived caches are transparent.
+*"Immutable" in the conventional sense: queries never mutate a built space,
+and derived caches are transparent.  Explicit topology mutation (adding /
+removing doors or partitions on a live space) is supported and bumps the
+space's :attr:`~IndoorSpace.topology_epoch`, which marks previously built
+index frameworks stale (see :mod:`repro.runtime`).
 """
 
 from __future__ import annotations
@@ -26,6 +29,17 @@ from repro.model.topology import Topology
 
 #: Signature of a pluggable host-partition locator: point -> partition id or None.
 PartitionLocator = Callable[[Point], Optional[int]]
+
+
+def _make_door(door_id: int, geometry, name: str = "") -> Door:
+    """Construct a :class:`Door` from a Point (zero-width) or Segment."""
+    if isinstance(geometry, Point):
+        return Door.at_point(door_id, geometry, name)
+    if isinstance(geometry, Segment):
+        return Door(door_id, geometry, name)
+    raise ModelError(
+        f"door geometry must be a Point or Segment, got {type(geometry)!r}"
+    )
 
 
 class IndoorSpace:
@@ -43,6 +57,7 @@ class IndoorSpace:
         self._accessibility: Optional[AccessibilityGraph] = None
         self._distance_graph = None  # constructed lazily to avoid import cycle
         self._locator: Optional[PartitionLocator] = None
+        self._topology_epoch = 0
 
     # ------------------------------------------------------------------
     # Entity access
@@ -100,6 +115,87 @@ class IndoorSpace:
     def partitions_on_floor(self, floor: int) -> List[Partition]:
         """Partitions whose span includes ``floor``."""
         return [p for p in self.partitions() if floor in p.floors]
+
+    # ------------------------------------------------------------------
+    # Topology mutation and staleness epochs
+    # ------------------------------------------------------------------
+    @property
+    def topology_epoch(self) -> int:
+        """Monotone counter bumped by every door / partition mutation.
+
+        Index structures record the epoch they were built at
+        (:attr:`repro.index.IndexFramework.built_epoch`); a mismatch means
+        the indexes describe an older topology and indexed queries raise
+        :class:`~repro.exceptions.StaleIndexError`.
+        """
+        return self._topology_epoch
+
+    def _bump_topology_epoch(self) -> None:
+        """Invalidate derived graphs and advance the epoch after a mutation."""
+        self._topology_epoch += 1
+        self._accessibility = None
+        self._distance_graph = None
+
+    def add_partition(
+        self,
+        partition_id: int,
+        polygon: Polygon,
+        kind: PartitionKind = PartitionKind.ROOM,
+        name: str = "",
+        obstacles: Tuple[Polygon, ...] = (),
+        stair_length: Optional[float] = None,
+    ) -> Partition:
+        """Register a new (initially door-less) partition on a built space.
+
+        Bumps the topology epoch: existing indexes become stale.
+        """
+        if partition_id in self._partitions:
+            raise ModelError(f"duplicate partition id {partition_id}")
+        partition = Partition(
+            partition_id, polygon, kind, name, tuple(obstacles), stair_length
+        )
+        self._partitions[partition_id] = partition
+        self._topology.add_partition(partition_id)
+        self._bump_topology_epoch()
+        return partition
+
+    def add_door(
+        self,
+        door_id: int,
+        geometry,
+        connects: Tuple[int, int],
+        one_way: bool = False,
+        name: str = "",
+    ) -> Door:
+        """Open a new door on a built space (same contract as the builder's
+        :meth:`IndoorSpaceBuilder.add_door`).
+
+        Bumps the topology epoch: existing indexes become stale.
+        """
+        if door_id in self._doors:
+            raise ModelError(f"duplicate door id {door_id}")
+        door = _make_door(door_id, geometry, name)
+        from_partition, to_partition = connects
+        self._topology.connect(
+            door_id, from_partition, to_partition, bidirectional=not one_way
+        )
+        self._doors[door_id] = door
+        self._bump_topology_epoch()
+        return door
+
+    def remove_door(self, door_id: int) -> Door:
+        """Remove a door (closed for maintenance, demolished, ...).
+
+        Bumps the topology epoch: existing indexes become stale.
+
+        Returns:
+            The removed door entity.
+        """
+        door = self.door(door_id)
+        self._topology.disconnect(door_id)
+        del self._doors[door_id]
+        self._bump_topology_epoch()
+        return door
 
     # ------------------------------------------------------------------
     # Derived graphs
@@ -235,14 +331,7 @@ class IndoorSpaceBuilder:
         """
         if door_id in self._doors:
             raise ModelError(f"duplicate door id {door_id}")
-        if isinstance(geometry, Point):
-            door = Door.at_point(door_id, geometry, name)
-        elif isinstance(geometry, Segment):
-            door = Door(door_id, geometry, name)
-        else:
-            raise ModelError(
-                f"door geometry must be a Point or Segment, got {type(geometry)!r}"
-            )
+        door = _make_door(door_id, geometry, name)
         from_partition, to_partition = connects
         self._topology.connect(
             door_id, from_partition, to_partition, bidirectional=not one_way

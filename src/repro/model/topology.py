@@ -83,6 +83,18 @@ class Topology:
             self._leaveable_doors[from_p].add(door_id)
             self._enterable_doors[to_p].add(door_id)
 
+    def disconnect(self, door_id: int) -> None:
+        """Remove a door from the mapping entirely (all its edges).
+
+        Raises:
+            UnknownEntityError: if the door was never connected.
+        """
+        self._require_door(door_id)
+        edges = self._d2p.pop(door_id)
+        for from_p, to_p in edges:
+            self._leaveable_doors[from_p].discard(door_id)
+            self._enterable_doors[to_p].discard(door_id)
+
     # ------------------------------------------------------------------
     # The fundamental mapping and its derivations (paper Eq. 1-5)
     # ------------------------------------------------------------------

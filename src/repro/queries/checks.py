@@ -1,0 +1,30 @@
+"""Shared query-argument validation.
+
+NaN is the nastiest query input: every ``<=`` budget comparison against it
+is false, so a NaN radius or coordinate silently turns a range query into
+garbage instead of an error.  These helpers reject non-finite inputs at the
+query boundary with :class:`~repro.exceptions.QueryError`.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.exceptions import QueryError
+from repro.geometry import Point
+
+
+def require_finite(value: float, what: str) -> float:
+    """Reject NaN and ±inf with a :class:`QueryError` naming the argument."""
+    if not math.isfinite(value):
+        raise QueryError(f"{what} must be finite, got {value}")
+    return value
+
+
+def require_finite_position(position: Point, what: str = "query position") -> Point:
+    """Reject positions with NaN / infinite coordinates."""
+    if not (math.isfinite(position.x) and math.isfinite(position.y)):
+        raise QueryError(
+            f"{what} must have finite coordinates, got {position}"
+        )
+    return position

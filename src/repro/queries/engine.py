@@ -8,7 +8,7 @@ examples and benchmarks drive the library through this class.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Iterable, List, Optional, Tuple
 
 from repro.distance.door_count import DoorCountResult, door_count_pt2pt
 from repro.distance.path import IndoorPath
@@ -24,8 +24,13 @@ from repro.queries.advanced import (
     distances_to_all_objects,
     range_query_with_distances,
 )
+from repro.queries.checks import require_finite_position
 from repro.queries.knn_query import knn_query, nn_query
 from repro.queries.range_query import range_query
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.deadline import Deadline
+    from repro.runtime.resilient import ResilientQueryEngine
 
 
 class QueryEngine:
@@ -67,9 +72,20 @@ class QueryEngine:
         """The underlying indoor space."""
         return self.framework.space
 
-    def distance(self, source: Point, target: Point) -> float:
-        """Minimum indoor walking distance between two positions."""
-        return pt2pt_distance(self.space, source, target)
+    def distance(
+        self,
+        source: Point,
+        target: Point,
+        deadline: Optional["Deadline"] = None,
+    ) -> float:
+        """Minimum indoor walking distance between two positions.
+
+        Raises:
+            QueryError: when either position has NaN / infinite coordinates.
+        """
+        require_finite_position(source, "source position")
+        require_finite_position(target, "target position")
+        return pt2pt_distance(self.space, source, target, deadline=deadline)
 
     def shortest_path(self, source: Point, target: Point) -> IndoorPath:
         """Shortest indoor path with its door / partition sequence."""
@@ -87,22 +103,41 @@ class QueryEngine:
     # Queries (§V)
     # ------------------------------------------------------------------
     def range_query(
-        self, position: Point, radius: float, use_index: bool = True
+        self,
+        position: Point,
+        radius: float,
+        use_index: bool = True,
+        deadline: Optional["Deadline"] = None,
     ) -> List[int]:
         """Algorithm 5: ids of all objects within ``radius`` of ``position``."""
-        return range_query(self.framework, position, radius, use_index)
+        return range_query(self.framework, position, radius, use_index, deadline)
 
     def knn(
-        self, position: Point, k: int = 1, use_index: bool = True
+        self,
+        position: Point,
+        k: int = 1,
+        use_index: bool = True,
+        deadline: Optional["Deadline"] = None,
     ) -> List[Tuple[int, float]]:
         """Algorithm 6 (k extension): the k nearest objects with distances."""
-        return knn_query(self.framework, position, k, use_index)
+        return knn_query(self.framework, position, k, use_index, deadline)
 
     def nearest_neighbor(
-        self, position: Point, use_index: bool = True
+        self,
+        position: Point,
+        use_index: bool = True,
+        deadline: Optional["Deadline"] = None,
     ) -> Optional[Tuple[int, float]]:
         """The single nearest object, or ``None`` when none is reachable."""
-        return nn_query(self.framework, position, use_index)
+        return nn_query(self.framework, position, use_index, deadline)
+
+    def resilient(self, **options) -> "ResilientQueryEngine":
+        """Wrap this engine in the hardened runtime facade (deadlines,
+        degradation ladder, staleness handling); see
+        :class:`repro.runtime.ResilientQueryEngine` for the options."""
+        from repro.runtime.resilient import ResilientQueryEngine
+
+        return ResilientQueryEngine(self, **options)
 
     # ------------------------------------------------------------------
     # Composite queries (§VII building-block compositions)

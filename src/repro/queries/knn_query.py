@@ -17,11 +17,15 @@ from __future__ import annotations
 
 import bisect
 import math
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.exceptions import QueryError
 from repro.geometry import Point
 from repro.index.framework import IndexFramework
+from repro.queries.checks import require_finite_position
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.deadline import Deadline
 
 
 class _TopK:
@@ -61,6 +65,7 @@ def knn_query(
     position: Point,
     k: int,
     use_index: bool = True,
+    deadline: Optional["Deadline"] = None,
 ) -> List[Tuple[int, float]]:
     """The k objects nearest to ``position`` by indoor walking distance.
 
@@ -70,13 +75,25 @@ def knn_query(
         k: how many neighbours; must be >= 1.
         use_index: scan doors through M_idx (sorted, early-terminating) or
             through the raw M_d2d row (the paper's no-index baseline).
+        deadline: optional cooperative time budget, checked once per door
+            scanned; raises
+            :class:`~repro.exceptions.DeadlineExceededError` on expiry.
 
     Returns:
         Up to ``k`` pairs ``(object_id, distance)``, nearest first (fewer
         when the building holds fewer reachable objects).
+
+    Raises:
+        QueryError: for k < 1 or a non-finite query position.
+        StaleIndexError: when the space topology mutated after the
+            framework was built.
     """
     if k < 1:
         raise QueryError(f"k must be >= 1, got {k}")
+    require_finite_position(position)
+    framework.check_fresh()
+    if deadline is not None:
+        deadline.check("kNN query")
     space = framework.space
     host = space.require_host_partition(position)
     store = framework.objects
@@ -88,6 +105,8 @@ def knn_query(
             top.offer(object_id, distance)
 
     for di in sorted(space.topology.leaveable_doors(host.partition_id)):
+        if deadline is not None:
+            deadline.check("kNN query")
         to_door = space.dist_v(position, di, host)
         if math.isinf(to_door):
             continue
@@ -96,6 +115,8 @@ def knn_query(
         else:
             scan = framework.distance_index.doors_unsorted(di)
         for dj, door_distance in scan:
+            if deadline is not None:
+                deadline.check("kNN query")
             reach = to_door + door_distance
             if reach > top.bound:
                 if use_index:
@@ -118,9 +139,14 @@ def knn_query(
 
 
 def nn_query(
-    framework: IndexFramework, position: Point, use_index: bool = True
+    framework: IndexFramework,
+    position: Point,
+    use_index: bool = True,
+    deadline: Optional["Deadline"] = None,
 ) -> Optional[Tuple[int, float]]:
     """The single nearest neighbour (Algorithm 6 with k = 1), or ``None``
     when no object is reachable."""
-    result = knn_query(framework, position, k=1, use_index=use_index)
+    result = knn_query(
+        framework, position, k=1, use_index=use_index, deadline=deadline
+    )
     return result[0] if result else None

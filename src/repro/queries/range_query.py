@@ -21,11 +21,15 @@ searched more than once — the union semantics below handles that naturally.
 
 from __future__ import annotations
 
-from typing import List, Set
+from typing import TYPE_CHECKING, List, Optional, Set
 
 from repro.exceptions import QueryError
 from repro.geometry import Point
 from repro.index.framework import IndexFramework
+from repro.queries.checks import require_finite, require_finite_position
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.deadline import Deadline
 
 
 def range_query(
@@ -33,21 +37,36 @@ def range_query(
     position: Point,
     radius: float,
     use_index: bool = True,
+    deadline: Optional["Deadline"] = None,
 ) -> List[int]:
     """All object ids within walking distance ``radius`` of ``position``.
 
     Args:
         framework: the §IV index structures.
         position: the query position ``q`` (must lie in some partition).
-        radius: the range ``r`` in metres; must be non-negative.
+        radius: the range ``r`` in metres; must be finite and non-negative.
         use_index: scan doors through M_idx (sorted, early-terminating) or
             through the raw M_d2d row (the paper's no-index baseline).
+        deadline: optional cooperative time budget, checked once per door
+            scanned; raises
+            :class:`~repro.exceptions.DeadlineExceededError` on expiry.
 
     Returns:
         Sorted object ids (each object reported once).
+
+    Raises:
+        QueryError: for a negative / NaN / infinite radius or a non-finite
+            query position.
+        StaleIndexError: when the space topology mutated after the
+            framework was built.
     """
+    require_finite_position(position)
+    require_finite(radius, "range radius")
     if radius < 0:
         raise QueryError(f"range radius must be non-negative, got {radius}")
+    framework.check_fresh()
+    if deadline is not None:
+        deadline.check("range query")
     space = framework.space
     host = space.require_host_partition(position)
     store = framework.objects
@@ -58,6 +77,8 @@ def range_query(
         results.update(oid for oid, _ in bucket.range_search(position, radius))
 
     for di in sorted(space.topology.leaveable_doors(host.partition_id)):
+        if deadline is not None:
+            deadline.check("range query")
         budget = radius - space.dist_v(position, di, host)
         if budget < 0:
             continue
@@ -68,6 +89,8 @@ def range_query(
         else:
             scan = framework.distance_index.doors_unsorted(di)
         for dj, door_distance in scan:
+            if deadline is not None:
+                deadline.check("range query")
             if door_distance > budget:
                 continue  # only reachable on the unsorted scan
             remaining = budget - door_distance

@@ -1,0 +1,56 @@
+"""Resilient query runtime (robustness layer over §IV-V).
+
+The paper assumes pristine precomputed indexes and unbounded query time;
+this package is what a production deployment needs when neither holds:
+
+* :mod:`~repro.runtime.deadline` — cooperative per-query time budgets
+  (:class:`Deadline`) threaded through the query hot loops;
+* :mod:`~repro.runtime.ladder` — the graceful-degradation ladder
+  (:class:`QualityLevel`, :class:`ResilientResult`): exact indexed →
+  exact index-free → door-count lattice → Euclidean lower bound;
+* :mod:`~repro.runtime.retry` — bounded retry-with-rebuild for stale
+  indexes (:class:`RetryPolicy`);
+* :mod:`~repro.runtime.integrity` — M_d2d / DPT invariant checks
+  (:func:`check_index_integrity`), also surfaced as ``repro doctor``;
+* :mod:`~repro.runtime.faults` — a deterministic fault-injection harness
+  (corrupt matrix entries, dropped DPT records, mid-query index loss);
+* :mod:`~repro.runtime.resilient` — :class:`ResilientQueryEngine`, the
+  hardened facade tying all of it together.
+
+See ``docs/robustness.md`` for semantics and a fault-injection cookbook.
+"""
+
+from repro.runtime.deadline import Deadline, DeadlineLike, as_deadline
+from repro.runtime.faults import (
+    FaultHandle,
+    FlakyDistanceIndex,
+    corrupt_md2d,
+    drop_dpt_records,
+    install_flaky_distance_index,
+)
+from repro.runtime.integrity import (
+    check_index_integrity,
+    require_index_integrity,
+)
+from repro.runtime.ladder import QualityLevel, ResilientResult, RungFailure
+from repro.runtime.resilient import ResilientQueryEngine
+from repro.runtime.retry import NO_REBUILD, RetryPolicy
+
+__all__ = [
+    "Deadline",
+    "DeadlineLike",
+    "as_deadline",
+    "QualityLevel",
+    "ResilientResult",
+    "RungFailure",
+    "ResilientQueryEngine",
+    "RetryPolicy",
+    "NO_REBUILD",
+    "check_index_integrity",
+    "require_index_integrity",
+    "FaultHandle",
+    "FlakyDistanceIndex",
+    "corrupt_md2d",
+    "drop_dpt_records",
+    "install_flaky_distance_index",
+]

@@ -1,0 +1,103 @@
+"""Cooperative per-query time budgets.
+
+A :class:`Deadline` is a wall-clock budget created when a query is admitted
+and *threaded through* the query's hot loops: the door-expansion loops of
+range / kNN processing and the Dijkstra loops of position-to-position
+distance evaluation call :meth:`Deadline.check` once per iteration and bail
+out with :class:`~repro.exceptions.DeadlineExceededError` the moment the
+budget is gone.  Nothing is interrupted pre-emptively — a pathological plan
+can therefore overshoot by at most one loop iteration, never hang.
+
+The clock is injectable so tests can drive deadlines deterministically::
+
+    clock = FakeClock()
+    deadline = Deadline(5.0, clock=clock)
+    clock.advance(6.0)
+    assert deadline.expired
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Callable, Optional, Union
+
+from repro.exceptions import DeadlineExceededError, QueryError
+
+
+class Deadline:
+    """A cooperative time budget for one query.
+
+    Args:
+        budget: seconds allowed from *now*; ``0`` is legal and expires
+            immediately (useful to probe "would this query even start").
+            ``math.inf`` never expires.
+        clock: monotonic-time source, injectable for deterministic tests.
+
+    Raises:
+        QueryError: if ``budget`` is negative or NaN.
+    """
+
+    __slots__ = ("budget", "_clock", "_expires_at")
+
+    def __init__(
+        self,
+        budget: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if math.isnan(budget) or budget < 0:
+            raise QueryError(
+                f"deadline budget must be a non-negative number, got {budget}"
+            )
+        self.budget = float(budget)
+        self._clock = clock
+        self._expires_at = clock() + budget
+
+    @classmethod
+    def unbounded(cls) -> "Deadline":
+        """A deadline that never expires (checks are near-free)."""
+        return cls(math.inf)
+
+    def remaining(self) -> float:
+        """Seconds left before expiry (negative once expired)."""
+        if math.isinf(self._expires_at):
+            return math.inf
+        return self._expires_at - self._clock()
+
+    @property
+    def expired(self) -> bool:
+        """True once the budget has been consumed."""
+        if math.isinf(self._expires_at):
+            return False
+        return self._clock() >= self._expires_at
+
+    def check(self, what: str = "query") -> None:
+        """Raise :class:`DeadlineExceededError` when the budget is gone.
+
+        Called from hot loops; the non-expired path is one clock read and
+        one comparison.
+        """
+        if self.expired:
+            raise DeadlineExceededError(
+                f"{what} exceeded its {self.budget:g}s deadline",
+                budget=self.budget,
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Deadline(budget={self.budget:g}, remaining={self.remaining():g})"
+
+
+#: What callers may pass wherever a deadline is accepted: an existing
+#: :class:`Deadline`, a plain number of seconds, or ``None`` (no limit).
+DeadlineLike = Union["Deadline", float, int, None]
+
+
+def as_deadline(value: DeadlineLike) -> Optional[Deadline]:
+    """Coerce a user-facing deadline argument to a :class:`Deadline`.
+
+    ``None`` stays ``None`` (the query functions skip checks entirely);
+    a number becomes a fresh budget of that many seconds.
+    """
+    if value is None or isinstance(value, Deadline):
+        return value
+    return Deadline(float(value))

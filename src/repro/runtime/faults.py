@@ -1,0 +1,208 @@
+"""Deterministic fault injection for the §IV index structures.
+
+Production indexes fail in undramatic ways: a bad flush leaves NaNs in a
+distance matrix, a partial rebuild drops Door-to-Partition records, a
+memory-pressure eviction loses the matrix mid-query.  This harness injects
+exactly those faults into a live :class:`~repro.index.IndexFramework` so
+the degradation ladder and integrity checks are testable rather than
+aspirational:
+
+* :func:`corrupt_md2d` — seed-deterministically poison M_d2d entries with
+  NaN, negative, or symmetry-breaking values;
+* :func:`drop_dpt_records` — remove DPT records (queries expanding through
+  the affected doors raise ``UnknownEntityError``);
+* :func:`install_flaky_distance_index` — let the matrix serve ``fail_after``
+  lookups and then raise :class:`~repro.exceptions.CorruptIndexError`,
+  simulating mid-query index loss.
+
+Every injector returns a :class:`FaultHandle` whose :meth:`~FaultHandle.undo`
+restores the framework exactly, so a test can sweep many faults over one
+expensive fixture.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import CorruptIndexError
+from repro.index.framework import IndexFramework
+
+#: The three supported M_d2d corruption modes.
+MD2D_MODES = ("nan", "negative", "asymmetric")
+
+
+@dataclass
+class FaultHandle:
+    """An injected fault that can be reverted.
+
+    Attributes:
+        description: human-readable summary of what was injected.
+        cells: the ``(row, column)`` matrix cells touched (M_d2d faults) or
+            ``()`` for structural faults.
+    """
+
+    description: str
+    cells: Tuple[Tuple[int, int], ...] = ()
+    _undo: Callable[[], None] = field(default=lambda: None, repr=False)
+    _active: bool = field(default=True, repr=False)
+
+    def undo(self) -> None:
+        """Restore the framework to its pre-fault state (idempotent)."""
+        if self._active:
+            self._undo()
+            self._active = False
+
+
+def _corruptible_cells(
+    matrix: np.ndarray, rng: random.Random, count: int
+) -> List[Tuple[int, int]]:
+    """Pick ``count`` distinct finite off-diagonal cells, seed-determined."""
+    finite = np.argwhere(np.isfinite(matrix))
+    candidates = [(int(i), int(j)) for i, j in finite if i != j]
+    if len(candidates) < count:
+        raise ValueError(
+            f"matrix has only {len(candidates)} corruptible cells, "
+            f"{count} requested"
+        )
+    return rng.sample(candidates, count)
+
+
+def corrupt_md2d(
+    framework: IndexFramework,
+    mode: str = "nan",
+    count: int = 1,
+    seed: int = 0,
+) -> FaultHandle:
+    """Poison ``count`` M_d2d entries in place.
+
+    Args:
+        framework: the victim framework (its matrix is mutated in place).
+        mode: ``"nan"`` writes NaN, ``"negative"`` writes a negative
+            distance, ``"asymmetric"`` perturbs one triangle so
+            ``M[i, j] != M[j, i]``.
+        count: how many distinct off-diagonal finite cells to poison.
+        seed: RNG seed — the same seed always poisons the same cells.
+    """
+    if mode not in MD2D_MODES:
+        raise ValueError(f"mode must be one of {MD2D_MODES}, got {mode!r}")
+    matrix = framework.distance_index.md2d
+    rng = random.Random(seed)
+    cells = _corruptible_cells(matrix, rng, count)
+    saved = [(i, j, float(matrix[i, j])) for i, j in cells]
+    for i, j in cells:
+        if mode == "nan":
+            matrix[i, j] = np.nan
+        elif mode == "negative":
+            matrix[i, j] = -abs(matrix[i, j]) - 1.0
+        else:  # asymmetric: shift one direction only
+            matrix[i, j] = matrix[i, j] + 7.5
+
+    def restore() -> None:
+        for i, j, value in saved:
+            matrix[i, j] = value
+
+    return FaultHandle(
+        f"corrupt_md2d(mode={mode}, count={count}, seed={seed})",
+        cells=tuple(cells),
+        _undo=restore,
+    )
+
+
+def drop_dpt_records(
+    framework: IndexFramework,
+    door_ids: Optional[Iterable[int]] = None,
+    count: int = 1,
+    seed: int = 0,
+) -> FaultHandle:
+    """Remove Door-to-Partition records, as a partial rebuild would.
+
+    Args:
+        framework: the victim framework (its ``dpt`` is swapped for a copy
+            missing the records; the original table is kept for undo).
+        door_ids: exactly which records to drop; when ``None``, ``count``
+            records are chosen seed-deterministically.
+        count: how many records to drop when ``door_ids`` is ``None``.
+        seed: RNG seed for the selection.
+    """
+    original = framework.dpt
+    if door_ids is None:
+        available = original.door_ids
+        if len(available) < count:
+            raise ValueError(
+                f"DPT has only {len(available)} records, {count} requested"
+            )
+        door_ids = random.Random(seed).sample(available, count)
+    dropped = sorted(set(door_ids))
+    framework.dpt = original.without(dropped)
+
+    def restore() -> None:
+        framework.dpt = original
+
+    return FaultHandle(f"drop_dpt_records({dropped})", _undo=restore)
+
+
+class FlakyDistanceIndex:
+    """A distance-index proxy that dies after ``fail_after`` lookups.
+
+    Lookup methods (``distance``, ``doors_by_distance``, ``doors_unsorted``)
+    count accesses — including per-door yields of the scan iterators, so a
+    query can lose the index *mid-scan* — and raise
+    :class:`CorruptIndexError` once the budget is spent.  Everything else
+    (``md2d``, ``door_ids``, ...) delegates to the real index, so integrity
+    pre-checks pass and the loss genuinely strikes mid-query.
+    """
+
+    def __init__(self, inner, fail_after: int) -> None:
+        self._inner = inner
+        self._remaining = fail_after
+
+    def _spend(self) -> None:
+        if self._remaining <= 0:
+            raise CorruptIndexError(
+                "injected fault: distance matrix lost mid-query"
+            )
+        self._remaining -= 1
+
+    def distance(self, from_door: int, to_door: int) -> float:
+        """M_d2d lookup that counts against the failure budget."""
+        self._spend()
+        return self._inner.distance(from_door, to_door)
+
+    def doors_by_distance(self, from_door: int, max_distance=None):
+        """Sorted scan whose every yield counts against the budget."""
+        for pair in self._inner.doors_by_distance(from_door, max_distance):
+            self._spend()
+            yield pair
+
+    def doors_unsorted(self, from_door: int):
+        """Unsorted scan whose every yield counts against the budget."""
+        for pair in self._inner.doors_unsorted(from_door):
+            self._spend()
+            yield pair
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+def install_flaky_distance_index(
+    framework: IndexFramework, fail_after: int = 0
+) -> FaultHandle:
+    """Make the distance matrix disappear after ``fail_after`` lookups.
+
+    ``fail_after=0`` loses the matrix on the very first door lookup — the
+    "index evicted between admission and execution" scenario.
+    """
+    original = framework.distance_index
+    framework.distance_index = FlakyDistanceIndex(original, fail_after)
+
+    def restore() -> None:
+        framework.distance_index = original
+
+    return FaultHandle(
+        f"install_flaky_distance_index(fail_after={fail_after})",
+        _undo=restore,
+    )

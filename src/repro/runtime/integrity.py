@@ -1,0 +1,196 @@
+"""Index-integrity diagnostics: is this framework safe to answer from?
+
+:func:`check_index_integrity` verifies the §IV structures against their
+invariants:
+
+* **M_d2d finiteness** — no NaN entries (``inf`` is legal: it encodes
+  unreachability between doors);
+* **M_d2d non-negativity** — walking distances cannot be negative;
+* **M_d2d zero diagonal** — a door is at distance 0 from itself;
+* **M_d2d symmetry** — only enforced when the space has no one-way doors
+  (directional doors legitimately make the matrix asymmetric, the paper's
+  Figure-3 remark);
+* **M_idx coherence** — every M_d2d row gathered in its M_idx scan order
+  must be non-descending.  True by construction at build time, and broken
+  by any in-place edit of M_d2d values, so this catches tampering that the
+  symmetry check legitimately cannot see on plans with one-way doors;
+* **DPT completeness** — every door of the space has a Door-to-Partition
+  record;
+* **epoch freshness** — the framework was built at the space's current
+  topology epoch (optional, on by default).
+
+Findings are reported as :class:`repro.model.validation.Issue` values so the
+``repro doctor`` CLI can render floor-plan lint and index health in one
+report.  :func:`require_index_integrity` converts error-severity findings
+into :class:`~repro.exceptions.CorruptIndexError` /
+:class:`~repro.exceptions.StaleIndexError` for programmatic use — the
+resilient engine calls it before trusting the exact indexed rung.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.exceptions import CorruptIndexError
+from repro.index.framework import IndexFramework
+from repro.model.validation import Issue, Severity
+
+#: Absolute tolerance for the symmetry comparison (metres).
+SYMMETRY_TOLERANCE = 1e-6
+
+
+def check_index_integrity(
+    framework: IndexFramework, include_stale: bool = True
+) -> List[Issue]:
+    """Run every index invariant check; errors first.
+
+    Args:
+        framework: the index structures to audit.
+        include_stale: also flag an epoch mismatch between the framework and
+            its space (disable when staleness is handled separately).
+    """
+    issues: List[Issue] = []
+    space = framework.space
+
+    if include_stale and not framework.is_fresh:
+        issues.append(
+            Issue(
+                Severity.ERROR,
+                "index-stale",
+                f"indexes built at topology epoch {framework.built_epoch} "
+                f"but the space is at epoch {space.topology_epoch}",
+            )
+        )
+
+    matrix = framework.distance_index.md2d
+    nan_count = int(np.isnan(matrix).sum())
+    if nan_count:
+        issues.append(
+            Issue(
+                Severity.ERROR,
+                "md2d-nan",
+                f"M_d2d holds {nan_count} NaN entr"
+                f"{'y' if nan_count == 1 else 'ies'}; every distance "
+                "comparison against them is silently false",
+            )
+        )
+    negative_count = int((matrix < 0).sum())
+    if negative_count:
+        issues.append(
+            Issue(
+                Severity.ERROR,
+                "md2d-negative",
+                f"M_d2d holds {negative_count} negative entr"
+                f"{'y' if negative_count == 1 else 'ies'}; walking distances "
+                "must be non-negative",
+            )
+        )
+    diagonal = np.diagonal(matrix)
+    bad_diagonal = int((~(diagonal == 0.0)).sum())
+    if bad_diagonal:
+        issues.append(
+            Issue(
+                Severity.ERROR,
+                "md2d-diagonal",
+                f"{bad_diagonal} diagonal entr"
+                f"{'y is' if bad_diagonal == 1 else 'ies are'} non-zero; "
+                "every door is at distance 0 from itself",
+            )
+        )
+
+    if matrix.size:
+        # M_idx was argsorted from M_d2d at build time, so gathering each
+        # row in scan order must give a non-descending sequence.  Any
+        # in-place value edit breaks this — even ones the symmetry check
+        # cannot flag because the plan has one-way doors.  NaN diffs
+        # compare false and are reported by the NaN check instead.
+        gathered = np.take_along_axis(
+            matrix, framework.distance_index.scan_order, axis=1
+        )
+        with np.errstate(invalid="ignore"):
+            disorder = int(
+                (np.diff(gathered, axis=1) < -SYMMETRY_TOLERANCE).sum()
+            )
+        if disorder:
+            issues.append(
+                Issue(
+                    Severity.ERROR,
+                    "midx-disorder",
+                    f"M_idx scan order disagrees with M_d2d at {disorder} "
+                    f"position{'' if disorder == 1 else 's'}; the sorted "
+                    "early-termination scan would miss doors",
+                )
+            )
+
+    has_one_way = any(
+        space.topology.is_unidirectional(d) for d in space.topology.door_ids
+    )
+    if not has_one_way and matrix.size:
+        transposed = matrix.T
+        finite_both = np.isfinite(matrix) & np.isfinite(transposed)
+        mismatch = finite_both & (
+            np.abs(matrix - transposed) > SYMMETRY_TOLERANCE
+        )
+        # An inf on one side only is also asymmetric.
+        mismatch |= np.isinf(matrix) != np.isinf(transposed)
+        asymmetric = int(mismatch.sum())
+        if asymmetric:
+            issues.append(
+                Issue(
+                    Severity.ERROR,
+                    "md2d-asymmetric",
+                    f"M_d2d is asymmetric in {asymmetric} entr"
+                    f"{'y' if asymmetric == 1 else 'ies'} although the plan "
+                    "has no one-way doors",
+                )
+            )
+
+    missing = [
+        d for d in space.topology.door_ids if not framework.dpt.has_record(d)
+    ]
+    if missing:
+        issues.append(
+            Issue(
+                Severity.ERROR,
+                "dpt-missing",
+                f"DPT lacks records for doors {missing}; range/kNN expansion "
+                "through them would fail",
+            )
+        )
+
+    matrix_doors = set(framework.distance_index.door_ids)
+    space_doors = set(space.topology.door_ids)
+    if matrix_doors != space_doors:
+        issues.append(
+            Issue(
+                Severity.ERROR,
+                "md2d-door-mismatch",
+                f"M_d2d covers doors {sorted(matrix_doors)} but the space "
+                f"has {sorted(space_doors)}",
+            )
+        )
+
+    issues.sort(key=lambda issue: (issue.severity is not Severity.ERROR,))
+    return issues
+
+
+def require_index_integrity(
+    framework: IndexFramework, include_stale: bool = False
+) -> None:
+    """Raise :class:`CorruptIndexError` when any error-severity invariant
+    fails (staleness is reported via ``check_fresh`` separately by default).
+    """
+    if include_stale:
+        framework.check_fresh()
+    errors = [
+        issue
+        for issue in check_index_integrity(framework, include_stale=False)
+        if issue.severity is Severity.ERROR
+    ]
+    if errors:
+        raise CorruptIndexError(
+            "index integrity check failed: "
+            + "; ".join(f"{issue.code}: {issue.message}" for issue in errors)
+        )

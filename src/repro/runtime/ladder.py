@@ -1,0 +1,195 @@
+"""The graceful-degradation ladder: answer quality as an explicit dimension.
+
+When the exact indexed path is unavailable — M_d2d corrupt, DPT records
+missing, indexes stale and rebuild disabled, or the deadline too tight —
+the resilient engine does not fail the query; it *descends* a ladder of
+evaluation strategies, each cheaper in assumptions than the last:
+
+====================  =====================================================
+rung                  what it needs / what it guarantees
+====================  =====================================================
+``EXACT_INDEXED``     M_d2d + M_idx + DPT + grid buckets; exact answer.
+``EXACT_FALLBACK``    only the space graph and the object directory;
+                      per-object exact pt2pt evaluation (the paper's
+                      index-free baseline).  Still exact, just slower.
+``DOOR_COUNT``        the Li & Lee lattice baseline: path quality measured
+                      in doors crossed, walking distance of the chosen
+                      (fewest-doors) path as the reported value — an upper
+                      bound, so a range filter on it never includes a
+                      false positive.
+``EUCLIDEAN``         straight-line distance, a lower bound on any indoor
+                      walk — never misses a true range member, may include
+                      extras; kNN order is heuristic.
+====================  =====================================================
+
+Every answer is tagged with the :class:`QualityLevel` it was produced at,
+so callers can distinguish "exact" from "best effort under failure".
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Any, List, Optional, Tuple
+
+from repro.distance.door_count import door_count_pt2pt
+from repro.distance.point_to_point import pt2pt_distance_refined
+from repro.exceptions import ReproError
+from repro.geometry import Point
+from repro.index.framework import IndexFramework
+from repro.runtime.deadline import Deadline
+
+
+class QualityLevel(enum.IntEnum):
+    """How trustworthy a query answer is; higher is better.
+
+    ``IntEnum`` so callers can write
+    ``result.quality >= QualityLevel.EXACT_FALLBACK`` to mean "exact by
+    either path".
+    """
+
+    EUCLIDEAN = 1
+    DOOR_COUNT = 2
+    EXACT_FALLBACK = 3
+    EXACT_INDEXED = 4
+
+    @property
+    def is_exact(self) -> bool:
+        """True for the two rungs that return paper-exact answers."""
+        return self >= QualityLevel.EXACT_FALLBACK
+
+
+@dataclass(frozen=True)
+class RungFailure:
+    """Why one ladder rung could not answer."""
+
+    level: QualityLevel
+    error: ReproError
+
+    def __str__(self) -> str:
+        return f"{self.level.name}: {type(self.error).__name__}: {self.error}"
+
+
+@dataclass(frozen=True)
+class ResilientResult:
+    """A query answer plus the provenance of its quality.
+
+    Attributes:
+        value: the rung's answer (result-set / pair list / distance).
+        quality: the ladder rung that produced ``value``.
+        failures: every higher rung that was tried and failed, in order.
+        rebuilt: True when a stale index was rebuilt to serve this query.
+    """
+
+    value: Any
+    quality: QualityLevel
+    failures: Tuple[RungFailure, ...] = ()
+    rebuilt: bool = False
+
+    @property
+    def degraded(self) -> bool:
+        """True when the answer came from below the exact indexed rung."""
+        return self.quality is not QualityLevel.EXACT_INDEXED
+
+
+def euclidean_lower_bound(source: Point, target: Point) -> float:
+    """Straight-line planar distance — a lower bound on any indoor walk.
+
+    Sound across floors too: the planar projection of a multi-floor path is
+    a curve joining the two planar points, so the walk is at least as long
+    as the straight line between them.
+    """
+    return math.hypot(source.x - target.x, source.y - target.y)
+
+
+# ----------------------------------------------------------------------
+# Lower-rung query evaluators.  The exact rungs live in repro.queries; the
+# evaluators below are the DOOR_COUNT and EUCLIDEAN rungs, deadline-aware.
+# ----------------------------------------------------------------------
+def door_count_range(
+    framework: IndexFramework,
+    position: Point,
+    radius: float,
+    deadline: Optional[Deadline] = None,
+) -> List[int]:
+    """Range filter on the fewest-doors path's walking distance.
+
+    That distance upper-bounds the true minimum walk, so every id reported
+    is genuinely within ``radius`` (no false positives); objects whose only
+    short route crosses many doors may be missed.
+    """
+    results: List[int] = []
+    space = framework.space
+    for obj in framework.objects:
+        if deadline is not None:
+            deadline.check("door-count range query")
+        outcome = door_count_pt2pt(space, position, obj.position)
+        if outcome.walking_distance <= radius + 1e-9:
+            results.append(obj.object_id)
+    return sorted(results)
+
+
+def door_count_knn(
+    framework: IndexFramework,
+    position: Point,
+    k: int,
+    deadline: Optional[Deadline] = None,
+) -> List[Tuple[int, float]]:
+    """k nearest by the lattice model: fewest doors first, walking distance
+    of that path as tie-break and reported distance."""
+    scored = []
+    space = framework.space
+    for obj in framework.objects:
+        if deadline is not None:
+            deadline.check("door-count kNN query")
+        outcome = door_count_pt2pt(space, position, obj.position)
+        if outcome.is_reachable:
+            scored.append(
+                (outcome.doors_crossed, outcome.walking_distance, obj.object_id)
+            )
+    scored.sort()
+    return [(oid, walk) for _, walk, oid in scored[:k]]
+
+
+def euclidean_range(
+    framework: IndexFramework, position: Point, radius: float
+) -> List[int]:
+    """Range filter on the Euclidean lower bound: a superset of the true
+    answer (never misses a member), computed without touching the model."""
+    return sorted(
+        obj.object_id
+        for obj in framework.objects
+        if euclidean_lower_bound(position, obj.position) <= radius + 1e-9
+    )
+
+
+def euclidean_knn(
+    framework: IndexFramework, position: Point, k: int
+) -> List[Tuple[int, float]]:
+    """k nearest by straight-line distance — a last-resort ordering with the
+    lower-bound distances reported."""
+    scored = sorted(
+        (euclidean_lower_bound(position, obj.position), obj.object_id)
+        for obj in framework.objects
+    )
+    return [(oid, dist) for dist, oid in scored[:k]]
+
+
+def door_count_distance_value(
+    framework: IndexFramework, source: Point, target: Point
+) -> float:
+    """The DOOR_COUNT rung of pt2pt distance: the fewest-doors path's
+    walking distance (an upper bound on the true minimum walk)."""
+    return door_count_pt2pt(framework.space, source, target).walking_distance
+
+
+def exact_fallback_distance(
+    framework: IndexFramework,
+    source: Point,
+    target: Point,
+    deadline: Optional[Deadline] = None,
+) -> float:
+    """The EXACT_FALLBACK rung of pt2pt distance: Algorithm 3 without the
+    cross-iteration memo table (fewer shared structures to go wrong)."""
+    return pt2pt_distance_refined(framework.space, source, target, deadline=deadline)

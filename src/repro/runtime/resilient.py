@@ -1,0 +1,341 @@
+"""The hardened query facade: :class:`ResilientQueryEngine`.
+
+Wraps a :class:`~repro.queries.engine.QueryEngine` (or a bare
+:class:`~repro.index.IndexFramework`) behind admission control and the
+degradation ladder of :mod:`repro.runtime.ladder`:
+
+1. **Validation** — NaN / infinite radii and coordinates are rejected with
+   :class:`~repro.exceptions.QueryError` before any work happens.
+2. **Freshness** — if the space's topology epoch moved past the framework's
+   build epoch, the indexes are rebuilt under the bounded
+   :class:`~repro.runtime.retry.RetryPolicy` (or, when rebuilds are
+   disabled or keep failing, the exact-indexed rung is skipped).
+3. **Integrity** — M_d2d / DPT invariants are verified before the indexed
+   rung is trusted; corruption routes the query down the ladder instead of
+   returning silently wrong answers.
+4. **Deadlines** — a per-query :class:`~repro.runtime.deadline.Deadline`
+   is threaded through every rung's hot loop; on expiry the engine either
+   degrades to the instantaneous Euclidean rung (default) or re-raises.
+
+Every answer is a :class:`~repro.runtime.ladder.ResilientResult` tagging
+the rung that produced it, so callers always know what they got.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, Union
+
+from repro.exceptions import (
+    CorruptIndexError,
+    DeadlineExceededError,
+    IndexError_,
+    ReproError,
+    StaleIndexError,
+    UnknownEntityError,
+)
+from repro.geometry import Point
+from repro.index.framework import IndexFramework
+from repro.queries.baselines import brute_force_knn, brute_force_range
+from repro.queries.checks import require_finite, require_finite_position
+from repro.queries.engine import QueryEngine
+from repro.queries.knn_query import knn_query
+from repro.queries.range_query import range_query
+from repro.runtime.deadline import DeadlineLike, as_deadline
+from repro.runtime.integrity import require_index_integrity
+from repro.runtime.ladder import (
+    QualityLevel,
+    ResilientResult,
+    RungFailure,
+    door_count_distance_value,
+    door_count_knn,
+    door_count_range,
+    euclidean_knn,
+    euclidean_lower_bound,
+    euclidean_range,
+    exact_fallback_distance,
+)
+from repro.runtime.retry import RetryPolicy
+
+#: Failures of the exact indexed rung that route a query down the ladder
+#: rather than out to the caller.  ``UnknownEntityError`` covers dropped
+#: DPT / matrix records; ``IndexError_`` covers staleness and corruption.
+_INDEX_FAULTS = (IndexError_, UnknownEntityError)
+
+
+class ResilientQueryEngine:
+    """Distance-aware indoor queries that degrade instead of failing.
+
+    Args:
+        framework: the index framework (or an existing
+            :class:`QueryEngine`) to harden.
+        retry_policy: bounds for transparent stale-index rebuilds.
+        rebuild_on_stale: rebuild when the topology epoch moved (otherwise
+            the exact indexed rung is skipped for stale frameworks).
+        rebuild_on_corrupt: also rebuild when integrity checks fail
+            (default off: corruption usually indicates a bug worth
+            surfacing in the result's ``failures`` rather than papering
+            over with CPU time).
+        verify_integrity: run the M_d2d / DPT invariant checks before each
+            indexed answer.  Vectorised over the matrix — cheap for the
+            building sizes of the paper's experiments; disable for very
+            large deployments that audit out of band.
+        degrade_on_deadline: on deadline expiry fall to cheaper rungs and
+            ultimately the instantaneous Euclidean bound (default);
+            when False, :class:`DeadlineExceededError` propagates.
+    """
+
+    def __init__(
+        self,
+        framework: Union[IndexFramework, QueryEngine],
+        retry_policy: Optional[RetryPolicy] = None,
+        rebuild_on_stale: bool = True,
+        rebuild_on_corrupt: bool = False,
+        verify_integrity: bool = True,
+        degrade_on_deadline: bool = True,
+    ) -> None:
+        if isinstance(framework, QueryEngine):
+            self.engine = framework
+        else:
+            self.engine = QueryEngine(framework)
+        self.retry_policy = (
+            retry_policy if retry_policy is not None else RetryPolicy()
+        )
+        self.rebuild_on_stale = rebuild_on_stale
+        self.rebuild_on_corrupt = rebuild_on_corrupt
+        self.verify_integrity = verify_integrity
+        self.degrade_on_deadline = degrade_on_deadline
+
+    @classmethod
+    def for_space(cls, space, objects=None, **options) -> "ResilientQueryEngine":
+        """Build every index for ``space`` and wrap it resiliently."""
+        return cls(QueryEngine.for_space(space, objects), **options)
+
+    # ------------------------------------------------------------------
+    # Introspection / delegation
+    # ------------------------------------------------------------------
+    @property
+    def framework(self) -> IndexFramework:
+        """The current (possibly rebuilt) index framework."""
+        return self.engine.framework
+
+    @property
+    def space(self):
+        """The underlying indoor space."""
+        return self.engine.space
+
+    def __getattr__(self, name):
+        # Object maintenance and the rest of the plain-engine surface pass
+        # straight through; only the query entry points are hardened here.
+        return getattr(self.engine, name)
+
+    # ------------------------------------------------------------------
+    # Admission: freshness + integrity for the exact indexed rung
+    # ------------------------------------------------------------------
+    def _rebuild(self) -> None:
+        self.engine.framework = self.retry_policy.run(
+            self.engine.framework.rebuild
+        )
+
+    def _admit_indexed_rung(
+        self, failures: List[RungFailure]
+    ) -> Tuple[bool, bool]:
+        """Ensure the indexed rung is trustworthy.
+
+        Returns ``(usable, rebuilt)``; on failure the reason is appended to
+        ``failures`` and the ladder proceeds from the fallback rung.
+        """
+        rebuilt = False
+        try:
+            self.engine.framework.check_fresh()
+        except StaleIndexError as exc:
+            if self.rebuild_on_stale and self.retry_policy.max_attempts > 0:
+                try:
+                    self._rebuild()
+                    rebuilt = True
+                except ReproError as rebuild_exc:
+                    failures.append(
+                        RungFailure(QualityLevel.EXACT_INDEXED, rebuild_exc)
+                    )
+                    return False, rebuilt
+            else:
+                failures.append(RungFailure(QualityLevel.EXACT_INDEXED, exc))
+                return False, rebuilt
+        if self.verify_integrity:
+            try:
+                require_index_integrity(self.engine.framework)
+            except CorruptIndexError as exc:
+                if (
+                    self.rebuild_on_corrupt
+                    and self.retry_policy.max_attempts > 0
+                ):
+                    try:
+                        self._rebuild()
+                        rebuilt = True
+                        require_index_integrity(self.engine.framework)
+                    except ReproError as rebuild_exc:
+                        failures.append(
+                            RungFailure(
+                                QualityLevel.EXACT_INDEXED, rebuild_exc
+                            )
+                        )
+                        return False, rebuilt
+                else:
+                    failures.append(
+                        RungFailure(QualityLevel.EXACT_INDEXED, exc)
+                    )
+                    return False, rebuilt
+        return True, rebuilt
+
+    def _deadline_failure(
+        self,
+        failures: List[RungFailure],
+        level: QualityLevel,
+        exc: DeadlineExceededError,
+    ) -> None:
+        """Record a deadline expiry, or re-raise when degradation is off."""
+        if not self.degrade_on_deadline:
+            raise exc
+        failures.append(RungFailure(level, exc))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def range_query(
+        self, position: Point, radius: float, deadline: DeadlineLike = None
+    ) -> ResilientResult:
+        """Ladder-protected range query; ``value`` is the sorted id list."""
+        deadline = as_deadline(deadline)
+        require_finite_position(position)
+        require_finite(radius, "range radius")
+        failures: List[RungFailure] = []
+        usable, rebuilt = self._admit_indexed_rung(failures)
+        if usable:
+            try:
+                value = range_query(
+                    self.framework, position, radius, deadline=deadline
+                )
+                return ResilientResult(
+                    value, QualityLevel.EXACT_INDEXED, tuple(failures), rebuilt
+                )
+            except DeadlineExceededError as exc:
+                self._deadline_failure(
+                    failures, QualityLevel.EXACT_INDEXED, exc
+                )
+            except _INDEX_FAULTS as exc:
+                failures.append(RungFailure(QualityLevel.EXACT_INDEXED, exc))
+        try:
+            value = brute_force_range(
+                self.space,
+                self.framework.objects,
+                position,
+                radius,
+                deadline=deadline,
+            )
+            return ResilientResult(
+                value, QualityLevel.EXACT_FALLBACK, tuple(failures), rebuilt
+            )
+        except DeadlineExceededError as exc:
+            self._deadline_failure(failures, QualityLevel.EXACT_FALLBACK, exc)
+        try:
+            value = door_count_range(
+                self.framework, position, radius, deadline=deadline
+            )
+            return ResilientResult(
+                value, QualityLevel.DOOR_COUNT, tuple(failures), rebuilt
+            )
+        except DeadlineExceededError as exc:
+            self._deadline_failure(failures, QualityLevel.DOOR_COUNT, exc)
+        value = euclidean_range(self.framework, position, radius)
+        return ResilientResult(
+            value, QualityLevel.EUCLIDEAN, tuple(failures), rebuilt
+        )
+
+    def knn(
+        self, position: Point, k: int = 1, deadline: DeadlineLike = None
+    ) -> ResilientResult:
+        """Ladder-protected kNN; ``value`` is ``[(object_id, distance)]``."""
+        deadline = as_deadline(deadline)
+        require_finite_position(position)
+        failures: List[RungFailure] = []
+        usable, rebuilt = self._admit_indexed_rung(failures)
+        if usable:
+            try:
+                value = knn_query(
+                    self.framework, position, k, deadline=deadline
+                )
+                return ResilientResult(
+                    value, QualityLevel.EXACT_INDEXED, tuple(failures), rebuilt
+                )
+            except DeadlineExceededError as exc:
+                self._deadline_failure(
+                    failures, QualityLevel.EXACT_INDEXED, exc
+                )
+            except _INDEX_FAULTS as exc:
+                failures.append(RungFailure(QualityLevel.EXACT_INDEXED, exc))
+        try:
+            value = brute_force_knn(
+                self.space,
+                self.framework.objects,
+                position,
+                k,
+                deadline=deadline,
+            )
+            return ResilientResult(
+                value, QualityLevel.EXACT_FALLBACK, tuple(failures), rebuilt
+            )
+        except DeadlineExceededError as exc:
+            self._deadline_failure(failures, QualityLevel.EXACT_FALLBACK, exc)
+        try:
+            value = door_count_knn(
+                self.framework, position, k, deadline=deadline
+            )
+            return ResilientResult(
+                value, QualityLevel.DOOR_COUNT, tuple(failures), rebuilt
+            )
+        except DeadlineExceededError as exc:
+            self._deadline_failure(failures, QualityLevel.DOOR_COUNT, exc)
+        value = euclidean_knn(self.framework, position, k)
+        return ResilientResult(
+            value, QualityLevel.EUCLIDEAN, tuple(failures), rebuilt
+        )
+
+    def distance(
+        self, source: Point, target: Point, deadline: DeadlineLike = None
+    ) -> ResilientResult:
+        """Ladder-protected pt2pt distance; ``value`` is metres.
+
+        The exact rung runs on the space's distance graph (not the M_d2d
+        matrix), so index faults cannot corrupt it — only deadline pressure
+        pushes this query down the ladder.
+        """
+        deadline = as_deadline(deadline)
+        require_finite_position(source, "source position")
+        require_finite_position(target, "target position")
+        failures: List[RungFailure] = []
+        try:
+            value = self.engine.distance(source, target, deadline=deadline)
+            return ResilientResult(
+                value, QualityLevel.EXACT_INDEXED, tuple(failures)
+            )
+        except DeadlineExceededError as exc:
+            self._deadline_failure(failures, QualityLevel.EXACT_INDEXED, exc)
+        try:
+            value = exact_fallback_distance(
+                self.framework, source, target, deadline=deadline
+            )
+            return ResilientResult(
+                value, QualityLevel.EXACT_FALLBACK, tuple(failures)
+            )
+        except DeadlineExceededError as exc:
+            self._deadline_failure(failures, QualityLevel.EXACT_FALLBACK, exc)
+        try:
+            if deadline is not None:
+                deadline.check("door-count distance")
+            value = door_count_distance_value(self.framework, source, target)
+            return ResilientResult(
+                value, QualityLevel.DOOR_COUNT, tuple(failures)
+            )
+        except DeadlineExceededError as exc:
+            self._deadline_failure(failures, QualityLevel.DOOR_COUNT, exc)
+        value = euclidean_lower_bound(source, target)
+        return ResilientResult(value, QualityLevel.EUCLIDEAN, tuple(failures))

@@ -1,0 +1,86 @@
+"""Bounded retry-with-rebuild for stale or corrupt indexes.
+
+When a query finds its framework stale (the space's topology epoch moved on)
+the resilient engine can transparently rebuild the §IV structures instead of
+failing — but rebuilds are expensive and may themselves fail mid-mutation,
+so they are *bounded* by a :class:`RetryPolicy`: at most ``max_attempts``
+rebuilds with exponential backoff between them.  The sleep function is
+injectable so tests run instantly.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, TypeVar
+
+from repro.exceptions import ReproError
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to retry an index rebuild, and how long to wait.
+
+    Attributes:
+        max_attempts: rebuild attempts allowed per query (0 disables
+            rebuilds entirely — stale indexes then degrade down the ladder).
+        base_delay: seconds to sleep before the second attempt.
+        multiplier: backoff factor applied per further attempt.
+        max_delay: backoff ceiling in seconds.
+        sleep: the sleep function, injectable for deterministic tests.
+    """
+
+    max_attempts: int = 2
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 1.0
+    sleep: Callable[[float], None] = field(default=time.sleep, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 0:
+            raise ValueError(
+                f"max_attempts must be >= 0, got {self.max_attempts}"
+            )
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be non-negative")
+        if self.multiplier < 1.0:
+            raise ValueError(
+                f"multiplier must be >= 1, got {self.multiplier}"
+            )
+
+    def delays(self) -> Iterator[float]:
+        """The backoff delay *before* each attempt (0 before the first)."""
+        delay = 0.0
+        for attempt in range(self.max_attempts):
+            yield delay
+            delay = (
+                self.base_delay
+                if attempt == 0
+                else min(delay * self.multiplier, self.max_delay)
+            )
+
+    def run(self, operation: Callable[[], T]) -> T:
+        """Run ``operation`` under this policy.
+
+        Retries on any :class:`~repro.exceptions.ReproError`; after the last
+        attempt the final error propagates.  With ``max_attempts == 0`` the
+        operation is never run and ``RuntimeError`` is raised — callers gate
+        on ``max_attempts`` first.
+        """
+        if self.max_attempts == 0:
+            raise RuntimeError("retry policy allows no attempts")
+        last_error: ReproError
+        for delay in self.delays():
+            if delay > 0:
+                self.sleep(delay)
+            try:
+                return operation()
+            except ReproError as exc:
+                last_error = exc
+        raise last_error
+
+
+#: Rebuilds disabled: stale indexes degrade down the ladder instead.
+NO_REBUILD = RetryPolicy(max_attempts=0)

@@ -1,0 +1,44 @@
+"""Shared fixtures for the resilient-runtime tests."""
+
+import random
+
+import pytest
+
+from repro.index import IndexFramework, IndoorObject
+from repro.model.figure1 import build_figure1
+from tests.queries.conftest import random_point_in
+
+
+class FakeClock:
+    """A manually advanced monotonic clock for deterministic deadlines."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def fake_clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def figure1_framework():
+    """A fresh Figure-1 space + 50 deterministic objects, fully indexed.
+
+    Function-scoped (unlike the module-scoped query fixture) because the
+    runtime tests mutate the space and corrupt the indexes.
+    """
+    space = build_figure1()
+    rng = random.Random(99)
+    indoor_ids = [p for p in space.partition_ids if p != 0]
+    objects = [
+        IndoorObject(i, random_point_in(space, rng, indoor_ids))
+        for i in range(50)
+    ]
+    return IndexFramework.build(space, objects)

@@ -1,0 +1,107 @@
+"""Deadline semantics: budgets, expiry, and threading through hot loops."""
+
+import math
+
+import pytest
+
+from repro.exceptions import DeadlineExceededError, QueryError
+from repro.model.figure1 import P, Q, build_figure1
+from repro.distance.point_to_point import (
+    pt2pt_distance,
+    pt2pt_distance_basic,
+    pt2pt_distance_refined,
+)
+from repro.queries import knn_query, range_query
+from repro.runtime import Deadline, as_deadline
+
+
+class TestDeadlineObject:
+    def test_zero_budget_expires_immediately(self):
+        deadline = Deadline(0)
+        assert deadline.expired
+        with pytest.raises(DeadlineExceededError):
+            deadline.check()
+
+    def test_unbounded_never_expires(self):
+        deadline = Deadline.unbounded()
+        assert not deadline.expired
+        assert math.isinf(deadline.remaining())
+        deadline.check()  # no raise
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(QueryError):
+            Deadline(-1.0)
+
+    def test_nan_budget_rejected(self):
+        with pytest.raises(QueryError):
+            Deadline(float("nan"))
+
+    def test_fake_clock_expiry(self, fake_clock):
+        deadline = Deadline(5.0, clock=fake_clock)
+        assert not deadline.expired
+        assert deadline.remaining() == pytest.approx(5.0)
+        fake_clock.advance(4.9)
+        deadline.check()  # still inside budget
+        fake_clock.advance(0.2)
+        assert deadline.expired
+        with pytest.raises(DeadlineExceededError) as excinfo:
+            deadline.check("range query")
+        assert excinfo.value.budget == 5.0
+        assert "range query" in str(excinfo.value)
+
+    def test_as_deadline_coercions(self):
+        assert as_deadline(None) is None
+        existing = Deadline(1.0)
+        assert as_deadline(existing) is existing
+        coerced = as_deadline(2.5)
+        assert isinstance(coerced, Deadline)
+        assert coerced.budget == 2.5
+
+
+class TestDeadlineInQueries:
+    """A deadline of 0 must abort promptly instead of completing the scan."""
+
+    def test_range_query_zero_deadline_raises(self, figure1_framework):
+        with pytest.raises(DeadlineExceededError):
+            range_query(figure1_framework, P, 10.0, deadline=Deadline(0))
+
+    def test_knn_query_zero_deadline_raises(self, figure1_framework):
+        with pytest.raises(DeadlineExceededError):
+            knn_query(figure1_framework, P, 3, deadline=Deadline(0))
+
+    @pytest.mark.parametrize(
+        "algorithm",
+        [pt2pt_distance, pt2pt_distance_basic, pt2pt_distance_refined],
+    )
+    def test_pt2pt_zero_deadline_raises(self, algorithm):
+        space = build_figure1()
+        with pytest.raises(DeadlineExceededError):
+            algorithm(space, P, Q, deadline=Deadline(0))
+
+    def test_generous_deadline_changes_nothing(self, figure1_framework):
+        bare = range_query(figure1_framework, P, 10.0)
+        budgeted = range_query(
+            figure1_framework, P, 10.0, deadline=Deadline(60.0)
+        )
+        assert bare == budgeted
+
+    def test_mid_query_expiry_with_ticking_clock(self, figure1_framework):
+        # Every clock read advances time, so the budget survives the entry
+        # check but runs out a few loop iterations in — the per-door checks
+        # inside the scan must catch it.
+        class TickingClock:
+            def __init__(self, tick):
+                self.now = 0.0
+                self.tick = tick
+                self.reads = 0
+
+            def __call__(self):
+                self.now += self.tick
+                self.reads += 1
+                return self.now
+
+        clock = TickingClock(tick=0.1)
+        deadline = Deadline(0.5, clock=clock)
+        with pytest.raises(DeadlineExceededError):
+            range_query(figure1_framework, P, 50.0, deadline=deadline)
+        assert clock.reads > 2  # made it past the entry check into the loops

@@ -1,0 +1,64 @@
+"""Tests for the ``repro doctor`` health-report subcommand."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.io import save_space
+from repro.model.figure1 import build_figure1
+
+
+@pytest.fixture
+def plan_file(tmp_path):
+    path = tmp_path / "plan.json"
+    save_space(build_figure1(), path)
+    return str(path)
+
+
+class TestDoctor:
+    def test_healthy_plan_exits_zero(self, plan_file, capsys):
+        assert main(["doctor", plan_file]) == 0
+        out = capsys.readouterr().out
+        assert "floor plan lint:" in out
+        assert "index integrity:" in out
+        assert "doctor: healthy" in out
+
+    def test_lint_error_exits_nonzero(self, tmp_path, capsys):
+        # Overlapping partitions are an error-severity lint finding.
+        from repro.geometry import Point, Segment, rectangle
+        from repro.model import IndoorSpaceBuilder
+
+        builder = IndoorSpaceBuilder()
+        builder.add_partition(1, rectangle(0, 0, 10, 10))
+        builder.add_partition(2, rectangle(5, 0, 15, 10))
+        builder.add_door(
+            1, Segment(Point(10, 4), Point(10, 6)), connects=(1, 2)
+        )
+        path = tmp_path / "overlap.json"
+        save_space(builder.build(), path)
+        assert main(["doctor", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "partition-overlap" in out
+        assert "doctor: 1 error(s)" in out
+
+    def test_corrupt_index_detected(self, plan_file, capsys, monkeypatch):
+        # Poison every matrix built during this test: doctor must report
+        # the NaN and exit non-zero.
+        from repro.index import framework as framework_module
+
+        original_build = framework_module.IndexFramework.build.__func__
+
+        def corrupted_build(cls, space, objects=None, cell_size=2.0, **kwargs):
+            built = original_build(cls, space, objects, cell_size, **kwargs)
+            built.distance_index.md2d[0, 1] = np.nan
+            return built
+
+        monkeypatch.setattr(
+            framework_module.IndexFramework,
+            "build",
+            classmethod(corrupted_build),
+        )
+        assert main(["doctor", plan_file]) == 1
+        out = capsys.readouterr().out
+        assert "md2d-nan" in out
+        assert "doctor: 1 error(s)" in out

@@ -1,0 +1,177 @@
+"""Staleness epochs: mutation bumps, freshness checks, bounded rebuilds."""
+
+import pytest
+
+from repro.exceptions import StaleIndexError
+from repro.geometry import Point, Segment, rectangle
+from repro.index import IndexFramework
+from repro.model.figure1 import D15, P, ROOM_12, build_figure1
+from repro.queries import knn_query, range_query
+from repro.runtime import (
+    NO_REBUILD,
+    QualityLevel,
+    ResilientQueryEngine,
+    RetryPolicy,
+)
+
+
+class TestEpochCounter:
+    def test_fresh_space_starts_at_zero(self):
+        assert build_figure1().topology_epoch == 0
+
+    def test_remove_door_bumps_epoch(self):
+        space = build_figure1()
+        space.remove_door(D15)
+        assert space.topology_epoch == 1
+        assert D15 not in space.door_ids
+
+    def test_add_door_bumps_epoch(self):
+        space = build_figure1()
+        space.add_door(
+            99,
+            Segment(Point(4.0, 7.0), Point(4.0, 8.0)),
+            connects=(ROOM_12, 11),
+        )
+        assert space.topology_epoch == 1
+        assert 99 in space.door_ids
+
+    def test_add_partition_bumps_epoch(self):
+        space = build_figure1()
+        space.add_partition(77, rectangle(20, 20, 24, 24))
+        assert space.topology_epoch == 1
+
+    def test_mutation_invalidates_derived_graphs(self):
+        space = build_figure1()
+        graph_before = space.distance_graph
+        access_before = space.accessibility
+        space.remove_door(D15)
+        assert space.distance_graph is not graph_before
+        assert space.accessibility is not access_before
+
+
+class TestFreshnessChecks:
+    def test_stale_range_query_raises(self):
+        space = build_figure1()
+        framework = IndexFramework.build(space)
+        space.remove_door(D15)
+        with pytest.raises(StaleIndexError) as excinfo:
+            range_query(framework, P, 5.0)
+        assert excinfo.value.built_epoch == 0
+        assert excinfo.value.current_epoch == 1
+
+    def test_stale_knn_query_raises(self):
+        space = build_figure1()
+        framework = IndexFramework.build(space)
+        space.add_partition(88, rectangle(30, 30, 34, 34))
+        with pytest.raises(StaleIndexError):
+            knn_query(framework, P, 2)
+
+    def test_with_objects_inherits_build_epoch(self):
+        from repro.index.objects import ObjectStore
+
+        space = build_figure1()
+        framework = IndexFramework.build(space)
+        space.remove_door(D15)
+        derived = framework.with_objects(ObjectStore(space))
+        assert not derived.is_fresh
+        with pytest.raises(StaleIndexError):
+            range_query(derived, P, 5.0)
+
+    def test_rebuild_restores_freshness(self):
+        space = build_figure1()
+        framework = IndexFramework.build(space)
+        space.remove_door(D15)
+        assert not framework.is_fresh
+        rebuilt = framework.rebuild()
+        assert rebuilt.is_fresh
+        # The removed one-way shortcut d15 (room 13 -> room 12) is gone
+        # from the rebuilt matrix.
+        assert D15 not in rebuilt.distance_index.door_ids
+        range_query(rebuilt, P, 5.0)  # no raise
+
+
+class TestTransparentRebuild:
+    def test_resilient_engine_rebuilds_and_stays_exact(
+        self, figure1_framework
+    ):
+        resilient = ResilientQueryEngine(figure1_framework)
+        space = figure1_framework.space
+        before = resilient.range_query(P, 9.0)
+        assert before.quality is QualityLevel.EXACT_INDEXED
+
+        space.remove_door(D15)
+        after = resilient.range_query(P, 9.0)
+        assert after.rebuilt
+        assert after.quality is QualityLevel.EXACT_INDEXED
+        assert resilient.framework.is_fresh
+        # d15 was P's one-way shortcut out of room 13; without it some
+        # objects may drop out of range, but the answer is exact for the
+        # *current* topology: it matches a from-scratch framework.
+        scratch = IndexFramework.build(space, list(resilient.framework.objects))
+        assert after.value == range_query(scratch, P, 9.0)
+
+    def test_rebuild_happens_once_not_per_query(self, figure1_framework):
+        resilient = ResilientQueryEngine(figure1_framework)
+        figure1_framework.space.remove_door(D15)
+        first = resilient.range_query(P, 9.0)
+        second = resilient.range_query(P, 9.0)
+        assert first.rebuilt
+        assert not second.rebuilt  # already fresh again
+
+    def test_no_rebuild_policy_degrades_instead(self, figure1_framework):
+        resilient = ResilientQueryEngine(
+            figure1_framework, retry_policy=NO_REBUILD
+        )
+        space = figure1_framework.space
+        space.remove_door(D15)
+        result = resilient.knn(P, k=3)
+        assert not result.rebuilt
+        assert result.quality is QualityLevel.EXACT_FALLBACK
+        assert isinstance(result.failures[0].error, StaleIndexError)
+        # The fallback rung answers for the *current* topology.
+        scratch = IndexFramework.build(space, list(figure1_framework.objects))
+        assert [oid for oid, _ in result.value] == [
+            oid for oid, _ in knn_query(scratch, P, 3)
+        ]
+
+
+class TestRetryPolicy:
+    def test_backoff_sequence(self):
+        policy = RetryPolicy(
+            max_attempts=4, base_delay=0.1, multiplier=2.0, max_delay=0.3
+        )
+        assert list(policy.delays()) == pytest.approx([0.0, 0.1, 0.2, 0.3])
+
+    def test_run_retries_then_succeeds(self):
+        sleeps = []
+        policy = RetryPolicy(
+            max_attempts=3, base_delay=0.1, sleep=sleeps.append
+        )
+        attempts = []
+
+        def operation():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise StaleIndexError("not yet")
+            return "done"
+
+        assert policy.run(operation) == "done"
+        assert len(attempts) == 3
+        assert sleeps == pytest.approx([0.1, 0.2])
+
+    def test_run_exhausts_and_reraises(self):
+        policy = RetryPolicy(max_attempts=2, base_delay=0.0, sleep=lambda _: None)
+
+        def operation():
+            raise StaleIndexError("forever stale")
+
+        with pytest.raises(StaleIndexError):
+            policy.run(operation)
+
+    def test_invalid_policies_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=-0.1)
