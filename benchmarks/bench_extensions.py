@@ -7,7 +7,6 @@ queries, and continuous-monitor churn throughput.
 
 import random
 
-import pytest
 
 from repro import IndoorObject, Point, QueryEngine
 from repro.bench.harness import get_building

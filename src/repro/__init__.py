@@ -21,6 +21,10 @@ The public API mirrors the paper's architecture:
 * **Experiments** (§VI): :mod:`repro.synthetic` generates the paper's
   multi-floor office buildings, objects, and workloads; ``benchmarks/``
   regenerates every figure.
+* **Serving** (:mod:`repro.serve`, beyond the paper): :class:`QueryService`
+  answers concurrent workloads over one engine — shared-work batching,
+  an epoch-keyed LRU distance cache, degradation-ladder load shedding,
+  and a built-in metrics registry.
 
 Quickstart::
 
@@ -98,71 +102,79 @@ from repro.runtime import (
     RetryPolicy,
     check_index_integrity,
 )
+from repro.serve import (
+    EpochLRUCache,
+    MetricsRegistry,
+    QueryKind,
+    QueryRequest,
+    QueryResponse,
+    QueryService,
+    ShedPolicy,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
-    # errors
-    "ReproError",
-    "ModelError",
-    "TopologyError",
-    "GeometryError",
-    "QueryError",
-    "DeadlineExceededError",
-    "IndexError_",
-    "StaleIndexError",
-    "CorruptIndexError",
-    "SerializationError",
-    "UnknownEntityError",
-    "UnreachableError",
-    # geometry
-    "Point",
-    "Segment",
-    "Polygon",
-    "BoundingBox",
-    "rectangle",
-    # model
-    "Door",
-    "Partition",
-    "PartitionKind",
-    "Topology",
     "AccessibilityGraph",
+    "BoundingBox",
+    "CorruptIndexError",
+    "Deadline",
+    "DeadlineExceededError",
     "DistanceAwareGraph",
-    "IndoorSpace",
-    "IndoorSpaceBuilder",
-    # distance
-    "d2d_distance",
-    "d2d_path",
-    "pt2pt_distance",
-    "pt2pt_distance_basic",
-    "pt2pt_distance_refined",
-    "pt2pt_distance_memoized",
-    "pt2pt_path",
-    "build_distance_matrix",
-    "door_count_distance",
-    "door_count_pt2pt",
-    "DoorPath",
-    "IndoorPath",
-    # index
     "DistanceIndexMatrix",
+    "Door",
     "DoorPartitionTable",
+    "DoorPath",
+    "EpochLRUCache",
+    "GeometryError",
+    "IndexError_",
     "IndexFramework",
     "IndoorObject",
+    "IndoorPath",
+    "IndoorSpace",
+    "IndoorSpaceBuilder",
+    "MetricsRegistry",
+    "ModelError",
     "ObjectStore",
+    "Partition",
     "PartitionGrid",
+    "PartitionKind",
     "PartitionRTree",
-    # queries
-    "QueryEngine",
-    "range_query",
-    "knn_query",
-    "nn_query",
-    "brute_force_range",
-    "brute_force_knn",
-    # runtime (robustness layer)
-    "Deadline",
+    "Point",
+    "Polygon",
     "QualityLevel",
+    "QueryEngine",
+    "QueryError",
+    "QueryKind",
+    "QueryRequest",
+    "QueryResponse",
+    "QueryService",
+    "ReproError",
     "ResilientQueryEngine",
     "ResilientResult",
     "RetryPolicy",
+    "Segment",
+    "SerializationError",
+    "ShedPolicy",
+    "StaleIndexError",
+    "Topology",
+    "TopologyError",
+    "UnknownEntityError",
+    "UnreachableError",
+    "brute_force_knn",
+    "brute_force_range",
+    "build_distance_matrix",
     "check_index_integrity",
+    "d2d_distance",
+    "d2d_path",
+    "door_count_distance",
+    "door_count_pt2pt",
+    "knn_query",
+    "nn_query",
+    "pt2pt_distance",
+    "pt2pt_distance_basic",
+    "pt2pt_distance_memoized",
+    "pt2pt_distance_refined",
+    "pt2pt_path",
+    "range_query",
 ]

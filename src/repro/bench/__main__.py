@@ -2,12 +2,14 @@
 
 Figures: fig6 fig7 fig8a fig8b fig8c fig9a fig9b fig9c, or ``all``.
 ``--out PATH`` additionally writes a Markdown report (used to regenerate
-EXPERIMENTS.md's measured sections).
+EXPERIMENTS.md's measured sections); ``--json PATH`` writes the raw row
+dicts as machine-readable JSON (``{"scale": ..., "figures": {name: rows}}``).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Callable, Dict, List, Tuple
 
@@ -68,15 +70,22 @@ def main(argv: List[str] = None) -> int:
     parser.add_argument(
         "--out", default=None, help="also append Markdown tables to this file"
     )
+    parser.add_argument(
+        "--json",
+        default=None,
+        help="also write the raw rows as machine-readable JSON to this file",
+    )
     args = parser.parse_args(argv)
 
     names = sorted(FIGURES) if "all" in args.figures else args.figures
     scale = current_scale()
     print(f"# scale: {scale.name} (set REPRO_BENCH_SCALE=paper for full runs)")
     markdown_sections = []
+    json_figures = {}
     for name in names:
         title, measure = FIGURES[name]
         rows = measure()
+        json_figures[name] = {"title": title, "rows": rows}
         table = render_table(rows, title=title)
         print()
         print(table)
@@ -97,6 +106,16 @@ def main(argv: List[str] = None) -> int:
         with open(args.out, "a") as handle:
             handle.write("\n".join(markdown_sections))
         print(f"\n# wrote Markdown tables to {args.out}")
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(
+                {"scale": scale.name, "figures": json_figures},
+                handle,
+                indent=2,
+                sort_keys=True,
+            )
+            handle.write("\n")
+        print(f"\n# wrote JSON rows to {args.json}")
     return 0
 
 

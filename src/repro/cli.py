@@ -14,7 +14,11 @@ Commands:
 * ``dot PLAN.json`` — print the accessibility graph as Graphviz DOT;
 * ``export-figure1 OUT.json`` — write the paper's running-example floor
   plan to a JSON file (a starting point for experiments);
-* ``bench ...`` — alias for ``python -m repro.bench ...``.
+* ``bench ...`` — alias for ``python -m repro.bench ...``;
+* ``serve-bench [--json OUT.json] [--seed N]`` — closed-loop serving
+  benchmark: naive sequential :class:`~repro.queries.engine.QueryEngine`
+  loop vs. the batched + cached :class:`~repro.serve.QueryService`
+  (scale via ``REPRO_BENCH_SCALE``, like ``bench``).
 
 Floor plans use the JSON format of :mod:`repro.io`.
 """
@@ -178,6 +182,29 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return bench_main(args.bench_args)
 
 
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.bench.serve import (
+        current_serve_scale,
+        measure_serve,
+        render_serve_summary,
+    )
+
+    scale = current_serve_scale()
+    print(
+        f"# scale: {scale.name} (set REPRO_BENCH_SCALE=paper for full runs)"
+    )
+    result = measure_serve(scale, seed=args.seed)
+    print(render_serve_summary(result))
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(result, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"# wrote {args.json}")
+    return 0 if result["mismatches"] == 0 else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the top-level argument parser with all subcommands."""
     parser = argparse.ArgumentParser(
@@ -246,6 +273,18 @@ def build_parser() -> argparse.ArgumentParser:
     bench = commands.add_parser("bench", help="run figure benchmarks")
     bench.add_argument("bench_args", nargs=argparse.REMAINDER)
     bench.set_defaults(handler=_cmd_bench)
+
+    serve_bench = commands.add_parser(
+        "serve-bench",
+        help="serving throughput: QueryService vs sequential QueryEngine",
+    )
+    serve_bench.add_argument(
+        "--json", default=None, help="write the full result dict to this file"
+    )
+    serve_bench.add_argument(
+        "--seed", type=int, default=0, help="workload seed (default 0)"
+    )
+    serve_bench.set_defaults(handler=_cmd_serve_bench)
 
     return parser
 

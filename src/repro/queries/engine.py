@@ -8,7 +8,8 @@ examples and benchmarks drive the library through this class.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterable, List, Optional, Tuple
+import os
+from typing import TYPE_CHECKING, Iterable, List, Optional, Tuple, Union
 
 from repro.distance.door_count import DoorCountResult, door_count_pt2pt
 from repro.distance.path import IndoorPath
@@ -52,8 +53,8 @@ class QueryEngine:
     @classmethod
     def load(
         cls,
-        plan_path,
-        objects_path=None,
+        plan_path: Union[str, "os.PathLike[str]"],
+        objects_path: Optional[Union[str, "os.PathLike[str]"]] = None,
         cell_size: float = DEFAULT_CELL_SIZE,
     ) -> "QueryEngine":
         """Load a JSON floor plan (and optionally a JSON object set) from

@@ -1,0 +1,412 @@
+"""Shared-work batched execution of grouped queries.
+
+Sequential serving re-expands the same §III-C/§IV structures for every
+request: each range / kNN query walks its host partition's M_idx rows from
+scratch, and each pt2pt query re-runs the Algorithm 2/3 door expansions
+from its source doors.  This module amortises that work across a batch:
+
+* **Range / kNN groups** (same host partition) share one lazily
+  materialised M_idx row prefix per door (:class:`SharedDoorScans`): the
+  sorted scan each query performs is a prefix of the same sequence, so the
+  row is walked once, as deep as the deepest query in the group needs.
+* **pt2pt groups** (same source position) share the per-source-door
+  Dijkstra expansions (:func:`batched_pt2pt_distances`): a multi-target
+  generalisation of the paper's Algorithm 3 runs one pruned, bounded
+  expansion per source door for the whole group.  Singleton pt2pt groups
+  go straight through Algorithm 4
+  (:func:`~repro.distance.point_to_point.pt2pt_distance`), so batching is
+  never slower than the sequential engine.
+
+The batched evaluators replicate the exact control flow of
+:func:`~repro.queries.range_query.range_query` /
+:func:`~repro.queries.knn_query.knn_query` (with ``use_index=True``), so a
+batched answer is identical to the sequential answer — a property the test
+suite asserts bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.distance.point_to_point import pt2pt_distance
+from repro.exceptions import ReproError
+from repro.geometry import Point
+from repro.index.distance_matrix import DistanceIndexMatrix
+from repro.index.framework import IndexFramework
+from repro.model.builder import IndoorSpace
+from repro.queries.knn_query import _TopK
+from repro.serve.requests import QueryKind, QueryRequest
+
+
+class _SharedRow:
+    """One door's M_idx row, materialised on demand and shared."""
+
+    __slots__ = ("entries", "_source", "exhausted")
+
+    def __init__(self, source: Iterator[Tuple[int, float]]) -> None:
+        self.entries: List[Tuple[int, float]] = []
+        self._source: Optional[Iterator[Tuple[int, float]]] = source
+        self.exhausted = False
+
+    def ensure(self, n: int) -> bool:
+        """Materialise at least ``n`` entries; False when the row ran out."""
+        while len(self.entries) < n and not self.exhausted:
+            try:
+                self.entries.append(next(self._source))
+            except StopIteration:
+                self.exhausted = True
+                self._source = None
+        return len(self.entries) >= n
+
+
+class SharedDoorScans:
+    """Per-batch memo of sorted M_idx row prefixes.
+
+    Each row is pulled from
+    :meth:`~repro.index.distance_matrix.DistanceIndexMatrix.doors_by_distance`
+    exactly once and only as deep as the deepest consumer needs; every
+    query in the batch then iterates the shared prefix.  Not thread-safe:
+    one instance belongs to one batch executed by one worker.
+    """
+
+    def __init__(self, distance_index: DistanceIndexMatrix) -> None:
+        self._index = distance_index
+        self._rows: Dict[int, _SharedRow] = {}
+        self.rows_opened = 0
+        self.rows_reused = 0
+
+    def iter_from(self, door_id: int) -> Iterator[Tuple[int, float]]:
+        """Yield ``(door_id, distance)`` nearest-first from the shared row,
+        exactly as ``doors_by_distance(door_id)`` would."""
+        row = self._rows.get(door_id)
+        if row is None:
+            row = _SharedRow(self._index.doors_by_distance(door_id))
+            self._rows[door_id] = row
+            self.rows_opened += 1
+        else:
+            self.rows_reused += 1
+        i = 0
+        while row.ensure(i + 1):
+            yield row.entries[i]
+            i += 1
+
+
+def batched_range_query(
+    framework: IndexFramework,
+    position: Point,
+    radius: float,
+    scans: SharedDoorScans,
+) -> List[int]:
+    """Algorithm 5 over a shared door-scan substrate.
+
+    Control flow mirrors :func:`repro.queries.range_query.range_query`
+    with ``use_index=True`` line by line; only the M_idx row iteration is
+    routed through ``scans`` so that co-batched queries from the same host
+    partition walk each row once.
+    """
+    space = framework.space
+    host = space.require_host_partition(position)
+    store = framework.objects
+
+    results: set = set()
+    bucket = store.bucket(host.partition_id)
+    if bucket is not None:
+        results.update(oid for oid, _ in bucket.range_search(position, radius))
+
+    for di in sorted(space.topology.leaveable_doors(host.partition_id)):
+        budget = radius - space.dist_v(position, di, host)
+        if budget < 0:
+            continue
+        for dj, door_distance in scans.iter_from(di):
+            if door_distance > budget:
+                break  # shared row is sorted: nothing nearer remains
+            remaining = budget - door_distance
+            door_point = space.door(dj).midpoint
+            for partition_id, longest_reach in framework.dpt.record(dj).enterable():
+                target_bucket = store.bucket(partition_id)
+                if target_bucket is None:
+                    continue
+                if longest_reach <= remaining:
+                    results.update(target_bucket.object_ids())
+                else:
+                    results.update(
+                        oid
+                        for oid, _ in target_bucket.range_search(
+                            door_point, remaining
+                        )
+                    )
+    return sorted(results)
+
+
+def batched_knn_query(
+    framework: IndexFramework,
+    position: Point,
+    k: int,
+    scans: SharedDoorScans,
+) -> List[Tuple[int, float]]:
+    """Algorithm 6 (k extension) over a shared door-scan substrate.
+
+    Mirrors :func:`repro.queries.knn_query.knn_query` with
+    ``use_index=True``; the sorted per-door scan comes from ``scans`` so a
+    batch of same-partition kNN queries shares each M_idx row walk.
+    """
+    space = framework.space
+    host = space.require_host_partition(position)
+    store = framework.objects
+
+    top = _TopK(k)
+    bucket = store.bucket(host.partition_id)
+    if bucket is not None:
+        for object_id, distance in bucket.nn_search(position, bound=math.inf, k=k):
+            top.offer(object_id, distance)
+
+    for di in sorted(space.topology.leaveable_doors(host.partition_id)):
+        to_door = space.dist_v(position, di, host)
+        if math.isinf(to_door):
+            continue
+        for dj, door_distance in scans.iter_from(di):
+            reach = to_door + door_distance
+            if reach > top.bound:
+                break  # sorted scan: everything farther only grows
+            door_point = space.door(dj).midpoint
+            for partition_id, _ in framework.dpt.record(dj).enterable():
+                target_bucket = store.bucket(partition_id)
+                if target_bucket is None:
+                    continue
+                local_bound = top.bound - reach
+                if local_bound <= 0 and not math.isinf(top.bound):
+                    continue
+                for object_id, distance in target_bucket.nn_search(
+                    door_point, bound=local_bound, k=k
+                ):
+                    top.offer(object_id, reach + distance)
+    return top.results()
+
+
+def batched_pt2pt_distances(
+    space: IndoorSpace, source: Point, targets: Sequence[Point]
+) -> List[float]:
+    """Exact pt2pt distances from one source to many targets, sharing the
+    per-source-door expansions.
+
+    A multi-target generalisation of the paper's Algorithm 3: one pruned,
+    bounded Dijkstra expansion per source door serves *every* target in
+    the group.  Each target keeps its own running best; a target door
+    stays interesting only while it can still improve some target, and
+    the expansion stops as soon as no door can.  For a single target this
+    degenerates to Algorithm 3 itself, so batching never costs more than
+    sequential serving.  Returns one distance per target, in order
+    (``inf`` for unreachable targets).
+    """
+    vs = space.require_host_partition(source)
+    graph = space.distance_graph
+    topology = space.topology
+
+    # Per-target setup: enterable doors, exit distances, direct candidate.
+    best: List[float] = []
+    target_partitions: set = set()
+    wanted: Dict[int, List[Tuple[int, float]]] = {}
+    for index, target in enumerate(targets):
+        vt = space.require_host_partition(target)
+        target_partitions.add(vt.partition_id)
+        if vs.partition_id == vt.partition_id:
+            best.append(vs.intra_distance(source, target))
+        else:
+            best.append(math.inf)
+        for dt in sorted(topology.enterable_doors(vt.partition_id)):
+            d2 = space.dist_v(target, dt, vt)
+            if not math.isinf(d2):
+                wanted.setdefault(dt, []).append((index, d2))
+
+    # Source doors with Algorithm 3's dead-end pruning, generalised to the
+    # group: a door is prunable when its only enterable partition hosts no
+    # target and cannot be left except back through the same door.
+    doors_s: List[int] = []
+    for ds in sorted(topology.leaveable_doors(vs.partition_id)):
+        other = topology.enterable_partitions(ds) - {vs.partition_id}
+        if len(other) == 1:
+            neighbor = next(iter(other))
+            if (
+                neighbor not in target_partitions
+                and topology.leaveable_doors(neighbor) == frozenset({ds})
+            ):
+                continue
+        doors_s.append(ds)
+
+    for ds in doors_s:
+        d1 = space.dist_v(source, ds, vs)
+        if math.isinf(d1):
+            continue
+        # A target door is pending while it can still improve some target.
+        pending: Set[int] = {
+            dt
+            for dt, wants in wanted.items()
+            if any(d1 + d2 < best[index] for index, d2 in wants)
+        }
+        if not pending:
+            continue
+
+        dist: Dict[int, float] = {ds: 0.0}
+        settled: Set[int] = set()
+        heap: list = [(0.0, ds)]
+        while heap:
+            d, current = heapq.heappop(heap)
+            if current in settled:
+                continue
+            settled.add(current)
+            if current in pending:
+                pending.discard(current)
+                for index, d2 in wanted[current]:
+                    candidate = d1 + d + d2
+                    if candidate < best[index]:
+                        best[index] = candidate
+            # Everything left on the heap settles at >= d, so a door that
+            # cannot beat any target's best from depth d never will.
+            pending = {
+                dt
+                for dt in pending
+                if any(
+                    d1 + d + d2 < best[index] for index, d2 in wanted[dt]
+                )
+            }
+            if not pending:
+                break
+            for partition_id in topology.enterable_partitions(current):
+                for next_door in topology.leaveable_doors(partition_id):
+                    if next_door in settled:
+                        continue
+                    weight = graph.fd2d(partition_id, current, next_door)
+                    if math.isinf(weight):
+                        continue
+                    candidate = d + weight
+                    if candidate < dist.get(next_door, math.inf):
+                        dist[next_door] = candidate
+                        heapq.heappush(heap, (candidate, next_door))
+    return best
+
+
+@dataclass(frozen=True)
+class BatchGroup:
+    """Requests that can share one work substrate.
+
+    Range / kNN requests group by host partition (they walk the same
+    M_idx rows); pt2pt requests group by exact source position (they
+    share the same source-door expansions).
+    """
+
+    kind: QueryKind
+    key: Tuple
+    requests: Tuple[QueryRequest, ...]
+
+    @property
+    def shared(self) -> bool:
+        """True when the group actually amortises work (2+ requests)."""
+        return len(self.requests) > 1
+
+
+def plan_batches(
+    space: IndoorSpace, requests: Iterable[QueryRequest]
+) -> List[BatchGroup]:
+    """Partition ``requests`` into shared-work groups, preserving order.
+
+    A request whose position cannot be located (no host partition) is
+    placed in a singleton group so the error surfaces on execution for
+    that request alone instead of failing its neighbours.
+    """
+    buckets: "OrderedDict[Tuple, List[QueryRequest]]" = OrderedDict()
+    for request in requests:
+        if request.kind is QueryKind.PT2PT:
+            p = request.position
+            key: Tuple = (request.kind, p.x, p.y, p.floor)
+        else:
+            try:
+                host = space.require_host_partition(request.position)
+            except ReproError:
+                key = (request.kind, "solo", request.request_id)
+            else:
+                key = (request.kind, host.partition_id)
+        buckets.setdefault(key, []).append(request)
+    return [
+        BatchGroup(key[0], key, tuple(group))
+        for key, group in buckets.items()
+    ]
+
+
+def execute_group(
+    framework: IndexFramework, group: BatchGroup
+) -> List[Tuple[QueryRequest, Any]]:
+    """Run one group over its shared substrate.
+
+    Returns ``(request, value)`` pairs in request order; a request that
+    failed carries its exception as ``value`` (so one bad request never
+    poisons the rest of the group).
+    """
+    out: List[Tuple[QueryRequest, Any]] = []
+    if group.kind is QueryKind.PT2PT:
+        source = group.requests[0].position
+        resolved: Dict[int, Any] = {}
+        valid: List[QueryRequest] = []
+        for request in group.requests:
+            try:
+                framework.space.require_host_partition(request.target)
+            except ReproError as exc:
+                resolved[request.request_id] = exc
+            else:
+                valid.append(request)
+        if valid:
+            try:
+                if len(valid) == 1:
+                    # No sharing to exploit: Algorithm 4 (memoised) is the
+                    # fastest single-pair path, and it is what the
+                    # sequential engine would run.
+                    values = [
+                        pt2pt_distance(
+                            framework.space, source, valid[0].target
+                        )
+                    ]
+                else:
+                    values = batched_pt2pt_distances(
+                        framework.space,
+                        source,
+                        [request.target for request in valid],
+                    )
+            except ReproError as exc:
+                for request in valid:
+                    resolved[request.request_id] = exc
+            else:
+                for request, value in zip(valid, values):
+                    resolved[request.request_id] = value
+        return [
+            (request, resolved[request.request_id])
+            for request in group.requests
+        ]
+
+    scans = SharedDoorScans(framework.distance_index)
+    for request in group.requests:
+        try:
+            if group.kind is QueryKind.RANGE:
+                value: Any = batched_range_query(
+                    framework, request.position, request.radius, scans
+                )
+            else:
+                value = batched_knn_query(
+                    framework, request.position, request.k, scans
+                )
+        except ReproError as exc:
+            value = exc
+        out.append((request, value))
+    return out

@@ -1,0 +1,137 @@
+"""The serving layer's epoch-aware bounded LRU distance cache.
+
+Indoor topologies mutate (doors open, close, are demolished), and PR 1's
+staleness machinery already stamps every mutation with a monotone
+``topology_epoch``.  :class:`EpochLRUCache` rides on that: every entry is
+stored together with the epoch it was computed at, and a lookup only hits
+when the stored epoch equals the caller's current epoch.  A topology
+mutation therefore invalidates the whole cache *for free* — no listener
+registration, no explicit flush, no risk of a missed invalidation path.
+Stale entries are dropped lazily as they are touched (or eagerly via
+:meth:`purge_stale`).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, Hashable, Tuple
+
+_MISS = object()
+
+
+class EpochLRUCache:
+    """A bounded, thread-safe LRU cache keyed by ``(key, epoch)`` pairs.
+
+    Args:
+        capacity: maximum number of live entries; the least recently used
+            entry is evicted when a put would exceed it.  A capacity of 0
+            disables the cache (every get misses, every put is dropped).
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 0:
+            raise ValueError(f"cache capacity must be >= 0, got {capacity}")
+        self._capacity = capacity
+        self._data: "OrderedDict[Hashable, Tuple[int, Any]]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._invalidations = 0
+
+    # ------------------------------------------------------------------
+    # Core protocol
+    # ------------------------------------------------------------------
+    def get(self, key: Hashable, epoch: int, default: Any = None) -> Any:
+        """The cached value for ``key`` at ``epoch``, or ``default``.
+
+        An entry stored at a different epoch counts as a miss *and* is
+        dropped (it can never hit again: epochs are monotone).
+        """
+        with self._lock:
+            entry = self._data.get(key, _MISS)
+            if entry is _MISS:
+                self._misses += 1
+                return default
+            stored_epoch, value = entry
+            if stored_epoch != epoch:
+                del self._data[key]
+                self._invalidations += 1
+                self._misses += 1
+                return default
+            self._data.move_to_end(key)
+            self._hits += 1
+            return value
+
+    def contains(self, key: Hashable, epoch: int) -> bool:
+        """True when ``key`` is cached at exactly ``epoch`` (no LRU touch,
+        no stats update)."""
+        with self._lock:
+            entry = self._data.get(key, _MISS)
+            return entry is not _MISS and entry[0] == epoch
+
+    def put(self, key: Hashable, epoch: int, value: Any) -> None:
+        """Store ``value`` for ``key`` as computed at ``epoch``."""
+        if self._capacity == 0:
+            return
+        with self._lock:
+            if key in self._data:
+                del self._data[key]
+            self._data[key] = (epoch, value)
+            if len(self._data) > self._capacity:
+                self._data.popitem(last=False)
+                self._evictions += 1
+
+    def purge_stale(self, epoch: int) -> int:
+        """Eagerly drop every entry not computed at ``epoch``.
+
+        Returns the number of entries dropped.  Lazy dropping in
+        :meth:`get` makes this optional; it exists for callers that want
+        memory back immediately after a topology mutation.
+        """
+        with self._lock:
+            stale = [k for k, (e, _) in self._data.items() if e != epoch]
+            for key in stale:
+                del self._data[key]
+            self._invalidations += len(stale)
+            return len(stale)
+
+    def clear(self) -> None:
+        """Drop every entry (stats are kept)."""
+        with self._lock:
+            self._data.clear()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        """Number of live entries."""
+        with self._lock:
+            return len(self._data)
+
+    @property
+    def capacity(self) -> int:
+        """The configured maximum entry count."""
+        return self._capacity
+
+    @property
+    def hit_rate(self) -> float:
+        """hits / (hits + misses), or 0.0 before any lookup."""
+        with self._lock:
+            total = self._hits + self._misses
+            return self._hits / total if total else 0.0
+
+    def stats(self) -> Dict[str, Any]:
+        """A snapshot of the cache counters, for the metrics registry."""
+        with self._lock:
+            total = self._hits + self._misses
+            return {
+                "capacity": self._capacity,
+                "entries": len(self._data),
+                "hits": self._hits,
+                "misses": self._misses,
+                "hit_rate": self._hits / total if total else 0.0,
+                "evictions": self._evictions,
+                "invalidations": self._invalidations,
+            }

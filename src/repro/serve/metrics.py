@@ -1,0 +1,156 @@
+"""A lightweight, dependency-free metrics registry for the serving layer.
+
+Counters and latency histograms, thread-safe, snapshotted as one plain
+dict so benchmarks, tests, and operators all read the same numbers.  The
+histogram keeps a bounded window of the most recent observations (plus
+exact running count / sum / max), so long-running services get recent
+percentiles at fixed memory cost.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Deque, Dict, Optional
+
+#: Default number of most-recent samples a histogram retains.
+DEFAULT_WINDOW = 8192
+
+
+class Counter:
+    """A named, thread-safe, monotonically increasing counter."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def increment(self, amount: int = 1) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counter increment must be >= 0, got {amount}")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        """The current count."""
+        with self._lock:
+            return self._value
+
+
+class LatencyHistogram:
+    """Latency observations with percentile snapshots over a recent window.
+
+    The window (``maxlen`` most recent samples) bounds memory; ``count``,
+    ``total`` and ``max`` are exact over the full lifetime.
+    """
+
+    def __init__(self, name: str, window: int = DEFAULT_WINDOW) -> None:
+        if window < 1:
+            raise ValueError(f"histogram window must be >= 1, got {window}")
+        self.name = name
+        self._samples: Deque[float] = deque(maxlen=window)
+        self._count = 0
+        self._total = 0.0
+        self._max = 0.0
+        self._lock = threading.Lock()
+
+    def observe(self, value_ms: float) -> None:
+        """Record one latency observation, in milliseconds."""
+        with self._lock:
+            self._samples.append(value_ms)
+            self._count += 1
+            self._total += value_ms
+            if value_ms > self._max:
+                self._max = value_ms
+
+    @property
+    def count(self) -> int:
+        """Total number of observations ever recorded."""
+        with self._lock:
+            return self._count
+
+    def percentile(self, q: float) -> float:
+        """The nearest-rank ``q``-th percentile (0 < q <= 100) over the
+        retained window; 0.0 when empty."""
+        if not 0.0 < q <= 100.0:
+            raise ValueError(f"percentile must be in (0, 100], got {q}")
+        with self._lock:
+            if not self._samples:
+                return 0.0
+            ordered = sorted(self._samples)
+            rank = max(1, -(-len(ordered) * q // 100))  # ceil without math
+            return ordered[int(rank) - 1]
+
+    def snapshot(self) -> Dict[str, float]:
+        """count / mean / p50 / p95 / p99 / max as one plain dict."""
+        with self._lock:
+            ordered = sorted(self._samples)
+
+            def rank(q: float) -> float:
+                if not ordered:
+                    return 0.0
+                position = max(1, -(-len(ordered) * q // 100))
+                return ordered[int(position) - 1]
+
+            return {
+                "count": self._count,
+                "mean_ms": self._total / self._count if self._count else 0.0,
+                "p50_ms": rank(50),
+                "p95_ms": rank(95),
+                "p99_ms": rank(99),
+                "max_ms": self._max,
+            }
+
+
+class MetricsRegistry:
+    """Process-local registry of named counters and latency histograms.
+
+    ``counter`` / ``histogram`` get-or-create lazily, so instrumentation
+    points never need registration boilerplate; :meth:`snapshot` renders
+    everything as one dict for JSON emission.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._histograms: Dict[str, LatencyHistogram] = {}
+        self._lock = threading.Lock()
+
+    def counter(self, name: str) -> Counter:
+        """The counter registered under ``name`` (created on first use)."""
+        with self._lock:
+            if name not in self._counters:
+                self._counters[name] = Counter(name)
+            return self._counters[name]
+
+    def histogram(
+        self, name: str, window: Optional[int] = None
+    ) -> LatencyHistogram:
+        """The histogram registered under ``name`` (created on first use)."""
+        with self._lock:
+            if name not in self._histograms:
+                self._histograms[name] = LatencyHistogram(
+                    name, window or DEFAULT_WINDOW
+                )
+            return self._histograms[name]
+
+    def increment(self, name: str, amount: int = 1) -> None:
+        """Convenience: bump the counter called ``name``."""
+        self.counter(name).increment(amount)
+
+    def observe(self, name: str, value_ms: float) -> None:
+        """Convenience: record a latency sample on histogram ``name``."""
+        self.histogram(name).observe(value_ms)
+
+    def snapshot(self) -> Dict[str, Dict]:
+        """All counters and histogram summaries as one plain dict."""
+        with self._lock:
+            counters = dict(self._counters)
+            histograms = dict(self._histograms)
+        return {
+            "counters": {n: c.value for n, c in sorted(counters.items())},
+            "latency": {
+                n: h.snapshot() for n, h in sorted(histograms.items())
+            },
+        }

@@ -1,0 +1,447 @@
+""":class:`QueryService` — concurrent query serving over a `QueryEngine`.
+
+The serving pipeline, request to response:
+
+1. **Admission.**  ``submit`` stamps the request with a quality cap drawn
+   from the :class:`ShedPolicy` given the queue's occupancy at that
+   moment.  Under pressure the service never rejects — it descends the
+   existing :class:`~repro.runtime.ladder.QualityLevel` degradation
+   ladder instead, trading answer quality for instant service exactly as
+   :class:`~repro.runtime.resilient.ResilientQueryEngine` does for
+   failures.
+2. **Freshness.**  Before an exact batch runs, a stale framework (the
+   space's ``topology_epoch`` moved) is rebuilt under the bounded
+   :class:`~repro.runtime.retry.RetryPolicy`.
+3. **Caching.**  Answers live in an :class:`~repro.serve.cache.
+   EpochLRUCache` keyed by the epoch they were computed at; PR 1's
+   staleness machinery invalidates the whole cache for free.
+4. **Batching.**  Cache misses are grouped by
+   :func:`~repro.serve.batch.plan_batches` and executed over shared
+   substrates (one M_idx row walk / one Dijkstra frontier per group).
+5. **Metrics.**  Every stage feeds the
+   :class:`~repro.serve.metrics.MetricsRegistry`; ``metrics_snapshot``
+   returns the whole picture as one dict.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, Iterable, List, Optional, Union
+
+from repro.exceptions import ReproError, StaleIndexError
+from repro.index.framework import IndexFramework
+from repro.queries.engine import QueryEngine
+from repro.runtime.ladder import (
+    QualityLevel,
+    door_count_distance_value,
+    door_count_knn,
+    door_count_range,
+    euclidean_knn,
+    euclidean_lower_bound,
+    euclidean_range,
+)
+from repro.runtime.resilient import ResilientQueryEngine
+from repro.runtime.retry import RetryPolicy
+from repro.serve.batch import execute_group, plan_batches
+from repro.serve.cache import EpochLRUCache
+from repro.serve.metrics import MetricsRegistry
+from repro.serve.requests import QueryKind, QueryRequest, QueryResponse
+
+_MISS = object()
+
+
+@dataclass(frozen=True)
+class ShedPolicy:
+    """Admission-pressure thresholds mapped onto the degradation ladder.
+
+    Occupancy is ``queued requests / queue_capacity`` at submit time.
+
+    Attributes:
+        degrade_at: occupancy at/above which requests are capped at the
+            ``DOOR_COUNT`` rung (``None`` disables this band — the
+            door-count evaluators are exact-ish but not cheap, so the
+            default skips straight to shedding).
+        shed_at: occupancy at/above which requests are capped at the
+            instantaneous ``EUCLIDEAN`` rung.
+    """
+
+    degrade_at: Optional[float] = None
+    shed_at: float = 1.0
+
+    def quality_cap(self, occupancy: float) -> QualityLevel:
+        """The highest ladder rung a request admitted at ``occupancy``
+        may be served at."""
+        if occupancy >= self.shed_at:
+            return QualityLevel.EUCLIDEAN
+        if self.degrade_at is not None and occupancy >= self.degrade_at:
+            return QualityLevel.DOOR_COUNT
+        return QualityLevel.EXACT_INDEXED
+
+
+@dataclass
+class _Ticket:
+    """One admitted request travelling through the pipeline."""
+
+    request: QueryRequest
+    future: "Future[QueryResponse]"
+    enqueued_at: float
+    quality_cap: QualityLevel
+    retries: int = 0
+    shed: bool = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.shed = self.quality_cap is not QualityLevel.EXACT_INDEXED
+
+
+class QueryService:
+    """A thread-pool query server with batching, caching, and shedding.
+
+    Args:
+        engine: the engine to serve — a :class:`QueryEngine`, a bare
+            :class:`IndexFramework`, or a :class:`ResilientQueryEngine`
+            (unwrapped to its inner engine; the service supplies its own
+            staleness handling).
+        workers: worker threads draining the admission queue.
+        queue_capacity: nominal queue size; occupancy relative to it
+            drives the :class:`ShedPolicy`.  Submissions block (brief
+            backpressure) only beyond ``2 × queue_capacity``.
+        max_batch: most requests one worker drains per round; groups
+            formed within a round share work.
+        cache_capacity: entry bound for the epoch-keyed distance cache.
+        enable_cache / enable_batching: feature switches, mostly for
+            benchmarking the layers separately.
+        shed_policy: occupancy thresholds (default: shed to Euclidean at
+            a full queue, no door-count band).
+        rebuild_on_stale: rebuild the framework when the topology epoch
+            moved (otherwise stale exact queries fail with
+            :class:`~repro.exceptions.StaleIndexError`).
+        retry_policy: bounds for those rebuilds.
+        metrics: a registry to share with other components (one is
+            created when omitted).
+    """
+
+    def __init__(
+        self,
+        engine: Union[QueryEngine, IndexFramework, ResilientQueryEngine],
+        *,
+        workers: int = 2,
+        queue_capacity: int = 128,
+        max_batch: int = 16,
+        cache_capacity: int = 4096,
+        enable_cache: bool = True,
+        enable_batching: bool = True,
+        shed_policy: Optional[ShedPolicy] = None,
+        rebuild_on_stale: bool = True,
+        retry_policy: Optional[RetryPolicy] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if isinstance(engine, ResilientQueryEngine):
+            engine = engine.engine
+        elif isinstance(engine, IndexFramework):
+            engine = QueryEngine(engine)
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if queue_capacity < 1:
+            raise ValueError(
+                f"queue_capacity must be >= 1, got {queue_capacity}"
+            )
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self.engine = engine
+        self._workers = workers
+        self._queue_capacity = queue_capacity
+        self._max_batch = max_batch
+        self._enable_batching = enable_batching
+        self._shed_policy = shed_policy or ShedPolicy()
+        self._rebuild_on_stale = rebuild_on_stale
+        self._retry_policy = retry_policy or RetryPolicy()
+        self.cache = EpochLRUCache(cache_capacity if enable_cache else 0)
+        self.metrics = metrics or MetricsRegistry()
+
+        self._queue: Deque[_Ticket] = deque()
+        self._cv = threading.Condition()
+        self._rebuild_lock = threading.Lock()
+        self._threads: List[threading.Thread] = []
+        self._stopping = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "QueryService":
+        """Spawn the worker threads (idempotent)."""
+        with self._cv:
+            if self._threads:
+                return self
+            self._stopping = False
+            for i in range(self._workers):
+                thread = threading.Thread(
+                    target=self._worker_loop,
+                    name=f"repro-serve-{i}",
+                    daemon=True,
+                )
+                self._threads.append(thread)
+                thread.start()
+        return self
+
+    def stop(self, wait: bool = True) -> None:
+        """Stop accepting work; workers drain the queue, then exit."""
+        with self._cv:
+            self._stopping = True
+            self._cv.notify_all()
+        if wait:
+            for thread in self._threads:
+                thread.join()
+        self._threads = []
+
+    def __enter__(self) -> "QueryService":
+        """Start the workers on context entry."""
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        """Drain and stop the workers on context exit."""
+        self.stop(wait=True)
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        """Requests currently waiting for a worker."""
+        with self._cv:
+            return len(self._queue)
+
+    def submit(self, request: QueryRequest) -> "Future[QueryResponse]":
+        """Admit one request; resolve its answer asynchronously.
+
+        Never rejects: at/above the shed threshold the request is tagged
+        for a cheaper degradation-ladder rung instead.  Blocks briefly
+        only when the queue exceeds twice its nominal capacity (hard
+        backpressure bound).
+        """
+        if not self._threads:
+            self.start()
+        future: "Future[QueryResponse]" = Future()
+        with self._cv:
+            while (
+                len(self._queue) >= 2 * self._queue_capacity
+                and not self._stopping
+            ):
+                self._cv.wait(timeout=0.05)
+            occupancy = len(self._queue) / self._queue_capacity
+            cap = self._shed_policy.quality_cap(occupancy)
+            ticket = _Ticket(request, future, time.perf_counter(), cap)
+            self._queue.append(ticket)
+            self._cv.notify()
+        self.metrics.increment("serve.requests")
+        if ticket.shed:
+            self.metrics.increment("serve.shed")
+        return future
+
+    def serve(self, requests: Iterable[QueryRequest]) -> List[QueryResponse]:
+        """Submit many requests and wait for all; responses in input order."""
+        futures = [self.submit(request) for request in requests]
+        return [future.result() for future in futures]
+
+    def execute(self, request: QueryRequest) -> QueryResponse:
+        """Serve one request synchronously on the calling thread.
+
+        Bypasses the admission queue (so never sheds) but runs the same
+        freshness / cache / batch pipeline as queued requests.
+        """
+        future: "Future[QueryResponse]" = Future()
+        ticket = _Ticket(
+            request, future, time.perf_counter(), QualityLevel.EXACT_INDEXED
+        )
+        self.metrics.increment("serve.requests")
+        self._process([ticket])
+        return future.result()
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        """Counters, latency percentiles, and cache stats as one dict."""
+        snapshot = self.metrics.snapshot()
+        snapshot["cache"] = self.cache.stats()
+        return snapshot
+
+    # ------------------------------------------------------------------
+    # Worker pipeline
+    # ------------------------------------------------------------------
+    def _worker_loop(self) -> None:
+        while True:
+            with self._cv:
+                while not self._queue and not self._stopping:
+                    self._cv.wait()
+                if not self._queue and self._stopping:
+                    return
+                limit = self._max_batch if self._enable_batching else 1
+                batch: List[_Ticket] = []
+                while self._queue and len(batch) < limit:
+                    batch.append(self._queue.popleft())
+                self._cv.notify_all()  # wake blocked submitters
+            self._process(batch)
+
+    def _process(self, tickets: List[_Ticket]) -> None:
+        exact: List[_Ticket] = []
+        for ticket in tickets:
+            if ticket.quality_cap is QualityLevel.EXACT_INDEXED:
+                exact.append(ticket)
+            else:
+                self._serve_degraded(ticket)
+        if not exact:
+            return
+
+        try:
+            self._ensure_fresh()
+        except ReproError as exc:
+            for ticket in exact:
+                self._fail(ticket, exc)
+            return
+        framework = self.engine.framework
+        epoch = framework.space.topology_epoch
+
+        # Coalesce identical queries within the round: one execution fans
+        # out to every ticket asking the same question.
+        pending: "Dict[tuple, List[_Ticket]]" = {}
+        for ticket in exact:
+            key = ticket.request.cache_key()
+            value = self.cache.get(key, epoch, _MISS)
+            if value is not _MISS:
+                self.metrics.increment("serve.cache_hits")
+                self._complete(ticket, value, epoch=epoch, cached=True)
+                continue
+            self.metrics.increment("serve.cache_misses")
+            waiters = pending.setdefault(key, [])
+            if waiters:
+                self.metrics.increment("serve.coalesced")
+            waiters.append(ticket)
+
+        if not pending:
+            return
+        representatives = [waiters[0].request for waiters in pending.values()]
+        groups = plan_batches(framework.space, representatives)
+        self.metrics.increment("serve.batches", len(groups))
+        for group in groups:
+            if group.shared:
+                self.metrics.increment(
+                    "serve.batched_requests", len(group.requests)
+                )
+            for request, value in execute_group(framework, group):
+                waiters = pending[request.cache_key()]
+                if isinstance(value, StaleIndexError):
+                    for ticket in waiters:
+                        self._retry(ticket, value)
+                elif isinstance(value, Exception):
+                    for ticket in waiters:
+                        self._fail(ticket, value)
+                else:
+                    if framework.space.topology_epoch == epoch:
+                        self.cache.put(request.cache_key(), epoch, value)
+                    for index, ticket in enumerate(waiters):
+                        self._complete(
+                            ticket,
+                            value,
+                            epoch=epoch,
+                            batched=group.shared,
+                            cached=index > 0,
+                        )
+
+    def _retry(self, ticket: _Ticket, exc: Exception) -> None:
+        """Re-admit a ticket that hit mid-flight staleness (bounded)."""
+        if not self._rebuild_on_stale or ticket.retries >= 2:
+            self._fail(ticket, exc)
+            return
+        ticket.retries += 1
+        self.metrics.increment("serve.retries")
+        if self._threads:
+            with self._cv:
+                self._queue.append(ticket)
+                self._cv.notify()
+        else:
+            self._process([ticket])
+
+    def _ensure_fresh(self) -> None:
+        """Rebuild the framework when the topology epoch moved past it."""
+        if self.engine.framework.is_fresh:
+            return
+        if not self._rebuild_on_stale:
+            self.engine.framework.check_fresh()  # raises StaleIndexError
+        with self._rebuild_lock:
+            if not self.engine.framework.is_fresh:
+                self.engine.framework = self._retry_policy.run(
+                    self.engine.framework.rebuild
+                )
+                self.metrics.increment("serve.rebuilds")
+
+    def _serve_degraded(self, ticket: _Ticket) -> None:
+        """Answer from the capped ladder rung (never cached)."""
+        framework = self.engine.framework
+        request = ticket.request
+        epoch = framework.space.topology_epoch
+        level = ticket.quality_cap
+        try:
+            if request.kind is QueryKind.RANGE:
+                if level is QualityLevel.DOOR_COUNT:
+                    value: Any = door_count_range(
+                        framework, request.position, request.radius
+                    )
+                else:
+                    value = euclidean_range(
+                        framework, request.position, request.radius
+                    )
+            elif request.kind is QueryKind.KNN:
+                if level is QualityLevel.DOOR_COUNT:
+                    value = door_count_knn(
+                        framework, request.position, request.k
+                    )
+                else:
+                    value = euclidean_knn(framework, request.position, request.k)
+            else:
+                if level is QualityLevel.DOOR_COUNT:
+                    value = door_count_distance_value(
+                        framework, request.position, request.target
+                    )
+                else:
+                    value = euclidean_lower_bound(
+                        request.position, request.target
+                    )
+        except ReproError as exc:
+            self._fail(ticket, exc)
+            return
+        self.metrics.increment("serve.degraded")
+        self._complete(ticket, value, epoch=epoch, quality=level, shed=True)
+
+    def _complete(
+        self,
+        ticket: _Ticket,
+        value: Any,
+        *,
+        epoch: int,
+        quality: QualityLevel = QualityLevel.EXACT_INDEXED,
+        cached: bool = False,
+        batched: bool = False,
+        shed: bool = False,
+    ) -> None:
+        latency_ms = (time.perf_counter() - ticket.enqueued_at) * 1000.0
+        response = QueryResponse(
+            request=ticket.request,
+            value=value,
+            quality=quality,
+            served_epoch=epoch,
+            cached=cached,
+            batched=batched,
+            shed=shed,
+            latency_ms=latency_ms,
+        )
+        self.metrics.increment("serve.responses")
+        self.metrics.observe("serve.latency_ms", latency_ms)
+        self.metrics.observe(
+            f"serve.latency_ms.{ticket.request.kind.value}", latency_ms
+        )
+        ticket.future.set_result(response)
+
+    def _fail(self, ticket: _Ticket, exc: Exception) -> None:
+        self.metrics.increment("serve.errors")
+        ticket.future.set_exception(exc)

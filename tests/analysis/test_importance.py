@@ -15,9 +15,7 @@ from repro.model.figure1 import (
     D13,
     D15,
     D21,
-    D22,
     D24,
-    ROOM_13,
     build_figure1,
 )
 from repro.synthetic import BuildingConfig, generate_building

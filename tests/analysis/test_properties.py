@@ -1,6 +1,5 @@
 """Property-based tests for the analysis layer."""
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 
 from repro.analysis import (

@@ -47,3 +47,13 @@ class TestBenchCli:
     def test_unknown_figure_rejected(self, stubbed_figures):
         with pytest.raises(SystemExit):
             bench_cli.main(["nonexistent"])
+
+    def test_json_output(self, stubbed_figures, capsys, tmp_path):
+        import json
+
+        target = tmp_path / "rows.json"
+        assert bench_cli.main(["fig6", "--json", str(target)]) == 0
+        payload = json.loads(target.read_text())
+        assert payload["scale"] in ("quick", "paper")
+        assert payload["figures"]["fig6"]["title"] == "Stub figure six"
+        assert payload["figures"]["fig6"]["rows"][1]["algorithm3_ms"] == 3.25

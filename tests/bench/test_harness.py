@@ -1,7 +1,6 @@
 """Unit tests for the benchmark harness (tiny scales: correctness of the
 plumbing, not performance)."""
 
-import pytest
 
 from repro.bench.harness import (
     BenchScale,

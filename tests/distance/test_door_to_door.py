@@ -15,7 +15,6 @@ from repro.model.figure1 import (
     D14,
     D15,
     D21,
-    D22,
     D24,
     HALLWAY,
     ROOM_12,

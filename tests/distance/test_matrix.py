@@ -10,7 +10,6 @@ from repro.distance.door_to_door import d2d_distance
 from repro.model.figure1 import (
     D1,
     D11,
-    D12,
     D15,
     build_figure1,
     build_figure1_subplan,

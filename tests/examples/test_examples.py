@@ -4,7 +4,6 @@ claims its scenario is built around."""
 import runpy
 from pathlib import Path
 
-import pytest
 
 EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
 

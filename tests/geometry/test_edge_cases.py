@@ -1,6 +1,5 @@
 """Geometry edge cases: degenerate inputs, boundary coincidences, convexity."""
 
-import pytest
 
 from repro.geometry import BoundingBox, Point, Polygon, Segment, rectangle
 

@@ -1,6 +1,5 @@
 """Unit and property tests for points and segments."""
 
-import math
 
 import pytest
 from hypothesis import given

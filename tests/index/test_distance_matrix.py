@@ -1,7 +1,6 @@
 """Tests for M_d2d + M_idx (§IV-A) — including the Figure 3/4 reproduction
 on the paper's six-door sub-plan (experiments E-F3 and E-F4)."""
 
-import math
 
 import numpy as np
 import pytest
@@ -12,9 +11,7 @@ from repro.index import DistanceIndexMatrix
 from repro.model.figure1 import (
     D1,
     D11,
-    D12,
     D13,
-    D14,
     D15,
     SUBPLAN_DOORS,
     build_figure1,

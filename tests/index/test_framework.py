@@ -8,7 +8,6 @@ from repro.index import IndexFramework, IndoorObject, ObjectStore
 from repro.model.figure1 import (
     HALLWAY,
     P,
-    Q,
     ROOM_11,
     ROOM_13,
     build_figure1,

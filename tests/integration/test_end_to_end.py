@@ -10,7 +10,6 @@ import pytest
 
 from repro import (
     IndexFramework,
-    IndoorObject,
     Point,
     QueryEngine,
     pt2pt_distance,

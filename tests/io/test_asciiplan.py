@@ -6,7 +6,6 @@ import pytest
 
 from repro.distance import pt2pt_distance
 from repro.exceptions import SerializationError
-from repro.geometry import Point
 from repro.io import parse_ascii_plan
 from repro.model.validation import validate_space
 

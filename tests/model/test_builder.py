@@ -5,8 +5,8 @@ import math
 import pytest
 
 from repro.exceptions import ModelError, UnknownEntityError
-from repro.geometry import Point, Segment, rectangle
-from repro.model import IndoorSpaceBuilder, PartitionKind
+from repro.geometry import Point, rectangle
+from repro.model import IndoorSpaceBuilder
 from repro.model.figure1 import (
     D12,
     D13,

@@ -7,7 +7,6 @@ silently weaken other tests fails loudly instead.
 
 import pytest
 
-from repro.geometry import Point
 from repro.model import PartitionKind
 from repro.model.figure1 import (
     D1,

@@ -1,6 +1,5 @@
 """Tests for the floor-plan linter."""
 
-import pytest
 
 from repro.geometry import Point, Segment, rectangle
 from repro.model import IndoorSpaceBuilder

@@ -1,7 +1,6 @@
 """Tests for Algorithm 6 (nearest neighbour / kNN), verified against the
 brute-force pt2pt oracle."""
 
-import math
 import random
 
 import pytest

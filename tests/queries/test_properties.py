@@ -2,7 +2,6 @@
 indexed queries must match the brute-force pt2pt oracle on arbitrary plans,
 object placements, and parameters."""
 
-import math
 import random
 
 import pytest

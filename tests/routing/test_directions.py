@@ -1,6 +1,5 @@
 """Tests for per-leg route decomposition and textual directions."""
 
-import math
 
 import pytest
 

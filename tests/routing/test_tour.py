@@ -10,7 +10,7 @@ from repro.exceptions import QueryError, UnreachableError
 from repro.geometry import Point, Segment, rectangle
 from repro.model import IndoorSpaceBuilder
 from repro.routing import plan_tour
-from repro.routing.tour import _held_karp, _path_cost, _distance_table
+from repro.routing.tour import _path_cost, _distance_table
 from tests.strategies import build_grid_plan
 
 

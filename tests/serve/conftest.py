@@ -1,0 +1,34 @@
+"""Shared fixtures for the serving-layer tests."""
+
+import random
+
+import pytest
+
+from repro.index import IndexFramework, IndoorObject
+from repro.model.figure1 import build_figure1
+from tests.queries.conftest import random_point_in
+
+
+@pytest.fixture
+def serve_framework():
+    """A fresh Figure-1 space + 60 deterministic objects, fully indexed.
+
+    Function-scoped: the service tests mutate the topology mid-stream.
+    """
+    space = build_figure1()
+    rng = random.Random(4242)
+    indoor_ids = [p for p in space.partition_ids if p != 0]
+    objects = [
+        IndoorObject(i, random_point_in(space, rng, indoor_ids))
+        for i in range(60)
+    ]
+    return IndexFramework.build(space, objects)
+
+
+@pytest.fixture
+def query_positions(serve_framework):
+    """A deterministic pool of valid query positions in the space."""
+    space = serve_framework.space
+    rng = random.Random(17)
+    indoor_ids = [p for p in space.partition_ids if p != 0]
+    return [random_point_in(space, rng, indoor_ids) for _ in range(12)]

@@ -1,0 +1,151 @@
+"""Shared-work batching: planning, exactness, and row sharing."""
+
+import math
+
+from repro.distance import pt2pt_distance
+from repro.geometry import Point
+from repro.queries import knn_query, range_query
+from repro.serve import (
+    QueryRequest,
+    SharedDoorScans,
+    batched_knn_query,
+    batched_pt2pt_distances,
+    batched_range_query,
+    execute_group,
+    plan_batches,
+)
+
+
+class TestPlanning:
+    def test_same_partition_requests_group(self, serve_framework, query_positions):
+        space = serve_framework.space
+        position = query_positions[0]
+        requests = [
+            QueryRequest.range_query(position, 5.0),
+            QueryRequest.range_query(position, 9.0),
+        ]
+        groups = plan_batches(space, requests)
+        assert len(groups) == 1
+        assert groups[0].shared
+
+    def test_kinds_never_mix(self, serve_framework, query_positions):
+        position = query_positions[0]
+        requests = [
+            QueryRequest.range_query(position, 5.0),
+            QueryRequest.knn(position, k=3),
+        ]
+        groups = plan_batches(serve_framework.space, requests)
+        assert len(groups) == 2
+
+    def test_pt2pt_groups_by_source(self, serve_framework, query_positions):
+        source = query_positions[0]
+        requests = [
+            QueryRequest.pt2pt(source, query_positions[1]),
+            QueryRequest.pt2pt(source, query_positions[2]),
+            QueryRequest.pt2pt(query_positions[3], query_positions[1]),
+        ]
+        groups = plan_batches(serve_framework.space, requests)
+        assert [len(g.requests) for g in groups] == [2, 1]
+
+    def test_unlocatable_position_gets_a_singleton(
+        self, serve_framework, query_positions
+    ):
+        outside = Point(500.0, 500.0)
+        requests = [
+            QueryRequest.range_query(query_positions[0], 5.0),
+            QueryRequest.range_query(outside, 5.0),
+        ]
+        groups = plan_batches(serve_framework.space, requests)
+        assert len(groups) == 2
+        results = execute_group(serve_framework, groups[1])
+        assert isinstance(results[0][1], Exception)
+
+
+class TestBitIdentical:
+    """Batched execution must equal sequential execution exactly —
+    same ids, same floats, same ordering."""
+
+    def test_range_matches_sequential(self, serve_framework, query_positions):
+        scans = SharedDoorScans(serve_framework.distance_index)
+        for position in query_positions:
+            for radius in (3.0, 8.0, 15.0):
+                assert batched_range_query(
+                    serve_framework, position, radius, scans
+                ) == range_query(serve_framework, position, radius, use_index=True)
+
+    def test_knn_matches_sequential(self, serve_framework, query_positions):
+        scans = SharedDoorScans(serve_framework.distance_index)
+        for position in query_positions:
+            for k in (1, 3, 10):
+                assert batched_knn_query(
+                    serve_framework, position, k, scans
+                ) == knn_query(serve_framework, position, k, use_index=True)
+
+    def test_pt2pt_matches_sequential(self, serve_framework, query_positions):
+        space = serve_framework.space
+        source = query_positions[0]
+        targets = query_positions[1:]
+        got = batched_pt2pt_distances(space, source, targets)
+        want = [pt2pt_distance(space, source, target) for target in targets]
+        assert got == want
+
+    def test_pt2pt_same_partition_direct_candidate(
+        self, serve_framework, query_positions
+    ):
+        space = serve_framework.space
+        source = query_positions[0]
+        got = batched_pt2pt_distances(space, source, [source])
+        assert got == [pt2pt_distance(space, source, source)]
+        assert got[0] == 0.0
+
+    def test_executed_group_matches_sequential(
+        self, serve_framework, query_positions
+    ):
+        position = query_positions[0]
+        requests = [
+            QueryRequest.range_query(position, radius)
+            for radius in (4.0, 8.0, 16.0)
+        ]
+        (group,) = plan_batches(serve_framework.space, requests)
+        for request, value in execute_group(serve_framework, group):
+            assert value == range_query(
+                serve_framework, request.position, request.radius, use_index=True
+            )
+
+
+class TestSharing:
+    def test_rows_are_walked_once_per_batch(
+        self, serve_framework, query_positions
+    ):
+        scans = SharedDoorScans(serve_framework.distance_index)
+        position = query_positions[0]
+        batched_range_query(serve_framework, position, 12.0, scans)
+        opened_after_first = scans.rows_opened
+        batched_range_query(serve_framework, position, 12.0, scans)
+        assert scans.rows_opened == opened_after_first
+        assert scans.rows_reused > 0
+
+    def test_shared_row_prefix_grows_to_deepest_consumer(
+        self, serve_framework, query_positions
+    ):
+        scans = SharedDoorScans(serve_framework.distance_index)
+        position = query_positions[0]
+        shallow = batched_range_query(serve_framework, position, 2.0, scans)
+        deep = batched_range_query(serve_framework, position, 20.0, scans)
+        assert set(shallow) <= set(deep)
+
+    def test_unreachable_pt2pt_target_is_inf_not_error(self, serve_framework):
+        space = serve_framework.space
+        # Distances to a same-position target are exact; unreachable pairs
+        # must come back inf without poisoning reachable ones.
+        from tests.queries.conftest import random_point_in
+        import random
+
+        rng = random.Random(5)
+        indoor = [p for p in space.partition_ids if p != 0]
+        source = random_point_in(space, rng, indoor)
+        target = random_point_in(space, rng, indoor)
+        values = batched_pt2pt_distances(space, source, [target, source])
+        assert values[1] == 0.0
+        assert values[0] == pt2pt_distance(space, source, target)
+        assert all(v >= 0.0 or math.isinf(v) for v in values)

@@ -1,0 +1,104 @@
+"""EpochLRUCache: hits, LRU eviction, and epoch invalidation."""
+
+import pytest
+
+from repro.serve import EpochLRUCache
+
+
+class TestBasics:
+    def test_miss_then_hit(self):
+        cache = EpochLRUCache(capacity=4)
+        assert cache.get("a", epoch=0) is None
+        cache.put("a", epoch=0, value=[1, 2])
+        assert cache.get("a", epoch=0) == [1, 2]
+
+    def test_default_on_miss(self):
+        cache = EpochLRUCache(capacity=4)
+        assert cache.get("nope", epoch=0, default="fallback") == "fallback"
+
+    def test_put_overwrites(self):
+        cache = EpochLRUCache(capacity=4)
+        cache.put("a", 0, "old")
+        cache.put("a", 0, "new")
+        assert cache.get("a", 0) == "new"
+        assert len(cache) == 1
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            EpochLRUCache(capacity=-1)
+
+    def test_zero_capacity_disables(self):
+        cache = EpochLRUCache(capacity=0)
+        cache.put("a", 0, "x")
+        assert cache.get("a", 0) is None
+        assert len(cache) == 0
+
+
+class TestLRU:
+    def test_eviction_order_is_least_recently_used(self):
+        cache = EpochLRUCache(capacity=2)
+        cache.put("a", 0, 1)
+        cache.put("b", 0, 2)
+        assert cache.get("a", 0) == 1  # refresh a
+        cache.put("c", 0, 3)  # evicts b
+        assert cache.get("b", 0) is None
+        assert cache.get("a", 0) == 1
+        assert cache.get("c", 0) == 3
+        assert cache.stats()["evictions"] == 1
+
+    def test_capacity_bound_holds(self):
+        cache = EpochLRUCache(capacity=3)
+        for i in range(10):
+            cache.put(i, 0, i)
+        assert len(cache) == 3
+
+
+class TestEpochInvalidation:
+    def test_stale_epoch_misses_and_drops(self):
+        cache = EpochLRUCache(capacity=4)
+        cache.put("a", epoch=0, value="old answer")
+        assert cache.get("a", epoch=1) is None  # topology moved
+        assert len(cache) == 0  # dropped, not kept
+        assert cache.stats()["invalidations"] == 1
+
+    def test_new_epoch_value_replaces(self):
+        cache = EpochLRUCache(capacity=4)
+        cache.put("a", 0, "old")
+        cache.put("a", 1, "new")
+        assert cache.get("a", 1) == "new"
+        assert cache.get("a", 0) is None  # and the old epoch is gone
+
+    def test_contains_is_epoch_exact(self):
+        cache = EpochLRUCache(capacity=4)
+        cache.put("a", 0, "x")
+        assert cache.contains("a", 0)
+        assert not cache.contains("a", 1)
+
+    def test_purge_stale_drops_only_old_epochs(self):
+        cache = EpochLRUCache(capacity=8)
+        cache.put("a", 0, 1)
+        cache.put("b", 0, 2)
+        cache.put("c", 1, 3)
+        assert cache.purge_stale(epoch=1) == 2
+        assert len(cache) == 1
+        assert cache.get("c", 1) == 3
+
+
+class TestStats:
+    def test_hit_rate(self):
+        cache = EpochLRUCache(capacity=4)
+        cache.put("a", 0, 1)
+        cache.get("a", 0)
+        cache.get("a", 0)
+        cache.get("b", 0)
+        assert cache.hit_rate == pytest.approx(2 / 3)
+        stats = cache.stats()
+        assert stats["hits"] == 2 and stats["misses"] == 1
+
+    def test_clear_keeps_stats(self):
+        cache = EpochLRUCache(capacity=4)
+        cache.put("a", 0, 1)
+        cache.get("a", 0)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats()["hits"] == 1

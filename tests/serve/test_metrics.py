@@ -1,0 +1,101 @@
+"""Counters, latency histograms, and the registry snapshot."""
+
+import threading
+
+import pytest
+
+from repro.serve import Counter, LatencyHistogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_increments(self):
+        counter = Counter("requests")
+        counter.increment()
+        counter.increment(4)
+        assert counter.value == 5
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("x").increment(-1)
+
+    def test_thread_safety(self):
+        counter = Counter("x")
+
+        def bump():
+            for _ in range(1000):
+                counter.increment()
+
+        threads = [threading.Thread(target=bump) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == 8000
+
+
+class TestLatencyHistogram:
+    def test_percentiles_nearest_rank(self):
+        histogram = LatencyHistogram("lat")
+        for value in range(1, 101):  # 1..100 ms
+            histogram.observe(float(value))
+        assert histogram.percentile(50) == 50.0
+        assert histogram.percentile(95) == 95.0
+        assert histogram.percentile(99) == 99.0
+        assert histogram.percentile(100) == 100.0
+
+    def test_percentile_bounds_checked(self):
+        histogram = LatencyHistogram("lat")
+        with pytest.raises(ValueError):
+            histogram.percentile(0)
+        with pytest.raises(ValueError):
+            histogram.percentile(101)
+
+    def test_empty_snapshot(self):
+        snapshot = LatencyHistogram("lat").snapshot()
+        assert snapshot["count"] == 0
+        assert snapshot["p50_ms"] == 0.0
+
+    def test_snapshot_fields(self):
+        histogram = LatencyHistogram("lat")
+        for value in (1.0, 2.0, 3.0, 4.0):
+            histogram.observe(value)
+        snapshot = histogram.snapshot()
+        assert snapshot["count"] == 4
+        assert snapshot["mean_ms"] == pytest.approx(2.5)
+        assert snapshot["max_ms"] == 4.0
+
+    def test_window_bounds_memory_but_count_is_exact(self):
+        histogram = LatencyHistogram("lat", window=10)
+        for value in range(100):
+            histogram.observe(float(value))
+        assert histogram.count == 100
+        # Percentiles reflect the 10 most recent samples (90..99).
+        assert histogram.percentile(50) >= 90.0
+
+    def test_window_must_be_positive(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram("lat", window=0)
+
+
+class TestRegistry:
+    def test_get_or_create(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_convenience_helpers(self):
+        registry = MetricsRegistry()
+        registry.increment("served", 3)
+        registry.observe("lat", 12.0)
+        assert registry.counter("served").value == 3
+        assert registry.histogram("lat").count == 1
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.increment("b")
+        registry.increment("a", 2)
+        registry.observe("lat", 5.0)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {"a": 2, "b": 1}
+        assert snapshot["latency"]["lat"]["count"] == 1
+        assert list(snapshot["counters"]) == ["a", "b"]  # sorted

@@ -1,0 +1,115 @@
+"""QueryRequest / QueryResponse envelopes: validation, keys, provenance."""
+
+import math
+
+import pytest
+
+from repro.exceptions import QueryError
+from repro.geometry import Point
+from repro.runtime import QualityLevel
+from repro.serve import QueryKind, QueryRequest, QueryResponse
+
+
+P1 = Point(1.0, 5.0)
+P2 = Point(7.0, 7.0)
+
+
+class TestFactories:
+    def test_range_factory(self):
+        request = QueryRequest.range_query(P1, 12.5)
+        assert request.kind is QueryKind.RANGE
+        assert request.radius == 12.5
+        assert request.k is None and request.target is None
+
+    def test_knn_factory(self):
+        request = QueryRequest.knn(P1, k=7)
+        assert request.kind is QueryKind.KNN
+        assert request.k == 7
+
+    def test_knn_defaults_to_nearest_neighbor(self):
+        assert QueryRequest.knn(P1).k == 1
+
+    def test_pt2pt_factory(self):
+        request = QueryRequest.pt2pt(P1, P2)
+        assert request.kind is QueryKind.PT2PT
+        assert request.target == P2
+
+    def test_request_ids_are_unique_and_monotone(self):
+        a = QueryRequest.knn(P1)
+        b = QueryRequest.knn(P1)
+        assert b.request_id > a.request_id
+
+
+class TestValidation:
+    def test_range_needs_radius(self):
+        with pytest.raises(QueryError):
+            QueryRequest(QueryKind.RANGE, P1)
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(QueryError):
+            QueryRequest.range_query(P1, -1.0)
+
+    def test_nan_radius_rejected(self):
+        with pytest.raises(QueryError):
+            QueryRequest.range_query(P1, math.nan)
+
+    def test_knn_needs_positive_k(self):
+        with pytest.raises(QueryError):
+            QueryRequest.knn(P1, k=0)
+
+    def test_pt2pt_needs_target(self):
+        with pytest.raises(QueryError):
+            QueryRequest(QueryKind.PT2PT, P1)
+
+    def test_non_finite_position_rejected(self):
+        with pytest.raises(QueryError):
+            QueryRequest.knn(Point(math.inf, 0.0), k=1)
+
+    def test_non_finite_target_rejected(self):
+        with pytest.raises(QueryError):
+            QueryRequest.pt2pt(P1, Point(math.nan, 1.0))
+
+
+class TestCacheKey:
+    def test_identical_queries_share_a_key(self):
+        a = QueryRequest.range_query(P1, 10.0)
+        b = QueryRequest.range_query(Point(1.0, 5.0), 10.0)
+        assert a.request_id != b.request_id
+        assert a.cache_key() == b.cache_key()
+
+    def test_different_parameters_differ(self):
+        assert (
+            QueryRequest.range_query(P1, 10.0).cache_key()
+            != QueryRequest.range_query(P1, 11.0).cache_key()
+        )
+        assert (
+            QueryRequest.knn(P1, k=2).cache_key()
+            != QueryRequest.knn(P1, k=3).cache_key()
+        )
+
+    def test_kinds_never_collide(self):
+        keys = {
+            QueryRequest.range_query(P1, 3.0).cache_key(),
+            QueryRequest.knn(P1, k=3).cache_key(),
+            QueryRequest.pt2pt(P1, P2).cache_key(),
+        }
+        assert len(keys) == 3
+
+    def test_pt2pt_is_directional(self):
+        assert (
+            QueryRequest.pt2pt(P1, P2).cache_key()
+            != QueryRequest.pt2pt(P2, P1).cache_key()
+        )
+
+
+class TestResponse:
+    def test_degraded_property(self):
+        request = QueryRequest.knn(P1)
+        exact = QueryResponse(
+            request, [], QualityLevel.EXACT_INDEXED, served_epoch=0
+        )
+        shed = QueryResponse(
+            request, [], QualityLevel.EUCLIDEAN, served_epoch=0, shed=True
+        )
+        assert not exact.degraded
+        assert shed.degraded and shed.shed

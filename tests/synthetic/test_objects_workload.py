@@ -4,7 +4,6 @@ import random
 
 import pytest
 
-from repro.geometry import Point
 from repro.synthetic import (
     BuildingConfig,
     build_object_store,

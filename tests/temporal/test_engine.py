@@ -4,7 +4,7 @@ import pytest
 
 from repro.geometry import Point
 from repro.index import IndexFramework, IndoorObject
-from repro.model.figure1 import D13, D15, P, Q, ROOM_13, build_figure1
+from repro.model.figure1 import D13, P, Q, build_figure1
 from repro.queries import brute_force_knn, brute_force_range
 from repro.temporal import (
     DoorSchedule,
