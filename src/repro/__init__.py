@@ -25,6 +25,12 @@ The public API mirrors the paper's architecture:
   answers concurrent workloads over one engine — shared-work batching,
   an epoch-keyed LRU distance cache, degradation-ladder load shedding,
   and a built-in metrics registry.
+* **Persistence** (:mod:`repro.persist`, beyond the paper): checksummed
+  snapshot generations (:func:`save_snapshot` / :func:`load_snapshot`,
+  :class:`SnapshotStore`), a topology write-ahead log
+  (:class:`TopologyWAL` / :class:`WalRecorder`), and the
+  :class:`RecoveryManager` quarantine ladder behind
+  :class:`SupervisedQueryService`'s warm start and graceful shutdown.
 
 Quickstart::
 
@@ -45,12 +51,16 @@ from repro.exceptions import (
     IndexError_,
     ModelError,
     QueryError,
+    RecoveryError,
     ReproError,
     SerializationError,
+    ServiceUnavailableError,
+    SnapshotCorruptError,
     StaleIndexError,
     TopologyError,
     UnknownEntityError,
     UnreachableError,
+    WalCorruptError,
 )
 from repro.geometry import BoundingBox, Point, Polygon, Segment, rectangle
 from repro.model import (
@@ -86,6 +96,15 @@ from repro.index import (
     PartitionGrid,
     PartitionRTree,
 )
+from repro.persist import (
+    RecoveryManager,
+    RecoveryReport,
+    SnapshotStore,
+    TopologyWAL,
+    WalRecorder,
+    load_snapshot,
+    save_snapshot,
+)
 from repro.queries import (
     QueryEngine,
     brute_force_knn,
@@ -109,10 +128,12 @@ from repro.serve import (
     QueryRequest,
     QueryResponse,
     QueryService,
+    ServiceState,
     ShedPolicy,
+    SupervisedQueryService,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "AccessibilityGraph",
@@ -149,18 +170,29 @@ __all__ = [
     "QueryRequest",
     "QueryResponse",
     "QueryService",
+    "RecoveryError",
+    "RecoveryManager",
+    "RecoveryReport",
     "ReproError",
     "ResilientQueryEngine",
     "ResilientResult",
     "RetryPolicy",
     "Segment",
     "SerializationError",
+    "ServiceState",
+    "ServiceUnavailableError",
     "ShedPolicy",
+    "SnapshotCorruptError",
+    "SnapshotStore",
     "StaleIndexError",
+    "SupervisedQueryService",
     "Topology",
     "TopologyError",
+    "TopologyWAL",
     "UnknownEntityError",
     "UnreachableError",
+    "WalCorruptError",
+    "WalRecorder",
     "brute_force_knn",
     "brute_force_range",
     "build_distance_matrix",
@@ -170,6 +202,7 @@ __all__ = [
     "door_count_distance",
     "door_count_pt2pt",
     "knn_query",
+    "load_snapshot",
     "nn_query",
     "pt2pt_distance",
     "pt2pt_distance_basic",
@@ -177,4 +210,5 @@ __all__ = [
     "pt2pt_distance_refined",
     "pt2pt_path",
     "range_query",
+    "save_snapshot",
 ]

@@ -5,9 +5,16 @@ Commands:
 * ``info PLAN.json`` — model statistics plus the floor-plan lint report;
 * ``audit PLAN.json [--exits ID ...]`` — door-significance analysis
   (betweenness, single points of failure) and evacuation safety;
-* ``doctor PLAN.json [--objects OBJ.json]`` — one exit-code-bearing health
-  report: floor-plan lint plus §IV index integrity (M_d2d symmetry,
-  non-negativity, finiteness; DPT completeness);
+* ``doctor PLAN.json [--objects OBJ.json] [--snapshot SNAP]`` — one
+  exit-code-bearing health report: floor-plan lint plus §IV index
+  integrity (M_d2d symmetry, non-negativity, finiteness; DPT
+  completeness); with ``--snapshot`` the checks run on a persisted
+  snapshot (checksums + invariants) instead of a freshly built index;
+* ``persist save PLAN.json DIR`` / ``persist load DIR`` /
+  ``persist verify DIR|SNAP`` — crash-safe snapshot management: save a
+  new checksummed generation, run the recovery ladder (WAL replay,
+  quarantine, optional rebuild fallback), or verify checksums +
+  integrity without serving;
 * ``distance PLAN.json X1 Y1 X2 Y2 [--floor1 N] [--floor2 N]`` — minimum
   indoor walking distance and turn-by-turn directions between two points;
 * ``render PLAN.json -o OUT.svg [--floor N]`` — draw a floor to SVG;
@@ -88,10 +95,50 @@ def _cmd_audit(args: argparse.Namespace) -> int:
     return 0
 
 
+def _verify_snapshot_file(path: str) -> int:
+    """Checksum + integrity verification of one snapshot file; 0 = healthy."""
+    from repro.exceptions import SnapshotCorruptError
+    from repro.model.validation import Severity
+    from repro.persist import load_snapshot
+    from repro.runtime import check_index_integrity
+
+    print(f"snapshot: {path}")
+    try:
+        framework, manifest = load_snapshot(path)
+    except SnapshotCorruptError as exc:
+        print(f"  checksum/structure: CORRUPT ({exc.section}): {exc}")
+        return 1
+    print(
+        f"  checksum/structure: ok (format v{manifest['format_version']}, "
+        f"epoch {manifest['topology_epoch']}, {manifest['doors']} doors, "
+        f"{manifest['objects']} objects)"
+    )
+    issues = check_index_integrity(framework)
+    errors = [i for i in issues if i.severity is Severity.ERROR]
+    if issues:
+        print("  index integrity:")
+        for issue in issues:
+            print(f"    {issue}")
+    else:
+        print("  index integrity: clean")
+    return 1 if errors else 0
+
+
 def _cmd_doctor(args: argparse.Namespace) -> int:
     from repro.index import IndexFramework
     from repro.model.validation import Severity
     from repro.runtime import check_index_integrity
+
+    if args.snapshot is not None:
+        status = _verify_snapshot_file(args.snapshot)
+        if args.plan is None:
+            print("doctor: healthy" if status == 0 else "doctor: snapshot corrupt")
+            return status
+    elif args.plan is None:
+        print("doctor: a PLAN.json or --snapshot PATH is required")
+        return 2
+    else:
+        status = 0
 
     space = load_space(args.plan)
     plan_issues = validate_space(space)
@@ -128,8 +175,8 @@ def _cmd_doctor(args: argparse.Namespace) -> int:
         for issue in plan_issues + index_issues
         if issue.severity is Severity.ERROR
     ]
-    if errors:
-        print(f"doctor: {len(errors)} error(s)")
+    if errors or status:
+        print(f"doctor: {len(errors) + status} error(s)")
         return 1
     print("doctor: healthy")
     return 0
@@ -174,6 +221,81 @@ def _cmd_export_figure1(args: argparse.Namespace) -> int:
     save_space(build_figure1(), args.output)
     print(f"wrote {args.output}")
     return 0
+
+
+def _cmd_persist_save(args: argparse.Namespace) -> int:
+    from repro.index import IndexFramework
+    from repro.persist import SnapshotStore, read_manifest
+
+    space = load_space(args.plan)
+    objects = None
+    if args.objects:
+        from repro.io import load_objects
+
+        objects = load_objects(args.objects)
+    framework = IndexFramework.build(space, objects, args.cell_size)
+    store = SnapshotStore(args.directory)
+    path = store.save(framework, wal_seq=store.wal().last_seq)
+    manifest = read_manifest(path)
+    print(
+        f"wrote {path} (generation {store.latest()}, "
+        f"{manifest['doors']} doors, {manifest['objects']} objects, "
+        f"epoch {manifest['topology_epoch']})"
+    )
+    return 0
+
+
+def _cmd_persist_load(args: argparse.Namespace) -> int:
+    from repro.exceptions import RecoveryError
+    from repro.index import IndexFramework
+    from repro.persist import RecoveryManager, SnapshotStore
+
+    store = SnapshotStore(args.directory)
+    rebuild = None
+    if args.plan:
+        plan_path = args.plan
+
+        def rebuild() -> "IndexFramework":
+            return IndexFramework.build(load_space(plan_path))
+
+    manager = RecoveryManager(store, rebuild=rebuild)
+    try:
+        report = manager.recover()
+    except RecoveryError as exc:
+        print(f"recovery failed: {exc}")
+        return 1
+    for note in report.notes:
+        print(f"  {note}")
+    memory = report.framework.memory_report()
+    print(
+        f"recovered via {report.source.value}"
+        + (f" (generation {report.generation})" if report.generation else "")
+        + f": {memory['doors']} doors, {memory['objects']} objects, "
+        f"epoch {report.framework.space.topology_epoch}"
+    )
+    if report.quarantined:
+        print(f"quarantined: {[p.name for p in report.quarantined]}")
+        return 1 if args.strict else 0
+    return 0
+
+
+def _cmd_persist_verify(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.persist import SnapshotStore
+
+    target = Path(args.target)
+    if target.is_dir():
+        store = SnapshotStore(target)
+        generations = store.generations()
+        if not generations:
+            print(f"no snapshot generations in {target}")
+            return 1
+        status = 0
+        for generation in generations:
+            status |= _verify_snapshot_file(str(store.path_for(generation)))
+        return status
+    return _verify_snapshot_file(str(target))
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -231,13 +353,18 @@ def build_parser() -> argparse.ArgumentParser:
     doctor = commands.add_parser(
         "doctor", help="plan lint + index integrity health report"
     )
-    doctor.add_argument("plan")
+    doctor.add_argument("plan", nargs="?", default=None)
     doctor.add_argument(
         "--objects", default=None, help="optional JSON object set to load"
     )
     doctor.add_argument(
         "--cell-size", type=float, default=2.0,
         help="grid cell edge for the object buckets (metres)",
+    )
+    doctor.add_argument(
+        "--snapshot", default=None, metavar="PATH",
+        help="verify a persisted snapshot (checksums + index integrity) "
+        "instead of, or in addition to, a plan",
     )
     doctor.set_defaults(handler=_cmd_doctor)
 
@@ -269,6 +396,50 @@ def build_parser() -> argparse.ArgumentParser:
     )
     export.add_argument("output")
     export.set_defaults(handler=_cmd_export_figure1)
+
+    persist = commands.add_parser(
+        "persist", help="crash-safe snapshot save / load / verify"
+    )
+    persist_commands = persist.add_subparsers(
+        dest="persist_command", required=True
+    )
+
+    persist_save = persist_commands.add_parser(
+        "save", help="build the indexes for a plan and write a new generation"
+    )
+    persist_save.add_argument("plan", help="floor plan JSON file")
+    persist_save.add_argument("directory", help="snapshot store directory")
+    persist_save.add_argument(
+        "--objects", default=None, help="optional JSON object set to load"
+    )
+    persist_save.add_argument(
+        "--cell-size", type=float, default=2.0,
+        help="grid cell edge for the object buckets (metres)",
+    )
+    persist_save.set_defaults(handler=_cmd_persist_save)
+
+    persist_load = persist_commands.add_parser(
+        "load", help="run the recovery ladder over a snapshot store"
+    )
+    persist_load.add_argument("directory", help="snapshot store directory")
+    persist_load.add_argument(
+        "--plan", default=None,
+        help="floor plan JSON enabling the fresh-rebuild fallback rung",
+    )
+    persist_load.add_argument(
+        "--strict", action="store_true",
+        help="exit non-zero when recovery had to quarantine anything",
+    )
+    persist_load.set_defaults(handler=_cmd_persist_load)
+
+    persist_verify = persist_commands.add_parser(
+        "verify",
+        help="checksum + integrity verification of a snapshot file or store",
+    )
+    persist_verify.add_argument(
+        "target", help="a .snap file or a snapshot store directory"
+    )
+    persist_verify.set_defaults(handler=_cmd_persist_verify)
 
     bench = commands.add_parser("bench", help="run figure benchmarks")
     bench.add_argument("bench_args", nargs=argparse.REMAINDER)

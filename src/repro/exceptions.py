@@ -97,6 +97,43 @@ class SerializationError(ReproError):
     """A building, matrix, or object set could not be (de)serialized."""
 
 
+class SnapshotCorruptError(SerializationError):
+    """A persisted snapshot failed checksum or structural verification.
+
+    Raised at load time when the whole-file digest, a section CRC32, or a
+    cross-section consistency check fails.  Carries the offending section
+    name (``"file"`` for container-level damage) so the recovery ladder can
+    report exactly what rotted.
+    """
+
+    def __init__(self, message: str, section: str = "file") -> None:
+        self.section = section
+        super().__init__(message)
+
+
+class WalCorruptError(SerializationError):
+    """A topology write-ahead log holds a damaged record before its tail.
+
+    A torn *final* record is normal (the process died mid-append) and is
+    tolerated silently; damage followed by further valid records means the
+    log itself rotted and replay must not trust it.
+    """
+
+
+class RecoveryError(ReproError):
+    """No snapshot generation could be restored and no rebuild fallback
+    was configured."""
+
+
+class ServiceUnavailableError(ReproError):
+    """The query service cannot admit requests in its current lifecycle
+    state (still recovering, draining for shutdown, or stopped)."""
+
+    def __init__(self, message: str, state: str = "") -> None:
+        self.state = state
+        super().__init__(message)
+
+
 __all__ = [
     "ReproError",
     "ModelError",
@@ -110,4 +147,8 @@ __all__ = [
     "StaleIndexError",
     "CorruptIndexError",
     "SerializationError",
+    "SnapshotCorruptError",
+    "WalCorruptError",
+    "RecoveryError",
+    "ServiceUnavailableError",
 ]

@@ -136,6 +136,21 @@ class IndoorSpace:
         self._accessibility = None
         self._distance_graph = None
 
+    def restore_topology_epoch(self, epoch: int) -> None:
+        """Reset the epoch counter when restoring a persisted space.
+
+        A freshly deserialised space starts at epoch 0, but the snapshot it
+        came from records the epoch its indexes were built against; restoring
+        it keeps WAL replay and staleness comparisons coherent across process
+        restarts (see :mod:`repro.persist`).  Derived graph caches are
+        dropped, matching what every genuine mutation does.
+        """
+        if epoch < 0:
+            raise ModelError(f"topology epoch must be >= 0, got {epoch}")
+        self._topology_epoch = epoch
+        self._accessibility = None
+        self._distance_graph = None
+
     def add_partition(
         self,
         partition_id: int,

@@ -1,0 +1,57 @@
+"""repro.persist — crash-safe index persistence and recovery.
+
+The paper's precomputed structures (§IV) are durable artifacts in any real
+deployment: built once, loaded many times, and never recomputed just
+because a process restarted (IS-LABEL and TopCom treat their distance
+indexes the same way).  This package is that durability contract:
+
+* :mod:`~repro.persist.snapshot` — the versioned snapshot format: CRC32
+  per section, SHA-256 over the whole file, a manifest recording the
+  topology epoch / builder parameters / component hashes, and atomic
+  write-temp-then-rename publication;
+* :mod:`~repro.persist.wal` — :class:`TopologyWAL` +
+  :class:`WalRecorder`: door/partition mutations are durably logged
+  *before* they apply, so recovery is always snapshot + replay;
+* :mod:`~repro.persist.recovery` — :class:`SnapshotStore` (numbered
+  generations, quarantine, pruning) and :class:`RecoveryManager` (the
+  verify → replay → quarantine → rebuild ladder).
+
+See ``docs/persistence.md`` for the format specification and the recovery
+ladder, and ``python -m repro persist --help`` for the CLI.
+"""
+
+from repro.persist.recovery import (
+    RecoveryManager,
+    RecoveryReport,
+    RecoverySource,
+    SnapshotStore,
+)
+from repro.persist.snapshot import (
+    SNAPSHOT_FORMAT_VERSION,
+    load_snapshot,
+    read_manifest,
+    save_snapshot,
+    snapshot_bytes,
+)
+from repro.persist.wal import (
+    ReplayReport,
+    TopologyWAL,
+    WalRecord,
+    WalRecorder,
+)
+
+__all__ = [
+    "RecoveryManager",
+    "RecoveryReport",
+    "RecoverySource",
+    "ReplayReport",
+    "SNAPSHOT_FORMAT_VERSION",
+    "SnapshotStore",
+    "TopologyWAL",
+    "WalRecord",
+    "WalRecorder",
+    "load_snapshot",
+    "read_manifest",
+    "save_snapshot",
+    "snapshot_bytes",
+]

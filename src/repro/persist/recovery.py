@@ -1,0 +1,329 @@
+"""Generational snapshot storage and the crash-recovery ladder.
+
+:class:`SnapshotStore` manages a directory of numbered snapshot generations
+(``snapshot-000001.snap``, ...) plus the topology WAL (``wal.log``).  Saves
+are atomic and never overwrite an older generation, so the last-known-good
+snapshot survives any failed write.
+
+:class:`RecoveryManager` is the load path a supervised service runs at
+startup.  The ladder, newest generation first:
+
+1. verify the snapshot container (whole-file digest + per-section CRC32)
+   and deserialise it;
+2. replay WAL records newer than the snapshot's epoch; if any applied, the
+   restored indexes are stale and are rebuilt against the replayed topology
+   (deterministic, so bit-identical to a from-scratch build);
+3. run :func:`~repro.runtime.integrity.check_index_integrity` — checksums
+   catch bit rot, the integrity invariants catch semantic damage a correct
+   checksum can still encode;
+4. on any failure: quarantine the file (rename to ``*.corrupt``, keeping
+   the evidence) and try the previous generation;
+5. with no loadable generation left, fall back to the configured fresh
+   rebuild — or raise :class:`~repro.exceptions.RecoveryError`.
+
+A corrupt snapshot is therefore *never served silently*: it is either
+quarantined or the process refuses to come up.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, List, Optional, Tuple, Union
+
+from repro.exceptions import (
+    CorruptIndexError,
+    RecoveryError,
+    SnapshotCorruptError,
+    StaleIndexError,
+    WalCorruptError,
+)
+from repro.index.framework import IndexFramework
+from repro.persist.snapshot import load_snapshot, read_manifest, save_snapshot
+from repro.persist.wal import ReplayReport, TopologyWAL
+from repro.runtime.integrity import require_index_integrity
+
+PathLike = Union[str, Path]
+
+_GENERATION = re.compile(r"^snapshot-(\d{6})\.snap$")
+
+
+class SnapshotStore:
+    """A directory of generational snapshots plus the topology WAL.
+
+    Args:
+        directory: storage root (created if missing).
+        keep: completed generations retained by :meth:`prune`
+            (the newest ``keep`` survive).
+    """
+
+    def __init__(self, directory: PathLike, keep: int = 2) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        if keep < 1:
+            raise ValueError(f"keep must be >= 1, got {keep}")
+        self._keep = keep
+
+    # ------------------------------------------------------------------
+    # Layout
+    # ------------------------------------------------------------------
+    @property
+    def wal_path(self) -> Path:
+        """Where the store's topology WAL lives."""
+        return self.directory / "wal.log"
+
+    def wal(self, fsync: bool = True) -> TopologyWAL:
+        """The store's topology WAL (opened fresh on each call)."""
+        return TopologyWAL(self.wal_path, fsync=fsync)
+
+    def path_for(self, generation: int) -> Path:
+        """The snapshot file of one generation."""
+        return self.directory / f"snapshot-{generation:06d}.snap"
+
+    def generations(self) -> List[int]:
+        """All generation numbers present, ascending."""
+        found = []
+        for entry in self.directory.iterdir():
+            match = _GENERATION.match(entry.name)
+            if match:
+                found.append(int(match.group(1)))
+        return sorted(found)
+
+    def latest(self) -> Optional[int]:
+        """The newest generation number, or ``None`` when empty."""
+        generations = self.generations()
+        return generations[-1] if generations else None
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def save(self, framework: IndexFramework, wal_seq: int = 0) -> Path:
+        """Write the next generation atomically; never touches older ones."""
+        latest = self.latest()
+        generation = 1 if latest is None else latest + 1
+        return save_snapshot(
+            framework, self.path_for(generation), wal_seq=wal_seq
+        )
+
+    def checkpoint(self, framework: IndexFramework) -> Path:
+        """Save a new generation that covers the whole WAL, then truncate
+        the WAL — the durable equivalent of a clean rebuild.
+
+        A framework whose space mutated after its indexes were built is
+        rebuilt first: persisting stale indexes next to the new topology
+        would produce a self-contradictory (hence unloadable) snapshot and
+        silently drop the WAL the truncation discards.
+        """
+        if not framework.is_fresh:
+            framework = framework.rebuild()
+        wal = self.wal()
+        path = self.save(framework, wal_seq=wal.last_seq)
+        wal.truncate()
+        self.prune()
+        return path
+
+    def quarantine(self, generation: int) -> Path:
+        """Rename a damaged generation to ``*.corrupt`` (evidence kept,
+        never loaded again)."""
+        source = self.path_for(generation)
+        target = source.with_suffix(".snap.corrupt")
+        source.rename(target)
+        return target
+
+    def quarantine_wal(self) -> Path:
+        """Rename a damaged WAL to ``wal.log.corrupt`` so recovery can
+        proceed from snapshots alone (the loss is reported, never silent)."""
+        target = self.wal_path.with_suffix(".log.corrupt")
+        self.wal_path.rename(target)
+        return target
+
+    def prune(self) -> List[Path]:
+        """Delete all but the newest ``keep`` generations; returns what was
+        removed."""
+        generations = self.generations()
+        removed = []
+        for generation in generations[: -self._keep]:
+            path = self.path_for(generation)
+            path.unlink()
+            removed.append(path)
+        return removed
+
+    def stale_temp_files(self) -> List[Path]:
+        """Leftover ``.tmp.<pid>`` files from writers that died mid-write.
+
+        These are never loadable (the rename never happened); recovery
+        reports and removes them.
+        """
+        return sorted(self.directory.glob("*.snap.tmp.*"))
+
+
+class RecoverySource(enum.Enum):
+    """Where the recovered framework came from."""
+
+    SNAPSHOT = "snapshot"
+    SNAPSHOT_WAL = "snapshot+wal"
+    REBUILD = "rebuild"
+
+
+@dataclass
+class RecoveryReport:
+    """Everything :meth:`RecoveryManager.recover` did.
+
+    Attributes:
+        framework: the restored (or rebuilt) index framework.
+        source: which rung of the ladder produced it.
+        generation: the snapshot generation served (``None`` for a rebuild).
+        replay: the WAL replay outcome (``None`` when no WAL applied).
+        quarantined: damaged files renamed to ``*.corrupt`` on the way.
+        removed_partials: dead writers' temp files that were cleaned up.
+        notes: human-readable trail of what happened, in order.
+    """
+
+    framework: IndexFramework
+    source: RecoverySource
+    generation: Optional[int] = None
+    replay: Optional[ReplayReport] = None
+    quarantined: List[Path] = field(default_factory=list)
+    removed_partials: List[Path] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+
+class RecoveryManager:
+    """The supervised load path: verify, replay, quarantine, fall back.
+
+    Args:
+        store: the generational snapshot store to recover from.
+        rebuild: zero-argument callable producing a fresh
+            :class:`IndexFramework` when no generation is loadable
+            (omit to make that case fatal).
+        verify_integrity: also run the §IV invariant checks on every
+            restored framework (recommended; checksums alone cannot catch
+            semantic corruption that was persisted faithfully).
+    """
+
+    def __init__(
+        self,
+        store: SnapshotStore,
+        rebuild: Optional[Callable[[], IndexFramework]] = None,
+        verify_integrity: bool = True,
+    ) -> None:
+        self.store = store
+        self._rebuild = rebuild
+        self._verify_integrity = verify_integrity
+
+    def recover(self) -> RecoveryReport:
+        """Run the ladder; returns a report whose framework is safe to serve.
+
+        Raises:
+            RecoveryError: nothing loadable and no rebuild fallback.
+        """
+        quarantined: List[Path] = []
+        notes: List[str] = []
+
+        removed = []
+        for partial in self.store.stale_temp_files():
+            partial.unlink()
+            removed.append(partial)
+            notes.append(f"removed partial write {partial.name}")
+
+        for generation in reversed(self.store.generations()):
+            outcome = self._try_generation(generation, notes, quarantined)
+            if outcome is None:
+                quarantined.append(self.store.quarantine(generation))
+                notes.append(
+                    f"quarantined generation {generation} -> "
+                    f"{quarantined[-1].name}"
+                )
+                continue
+            framework, replay = outcome
+            source = (
+                RecoverySource.SNAPSHOT_WAL
+                if replay is not None and replay.applied
+                else RecoverySource.SNAPSHOT
+            )
+            return RecoveryReport(
+                framework=framework,
+                source=source,
+                generation=generation,
+                replay=replay,
+                quarantined=quarantined,
+                removed_partials=removed,
+                notes=notes,
+            )
+
+        if self._rebuild is None:
+            raise RecoveryError(
+                "no loadable snapshot generation and no rebuild fallback "
+                f"configured (quarantined: {[p.name for p in quarantined]})"
+            )
+        notes.append("no loadable generation; rebuilding from scratch")
+        framework = self._rebuild()
+        return RecoveryReport(
+            framework=framework,
+            source=RecoverySource.REBUILD,
+            quarantined=quarantined,
+            removed_partials=removed,
+            notes=notes,
+        )
+
+    def _try_generation(
+        self, generation: int, notes: List[str], quarantined: List[Path]
+    ) -> Optional[Tuple[IndexFramework, Optional[ReplayReport]]]:
+        """Load + replay + verify one generation; ``None`` means damaged."""
+        path = self.store.path_for(generation)
+        try:
+            framework, _ = load_snapshot(path)
+        except SnapshotCorruptError as exc:
+            notes.append(f"generation {generation}: {exc}")
+            return None
+
+        replay: Optional[ReplayReport] = None
+        if self.store.wal_path.exists():
+            try:
+                replay = self.store.wal().replay(framework.space)
+            except WalCorruptError as exc:
+                # The log, not the snapshot, is damaged.  Quarantine the
+                # log (keeping the evidence, reporting the loss) and fall
+                # back to the snapshot alone — replay may have partially
+                # mutated the space, so reload from the verified file.
+                quarantined.append(self.store.quarantine_wal())
+                notes.append(
+                    f"WAL corrupt, quarantined to {quarantined[-1].name}: "
+                    f"{exc}"
+                )
+                try:
+                    framework, _ = load_snapshot(path)
+                except SnapshotCorruptError as reload_exc:
+                    notes.append(f"generation {generation}: {reload_exc}")
+                    return None
+                replay = None
+            else:
+                if replay.applied:
+                    notes.append(
+                        f"generation {generation}: replayed {replay.applied} "
+                        f"WAL record(s) to epoch "
+                        f"{framework.space.topology_epoch}"
+                    )
+
+        if not framework.is_fresh:
+            # WAL replay (or a snapshot saved mid-mutation) moved the
+            # topology past the persisted indexes; the deterministic
+            # builders make this bit-identical to a from-scratch build.
+            framework = framework.rebuild()
+
+        if self._verify_integrity:
+            try:
+                require_index_integrity(framework, include_stale=True)
+            except (CorruptIndexError, StaleIndexError) as exc:
+                notes.append(
+                    f"generation {generation}: integrity check failed: {exc}"
+                )
+                return None
+        return framework, replay
+
+    def verify(self, path: PathLike) -> dict:
+        """Checksum-verify one snapshot file and return its manifest
+        (convenience passthrough for CLI tooling)."""
+        return read_manifest(path)

@@ -1,0 +1,413 @@
+"""The topology write-ahead log: door/partition mutations between snapshots.
+
+Rebuilding M_d2d after every ``add_door`` is exactly what a production
+deployment schedules *around*, not inside, the mutation path.  The WAL makes
+mutations durable the moment they happen: each record is appended (and
+fsynced) *before* the in-memory space mutates, so recovery after a crash is
+always ``load snapshot + replay WAL`` up to the current epoch.
+
+Format: one JSON object per line.  Each record carries a monotone ``seq``,
+the topology epoch the space reaches *after* applying it, the operation and
+its arguments, and a CRC32 over the record's canonical payload.  A torn
+final record (the process died mid-append) is tolerated and dropped; a
+damaged record *followed by valid ones* means the log itself rotted and
+raises :class:`~repro.exceptions.WalCorruptError`.
+
+Replay is epoch-aware: records whose ``epoch`` is at or below the space's
+current epoch are skipped (the snapshot already contains them), and after
+each applied record the space's epoch must equal the record's — any drift
+means the log and snapshot describe different histories.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, List, Optional, Tuple, Union
+
+from repro.exceptions import WalCorruptError
+from repro.geometry import Point, Polygon, Segment
+from repro.model.builder import IndoorSpace
+from repro.model.entities import PartitionKind
+
+PathLike = Union[str, Path]
+
+#: Operations the log understands.
+WAL_OPS = ("add_partition", "add_door", "remove_door")
+
+
+def _point_to_list(point: Point) -> list:
+    return [point.x, point.y, point.floor]
+
+
+def _point_from_list(raw: list) -> Point:
+    return Point(float(raw[0]), float(raw[1]), int(raw[2]))
+
+
+def _geometry_to_payload(geometry) -> dict:
+    if isinstance(geometry, Point):
+        return {"point": _point_to_list(geometry)}
+    if isinstance(geometry, Segment):
+        return {
+            "segment": [
+                _point_to_list(geometry.start),
+                _point_to_list(geometry.end),
+            ]
+        }
+    raise WalCorruptError(
+        f"door geometry must be a Point or Segment, got {type(geometry)!r}"
+    )
+
+
+def _geometry_from_payload(payload: dict):
+    if "point" in payload:
+        return _point_from_list(payload["point"])
+    start, end = payload["segment"]
+    return Segment(_point_from_list(start), _point_from_list(end))
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One durable topology mutation.
+
+    Attributes:
+        seq: monotone record number (1-based within one log file).
+        epoch: the space's topology epoch *after* this mutation applies.
+        op: one of :data:`WAL_OPS`.
+        args: the operation's serialised arguments.
+    """
+
+    seq: int
+    epoch: int
+    op: str
+    args: dict
+
+    def payload(self) -> bytes:
+        """Canonical bytes the record's CRC32 covers."""
+        return json.dumps(
+            {"seq": self.seq, "epoch": self.epoch, "op": self.op,
+             "args": self.args},
+            sort_keys=True,
+        ).encode("utf-8")
+
+    def to_line(self) -> bytes:
+        """Serialise as one JSON log line (CRC32 over :meth:`payload`)."""
+        body = {"seq": self.seq, "epoch": self.epoch, "op": self.op,
+                "args": self.args, "crc32": zlib.crc32(self.payload())}
+        return json.dumps(body, sort_keys=True).encode("utf-8") + b"\n"
+
+
+@dataclass(frozen=True)
+class ReplayReport:
+    """What :meth:`TopologyWAL.replay` did.
+
+    Attributes:
+        applied: records applied to the space.
+        skipped: records already covered by the snapshot's epoch.
+        dropped_tail: a torn final record was discarded.
+        last_seq: sequence number of the last valid record in the log
+            (0 when the log is empty).
+    """
+
+    applied: int
+    skipped: int
+    dropped_tail: bool
+    last_seq: int
+
+
+class TopologyWAL:
+    """An append-only, CRC-guarded topology mutation log.
+
+    Args:
+        path: log file (created on first append).
+        fsync: force every appended record to stable storage before the
+            in-memory mutation proceeds (disable only in tests).
+    """
+
+    def __init__(self, path: PathLike, fsync: bool = True) -> None:
+        self.path = Path(path)
+        self._fsync = fsync
+        self._next_seq = self._scan_last_seq() + 1
+
+    def _scan_last_seq(self) -> int:
+        last = 0
+        for record in self.records():
+            last = record.seq
+        return last
+
+    # ------------------------------------------------------------------
+    # Append side
+    # ------------------------------------------------------------------
+    def append(self, op: str, args: dict, epoch: int) -> WalRecord:
+        """Durably append one record; returns it."""
+        if op not in WAL_OPS:
+            raise WalCorruptError(f"unknown WAL op {op!r}")
+        record = WalRecord(self._next_seq, epoch, op, dict(args))
+        with open(self.path, "ab") as handle:
+            handle.write(record.to_line())
+            handle.flush()
+            if self._fsync:
+                os.fsync(handle.fileno())
+        self._next_seq += 1
+        return record
+
+    def truncate(self) -> None:
+        """Drop every record — call right after a snapshot that contains
+        them all (the snapshot's manifest records the covered ``wal_seq``)."""
+        if self.path.exists():
+            self.path.unlink()
+        self._next_seq = 1
+
+    def rollback(self, record: WalRecord) -> None:
+        """Physically remove the final record — the mutation it announced
+        failed to apply, so the logical transaction aborted.
+
+        Only the most recent record can be rolled back, and the file tail
+        must still match it byte-for-byte.
+        """
+        if record.seq != self._next_seq - 1:
+            raise WalCorruptError(
+                f"can only roll back the final record (seq "
+                f"{self._next_seq - 1}), not seq {record.seq}"
+            )
+        line = record.to_line()
+        with open(self.path, "rb+") as handle:
+            handle.seek(0, os.SEEK_END)
+            size = handle.tell()
+            if size < len(line):
+                raise WalCorruptError(f"{self.path}: tail shorter than record")
+            handle.seek(size - len(line))
+            if handle.read(len(line)) != line:
+                raise WalCorruptError(
+                    f"{self.path}: tail does not match the record to roll back"
+                )
+            handle.truncate(size - len(line))
+            handle.flush()
+            if self._fsync:
+                os.fsync(handle.fileno())
+        self._next_seq -= 1
+
+    @property
+    def last_seq(self) -> int:
+        """Sequence number the most recent append produced (0 when empty)."""
+        return self._next_seq - 1
+
+    # ------------------------------------------------------------------
+    # Read side
+    # ------------------------------------------------------------------
+    def records(self) -> Iterator[WalRecord]:
+        """Yield every valid record in order.
+
+        Tolerates a torn final record; raises :class:`WalCorruptError` when
+        damage is followed by further valid data.
+        """
+        records, _ = self._read_all()
+        return iter(records)
+
+    def _read_all(self) -> Tuple[List[WalRecord], bool]:
+        if not self.path.exists():
+            return [], False
+        raw_lines = self.path.read_bytes().split(b"\n")
+        if raw_lines and raw_lines[-1] == b"":
+            raw_lines.pop()
+        records: List[WalRecord] = []
+        bad_at: Optional[int] = None
+        for index, line in enumerate(raw_lines):
+            record = self._parse_line(line)
+            if record is None:
+                bad_at = index
+                break
+            if records and record.seq != records[-1].seq + 1:
+                raise WalCorruptError(
+                    f"{self.path}: record sequence jumps from "
+                    f"{records[-1].seq} to {record.seq}"
+                )
+            records.append(record)
+        if bad_at is not None and bad_at < len(raw_lines) - 1:
+            # Damage *before* the tail cannot be a torn append.
+            raise WalCorruptError(
+                f"{self.path}: damaged record at line {bad_at + 1} is "
+                "followed by further records; the log is corrupt"
+            )
+        return records, bad_at is not None
+
+    @staticmethod
+    def _parse_line(line: bytes) -> Optional[WalRecord]:
+        try:
+            body = json.loads(line.decode("utf-8"))
+            record = WalRecord(
+                int(body["seq"]), int(body["epoch"]), body["op"],
+                body["args"],
+            )
+            if body["crc32"] != zlib.crc32(record.payload()):
+                return None
+            if record.op not in WAL_OPS:
+                return None
+            return record
+        except (UnicodeDecodeError, json.JSONDecodeError, KeyError,
+                TypeError, ValueError):
+            return None
+
+    # ------------------------------------------------------------------
+    # Replay
+    # ------------------------------------------------------------------
+    def replay(self, space: IndoorSpace) -> ReplayReport:
+        """Apply every record newer than the space's epoch, in order.
+
+        The space ends at the log's final epoch; after each applied record
+        the space's epoch must match the record's (each mutation bumps it by
+        exactly one), otherwise the log and the snapshot describe different
+        histories and :class:`WalCorruptError` is raised.
+        """
+        records, dropped = self._read_all()
+        applied = skipped = 0
+        for record in records:
+            if record.epoch <= space.topology_epoch:
+                skipped += 1
+                continue
+            if record.epoch != space.topology_epoch + 1:
+                raise WalCorruptError(
+                    f"{self.path}: record seq={record.seq} targets epoch "
+                    f"{record.epoch} but the space is at "
+                    f"{space.topology_epoch}; a snapshot/WAL generation "
+                    "mismatch"
+                )
+            try:
+                _apply(space, record)
+            except WalCorruptError:
+                raise
+            except Exception as exc:
+                raise WalCorruptError(
+                    f"{self.path}: record seq={record.seq} ({record.op}) "
+                    f"does not apply to the restored space: {exc}"
+                ) from exc
+            if space.topology_epoch != record.epoch:
+                raise WalCorruptError(
+                    f"{self.path}: applying seq={record.seq} left the space "
+                    f"at epoch {space.topology_epoch}, expected {record.epoch}"
+                )
+            applied += 1
+        last = records[-1].seq if records else 0
+        return ReplayReport(applied, skipped, dropped, last)
+
+
+def _apply(space: IndoorSpace, record: WalRecord) -> None:
+    args = record.args
+    if record.op == "add_partition":
+        space.add_partition(
+            int(args["id"]),
+            Polygon([_point_from_list(v) for v in args["polygon"]]),
+            PartitionKind(args["kind"]),
+            name=args.get("name", ""),
+            obstacles=tuple(
+                Polygon([_point_from_list(v) for v in ring])
+                for ring in args.get("obstacles", [])
+            ),
+            stair_length=args.get("stair_length"),
+        )
+    elif record.op == "add_door":
+        space.add_door(
+            int(args["id"]),
+            _geometry_from_payload(args["geometry"]),
+            connects=(int(args["connects"][0]), int(args["connects"][1])),
+            one_way=bool(args.get("one_way", False)),
+            name=args.get("name", ""),
+        )
+    else:  # remove_door
+        space.remove_door(int(args["id"]))
+
+
+class WalRecorder:
+    """Write-ahead mutation facade over an :class:`IndoorSpace`.
+
+    Mirrors the space's mutation API; each call durably appends the WAL
+    record first, then applies the mutation.  A crash between the two is
+    safe: replay skips nothing (the epoch check sees the mutation as not yet
+    applied) and re-applies it.
+
+    Example::
+
+        recorder = WalRecorder(space, TopologyWAL(dir / "wal.log"))
+        recorder.remove_door(21)          # logged, then applied
+    """
+
+    def __init__(self, space: IndoorSpace, wal: TopologyWAL) -> None:
+        self.space = space
+        self.wal = wal
+
+    def add_partition(
+        self,
+        partition_id: int,
+        polygon: Polygon,
+        kind: PartitionKind = PartitionKind.ROOM,
+        name: str = "",
+        obstacles: Tuple[Polygon, ...] = (),
+        stair_length: Optional[float] = None,
+    ):
+        """Log then register a new partition (see
+        :meth:`IndoorSpace.add_partition`)."""
+        record = self.wal.append(
+            "add_partition",
+            {
+                "id": partition_id,
+                "polygon": [_point_to_list(v) for v in polygon.vertices],
+                "kind": kind.value,
+                "name": name,
+                "obstacles": [
+                    [_point_to_list(v) for v in o.vertices] for o in obstacles
+                ],
+                "stair_length": stair_length,
+            },
+            epoch=self.space.topology_epoch + 1,
+        )
+        try:
+            return self.space.add_partition(
+                partition_id, polygon, kind, name, tuple(obstacles),
+                stair_length,
+            )
+        except BaseException:
+            self.wal.rollback(record)
+            raise
+
+    def add_door(
+        self,
+        door_id: int,
+        geometry,
+        connects: Tuple[int, int],
+        one_way: bool = False,
+        name: str = "",
+    ):
+        """Log then open a new door (see :meth:`IndoorSpace.add_door`)."""
+        record = self.wal.append(
+            "add_door",
+            {
+                "id": door_id,
+                "geometry": _geometry_to_payload(geometry),
+                "connects": [int(connects[0]), int(connects[1])],
+                "one_way": one_way,
+                "name": name,
+            },
+            epoch=self.space.topology_epoch + 1,
+        )
+        try:
+            return self.space.add_door(
+                door_id, geometry, connects, one_way, name
+            )
+        except BaseException:
+            self.wal.rollback(record)
+            raise
+
+    def remove_door(self, door_id: int):
+        """Log then remove a door (see :meth:`IndoorSpace.remove_door`)."""
+        record = self.wal.append(
+            "remove_door", {"id": door_id},
+            epoch=self.space.topology_epoch + 1,
+        )
+        try:
+            return self.space.remove_door(door_id)
+        except BaseException:
+            self.wal.rollback(record)
+            raise

@@ -26,6 +26,7 @@ from repro.runtime.faults import (
     FlakyDistanceIndex,
     corrupt_md2d,
     drop_dpt_records,
+    flip_snapshot_byte,
     install_flaky_distance_index,
 )
 from repro.runtime.integrity import (
@@ -52,5 +53,6 @@ __all__ = [
     "FlakyDistanceIndex",
     "corrupt_md2d",
     "drop_dpt_records",
+    "flip_snapshot_byte",
     "install_flaky_distance_index",
 ]

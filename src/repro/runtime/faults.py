@@ -13,7 +13,10 @@ aspirational:
   the affected doors raise ``UnknownEntityError``);
 * :func:`install_flaky_distance_index` — let the matrix serve ``fail_after``
   lookups and then raise :class:`~repro.exceptions.CorruptIndexError`,
-  simulating mid-query index loss.
+  simulating mid-query index loss;
+* :func:`flip_snapshot_byte` — flip bytes of a persisted snapshot on disk,
+  the adversary the :mod:`repro.persist` checksum/quarantine ladder must
+  always catch.
 
 Every injector returns a :class:`FaultHandle` whose :meth:`~FaultHandle.undo`
 restores the framework exactly, so a test can sweep many faults over one
@@ -185,7 +188,64 @@ class FlakyDistanceIndex:
             yield pair
 
     def __getattr__(self, name):
-        return getattr(self._inner, name)
+        # Raise a plain AttributeError (never recurse) for two lookups that
+        # must not delegate: ``_inner`` itself, which copy/pickle probe on a
+        # half-built instance before ``__init__`` ran (delegating would
+        # re-enter this method forever), and missing dunders, which protocol
+        # probes (``__copy__``, ``__deepcopy__``, ``__setstate__``, ...) use
+        # to discover capabilities the proxy does not have.
+        try:
+            inner = object.__getattribute__(self, "_inner")
+        except AttributeError:
+            raise AttributeError(name) from None
+        if name.startswith("__") and name.endswith("__"):
+            raise AttributeError(name)
+        return getattr(inner, name)
+
+
+def flip_snapshot_byte(
+    path, count: int = 1, seed: int = 0
+) -> FaultHandle:
+    """Flip ``count`` bytes of a file on disk, seed-deterministically.
+
+    The disk-level sibling of :func:`corrupt_md2d`: it simulates bit rot in
+    a persisted snapshot (see :mod:`repro.persist`) so the checksum /
+    quarantine / rebuild path is testable.  The first 8 bytes (the magic)
+    are spared so the damage lands in content the checksums must catch, not
+    in the file-type sniff.
+
+    Args:
+        path: the file to damage in place.
+        count: how many distinct byte offsets to flip.
+        seed: RNG seed — the same seed always flips the same offsets.
+    """
+    from pathlib import Path
+
+    target = Path(path)
+    data = bytearray(target.read_bytes())
+    if len(data) <= 8 + count:
+        raise ValueError(
+            f"{target} has only {len(data)} bytes; cannot flip {count} "
+            "past the magic"
+        )
+    rng = random.Random(seed)
+    offsets = rng.sample(range(8, len(data)), count)
+    saved = [(offset, data[offset]) for offset in offsets]
+    for offset in offsets:
+        data[offset] ^= 0xFF
+    target.write_bytes(bytes(data))
+
+    def restore() -> None:
+        current = bytearray(target.read_bytes())
+        for offset, value in saved:
+            current[offset] = value
+        target.write_bytes(bytes(current))
+
+    return FaultHandle(
+        f"flip_snapshot_byte(path={target.name}, count={count}, seed={seed})",
+        cells=tuple((offset, 0) for offset in sorted(offsets)),
+        _undo=restore,
+    )
 
 
 def install_flaky_distance_index(

@@ -15,6 +15,10 @@ package is the serving layer:
 * :mod:`~repro.serve.service` — :class:`QueryService`, the thread-pool
   server with a bounded admission queue that sheds load by descending the
   :class:`~repro.runtime.ladder.QualityLevel` degradation ladder;
+* :mod:`~repro.serve.lifecycle` — :class:`SupervisedQueryService`:
+  supervised startup from a :class:`~repro.persist.SnapshotStore` (warm
+  start, WAL replay, quarantine), a readiness probe that stays NOT_READY
+  until recovery completes, and graceful drain-then-snapshot shutdown;
 * :mod:`~repro.serve.metrics` — :class:`MetricsRegistry` (counters and
   latency histograms with p50/p95/p99 snapshots).
 
@@ -32,9 +36,10 @@ from repro.serve.batch import (
     plan_batches,
 )
 from repro.serve.cache import EpochLRUCache
+from repro.serve.lifecycle import SupervisedQueryService
 from repro.serve.metrics import Counter, LatencyHistogram, MetricsRegistry
 from repro.serve.requests import QueryKind, QueryRequest, QueryResponse
-from repro.serve.service import QueryService, ShedPolicy
+from repro.serve.service import QueryService, ServiceState, ShedPolicy
 
 __all__ = [
     "BatchGroup",
@@ -46,8 +51,10 @@ __all__ = [
     "QueryRequest",
     "QueryResponse",
     "QueryService",
+    "ServiceState",
     "SharedDoorScans",
     "ShedPolicy",
+    "SupervisedQueryService",
     "batched_knn_query",
     "batched_pt2pt_distances",
     "batched_range_query",

@@ -1,0 +1,257 @@
+"""Supervised service lifecycle: warm start, readiness, graceful shutdown.
+
+:class:`SupervisedQueryService` wraps a :class:`~repro.serve.service.
+QueryService` in the durability contract of :mod:`repro.persist`:
+
+* **Supervised startup** — ``start()`` runs the
+  :class:`~repro.persist.RecoveryManager` ladder (verify checksums, replay
+  the topology WAL, quarantine damage, fall back to a fresh rebuild) on a
+  background thread; the service admits no requests and the readiness
+  probe reports ``NOT_READY`` until recovery completes.
+* **Readiness probe** — :meth:`readiness` is the health endpoint payload:
+  lifecycle state, whether requests are admitted, and the recovery
+  provenance (generation, source, replayed WAL records).
+* **Graceful shutdown** — :meth:`shutdown` moves to ``DRAINING`` (new
+  submissions are refused with
+  :class:`~repro.exceptions.ServiceUnavailableError`), lets the workers
+  drain every in-flight request, then writes a final snapshot generation
+  covering the whole WAL (and truncates it), so the next start is warm.
+
+The wrapper is also a context manager: ``with SupervisedQueryService(...)
+as svc:`` starts (waiting for readiness) and shuts down gracefully.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, Iterable, List, Optional
+
+from repro.exceptions import ServiceUnavailableError
+from repro.index.framework import IndexFramework
+from repro.persist.recovery import (
+    RecoveryManager,
+    RecoveryReport,
+    SnapshotStore,
+)
+from repro.persist.wal import WalRecorder
+from repro.serve.requests import QueryRequest, QueryResponse
+from repro.serve.service import QueryService, ServiceState
+
+
+class SupervisedQueryService:
+    """A :class:`QueryService` with crash-safe startup and shutdown.
+
+    Args:
+        store: the generational snapshot store to recover from and
+            checkpoint into.
+        rebuild: zero-argument callable producing a fresh
+            :class:`IndexFramework` when no snapshot generation is loadable
+            (omit to make that case fatal at startup).
+        recovery: a preconfigured :class:`RecoveryManager` (overrides
+            ``rebuild`` / ``verify_integrity``; mostly for tests).
+        verify_integrity: run the §IV invariant checks on every restored
+            framework during recovery.
+        snapshot_on_shutdown: write a final generation (and truncate the
+            WAL) during :meth:`shutdown`.
+        **service_kwargs: forwarded to the :class:`QueryService`
+            constructor (workers, queue capacity, cache size, ...).
+    """
+
+    def __init__(
+        self,
+        store: SnapshotStore,
+        *,
+        rebuild: Optional[Callable[[], IndexFramework]] = None,
+        recovery: Optional[RecoveryManager] = None,
+        verify_integrity: bool = True,
+        snapshot_on_shutdown: bool = True,
+        **service_kwargs: Any,
+    ) -> None:
+        self.store = store
+        self._recovery = recovery or RecoveryManager(
+            store, rebuild=rebuild, verify_integrity=verify_integrity
+        )
+        self._snapshot_on_shutdown = snapshot_on_shutdown
+        self._service_kwargs = service_kwargs
+        self._service: Optional[QueryService] = None
+        self._report: Optional[RecoveryReport] = None
+        self._startup_error: Optional[BaseException] = None
+        self._state = ServiceState.STARTING
+        self._lock = threading.Lock()
+        self._ready = threading.Event()
+        self._starter: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> ServiceState:
+        """The supervised lifecycle state (STARTING → READY → DRAINING →
+        STOPPED)."""
+        with self._lock:
+            return self._state
+
+    def start(self, wait: bool = True) -> "SupervisedQueryService":
+        """Begin supervised startup (idempotent).
+
+        Recovery runs on a background thread so callers can poll
+        :meth:`readiness` meanwhile; with ``wait=True`` the call blocks
+        until the service is READY (re-raising any startup failure).
+        """
+        with self._lock:
+            if self._starter is None and self._state is ServiceState.STARTING:
+                self._starter = threading.Thread(
+                    target=self._recover_and_serve,
+                    name="repro-serve-supervisor",
+                    daemon=True,
+                )
+                self._starter.start()
+        if wait:
+            self.wait_ready()
+        return self
+
+    def _recover_and_serve(self) -> None:
+        try:
+            report = self._recovery.recover()
+            service = QueryService(report.framework, **self._service_kwargs)
+            service.start()
+        except BaseException as exc:  # surfaced via wait_ready/readiness
+            with self._lock:
+                self._startup_error = exc
+                self._state = ServiceState.STOPPED
+            self._ready.set()
+            return
+        with self._lock:
+            if self._state is ServiceState.STARTING:
+                self._report = report
+                self._service = service
+                self._state = ServiceState.READY
+            else:  # shutdown() won the race; don't leak workers
+                service.stop(wait=False)
+        self._ready.set()
+
+    def wait_ready(self, timeout: Optional[float] = None) -> bool:
+        """Block until recovery finished; True when the service is READY.
+
+        Re-raises the startup failure if recovery died.
+        """
+        finished = self._ready.wait(timeout)
+        with self._lock:
+            if self._startup_error is not None:
+                raise self._startup_error
+            return finished and self._state is ServiceState.READY
+
+    def readiness(self) -> Dict[str, Any]:
+        """The readiness-probe payload.
+
+        ``ready`` is False (probe: NOT_READY) until recovery completes and
+        the workers are up, and again once draining begins.
+        """
+        with self._lock:
+            state = self._state
+            report = self._report
+            error = self._startup_error
+        payload: Dict[str, Any] = {
+            "state": state.value,
+            "ready": state is ServiceState.READY,
+        }
+        if report is not None:
+            payload["recovery"] = {
+                "source": report.source.value,
+                "generation": report.generation,
+                "replayed": report.replay.applied if report.replay else 0,
+                "quarantined": [p.name for p in report.quarantined],
+            }
+        if error is not None:
+            payload["error"] = str(error)
+        return payload
+
+    def shutdown(self) -> Optional[RecoveryReport]:
+        """Drain gracefully and persist a final snapshot.
+
+        New submissions are refused the moment draining begins; every
+        already-admitted request completes before the workers exit; the
+        final snapshot (written only when configured and recovery ever
+        produced a framework) covers the whole WAL, which is then
+        truncated.  Returns the startup recovery report (``None`` when
+        startup never completed).
+        """
+        with self._lock:
+            if self._state in (ServiceState.DRAINING, ServiceState.STOPPED):
+                return self._report
+            self._state = ServiceState.DRAINING
+            service = self._service
+        if self._starter is not None:
+            self._ready.wait()
+        if service is None:
+            with self._lock:
+                service = self._service
+        if service is not None:
+            service.stop(wait=True)  # drains the admission queue
+            if self._snapshot_on_shutdown:
+                self.store.checkpoint(service.engine.framework)
+        with self._lock:
+            self._state = ServiceState.STOPPED
+        return self._report
+
+    def __enter__(self) -> "SupervisedQueryService":
+        """Start and wait for readiness on context entry."""
+        return self.start(wait=True)
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        """Drain, snapshot, and stop on context exit."""
+        self.shutdown()
+
+    # ------------------------------------------------------------------
+    # Serving (guarded delegation)
+    # ------------------------------------------------------------------
+    def _require_ready(self) -> QueryService:
+        with self._lock:
+            if self._state is not ServiceState.READY or self._service is None:
+                raise ServiceUnavailableError(
+                    f"service is {self._state.value}, not admitting requests",
+                    state=self._state.value,
+                )
+            return self._service
+
+    def submit(self, request: QueryRequest):
+        """Admit one request (only while READY)."""
+        return self._require_ready().submit(request)
+
+    def serve(self, requests: Iterable[QueryRequest]) -> List[QueryResponse]:
+        """Submit many requests and wait for all (only while READY)."""
+        return self._require_ready().serve(requests)
+
+    def execute(self, request: QueryRequest) -> QueryResponse:
+        """Serve one request synchronously (only while READY)."""
+        return self._require_ready().execute(request)
+
+    # ------------------------------------------------------------------
+    # Introspection / maintenance
+    # ------------------------------------------------------------------
+    @property
+    def service(self) -> Optional[QueryService]:
+        """The inner service once READY (``None`` before recovery ends)."""
+        with self._lock:
+            return self._service
+
+    @property
+    def recovery_report(self) -> Optional[RecoveryReport]:
+        """How startup recovered the indexes (``None`` until READY)."""
+        with self._lock:
+            return self._report
+
+    def wal_recorder(self) -> WalRecorder:
+        """A write-ahead mutation facade over the served space.
+
+        Mutations made through it are durable before they apply, so a
+        crash at any point replays them on the next supervised start.
+        """
+        service = self._require_ready()
+        return WalRecorder(service.engine.framework.space, self.store.wal())
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        """The inner service's metrics (empty dict before READY)."""
+        with self._lock:
+            service = self._service
+        return service.metrics_snapshot() if service is not None else {}

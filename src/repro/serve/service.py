@@ -25,6 +25,7 @@ The serving pipeline, request to response:
 
 from __future__ import annotations
 
+import enum
 import threading
 import time
 from collections import deque
@@ -52,6 +53,21 @@ from repro.serve.metrics import MetricsRegistry
 from repro.serve.requests import QueryKind, QueryRequest, QueryResponse
 
 _MISS = object()
+
+
+class ServiceState(enum.Enum):
+    """Lifecycle states of a query service.
+
+    ``STARTING → READY → DRAINING → STOPPED``; a supervised service
+    (:class:`~repro.serve.lifecycle.SupervisedQueryService`) spends its
+    ``STARTING`` phase in snapshot recovery and reports ``NOT_READY`` from
+    its readiness probe until that completes.
+    """
+
+    STARTING = "starting"
+    READY = "ready"
+    DRAINING = "draining"
+    STOPPED = "stopped"
 
 
 @dataclass(frozen=True)
@@ -167,16 +183,32 @@ class QueryService:
         self._rebuild_lock = threading.Lock()
         self._threads: List[threading.Thread] = []
         self._stopping = False
+        self._state = ServiceState.STARTING
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
+    @property
+    def state(self) -> ServiceState:
+        """Where the service is in its lifecycle.
+
+        ``DRAINING`` resolves to ``STOPPED`` once every worker has exited
+        (relevant after a ``stop(wait=False)``).
+        """
+        with self._cv:
+            if self._state is ServiceState.DRAINING and not any(
+                thread.is_alive() for thread in self._threads
+            ):
+                self._state = ServiceState.STOPPED
+            return self._state
+
     def start(self) -> "QueryService":
         """Spawn the worker threads (idempotent)."""
         with self._cv:
             if self._threads:
                 return self
             self._stopping = False
+            self._state = ServiceState.READY
             for i in range(self._workers):
                 thread = threading.Thread(
                     target=self._worker_loop,
@@ -191,10 +223,14 @@ class QueryService:
         """Stop accepting work; workers drain the queue, then exit."""
         with self._cv:
             self._stopping = True
+            if self._state is ServiceState.READY:
+                self._state = ServiceState.DRAINING
             self._cv.notify_all()
         if wait:
             for thread in self._threads:
                 thread.join()
+            with self._cv:
+                self._state = ServiceState.STOPPED
         self._threads = []
 
     def __enter__(self) -> "QueryService":

@@ -1,0 +1,48 @@
+"""Shared fixtures for the persistence / recovery tests."""
+
+import random
+
+import pytest
+
+from repro.index import IndexFramework, IndoorObject
+from repro.model.figure1 import build_figure1
+from repro.persist import SnapshotStore
+from repro.synthetic import BuildingConfig, generate_building
+from tests.queries.conftest import random_point_in
+
+
+@pytest.fixture
+def figure1_framework():
+    """A fresh Figure-1 space + 40 deterministic objects, fully indexed.
+
+    Function-scoped: the persistence tests mutate the topology and
+    corrupt files derived from it.
+    """
+    space = build_figure1()
+    rng = random.Random(7)
+    indoor_ids = [p for p in space.partition_ids if p != 0]
+    objects = [
+        IndoorObject(i, random_point_in(space, rng, indoor_ids))
+        for i in range(40)
+    ]
+    return IndexFramework.build(space, objects)
+
+
+@pytest.fixture
+def building_framework():
+    """A 3-floor synthetic building + 30 objects, fully indexed."""
+    building = generate_building(BuildingConfig(floors=3, rooms_per_floor=6))
+    space = building.space
+    rng = random.Random(31)
+    indoor_ids = list(space.partition_ids)
+    objects = [
+        IndoorObject(i, random_point_in(space, rng, indoor_ids))
+        for i in range(30)
+    ]
+    return IndexFramework.build(space, objects)
+
+
+@pytest.fixture
+def store(tmp_path):
+    """An empty generational snapshot store in a temp directory."""
+    return SnapshotStore(tmp_path / "snapshots")

@@ -1,0 +1,124 @@
+"""Tests for the ``repro persist`` and ``repro doctor --snapshot`` commands."""
+
+import pytest
+
+from repro.cli import main
+from repro.io import save_space
+from repro.model.figure1 import build_figure1
+from repro.persist import SnapshotStore, save_snapshot
+from repro.runtime import flip_snapshot_byte
+
+
+@pytest.fixture
+def plan_file(tmp_path):
+    path = tmp_path / "plan.json"
+    save_space(build_figure1(), path)
+    return str(path)
+
+
+@pytest.fixture
+def store_dir(tmp_path):
+    return str(tmp_path / "snapshots")
+
+
+class TestPersistSave:
+    def test_save_writes_generation_one(self, plan_file, store_dir, capsys):
+        assert main(["persist", "save", plan_file, store_dir]) == 0
+        out = capsys.readouterr().out
+        assert "generation 1" in out
+        assert SnapshotStore(store_dir).generations() == [1]
+
+    def test_repeated_saves_advance_the_generation(
+        self, plan_file, store_dir, capsys
+    ):
+        main(["persist", "save", plan_file, store_dir])
+        assert main(["persist", "save", plan_file, store_dir]) == 0
+        assert "generation 2" in capsys.readouterr().out
+
+
+class TestPersistVerify:
+    def test_healthy_file_and_store(self, plan_file, store_dir, capsys):
+        main(["persist", "save", plan_file, store_dir])
+        store = SnapshotStore(store_dir)
+        assert main(["persist", "verify", str(store.path_for(1))]) == 0
+        assert main(["persist", "verify", store_dir]) == 0
+        assert "checksum/structure: ok" in capsys.readouterr().out
+
+    def test_corrupt_file_exits_nonzero(self, plan_file, store_dir, capsys):
+        main(["persist", "save", plan_file, store_dir])
+        store = SnapshotStore(store_dir)
+        flip_snapshot_byte(store.path_for(1))
+        assert main(["persist", "verify", store_dir]) == 1
+        assert "CORRUPT" in capsys.readouterr().out
+
+    def test_empty_store_exits_nonzero(self, store_dir, capsys):
+        SnapshotStore(store_dir)  # creates the (empty) directory
+        assert main(["persist", "verify", store_dir]) == 1
+        assert "no snapshot generations" in capsys.readouterr().out
+
+
+class TestPersistLoad:
+    def test_load_recovers_latest(self, plan_file, store_dir, capsys):
+        main(["persist", "save", plan_file, store_dir])
+        assert main(["persist", "load", store_dir]) == 0
+        out = capsys.readouterr().out
+        assert "recovered via snapshot (generation 1)" in out
+
+    def test_corruption_quarantines_and_rebuilds(
+        self, plan_file, store_dir, capsys
+    ):
+        main(["persist", "save", plan_file, store_dir])
+        flip_snapshot_byte(SnapshotStore(store_dir).path_for(1))
+        assert main(["persist", "load", store_dir, "--plan", plan_file]) == 0
+        out = capsys.readouterr().out
+        assert "recovered via rebuild" in out
+        assert "quarantined" in out
+
+    def test_strict_mode_reports_quarantine(
+        self, plan_file, store_dir, capsys
+    ):
+        main(["persist", "save", plan_file, store_dir])
+        flip_snapshot_byte(SnapshotStore(store_dir).path_for(1))
+        assert (
+            main(
+                ["persist", "load", store_dir, "--plan", plan_file, "--strict"]
+            )
+            == 1
+        )
+
+    def test_nothing_loadable_without_plan_fails(self, store_dir, capsys):
+        assert main(["persist", "load", store_dir]) == 1
+        assert "recovery failed" in capsys.readouterr().out
+
+
+class TestDoctorSnapshot:
+    def _snapshot(self, tmp_path):
+        from repro.index import IndexFramework
+
+        framework = IndexFramework.build(build_figure1())
+        return str(save_snapshot(framework, tmp_path / "probe.snap"))
+
+    def test_healthy_snapshot(self, tmp_path, capsys):
+        snap = self._snapshot(tmp_path)
+        assert main(["doctor", "--snapshot", snap]) == 0
+        out = capsys.readouterr().out
+        assert "checksum/structure: ok" in out
+        assert "doctor: healthy" in out
+
+    def test_corrupt_snapshot_exits_nonzero(self, tmp_path, capsys):
+        snap = self._snapshot(tmp_path)
+        flip_snapshot_byte(snap)
+        assert main(["doctor", "--snapshot", snap]) == 1
+        out = capsys.readouterr().out
+        assert "CORRUPT" in out
+        assert "doctor: snapshot corrupt" in out
+
+    def test_combined_with_plan_lint(self, tmp_path, plan_file, capsys):
+        snap = self._snapshot(tmp_path)
+        assert main(["doctor", plan_file, "--snapshot", snap]) == 0
+        out = capsys.readouterr().out
+        assert "checksum/structure: ok" in out
+        assert "floor plan lint:" in out
+
+    def test_no_plan_no_snapshot_is_usage_error(self, capsys):
+        assert main(["doctor"]) == 2

@@ -1,0 +1,185 @@
+"""Tests for the snapshot store and recovery ladder (repro.persist.recovery)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import RecoveryError
+from repro.index import IndexFramework
+from repro.model.figure1 import D21, build_figure1
+from repro.persist import RecoveryManager, SnapshotStore, WalRecorder
+from repro.persist.recovery import RecoverySource
+from repro.runtime import corrupt_md2d, flip_snapshot_byte
+
+
+def _rebuild_from(framework):
+    """A rebuild callable recreating ``framework``'s space and objects."""
+    objects = list(framework.objects)
+
+    def rebuild():
+        return IndexFramework.build(build_figure1(), objects)
+
+    return rebuild
+
+
+class TestSnapshotStore:
+    def test_generations_are_sequential(self, store, figure1_framework):
+        assert store.generations() == []
+        assert store.latest() is None
+        store.save(figure1_framework)
+        store.save(figure1_framework)
+        assert store.generations() == [1, 2]
+        assert store.latest() == 2
+
+    def test_prune_keeps_newest(self, tmp_path, figure1_framework):
+        store = SnapshotStore(tmp_path / "snaps", keep=2)
+        for _ in range(4):
+            store.save(figure1_framework)
+        store.prune()
+        assert store.generations() == [3, 4]
+
+    def test_checkpoint_truncates_the_wal(self, store, figure1_framework):
+        recorder = WalRecorder(figure1_framework.space, store.wal(fsync=False))
+        recorder.remove_door(D21)
+        assert store.wal_path.exists()
+        framework = figure1_framework.rebuild()
+        store.checkpoint(framework)
+        assert not store.wal_path.exists()
+        assert store.latest() == 1
+
+    def test_quarantine_renames_not_deletes(self, store, figure1_framework):
+        store.save(figure1_framework)
+        moved = store.quarantine(1)
+        assert moved.name.endswith(".snap.corrupt")
+        assert moved.exists()
+        assert store.generations() == []
+
+
+class TestRecoveryLadder:
+    def test_clean_snapshot_served(self, store, figure1_framework):
+        store.save(figure1_framework)
+        report = RecoveryManager(store).recover()
+        assert report.source is RecoverySource.SNAPSHOT
+        assert report.generation == 1
+        assert report.quarantined == []
+        assert np.array_equal(
+            report.framework.distance_index.md2d,
+            figure1_framework.distance_index.md2d,
+        )
+
+    def test_wal_replay_on_top_of_snapshot(self, store, figure1_framework):
+        store.save(figure1_framework)
+        recorder = WalRecorder(figure1_framework.space, store.wal(fsync=False))
+        recorder.remove_door(D21)
+
+        report = RecoveryManager(store).recover()
+        assert report.source is RecoverySource.SNAPSHOT_WAL
+        assert report.replay.applied == 1
+        assert D21 not in report.framework.space.door_ids
+        assert report.framework.is_fresh
+
+    def test_corrupt_latest_falls_back_to_older_generation(
+        self, store, figure1_framework
+    ):
+        store.save(figure1_framework)
+        store.save(figure1_framework)
+        flip_snapshot_byte(store.path_for(2))
+
+        report = RecoveryManager(store).recover()
+        assert report.generation == 1
+        assert [p.name for p in report.quarantined] == [
+            "snapshot-000002.snap.corrupt"
+        ]
+        # The damaged generation is preserved as evidence, never deleted.
+        assert (store.directory / "snapshot-000002.snap.corrupt").exists()
+
+    def test_all_corrupt_rebuilds(self, store, figure1_framework):
+        store.save(figure1_framework)
+        store.save(figure1_framework)
+        flip_snapshot_byte(store.path_for(1), seed=1)
+        flip_snapshot_byte(store.path_for(2), seed=2)
+
+        manager = RecoveryManager(store, rebuild=_rebuild_from(figure1_framework))
+        report = manager.recover()
+        assert report.source is RecoverySource.REBUILD
+        assert report.generation is None
+        assert len(report.quarantined) == 2
+        assert np.array_equal(
+            report.framework.distance_index.md2d,
+            figure1_framework.distance_index.md2d,
+        )
+
+    def test_all_corrupt_without_rebuild_is_fatal(
+        self, store, figure1_framework
+    ):
+        store.save(figure1_framework)
+        flip_snapshot_byte(store.path_for(1))
+        with pytest.raises(RecoveryError, match="no rebuild fallback"):
+            RecoveryManager(store).recover()
+
+    def test_empty_store_rebuilds(self, store, figure1_framework):
+        manager = RecoveryManager(store, rebuild=_rebuild_from(figure1_framework))
+        assert manager.recover().source is RecoverySource.REBUILD
+
+    def test_crash_mid_write_ignores_the_partial(
+        self, store, figure1_framework
+    ):
+        # Simulate a writer killed between the temp write and the rename:
+        # generation 1 is published, generation 2 exists only as a half-done
+        # temp file from a dead pid.
+        store.save(figure1_framework)
+        data = store.path_for(1).read_bytes()
+        partial = store.directory / "snapshot-000002.snap.tmp.99999"
+        partial.write_bytes(data[: len(data) // 3])
+
+        report = RecoveryManager(store).recover()
+        assert report.generation == 1
+        assert [p.name for p in report.removed_partials] == [partial.name]
+        assert not partial.exists()
+        assert store.generations() == [1]
+
+    def test_corrupt_wal_is_quarantined_snapshot_still_served(
+        self, store, figure1_framework
+    ):
+        store.save(figure1_framework)
+        recorder = WalRecorder(figure1_framework.space, store.wal(fsync=False))
+        recorder.remove_door(D21)
+        recorder.add_door(
+            D21,
+            build_figure1().door(D21).segment,
+            connects=(20, 21),
+        )
+        # Damage the *first* record while a valid one follows: that is rot,
+        # not a torn append, so the log is unusable — but the snapshot
+        # itself is intact and must still be served.
+        lines = store.wal_path.read_bytes().splitlines(keepends=True)
+        damaged = bytearray(lines[0])
+        damaged[len(damaged) // 2] ^= 0xFF
+        store.wal_path.write_bytes(bytes(damaged) + lines[1])
+
+        report = RecoveryManager(store).recover()
+        assert report.source is RecoverySource.SNAPSHOT
+        assert report.generation == 1
+        assert [p.name for p in report.quarantined] == ["wal.log.corrupt"]
+        assert not store.wal_path.exists()
+        # The un-replayed mutation is lost (reported, not silent): the
+        # served framework still has the door.
+        assert D21 in report.framework.space.door_ids
+
+    def test_semantic_corruption_fails_integrity_not_checksums(
+        self, store, figure1_framework
+    ):
+        # Persist a NaN faithfully: every checksum passes, so only the §IV
+        # integrity check can refuse to serve it.
+        corrupt_md2d(figure1_framework, mode="nan")
+        store.save(figure1_framework)
+        manager = RecoveryManager(store, rebuild=_rebuild_from(figure1_framework))
+        report = manager.recover()
+        assert report.source is RecoverySource.REBUILD
+        assert len(report.quarantined) == 1
+        assert any("integrity" in note for note in report.notes)
+
+    def test_verify_integrity_opt_out(self, store, figure1_framework):
+        corrupt_md2d(figure1_framework, mode="nan")
+        store.save(figure1_framework)
+        report = RecoveryManager(store, verify_integrity=False).recover()
+        assert report.source is RecoverySource.SNAPSHOT

@@ -1,0 +1,191 @@
+"""Tests for the checksummed snapshot container (repro.persist.snapshot)."""
+
+import hashlib
+import struct
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SnapshotCorruptError
+from repro.persist import load_snapshot, read_manifest, save_snapshot
+from repro.persist.snapshot import (
+    MAGIC,
+    SECTIONS,
+    SNAPSHOT_FORMAT_VERSION,
+    snapshot_bytes,
+)
+from repro.queries import QueryEngine
+from repro.runtime import flip_snapshot_byte
+
+_HEAD = struct.Struct(">II")
+
+
+def _reseal(data: bytes) -> bytes:
+    """Recompute the trailing whole-file digest after a deliberate edit.
+
+    The digest is verified first on load, so to exercise the *inner*
+    checks (section CRCs, version gate, structural cross-checks) a test
+    must damage the body and then re-seal the container.
+    """
+    body = data[:-32]
+    return body + hashlib.sha256(body).digest()
+
+
+def _section_offsets(data: bytes):
+    """Map section name -> (absolute start, length) inside the container."""
+    head_len = len(MAGIC) + _HEAD.size
+    _, manifest_len = _HEAD.unpack_from(data, len(MAGIC))
+    manifest = read_manifest_bytes(data, head_len, manifest_len)
+    offset = head_len + manifest_len
+    spans = {}
+    for entry in manifest["sections"]:
+        spans[entry["name"]] = (offset, entry["length"])
+        offset += entry["length"]
+    return spans
+
+
+def read_manifest_bytes(data, head_len, manifest_len):
+    import json
+
+    return json.loads(data[head_len : head_len + manifest_len].decode("utf-8"))
+
+
+def _assert_equivalent(original, restored):
+    """Bit-identical indexes and identical query answers."""
+    assert np.array_equal(
+        original.distance_index.md2d, restored.distance_index.md2d
+    )
+    assert np.array_equal(
+        original.distance_index.midx, restored.distance_index.midx
+    )
+    assert original.distance_index.door_ids == restored.distance_index.door_ids
+    assert list(original.dpt) == list(restored.dpt)
+    assert original.space.topology_epoch == restored.space.topology_epoch
+    assert original.built_epoch == restored.built_epoch
+    assert restored.is_fresh
+
+    want = QueryEngine(original)
+    got = QueryEngine(restored)
+    probe = next(iter(original.objects)).position
+    assert want.range_query(probe, 8.0) == got.range_query(probe, 8.0)
+    assert want.knn(probe, k=3) == got.knn(probe, k=3)
+
+
+class TestRoundTrip:
+    def test_figure1_bit_identical(self, figure1_framework, tmp_path):
+        path = save_snapshot(figure1_framework, tmp_path / "fig1.snap")
+        restored, manifest = load_snapshot(path)
+        _assert_equivalent(figure1_framework, restored)
+        assert manifest["doors"] == figure1_framework.distance_index.size
+        assert manifest["objects"] == len(figure1_framework.objects)
+
+    def test_multi_floor_building_bit_identical(
+        self, building_framework, tmp_path
+    ):
+        path = save_snapshot(building_framework, tmp_path / "bldg.snap")
+        restored, _ = load_snapshot(path)
+        _assert_equivalent(building_framework, restored)
+        floors = {p.floor for p in restored.space.partitions()}
+        assert floors == {0, 1, 2}
+
+    def test_snapshot_bytes_deterministic_modulo_timestamp(
+        self, figure1_framework
+    ):
+        # Only created_at (wall clock) may differ between two serialisations
+        # of the same framework; every payload byte is identical.
+        first = snapshot_bytes(figure1_framework)
+        second = snapshot_bytes(figure1_framework)
+        first_spans = _section_offsets(first)
+        second_spans = _section_offsets(second)
+        assert first_spans.keys() == second_spans.keys()
+        for name, (start, length) in first_spans.items():
+            start2, length2 = second_spans[name]
+            assert length == length2
+            assert (
+                first[start : start + length]
+                == second[start2 : start2 + length2]
+            )
+
+    def test_one_way_door_infinity_survives(self, figure1_framework, tmp_path):
+        # Figure 1's one-way doors d12/d15 put +inf dist1 values in the DPT;
+        # the JSON codec must round-trip them exactly (not as null or a
+        # parse error).
+        values = [
+            value
+            for record in figure1_framework.dpt
+            for value in (record.dist1, record.dist2)
+        ]
+        assert any(np.isinf(v) for v in values)
+        path = save_snapshot(figure1_framework, tmp_path / "fig1.snap")
+        restored, _ = load_snapshot(path)
+        assert list(figure1_framework.dpt) == list(restored.dpt)
+
+    def test_wal_seq_recorded(self, figure1_framework, tmp_path):
+        path = save_snapshot(figure1_framework, tmp_path / "s.snap", wal_seq=7)
+        assert read_manifest(path)["wal_seq"] == 7
+
+    def test_atomic_save_leaves_no_temp_files(
+        self, figure1_framework, tmp_path
+    ):
+        save_snapshot(figure1_framework, tmp_path / "s.snap")
+        assert [p.name for p in tmp_path.iterdir()] == ["s.snap"]
+
+
+class TestCorruptionDetection:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_any_byte_flip_is_caught(self, figure1_framework, tmp_path, seed):
+        path = save_snapshot(figure1_framework, tmp_path / "s.snap")
+        flip_snapshot_byte(path, seed=seed)
+        with pytest.raises(SnapshotCorruptError):
+            load_snapshot(path)
+
+    def test_flip_undo_restores_loadability(self, figure1_framework, tmp_path):
+        path = save_snapshot(figure1_framework, tmp_path / "s.snap")
+        handle = flip_snapshot_byte(path, count=3, seed=5)
+        with pytest.raises(SnapshotCorruptError):
+            read_manifest(path)
+        handle.undo()
+        read_manifest(path)
+
+    @pytest.mark.parametrize("section", SECTIONS)
+    def test_each_section_crc_names_the_section(
+        self, figure1_framework, tmp_path, section
+    ):
+        # Damage one payload byte, then re-seal the file so the whole-file
+        # digest passes: the per-section checksums are the last line of
+        # defence and must name the damaged section.
+        path = tmp_path / "s.snap"
+        data = bytearray(snapshot_bytes(figure1_framework))
+        start, length = _section_offsets(bytes(data))[section]
+        data[start + length // 2] ^= 0xFF
+        path.write_bytes(_reseal(bytes(data)))
+        with pytest.raises(SnapshotCorruptError) as excinfo:
+            load_snapshot(path)
+        assert excinfo.value.section == section
+
+    def test_unsupported_version_rejected(self, figure1_framework, tmp_path):
+        path = tmp_path / "s.snap"
+        data = bytearray(snapshot_bytes(figure1_framework))
+        struct.pack_into(">I", data, len(MAGIC), SNAPSHOT_FORMAT_VERSION + 1)
+        path.write_bytes(_reseal(bytes(data)))
+        with pytest.raises(SnapshotCorruptError, match="unsupported"):
+            load_snapshot(path)
+
+    def test_truncated_file_rejected(self, figure1_framework, tmp_path):
+        path = tmp_path / "s.snap"
+        data = snapshot_bytes(figure1_framework)
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(SnapshotCorruptError):
+            load_snapshot(path)
+
+    def test_not_a_snapshot_rejected(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_bytes(b"{}" * 40)
+        with pytest.raises(SnapshotCorruptError, match="magic"):
+            read_manifest(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.snap"
+        path.write_bytes(b"")
+        with pytest.raises(SnapshotCorruptError, match="too short"):
+            read_manifest(path)

@@ -1,0 +1,226 @@
+"""Tests for the topology write-ahead log (repro.persist.wal)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError, WalCorruptError
+from repro.geometry import Point, Segment, rectangle
+from repro.index import IndexFramework
+from repro.model.figure1 import D21, HALLWAY, ROOM_11, build_figure1
+from repro.persist import TopologyWAL, WalRecorder, load_snapshot, save_snapshot
+from repro.persist.wal import WalRecord
+
+
+@pytest.fixture
+def wal(tmp_path):
+    return TopologyWAL(tmp_path / "wal.log", fsync=False)
+
+
+NEW_ROOM = 30
+NEW_DOOR = 31
+NEW_ROOM_POLYGON = rectangle(0, 10, 4, 14)
+NEW_DOOR_GEOMETRY = Segment(Point(1.6, 10), Point(2.4, 10))
+
+
+def _mutate_figure1(target):
+    """The shared mutation script: a new room off room 11, one door gone.
+
+    ``target`` is anything exposing the space mutation API — the raw
+    :class:`IndoorSpace` (direct mutation) or a :class:`WalRecorder`
+    (durable mutation); both must produce the same topology.
+    """
+    target.add_partition(NEW_ROOM, NEW_ROOM_POLYGON, name="annex")
+    target.add_door(
+        NEW_DOOR, NEW_DOOR_GEOMETRY, connects=(NEW_ROOM, ROOM_11),
+        name="annex door",
+    )
+    target.remove_door(D21)
+
+
+class TestRecorder:
+    def test_log_precedes_apply(self, wal):
+        space = build_figure1()
+        recorder = WalRecorder(space, wal)
+        recorder.remove_door(D21)
+        records = list(wal.records())
+        assert [r.op for r in records] == ["remove_door"]
+        assert records[0].seq == 1
+        assert records[0].epoch == space.topology_epoch == 1
+        assert D21 not in space.door_ids
+
+    def test_failed_mutation_rolls_back_the_record(self, wal):
+        space = build_figure1()
+        recorder = WalRecorder(space, wal)
+        recorder.remove_door(D21)
+        with pytest.raises(ModelError):
+            # Duplicate door id: the apply fails after the append, so the
+            # record must be physically removed or replay would refuse the
+            # log (its epoch never happened).
+            recorder.add_door(
+                D21 - 10, Segment(Point(0, 0), Point(1, 0)),
+                connects=(HALLWAY, ROOM_11),
+            )
+        assert [r.op for r in wal.records()] == ["remove_door"]
+        assert wal.last_seq == 1
+        # The log is still coherent: a fresh space replays cleanly.
+        TopologyWAL(wal.path, fsync=False).replay(build_figure1())
+
+    def test_recorder_returns_the_model_objects(self, wal):
+        space = build_figure1()
+        recorder = WalRecorder(space, wal)
+        door = recorder.remove_door(D21)
+        assert door.door_id == D21
+
+
+class TestReplay:
+    def test_replay_is_epoch_aware_and_idempotent(self, wal):
+        space = build_figure1()
+        _mutate_figure1(WalRecorder(space, wal))
+
+        fresh = build_figure1()
+        report = wal.replay(fresh)
+        assert (report.applied, report.skipped) == (3, 0)
+        assert fresh.topology_epoch == space.topology_epoch == 3
+        assert set(fresh.door_ids) == set(space.door_ids)
+
+        again = wal.replay(fresh)
+        assert (again.applied, again.skipped) == (0, 3)
+
+    def test_replay_rejects_mismatched_history(self, wal):
+        # A log whose first un-skipped record targets an epoch more than
+        # one ahead belongs to a different snapshot lineage.
+        space = build_figure1()
+        wal.append("remove_door", {"id": D21}, epoch=5)
+        with pytest.raises(WalCorruptError, match="mismatch"):
+            wal.replay(space)
+
+    def test_replay_wraps_inapplicable_records(self, wal):
+        wal.append("remove_door", {"id": 9999}, epoch=1)
+        with pytest.raises(WalCorruptError, match="does not apply"):
+            wal.replay(build_figure1())
+
+    def test_truncate_drops_everything(self, wal):
+        space = build_figure1()
+        WalRecorder(space, wal).remove_door(D21)
+        wal.truncate()
+        assert list(wal.records()) == []
+        assert wal.last_seq == 0
+        assert not wal.path.exists()
+
+
+class TestLogDamage:
+    def _three_records(self, wal):
+        _mutate_figure1(WalRecorder(build_figure1(), wal))
+        return wal.path.read_bytes().splitlines(keepends=True)
+
+    def test_torn_tail_is_tolerated(self, wal):
+        lines = self._three_records(wal)
+        wal.path.write_bytes(b"".join(lines[:2]) + lines[2][: len(lines[2]) // 2])
+        survivors = list(TopologyWAL(wal.path, fsync=False).records())
+        assert [r.seq for r in survivors] == [1, 2]
+        report = TopologyWAL(wal.path, fsync=False).replay(build_figure1())
+        assert report.dropped_tail
+        assert report.applied == 2
+
+    def test_damage_before_tail_is_fatal(self, wal):
+        lines = self._three_records(wal)
+        damaged = bytearray(lines[1])
+        damaged[len(damaged) // 2] ^= 0xFF
+        wal.path.write_bytes(lines[0] + bytes(damaged) + lines[2])
+        with pytest.raises(WalCorruptError, match="followed by further"):
+            list(TopologyWAL(wal.path, fsync=False).records())
+
+    def test_sequence_jump_is_fatal(self, wal):
+        lines = self._three_records(wal)
+        wal.path.write_bytes(lines[0] + lines[2])  # seq 1 then seq 3
+        with pytest.raises(WalCorruptError, match="sequence jumps"):
+            list(TopologyWAL(wal.path, fsync=False).records())
+
+    def test_append_resumes_after_existing_records(self, wal):
+        self._three_records(wal)
+        resumed = TopologyWAL(wal.path, fsync=False)
+        assert resumed.last_seq == 3
+        record = resumed.append("remove_door", {"id": 1}, epoch=4)
+        assert record.seq == 4
+
+    def test_unknown_op_refused(self, wal):
+        with pytest.raises(WalCorruptError, match="unknown WAL op"):
+            wal.append("drop_table", {}, epoch=1)
+
+    def test_rollback_requires_matching_tail(self, wal):
+        space = build_figure1()
+        recorder = WalRecorder(space, wal)
+        recorder.remove_door(D21)
+        stale = WalRecord(seq=1, epoch=1, op="remove_door", args={"id": 999})
+        with pytest.raises(WalCorruptError, match="does not match"):
+            wal.rollback(stale)
+
+
+class TestReplayEquivalence:
+    """Snapshot + WAL replay must equal a from-scratch build, bit for bit."""
+
+    def _assert_bit_identical(self, recovered, scratch):
+        assert recovered.space.topology_epoch == scratch.space.topology_epoch
+        assert (
+            recovered.distance_index.door_ids
+            == scratch.distance_index.door_ids
+        )
+        assert np.array_equal(
+            recovered.distance_index.md2d, scratch.distance_index.md2d
+        )
+        assert np.array_equal(
+            recovered.distance_index.midx, scratch.distance_index.midx
+        )
+        assert list(recovered.dpt) == list(scratch.dpt)
+
+    def test_figure1(self, figure1_framework, tmp_path):
+        objects = list(figure1_framework.objects)
+        path = save_snapshot(figure1_framework, tmp_path / "s.snap")
+        wal = TopologyWAL(tmp_path / "wal.log", fsync=False)
+        _mutate_figure1(WalRecorder(figure1_framework.space, wal))
+
+        restored, _ = load_snapshot(path)
+        replay = wal.replay(restored.space)
+        assert replay.applied == 3
+        assert not restored.is_fresh
+        recovered = restored.rebuild()
+
+        scratch_space = build_figure1()
+        _mutate_figure1(scratch_space)
+        scratch = IndexFramework.build(scratch_space, objects)
+        self._assert_bit_identical(recovered, scratch)
+
+    def test_multi_floor_building(self, building_framework, tmp_path):
+        objects = list(building_framework.objects)
+        space = building_framework.space
+        floor = max(p.floor for p in space.partitions())
+        annex_id = max(space.partition_ids) + 100
+        annex_door = max(space.door_ids) + 100
+        polygon = rectangle(-6, 0, -1, 4, floor=floor)
+        geometry = Segment(Point(-1, 1.5, floor), Point(-1, 2.5, floor))
+        neighbour = next(
+            p.partition_id for p in space.partitions_on_floor(floor)
+        )
+
+        def mutate(target):
+            target.add_partition(annex_id, polygon, name="annex")
+            target.add_door(
+                annex_door, geometry, connects=(annex_id, neighbour)
+            )
+
+        path = save_snapshot(building_framework, tmp_path / "s.snap")
+        wal = TopologyWAL(tmp_path / "wal.log", fsync=False)
+        mutate(WalRecorder(space, wal))
+
+        restored, _ = load_snapshot(path)
+        assert wal.replay(restored.space).applied == 2
+        recovered = restored.rebuild()
+
+        from repro.synthetic import BuildingConfig, generate_building
+
+        scratch_space = generate_building(
+            BuildingConfig(floors=3, rooms_per_floor=6)
+        ).space
+        mutate(scratch_space)
+        scratch = IndexFramework.build(scratch_space, objects)
+        self._assert_bit_identical(recovered, scratch)

@@ -279,3 +279,43 @@ class TestDistanceLadder:
         assert result.quality is QualityLevel.EUCLIDEAN
         assert result.value <= exact + 1e-9
         assert result.value == pytest.approx(math.hypot(P.x - Q.x, P.y - Q.y))
+
+
+class TestFlakyProxyProtocols:
+    """Regression: the proxy's ``__getattr__`` must fail cleanly, not loop.
+
+    ``copy.copy`` / ``pickle`` probe dunders (``__copy__``,
+    ``__reduce_ex__``'s helpers, ``__setstate__``) on instances — and on
+    *uninitialised* instances, where ``_inner`` does not exist yet.  The
+    old delegation turned those probes into infinite recursion (every
+    ``self._inner`` lookup re-entered ``__getattr__``) or leaked the inner
+    index's answers for protocols the proxy never implemented.
+    """
+
+    def test_missing_dunder_raises_attribute_error(self, figure1_framework):
+        install_flaky_distance_index(figure1_framework, fail_after=100)
+        proxy = figure1_framework.distance_index
+        with pytest.raises(AttributeError):
+            proxy.__copy__
+        with pytest.raises(AttributeError):
+            proxy.__deepcopy__
+
+    def test_missing_inner_raises_attribute_error(self):
+        from repro.runtime.faults import FlakyDistanceIndex
+
+        half_built = FlakyDistanceIndex.__new__(FlakyDistanceIndex)
+        with pytest.raises(AttributeError):
+            half_built.anything  # noqa: B018 — the lookup is the test
+
+    def test_copy_does_not_recurse(self, figure1_framework):
+        import copy
+
+        install_flaky_distance_index(figure1_framework, fail_after=100)
+        proxy = figure1_framework.distance_index
+        duplicate = copy.copy(proxy)
+        assert duplicate._inner is proxy._inner
+
+    def test_non_dunder_delegation_still_works(self, figure1_framework):
+        install_flaky_distance_index(figure1_framework, fail_after=100)
+        proxy = figure1_framework.distance_index
+        assert proxy.size == len(proxy.door_ids)

@@ -1,0 +1,182 @@
+"""SupervisedQueryService: readiness gating, warm start, graceful shutdown."""
+
+import threading
+
+import pytest
+
+from repro.exceptions import RecoveryError, ServiceUnavailableError
+from repro.model.figure1 import D21, P
+from repro.persist import RecoveryManager, SnapshotStore
+from repro.persist.recovery import RecoverySource
+from repro.runtime import flip_snapshot_byte
+from repro.serve import QueryRequest, ServiceState, SupervisedQueryService
+
+
+@pytest.fixture
+def store(tmp_path):
+    return SnapshotStore(tmp_path / "snapshots")
+
+
+@pytest.fixture
+def warm_store(store, serve_framework):
+    """A store with one good generation already published."""
+    store.save(serve_framework)
+    return store
+
+
+def gated_rebuild(framework, gate):
+    """A rebuild callable that blocks until ``gate`` is set (and counts)."""
+    calls = []
+
+    def rebuild():
+        gate.wait(timeout=10.0)
+        calls.append(1)
+        return framework.rebuild()
+
+    return rebuild, calls
+
+
+class TestReadiness:
+    def test_not_ready_until_recovery_completes(self, store, serve_framework):
+        # An empty store forces the rebuild rung; gating it holds the
+        # service in STARTING so the probe's NOT_READY window is observable
+        # rather than a race.
+        gate = threading.Event()
+        rebuild, _ = gated_rebuild(serve_framework, gate)
+        supervised = SupervisedQueryService(
+            store, rebuild=rebuild, workers=1, snapshot_on_shutdown=False
+        )
+        supervised.start(wait=False)
+        try:
+            probe = supervised.readiness()
+            assert probe["state"] == "starting"
+            assert probe["ready"] is False
+            with pytest.raises(ServiceUnavailableError) as excinfo:
+                supervised.submit(QueryRequest.knn(P, k=1))
+            assert excinfo.value.state == "starting"
+
+            gate.set()
+            assert supervised.wait_ready(timeout=10.0)
+            probe = supervised.readiness()
+            assert probe["ready"] is True
+            assert probe["recovery"]["source"] == "rebuild"
+            supervised.execute(QueryRequest.knn(P, k=1))
+        finally:
+            supervised.shutdown()
+
+    def test_startup_failure_is_reraised_and_probed(self, store):
+        # Nothing to load and no rebuild fallback: startup must surface
+        # RecoveryError, and the probe must report it instead of hanging.
+        supervised = SupervisedQueryService(store, snapshot_on_shutdown=False)
+        supervised.start(wait=False)
+        with pytest.raises(RecoveryError):
+            supervised.wait_ready(timeout=10.0)
+        probe = supervised.readiness()
+        assert probe["ready"] is False
+        assert "no rebuild fallback" in probe["error"]
+
+    def test_context_manager_waits_for_ready(self, warm_store):
+        with SupervisedQueryService(warm_store, workers=1) as supervised:
+            assert supervised.state is ServiceState.READY
+            response = supervised.execute(QueryRequest.knn(P, k=2))
+            assert response.value
+        assert supervised.state is ServiceState.STOPPED
+
+
+class TestWarmStart:
+    def test_recovers_from_snapshot_without_rebuild(self, warm_store):
+        def forbidden_rebuild():
+            raise AssertionError("warm start must not rebuild")
+
+        with SupervisedQueryService(
+            warm_store, rebuild=forbidden_rebuild, workers=1,
+            snapshot_on_shutdown=False,
+        ) as supervised:
+            report = supervised.recovery_report
+            assert report.source is RecoverySource.SNAPSHOT
+            assert report.generation == 1
+
+    def test_corrupt_generation_quarantined_on_start(
+        self, warm_store, serve_framework
+    ):
+        warm_store.save(serve_framework)
+        flip_snapshot_byte(warm_store.path_for(2))
+        with SupervisedQueryService(
+            warm_store, workers=1, snapshot_on_shutdown=False
+        ) as supervised:
+            probe = supervised.readiness()
+            assert probe["recovery"]["generation"] == 1
+            assert probe["recovery"]["quarantined"] == [
+                "snapshot-000002.snap.corrupt"
+            ]
+
+
+class TestGracefulShutdown:
+    def test_drains_and_writes_final_snapshot(self, warm_store, query_positions):
+        requests = [
+            QueryRequest.range_query(position, 9.0)
+            for position in query_positions
+        ]
+        supervised = SupervisedQueryService(warm_store, workers=2).start()
+        futures = [supervised.submit(request) for request in requests]
+        supervised.shutdown()
+        # Every admitted request completed (drain, not abort) ...
+        assert all(future.result(timeout=1.0).value is not None or True
+                   for future in futures)
+        assert all(future.done() for future in futures)
+        # ... and a fresh generation was published.
+        assert warm_store.latest() == 2
+        assert supervised.state is ServiceState.STOPPED
+        with pytest.raises(ServiceUnavailableError):
+            supervised.execute(QueryRequest.knn(P, k=1))
+
+    def test_shutdown_is_idempotent(self, warm_store):
+        supervised = SupervisedQueryService(warm_store, workers=1).start()
+        first = supervised.shutdown()
+        assert supervised.shutdown() is first
+        assert warm_store.latest() == 2  # exactly one final snapshot
+
+    def test_wal_mutation_survives_restart(self, warm_store):
+        supervised = SupervisedQueryService(warm_store, workers=1).start()
+        try:
+            recorder = supervised.wal_recorder()
+            recorder.remove_door(D21)
+        finally:
+            supervised.shutdown()
+        # The final snapshot absorbed the mutation and truncated the WAL.
+        assert not warm_store.wal_path.exists()
+
+        with SupervisedQueryService(
+            warm_store, workers=1, snapshot_on_shutdown=False
+        ) as restarted:
+            framework = restarted.service.engine.framework
+            assert D21 not in framework.space.door_ids
+            assert framework.is_fresh
+
+    def test_no_snapshot_on_shutdown_replays_wal_instead(self, warm_store):
+        supervised = SupervisedQueryService(
+            warm_store, workers=1, snapshot_on_shutdown=False
+        ).start()
+        try:
+            supervised.wal_recorder().remove_door(D21)
+        finally:
+            supervised.shutdown()
+        # The crashier path: no final snapshot, so the next start must
+        # recover the mutation from the WAL.
+        assert warm_store.latest() == 1
+        assert warm_store.wal_path.exists()
+        with SupervisedQueryService(
+            warm_store, workers=1, snapshot_on_shutdown=False
+        ) as restarted:
+            assert (
+                restarted.recovery_report.source is RecoverySource.SNAPSHOT_WAL
+            )
+            framework = restarted.service.engine.framework
+            assert D21 not in framework.space.door_ids
+
+    def test_custom_recovery_manager_is_honoured(self, warm_store):
+        manager = RecoveryManager(warm_store, verify_integrity=False)
+        with SupervisedQueryService(
+            warm_store, recovery=manager, workers=1, snapshot_on_shutdown=False
+        ) as supervised:
+            assert supervised.recovery_report.generation == 1
