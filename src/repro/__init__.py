@@ -31,6 +31,12 @@ The public API mirrors the paper's architecture:
   (:class:`TopologyWAL` / :class:`WalRecorder`), and the
   :class:`RecoveryManager` quarantine ladder behind
   :class:`SupervisedQueryService`'s warm start and graceful shutdown.
+* **Chaos** (:mod:`repro.chaos`, beyond the paper): deterministic
+  fault-injection campaigns (:class:`CampaignRunner`) driving the full
+  stack through scripted fault schedules (:class:`FaultPlan`) while
+  differential, metamorphic, and epoch oracles verify every served
+  answer; a serve-layer :class:`CircuitBreaker` routes exact-path
+  failures onto the degradation ladder.
 
 Quickstart::
 
@@ -44,11 +50,23 @@ Quickstart::
     print(engine.knn(P, k=1))
 """
 
+from repro.chaos import (
+    CampaignConfig,
+    CampaignReport,
+    CampaignRunner,
+    FaultAction,
+    FaultPlan,
+    Incident,
+    IncidentClass,
+    OracleViolation,
+    standard_plan,
+)
 from repro.exceptions import (
     CorruptIndexError,
     DeadlineExceededError,
     GeometryError,
     IndexError_,
+    InjectedCrashError,
     ModelError,
     QueryError,
     RecoveryError,
@@ -122,6 +140,8 @@ from repro.runtime import (
     check_index_integrity,
 )
 from repro.serve import (
+    BreakerState,
+    CircuitBreaker,
     EpochLRUCache,
     MetricsRegistry,
     QueryKind,
@@ -133,11 +153,16 @@ from repro.serve import (
     SupervisedQueryService,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "AccessibilityGraph",
     "BoundingBox",
+    "BreakerState",
+    "CampaignConfig",
+    "CampaignReport",
+    "CampaignRunner",
+    "CircuitBreaker",
     "CorruptIndexError",
     "Deadline",
     "DeadlineExceededError",
@@ -147,16 +172,22 @@ __all__ = [
     "DoorPartitionTable",
     "DoorPath",
     "EpochLRUCache",
+    "FaultAction",
+    "FaultPlan",
     "GeometryError",
+    "Incident",
+    "IncidentClass",
     "IndexError_",
     "IndexFramework",
     "IndoorObject",
     "IndoorPath",
     "IndoorSpace",
     "IndoorSpaceBuilder",
+    "InjectedCrashError",
     "MetricsRegistry",
     "ModelError",
     "ObjectStore",
+    "OracleViolation",
     "Partition",
     "PartitionGrid",
     "PartitionKind",
@@ -211,4 +242,5 @@ __all__ = [
     "pt2pt_path",
     "range_query",
     "save_snapshot",
+    "standard_plan",
 ]

@@ -1,0 +1,86 @@
+"""Deterministic chaos campaigns with correctness oracles.
+
+The robustness layers of this repo — the degradation ladder
+(:mod:`repro.runtime`), crash-safe persistence (:mod:`repro.persist`), and
+the supervised serving stack (:mod:`repro.serve`) — each have unit tests,
+but unit tests exercise one failure at a time.  This package composes them:
+a :class:`CampaignRunner` replays a seeded query workload through a full
+:class:`~repro.serve.lifecycle.SupervisedQueryService` while a
+:class:`~repro.chaos.plan.FaultPlan` injects scripted faults (index
+corruption, snapshot bit-rot, torn WAL crashes, topology mutations,
+latency), and three oracle families judge every served answer:
+
+* differential — recompute on a pristine engine, compare per rung
+  guarantee;
+* metamorphic — d_E ≤ d_I, symmetry on undirected spaces, the triangle
+  inequality;
+* epoch — topology-epoch linearizability.
+
+Every incident is classified (:class:`~repro.chaos.report.IncidentClass`);
+a single ``SILENT_WRONG_ANSWER`` or ``UNRECOVERED`` fails the campaign.
+Everything derives from one seed, so the same config reproduces the same
+incident digest byte-for-byte (``repro chaos replay``).  See
+``docs/chaos.md``.
+"""
+
+from repro.chaos.injectors import (
+    LatencyDistanceIndex,
+    apply_topology_action,
+    install_latency,
+)
+from repro.chaos.oracles import (
+    EPS,
+    DifferentialOracle,
+    EpochOracle,
+    OracleViolation,
+    euclidean_bound_violation,
+    space_is_undirected,
+    symmetry_violation,
+    triangle_violation,
+)
+from repro.chaos.plan import (
+    ACTIONS,
+    INJECTING_ACTIONS,
+    FaultAction,
+    FaultPlan,
+    standard_plan,
+)
+from repro.chaos.report import (
+    FAILING_CLASSES,
+    CampaignReport,
+    Incident,
+    IncidentClass,
+    incident_digest,
+)
+from repro.chaos.runner import (
+    BUILDINGS,
+    CampaignConfig,
+    CampaignRunner,
+)
+
+__all__ = [
+    "ACTIONS",
+    "BUILDINGS",
+    "CampaignConfig",
+    "CampaignReport",
+    "CampaignRunner",
+    "DifferentialOracle",
+    "EPS",
+    "EpochOracle",
+    "FAILING_CLASSES",
+    "FaultAction",
+    "FaultPlan",
+    "INJECTING_ACTIONS",
+    "Incident",
+    "IncidentClass",
+    "LatencyDistanceIndex",
+    "OracleViolation",
+    "apply_topology_action",
+    "euclidean_bound_violation",
+    "incident_digest",
+    "install_latency",
+    "space_is_undirected",
+    "standard_plan",
+    "symmetry_violation",
+    "triangle_violation",
+]

@@ -1,0 +1,296 @@
+"""Correctness oracles: turning "it didn't crash" into "it was never wrong".
+
+Three independent oracles judge every served answer:
+
+* :class:`DifferentialOracle` — recompute the answer on a pristine,
+  never-faulted :class:`~repro.queries.engine.QueryEngine` and compare
+  *by the served rung's documented guarantee*: exact rungs must match the
+  truth exactly; ``DOOR_COUNT`` answers are upper bounds (a range result
+  may miss members but never invent them); ``EUCLIDEAN`` answers are
+  lower bounds (a range result may include extras but never miss a true
+  member).  A violation at any rung is a silent wrong answer — the
+  service claimed a guarantee its answer does not satisfy.
+* metamorphic distance invariants (:func:`euclidean_bound_violation`,
+  :func:`symmetry_violation`, :func:`triangle_violation`) — properties
+  that hold for *any* correct indoor metric without knowing the truth:
+  d_E(p,q) ≤ d_I(p,q); d(p,q) = d(q,p) on fully-undirected door graphs;
+  d(p,q) ≤ d(p,m) + d(m,q) for exact answers.
+* :class:`EpochOracle` — linearizability of topology epochs: once any
+  response computed at epoch E has been returned, no later response may
+  claim an earlier epoch.
+
+All comparisons use an absolute/relative tolerance of :data:`EPS` so
+float formatting never masquerades as corruption.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+from repro.model.builder import IndoorSpace
+from repro.queries.engine import QueryEngine
+from repro.runtime.ladder import QualityLevel, euclidean_lower_bound
+from repro.serve.requests import QueryResponse
+from repro.synthetic.workload import WorkloadOp
+
+#: Comparison tolerance for distances (absolute, and relative via max).
+EPS = 1e-6
+
+
+def _close(a: float, b: float) -> bool:
+    if math.isinf(a) or math.isinf(b):
+        return a == b
+    return abs(a - b) <= EPS * max(1.0, abs(a), abs(b))
+
+
+def space_is_undirected(space: IndoorSpace) -> bool:
+    """True when every door is bidirectional (symmetry is only a theorem
+    then; one one-way door makes d(p,q) ≠ d(q,p) legitimate)."""
+    return all(
+        space.topology.is_bidirectional(door_id)
+        for door_id in space.door_ids
+    )
+
+
+class OracleViolation(Exception):
+    """A served answer broke a correctness guarantee.
+
+    Attributes:
+        oracle: which oracle caught it (``differential`` / ``metamorphic``
+            / ``epoch``).
+        detail: deterministic description (safe to digest).
+    """
+
+    def __init__(self, oracle: str, detail: str) -> None:
+        self.oracle = oracle
+        self.detail = detail
+        super().__init__(f"{oracle}: {detail}")
+
+
+# ----------------------------------------------------------------------
+# Differential oracle
+# ----------------------------------------------------------------------
+class DifferentialOracle:
+    """Judge served answers against a pristine engine, per rung guarantee.
+
+    The oracle owns its *own* index framework built from the served
+    space's current topology and object population — faults are injected
+    into the service's framework, never this one.  Call :meth:`rebind`
+    after any topology mutation or service restart so the truth tracks
+    the live space.
+    """
+
+    def __init__(self, space: IndoorSpace, objects) -> None:
+        self._engine = QueryEngine.for_space(space, list(objects))
+        self._space = space
+        self._epoch = space.topology_epoch
+
+    @property
+    def engine(self) -> QueryEngine:
+        """The pristine engine (tests probe it directly)."""
+        return self._engine
+
+    def rebind(self, space: IndoorSpace, objects) -> None:
+        """Rebuild the pristine engine when the served topology moved."""
+        if space is self._space and space.topology_epoch == self._epoch:
+            return
+        self._engine = QueryEngine.for_space(space, list(objects))
+        self._space = space
+        self._epoch = space.topology_epoch
+
+    # ------------------------------------------------------------------
+    def check(self, op: WorkloadOp, response: QueryResponse) -> None:
+        """Raise :class:`OracleViolation` when ``response`` breaks the
+        guarantee of the rung it was served at."""
+        if op.kind == "range":
+            self._check_range(op, response)
+        elif op.kind == "knn":
+            self._check_knn(op, response)
+        else:
+            self._check_pt2pt(op, response)
+
+    def _check_range(self, op: WorkloadOp, response: QueryResponse) -> None:
+        truth = self._engine.range_query(op.position, op.radius)
+        served = list(response.value)
+        quality = response.quality
+        if quality.is_exact:
+            if served != truth:
+                raise OracleViolation(
+                    "differential",
+                    f"op {op.index} range@{quality.name}: served {served} "
+                    f"!= truth {truth}",
+                )
+        elif quality is QualityLevel.DOOR_COUNT:
+            extras = sorted(set(served) - set(truth))
+            if extras:
+                raise OracleViolation(
+                    "differential",
+                    f"op {op.index} range@DOOR_COUNT: false positives "
+                    f"{extras} (upper-bound rung must never invent members)",
+                )
+        else:  # EUCLIDEAN: lower bound — a superset of the truth
+            missed = sorted(set(truth) - set(served))
+            if missed:
+                raise OracleViolation(
+                    "differential",
+                    f"op {op.index} range@EUCLIDEAN: missed members "
+                    f"{missed} (lower-bound rung must never miss one)",
+                )
+
+    def _check_knn(self, op: WorkloadOp, response: QueryResponse) -> None:
+        quality = response.quality
+        served: List[Tuple[int, float]] = list(response.value)
+        if quality.is_exact:
+            truth = self._engine.knn(op.position, op.k)
+            if not self._knn_equal(served, truth):
+                raise OracleViolation(
+                    "differential",
+                    f"op {op.index} knn@{quality.name}: served {served} "
+                    f"!= truth {truth}",
+                )
+            return
+        # Bound rungs: the reported distance of every returned object must
+        # bound its true distance from the right side.
+        for object_id, reported in served:
+            true_distance = self._engine.distance(
+                op.position, self._engine.get_object(object_id).position
+            )
+            if quality is QualityLevel.DOOR_COUNT:
+                if reported < true_distance - EPS * max(1.0, true_distance):
+                    raise OracleViolation(
+                        "differential",
+                        f"op {op.index} knn@DOOR_COUNT: object {object_id} "
+                        f"reported {reported:.9g} below true "
+                        f"{true_distance:.9g} (must upper-bound)",
+                    )
+            else:  # EUCLIDEAN
+                if reported > true_distance + EPS * max(1.0, true_distance):
+                    raise OracleViolation(
+                        "differential",
+                        f"op {op.index} knn@EUCLIDEAN: object {object_id} "
+                        f"reported {reported:.9g} above true "
+                        f"{true_distance:.9g} (must lower-bound)",
+                    )
+
+    def _check_pt2pt(self, op: WorkloadOp, response: QueryResponse) -> None:
+        truth = self._engine.distance(op.position, op.target)
+        served = float(response.value)
+        quality = response.quality
+        if quality.is_exact:
+            if not _close(served, truth):
+                raise OracleViolation(
+                    "differential",
+                    f"op {op.index} pt2pt@{quality.name}: served "
+                    f"{served:.9g} != truth {truth:.9g}",
+                )
+        elif quality is QualityLevel.DOOR_COUNT:
+            if served < truth - EPS * max(1.0, abs(truth)):
+                raise OracleViolation(
+                    "differential",
+                    f"op {op.index} pt2pt@DOOR_COUNT: served {served:.9g} "
+                    f"below true {truth:.9g} (must upper-bound)",
+                )
+        else:  # EUCLIDEAN
+            if not math.isinf(truth) and served > truth + EPS * max(
+                1.0, abs(truth)
+            ):
+                raise OracleViolation(
+                    "differential",
+                    f"op {op.index} pt2pt@EUCLIDEAN: served {served:.9g} "
+                    f"above true {truth:.9g} (must lower-bound)",
+                )
+
+    @staticmethod
+    def _knn_equal(
+        served: List[Tuple[int, float]], truth: List[Tuple[int, float]]
+    ) -> bool:
+        """Same ids and pairwise-close distances (rank by rank).
+
+        Ids are compared as sorted multisets so two exact evaluators that
+        break an equal-distance tie differently are not flagged; the
+        distance sequence itself must still match rank for rank.
+        """
+        if len(served) != len(truth):
+            return False
+        if sorted(oid for oid, _ in served) != sorted(oid for oid, _ in truth):
+            return False
+        return all(
+            _close(float(s), float(t))
+            for (_, s), (_, t) in zip(served, truth)
+        )
+
+
+# ----------------------------------------------------------------------
+# Metamorphic invariants
+# ----------------------------------------------------------------------
+def euclidean_bound_violation(
+    op: WorkloadOp, served_value: float
+) -> Optional[str]:
+    """d_E(p,q) ≤ d_I(p,q): the straight line never beats an indoor walk.
+
+    Holds at every rung — exact and door-count answers are ≥ the true
+    distance ≥ the bound, and the Euclidean rung reports the bound itself.
+    Returns a deterministic description of the violation, or ``None``.
+    """
+    bound = euclidean_lower_bound(op.position, op.target)
+    if math.isinf(served_value):
+        return None  # unreachable: infinitely far satisfies any lower bound
+    if served_value < bound - EPS * max(1.0, bound):
+        return (
+            f"op {op.index}: served distance {served_value:.9g} below the "
+            f"Euclidean lower bound {bound:.9g}"
+        )
+    return None
+
+
+def symmetry_violation(
+    op: WorkloadOp, forward: float, backward: float
+) -> Optional[str]:
+    """d(p,q) = d(q,p) — a theorem only on fully-undirected door graphs;
+    the caller is responsible for checking :func:`space_is_undirected`."""
+    if not _close(forward, backward):
+        return (
+            f"op {op.index}: d(p,q)={forward:.9g} != d(q,p)={backward:.9g} "
+            "on an undirected space"
+        )
+    return None
+
+
+def triangle_violation(
+    op: WorkloadOp, direct: float, via_first: float, via_second: float
+) -> Optional[str]:
+    """d(p,q) ≤ d(p,m) + d(m,q) for exact answers (any path through m is a
+    valid walk, so the minimum can only be shorter)."""
+    if math.isinf(via_first) or math.isinf(via_second):
+        return None  # detour unreachable: the inequality is vacuous
+    detour = via_first + via_second
+    if direct > detour + EPS * max(1.0, detour):
+        return (
+            f"op {op.index}: d(p,q)={direct:.9g} exceeds detour "
+            f"d(p,m)+d(m,q)={detour:.9g}"
+        )
+    return None
+
+
+# ----------------------------------------------------------------------
+# Epoch linearizability
+# ----------------------------------------------------------------------
+class EpochOracle:
+    """No response may be served from an epoch older than one already
+    observed: topology mutations linearize at the first response that
+    reflects them."""
+
+    def __init__(self) -> None:
+        self._max_seen = -1
+
+    def observe(self, op_index: int, response: QueryResponse) -> None:
+        """Record one response; raise on an epoch regression."""
+        epoch = response.served_epoch
+        if epoch < self._max_seen:
+            raise OracleViolation(
+                "epoch",
+                f"op {op_index}: served from epoch {epoch} after a "
+                f"response from epoch {self._max_seen} was returned",
+            )
+        self._max_seen = max(self._max_seen, epoch)

@@ -1,0 +1,187 @@
+"""The fault-schedule DSL: *what* goes wrong, *when*, composably.
+
+A :class:`FaultPlan` is an ordered list of :class:`FaultAction` entries,
+each pinned to a workload operation index — never to a wall clock, so a
+plan replays identically from the same seed.  Actions compose the existing
+:mod:`repro.runtime.faults` injectors with the chaos-only ones
+(per-call latency, crash points, topology mutations, restarts):
+
+==================  =======================================================
+action              params
+==================  =======================================================
+``corrupt_md2d``    ``mode`` / ``count`` / ``seed`` — poison M_d2d cells
+``drop_dpt``        ``count`` / ``seed`` — remove DPT records
+``flaky_index``     ``fail_after`` — index dies after N lookups
+``latency``         ``per_call_ms`` — slow every distance-index call
+``flip_snapshot``   ``count`` / ``seed`` — bit-rot the newest generation
+``heal``            ``label`` (empty = all) — undo injected faults
+``checkpoint``      write a snapshot generation, truncate the WAL
+``remove_door``     ``id`` — topology mutation through the WAL recorder
+``add_door``        ``id`` / ``geometry`` / ``connects`` / ``one_way``
+``arm_crash``       ``point`` / ``skip`` — arm a persistence crash point
+``restart``         kill the service (no final snapshot), recover fresh
+==================  =======================================================
+
+Injected-fault actions take a ``label`` so a later ``heal`` can target
+them.  Plans serialise to JSON (:meth:`FaultPlan.to_json_dict`) and ride
+inside the :class:`~repro.chaos.report.CampaignReport`, which is what
+makes ``repro chaos replay`` possible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+#: Every action name the runner understands.
+ACTIONS = (
+    "corrupt_md2d",
+    "drop_dpt",
+    "flaky_index",
+    "latency",
+    "flip_snapshot",
+    "heal",
+    "checkpoint",
+    "remove_door",
+    "add_door",
+    "arm_crash",
+    "restart",
+)
+
+#: Actions that inject a revertable fault and therefore take a label.
+INJECTING_ACTIONS = (
+    "corrupt_md2d", "drop_dpt", "flaky_index", "latency", "flip_snapshot",
+)
+
+
+@dataclass(frozen=True)
+class FaultAction:
+    """One scheduled step of a chaos campaign.
+
+    Attributes:
+        at_op: the workload operation index this fires *before*.
+        action: one of :data:`ACTIONS`.
+        params: JSON-safe action parameters (see module docstring).
+        label: handle name for injected faults, referenced by ``heal``.
+    """
+
+    at_op: int
+    action: str
+    params: Dict = field(default_factory=dict)
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.at_op < 0:
+            raise ValueError(f"at_op must be >= 0, got {self.at_op}")
+        if self.action not in ACTIONS:
+            raise ValueError(
+                f"unknown action {self.action!r}; expected one of {ACTIONS}"
+            )
+
+    def to_dict(self) -> Dict:
+        """JSON-safe representation."""
+        return {
+            "at_op": self.at_op,
+            "action": self.action,
+            "params": dict(self.params),
+            "label": self.label,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: Dict) -> "FaultAction":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            at_op=int(raw["at_op"]),
+            action=raw["action"],
+            params=dict(raw.get("params", {})),
+            label=raw.get("label", ""),
+        )
+
+
+class FaultPlan:
+    """An immutable, op-indexed fault schedule.
+
+    Actions sharing an op index fire in their listed order, before that
+    operation executes.
+    """
+
+    def __init__(self, actions: Sequence[FaultAction]) -> None:
+        self.actions: Tuple[FaultAction, ...] = tuple(
+            sorted(actions, key=lambda a: a.at_op)
+        )
+        self._by_op: Dict[int, List[FaultAction]] = {}
+        for action in self.actions:
+            self._by_op.setdefault(action.at_op, []).append(action)
+
+    def __len__(self) -> int:
+        return len(self.actions)
+
+    def actions_at(self, op_index: int) -> List[FaultAction]:
+        """The actions scheduled to fire before operation ``op_index``."""
+        return list(self._by_op.get(op_index, ()))
+
+    @property
+    def last_op(self) -> int:
+        """The highest op index any action is pinned to (-1 when empty)."""
+        return self.actions[-1].at_op if self.actions else -1
+
+    def to_json_dict(self) -> List[Dict]:
+        """The plan as a JSON-safe list (embeds in a campaign report)."""
+        return [action.to_dict() for action in self.actions]
+
+    @classmethod
+    def from_json_dict(cls, raw: Sequence[Dict]) -> "FaultPlan":
+        """Inverse of :meth:`to_json_dict`."""
+        return cls([FaultAction.from_dict(entry) for entry in raw])
+
+
+def standard_plan(duration_ops: int) -> FaultPlan:
+    """The composed Figure-1 campaign the acceptance criteria describe.
+
+    Scaled to ``duration_ops``, the timeline walks the stack through index
+    corruption, mid-query index loss, a checkpoint, a topology mutation,
+    injected latency, snapshot bit-rot, a torn-WAL crash inside a second
+    mutation, a crash restart (which must quarantine the flipped
+    generation and recover from the previous one plus the WAL), the
+    mutation retried, and DPT record loss — with heals between phases so
+    the service must *recover*, not merely survive.
+
+    The door mutated is Figure 1's d24 (rooms 21–22): removing it leaves
+    the rooms connected through d21/d22, so every object stays reachable
+    and the differential oracle keeps a meaningful exact answer.
+    """
+    if duration_ops < 20:
+        raise ValueError(
+            f"standard plan needs duration_ops >= 20, got {duration_ops}"
+        )
+
+    def at(fraction: float) -> int:
+        return max(1, int(duration_ops * fraction))
+
+    door_24 = {
+        "id": 24,
+        "geometry": {"segment": [[16.0, 1.6, 0], [16.0, 2.4, 0]]},
+        "connects": [21, 22],
+        "one_way": False,
+    }
+    return FaultPlan([
+        FaultAction(at(0.05), "corrupt_md2d",
+                    {"mode": "nan", "count": 3, "seed": 11}, label="md2d"),
+        FaultAction(at(0.15), "heal", {"label": "md2d"}),
+        FaultAction(at(0.22), "flaky_index", {"fail_after": 40},
+                    label="flaky"),
+        FaultAction(at(0.30), "heal", {"label": "flaky"}),
+        FaultAction(at(0.33), "checkpoint"),
+        FaultAction(at(0.40), "remove_door", {"id": 24}),
+        FaultAction(at(0.48), "latency", {"per_call_ms": 0.02}, label="lat"),
+        FaultAction(at(0.52), "heal", {"label": "lat"}),
+        FaultAction(at(0.55), "flip_snapshot", {"count": 3, "seed": 12},
+                    label="flip"),
+        FaultAction(at(0.62), "arm_crash", {"point": "wal.append.torn"}),
+        FaultAction(at(0.63), "add_door", door_24),
+        FaultAction(at(0.64), "restart"),
+        FaultAction(at(0.72), "add_door", door_24),
+        FaultAction(at(0.80), "drop_dpt", {"count": 2, "seed": 13},
+                    label="dpt"),
+        FaultAction(at(0.88), "heal", {"label": "dpt"}),
+    ])

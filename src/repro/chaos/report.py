@@ -1,0 +1,195 @@
+"""The campaign's verdict artifact: incidents, classification, digest.
+
+A :class:`CampaignReport` is the JSON file a campaign leaves behind — CI
+uploads it, ``repro doctor`` summarises it, and ``repro chaos replay``
+re-runs its embedded configuration and compares incident digests.
+
+Incident taxonomy (:class:`IncidentClass`):
+
+* ``DEGRADED_CORRECTLY`` — the service served below the exact-indexed
+  rung (shed, breaker fallback) and the answer honoured that rung's
+  guarantee.
+* ``RECOVERED`` — a failure was *detected* (error response, quarantined
+  snapshot, torn WAL, injected crash) and the service came back to
+  exact, verified service afterwards.
+* ``SILENT_WRONG_ANSWER`` — an oracle caught an answer that violated its
+  claimed guarantee.  Any one of these fails the campaign.
+* ``UNRECOVERED`` — a detected failure the service never healed from
+  (the end-of-campaign probe still failed).  Also fails the campaign.
+
+The ``digest`` is a SHA-256 over the canonical JSON of the incident
+sequence *only* — timings and latency percentiles are recorded alongside
+but excluded, so the digest is reproducible byte-for-byte from the seed.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+PathLike = Union[str, Path]
+
+
+class IncidentClass(enum.Enum):
+    """How one incident resolved (see module docstring)."""
+
+    DEGRADED_CORRECTLY = "degraded_correctly"
+    RECOVERED = "recovered"
+    SILENT_WRONG_ANSWER = "silent_wrong_answer"
+    UNRECOVERED = "unrecovered"
+
+
+#: Classes whose presence fails the whole campaign.
+FAILING_CLASSES = (
+    IncidentClass.SILENT_WRONG_ANSWER,
+    IncidentClass.UNRECOVERED,
+)
+
+
+@dataclass
+class Incident:
+    """One observed event of a campaign.
+
+    Attributes:
+        op_index: the workload operation during/before which it happened.
+        kind: deterministic event tag (``degraded`` / ``request_failed`` /
+            ``injected_crash`` / ``quarantined`` / ``wal_torn_tail`` /
+            ``oracle_violation`` / ``final_probe_failed`` ...).
+        classification: the :class:`IncidentClass` it resolved to.
+        quality: ladder rung name for served-answer incidents ("" else).
+        detail: deterministic human-readable description (digested — must
+            never contain timings, pids, or absolute paths).
+    """
+
+    op_index: int
+    kind: str
+    classification: IncidentClass
+    quality: str = ""
+    detail: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe, canonical representation (what the digest covers)."""
+        return {
+            "op_index": self.op_index,
+            "kind": self.kind,
+            "classification": self.classification.value,
+            "quality": self.quality,
+            "detail": self.detail,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, Any]) -> "Incident":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            op_index=int(raw["op_index"]),
+            kind=raw["kind"],
+            classification=IncidentClass(raw["classification"]),
+            quality=raw.get("quality", ""),
+            detail=raw.get("detail", ""),
+        )
+
+
+def incident_digest(incidents: List[Incident]) -> str:
+    """SHA-256 over the canonical JSON of the incident sequence."""
+    payload = json.dumps(
+        [incident.to_dict() for incident in incidents],
+        sort_keys=True,
+        separators=(",", ":"),
+    ).encode("utf-8")
+    return hashlib.sha256(payload).hexdigest()
+
+
+@dataclass
+class CampaignReport:
+    """Everything one campaign run produced.
+
+    Attributes:
+        config: the campaign configuration (seed, duration, plan, oracle
+            toggles) — sufficient to replay the run.
+        incidents: every incident, in op order.
+        digest: SHA-256 of the canonical incident sequence; identical
+            across replays of the same seed + config.
+        ops_executed: workload operations actually served.
+        latency_ms: per-quality-rung latency percentiles (informational;
+            never digested).
+        breaker: final breaker snapshot (informational).
+    """
+
+    config: Dict[str, Any]
+    incidents: List[Incident] = field(default_factory=list)
+    digest: str = ""
+    ops_executed: int = 0
+    latency_ms: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    breaker: Dict[str, Any] = field(default_factory=dict)
+
+    def finalize(self) -> "CampaignReport":
+        """Seal the digest over the current incident sequence."""
+        self.digest = incident_digest(self.incidents)
+        return self
+
+    # ------------------------------------------------------------------
+    # Verdict
+    # ------------------------------------------------------------------
+    @property
+    def verdict(self) -> str:
+        """``"PASS"`` unless any incident silently lied or never healed."""
+        return "FAIL" if any(
+            incident.classification in FAILING_CLASSES
+            for incident in self.incidents
+        ) else "PASS"
+
+    @property
+    def passed(self) -> bool:
+        """True when the campaign met its correctness bar."""
+        return self.verdict == "PASS"
+
+    def counts(self) -> Dict[str, int]:
+        """Incident tally per classification (zero-filled)."""
+        tally = {cls.value: 0 for cls in IncidentClass}
+        for incident in self.incidents:
+            tally[incident.classification.value] += 1
+        return tally
+
+    # ------------------------------------------------------------------
+    # (De)serialisation
+    # ------------------------------------------------------------------
+    def to_json_dict(self) -> Dict[str, Any]:
+        """The full report as one JSON-safe dict."""
+        return {
+            "format": 1,
+            "config": self.config,
+            "verdict": self.verdict,
+            "digest": self.digest,
+            "ops_executed": self.ops_executed,
+            "counts": self.counts(),
+            "incidents": [i.to_dict() for i in self.incidents],
+            "latency_ms": self.latency_ms,
+            "breaker": self.breaker,
+        }
+
+    def save(self, path: PathLike) -> Path:
+        """Write the report as pretty-printed JSON; returns the path."""
+        target = Path(path)
+        target.write_text(
+            json.dumps(self.to_json_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        return target
+
+    @classmethod
+    def load(cls, path: PathLike) -> "CampaignReport":
+        """Read a report previously written by :meth:`save`."""
+        raw = json.loads(Path(path).read_text(encoding="utf-8"))
+        report = cls(
+            config=raw["config"],
+            incidents=[Incident.from_dict(i) for i in raw["incidents"]],
+            digest=raw.get("digest", ""),
+            ops_executed=int(raw.get("ops_executed", 0)),
+            latency_ms=raw.get("latency_ms", {}),
+            breaker=raw.get("breaker", {}),
+        )
+        return report

@@ -25,7 +25,14 @@ Commands:
 * ``serve-bench [--json OUT.json] [--seed N]`` — closed-loop serving
   benchmark: naive sequential :class:`~repro.queries.engine.QueryEngine`
   loop vs. the batched + cached :class:`~repro.serve.QueryService`
-  (scale via ``REPRO_BENCH_SCALE``, like ``bench``).
+  (scale via ``REPRO_BENCH_SCALE``, like ``bench``);
+* ``chaos run [--seed N] [--duration-ops M] [--report OUT.json]`` — a
+  deterministic fault-injection campaign (see :mod:`repro.chaos` and
+  ``docs/chaos.md``): exit 0 iff the verdict is PASS;
+* ``chaos replay --report OUT.json`` — re-run a saved campaign's config
+  and verify the incident digest reproduces byte-for-byte;
+* ``doctor ... [--campaign REPORT.json]`` — additionally surface the
+  verdict of the last chaos campaign in the health report.
 
 Floor plans use the JSON format of :mod:`repro.io`.
 """
@@ -124,21 +131,56 @@ def _verify_snapshot_file(path: str) -> int:
     return 1 if errors else 0
 
 
+def _doctor_campaign(path: str) -> int:
+    """Surface the last chaos campaign's verdict; 0 = PASS."""
+    from repro.chaos import CampaignReport
+
+    try:
+        report = CampaignReport.load(path)
+    except (OSError, KeyError, ValueError) as exc:
+        print(f"chaos campaign: unreadable report {path}: {exc}")
+        return 1
+    counts = report.counts()
+    print(
+        f"chaos campaign: {report.verdict} "
+        f"({report.ops_executed} ops, digest {report.digest[:12]}...)"
+    )
+    for name, count in sorted(counts.items()):
+        if count:
+            print(f"  {name}: {count}")
+    return 0 if report.passed else 1
+
+
 def _cmd_doctor(args: argparse.Namespace) -> int:
     from repro.index import IndexFramework
     from repro.model.validation import Severity
     from repro.runtime import check_index_integrity
 
+    campaign_status = 0
+    if args.campaign is not None:
+        campaign_status = _doctor_campaign(args.campaign)
     if args.snapshot is not None:
-        status = _verify_snapshot_file(args.snapshot)
+        snapshot_status = _verify_snapshot_file(args.snapshot)
+        status = snapshot_status + campaign_status
         if args.plan is None:
-            print("doctor: healthy" if status == 0 else "doctor: snapshot corrupt")
-            return status
+            if status == 0:
+                print("doctor: healthy")
+            elif snapshot_status:
+                print("doctor: snapshot corrupt")
+            else:
+                print("doctor: last campaign FAILED")
+            return 1 if status else 0
     elif args.plan is None:
-        print("doctor: a PLAN.json or --snapshot PATH is required")
+        if args.campaign is not None:
+            print(
+                "doctor: healthy" if campaign_status == 0
+                else "doctor: last campaign FAILED"
+            )
+            return campaign_status
+        print("doctor: a PLAN.json, --snapshot, or --campaign is required")
         return 2
     else:
-        status = 0
+        status = campaign_status
 
     space = load_space(args.plan)
     plan_issues = validate_space(space)
@@ -327,6 +369,86 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     return 0 if result["mismatches"] == 0 else 1
 
 
+def _render_campaign_summary(report) -> None:
+    counts = report.counts()
+    print(
+        f"campaign: {report.verdict} — {report.ops_executed} ops, "
+        f"{len(report.incidents)} incidents, digest {report.digest[:16]}..."
+    )
+    for name, count in sorted(counts.items()):
+        print(f"  {name}: {count}")
+    for quality, stats in sorted(report.latency_ms.items()):
+        print(
+            f"  latency {quality}: p50={stats['p50']}ms "
+            f"p90={stats['p90']}ms p99={stats['p99']}ms "
+            f"(n={int(stats['count'])})"
+        )
+
+
+def _cmd_chaos_run(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.chaos import CampaignConfig, CampaignRunner, FaultPlan
+
+    plan = None
+    if args.plan:
+        try:
+            with open(args.plan, encoding="utf-8") as handle:
+                plan = FaultPlan.from_json_dict(json.load(handle))
+        except (OSError, KeyError, ValueError) as exc:
+            print(f"chaos run: unreadable plan {args.plan}: {exc}")
+            return 2
+    config = CampaignConfig(
+        seed=args.seed,
+        duration_ops=args.duration_ops,
+        object_count=args.objects,
+        plan=plan,
+        differential=not args.no_differential,
+        metamorphic=not args.no_metamorphic,
+        epoch_oracle=not args.no_epoch_oracle,
+        integrity_gate=not args.no_integrity_gate,
+        breaker=not args.no_breaker,
+        store_dir=args.store_dir,
+    )
+    report = CampaignRunner(config).run()
+    _render_campaign_summary(report)
+    if args.report:
+        report.save(args.report)
+        print(f"wrote {args.report}")
+    if args.bench_json:
+        payload = {
+            "campaign": {
+                "seed": config.seed,
+                "duration_ops": config.duration_ops,
+                "verdict": report.verdict,
+                "digest": report.digest,
+            },
+            "latency_ms_by_quality": report.latency_ms,
+        }
+        with open(args.bench_json, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.bench_json}")
+    return 0 if report.passed else 1
+
+
+def _cmd_chaos_replay(args: argparse.Namespace) -> int:
+    from repro.chaos import CampaignConfig, CampaignReport, CampaignRunner
+
+    saved = CampaignReport.load(args.report)
+    config = CampaignConfig.from_dict(saved.config)
+    replayed = CampaignRunner(config).run()
+    _render_campaign_summary(replayed)
+    if replayed.digest == saved.digest:
+        print(f"replay: digest reproduced ({saved.digest[:16]}...)")
+        return 0 if replayed.passed else 1
+    print(
+        "replay: DIGEST MISMATCH — saved "
+        f"{saved.digest[:16]}... vs replayed {replayed.digest[:16]}..."
+    )
+    return 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the top-level argument parser with all subcommands."""
     parser = argparse.ArgumentParser(
@@ -365,6 +487,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--snapshot", default=None, metavar="PATH",
         help="verify a persisted snapshot (checksums + index integrity) "
         "instead of, or in addition to, a plan",
+    )
+    doctor.add_argument(
+        "--campaign", default=None, metavar="REPORT.json",
+        help="surface the verdict of a saved chaos-campaign report "
+        "(see 'chaos run --report')",
     )
     doctor.set_defaults(handler=_cmd_doctor)
 
@@ -456,6 +583,59 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=0, help="workload seed (default 0)"
     )
     serve_bench.set_defaults(handler=_cmd_serve_bench)
+
+    chaos = commands.add_parser(
+        "chaos", help="deterministic fault-injection campaigns"
+    )
+    chaos_commands = chaos.add_subparsers(dest="chaos_command", required=True)
+
+    chaos_run = chaos_commands.add_parser(
+        "run", help="run a seeded campaign against the Figure-1 stack"
+    )
+    chaos_run.add_argument("--seed", type=int, default=0)
+    chaos_run.add_argument(
+        "--duration-ops", type=int, default=200,
+        help="workload length (the standard plan scales with it)",
+    )
+    chaos_run.add_argument(
+        "--objects", type=int, default=12, help="indoor object population"
+    )
+    chaos_run.add_argument(
+        "--plan", default=None, metavar="PLAN.json",
+        help="custom fault schedule (FaultPlan JSON; default: the "
+        "standard plan scaled to --duration-ops)",
+    )
+    chaos_run.add_argument(
+        "--report", default=None, metavar="OUT.json",
+        help="write the full campaign report (replayable)",
+    )
+    chaos_run.add_argument(
+        "--bench-json", default=None, metavar="OUT.json",
+        help="write per-quality-level latency percentiles",
+    )
+    chaos_run.add_argument(
+        "--store-dir", default=None,
+        help="snapshot store directory (default: a fresh tempdir)",
+    )
+    chaos_run.add_argument("--no-differential", action="store_true")
+    chaos_run.add_argument("--no-metamorphic", action="store_true")
+    chaos_run.add_argument("--no-epoch-oracle", action="store_true")
+    chaos_run.add_argument(
+        "--no-integrity-gate", action="store_true",
+        help="disable the pre-answer integrity checks (demonstrates the "
+        "silent-wrong-answer failure mode; expect a FAIL verdict)",
+    )
+    chaos_run.add_argument("--no-breaker", action="store_true")
+    chaos_run.set_defaults(handler=_cmd_chaos_run)
+
+    chaos_replay = chaos_commands.add_parser(
+        "replay",
+        help="re-run a saved report's config; verify the digest reproduces",
+    )
+    chaos_replay.add_argument(
+        "--report", required=True, metavar="REPORT.json"
+    )
+    chaos_replay.set_defaults(handler=_cmd_chaos_replay)
 
     return parser
 

@@ -125,6 +125,21 @@ class RecoveryError(ReproError):
     was configured."""
 
 
+class InjectedCrashError(ReproError):
+    """A deterministic crash point (see :mod:`repro.runtime.crashpoints`)
+    fired inside a persistence write path.
+
+    Chaos campaigns arm these to simulate the process dying at a precise
+    step — after a snapshot temp-file write but before the publishing
+    rename, or mid-WAL-append leaving a torn record.  Production code never
+    raises this; only an armed crash point does.
+    """
+
+    def __init__(self, point: str) -> None:
+        self.point = point
+        super().__init__(f"injected crash at point {point!r}")
+
+
 class ServiceUnavailableError(ReproError):
     """The query service cannot admit requests in its current lifecycle
     state (still recovering, draining for shutdown, or stopped)."""
@@ -150,5 +165,6 @@ __all__ = [
     "SnapshotCorruptError",
     "WalCorruptError",
     "RecoveryError",
+    "InjectedCrashError",
     "ServiceUnavailableError",
 ]

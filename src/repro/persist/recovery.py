@@ -282,7 +282,8 @@ class RecoveryManager:
         replay: Optional[ReplayReport] = None
         if self.store.wal_path.exists():
             try:
-                replay = self.store.wal().replay(framework.space)
+                wal = self.store.wal()
+                replay = wal.replay(framework.space)
             except WalCorruptError as exc:
                 # The log, not the snapshot, is damaged.  Quarantine the
                 # log (keeping the evidence, reporting the loss) and fall
@@ -305,6 +306,13 @@ class RecoveryManager:
                         f"generation {generation}: replayed {replay.applied} "
                         f"WAL record(s) to epoch "
                         f"{framework.space.topology_epoch}"
+                    )
+                if replay.dropped_tail and wal.repair_torn_tail():
+                    # A torn final record is harmless to read past, but a
+                    # future append after it would look like mid-log rot.
+                    # Truncate it now, while we know it is only a tail.
+                    notes.append(
+                        "truncated torn WAL tail left by a crash mid-append"
                     )
 
         if not framework.is_fresh:

@@ -51,6 +51,7 @@ from repro.index.objects import IndoorObject, ObjectStore
 from repro.index.rtree import PartitionRTree
 from repro.io.json_io import space_from_dict, space_to_dict
 from repro.geometry import Point
+from repro.runtime import crashpoints
 
 PathLike = Union[str, Path]
 
@@ -199,6 +200,10 @@ def save_snapshot(
         handle.write(data)
         handle.flush()
         os.fsync(handle.fileno())
+    # Chaos crash point: die with the temp file complete but unpublished —
+    # recovery must sweep the orphan and keep serving the previous
+    # generation (see repro.runtime.crashpoints).
+    crashpoints.fire("snapshot.save.before_publish")
     os.replace(tmp, path)
     return path
 

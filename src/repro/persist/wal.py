@@ -28,10 +28,11 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterator, List, Optional, Tuple, Union
 
-from repro.exceptions import WalCorruptError
+from repro.exceptions import InjectedCrashError, WalCorruptError
 from repro.geometry import Point, Polygon, Segment
 from repro.model.builder import IndoorSpace
 from repro.model.entities import PartitionKind
+from repro.runtime import crashpoints
 
 PathLike = Union[str, Path]
 
@@ -142,17 +143,57 @@ class TopologyWAL:
     # Append side
     # ------------------------------------------------------------------
     def append(self, op: str, args: dict, epoch: int) -> WalRecord:
-        """Durably append one record; returns it."""
+        """Durably append one record; returns it.
+
+        Two chaos crash points live here (see
+        :mod:`repro.runtime.crashpoints`): ``wal.append.torn`` writes half
+        the record line and then dies — the classic torn tail — and
+        ``wal.append.before_fsync`` dies after the OS-level flush but
+        before fsync.
+        """
         if op not in WAL_OPS:
             raise WalCorruptError(f"unknown WAL op {op!r}")
         record = WalRecord(self._next_seq, epoch, op, dict(args))
+        line = record.to_line()
+        if crashpoints.consume("wal.append.torn"):
+            with open(self.path, "ab") as handle:
+                handle.write(line[: len(line) // 2])
+                handle.flush()
+                if self._fsync:
+                    os.fsync(handle.fileno())
+            raise InjectedCrashError("wal.append.torn")
         with open(self.path, "ab") as handle:
-            handle.write(record.to_line())
+            handle.write(line)
             handle.flush()
+            crashpoints.fire("wal.append.before_fsync")
             if self._fsync:
                 os.fsync(handle.fileno())
         self._next_seq += 1
         return record
+
+    def repair_torn_tail(self) -> bool:
+        """Truncate a torn final record (a crash mid-append) off the file.
+
+        A torn tail is tolerated by readers, but a subsequent *append*
+        would put a valid record after the damage — which readers rightly
+        treat as fatal rot.  Recovery calls this before the log is written
+        to again.  Returns ``True`` when a tail was removed; damage before
+        the tail is left for the quarantine path to handle.
+        """
+        try:
+            records, dropped = self._read_all()
+        except WalCorruptError:
+            return False
+        if not dropped:
+            return False
+        valid_bytes = sum(len(r.to_line()) for r in records)
+        with open(self.path, "rb+") as handle:
+            handle.truncate(valid_bytes)
+            handle.flush()
+            if self._fsync:
+                os.fsync(handle.fileno())
+        self._next_seq = (records[-1].seq if records else 0) + 1
+        return True
 
     def truncate(self) -> None:
         """Drop every record — call right after a snapshot that contains

@@ -1,0 +1,107 @@
+"""Deterministic crash points inside the persistence write paths.
+
+A *crash point* is a named hook compiled into a dangerous spot of the
+write path — after the snapshot temp file is written but before the
+publishing rename, or mid-WAL-append.  Chaos campaigns
+(:mod:`repro.chaos`) arm a point by name; the next time execution reaches
+it, :class:`~repro.exceptions.InjectedCrashError` is raised, simulating
+the process dying at exactly that step.  Unarmed points are free: a dict
+lookup on an empty registry.
+
+The registry is process-global and deterministic — a point fires on the
+``skip``-th passage after arming, never on a timer — so a campaign replayed
+from the same seed crashes at the same byte of the same write.
+
+Known points:
+
+* ``snapshot.save.before_publish`` — temp file fully written and fsynced,
+  publishing ``os.replace`` not yet executed (recovery must clean the
+  orphaned temp file and serve the previous generation);
+* ``wal.append.torn`` — half the record line written, then death (the
+  classic torn tail a WAL reader must tolerate);
+* ``wal.append.before_fsync`` — record written and flushed to the OS but
+  not fsynced (the record may or may not survive; the reader must accept
+  both).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List
+
+from repro.exceptions import InjectedCrashError
+
+__all__ = [
+    "arm",
+    "consume",
+    "disarm",
+    "disarm_all",
+    "fire",
+    "is_armed",
+    "armed_points",
+]
+
+_lock = threading.Lock()
+#: point name -> passages to skip before firing (0 = fire on next passage).
+_armed: Dict[str, int] = {}
+
+
+def arm(point: str, skip: int = 0) -> None:
+    """Arm ``point`` to fire on its ``skip``-th next passage.
+
+    Args:
+        point: the crash-point name (see module docstring).
+        skip: how many passages survive before the crash (default 0:
+            the very next passage dies).
+    """
+    if skip < 0:
+        raise ValueError(f"skip must be >= 0, got {skip}")
+    with _lock:
+        _armed[point] = skip
+
+
+def disarm(point: str) -> None:
+    """Disarm one point (no-op when not armed)."""
+    with _lock:
+        _armed.pop(point, None)
+
+
+def disarm_all() -> None:
+    """Disarm every point — call from test/campaign teardown."""
+    with _lock:
+        _armed.clear()
+
+
+def is_armed(point: str) -> bool:
+    """Whether ``point`` is currently armed."""
+    with _lock:
+        return point in _armed
+
+
+def armed_points() -> List[str]:
+    """The currently armed point names, sorted."""
+    with _lock:
+        return sorted(_armed)
+
+
+def consume(point: str) -> bool:
+    """Check-and-disarm: ``True`` exactly when ``point`` should crash now.
+
+    For hooks that need to *do* something at the crash (write half a
+    record) before raising; the caller raises
+    :class:`~repro.exceptions.InjectedCrashError` itself.
+    """
+    with _lock:
+        if point not in _armed:
+            return False
+        if _armed[point] > 0:
+            _armed[point] -= 1
+            return False
+        del _armed[point]
+        return True
+
+
+def fire(point: str) -> None:
+    """Raise :class:`InjectedCrashError` when ``point`` is armed and due."""
+    if consume(point):
+        raise InjectedCrashError(point)

@@ -52,12 +52,30 @@ class FaultHandle:
     cells: Tuple[Tuple[int, int], ...] = ()
     _undo: Callable[[], None] = field(default=lambda: None, repr=False)
     _active: bool = field(default=True, repr=False)
+    _attempted: bool = field(default=False, repr=False)
 
     def undo(self) -> None:
-        """Restore the framework to its pre-fault state (idempotent)."""
-        if self._active:
+        """Restore the framework to its pre-fault state.
+
+        Idempotent and re-entrant: once a restore succeeds, further calls
+        are no-ops.  If a restore fails partway (e.g. the injected file was
+        quarantined underneath us), the *first* call raises so the failure
+        is visible, but the handle stays undoable — a later call retries
+        the restore (every injector's restore writes absolute saved state,
+        so retrying never re-corrupts) and suppresses a repeat failure
+        rather than raising again from cleanup paths.
+        """
+        if not self._active:
+            return
+        first_attempt = not self._attempted
+        self._attempted = True
+        try:
             self._undo()
-            self._active = False
+        except Exception:
+            if first_attempt:
+                raise
+            return
+        self._active = False
 
 
 def _corruptible_cells(
@@ -236,6 +254,11 @@ def flip_snapshot_byte(
     target.write_bytes(bytes(data))
 
     def restore() -> None:
+        if not target.exists():
+            # The damaged file was quarantined (renamed to *.corrupt) or
+            # deleted by recovery; there is nothing left to restore and
+            # the quarantined copy is deliberately kept as evidence.
+            return
         current = bytearray(target.read_bytes())
         for offset, value in saved:
             current[offset] = value

@@ -35,6 +35,7 @@ from repro.serve.batch import (
     execute_group,
     plan_batches,
 )
+from repro.serve.breaker import BreakerState, CircuitBreaker
 from repro.serve.cache import EpochLRUCache
 from repro.serve.lifecycle import SupervisedQueryService
 from repro.serve.metrics import Counter, LatencyHistogram, MetricsRegistry
@@ -43,6 +44,8 @@ from repro.serve.service import QueryService, ServiceState, ShedPolicy
 
 __all__ = [
     "BatchGroup",
+    "BreakerState",
+    "CircuitBreaker",
     "Counter",
     "EpochLRUCache",
     "LatencyHistogram",

@@ -1,0 +1,164 @@
+""":class:`CircuitBreaker` — stop hammering a failing index, degrade instead.
+
+When the exact indexed path starts failing repeatedly (a corrupt M_d2d
+caught by the integrity gate, mid-query index loss, deadline blowouts),
+retrying every request against it wastes work and — worse — risks serving
+answers off a structure known to be damaged.  The breaker is the standard
+three-state machine, adapted to the degradation ladder:
+
+* **CLOSED** — healthy; exact requests pass through.  ``failure_threshold``
+  *consecutive* index failures trip it OPEN.
+* **OPEN** — exact serving suspended; every request is routed straight to
+  the configured fallback rung of the
+  :class:`~repro.runtime.ladder.QualityLevel` ladder (default
+  ``EXACT_FALLBACK``: still paper-exact, just index-free).  After
+  ``cooldown_ops`` short-circuited rounds the breaker moves to HALF_OPEN.
+* **HALF_OPEN** — probing; exact requests are allowed again.  The first
+  success closes the breaker, the first failure re-opens it (and restarts
+  the cooldown).
+
+Time is measured in *operations*, not seconds: a breaker that only heals on
+a wall clock is untestable deterministically, and chaos campaigns
+(:mod:`repro.chaos`) replay by seed.  Every transition is observable via
+the shared :class:`~repro.serve.metrics.MetricsRegistry`
+(``serve.breaker.opened`` / ``.half_open`` / ``.closed`` /
+``.short_circuited``).
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from typing import Any, Dict, Optional
+
+from repro.runtime.ladder import QualityLevel
+from repro.serve.metrics import MetricsRegistry
+
+
+class BreakerState(enum.Enum):
+    """The three circuit-breaker states."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker over the exact serving path.
+
+    Args:
+        failure_threshold: consecutive exact-path failures that trip the
+            breaker from CLOSED to OPEN.
+        cooldown_ops: short-circuited rounds the breaker stays OPEN before
+            probing again (operation-counted, so campaigns replay
+            deterministically).
+        fallback: the ladder rung requests are served at while the exact
+            path is suspended.  The default ``EXACT_FALLBACK`` keeps
+            answers paper-exact (index-free evaluation); drop to
+            ``DOOR_COUNT`` / ``EUCLIDEAN`` to also shed CPU.
+        metrics: registry for transition counters (one is created when
+            omitted; pass the service's to share).
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        cooldown_ops: int = 8,
+        fallback: QualityLevel = QualityLevel.EXACT_FALLBACK,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if cooldown_ops < 1:
+            raise ValueError(f"cooldown_ops must be >= 1, got {cooldown_ops}")
+        if fallback is QualityLevel.EXACT_INDEXED:
+            raise ValueError("fallback must be a rung below EXACT_INDEXED")
+        self.failure_threshold = failure_threshold
+        self.cooldown_ops = cooldown_ops
+        self.fallback = fallback
+        self.metrics = metrics or MetricsRegistry()
+        self._lock = threading.Lock()
+        self._state = BreakerState.CLOSED
+        self._consecutive_failures = 0
+        self._cooldown_remaining = 0
+        self._opened_total = 0
+
+    # ------------------------------------------------------------------
+    # State machine
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> BreakerState:
+        """The current breaker state."""
+        with self._lock:
+            return self._state
+
+    def allow_exact(self) -> bool:
+        """Whether the exact indexed path may be tried right now.
+
+        OPEN counts this call against the cooldown; once the cooldown is
+        spent the breaker moves to HALF_OPEN and the *next* call probes.
+        HALF_OPEN always allows the probe — a probing round that happens to
+        be answered entirely from cache simply leaves the breaker probing,
+        it can never wedge it.
+        """
+        with self._lock:
+            if self._state is BreakerState.CLOSED:
+                return True
+            if self._state is BreakerState.OPEN:
+                self._cooldown_remaining -= 1
+                if self._cooldown_remaining <= 0:
+                    self._state = BreakerState.HALF_OPEN
+                    self.metrics.increment("serve.breaker.half_open")
+                self.metrics.increment("serve.breaker.short_circuited")
+                return False
+            return True  # HALF_OPEN: probe
+
+    def record_success(self) -> None:
+        """An exact-path answer was produced and passed its gates."""
+        with self._lock:
+            self._consecutive_failures = 0
+            if self._state is BreakerState.HALF_OPEN:
+                self._state = BreakerState.CLOSED
+                self.metrics.increment("serve.breaker.closed")
+
+    def record_failure(self) -> None:
+        """The exact path failed (corrupt index, deadline, index loss)."""
+        with self._lock:
+            if self._state is BreakerState.HALF_OPEN:
+                self._trip()
+                return
+            self._consecutive_failures += 1
+            if (
+                self._state is BreakerState.CLOSED
+                and self._consecutive_failures >= self.failure_threshold
+            ):
+                self._trip()
+
+    def _trip(self) -> None:
+        self._state = BreakerState.OPEN
+        self._consecutive_failures = 0
+        self._cooldown_remaining = self.cooldown_ops
+        self._opened_total += 1
+        self.metrics.increment("serve.breaker.opened")
+
+    def reset(self) -> None:
+        """Force the breaker CLOSED (operator action / campaign heal)."""
+        with self._lock:
+            if self._state is not BreakerState.CLOSED:
+                self.metrics.increment("serve.breaker.closed")
+            self._state = BreakerState.CLOSED
+            self._consecutive_failures = 0
+            self._cooldown_remaining = 0
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Current state and counters as one plain dict."""
+        with self._lock:
+            return {
+                "state": self._state.value,
+                "consecutive_failures": self._consecutive_failures,
+                "cooldown_remaining": max(0, self._cooldown_remaining),
+                "opened_total": self._opened_total,
+                "fallback": self.fallback.name,
+            }

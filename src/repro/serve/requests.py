@@ -143,6 +143,8 @@ class QueryResponse:
             two or more requests.
         shed: admission pressure downgraded this request to a cheaper
             ladder rung before execution.
+        breaker: an open circuit breaker routed this request to its
+            fallback rung (exact serving was suspended or just failed).
         latency_ms: submit-to-completion wall-clock time.
     """
 
@@ -153,6 +155,7 @@ class QueryResponse:
     cached: bool = False
     batched: bool = False
     shed: bool = False
+    breaker: bool = False
     latency_ms: float = 0.0
 
     @property

@@ -33,9 +33,16 @@ from concurrent.futures import Future
 from dataclasses import dataclass, field
 from typing import Any, Deque, Dict, Iterable, List, Optional, Union
 
-from repro.exceptions import ReproError, StaleIndexError
+from repro.exceptions import (
+    CorruptIndexError,
+    DeadlineExceededError,
+    ReproError,
+    StaleIndexError,
+)
 from repro.index.framework import IndexFramework
+from repro.queries.baselines import brute_force_knn, brute_force_range
 from repro.queries.engine import QueryEngine
+from repro.runtime.integrity import require_index_integrity
 from repro.runtime.ladder import (
     QualityLevel,
     door_count_distance_value,
@@ -44,15 +51,21 @@ from repro.runtime.ladder import (
     euclidean_knn,
     euclidean_lower_bound,
     euclidean_range,
+    exact_fallback_distance,
 )
 from repro.runtime.resilient import ResilientQueryEngine
 from repro.runtime.retry import RetryPolicy
 from repro.serve.batch import execute_group, plan_batches
+from repro.serve.breaker import CircuitBreaker
 from repro.serve.cache import EpochLRUCache
 from repro.serve.metrics import MetricsRegistry
 from repro.serve.requests import QueryKind, QueryRequest, QueryResponse
 
 _MISS = object()
+
+#: Exact-path failures a circuit breaker counts and degrades around; other
+#: errors (validation, unreachable positions, ...) still fail fast.
+_BREAKER_FAULTS = (CorruptIndexError, DeadlineExceededError)
 
 
 class ServiceState(enum.Enum):
@@ -138,6 +151,18 @@ class QueryService:
         retry_policy: bounds for those rebuilds.
         metrics: a registry to share with other components (one is
             created when omitted).
+        breaker: a :class:`~repro.serve.breaker.CircuitBreaker` guarding
+            the exact indexed path.  With one installed, exact-path
+            failures (corrupt index, deadline, mid-query loss) route the
+            affected requests to the breaker's fallback rung instead of
+            failing them, and repeated failures suspend exact serving
+            until a probe succeeds.  ``None`` (default) keeps the
+            fail-fast behaviour.
+        integrity_gate: run the §IV index invariant checks before every
+            exact round.  Closes the silent-wrong-answer window: a
+            corrupt M_d2d is *detected* (and, with a breaker, degraded
+            around) rather than served.  Off by default — the check is
+            O(doors²) per round.
     """
 
     def __init__(
@@ -154,6 +179,8 @@ class QueryService:
         rebuild_on_stale: bool = True,
         retry_policy: Optional[RetryPolicy] = None,
         metrics: Optional[MetricsRegistry] = None,
+        breaker: Optional[CircuitBreaker] = None,
+        integrity_gate: bool = False,
     ) -> None:
         if isinstance(engine, ResilientQueryEngine):
             engine = engine.engine
@@ -177,6 +204,12 @@ class QueryService:
         self._retry_policy = retry_policy or RetryPolicy()
         self.cache = EpochLRUCache(cache_capacity if enable_cache else 0)
         self.metrics = metrics or MetricsRegistry()
+        self.breaker = breaker
+        self._integrity_gate = integrity_gate
+        if breaker is not None and breaker.metrics is not self.metrics:
+            # One registry, one picture: transitions land next to the
+            # serve counters they explain.
+            breaker.metrics = self.metrics
 
         self._queue: Deque[_Ticket] = deque()
         self._cv = threading.Condition()
@@ -300,6 +333,8 @@ class QueryService:
         """Counters, latency percentiles, and cache stats as one dict."""
         snapshot = self.metrics.snapshot()
         snapshot["cache"] = self.cache.stats()
+        if self.breaker is not None:
+            snapshot["breaker"] = self.breaker.snapshot()
         return snapshot
 
     # ------------------------------------------------------------------
@@ -329,11 +364,20 @@ class QueryService:
         if not exact:
             return
 
+        breaker = self.breaker
+        if breaker is not None and not breaker.allow_exact():
+            for ticket in exact:
+                self._serve_degraded(
+                    ticket, level=breaker.fallback, via_breaker=True
+                )
+            return
+
         try:
             self._ensure_fresh()
+            if self._integrity_gate:
+                require_index_integrity(self.engine.framework)
         except ReproError as exc:
-            for ticket in exact:
-                self._fail(ticket, exc)
+            self._exact_path_failed(exact, exc)
             return
         framework = self.engine.framework
         epoch = framework.space.topology_epoch
@@ -370,9 +414,10 @@ class QueryService:
                     for ticket in waiters:
                         self._retry(ticket, value)
                 elif isinstance(value, Exception):
-                    for ticket in waiters:
-                        self._fail(ticket, value)
+                    self._exact_path_failed(waiters, value)
                 else:
+                    if breaker is not None:
+                        breaker.record_success()
                     if framework.space.topology_epoch == epoch:
                         self.cache.put(request.cache_key(), epoch, value)
                     for index, ticket in enumerate(waiters):
@@ -411,16 +456,51 @@ class QueryService:
                 )
                 self.metrics.increment("serve.rebuilds")
 
-    def _serve_degraded(self, ticket: _Ticket) -> None:
-        """Answer from the capped ladder rung (never cached)."""
+    def _exact_path_failed(
+        self, tickets: List[_Ticket], exc: Exception
+    ) -> None:
+        """Handle tickets whose exact indexed path failed.
+
+        With a breaker installed and an index/deadline fault, the failure
+        is counted and the tickets are served from the breaker's fallback
+        rung; otherwise the original fail-fast behaviour applies.
+        """
+        breaker = self.breaker
+        if breaker is not None and isinstance(exc, _BREAKER_FAULTS):
+            breaker.record_failure()
+            for ticket in tickets:
+                self._serve_degraded(
+                    ticket, level=breaker.fallback, via_breaker=True
+                )
+            return
+        for ticket in tickets:
+            self._fail(ticket, exc)
+
+    def _serve_degraded(
+        self,
+        ticket: _Ticket,
+        level: Optional[QualityLevel] = None,
+        via_breaker: bool = False,
+    ) -> None:
+        """Answer from a lower ladder rung (never cached).
+
+        ``level`` defaults to the ticket's admission-time quality cap;
+        the breaker passes its fallback rung explicitly.
+        """
         framework = self.engine.framework
         request = ticket.request
         epoch = framework.space.topology_epoch
-        level = ticket.quality_cap
+        if level is None:
+            level = ticket.quality_cap
         try:
             if request.kind is QueryKind.RANGE:
-                if level is QualityLevel.DOOR_COUNT:
-                    value: Any = door_count_range(
+                if level is QualityLevel.EXACT_FALLBACK:
+                    value: Any = brute_force_range(
+                        framework.space, framework.objects,
+                        request.position, request.radius,
+                    )
+                elif level is QualityLevel.DOOR_COUNT:
+                    value = door_count_range(
                         framework, request.position, request.radius
                     )
                 else:
@@ -428,14 +508,23 @@ class QueryService:
                         framework, request.position, request.radius
                     )
             elif request.kind is QueryKind.KNN:
-                if level is QualityLevel.DOOR_COUNT:
+                if level is QualityLevel.EXACT_FALLBACK:
+                    value = brute_force_knn(
+                        framework.space, framework.objects,
+                        request.position, request.k,
+                    )
+                elif level is QualityLevel.DOOR_COUNT:
                     value = door_count_knn(
                         framework, request.position, request.k
                     )
                 else:
                     value = euclidean_knn(framework, request.position, request.k)
             else:
-                if level is QualityLevel.DOOR_COUNT:
+                if level is QualityLevel.EXACT_FALLBACK:
+                    value = exact_fallback_distance(
+                        framework, request.position, request.target
+                    )
+                elif level is QualityLevel.DOOR_COUNT:
                     value = door_count_distance_value(
                         framework, request.position, request.target
                     )
@@ -446,8 +535,13 @@ class QueryService:
         except ReproError as exc:
             self._fail(ticket, exc)
             return
-        self.metrics.increment("serve.degraded")
-        self._complete(ticket, value, epoch=epoch, quality=level, shed=True)
+        self.metrics.increment(
+            "serve.breaker_degraded" if via_breaker else "serve.degraded"
+        )
+        self._complete(
+            ticket, value, epoch=epoch, quality=level,
+            shed=not via_breaker, breaker=via_breaker,
+        )
 
     def _complete(
         self,
@@ -459,6 +553,7 @@ class QueryService:
         cached: bool = False,
         batched: bool = False,
         shed: bool = False,
+        breaker: bool = False,
     ) -> None:
         latency_ms = (time.perf_counter() - ticket.enqueued_at) * 1000.0
         response = QueryResponse(
@@ -469,6 +564,7 @@ class QueryService:
             cached=cached,
             batched=batched,
             shed=shed,
+            breaker=breaker,
             latency_ms=latency_ms,
         )
         self.metrics.increment("serve.responses")

@@ -4,14 +4,22 @@ Distance experiments use random position pairs ("for each algorithm
 invocation, we generate at random two indoor positions"); query experiments
 use random query positions ("we randomly pick a floor and generate a random
 query position on that particular floor").
+
+Beyond the paper, :func:`query_workload` generates mixed serving workloads
+(range / kNN / pt2pt, as plain :class:`WorkloadOp` descriptors) over any
+:class:`~repro.model.builder.IndoorSpace` — the deterministic op stream the
+chaos campaigns of :mod:`repro.chaos` replay by seed.
 """
 
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
 
 from repro.geometry import Point
+from repro.model.builder import IndoorSpace
+from repro.model.entities import PartitionKind
 from repro.synthetic.building import SyntheticBuilding
 from repro.synthetic.objects import random_point_in_partition
 
@@ -56,3 +64,98 @@ def random_position_pairs(
         (random_position(building, rng), random_position(building, rng))
         for _ in range(count)
     ]
+
+
+def random_indoor_position(space: IndoorSpace, rng: random.Random) -> Point:
+    """One area-uniform random position over a space's indoor partitions.
+
+    The generic-:class:`IndoorSpace` sibling of :func:`random_position`
+    (which needs a :class:`SyntheticBuilding`'s floor layout): outdoor
+    partitions are excluded, everything else is weighted by walkable area.
+    """
+    partitions = [
+        p for p in space.partitions() if p.kind is not PartitionKind.OUTDOOR
+    ]
+    weights = [p.polygon.area for p in partitions]
+    (partition,) = rng.choices(partitions, weights=weights, k=1)
+    return random_point_in_partition(partition, rng)
+
+
+@dataclass(frozen=True)
+class WorkloadOp:
+    """One operation of a mixed serving workload.
+
+    A plain descriptor — no engine types — so workloads can be generated
+    once up front and replayed against any serving stack (fresh, faulted,
+    pristine-oracle).
+
+    Attributes:
+        index: position of the op in its workload (0-based).
+        kind: ``"range"``, ``"knn"``, or ``"pt2pt"``.
+        position: query position (range / kNN) or source (pt2pt).
+        radius: range radius in metres (``range`` only).
+        k: neighbour count (``knn`` only).
+        target: destination (``pt2pt`` only).
+        pivot: a third position carried along for metamorphic
+            triangle-inequality checks (``pt2pt`` only).
+    """
+
+    index: int
+    kind: str
+    position: Point
+    radius: Optional[float] = None
+    k: Optional[int] = None
+    target: Optional[Point] = None
+    pivot: Optional[Point] = None
+
+    def to_request(self):
+        """The op as a serving-layer :class:`~repro.serve.QueryRequest`."""
+        from repro.serve.requests import QueryRequest
+
+        if self.kind == "range":
+            return QueryRequest.range_query(self.position, self.radius)
+        if self.kind == "knn":
+            return QueryRequest.knn(self.position, self.k)
+        return QueryRequest.pt2pt(self.position, self.target)
+
+
+def query_workload(
+    space: IndoorSpace,
+    count: int,
+    seed: int = 0,
+    mix: Sequence[float] = (0.4, 0.3, 0.3),
+) -> List[WorkloadOp]:
+    """``count`` mixed ops (range, kNN, pt2pt) — deterministic per seed.
+
+    Args:
+        space: the indoor space to sample positions from.
+        count: how many operations.
+        seed: RNG seed; every position, radius, k, and kind draw derives
+            from it, so the same seed always yields the same workload.
+        mix: relative weights of (range, knn, pt2pt).
+    """
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    rng = random.Random(seed)
+    ops: List[WorkloadOp] = []
+    for index in range(count):
+        (kind,) = rng.choices(("range", "knn", "pt2pt"), weights=mix, k=1)
+        position = random_indoor_position(space, rng)
+        if kind == "range":
+            ops.append(
+                WorkloadOp(
+                    index, kind, position,
+                    radius=round(rng.uniform(2.0, 15.0), 3),
+                )
+            )
+        elif kind == "knn":
+            ops.append(WorkloadOp(index, kind, position, k=rng.randint(1, 8)))
+        else:
+            ops.append(
+                WorkloadOp(
+                    index, kind, position,
+                    target=random_indoor_position(space, rng),
+                    pivot=random_indoor_position(space, rng),
+                )
+            )
+    return ops

@@ -1,0 +1,134 @@
+"""``repro chaos run/replay`` and ``repro doctor --campaign``."""
+
+import json
+
+import pytest
+
+from repro.chaos import (
+    CampaignConfig,
+    CampaignRunner,
+    FaultAction,
+    FaultPlan,
+)
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def report_path(tmp_path_factory):
+    path = tmp_path_factory.mktemp("chaos") / "report.json"
+    code = main([
+        "chaos", "run", "--seed", "0", "--duration-ops", "60",
+        "--report", str(path),
+    ])
+    assert code == 0
+    return str(path)
+
+
+class TestChaosRun:
+    def test_run_prints_verdict_and_writes_report(
+        self, report_path, capsys, tmp_path
+    ):
+        raw = json.loads(open(report_path, encoding="utf-8").read())
+        assert raw["verdict"] == "PASS"
+        assert raw["format"] == 1
+        assert raw["config"]["seed"] == 0
+        assert raw["counts"]["silent_wrong_answer"] == 0
+
+    def test_bench_json_sidecar(self, tmp_path, capsys):
+        bench = tmp_path / "BENCH_chaos.json"
+        code = main([
+            "chaos", "run", "--seed", "1", "--duration-ops", "40",
+            "--bench-json", str(bench),
+        ])
+        assert code == 0
+        raw = json.loads(bench.read_text(encoding="utf-8"))
+        assert raw["campaign"]["seed"] == 1
+        assert raw["campaign"]["verdict"] == "PASS"
+        assert raw["campaign"]["digest"]
+        assert raw["latency_ms_by_quality"]
+        for stats in raw["latency_ms_by_quality"].values():
+            assert {"count", "p50", "p90", "p99"} <= set(stats)
+
+    def test_custom_plan_fail_exits_nonzero(self, tmp_path, capsys):
+        # Oracles on, gate and breaker off, index corrupted and never
+        # healed: the CLI must propagate the FAIL verdict as nonzero exit.
+        plan = FaultPlan([
+            FaultAction(
+                2, "corrupt_md2d",
+                {"mode": "nan", "count": 4, "seed": 5},
+                label="x",
+            ),
+        ])
+        plan_path = tmp_path / "plan.json"
+        plan_path.write_text(
+            json.dumps(plan.to_json_dict()), encoding="utf-8"
+        )
+        code = main([
+            "chaos", "run", "--seed", "0", "--duration-ops", "40",
+            "--plan", str(plan_path),
+            "--no-integrity-gate", "--no-breaker",
+        ])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "FAIL" in out
+        assert "silent_wrong_answer" in out
+
+    def test_unreadable_plan_exits_two(self, tmp_path, capsys):
+        code = main([
+            "chaos", "run", "--plan", str(tmp_path / "missing.json"),
+        ])
+        assert code == 2
+
+
+class TestChaosReplay:
+    def test_replay_reproduces_the_digest(self, report_path, capsys):
+        code = main(["chaos", "replay", "--report", report_path])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "digest reproduced" in out
+
+    def test_replay_flags_a_tampered_report(
+        self, report_path, tmp_path, capsys
+    ):
+        raw = json.loads(open(report_path, encoding="utf-8").read())
+        raw["digest"] = "0" * 64
+        tampered = tmp_path / "tampered.json"
+        tampered.write_text(json.dumps(raw), encoding="utf-8")
+        code = main(["chaos", "replay", "--report", str(tampered)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "DIGEST MISMATCH" in out
+
+
+class TestDoctorCampaign:
+    def test_passing_report_is_healthy(self, report_path, capsys):
+        code = main(["doctor", "--campaign", report_path])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "PASS" in out
+
+    def test_failing_report_exits_nonzero(self, tmp_path, capsys):
+        plan = FaultPlan([
+            FaultAction(
+                2, "corrupt_md2d",
+                {"mode": "nan", "count": 4, "seed": 5},
+                label="x",
+            ),
+        ])
+        report = CampaignRunner(CampaignConfig(
+            seed=0, duration_ops=40, plan=plan,
+            integrity_gate=False, breaker=False,
+        )).run()
+        path = report.save(tmp_path / "fail.json")
+        code = main(["doctor", "--campaign", str(path)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "FAIL" in out
+
+    def test_unreadable_report_exits_nonzero(self, tmp_path, capsys):
+        code = main(["doctor", "--campaign", str(tmp_path / "missing.json")])
+        assert code == 1
+
+    def test_doctor_requires_some_target(self, capsys):
+        code = main(["doctor"])
+        assert code == 2

@@ -1,0 +1,98 @@
+"""Crash points: arming, firing, skip counts, and the persist hooks."""
+
+import pytest
+
+from repro.exceptions import InjectedCrashError
+from repro.index import IndexFramework
+from repro.model.figure1 import build_figure1
+from repro.persist import SnapshotStore, WalRecorder
+from repro.runtime import crashpoints
+
+
+@pytest.fixture(autouse=True)
+def _clean_registry():
+    crashpoints.disarm_all()
+    yield
+    crashpoints.disarm_all()
+
+
+class TestRegistry:
+    def test_fire_is_inert_when_unarmed(self):
+        crashpoints.fire("anything")  # no raise
+
+    def test_armed_point_fires_once(self):
+        crashpoints.arm("p")
+        assert crashpoints.is_armed("p")
+        with pytest.raises(InjectedCrashError) as exc_info:
+            crashpoints.fire("p")
+        assert exc_info.value.point == "p"
+        assert not crashpoints.is_armed("p")
+        crashpoints.fire("p")  # disarmed by firing
+
+    def test_skip_counts_down_before_firing(self):
+        crashpoints.arm("p", skip=2)
+        crashpoints.fire("p")
+        crashpoints.fire("p")
+        with pytest.raises(InjectedCrashError):
+            crashpoints.fire("p")
+
+    def test_negative_skip_rejected(self):
+        with pytest.raises(ValueError):
+            crashpoints.arm("p", skip=-1)
+
+    def test_disarm_and_listing(self):
+        crashpoints.arm("b")
+        crashpoints.arm("a")
+        assert crashpoints.armed_points() == ["a", "b"]
+        crashpoints.disarm("a")
+        assert crashpoints.armed_points() == ["b"]
+        crashpoints.disarm_all()
+        assert crashpoints.armed_points() == []
+
+
+class TestPersistHooks:
+    def test_snapshot_crash_leaves_no_new_generation(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        framework = IndexFramework.build(build_figure1())
+        store.save(framework)
+        crashpoints.arm("snapshot.save.before_publish")
+        with pytest.raises(InjectedCrashError):
+            store.save(framework)
+        # The crash struck before the atomic publish: generation 1 intact,
+        # no generation 2, only an orphan temp file at worst.
+        assert store.generations() == [1]
+
+    def test_torn_wal_append_leaves_valid_prefix(self, tmp_path):
+        space = build_figure1()
+        store = SnapshotStore(tmp_path)
+        wal = store.wal()
+        recorder = WalRecorder(space, wal)
+        recorder.remove_door(24)
+        crashpoints.arm("wal.append.torn")
+        epoch_before = space.topology_epoch
+        with pytest.raises(InjectedCrashError):
+            recorder.remove_door(22)
+        # The space was NOT mutated (write-ahead: append precedes apply)...
+        assert space.topology_epoch == epoch_before
+        # ...and a fresh reader sees one valid record plus a torn tail.
+        fresh = store.wal()
+        replay_space = build_figure1()
+        report = fresh.replay(replay_space)
+        assert report.applied == 1
+        assert report.dropped_tail
+
+    def test_repair_torn_tail_truncates_exactly(self, tmp_path):
+        space = build_figure1()
+        store = SnapshotStore(tmp_path)
+        recorder = WalRecorder(space, store.wal())
+        recorder.remove_door(24)
+        crashpoints.arm("wal.append.torn")
+        with pytest.raises(InjectedCrashError):
+            recorder.remove_door(22)
+        wal = store.wal()
+        assert wal.repair_torn_tail()
+        report = store.wal().replay(build_figure1())
+        assert report.applied == 1
+        assert not report.dropped_tail
+        # Nothing left to repair on a clean log.
+        assert not store.wal().repair_torn_tail()

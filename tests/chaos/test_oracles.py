@@ -1,0 +1,226 @@
+"""The oracle layer: differential per-rung checks, metamorphic
+invariants, epoch linearizability — and that each actually catches lies."""
+
+import math
+
+import pytest
+
+from repro.chaos import (
+    DifferentialOracle,
+    EpochOracle,
+    OracleViolation,
+    euclidean_bound_violation,
+    space_is_undirected,
+    symmetry_violation,
+    triangle_violation,
+)
+from repro.model.figure1 import build_figure1
+from repro.runtime.ladder import QualityLevel, euclidean_lower_bound
+from repro.serve.requests import QueryRequest, QueryResponse
+from repro.synthetic.objects import generate_objects
+from repro.synthetic.workload import WorkloadOp, query_workload
+
+
+@pytest.fixture(scope="module")
+def fixture_space():
+    return build_figure1()
+
+
+@pytest.fixture(scope="module")
+def fixture_objects(fixture_space):
+    return [obj for obj, _ in generate_objects(fixture_space, 10, seed=1)]
+
+
+@pytest.fixture(scope="module")
+def oracle(fixture_space, fixture_objects):
+    return DifferentialOracle(fixture_space, fixture_objects)
+
+
+def _response(op, value, quality, epoch=0):
+    return QueryResponse(
+        request=op.to_request(),
+        value=value,
+        quality=quality,
+        served_epoch=epoch,
+    )
+
+
+def _truth_for(oracle, op):
+    engine = oracle.engine
+    if op.kind == "range":
+        return engine.range_query(op.position, op.radius)
+    if op.kind == "knn":
+        return engine.knn(op.position, op.k)
+    return engine.distance(op.position, op.target)
+
+
+class TestDifferentialOracle:
+    def test_truthful_answers_pass_at_every_rung(self, oracle, fixture_space):
+        ops = query_workload(fixture_space, 30, seed=2)
+        for op in ops:
+            truth = _truth_for(oracle, op)
+            oracle.check(
+                op, _response(op, truth, QualityLevel.EXACT_INDEXED)
+            )
+            oracle.check(
+                op, _response(op, truth, QualityLevel.EXACT_FALLBACK)
+            )
+
+    def test_exact_range_lie_is_caught(self, oracle, fixture_space):
+        op = next(
+            o for o in query_workload(fixture_space, 30, seed=2)
+            if o.kind == "range"
+        )
+        truth = _truth_for(oracle, op)
+        lie = truth[1:] if truth else [999]
+        with pytest.raises(OracleViolation, match="differential"):
+            oracle.check(op, _response(op, lie, QualityLevel.EXACT_INDEXED))
+
+    def test_door_count_range_may_miss_but_not_invent(
+        self, oracle, fixture_space
+    ):
+        op = next(
+            o for o in query_workload(fixture_space, 30, seed=2)
+            if o.kind == "range"
+        )
+        truth = _truth_for(oracle, op)
+        # Missing members is within the upper-bound rung's contract...
+        oracle.check(op, _response(op, truth[:1], QualityLevel.DOOR_COUNT))
+        # ...inventing one is not.
+        with pytest.raises(OracleViolation, match="false positives"):
+            oracle.check(
+                op, _response(op, truth + [999], QualityLevel.DOOR_COUNT)
+            )
+
+    def test_euclidean_range_may_add_but_not_miss(self, oracle, fixture_space):
+        op = next(
+            o for o in query_workload(fixture_space, 30, seed=2)
+            if o.kind == "range" and _truth_for(oracle, o)
+        )
+        truth = _truth_for(oracle, op)
+        oracle.check(
+            op, _response(op, truth + [999], QualityLevel.EUCLIDEAN)
+        )
+        with pytest.raises(OracleViolation, match="missed"):
+            oracle.check(op, _response(op, truth[1:], QualityLevel.EUCLIDEAN))
+
+    def test_exact_knn_distance_lie_is_caught(self, oracle, fixture_space):
+        op = next(
+            o for o in query_workload(fixture_space, 30, seed=2)
+            if o.kind == "knn"
+        )
+        truth = _truth_for(oracle, op)
+        lie = [(oid, dist * 1.5 + 1.0) for oid, dist in truth]
+        with pytest.raises(OracleViolation, match="differential"):
+            oracle.check(op, _response(op, lie, QualityLevel.EXACT_INDEXED))
+
+    def test_exact_knn_tie_break_order_is_tolerated(
+        self, oracle, fixture_space
+    ):
+        op = next(
+            o for o in query_workload(fixture_space, 30, seed=2)
+            if o.kind == "knn" and len(_truth_for(oracle, o)) >= 2
+        )
+        truth = _truth_for(oracle, op)
+        # Two evaluators may order equal-distance neighbours differently;
+        # the oracle compares id multisets + rank-by-rank distances.
+        same_distances = [
+            (truth[1][0], truth[0][1]), (truth[0][0], truth[1][1]),
+        ] + truth[2:]
+        if math.isclose(truth[0][1], truth[1][1]):
+            oracle.check(
+                op,
+                _response(op, same_distances, QualityLevel.EXACT_INDEXED),
+            )
+
+    def test_pt2pt_bounds_per_rung(self, oracle, fixture_space):
+        op = next(
+            o for o in query_workload(fixture_space, 30, seed=2)
+            if o.kind == "pt2pt"
+            and not math.isinf(_truth_for(oracle, o))
+        )
+        truth = _truth_for(oracle, op)
+        # DOOR_COUNT must upper-bound:
+        oracle.check(op, _response(op, truth + 5.0, QualityLevel.DOOR_COUNT))
+        with pytest.raises(OracleViolation, match="upper-bound"):
+            oracle.check(
+                op, _response(op, truth - 1.0, QualityLevel.DOOR_COUNT)
+            )
+        # EUCLIDEAN must lower-bound:
+        oracle.check(op, _response(op, truth - 1.0, QualityLevel.EUCLIDEAN))
+        with pytest.raises(OracleViolation, match="lower-bound"):
+            oracle.check(
+                op, _response(op, truth + 1.0, QualityLevel.EUCLIDEAN)
+            )
+
+    def test_rebind_tracks_topology_mutations(self, fixture_objects):
+        from repro.model.figure1 import D24
+
+        space = build_figure1()
+        oracle = DifferentialOracle(space, fixture_objects)
+        first_engine = oracle.engine
+        oracle.rebind(space, fixture_objects)  # same space, same epoch
+        assert oracle.engine is first_engine
+        space.remove_door(D24)
+        oracle.rebind(space, fixture_objects)
+        assert oracle.engine is not first_engine
+
+
+class TestMetamorphicChecks:
+    def test_euclidean_bound(self, fixture_space):
+        op = WorkloadOp(
+            0, "pt2pt",
+            position=fixture_space.partition(11).polygon.centroid,
+            target=fixture_space.partition(13).polygon.centroid,
+        )
+        bound = euclidean_lower_bound(op.position, op.target)
+        assert euclidean_bound_violation(op, bound + 2.0) is None
+        assert euclidean_bound_violation(op, math.inf) is None
+        assert euclidean_bound_violation(op, bound / 2.0) is not None
+
+    def test_symmetry(self, fixture_space):
+        op = WorkloadOp(
+            0, "pt2pt",
+            position=fixture_space.partition(11).polygon.centroid,
+            target=fixture_space.partition(13).polygon.centroid,
+        )
+        assert symmetry_violation(op, 10.0, 10.0 + 1e-9) is None
+        assert symmetry_violation(op, 10.0, 11.0) is not None
+
+    def test_triangle(self, fixture_space):
+        op = WorkloadOp(
+            0, "pt2pt",
+            position=fixture_space.partition(11).polygon.centroid,
+            target=fixture_space.partition(13).polygon.centroid,
+        )
+        assert triangle_violation(op, 10.0, 6.0, 5.0) is None
+        assert triangle_violation(op, 12.0, 6.0, 5.0) is not None
+        # Unreachable detour legs make the inequality vacuous.
+        assert triangle_violation(op, 12.0, math.inf, 5.0) is None
+
+    def test_figure1_has_one_way_doors(self, fixture_space):
+        # d12 and d15 are one-way, so symmetry is NOT a theorem there and
+        # the campaign must gate the check on this predicate.
+        assert not space_is_undirected(fixture_space)
+
+
+class TestEpochOracle:
+    def _response(self, epoch):
+        request = QueryRequest.knn(
+            build_figure1().partition(11).polygon.centroid, 1
+        )
+        return QueryResponse(
+            request=request, value=[], quality=QualityLevel.EXACT_INDEXED,
+            served_epoch=epoch,
+        )
+
+    def test_monotone_epochs_pass(self):
+        oracle = EpochOracle()
+        for index, epoch in enumerate([0, 0, 1, 1, 2]):
+            oracle.observe(index, self._response(epoch))
+
+    def test_regression_is_caught(self):
+        oracle = EpochOracle()
+        oracle.observe(0, self._response(2))
+        with pytest.raises(OracleViolation, match="epoch"):
+            oracle.observe(1, self._response(1))

@@ -1,0 +1,94 @@
+"""FaultPlan DSL: validation, ordering, serialisation, the standard plan."""
+
+import pytest
+
+from repro.chaos import ACTIONS, FaultAction, FaultPlan, standard_plan
+
+
+class TestFaultAction:
+    def test_rejects_unknown_action(self):
+        with pytest.raises(ValueError, match="unknown action"):
+            FaultAction(0, "set_on_fire")
+
+    def test_rejects_negative_op(self):
+        with pytest.raises(ValueError, match="at_op"):
+            FaultAction(-1, "heal")
+
+    def test_dict_roundtrip(self):
+        action = FaultAction(
+            7, "corrupt_md2d", {"mode": "nan", "count": 2, "seed": 5},
+            label="md2d",
+        )
+        assert FaultAction.from_dict(action.to_dict()) == action
+
+
+class TestFaultPlan:
+    def test_actions_sorted_and_grouped_by_op(self):
+        plan = FaultPlan([
+            FaultAction(9, "heal"),
+            FaultAction(2, "checkpoint"),
+            FaultAction(2, "restart"),
+        ])
+        assert [a.at_op for a in plan.actions] == [2, 2, 9]
+        assert [a.action for a in plan.actions_at(2)] == [
+            "checkpoint", "restart",
+        ]
+        assert plan.actions_at(5) == []
+        assert plan.last_op == 9
+        assert len(plan) == 3
+
+    def test_same_op_actions_keep_listed_order(self):
+        # heal-before-inject vs inject-before-heal differ; order must be
+        # the author's, not alphabetical.
+        plan = FaultPlan([
+            FaultAction(3, "heal", {"label": "x"}),
+            FaultAction(3, "flaky_index", {"fail_after": 1}, label="x"),
+        ])
+        assert [a.action for a in plan.actions_at(3)] == [
+            "heal", "flaky_index",
+        ]
+
+    def test_json_roundtrip(self):
+        plan = standard_plan(100)
+        restored = FaultPlan.from_json_dict(plan.to_json_dict())
+        assert restored.actions == plan.actions
+
+    def test_empty_plan(self):
+        plan = FaultPlan([])
+        assert plan.last_op == -1
+        assert plan.actions_at(0) == []
+
+
+class TestStandardPlan:
+    def test_needs_a_minimum_duration(self):
+        with pytest.raises(ValueError, match="duration_ops"):
+            standard_plan(10)
+
+    def test_composes_the_acceptance_scenario(self):
+        plan = standard_plan(200)
+        names = [a.action for a in plan.actions]
+        # Index corruption, snapshot bit-rot, and a mid-stream topology
+        # mutation all present — the composed campaign of the acceptance
+        # criteria — plus the crash/restart pair that exercises recovery.
+        for required in (
+            "corrupt_md2d", "flip_snapshot", "remove_door", "add_door",
+            "arm_crash", "restart", "checkpoint", "heal", "drop_dpt",
+            "flaky_index", "latency",
+        ):
+            assert required in names, required
+        # The crash is armed before the mutation that trips it, and the
+        # restart follows; the mutation is retried after recovery.
+        assert names.index("arm_crash") < names.index("add_door")
+        assert (
+            [a.action for a in plan.actions].count("add_door") == 2
+        )
+        for action in plan.actions:
+            assert action.action in ACTIONS
+            assert action.at_op < 200
+
+    def test_scales_with_duration(self):
+        short = standard_plan(25)
+        long = standard_plan(1000)
+        assert short.last_op < 25
+        assert long.last_op < 1000
+        assert len(short) == len(long)

@@ -1,0 +1,89 @@
+"""Regression tests for the FaultHandle undo contract.
+
+Chaos campaigns undo faults from cleanup paths that may run more than
+once, after the injected target was quarantined, or after a first restore
+attempt failed — so :meth:`FaultHandle.undo` must be idempotent and
+re-entrant, and every injector's restore must write absolute saved state
+(retrying can never re-corrupt).
+"""
+
+import numpy as np
+import pytest
+
+from repro.runtime.faults import (
+    FaultHandle,
+    corrupt_md2d,
+    flip_snapshot_byte,
+)
+
+
+class TestUndoContract:
+    def test_successful_undo_is_idempotent(self):
+        calls = []
+        handle = FaultHandle("fault", _undo=lambda: calls.append(1))
+        handle.undo()
+        handle.undo()
+        handle.undo()
+        assert calls == [1]
+
+    def test_first_failure_raises_then_retry_restores(self):
+        state = {"failures_left": 1, "restored": 0}
+
+        def undo():
+            if state["failures_left"]:
+                state["failures_left"] -= 1
+                raise OSError("transient")
+            state["restored"] += 1
+
+        handle = FaultHandle("fault", _undo=undo)
+        with pytest.raises(OSError):
+            handle.undo()
+        handle.undo()  # retry restores, silently
+        assert state["restored"] == 1
+        handle.undo()  # now inactive: a no-op
+        assert state["restored"] == 1
+
+    def test_repeat_failure_is_suppressed_after_first_raise(self):
+        def undo():
+            raise OSError("persistent")
+
+        handle = FaultHandle("fault", _undo=undo)
+        with pytest.raises(OSError):
+            handle.undo()
+        # Cleanup paths (finally blocks, heal-all sweeps) may retry; only
+        # the first failure is surfaced.
+        handle.undo()
+        handle.undo()
+
+
+class TestInjectorRestores:
+    def test_corrupt_md2d_second_undo_never_clobbers(self, figure1_framework):
+        matrix = figure1_framework.distance_index.md2d
+        before = matrix.copy()
+        handle = corrupt_md2d(figure1_framework, mode="nan", count=2, seed=3)
+        assert np.isnan(matrix).any()
+        handle.undo()
+        np.testing.assert_array_equal(matrix, before)
+        row, col = handle.cells[0]
+        matrix[row, col] = 123.0  # a later, legitimate change
+        handle.undo()
+        assert matrix[row, col] == 123.0
+
+    def test_flip_snapshot_undo_tolerates_quarantined_file(self, tmp_path):
+        target = tmp_path / "snapshot-000001.snap"
+        original = bytes(range(64))
+        target.write_bytes(original)
+        handle = flip_snapshot_byte(target, count=2, seed=1)
+        assert target.read_bytes() != original
+        # Recovery quarantined the damaged file underneath the handle.
+        target.rename(target.with_suffix(".snap.corrupt"))
+        handle.undo()  # nothing left to restore; must not raise
+        handle.undo()
+
+    def test_flip_snapshot_undo_restores_exact_bytes(self, tmp_path):
+        target = tmp_path / "snapshot-000001.snap"
+        original = bytes(range(200))
+        target.write_bytes(original)
+        handle = flip_snapshot_byte(target, count=5, seed=9)
+        handle.undo()
+        assert target.read_bytes() == original

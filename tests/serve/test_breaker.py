@@ -1,0 +1,192 @@
+"""Circuit-breaker state machine + its integration into QueryService."""
+
+import pytest
+
+from repro.runtime.faults import corrupt_md2d
+from repro.runtime.ladder import QualityLevel
+from repro.serve import (
+    BreakerState,
+    CircuitBreaker,
+    MetricsRegistry,
+    QueryRequest,
+    QueryService,
+)
+
+
+class TestStateMachine:
+    def test_starts_closed_and_allows_exact(self):
+        breaker = CircuitBreaker()
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allow_exact()
+
+    def test_consecutive_failures_trip_open(self):
+        breaker = CircuitBreaker(failure_threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        assert not breaker.allow_exact()
+
+    def test_success_resets_the_consecutive_count(self):
+        breaker = CircuitBreaker(failure_threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_cooldown_then_half_open_probe(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_ops=3)
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        # Three short-circuited rounds spend the cooldown...
+        assert not breaker.allow_exact()
+        assert not breaker.allow_exact()
+        assert not breaker.allow_exact()
+        assert breaker.state is BreakerState.HALF_OPEN
+        # ...then the probe is allowed through.
+        assert breaker.allow_exact()
+
+    def test_half_open_success_closes(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_ops=1)
+        breaker.record_failure()
+        breaker.allow_exact()  # spends the cooldown -> HALF_OPEN
+        breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_half_open_failure_reopens_immediately(self):
+        breaker = CircuitBreaker(failure_threshold=3, cooldown_ops=1)
+        for _ in range(3):
+            breaker.record_failure()
+        breaker.allow_exact()
+        assert breaker.state is BreakerState.HALF_OPEN
+        breaker.record_failure()  # one probe failure suffices
+        assert breaker.state is BreakerState.OPEN
+
+    def test_reset_forces_closed(self):
+        breaker = CircuitBreaker(failure_threshold=1)
+        breaker.record_failure()
+        breaker.reset()
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allow_exact()
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(cooldown_ops=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(fallback=QualityLevel.EXACT_INDEXED)
+
+    def test_snapshot_shape(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_ops=4)
+        breaker.record_failure()
+        snapshot = breaker.snapshot()
+        assert snapshot["state"] == "open"
+        assert snapshot["opened_total"] == 1
+        assert snapshot["fallback"] == "EXACT_FALLBACK"
+
+
+class TestTransitionMetrics:
+    def test_every_transition_is_counted(self):
+        metrics = MetricsRegistry()
+        breaker = CircuitBreaker(
+            failure_threshold=1, cooldown_ops=2, metrics=metrics
+        )
+        breaker.record_failure()          # -> OPEN
+        breaker.allow_exact()             # cooldown 1 (short-circuit)
+        breaker.allow_exact()             # cooldown 0 -> HALF_OPEN
+        breaker.record_success()          # -> CLOSED
+        counters = metrics.snapshot()["counters"]
+        assert counters["serve.breaker.opened"] == 1
+        assert counters["serve.breaker.half_open"] == 1
+        assert counters["serve.breaker.closed"] == 1
+        assert counters["serve.breaker.short_circuited"] == 2
+
+
+class TestServiceIntegration:
+    def _service(self, framework, **kwargs):
+        return QueryService(
+            framework,
+            workers=1,
+            breaker=CircuitBreaker(failure_threshold=2, cooldown_ops=3),
+            integrity_gate=True,
+            **kwargs,
+        )
+
+    def test_breaker_routes_to_exact_fallback(self, serve_framework):
+        service = self._service(serve_framework)
+        corrupt_md2d(serve_framework, mode="nan", count=2, seed=4)
+        request = QueryRequest.range_query(
+            serve_framework.objects.get(0).position, 8.0
+        )
+        response = service.execute(request)
+        # The integrity gate detects the corruption; the request is served
+        # degraded (breaker-flagged) instead of failing or lying.
+        assert response.breaker
+        assert response.quality is QualityLevel.EXACT_FALLBACK
+        service.stop()
+
+    def test_breaker_opens_then_recovers_after_heal(self, serve_framework):
+        service = self._service(serve_framework)
+        handle = corrupt_md2d(serve_framework, mode="negative", count=1, seed=5)
+        position = serve_framework.objects.get(0).position
+        for _ in range(2):  # two failures trip the threshold
+            service.execute(QueryRequest.knn(position, 2))
+        assert service.breaker.state is BreakerState.OPEN
+        handle.undo()
+        # Cooldown rounds still short-circuit (correct, exact fallback)...
+        responses = [
+            service.execute(QueryRequest.knn(position, 2)) for _ in range(3)
+        ]
+        assert all(r.breaker for r in responses)
+        # ...then the half-open probe sees the healed index and closes.
+        probe = service.execute(QueryRequest.knn(position, 2))
+        assert not probe.breaker
+        assert probe.quality is QualityLevel.EXACT_INDEXED
+        assert service.breaker.state is BreakerState.CLOSED
+        service.stop()
+
+    def test_without_gate_corruption_raises_not_degrades(self, serve_framework):
+        # The gate, not the breaker, is the detection layer: a service with
+        # a breaker but no gate only degrades when the query itself throws.
+        service = QueryService(
+            serve_framework,
+            workers=1,
+            breaker=CircuitBreaker(failure_threshold=1, cooldown_ops=2),
+            integrity_gate=False,
+        )
+        corrupt_md2d(serve_framework, mode="nan", count=3, seed=6)
+        position = serve_framework.objects.get(0).position
+        response = service.execute(QueryRequest.knn(position, 2))
+        # NaN poison does not throw — it silently skews answers, which is
+        # exactly what the chaos differential oracle exists to catch.
+        assert response.quality is QualityLevel.EXACT_INDEXED
+        service.stop()
+
+    def test_breaker_state_in_metrics_snapshot(self, serve_framework):
+        service = self._service(serve_framework)
+        snapshot = service.metrics_snapshot()
+        assert snapshot["breaker"]["state"] == "closed"
+        service.breaker.record_failure()
+        service.breaker.record_failure()
+        assert service.metrics_snapshot()["breaker"]["state"] == "open"
+        assert (
+            service.metrics_snapshot()["counters"]["serve.breaker.opened"] == 1
+        )
+        service.stop()
+
+    def test_deadline_blowout_counts_as_breaker_failure(self, serve_framework):
+        from repro.exceptions import DeadlineExceededError
+
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_ops=2)
+        service = QueryService(serve_framework, workers=1, breaker=breaker)
+        # Simulate what the exact path does on DeadlineExceededError.
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        position = serve_framework.objects.get(0).position
+        response = service.execute(QueryRequest.pt2pt(position, position))
+        assert response.breaker
+        assert response.quality is QualityLevel.EXACT_FALLBACK
+        assert isinstance(DeadlineExceededError("x"), Exception)
+        service.stop()

@@ -178,3 +178,33 @@ def plan_with_points(draw, count: int = 2, one_way_probability: float = 0.0):
     rng = random.Random(point_seed)
     points = [plan.random_interior_point(rng) for _ in range(count)]
     return plan, points
+
+
+@st.composite
+def metamorphic_cases(draw, one_way_probability: float = 0.0):
+    """A grid plan plus a (source, target, pivot) position triple.
+
+    The raw material of the metamorphic distance invariants
+    (:mod:`repro.chaos.oracles`): d_E ≤ d_I on any pair, symmetry on
+    undirected plans, and the triangle inequality through the pivot.
+    """
+    plan, points = draw(
+        plan_with_points(count=3, one_way_probability=one_way_probability)
+    )
+    return plan, points[0], points[1], points[2]
+
+
+@st.composite
+def workload_cases(draw, max_ops: int = 6):
+    """A grid plan plus a seeded mixed query workload over it.
+
+    Drives the per-rung guarantee properties: every
+    :class:`~repro.runtime.ladder.QualityLevel` evaluator must honour its
+    documented bound on every generated op.
+    """
+    from repro.synthetic.workload import query_workload
+
+    plan = draw(grid_plans(max_columns=3, max_rows=2))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    count = draw(st.integers(min_value=1, max_value=max_ops))
+    return plan, query_workload(plan.space, count, seed=seed)
