@@ -153,7 +153,7 @@ from repro.serve import (
     SupervisedQueryService,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "AccessibilityGraph",

@@ -1,0 +1,59 @@
+"""AST-based project linter enforcing repro's cross-cutting contracts.
+
+``repro lint`` runs five project-specific rules over the tree:
+
+=======  ==========================================================
+REP001   writes to ``self._*`` state of lock-owning classes must
+         hold the lock (``repro.serve``, ``repro.persist``)
+REP002   no wall-clock or unseeded randomness in replay-critical
+         modules (``repro.chaos``, ``repro.persist``,
+         ``repro.synthetic``, ``repro.runtime.faults``)
+REP003   functions accepting ``deadline``/``budget`` must forward
+         it to every deadline-aware callee
+REP004   broad ``except`` handlers must re-raise, classify, or
+         leave an observable trace
+REP005   ``__all__`` coherent, public defs exported, versions agree
+=======  ==========================================================
+
+See ``docs/analysis.md`` for the rule catalogue, the
+``# repro: noqa REP00x`` suppression syntax, the committed-baseline
+workflow, and a walkthrough of adding a new checker.
+"""
+
+from repro.analysis.lint.baseline import Baseline
+from repro.analysis.lint.context import ModuleContext, ProjectContext
+from repro.analysis.lint.engine import (
+    DEFAULT_BASELINE_NAME,
+    LintConfig,
+    LintReport,
+    build_project,
+    discover_files,
+    run_lint,
+)
+from repro.analysis.lint.findings import Finding, Severity
+from repro.analysis.lint.registry import (
+    Checker,
+    all_checkers,
+    get_checker,
+    register,
+)
+from repro.analysis.lint.suppressions import SuppressionTable
+
+__all__ = [
+    "Baseline",
+    "Checker",
+    "DEFAULT_BASELINE_NAME",
+    "Finding",
+    "LintConfig",
+    "LintReport",
+    "ModuleContext",
+    "ProjectContext",
+    "Severity",
+    "SuppressionTable",
+    "all_checkers",
+    "build_project",
+    "discover_files",
+    "get_checker",
+    "register",
+    "run_lint",
+]

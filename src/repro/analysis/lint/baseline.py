@@ -1,0 +1,93 @@
+"""Committed baseline: legacy findings gate only on regressions.
+
+The baseline file (``.repro-lint-baseline.json`` at the repo root) maps
+finding fingerprints to a descriptive record.  A lint run partitions its
+findings against it:
+
+* **new** — findings whose fingerprint is absent: these fail the run.
+* **baselined** — fingerprints present in both: reported only with
+  ``--show-baselined``, never gating.
+* **expired** — baseline entries no current finding matches: the debt
+  was paid; ``--write-baseline`` prunes them.
+
+Fingerprints hash the rule, path, and offending line *text* (see
+:class:`repro.analysis.lint.findings.Finding`), so edits elsewhere in a
+file do not churn the baseline.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Tuple
+
+from repro.analysis.lint.findings import Finding
+
+BASELINE_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """Fingerprint -> recorded finding summary."""
+
+    entries: Dict[str, Dict[str, object]] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Load ``path``; a missing file is an empty baseline."""
+        if not path.exists():
+            return cls()
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        if not isinstance(payload, dict) or "entries" not in payload:
+            raise ValueError(f"malformed baseline file: {path}")
+        entries = payload["entries"]
+        if not isinstance(entries, dict):
+            raise ValueError(f"malformed baseline entries: {path}")
+        return cls(entries=dict(entries))
+
+    def save(self, path: Path) -> None:
+        """Write the baseline as stable, diff-friendly JSON."""
+        payload = {
+            "version": BASELINE_VERSION,
+            "entries": {
+                fingerprint: self.entries[fingerprint]
+                for fingerprint in sorted(self.entries)
+            },
+        }
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self.entries
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def partition(
+        self, findings: Iterable[Finding]
+    ) -> Tuple[List[Finding], List[Finding], List[str]]:
+        """Split ``findings`` into (new, baselined, expired fingerprints)."""
+        new: List[Finding] = []
+        baselined: List[Finding] = []
+        seen: set = set()
+        for finding in findings:
+            fingerprint = finding.fingerprint
+            if fingerprint in self.entries:
+                baselined.append(finding)
+                seen.add(fingerprint)
+            else:
+                new.append(finding)
+        expired = [fp for fp in sorted(self.entries) if fp not in seen]
+        return new, baselined, expired
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        """Build a fresh baseline accepting every current finding."""
+        entries: Dict[str, Dict[str, object]] = {}
+        for finding in findings:
+            entries[finding.fingerprint] = {
+                "rule": finding.rule,
+                "path": finding.path,
+                "message": finding.message,
+            }
+        return cls(entries=entries)

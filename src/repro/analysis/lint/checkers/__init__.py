@@ -1,0 +1,21 @@
+"""Built-in checkers.
+
+Importing this package registers every built-in rule with the registry;
+:func:`repro.analysis.lint.registry.all_checkers` does that import for
+you.  Each rule lives in its own module and is documented in
+``docs/analysis.md``.
+"""
+
+from repro.analysis.lint.checkers.deadlines import DeadlinePropagationChecker
+from repro.analysis.lint.checkers.determinism import DeterminismChecker
+from repro.analysis.lint.checkers.exceptions import ExceptionHygieneChecker
+from repro.analysis.lint.checkers.exports import ExportCoherenceChecker
+from repro.analysis.lint.checkers.locks import LockDisciplineChecker
+
+__all__ = [
+    "DeadlinePropagationChecker",
+    "DeterminismChecker",
+    "ExceptionHygieneChecker",
+    "ExportCoherenceChecker",
+    "LockDisciplineChecker",
+]

@@ -1,0 +1,156 @@
+"""REP003 — deadline propagation.
+
+PR 1's contract: every Algorithm 2–6 loop consults the deadline budget.
+That only works if deadlines *reach* the loops — a caller that accepts a
+``deadline``/``budget`` parameter and then invokes a deadline-aware
+callee without forwarding it silently converts a bounded query into an
+unbounded one.
+
+The project-wide ``scan`` pre-pass builds a table of every function and
+method in the tree that accepts a deadline-like parameter.  The
+per-module pass then walks each deadline-accepting function and flags
+calls to deadline-accepting callees that pass neither a
+``deadline=``/``budget=`` keyword nor any argument whose name mentions
+deadline/budget.
+
+Callee resolution is by simple name (``self._engine.range_query`` →
+``range_query``), which is deliberately coarse: a same-named local
+function shadows nothing in this codebase, and coarse resolution errs
+toward catching dropped deadlines rather than missing them.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional, Set
+
+from repro.analysis.lint.context import ModuleContext, ProjectContext
+from repro.analysis.lint.findings import Finding
+from repro.analysis.lint.registry import Checker, register
+
+_DEADLINE_PARAMS = {"deadline", "budget"}
+_NAME_FRAGMENTS = ("deadline", "budget")
+
+
+def _deadline_param(node: ast.FunctionDef) -> Optional[str]:
+    """The deadline-like parameter name of ``node``, if any."""
+    args = node.args
+    for arg in args.posonlyargs + args.args + args.kwonlyargs:
+        if arg.arg in _DEADLINE_PARAMS:
+            return arg.arg
+    return None
+
+
+def _callee_simple_name(func: ast.expr) -> Optional[str]:
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _mentions_deadline(expr: ast.expr) -> bool:
+    """Does any name inside ``expr`` look deadline-derived?"""
+    for node in ast.walk(expr):
+        name = None
+        if isinstance(node, ast.Name):
+            name = node.id
+        elif isinstance(node, ast.Attribute):
+            name = node.attr
+        elif isinstance(node, ast.arg):
+            name = node.arg
+        if name and any(frag in name.lower() for frag in _NAME_FRAGMENTS):
+            return True
+    return False
+
+
+def _call_forwards_deadline(call: ast.Call) -> bool:
+    for keyword in call.keywords:
+        if keyword.arg in _DEADLINE_PARAMS:
+            return True
+        if keyword.arg is None and _mentions_deadline(keyword.value):
+            return True  # **kwargs that plausibly carries it
+        if keyword.arg and _mentions_deadline(keyword.value):
+            return True
+    return any(_mentions_deadline(arg) for arg in call.args)
+
+
+class _FunctionCollector(ast.NodeVisitor):
+    """Collect (simple name -> accepts deadline) over the whole project."""
+
+    def __init__(self, table: Set[str]) -> None:
+        self.table = table
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        if _deadline_param(node) is not None:
+            self.table.add(node.name)
+        self.generic_visit(node)
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+
+@register
+class DeadlinePropagationChecker(Checker):
+    rule_id = "REP003"
+    summary = "deadline-accepting functions must forward to aware callees"
+
+    def __init__(self) -> None:
+        self._aware: Set[str] = set()
+
+    def scan(self, project: ProjectContext) -> None:
+        collector = _FunctionCollector(self._aware)
+        for module in project.modules:
+            collector.visit(module.tree)
+        # The Deadline machinery itself is not a "callee to forward to".
+        self._aware.discard("__init__")
+        self._aware.discard("as_deadline")
+
+    def check(
+        self, module: ModuleContext, project: ProjectContext
+    ) -> Iterable[Finding]:
+        if not module.module_name.startswith("repro."):
+            return []
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                param = _deadline_param(node)
+                if param is None:
+                    continue
+                findings.extend(self._check_function(module, node, param))
+        return findings
+
+    def _check_function(
+        self,
+        module: ModuleContext,
+        function: ast.FunctionDef,
+        param: str,
+    ) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(function):
+            # Nested defs get their own pass from check(); skip their
+            # bodies here to avoid double-reporting.
+            if node is not function and isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                continue
+            if not isinstance(node, ast.Call):
+                continue
+            callee = _callee_simple_name(node.func)
+            if callee is None or callee == function.name:
+                continue
+            if callee not in self._aware:
+                continue
+            if _call_forwards_deadline(node):
+                continue
+            findings.append(
+                self.finding(
+                    module,
+                    node.lineno,
+                    node.col_offset,
+                    f"{function.name}() accepts '{param}' but calls "
+                    f"deadline-aware {callee}() without forwarding it",
+                    hint=f"pass {param}={param} (or a derived budget) "
+                    f"to {callee}()",
+                )
+            )
+        return findings

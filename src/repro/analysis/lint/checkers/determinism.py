@@ -1,0 +1,162 @@
+"""REP002 — determinism in replay-critical modules.
+
+The chaos campaign's incident digest (PR 4) is a SHA-256 over every
+event the runner emits; snapshots and synthetic workloads likewise
+promise byte-identical replay from a seed.  One stray wall-clock read or
+unseeded random draw silently breaks that contract.
+
+Inside the replay-critical scope (``repro.chaos``, ``repro.persist``,
+``repro.synthetic``, ``repro.runtime.faults``) this rule forbids calls
+to:
+
+* ``time.time`` / ``time.time_ns`` (wall clock; ``time.monotonic`` and
+  ``time.perf_counter`` stay allowed — they measure, they don't stamp)
+* ``datetime.now`` / ``utcnow`` / ``today`` / ``date.today``
+* module-level ``random.<fn>()`` draws from the process-global RNG
+  (seeded ``random.Random(seed)`` instances are the sanctioned idiom)
+* ``os.urandom``, ``uuid.uuid1``/``uuid.uuid4``, anything in ``secrets``
+
+Intentional wall-clock reads (operator-facing provenance stamps) carry a
+``# repro: noqa REP002`` suppression with a justifying comment.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional
+
+from repro.analysis.lint.context import ModuleContext, ProjectContext
+from repro.analysis.lint.findings import Finding
+from repro.analysis.lint.registry import Checker, register
+
+_SCOPE_PREFIXES = (
+    "repro.chaos",
+    "repro.persist",
+    "repro.synthetic",
+    "repro.runtime.faults",
+)
+
+#: Fully-qualified call targets that break replay determinism.
+_FORBIDDEN: Dict[str, str] = {
+    "time.time": "wall-clock read",
+    "time.time_ns": "wall-clock read",
+    "datetime.now": "wall-clock read",
+    "datetime.utcnow": "wall-clock read",
+    "datetime.today": "wall-clock read",
+    "datetime.datetime.now": "wall-clock read",
+    "datetime.datetime.utcnow": "wall-clock read",
+    "datetime.datetime.today": "wall-clock read",
+    "datetime.date.today": "wall-clock read",
+    "date.today": "wall-clock read",
+    "os.urandom": "OS entropy source",
+    "uuid.uuid1": "host/time-derived identifier",
+    "uuid.uuid4": "unseeded random identifier",
+}
+
+#: Draws on the module-global RNG; ``random.Random`` / ``SystemRandom``
+#: and ``random.seed`` are intentionally absent (constructor and
+#: explicit seeding are fine).
+_GLOBAL_RANDOM_FNS = {
+    "random",
+    "randint",
+    "randrange",
+    "uniform",
+    "choice",
+    "choices",
+    "sample",
+    "shuffle",
+    "gauss",
+    "normalvariate",
+    "expovariate",
+    "betavariate",
+    "triangular",
+    "getrandbits",
+    "randbytes",
+}
+
+
+def _dotted_name(node: ast.expr) -> Optional[str]:
+    """``a.b.c`` attribute chain -> "a.b.c"; non-chains -> None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class _ImportTable:
+    """Local name -> qualified origin, for resolving aliased imports."""
+
+    def __init__(self, tree: ast.Module) -> None:
+        self.names: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    self.names[local] = alias.name if alias.asname else local
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    self.names[local] = f"{node.module}.{alias.name}"
+
+    def resolve(self, dotted: str) -> str:
+        head, _, rest = dotted.partition(".")
+        origin = self.names.get(head)
+        if origin is None:
+            return dotted
+        return f"{origin}.{rest}" if rest else origin
+
+
+@register
+class DeterminismChecker(Checker):
+    rule_id = "REP002"
+    summary = (
+        "no wall-clock or unseeded randomness in replay-critical modules"
+    )
+
+    def check(
+        self, module: ModuleContext, project: ProjectContext
+    ) -> Iterable[Finding]:
+        if not module.module_name.startswith(_SCOPE_PREFIXES):
+            return []
+        imports = _ImportTable(module.tree)
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted_name(node.func)
+            if dotted is None:
+                continue
+            resolved = imports.resolve(dotted)
+            reason = self._forbidden_reason(resolved)
+            if reason is None:
+                continue
+            findings.append(
+                self.finding(
+                    module,
+                    node.lineno,
+                    node.col_offset,
+                    f"nondeterministic call {resolved}() ({reason}) in "
+                    "replay-critical module",
+                    hint=(
+                        "thread a seed or injected clock through instead; "
+                        "use random.Random(seed) for randomness and "
+                        "time.monotonic for durations"
+                    ),
+                )
+            )
+        return findings
+
+    @staticmethod
+    def _forbidden_reason(resolved: str) -> Optional[str]:
+        if resolved in _FORBIDDEN:
+            return _FORBIDDEN[resolved]
+        if resolved.startswith("secrets."):
+            return "cryptographic entropy source"
+        head, _, tail = resolved.partition(".")
+        if head == "random" and tail in _GLOBAL_RANDOM_FNS:
+            return "draw from the unseeded process-global RNG"
+        return None

@@ -1,0 +1,130 @@
+"""REP004 — exception hygiene.
+
+The failure taxonomy built in PRs 1–3 (``DeadlineExceededError``,
+``CorruptIndexError``, ``SnapshotCorruptError``, ...) only pays off if
+broad handlers never swallow those signals silently.  A bare ``except:``
+or ``except Exception:`` / ``except BaseException:`` handler must do at
+least one of:
+
+* re-raise (``raise`` anywhere in the handler body),
+* bind the exception (``as exc``) and actually *use* it — store it,
+  classify it, log it, wrap it,
+* call something observably (logger methods, metrics ``increment`` /
+  ``observe`` / ``record_failure``, ``classify_exception``, ...).
+
+Handlers that do none of the above turn corruption and deadline
+overruns into silent no-ops; each one found in the tree was a real
+latent bug or needs an explicit suppression explaining why swallowing
+is correct there.
+
+Narrow handlers (``except ReproError:``, ``except OSError:``) are out
+of scope — catching a specific type is already a classification
+decision.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from repro.analysis.lint.context import ModuleContext, ProjectContext
+from repro.analysis.lint.findings import Finding
+from repro.analysis.lint.registry import Checker, register
+
+_BROAD_TYPES = {"Exception", "BaseException"}
+
+#: Call names (function or method) that make a swallow observable.
+_OBSERVABILITY_CALLS = {
+    "debug",
+    "info",
+    "warning",
+    "warn",
+    "error",
+    "exception",
+    "critical",
+    "log",
+    "print",
+    "increment",
+    "observe",
+    "record",
+    "record_failure",
+    "record_heal_failure",
+    "set_exception",
+    "classify",
+    "classify_exception",
+    "add_note",
+    "append",  # accumulating errors for later reporting
+}
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    node = handler.type
+    if node is None:
+        return True
+    if isinstance(node, ast.Name):
+        return node.id in _BROAD_TYPES
+    if isinstance(node, ast.Attribute):
+        return node.attr in _BROAD_TYPES
+    if isinstance(node, ast.Tuple):
+        return any(
+            _is_broad(ast.ExceptHandler(type=element, name=None, body=[]))
+            for element in node.elts
+        )
+    return False
+
+
+def _handler_is_hygienic(handler: ast.ExceptHandler) -> bool:
+    bound = handler.name
+    for node in ast.walk(ast.Module(body=handler.body, type_ignores=[])):
+        if isinstance(node, ast.Raise):
+            return True
+        if bound and isinstance(node, ast.Name) and node.id == bound:
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            name = None
+            if isinstance(func, ast.Name):
+                name = func.id
+            elif isinstance(func, ast.Attribute):
+                name = func.attr
+            if name in _OBSERVABILITY_CALLS:
+                return True
+    return False
+
+
+@register
+class ExceptionHygieneChecker(Checker):
+    rule_id = "REP004"
+    summary = "broad except handlers must re-raise, classify, or observe"
+
+    def check(
+        self, module: ModuleContext, project: ProjectContext
+    ) -> Iterable[Finding]:
+        if not module.module_name.startswith("repro."):
+            return []
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not _is_broad(node):
+                continue
+            if _handler_is_hygienic(node):
+                continue
+            caught = "bare except" if node.type is None else (
+                f"except {ast.unparse(node.type)}"
+            )
+            findings.append(
+                self.finding(
+                    module,
+                    node.lineno,
+                    node.col_offset,
+                    f"{caught} swallows the exception without re-raise, "
+                    "classification, or any observable side effect",
+                    hint=(
+                        "narrow the exception type, re-raise, bind it "
+                        "('as exc') and record it, or emit a metric/log "
+                        "so the swallow is visible"
+                    ),
+                )
+            )
+        return findings

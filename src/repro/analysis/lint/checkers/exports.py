@@ -1,0 +1,204 @@
+"""REP005 — export coherence.
+
+Three invariants on the public surface:
+
+1. Every name listed in a package ``__init__``'s ``__all__`` is actually
+   bound in that module (def, class, assignment, or import) — a phantom
+   entry breaks ``from package import *`` and misleads readers.
+2. Every *public* top-level ``def``/``class`` in an ``__init__`` module
+   appears in ``__all__`` when one is declared — an unexported public
+   definition is an accidental API.
+3. ``__all__`` has no duplicates, and the package ``__version__`` in
+   ``repro/__init__.py`` matches ``project.version`` in
+   ``pyproject.toml`` — the two drifted apart once already (1.4.0 vs
+   1.2.0), which is exactly the silent skew this rule pins.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable, List, Optional, Set, Tuple
+
+from repro.analysis.lint.context import ModuleContext, ProjectContext
+from repro.analysis.lint.findings import Finding
+from repro.analysis.lint.registry import Checker, register
+
+_VERSION_RE = re.compile(
+    r'^version\s*=\s*["\']([^"\']+)["\']', re.MULTILINE
+)
+
+
+def _literal_all(node: ast.expr) -> Optional[List[Tuple[str, int, int]]]:
+    """Entries of a literal ``__all__`` list/tuple with their positions."""
+    if not isinstance(node, (ast.List, ast.Tuple)):
+        return None
+    entries: List[Tuple[str, int, int]] = []
+    for element in node.elts:
+        if isinstance(element, ast.Constant) and isinstance(element.value, str):
+            entries.append((element.value, element.lineno, element.col_offset))
+        else:
+            return None
+    return entries
+
+
+def _bound_names(tree: ast.Module) -> Set[str]:
+    names: Set[str] = set()
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            names.add(node.name)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                names.update(_target_names(target))
+        elif isinstance(node, ast.AnnAssign):
+            names.update(_target_names(node.target))
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                names.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                names.add(alias.asname or alias.name)
+        elif isinstance(node, (ast.If, ast.Try)):
+            # Conditional imports (TYPE_CHECKING, optional deps) still
+            # bind names on some path; recurse one level.
+            for child in ast.walk(node):
+                if isinstance(child, ast.ImportFrom):
+                    for alias in child.names:
+                        if alias.name != "*":
+                            names.add(alias.asname or alias.name)
+                elif isinstance(child, ast.Import):
+                    for alias in child.names:
+                        names.add(alias.asname or alias.name.split(".")[0])
+                elif isinstance(
+                    child,
+                    (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+                ):
+                    names.add(child.name)
+    return names
+
+
+def _target_names(target: ast.expr) -> Set[str]:
+    if isinstance(target, ast.Name):
+        return {target.id}
+    if isinstance(target, (ast.Tuple, ast.List)):
+        names: Set[str] = set()
+        for element in target.elts:
+            names.update(_target_names(element))
+        return names
+    return set()
+
+
+@register
+class ExportCoherenceChecker(Checker):
+    rule_id = "REP005"
+    summary = "__all__ entries bound, public defs exported, versions agree"
+
+    def __init__(self) -> None:
+        self._pyproject_version: Optional[str] = None
+
+    def scan(self, project: ProjectContext) -> None:
+        path = project.pyproject_path
+        if path.exists():
+            match = _VERSION_RE.search(path.read_text(encoding="utf-8"))
+            if match:
+                self._pyproject_version = match.group(1)
+
+    def check(
+        self, module: ModuleContext, project: ProjectContext
+    ) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        if module.module_name == "repro":
+            findings.extend(self._check_version(module))
+        if not module.is_package_init:
+            return findings
+
+        all_node: Optional[ast.Assign] = None
+        entries: Optional[List[Tuple[str, int, int]]] = None
+        for node in module.tree.body:
+            if isinstance(node, ast.Assign) and any(
+                isinstance(t, ast.Name) and t.id == "__all__"
+                for t in node.targets
+            ):
+                all_node = node
+                entries = _literal_all(node.value)
+
+        if all_node is None or entries is None:
+            return findings
+
+        bound = _bound_names(module.tree)
+        seen: Set[str] = set()
+        for name, line, col in entries:
+            if name in seen:
+                findings.append(
+                    self.finding(
+                        module,
+                        line,
+                        col,
+                        f"duplicate __all__ entry '{name}'",
+                        hint="remove the repeated entry",
+                    )
+                )
+            seen.add(name)
+            if name not in bound:
+                findings.append(
+                    self.finding(
+                        module,
+                        line,
+                        col,
+                        f"__all__ exports '{name}' but the module never "
+                        "binds it",
+                        hint="import or define the name, or drop the entry",
+                    )
+                )
+
+        for node in module.tree.body:
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                if node.name.startswith("_") or node.name in seen:
+                    continue
+                findings.append(
+                    self.finding(
+                        module,
+                        node.lineno,
+                        node.col_offset,
+                        f"public definition '{node.name}' in a package "
+                        "__init__ is missing from __all__",
+                        hint=f"add '{node.name}' to __all__ or rename it "
+                        "with a leading underscore",
+                    )
+                )
+        return findings
+
+    def _check_version(self, module: ModuleContext) -> Iterable[Finding]:
+        if self._pyproject_version is None:
+            return []
+        for node in module.tree.body:
+            if not isinstance(node, ast.Assign):
+                continue
+            if not any(
+                isinstance(t, ast.Name) and t.id == "__version__"
+                for t in node.targets
+            ):
+                continue
+            if not (
+                isinstance(node.value, ast.Constant)
+                and isinstance(node.value.value, str)
+            ):
+                continue
+            declared = node.value.value
+            if declared != self._pyproject_version:
+                return [
+                    self.finding(
+                        module,
+                        node.lineno,
+                        node.col_offset,
+                        f"__version__ = '{declared}' disagrees with "
+                        f"pyproject.toml version "
+                        f"'{self._pyproject_version}'",
+                        hint="bump both in the same commit",
+                    )
+                ]
+        return []

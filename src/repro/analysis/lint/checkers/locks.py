@@ -1,0 +1,266 @@
+"""REP001 — lock discipline in ``repro.serve`` and ``repro.persist``.
+
+A class that allocates a lock (``threading.Lock``, ``RLock``,
+``Condition``, or a semaphore) is announcing that its ``self._*`` state
+is shared across threads.  Every write to such state outside ``__init__``
+must therefore happen inside a ``with self.<lock>`` block — or inside a
+private helper that is *only ever called* while a lock is held.
+
+The helper case matters in this codebase: ``CircuitBreaker._trip``
+writes breaker state with no visible ``with`` because its single caller
+(``record_failure``) already holds ``self._lock``.  The checker computes
+that closure by fixed point: a private method counts as lock-held when
+it has at least one in-class call site and every call site is either
+syntactically inside a ``with self.<lock>`` block or in a method that is
+itself lock-held.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.analysis.lint.context import ModuleContext, ProjectContext
+from repro.analysis.lint.findings import Finding
+from repro.analysis.lint.registry import Checker, register
+
+_SCOPE_PREFIXES = ("repro.serve", "repro.persist")
+_LOCK_FACTORIES = {
+    "Lock",
+    "RLock",
+    "Condition",
+    "Semaphore",
+    "BoundedSemaphore",
+}
+_EXEMPT_METHODS = {"__init__", "__post_init__", "__new__", "__init_subclass__"}
+
+
+def _is_lock_factory(node: ast.expr) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id in _LOCK_FACTORIES
+    if isinstance(func, ast.Attribute):
+        return func.attr in _LOCK_FACTORIES
+    return False
+
+
+def _self_attr(node: ast.expr) -> str:
+    """``self.<attr>`` -> attr name, else ""."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return ""
+
+
+class _MethodFacts:
+    """Per-method write sites and in-class call sites."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        # (line, col, attr) of writes to self._x outside any with-lock.
+        self.unlocked_writes: List[Tuple[int, int, str]] = []
+        # (callee simple name, call site inside a with-lock?)
+        self.calls: List[Tuple[str, bool]] = []
+
+
+class _MethodVisitor(ast.NodeVisitor):
+    """Walk one method body tracking whether a declared lock is held."""
+
+    def __init__(self, locks: Set[str], facts: _MethodFacts) -> None:
+        self.locks = locks
+        self.facts = facts
+        self.depth = 0  # nesting depth of with-lock blocks
+
+    def visit_With(self, node: ast.With) -> None:
+        held = any(self._locks_item(item) for item in node.items)
+        if held:
+            self.depth += 1
+        self.generic_visit(node)
+        if held:
+            self.depth -= 1
+
+    def _locks_item(self, item: ast.withitem) -> bool:
+        expr = item.context_expr
+        # with self._lock:  /  with self._cv:
+        if _self_attr(expr) in self.locks:
+            return True
+        # with self._lock as held:  — same expr, handled above.
+        # with self._cv.something(): e.g. Condition helpers — not a hold.
+        return False
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._record_write(target)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._record_write(node.target)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._record_write(node.target)
+        self.generic_visit(node)
+
+    def _record_write(self, target: ast.expr) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._record_write(element)
+            return
+        attr = _self_attr(target)
+        if not attr or not attr.startswith("_") or attr in self.locks:
+            return
+        if self.depth == 0:
+            self.facts.unlocked_writes.append(
+                (target.lineno, target.col_offset, attr)
+            )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        attr = _self_attr(node.func)
+        if attr:
+            self.facts.calls.append((attr, self.depth > 0))
+        self.generic_visit(node)
+
+    # Nested defs inherit the enclosing lock depth conservatively: a
+    # closure created under the lock usually runs later, off-lock, so we
+    # reset depth inside it and analyse its writes as unlocked.
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        saved, self.depth = self.depth, 0
+        self.generic_visit(node)
+        self.depth = saved
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        saved, self.depth = self.depth, 0
+        self.generic_visit(node)
+        self.depth = saved
+
+
+@register
+class LockDisciplineChecker(Checker):
+    rule_id = "REP001"
+    summary = (
+        "writes to self._* state of lock-owning classes must hold the lock"
+    )
+
+    def check(
+        self, module: ModuleContext, project: ProjectContext
+    ) -> Iterable[Finding]:
+        if not module.module_name.startswith(_SCOPE_PREFIXES):
+            return []
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                findings.extend(self._check_class(module, node))
+        return findings
+
+    def _check_class(
+        self, module: ModuleContext, cls: ast.ClassDef
+    ) -> Iterable[Finding]:
+        methods = [
+            stmt
+            for stmt in cls.body
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        locks = self._declared_locks(methods)
+        if not locks:
+            return []
+
+        facts: Dict[str, _MethodFacts] = {}
+        for method in methods:
+            if method.name in _EXEMPT_METHODS:
+                continue
+            if self._is_static(method):
+                continue
+            method_facts = _MethodFacts(method.name)
+            visitor = _MethodVisitor(locks, method_facts)
+            for stmt in method.body:
+                visitor.visit(stmt)
+            facts[method.name] = method_facts
+
+        lock_held = self._lock_held_closure(facts)
+
+        findings: List[Finding] = []
+        for name, method_facts in sorted(facts.items()):
+            if name in lock_held:
+                continue
+            for line, col, attr in method_facts.unlocked_writes:
+                lock_list = ", ".join(f"self.{lock}" for lock in sorted(locks))
+                findings.append(
+                    self.finding(
+                        module,
+                        line,
+                        col,
+                        f"{cls.name}.{name} writes self.{attr} without "
+                        f"holding a declared lock ({lock_list})",
+                        hint=(
+                            f"wrap the write in 'with self."
+                            f"{sorted(locks)[0]}:' or ensure every call "
+                            "site of this method already holds it"
+                        ),
+                    )
+                )
+        return findings
+
+    @staticmethod
+    def _declared_locks(
+        methods: List[ast.FunctionDef],
+    ) -> Set[str]:
+        locks: Set[str] = set()
+        for method in methods:
+            for node in ast.walk(method):
+                if isinstance(node, ast.Assign) and _is_lock_factory(node.value):
+                    for target in node.targets:
+                        attr = _self_attr(target)
+                        if attr:
+                            locks.add(attr)
+        return locks
+
+    @staticmethod
+    def _is_static(method: ast.FunctionDef) -> bool:
+        for decorator in method.decorator_list:
+            name = decorator.id if isinstance(decorator, ast.Name) else (
+                decorator.attr if isinstance(decorator, ast.Attribute) else ""
+            )
+            if name in ("staticmethod", "classmethod"):
+                return True
+        args = method.args.posonlyargs + method.args.args
+        return not args or args[0].arg != "self"
+
+    @staticmethod
+    def _lock_held_closure(facts: Dict[str, _MethodFacts]) -> Set[str]:
+        """Private methods reachable only with a lock held (fixed point).
+
+        Start by assuming every private method with at least one in-class
+        call site qualifies, then repeatedly evict any whose call sites
+        include one that is neither under a ``with`` nor in a still-
+        qualifying method.  This is the greatest fixed point, so mutually
+        recursive lock-held helpers stay exempt.
+        """
+        call_sites: Dict[str, List[Tuple[str, bool]]] = {}
+        for caller, method_facts in facts.items():
+            for callee, held in method_facts.calls:
+                call_sites.setdefault(callee, []).append((caller, held))
+
+        candidates = {
+            name
+            for name in facts
+            if name.startswith("_") and call_sites.get(name)
+        }
+        changed = True
+        while changed:
+            changed = False
+            for name in list(candidates):
+                for caller, held in call_sites.get(name, []):
+                    if held or caller in candidates:
+                        continue
+                    candidates.discard(name)
+                    changed = True
+                    break
+        return candidates

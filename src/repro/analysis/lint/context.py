@@ -1,0 +1,98 @@
+"""Parse-once contexts the checkers share.
+
+A :class:`ModuleContext` is one parsed source file: its AST, raw lines,
+dotted module name, and suppression table.  A :class:`ProjectContext` is
+the whole collection plus project-level metadata (root directory,
+``pyproject.toml`` path) — the substrate for cross-file rules like
+REP003's deadline-signature table and REP005's version coherence.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.analysis.lint.suppressions import SuppressionTable
+
+
+@dataclass
+class ModuleContext:
+    """One parsed Python source file."""
+
+    path: Path
+    relpath: str
+    source: str
+    tree: ast.Module
+    lines: List[str]
+    module_name: str
+    suppressions: SuppressionTable
+
+    @classmethod
+    def parse(cls, path: Path, root: Path) -> "ModuleContext":
+        """Read and parse ``path``; raises ``SyntaxError`` on broken code."""
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(path))
+        relpath = _relative_to(path, root)
+        return cls(
+            path=path,
+            relpath=relpath,
+            source=source,
+            tree=tree,
+            lines=source.splitlines(),
+            module_name=_module_name(relpath),
+            suppressions=SuppressionTable.from_source(source),
+        )
+
+    def line_text(self, line: int) -> str:
+        """The stripped text of 1-based ``line`` ("" when out of range)."""
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+    @property
+    def is_package_init(self) -> bool:
+        return self.path.name == "__init__.py"
+
+
+@dataclass
+class ProjectContext:
+    """Every parsed module plus project-level metadata."""
+
+    root: Path
+    modules: List[ModuleContext] = field(default_factory=list)
+    unparsable: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def pyproject_path(self) -> Path:
+        return self.root / "pyproject.toml"
+
+    def module(self, relpath: str) -> Optional[ModuleContext]:
+        """The parsed module at root-relative ``relpath``, if any."""
+        for context in self.modules:
+            if context.relpath == relpath:
+                return context
+        return None
+
+
+def _relative_to(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def _module_name(relpath: str) -> str:
+    """``src/repro/serve/cache.py`` -> ``repro.serve.cache``."""
+    parts = list(Path(relpath).parts)
+    if parts and parts[0] in ("src", "lib"):
+        parts = parts[1:]
+    if not parts:
+        return ""
+    leaf = parts[-1]
+    if leaf == "__init__.py":
+        parts = parts[:-1]
+    elif leaf.endswith(".py"):
+        parts[-1] = leaf[: -len(".py")]
+    return ".".join(parts)

@@ -1,0 +1,233 @@
+"""The lint engine: discover, parse, scan, check, partition.
+
+Orchestration is deliberately simple and deterministic:
+
+1. **Discover** ``*.py`` files under the configured paths (skipping
+   common junk directories).
+2. **Parse** them in parallel into :class:`ModuleContext` objects.
+   Unparsable files are recorded, not fatal — a linter that dies on a
+   syntax error hides every other finding.
+3. **Scan**: each checker's project-wide pre-pass runs once, serially.
+4. **Check**: per-module checks fan out across a thread pool (the work
+   is AST traversal — cheap, but the repo has a few hundred modules and
+   the pool keeps ``repro lint`` interactive).
+5. **Partition** findings against the committed baseline into
+   new / baselined / expired, after dropping suppressed ones.
+
+Results are sorted by (path, line, col, rule) so output is stable
+regardless of parallel scheduling.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.analysis.lint.baseline import Baseline
+from repro.analysis.lint.context import ModuleContext, ProjectContext
+from repro.analysis.lint.findings import Finding
+from repro.analysis.lint.registry import Checker, all_checkers
+
+_SKIP_DIRS = {
+    ".git",
+    ".hg",
+    "__pycache__",
+    ".pytest_cache",
+    ".ruff_cache",
+    ".venv",
+    "venv",
+    "build",
+    "dist",
+    "node_modules",
+}
+
+DEFAULT_BASELINE_NAME = ".repro-lint-baseline.json"
+
+
+@dataclass
+class LintConfig:
+    """One lint run's parameters."""
+
+    root: Path
+    paths: Sequence[Path] = ()
+    select: Optional[Set[str]] = None
+    baseline_path: Optional[Path] = None
+    jobs: int = 0
+
+    def resolved_paths(self) -> List[Path]:
+        """The lint targets; defaults to ``<root>/src``."""
+        if self.paths:
+            return [Path(p) for p in self.paths]
+        return [self.root / "src"]
+
+    def resolved_baseline(self) -> Path:
+        """The baseline path; defaults to the committed repo baseline."""
+        if self.baseline_path is not None:
+            return self.baseline_path
+        return self.root / DEFAULT_BASELINE_NAME
+
+    def resolved_jobs(self) -> int:
+        """Worker-thread count (0 means auto: min(8, cpu count))."""
+        if self.jobs > 0:
+            return self.jobs
+        return min(8, os.cpu_count() or 1)
+
+
+@dataclass
+class LintReport:
+    """Everything a lint run learned."""
+
+    findings: List[Finding] = field(default_factory=list)
+    new: List[Finding] = field(default_factory=list)
+    baselined: List[Finding] = field(default_factory=list)
+    expired: List[str] = field(default_factory=list)
+    suppressed: int = 0
+    checked_modules: int = 0
+    unparsable: Dict[str, str] = field(default_factory=dict)
+    rules: List[str] = field(default_factory=list)
+
+    @property
+    def gating(self) -> List[Finding]:
+        """Findings that fail the run: new errors (warnings never gate)."""
+        from repro.analysis.lint.findings import Severity
+
+        return [f for f in self.new if f.severity >= Severity.ERROR]
+
+    def exit_code(self, strict: bool = False) -> int:
+        """0 clean, 1 findings/parse failures (strict: also staleness)."""
+        if self.unparsable:
+            return 1
+        if self.gating:
+            return 1
+        if strict and (self.expired or any(
+            f.severity.name == "WARNING" for f in self.new
+        )):
+            # Strict mode also refuses stale baseline entries and new
+            # warnings: CI should never silently accumulate either.
+            return 1
+        return 0
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe report, as written by ``repro lint --json``."""
+        return {
+            "checked_modules": self.checked_modules,
+            "rules": self.rules,
+            "suppressed": self.suppressed,
+            "unparsable": dict(self.unparsable),
+            "new": [f.to_dict() for f in self.new],
+            "baselined": [f.to_dict() for f in self.baselined],
+            "expired_fingerprints": list(self.expired),
+        }
+
+
+def discover_files(paths: Iterable[Path]) -> List[Path]:
+    """All ``*.py`` files under ``paths``, stably sorted, junk skipped."""
+    found: Set[Path] = set()
+    for path in paths:
+        if path.is_file() and path.suffix == ".py":
+            found.add(path.resolve())
+            continue
+        if not path.is_dir():
+            continue
+        for candidate in path.rglob("*.py"):
+            if any(part in _SKIP_DIRS for part in candidate.parts):
+                continue
+            found.add(candidate.resolve())
+    return sorted(found)
+
+
+def build_project(config: LintConfig) -> ProjectContext:
+    """Discover and parse every module into a :class:`ProjectContext`."""
+    files = discover_files(config.resolved_paths())
+    project = ProjectContext(root=config.root)
+    jobs = config.resolved_jobs()
+
+    def _parse(path: Path):
+        try:
+            return ModuleContext.parse(path, config.root), None
+        except (SyntaxError, UnicodeDecodeError, OSError) as exc:
+            return None, (path, exc)
+
+    if jobs > 1 and len(files) > 1:
+        with ThreadPoolExecutor(max_workers=jobs) as pool:
+            results = list(pool.map(_parse, files))
+    else:
+        results = [_parse(path) for path in files]
+
+    for module, error in results:
+        if module is not None:
+            project.modules.append(module)
+        else:
+            path, exc = error
+            relpath = _safe_rel(path, config.root)
+            project.unparsable[relpath] = f"{type(exc).__name__}: {exc}"
+    project.modules.sort(key=lambda m: m.relpath)
+    return project
+
+
+def run_lint(config: LintConfig) -> LintReport:
+    """Execute a full lint run and return its report."""
+    project = build_project(config)
+
+    checkers: List[Checker] = []
+    for cls in all_checkers():
+        if config.select is not None and cls.rule_id not in config.select:
+            continue
+        checkers.append(cls())
+
+    for checker in checkers:
+        checker.scan(project)
+
+    suppressed = 0
+    collected: List[Finding] = []
+
+    def _check_module(module: ModuleContext) -> List[Finding]:
+        kept: List[Finding] = []
+        for checker in checkers:
+            for finding in checker.check(module, project):
+                kept.append(finding)
+        return kept
+
+    jobs = config.resolved_jobs()
+    if jobs > 1 and len(project.modules) > 1:
+        with ThreadPoolExecutor(max_workers=jobs) as pool:
+            per_module = list(pool.map(_check_module, project.modules))
+    else:
+        per_module = [_check_module(m) for m in project.modules]
+
+    module_by_path = {m.relpath: m for m in project.modules}
+    for batch in per_module:
+        for finding in batch:
+            module = module_by_path.get(finding.path)
+            if module is not None and module.suppressions.is_suppressed(
+                finding.rule, finding.line
+            ):
+                suppressed += 1
+                continue
+            collected.append(finding)
+
+    collected.sort(key=Finding.sort_key)
+
+    baseline = Baseline.load(config.resolved_baseline())
+    new, baselined, expired = baseline.partition(collected)
+
+    return LintReport(
+        findings=collected,
+        new=new,
+        baselined=baselined,
+        expired=expired,
+        suppressed=suppressed,
+        checked_modules=len(project.modules),
+        unparsable=dict(project.unparsable),
+        rules=[checker.rule_id for checker in checkers],
+    )
+
+
+def _safe_rel(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()

@@ -1,0 +1,85 @@
+"""Structured findings: what a checker reports and how it is identified.
+
+A :class:`Finding` is one violation of one rule at one source location.
+Findings carry a *fingerprint* — a stable digest of the rule, the file,
+and the offending line's text (not its number) — so a committed baseline
+keeps matching across unrelated edits that merely shift line numbers.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+
+class Severity(enum.IntEnum):
+    """How strongly a finding gates: warnings inform, errors fail lint."""
+
+    WARNING = 1
+    ERROR = 2
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one location.
+
+    Attributes:
+        rule: rule identifier (``REP001`` ... ``REP005``).
+        path: path of the offending file, relative to the project root.
+        line: 1-based line number.
+        col: 0-based column offset.
+        message: what is wrong, specific to the site.
+        hint: how to fix it (one actionable sentence).
+        severity: gating strength.
+        snippet: the stripped source line, for fingerprinting and display.
+    """
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    hint: str = ""
+    severity: Severity = Severity.ERROR
+    snippet: str = field(default="", compare=False)
+
+    @property
+    def fingerprint(self) -> str:
+        """Content-addressed identity used by the baseline.
+
+        Hashes the rule, the file, and the *text* of the offending line,
+        so renumbering edits elsewhere in the file do not expire baseline
+        entries; editing the flagged line itself does.
+        """
+        basis = f"{self.rule}|{self.path}|{self.snippet}"
+        return hashlib.sha256(basis.encode("utf-8")).hexdigest()[:16]
+
+    def sort_key(self) -> tuple:
+        """Stable report order: path, then line, column, rule."""
+        return (self.path, self.line, self.col, self.rule)
+
+    def render(self) -> str:
+        """One human-readable report line (clickable ``path:line`` form)."""
+        text = f"{self.path}:{self.line}:{self.col + 1} {self.rule} " \
+               f"[{self.severity}] {self.message}"
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe form, used by ``repro lint --json`` and the baseline."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "hint": self.hint,
+            "severity": str(self.severity),
+            "fingerprint": self.fingerprint,
+        }

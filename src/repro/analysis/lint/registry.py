@@ -1,0 +1,93 @@
+"""Checker base class and registry.
+
+A checker is a class with a ``rule_id``, a one-line ``summary``, and two
+hooks:
+
+* ``scan(project)`` — optional project-wide pre-pass, run once before
+  any module is checked.  Cross-file rules (REP003's deadline-signature
+  table, REP005's version coherence) collect global state here.
+* ``check(module, project)`` — per-module pass returning an iterable of
+  :class:`~repro.analysis.lint.findings.Finding`.  Modules are checked
+  in parallel, so ``check`` must not mutate state shared with other
+  ``check`` calls; anything written during ``scan`` is read-only
+  afterwards.
+
+Register a checker with the :func:`register` decorator; the engine
+instantiates every registered class per run, so per-run state lives on
+``self`` safely.  See ``docs/analysis.md`` for a worked example of
+adding a rule.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Type
+
+from repro.analysis.lint.context import ModuleContext, ProjectContext
+from repro.analysis.lint.findings import Finding
+
+_REGISTRY: Dict[str, Type["Checker"]] = {}
+
+
+class Checker:
+    """Base class for lint rules."""
+
+    #: Rule identifier, e.g. ``REP001``.  Must be unique.
+    rule_id: str = ""
+    #: One-line description shown by ``repro lint --list-rules``.
+    summary: str = ""
+
+    def scan(self, project: ProjectContext) -> None:
+        """Project-wide pre-pass; override for cross-file rules."""
+
+    def check(
+        self, module: ModuleContext, project: ProjectContext
+    ) -> Iterable[Finding]:
+        """Per-module pass; yield findings for this module."""
+        return ()
+
+    def finding(
+        self,
+        module: ModuleContext,
+        line: int,
+        col: int,
+        message: str,
+        hint: str = "",
+    ) -> Finding:
+        """Convenience constructor that fills path/snippet from context."""
+        return Finding(
+            rule=self.rule_id,
+            path=module.relpath,
+            line=line,
+            col=col,
+            message=message,
+            hint=hint,
+            snippet=module.line_text(line),
+        )
+
+
+def register(cls: Type[Checker]) -> Type[Checker]:
+    """Class decorator adding ``cls`` to the global checker registry."""
+    if not cls.rule_id:
+        raise ValueError(f"checker {cls.__name__} has no rule_id")
+    if cls.rule_id in _REGISTRY:
+        raise ValueError(f"duplicate checker rule_id {cls.rule_id}")
+    _REGISTRY[cls.rule_id] = cls
+    return cls
+
+
+def all_checkers() -> List[Type[Checker]]:
+    """Registered checker classes, sorted by rule id."""
+    # Importing the package registers the built-in checkers.
+    import repro.analysis.lint.checkers  # noqa: F401
+
+    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+
+
+def get_checker(rule_id: str) -> Type[Checker]:
+    """The registered checker class for ``rule_id`` (KeyError if none)."""
+    import repro.analysis.lint.checkers  # noqa: F401
+
+    try:
+        return _REGISTRY[rule_id]
+    except KeyError:
+        raise KeyError(f"unknown lint rule: {rule_id}") from None

@@ -1,0 +1,73 @@
+"""Inline suppression syntax: ``# repro: noqa REP00x``.
+
+Two forms, mirroring the granularity checkers need:
+
+* **Line** — ``# repro: noqa REP002`` on (or trailing) the offending
+  line suppresses the named rules there; ``# repro: noqa`` with no rule
+  list suppresses every rule on that line.  Several rules may be listed,
+  comma- or space-separated: ``# repro: noqa REP001, REP003``.
+* **File** — ``# repro: noqa-file REP002`` anywhere in the first dozen
+  lines suppresses the named rules (or, bare, all rules) for the whole
+  file.  Use sparingly; prefer line-level suppression with a reason in
+  the surrounding comment.
+
+Suppressions are deliberate, reviewable exemptions; the committed
+baseline (see :mod:`repro.analysis.lint.baseline`) is for *legacy* debt
+that predates a rule.  New code should suppress (with justification) or
+fix, never grow the baseline.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional
+
+_LINE_RE = re.compile(r"#\s*repro:\s*noqa(?!-file)(?:\s+([A-Z0-9,\s]+?))?\s*(?:#|$)")
+_FILE_RE = re.compile(r"#\s*repro:\s*noqa-file(?:\s+([A-Z0-9,\s]+?))?\s*(?:#|$)")
+_RULE_RE = re.compile(r"[A-Z]+[0-9]+")
+
+#: How many leading lines are scanned for ``noqa-file`` pragmas.
+FILE_PRAGMA_WINDOW = 12
+
+#: Sentinel rule-set meaning "every rule".
+ALL_RULES: FrozenSet[str] = frozenset({"*"})
+
+
+def _parse_rules(raw: Optional[str]) -> FrozenSet[str]:
+    if raw is None:
+        return ALL_RULES
+    rules = frozenset(_RULE_RE.findall(raw))
+    return rules or ALL_RULES
+
+
+@dataclass(frozen=True)
+class SuppressionTable:
+    """Which rules are suppressed on which lines of one file."""
+
+    by_line: Dict[int, FrozenSet[str]] = field(default_factory=dict)
+    file_wide: FrozenSet[str] = field(default_factory=frozenset)
+
+    @classmethod
+    def from_source(cls, source: str) -> "SuppressionTable":
+        by_line: Dict[int, FrozenSet[str]] = {}
+        file_wide: FrozenSet[str] = frozenset()
+        for number, text in enumerate(source.splitlines(), start=1):
+            match = _LINE_RE.search(text)
+            if match:
+                rules = _parse_rules(match.group(1))
+                by_line[number] = by_line.get(number, frozenset()) | rules
+            if number <= FILE_PRAGMA_WINDOW:
+                match = _FILE_RE.search(text)
+                if match:
+                    file_wide = file_wide | _parse_rules(match.group(1))
+        return cls(by_line=by_line, file_wide=file_wide)
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        """True when ``rule`` may not be reported at ``line``."""
+        if "*" in self.file_wide or rule in self.file_wide:
+            return True
+        rules = self.by_line.get(line)
+        if rules is None:
+            return False
+        return "*" in rules or rule in rules

@@ -184,7 +184,7 @@ class CampaignReport:
     def load(cls, path: PathLike) -> "CampaignReport":
         """Read a report previously written by :meth:`save`."""
         raw = json.loads(Path(path).read_text(encoding="utf-8"))
-        report = cls(
+        return cls(
             config=raw["config"],
             incidents=[Incident.from_dict(i) for i in raw["incidents"]],
             digest=raw.get("digest", ""),
@@ -192,4 +192,3 @@ class CampaignReport:
             latency_ms=raw.get("latency_ms", {}),
             breaker=raw.get("breaker", {}),
         )
-        return report

@@ -359,7 +359,12 @@ class CampaignRunner:
             try:
                 handle.undo()
             except Exception:
-                handle.undo()  # retry path suppresses a repeat failure
+                # First undo failed; count it so a flaky heal path is
+                # visible in the campaign metrics, then retry once.  A
+                # second failure propagates — a fault that cannot be
+                # healed must fail the campaign, not linger silently.
+                self._metrics.increment("chaos.heal.retries")
+                handle.undo()
 
     def _restart(self, op_index: int, store: SnapshotStore) -> None:
         """Kill the service without a final snapshot; recover supervised."""

@@ -151,36 +151,67 @@ def _doctor_campaign(path: str) -> int:
     return 0 if report.passed else 1
 
 
+def _project_root() -> "Path":
+    """Nearest ancestor of the cwd holding a pyproject.toml, else cwd."""
+    from pathlib import Path
+
+    current = Path.cwd()
+    for candidate in (current, *current.parents):
+        if (candidate / "pyproject.toml").exists():
+            return candidate
+    return current
+
+
+def _doctor_lint() -> int:
+    """Fold the static-analysis report into doctor; 0 = no regressions."""
+    from repro.analysis.lint import LintConfig, run_lint
+
+    report = run_lint(LintConfig(root=_project_root()))
+    print(
+        f"static analysis: {report.checked_modules} modules, "
+        f"{len(report.new)} new finding(s), "
+        f"{len(report.baselined)} baselined, "
+        f"{report.suppressed} suppressed"
+    )
+    for finding in report.new[:10]:
+        print(f"  {finding.path}:{finding.line} {finding.rule} "
+              f"{finding.message}")
+    if len(report.new) > 10:
+        print(f"  ... and {len(report.new) - 10} more")
+    for relpath, error in sorted(report.unparsable.items()):
+        print(f"  {relpath}: unparsable ({error})")
+    return report.exit_code()
+
+
 def _cmd_doctor(args: argparse.Namespace) -> int:
     from repro.index import IndexFramework
     from repro.model.validation import Severity
     from repro.runtime import check_index_integrity
 
+    lint_status = _doctor_lint() if args.lint else 0
     campaign_status = 0
     if args.campaign is not None:
         campaign_status = _doctor_campaign(args.campaign)
+    snapshot_status = 0
     if args.snapshot is not None:
         snapshot_status = _verify_snapshot_file(args.snapshot)
-        status = snapshot_status + campaign_status
-        if args.plan is None:
-            if status == 0:
-                print("doctor: healthy")
-            elif snapshot_status:
-                print("doctor: snapshot corrupt")
-            else:
-                print("doctor: last campaign FAILED")
-            return 1 if status else 0
-    elif args.plan is None:
-        if args.campaign is not None:
+    status = snapshot_status + campaign_status + lint_status
+    if args.plan is None:
+        if args.snapshot is None and args.campaign is None and not args.lint:
             print(
-                "doctor: healthy" if campaign_status == 0
-                else "doctor: last campaign FAILED"
+                "doctor: a PLAN.json, --snapshot, --campaign, or --lint "
+                "is required"
             )
-            return campaign_status
-        print("doctor: a PLAN.json, --snapshot, or --campaign is required")
-        return 2
-    else:
-        status = campaign_status
+            return 2
+        if status == 0:
+            print("doctor: healthy")
+        elif snapshot_status:
+            print("doctor: snapshot corrupt")
+        elif campaign_status:
+            print("doctor: last campaign FAILED")
+        else:
+            print("doctor: static analysis regressions")
+        return 1 if status else 0
 
     space = load_space(args.plan)
     plan_issues = validate_space(space)
@@ -222,6 +253,66 @@ def _cmd_doctor(args: argparse.Namespace) -> int:
         return 1
     print("doctor: healthy")
     return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.analysis.lint import (
+        Baseline,
+        LintConfig,
+        all_checkers,
+        run_lint,
+    )
+
+    if args.list_rules:
+        for cls in all_checkers():
+            print(f"{cls.rule_id}  {cls.summary}")
+        return 0
+
+    root = Path(args.root) if args.root else _project_root()
+    config = LintConfig(
+        root=root,
+        paths=[Path(p) for p in args.paths],
+        select=set(args.select) if args.select else None,
+        baseline_path=Path(args.baseline) if args.baseline else None,
+        jobs=args.jobs,
+    )
+    report = run_lint(config)
+
+    if args.write_baseline:
+        baseline = Baseline.from_findings(report.findings)
+        path = config.resolved_baseline()
+        baseline.save(path)
+        print(f"wrote baseline ({len(baseline)} entries) to {path}")
+        return 0
+
+    for relpath, error in sorted(report.unparsable.items()):
+        print(f"{relpath}: unparsable: {error}")
+    for finding in report.new:
+        print(finding.render())
+    if args.show_baselined:
+        for finding in report.baselined:
+            print(f"(baselined) {finding.render()}")
+    if report.expired:
+        print(
+            f"baseline: {len(report.expired)} stale entries no longer "
+            "match any finding — rerun with --write-baseline to prune"
+        )
+    if args.json:
+        Path(args.json).write_text(
+            json.dumps(report.to_dict(), indent=2) + "\n", encoding="utf-8"
+        )
+    exit_code = report.exit_code(strict=args.strict)
+    print(
+        f"lint: {report.checked_modules} modules, "
+        f"{len(report.rules)} rules, {len(report.new)} new, "
+        f"{len(report.baselined)} baselined, "
+        f"{report.suppressed} suppressed"
+        + (" — FAIL" if exit_code else " — ok")
+    )
+    return exit_code
 
 
 def _cmd_dot(args: argparse.Namespace) -> int:
@@ -493,7 +584,59 @@ def build_parser() -> argparse.ArgumentParser:
         help="surface the verdict of a saved chaos-campaign report "
         "(see 'chaos run --report')",
     )
+    doctor.add_argument(
+        "--lint", action="store_true",
+        help="fold the repro static-analysis report (REP001–REP005) "
+        "into the health check",
+    )
     doctor.set_defaults(handler=_cmd_doctor)
+
+    lint = commands.add_parser(
+        "lint",
+        help="AST static analysis enforcing the project's concurrency, "
+        "determinism, and deadline contracts (REP001–REP005)",
+    )
+    lint.add_argument(
+        "paths", nargs="*",
+        help="files or directories to lint (default: <root>/src)",
+    )
+    lint.add_argument(
+        "--strict", action="store_true",
+        help="also fail on new warnings and stale baseline entries",
+    )
+    lint.add_argument(
+        "--json", default=None, metavar="OUT",
+        help="write the full findings report as JSON",
+    )
+    lint.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="baseline file (default: <root>/.repro-lint-baseline.json)",
+    )
+    lint.add_argument(
+        "--write-baseline", action="store_true",
+        help="accept every current finding into the baseline and exit",
+    )
+    lint.add_argument(
+        "--select", nargs="*", default=None, metavar="RULE",
+        help="run only these rule ids (e.g. REP001 REP004)",
+    )
+    lint.add_argument(
+        "--jobs", type=int, default=0,
+        help="worker threads for parse/check (0 = auto)",
+    )
+    lint.add_argument(
+        "--root", default=None,
+        help="project root (default: nearest ancestor with pyproject.toml)",
+    )
+    lint.add_argument(
+        "--show-baselined", action="store_true",
+        help="also print findings already accepted by the baseline",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true",
+        help="list registered rules and exit",
+    )
+    lint.set_defaults(handler=_cmd_lint)
 
     dot = commands.add_parser("dot", help="accessibility graph as Graphviz DOT")
     dot.add_argument("plan")

@@ -7,6 +7,8 @@ able to distinguish model-construction problems from query-time problems.
 
 from __future__ import annotations
 
+import math
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the repro library."""
@@ -57,7 +59,7 @@ class DeadlineExceededError(QueryError):
     can log or widen it.
     """
 
-    def __init__(self, message: str, budget: float = float("nan")) -> None:
+    def __init__(self, message: str, budget: float = math.nan) -> None:
         self.budget = budget
         super().__init__(message)
 

@@ -91,10 +91,9 @@ class VisibilityGraph:
         segment = Segment(p, q)
         if not self.boundary.contains_segment(segment):
             return False
-        for obstacle in self.obstacles:
-            if self._blocked_by(segment, obstacle):
-                return False
-        return True
+        return not any(
+            self._blocked_by(segment, obstacle) for obstacle in self.obstacles
+        )
 
     @staticmethod
     def _blocked_by(segment: Segment, obstacle: Polygon) -> bool:

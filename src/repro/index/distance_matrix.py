@@ -57,10 +57,11 @@ class DistanceIndexMatrix:
                 instead of the fast bulk builder (both produce identical
                 matrices; the reference exists for validation).
         """
-        if reference:
-            distances = build_distance_matrix_reference(graph)
-        else:
-            distances = build_distance_matrix(graph)
+        distances = (
+            build_distance_matrix_reference(graph)
+            if reference
+            else build_distance_matrix(graph)
+        )
         return cls(distances)
 
     # ------------------------------------------------------------------

@@ -88,10 +88,11 @@ class DistanceAwareGraph:
         if not topology.has_partition(partition_id):
             raise UnknownEntityError("partition", partition_id)
         if from_door == to_door:
-            if partition_id in topology.partitions_of(from_door):
-                value = 0.0
-            else:
-                value = math.inf
+            value = (
+                0.0
+                if partition_id in topology.partitions_of(from_door)
+                else math.inf
+            )
         elif (
             from_door in topology.enterable_doors(partition_id)
             and to_door in topology.leaveable_doors(partition_id)

@@ -200,11 +200,12 @@ class Partition:
         source, target = self._project(source), self._project(target)
         if self._convex_clear:
             return source.distance_to(target)
-        if not self.has_obstacles:
-            # Non-convex but obstacle-free: straight line if it stays inside,
-            # otherwise route via the boundary's visibility graph.
-            if self.polygon.contains_segment(Segment(source, target)):
-                return source.distance_to(target)
+        # Non-convex but obstacle-free: straight line if it stays inside,
+        # otherwise route via the boundary's visibility graph.
+        if not self.has_obstacles and self.polygon.contains_segment(
+            Segment(source, target)
+        ):
+            return source.distance_to(target)
         return self.visibility.distance(source, target)
 
     def intra_path(self, source: Point, target: Point):

@@ -156,7 +156,9 @@ def snapshot_bytes(framework: IndexFramework, wal_seq: int = 0) -> bytes:
         )
     manifest = {
         "format_version": SNAPSHOT_FORMAT_VERSION,
-        "created_at": time.time(),
+        # Operator-facing provenance stamp only: verify/load never read
+        # it and it is excluded from integrity and replay digests.
+        "created_at": time.time(),  # repro: noqa REP002
         "topology_epoch": space.topology_epoch,
         "built_epoch": framework.built_epoch,
         "cell_size": framework.objects.cell_size,

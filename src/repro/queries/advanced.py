@@ -61,12 +61,11 @@ def _object_distances(
         budget = None if radius is None else radius - to_door
         if budget is not None and budget < 0:
             continue
-        if use_index:
-            scan = framework.distance_index.doors_by_distance(
-                di, max_distance=budget
-            )
-        else:
-            scan = framework.distance_index.doors_unsorted(di)
+        scan = (
+            framework.distance_index.doors_by_distance(di, max_distance=budget)
+            if use_index
+            else framework.distance_index.doors_unsorted(di)
+        )
         for dj, door_distance in scan:
             if budget is not None and door_distance > budget:
                 continue

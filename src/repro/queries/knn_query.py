@@ -110,10 +110,11 @@ def knn_query(
         to_door = space.dist_v(position, di, host)
         if math.isinf(to_door):
             continue
-        if use_index:
-            scan = framework.distance_index.doors_by_distance(di)
-        else:
-            scan = framework.distance_index.doors_unsorted(di)
+        scan = (
+            framework.distance_index.doors_by_distance(di)
+            if use_index
+            else framework.distance_index.doors_unsorted(di)
+        )
         for dj, door_distance in scan:
             if deadline is not None:
                 deadline.check("kNN query")

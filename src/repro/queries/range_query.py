@@ -82,12 +82,11 @@ def range_query(
         budget = radius - space.dist_v(position, di, host)
         if budget < 0:
             continue
-        if use_index:
-            scan = framework.distance_index.doors_by_distance(
-                di, max_distance=budget
-            )
-        else:
-            scan = framework.distance_index.doors_unsorted(di)
+        scan = (
+            framework.distance_index.doors_by_distance(di, max_distance=budget)
+            if use_index
+            else framework.distance_index.doors_unsorted(di)
+        )
         for dj, door_distance in scan:
             if deadline is not None:
                 deadline.check("range query")

@@ -90,12 +90,11 @@ def directions(space: IndoorSpace, path: IndoorPath) -> List[str]:
             else "your destination"
         )
         sentence = f"walk {leg.distance:.1f} m through {partition.label} to {goal}."
-        if previous_door is None:
-            sentence = sentence[0].upper() + sentence[1:]
-        else:
-            sentence = (
-                f"Pass through {space.door(previous_door).label}; " + sentence
-            )
+        sentence = (
+            sentence[0].upper() + sentence[1:]
+            if previous_door is None
+            else f"Pass through {space.door(previous_door).label}; " + sentence
+        )
         steps.append(sentence)
         previous_door = leg.exit_door
     return steps

@@ -93,10 +93,11 @@ class ResilientQueryEngine:
         verify_integrity: bool = True,
         degrade_on_deadline: bool = True,
     ) -> None:
-        if isinstance(framework, QueryEngine):
-            self.engine = framework
-        else:
-            self.engine = QueryEngine(framework)
+        self.engine = (
+            framework
+            if isinstance(framework, QueryEngine)
+            else QueryEngine(framework)
+        )
         self.retry_policy = (
             retry_policy if retry_policy is not None else RetryPolicy()
         )

@@ -369,21 +369,18 @@ def execute_group(
                 valid.append(request)
         if valid:
             try:
-                if len(valid) == 1:
-                    # No sharing to exploit: Algorithm 4 (memoised) is the
-                    # fastest single-pair path, and it is what the
-                    # sequential engine would run.
-                    values = [
-                        pt2pt_distance(
-                            framework.space, source, valid[0].target
-                        )
-                    ]
-                else:
-                    values = batched_pt2pt_distances(
+                # A single pair has no sharing to exploit: Algorithm 4
+                # (memoised) is the fastest single-pair path, and it is
+                # what the sequential engine would run.
+                values = (
+                    [pt2pt_distance(framework.space, source, valid[0].target)]
+                    if len(valid) == 1
+                    else batched_pt2pt_distances(
                         framework.space,
                         source,
                         [request.target for request in valid],
                     )
+                )
             except ReproError as exc:
                 for request in valid:
                     resolved[request.request_id] = exc

@@ -236,10 +236,23 @@ class QueryService:
             return self._state
 
     def start(self) -> "QueryService":
-        """Spawn the worker threads (idempotent)."""
+        """Spawn the worker threads (idempotent).
+
+        After a ``stop(wait=False)`` the previous generation of workers
+        may still be draining; restarting then first joins them, so a
+        drained worker can never outlive its generation and keep
+        consuming the new generation's queue.
+        """
         with self._cv:
-            if self._threads:
+            drainers = list(self._threads) if self._stopping else []
+            if not drainers and any(t.is_alive() for t in self._threads):
                 return self
+        for thread in drainers:
+            thread.join()
+        with self._cv:
+            if any(thread.is_alive() for thread in self._threads):
+                return self  # a concurrent start() won the race
+            self._threads = []
             self._stopping = False
             self._state = ServiceState.READY
             for i in range(self._workers):
@@ -259,12 +272,13 @@ class QueryService:
             if self._state is ServiceState.READY:
                 self._state = ServiceState.DRAINING
             self._cv.notify_all()
+            threads = list(self._threads)
         if wait:
-            for thread in self._threads:
+            for thread in threads:
                 thread.join()
             with self._cv:
                 self._state = ServiceState.STOPPED
-        self._threads = []
+                self._threads = []
 
     def __enter__(self) -> "QueryService":
         """Start the workers on context entry."""

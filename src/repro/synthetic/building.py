@@ -30,7 +30,7 @@ Everything is deterministic: same configuration, same building.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.exceptions import ModelError
 from repro.geometry import Point, Segment, rectangle
@@ -112,8 +112,10 @@ class SyntheticBuilding:
         return list(self.space.partition_ids)
 
 
-def generate_building(config: BuildingConfig = BuildingConfig()) -> SyntheticBuilding:
+def generate_building(config: Optional[BuildingConfig] = None) -> SyntheticBuilding:
     """Generate the §VI-A synthetic building for ``config``."""
+    if config is None:
+        config = BuildingConfig()
     builder = IndoorSpaceBuilder()
     result = SyntheticBuilding(space=None, config=config)  # space set below
 

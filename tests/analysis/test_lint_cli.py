@@ -1,0 +1,104 @@
+"""``repro lint`` / ``repro doctor --lint`` command-line behaviour."""
+
+import json
+import textwrap
+
+from repro.cli import main
+
+BAD_CHAOS = textwrap.dedent(
+    """\
+    import time
+
+    def stamp():
+        return time.time()
+    """
+)
+
+
+def make_project(tmp_path, source=BAD_CHAOS):
+    (tmp_path / "pyproject.toml").write_text(
+        '[project]\nname = "demo"\nversion = "0.1.0"\n'
+    )
+    module = tmp_path / "src" / "repro" / "chaos" / "x.py"
+    module.parent.mkdir(parents=True)
+    module.write_text(source)
+    return tmp_path
+
+
+class TestLintCommand:
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in ("REP001", "REP002", "REP003", "REP004", "REP005"):
+            assert rule in out
+
+    def test_findings_fail_and_render_location(self, tmp_path, capsys):
+        root = make_project(tmp_path)
+        code = main(["lint", "--root", str(root), str(root / "src")])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "src/repro/chaos/x.py:4" in out
+        assert "REP002" in out
+        assert "hint:" in out
+
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        root = make_project(tmp_path, source="x = 1\n")
+        code = main(["lint", "--strict", "--root", str(root), str(root / "src")])
+        assert code == 0
+        assert "— ok" in capsys.readouterr().out
+
+    def test_json_report(self, tmp_path, capsys):
+        root = make_project(tmp_path)
+        out_path = tmp_path / "findings.json"
+        main(
+            ["lint", "--root", str(root), "--json", str(out_path),
+             str(root / "src")]
+        )
+        payload = json.loads(out_path.read_text())
+        assert payload["checked_modules"] == 1
+        assert payload["new"][0]["rule"] == "REP002"
+        assert payload["new"][0]["fingerprint"]
+
+    def test_write_baseline_then_clean(self, tmp_path, capsys):
+        root = make_project(tmp_path)
+        assert (
+            main(["lint", "--root", str(root), "--write-baseline",
+                  str(root / "src")])
+            == 0
+        )
+        assert (root / ".repro-lint-baseline.json").exists()
+        capsys.readouterr()
+        assert main(["lint", "--root", str(root), str(root / "src")]) == 0
+        out = capsys.readouterr().out
+        assert "1 baselined" in out
+
+    def test_select_runs_only_named_rules(self, tmp_path, capsys):
+        root = make_project(tmp_path)
+        code = main(
+            ["lint", "--root", str(root), "--select", "REP001",
+             str(root / "src")]
+        )
+        assert code == 0
+        assert "1 rules" in capsys.readouterr().out
+
+
+class TestDoctorLint:
+    def test_doctor_lint_healthy(self, tmp_path, monkeypatch, capsys):
+        root = make_project(tmp_path, source="x = 1\n")
+        monkeypatch.chdir(root)
+        assert main(["doctor", "--lint"]) == 0
+        out = capsys.readouterr().out
+        assert "static analysis: 1 modules" in out
+        assert "doctor: healthy" in out
+
+    def test_doctor_lint_regressions(self, tmp_path, monkeypatch, capsys):
+        root = make_project(tmp_path)
+        monkeypatch.chdir(root)
+        assert main(["doctor", "--lint"]) == 1
+        out = capsys.readouterr().out
+        assert "1 new finding(s)" in out
+        assert "doctor: static analysis regressions" in out
+
+    def test_doctor_without_any_target_still_errors(self, capsys):
+        assert main(["doctor"]) == 2
+        assert "--lint" in capsys.readouterr().out

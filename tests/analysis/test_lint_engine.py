@@ -1,0 +1,189 @@
+"""Engine-level behaviour: suppressions, baseline round-trips, parsing."""
+
+import textwrap
+
+from repro.analysis.lint import (
+    Baseline,
+    LintConfig,
+    SuppressionTable,
+    discover_files,
+    run_lint,
+)
+
+BAD_CHAOS = """\
+    import time
+
+    def stamp():
+        return time.time()
+    """
+
+
+def write(tmp_path, relpath, source):
+    path = tmp_path / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source))
+    return path
+
+
+def lint(tmp_path, **overrides):
+    config = LintConfig(
+        root=tmp_path, paths=[tmp_path / "src"], jobs=1, **overrides
+    )
+    return run_lint(config)
+
+
+class TestSuppressions:
+    def test_line_suppression_with_rule(self):
+        table = SuppressionTable.from_source(
+            "x = 1\ny = time.time()  # repro: noqa REP002\n"
+        )
+        assert table.is_suppressed("REP002", 2)
+        assert not table.is_suppressed("REP001", 2)
+        assert not table.is_suppressed("REP002", 1)
+
+    def test_bare_noqa_suppresses_all_rules(self):
+        table = SuppressionTable.from_source("y = boom()  # repro: noqa\n")
+        assert table.is_suppressed("REP002", 1)
+        assert table.is_suppressed("REP004", 1)
+
+    def test_multiple_rules_comma_separated(self):
+        table = SuppressionTable.from_source(
+            "z = 1  # repro: noqa REP001, REP003\n"
+        )
+        assert table.is_suppressed("REP001", 1)
+        assert table.is_suppressed("REP003", 1)
+        assert not table.is_suppressed("REP002", 1)
+
+    def test_file_level_suppression(self):
+        table = SuppressionTable.from_source(
+            '"""Doc."""\n# repro: noqa-file REP002\nimport time\n'
+        )
+        assert table.is_suppressed("REP002", 99)
+        assert not table.is_suppressed("REP001", 99)
+
+    def test_file_pragma_outside_window_is_ignored(self):
+        source = "\n" * 30 + "# repro: noqa-file REP002\n"
+        table = SuppressionTable.from_source(source)
+        assert not table.is_suppressed("REP002", 1)
+
+    def test_suppressed_findings_are_counted_not_reported(self, tmp_path):
+        write(
+            tmp_path,
+            "src/repro/chaos/x.py",
+            """\
+            import time
+
+            def stamp():
+                return time.time()  # repro: noqa REP002
+            """,
+        )
+        report = lint(tmp_path)
+        assert report.new == []
+        assert report.suppressed == 1
+
+
+class TestBaselineRoundTrip:
+    def test_add_then_expire(self, tmp_path):
+        target = write(tmp_path, "src/repro/chaos/x.py", BAD_CHAOS)
+        baseline_path = tmp_path / ".repro-lint-baseline.json"
+
+        first = lint(tmp_path)
+        assert [f.rule for f in first.new] == ["REP002"]
+
+        Baseline.from_findings(first.findings).save(baseline_path)
+        assert baseline_path.exists()
+
+        second = lint(tmp_path)
+        assert second.new == []
+        assert [f.rule for f in second.baselined] == ["REP002"]
+        assert second.expired == []
+        assert second.exit_code() == 0
+        assert second.exit_code(strict=True) == 0
+
+        # Pay the debt: the baseline entry expires.
+        target.write_text("def stamp():\n    return 0\n")
+        third = lint(tmp_path)
+        assert third.new == []
+        assert third.baselined == []
+        assert len(third.expired) == 1
+        assert third.exit_code() == 0  # stale entries don't gate...
+        assert third.exit_code(strict=True) == 1  # ...except under --strict
+
+        # Pruning restores strict cleanliness.
+        Baseline.from_findings(third.findings).save(baseline_path)
+        fourth = lint(tmp_path)
+        assert fourth.exit_code(strict=True) == 0
+
+    def test_fingerprint_survives_line_renumbering(self, tmp_path):
+        target = write(tmp_path, "src/repro/chaos/x.py", BAD_CHAOS)
+        baseline_path = tmp_path / ".repro-lint-baseline.json"
+        first = lint(tmp_path)
+        Baseline.from_findings(first.findings).save(baseline_path)
+
+        # Shift the offending line down; its text is unchanged.
+        target.write_text("# preamble comment\n" + target.read_text())
+        second = lint(tmp_path)
+        assert second.new == []
+        assert len(second.baselined) == 1
+        assert second.baselined[0].line != first.new[0].line
+
+    def test_editing_the_flagged_line_invalidates_the_entry(self, tmp_path):
+        target = write(tmp_path, "src/repro/chaos/x.py", BAD_CHAOS)
+        baseline_path = tmp_path / ".repro-lint-baseline.json"
+        Baseline.from_findings(lint(tmp_path).findings).save(baseline_path)
+
+        target.write_text(
+            textwrap.dedent(
+                """\
+                import time
+
+                def stamp():
+                    return float(time.time())
+                """
+            )
+        )
+        report = lint(tmp_path)
+        assert [f.rule for f in report.new] == ["REP002"]
+        assert len(report.expired) == 1
+
+    def test_missing_baseline_is_empty(self, tmp_path):
+        baseline = Baseline.load(tmp_path / "nope.json")
+        assert len(baseline) == 0
+
+
+class TestEngine:
+    def test_unparsable_file_is_reported_not_fatal(self, tmp_path):
+        write(tmp_path, "src/repro/chaos/ok.py", "x = 1\n")
+        write(tmp_path, "src/repro/chaos/broken.py", "def oops(:\n")
+        report = lint(tmp_path)
+        assert report.checked_modules == 1
+        assert list(report.unparsable) == ["src/repro/chaos/broken.py"]
+        assert report.exit_code() == 1
+
+    def test_discover_skips_junk_directories(self, tmp_path):
+        keep = write(tmp_path, "src/a.py", "x = 1\n")
+        write(tmp_path, "src/__pycache__/b.py", "x = 1\n")
+        write(tmp_path, "src/.venv/c.py", "x = 1\n")
+        assert discover_files([tmp_path / "src"]) == [keep.resolve()]
+
+    def test_select_limits_rules(self, tmp_path):
+        write(tmp_path, "src/repro/chaos/x.py", BAD_CHAOS)
+        report = lint(tmp_path, select={"REP001"})
+        assert report.rules == ["REP001"]
+        assert report.new == []
+
+    def test_parallel_and_serial_agree(self, tmp_path):
+        for i in range(6):
+            write(
+                tmp_path,
+                f"src/repro/chaos/mod{i}.py",
+                BAD_CHAOS.replace("stamp", f"stamp{i}"),
+            )
+        serial = lint(tmp_path)
+        parallel = run_lint(
+            LintConfig(root=tmp_path, paths=[tmp_path / "src"], jobs=4)
+        )
+        assert [f.to_dict() for f in serial.new] == [
+            f.to_dict() for f in parallel.new
+        ]
+        assert len(serial.new) == 6

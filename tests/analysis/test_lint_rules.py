@@ -1,0 +1,451 @@
+"""Known-good / known-bad fixture snippets for each lint rule."""
+
+import textwrap
+
+from repro.analysis.lint import LintConfig, run_lint
+
+
+def lint_project(tmp_path, files, select=None, pyproject=None):
+    """Write ``{relpath: source}`` under ``tmp_path`` and lint it."""
+    for relpath, source in files.items():
+        path = tmp_path / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+    if pyproject is not None:
+        (tmp_path / "pyproject.toml").write_text(textwrap.dedent(pyproject))
+    config = LintConfig(
+        root=tmp_path,
+        paths=[tmp_path / "src"],
+        select=set(select) if select else None,
+        jobs=1,
+    )
+    return run_lint(config)
+
+
+def rules_of(report):
+    return [f.rule for f in report.new]
+
+
+class TestLockDiscipline:
+    LOCKED_CLASS = """\
+        import threading
+
+        class Counter:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._count = 0
+
+            def bump(self):
+                {body}
+        """
+
+    def test_unlocked_write_fires(self, tmp_path):
+        source = self.LOCKED_CLASS.format(body="self._count += 1")
+        report = lint_project(
+            tmp_path, {"src/repro/serve/thing.py": source}, select={"REP001"}
+        )
+        assert rules_of(report) == ["REP001"]
+        assert "self._count" in report.new[0].message
+
+    def test_locked_write_is_clean(self, tmp_path):
+        source = self.LOCKED_CLASS.format(
+            body="with self._lock:\n            self._count += 1"
+        )
+        report = lint_project(
+            tmp_path, {"src/repro/serve/thing.py": source}, select={"REP001"}
+        )
+        assert report.new == []
+
+    def test_condition_counts_as_lock(self, tmp_path):
+        source = """\
+            import threading
+
+            class Queue:
+                def __init__(self):
+                    self._cv = threading.Condition()
+                    self._items = []
+
+                def put(self, item):
+                    with self._cv:
+                        self._items.append(item)
+                        self._depth = len(self._items)
+            """
+        report = lint_project(
+            tmp_path, {"src/repro/persist/q.py": source}, select={"REP001"}
+        )
+        assert report.new == []
+
+    def test_lock_held_private_helper_is_clean(self, tmp_path):
+        source = """\
+            import threading
+
+            class Breaker:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._failures = 0
+
+                def record_failure(self):
+                    with self._lock:
+                        self._trip()
+
+                def _trip(self):
+                    self._failures += 1
+            """
+        report = lint_project(
+            tmp_path, {"src/repro/serve/b.py": source}, select={"REP001"}
+        )
+        assert report.new == []
+
+    def test_helper_with_unlocked_call_site_fires(self, tmp_path):
+        source = """\
+            import threading
+
+            class Breaker:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._failures = 0
+
+                def record_failure(self):
+                    with self._lock:
+                        self._trip()
+
+                def reset(self):
+                    self._trip()
+
+                def _trip(self):
+                    self._failures += 1
+            """
+        report = lint_project(
+            tmp_path, {"src/repro/serve/b.py": source}, select={"REP001"}
+        )
+        assert rules_of(report) == ["REP001"]
+
+    def test_lockless_class_is_out_of_scope(self, tmp_path):
+        source = """\
+            class Plain:
+                def bump(self):
+                    self._count = 1
+            """
+        report = lint_project(
+            tmp_path, {"src/repro/serve/p.py": source}, select={"REP001"}
+        )
+        assert report.new == []
+
+    def test_modules_outside_serve_persist_are_out_of_scope(self, tmp_path):
+        source = self.LOCKED_CLASS.format(body="self._count += 1")
+        report = lint_project(
+            tmp_path, {"src/repro/queries/thing.py": source}, select={"REP001"}
+        )
+        assert report.new == []
+
+
+class TestDeterminism:
+    def test_wall_clock_fires(self, tmp_path):
+        source = """\
+            import time
+
+            def stamp():
+                return time.time()
+            """
+        report = lint_project(
+            tmp_path, {"src/repro/chaos/x.py": source}, select={"REP002"}
+        )
+        assert rules_of(report) == ["REP002"]
+
+    def test_from_import_alias_resolves(self, tmp_path):
+        source = """\
+            from time import time as _now
+
+            def stamp():
+                return _now()
+            """
+        report = lint_project(
+            tmp_path, {"src/repro/chaos/x.py": source}, select={"REP002"}
+        )
+        assert rules_of(report) == ["REP002"]
+
+    def test_global_random_draw_fires(self, tmp_path):
+        source = """\
+            import random
+
+            def pick(items):
+                return random.choice(items)
+            """
+        report = lint_project(
+            tmp_path, {"src/repro/synthetic/x.py": source}, select={"REP002"}
+        )
+        assert rules_of(report) == ["REP002"]
+
+    def test_seeded_rng_and_monotonic_are_clean(self, tmp_path):
+        source = """\
+            import random
+            import time
+
+            def pick(items, seed):
+                rng = random.Random(seed)
+                started = time.monotonic()
+                return rng.choice(items), started
+            """
+        report = lint_project(
+            tmp_path, {"src/repro/chaos/x.py": source}, select={"REP002"}
+        )
+        assert report.new == []
+
+    def test_out_of_scope_module_is_clean(self, tmp_path):
+        source = """\
+            import time
+
+            def stamp():
+                return time.time()
+            """
+        report = lint_project(
+            tmp_path, {"src/repro/serve/x.py": source}, select={"REP002"}
+        )
+        assert report.new == []
+
+
+class TestDeadlinePropagation:
+    def test_dropped_deadline_fires(self, tmp_path):
+        source = """\
+            def helper(x, deadline=None):
+                return x
+
+            def outer(x, deadline=None):
+                return helper(x)
+            """
+        report = lint_project(
+            tmp_path, {"src/repro/queries/d.py": source}, select={"REP003"}
+        )
+        assert rules_of(report) == ["REP003"]
+        assert "helper" in report.new[0].message
+
+    def test_keyword_forwarding_is_clean(self, tmp_path):
+        source = """\
+            def helper(x, deadline=None):
+                return x
+
+            def outer(x, deadline=None):
+                return helper(x, deadline=deadline)
+            """
+        report = lint_project(
+            tmp_path, {"src/repro/queries/d.py": source}, select={"REP003"}
+        )
+        assert report.new == []
+
+    def test_positional_and_derived_budget_are_clean(self, tmp_path):
+        source = """\
+            def helper(x, deadline=None):
+                return x
+
+            def inner(x, budget=None):
+                return x
+
+            def outer(x, deadline=None):
+                remaining_budget = deadline
+                helper(x, deadline)
+                return inner(x, budget=remaining_budget)
+            """
+        report = lint_project(
+            tmp_path, {"src/repro/queries/d.py": source}, select={"REP003"}
+        )
+        assert report.new == []
+
+    def test_cross_module_callee_is_seen(self, tmp_path):
+        files = {
+            "src/repro/queries/a.py": """\
+                def range_query(space, deadline=None):
+                    return []
+                """,
+            "src/repro/queries/b.py": """\
+                from repro.queries.a import range_query
+
+                def serve(space, deadline=None):
+                    return range_query(space)
+                """,
+        }
+        report = lint_project(tmp_path, files, select={"REP003"})
+        assert rules_of(report) == ["REP003"]
+
+    def test_unaware_callee_is_clean(self, tmp_path):
+        source = """\
+            def plain(x):
+                return x
+
+            def outer(x, deadline=None):
+                return plain(x)
+            """
+        report = lint_project(
+            tmp_path, {"src/repro/queries/d.py": source}, select={"REP003"}
+        )
+        assert report.new == []
+
+
+class TestExceptionHygiene:
+    def test_silent_broad_swallow_fires(self, tmp_path):
+        source = """\
+            def load(path):
+                try:
+                    return open(path)
+                except Exception:
+                    return None
+            """
+        report = lint_project(
+            tmp_path, {"src/repro/persist/x.py": source}, select={"REP004"}
+        )
+        assert rules_of(report) == ["REP004"]
+
+    def test_bare_except_fires(self, tmp_path):
+        source = """\
+            def load(path):
+                try:
+                    return open(path)
+                except:
+                    return None
+            """
+        report = lint_project(
+            tmp_path, {"src/repro/persist/x.py": source}, select={"REP004"}
+        )
+        assert rules_of(report) == ["REP004"]
+
+    def test_reraise_is_clean(self, tmp_path):
+        source = """\
+            def load(path):
+                try:
+                    return open(path)
+                except Exception:
+                    raise
+            """
+        report = lint_project(
+            tmp_path, {"src/repro/persist/x.py": source}, select={"REP004"}
+        )
+        assert report.new == []
+
+    def test_bound_and_used_is_clean(self, tmp_path):
+        source = """\
+            def load(path, sink):
+                try:
+                    return open(path)
+                except Exception as exc:
+                    sink.last_error = exc
+                    return None
+            """
+        report = lint_project(
+            tmp_path, {"src/repro/persist/x.py": source}, select={"REP004"}
+        )
+        assert report.new == []
+
+    def test_metric_call_is_clean(self, tmp_path):
+        source = """\
+            def load(path, metrics):
+                try:
+                    return open(path)
+                except Exception:
+                    metrics.increment("load.failures")
+                    return None
+            """
+        report = lint_project(
+            tmp_path, {"src/repro/persist/x.py": source}, select={"REP004"}
+        )
+        assert report.new == []
+
+    def test_narrow_handler_is_out_of_scope(self, tmp_path):
+        source = """\
+            def load(path):
+                try:
+                    return open(path)
+                except OSError:
+                    return None
+            """
+        report = lint_project(
+            tmp_path, {"src/repro/persist/x.py": source}, select={"REP004"}
+        )
+        assert report.new == []
+
+
+class TestExportCoherence:
+    def test_phantom_all_entry_fires(self, tmp_path):
+        source = """\
+            __all__ = ["missing"]
+            """
+        report = lint_project(
+            tmp_path, {"src/repro/widgets/__init__.py": source},
+            select={"REP005"},
+        )
+        assert rules_of(report) == ["REP005"]
+        assert "missing" in report.new[0].message
+
+    def test_unexported_public_def_fires(self, tmp_path):
+        source = """\
+            __all__ = ["visible"]
+
+            def visible():
+                return 1
+
+            def stray():
+                return 2
+            """
+        report = lint_project(
+            tmp_path, {"src/repro/widgets/__init__.py": source},
+            select={"REP005"},
+        )
+        assert rules_of(report) == ["REP005"]
+        assert "stray" in report.new[0].message
+
+    def test_duplicate_entry_fires(self, tmp_path):
+        source = """\
+            __all__ = ["visible", "visible"]
+
+            def visible():
+                return 1
+            """
+        report = lint_project(
+            tmp_path, {"src/repro/widgets/__init__.py": source},
+            select={"REP005"},
+        )
+        assert rules_of(report) == ["REP005"]
+        assert "duplicate" in report.new[0].message
+
+    def test_coherent_init_is_clean(self, tmp_path):
+        source = """\
+            from os.path import join
+
+            __all__ = ["join", "visible"]
+
+            def visible():
+                return 1
+
+            def _private():
+                return 2
+            """
+        report = lint_project(
+            tmp_path, {"src/repro/widgets/__init__.py": source},
+            select={"REP005"},
+        )
+        assert report.new == []
+
+    def test_version_skew_fires(self, tmp_path):
+        report = lint_project(
+            tmp_path,
+            {"src/repro/__init__.py": '__version__ = "2.0.0"\n'},
+            select={"REP005"},
+            pyproject="""\
+                [project]
+                name = "repro"
+                version = "1.0.0"
+                """,
+        )
+        assert rules_of(report) == ["REP005"]
+        assert "disagrees" in report.new[0].message
+
+    def test_matching_versions_are_clean(self, tmp_path):
+        report = lint_project(
+            tmp_path,
+            {"src/repro/__init__.py": '__version__ = "1.0.0"\n'},
+            select={"REP005"},
+            pyproject="""\
+                [project]
+                name = "repro"
+                version = "1.0.0"
+                """,
+        )
+        assert report.new == []

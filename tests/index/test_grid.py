@@ -124,7 +124,7 @@ class TestNnSearch:
         for k in (1, 5, 20):
             got = grid.nn_search(anchor, k=k)
             assert len(got) == k
-            for (oid, dist), (exp_dist, exp_oid) in zip(got, by_distance):
+            for (_oid, dist), (exp_dist, _exp_oid) in zip(got, by_distance):
                 assert dist == pytest.approx(exp_dist)
 
     def test_bound_excludes_far_objects(self, grid):

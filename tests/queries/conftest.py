@@ -12,7 +12,7 @@ from repro.model.figure1 import build_figure1
 def random_point_in(space, rng, partition_ids=None):
     """A uniformly random point inside a random partition of the space."""
     if partition_ids is None:
-        partition_ids = [p for p in space.partition_ids]
+        partition_ids = list(space.partition_ids)
     while True:
         partition = space.partition(rng.choice(partition_ids))
         box = partition.polygon.bounding_box
@@ -37,5 +37,4 @@ def populated_figure1():
         IndoorObject(i, random_point_in(space, rng, indoor_ids))
         for i in range(60)
     ]
-    framework = IndexFramework.build(space, objects)
-    return framework
+    return IndexFramework.build(space, objects)

@@ -5,6 +5,7 @@ import threading
 
 import pytest
 
+from repro.exceptions import ReproError
 from repro.index import IndexFramework
 from repro.model.figure1 import D15
 from repro.queries import QueryEngine
@@ -111,7 +112,7 @@ class TestServing:
             good_future = service.submit(good)
             bad_future = service.submit(bad)
             assert good_future.result().value is not None
-            with pytest.raises(Exception):
+            with pytest.raises(ReproError):
                 bad_future.result()
 
 
