@@ -37,6 +37,13 @@ The public API mirrors the paper's architecture:
   differential, metamorphic, and epoch oracles verify every served
   answer; a serve-layer :class:`CircuitBreaker` routes exact-path
   failures onto the degradation ladder.
+* **Sharding** (:mod:`repro.shard`, beyond the paper): a shared-nothing
+  multi-process serving tier — :class:`ShardSupervisor` keeps worker
+  processes alive over a zero-copy :class:`SharedIndexArena`,
+  :class:`ScatterGatherRouter` fans queries out with distance-aware
+  shard pruning and merges bit-identical answers, and
+  :class:`ShardedQueryService` wraps the fleet in the same
+  request/response surface as :class:`QueryService`.
 
 Quickstart::
 
@@ -152,8 +159,17 @@ from repro.serve import (
     ShedPolicy,
     SupervisedQueryService,
 )
+from repro.shard import (
+    FloorPlacement,
+    ScatterGatherRouter,
+    ShardSpec,
+    ShardState,
+    ShardSupervisor,
+    ShardedQueryService,
+    SharedIndexArena,
+)
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "AccessibilityGraph",
@@ -174,6 +190,7 @@ __all__ = [
     "EpochLRUCache",
     "FaultAction",
     "FaultPlan",
+    "FloorPlacement",
     "GeometryError",
     "Incident",
     "IncidentClass",
@@ -208,10 +225,16 @@ __all__ = [
     "ResilientQueryEngine",
     "ResilientResult",
     "RetryPolicy",
+    "ScatterGatherRouter",
     "Segment",
     "SerializationError",
     "ServiceState",
     "ServiceUnavailableError",
+    "ShardSpec",
+    "ShardState",
+    "ShardSupervisor",
+    "ShardedQueryService",
+    "SharedIndexArena",
     "ShedPolicy",
     "SnapshotCorruptError",
     "SnapshotStore",

@@ -6,8 +6,8 @@ promise byte-identical replay from a seed.  One stray wall-clock read or
 unseeded random draw silently breaks that contract.
 
 Inside the replay-critical scope (``repro.chaos``, ``repro.persist``,
-``repro.synthetic``, ``repro.runtime.faults``) this rule forbids calls
-to:
+``repro.synthetic``, ``repro.runtime.faults``, ``repro.shard``) this
+rule forbids calls to:
 
 * ``time.time`` / ``time.time_ns`` (wall clock; ``time.monotonic`` and
   ``time.perf_counter`` stay allowed — they measure, they don't stamp)
@@ -34,6 +34,7 @@ _SCOPE_PREFIXES = (
     "repro.persist",
     "repro.synthetic",
     "repro.runtime.faults",
+    "repro.shard",
 )
 
 #: Fully-qualified call targets that break replay determinism.

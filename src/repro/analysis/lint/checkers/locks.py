@@ -1,4 +1,5 @@
-"""REP001 — lock discipline in ``repro.serve`` and ``repro.persist``.
+"""REP001 — lock discipline in ``repro.serve``, ``repro.persist``, and
+``repro.shard``.
 
 A class that allocates a lock (``threading.Lock``, ``RLock``,
 ``Condition``, or a semaphore) is announcing that its ``self._*`` state
@@ -24,7 +25,7 @@ from repro.analysis.lint.context import ModuleContext, ProjectContext
 from repro.analysis.lint.findings import Finding
 from repro.analysis.lint.registry import Checker, register
 
-_SCOPE_PREFIXES = ("repro.serve", "repro.persist")
+_SCOPE_PREFIXES = ("repro.serve", "repro.persist", "repro.shard")
 _LOCK_FACTORIES = {
     "Lock",
     "RLock",

@@ -4,6 +4,11 @@ Figures: fig6 fig7 fig8a fig8b fig8c fig9a fig9b fig9c, or ``all``.
 ``--out PATH`` additionally writes a Markdown report (used to regenerate
 EXPERIMENTS.md's measured sections); ``--json PATH`` writes the raw row
 dicts as machine-readable JSON (``{"scale": ..., "figures": {name: rows}}``).
+
+``--gate`` skips the figures and instead replays the committed serving
+benchmarks (``BENCH_serve.json`` / ``BENCH_shard.json``) against a fresh
+run, exiting non-zero on a >tolerance regression of the speedup ratios
+or on any nonzero mismatch/degraded count (see :mod:`repro.bench.gate`).
 """
 
 from __future__ import annotations
@@ -63,9 +68,10 @@ def main(argv: List[str] = None) -> int:
     )
     parser.add_argument(
         "figures",
-        nargs="+",
-        choices=sorted(FIGURES) + ["all"],
-        help="which figure(s) to measure",
+        nargs="*",
+        metavar="figure",
+        help=f"which figure(s) to measure: {', '.join(sorted(FIGURES))}, "
+        "or all",
     )
     parser.add_argument(
         "--out", default=None, help="also append Markdown tables to this file"
@@ -75,7 +81,46 @@ def main(argv: List[str] = None) -> int:
         default=None,
         help="also write the raw rows as machine-readable JSON to this file",
     )
+    parser.add_argument(
+        "--gate",
+        action="store_true",
+        help="regression-gate the committed BENCH_*.json artifacts "
+        "instead of measuring figures (exit 1 on regression)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        help="relative slack for the gate's ratio metrics (default 0.20)",
+    )
     args = parser.parse_args(argv)
+
+    if args.gate:
+        from repro.bench.gate import (
+            DEFAULT_TOLERANCE,
+            render_gate_report,
+            run_gate,
+        )
+
+        tolerance = (
+            args.tolerance if args.tolerance is not None else DEFAULT_TOLERANCE
+        )
+        report = run_gate(tolerance=tolerance)
+        print(render_gate_report(report))
+        if args.json:
+            with open(args.json, "w") as handle:
+                json.dump(report, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            print(f"# wrote gate report to {args.json}")
+        return 0 if report["ok"] else 1
+    if not args.figures:
+        parser.error("choose figure(s) to measure, or pass --gate")
+    unknown = [f for f in args.figures if f != "all" and f not in FIGURES]
+    if unknown:
+        parser.error(
+            f"unknown figure(s) {', '.join(unknown)}; "
+            f"choose from {', '.join(sorted(FIGURES))}, or all"
+        )
 
     names = sorted(FIGURES) if "all" in args.figures else args.figures
     scale = current_scale()

@@ -20,7 +20,16 @@ action              params
 ``add_door``        ``id`` / ``geometry`` / ``connects`` / ``one_way``
 ``arm_crash``       ``point`` / ``skip`` — arm a persistence crash point
 ``restart``         kill the service (no final snapshot), recover fresh
+``kill_shard``      ``shard`` / ``cold`` — SIGKILL one worker process
+``hang_shard``      ``shard`` / ``seconds`` — stall a worker's event loop
+``corrupt_shard_snapshot``  ``shard`` / ``count`` / ``seed`` — bit-rot one
+                    shard's private snapshot
 ==================  =======================================================
+
+The three ``*_shard`` actions only make sense against the multi-process
+:class:`~repro.shard.service.ShardedQueryService` tier and are rejected
+by single-process campaigns (and vice versa — see
+:class:`~repro.chaos.runner.CampaignRunner`).
 
 Injected-fault actions take a ``label`` so a later ``heal`` can target
 them.  Plans serialise to JSON (:meth:`FaultPlan.to_json_dict`) and ride
@@ -46,7 +55,13 @@ ACTIONS = (
     "add_door",
     "arm_crash",
     "restart",
+    "kill_shard",
+    "hang_shard",
+    "corrupt_shard_snapshot",
 )
+
+#: Actions that target one worker of the sharded serving tier.
+SHARD_ACTIONS = ("kill_shard", "hang_shard", "corrupt_shard_snapshot")
 
 #: Actions that inject a revertable fault and therefore take a label.
 INJECTING_ACTIONS = (
@@ -184,4 +199,39 @@ def standard_plan(duration_ops: int) -> FaultPlan:
         FaultAction(at(0.80), "drop_dpt", {"count": 2, "seed": 13},
                     label="dpt"),
         FaultAction(at(0.88), "heal", {"label": "dpt"}),
+    ])
+
+
+def shard_standard_plan(duration_ops: int, shards: int = 3) -> FaultPlan:
+    """The shard-tier counterpart of :func:`standard_plan`.
+
+    Scaled to ``duration_ops``, the timeline kills a warm worker (arena
+    reattach rung), hangs another past its liveness deadline (supervisor
+    must detect the stall and kill it), bit-rots the last shard's private
+    snapshot and then cold-kills that shard — forcing the full restart
+    ladder: arena gone, snapshot corrupt → quarantined → rebuild from the
+    spec — and finally re-kills shard 0 to prove the restart budget
+    survives repeated casualties.  Queries issued while a shard is down
+    must surface as ``DEGRADED_CORRECTLY`` partials, never as silent
+    wrong answers; the final probe then demands the fleet heals back to
+    bit-exact service.
+    """
+    if duration_ops < 20:
+        raise ValueError(
+            f"shard plan needs duration_ops >= 20, got {duration_ops}"
+        )
+    if shards < 2:
+        raise ValueError(f"shard plan needs shards >= 2, got {shards}")
+
+    def at(fraction: float) -> int:
+        return max(1, int(duration_ops * fraction))
+
+    victim = shards - 1
+    return FaultPlan([
+        FaultAction(at(0.10), "kill_shard", {"shard": 0, "cold": False}),
+        FaultAction(at(0.30), "hang_shard", {"shard": 1, "seconds": 1.5}),
+        FaultAction(at(0.50), "corrupt_shard_snapshot",
+                    {"shard": victim, "count": 3, "seed": 21}),
+        FaultAction(at(0.55), "kill_shard", {"shard": victim, "cold": True}),
+        FaultAction(at(0.75), "kill_shard", {"shard": 0, "cold": False}),
     ])

@@ -18,6 +18,16 @@ Every source of nondeterminism is pinned:
 
 Two runs of the same config therefore produce byte-identical incident
 sequences — the property ``repro chaos replay`` verifies.
+
+Setting ``CampaignConfig.shards > 0`` runs the campaign against the
+multi-process :class:`~repro.shard.service.ShardedQueryService` instead,
+with the shard-only actions (``kill_shard`` / ``hang_shard`` /
+``corrupt_shard_snapshot``).  Worker death and supervised restart are
+real OS events, so *which* ops land in a degraded window depends on
+scheduler timing: shard campaigns keep every safety verdict (no silent
+wrong answers, recovery demanded by the final probe) but their incident
+digests are **not** replay-stable, and ``repro chaos replay`` refuses
+them.
 """
 
 from __future__ import annotations
@@ -25,7 +35,7 @@ from __future__ import annotations
 import math
 import tempfile
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Union
 
 from repro.chaos.injectors import apply_topology_action, install_latency
 from repro.chaos.oracles import (
@@ -37,7 +47,13 @@ from repro.chaos.oracles import (
     symmetry_violation,
     triangle_violation,
 )
-from repro.chaos.plan import FaultAction, FaultPlan, standard_plan
+from repro.chaos.plan import (
+    SHARD_ACTIONS,
+    FaultAction,
+    FaultPlan,
+    shard_standard_plan,
+    standard_plan,
+)
 from repro.chaos.report import CampaignReport, Incident, IncidentClass
 from repro.exceptions import InjectedCrashError, ReproError
 from repro.index.framework import IndexFramework
@@ -56,6 +72,7 @@ from repro.serve.breaker import CircuitBreaker
 from repro.serve.lifecycle import SupervisedQueryService
 from repro.serve.metrics import MetricsRegistry
 from repro.serve.requests import QueryRequest, QueryResponse
+from repro.shard.service import ShardedQueryService
 from repro.synthetic.objects import generate_objects
 from repro.synthetic.workload import WorkloadOp, query_workload
 
@@ -64,6 +81,9 @@ BUILDINGS = {"figure1": build_figure1}
 
 #: How many leading workload ops the end-of-campaign probe re-executes.
 FINAL_PROBE_OPS = 3
+
+#: Either serving tier a campaign can drive.
+ServingTier = Union[SupervisedQueryService, ShardedQueryService]
 
 
 def _percentiles(samples: List[float]) -> Dict[str, float]:
@@ -105,6 +125,10 @@ class CampaignConfig:
         failure_threshold / cooldown_ops: breaker tuning.
         store_dir: snapshot-store directory (``None``: a fresh tempdir;
             never serialised, so replays use their own directory).
+        shards: 0 runs the single-process tier; > 0 runs a
+            :class:`~repro.shard.service.ShardedQueryService` with that
+            many worker processes (shard campaigns are not
+            replay-stable — see the module docstring).
     """
 
     seed: int = 0
@@ -120,11 +144,15 @@ class CampaignConfig:
     failure_threshold: int = 2
     cooldown_ops: int = 6
     store_dir: Optional[str] = None
+    shards: int = 0
 
     def resolved_plan(self) -> FaultPlan:
-        """The plan actually run (defaults to the standard campaign)."""
+        """The plan actually run (defaults to the standard campaign of
+        the selected tier)."""
         if self.plan is not None:
             return self.plan
+        if self.shards > 0:
+            return shard_standard_plan(self.duration_ops, shards=self.shards)
         return standard_plan(self.duration_ops)
 
     def to_dict(self) -> Dict[str, Any]:
@@ -143,6 +171,7 @@ class CampaignConfig:
             "breaker": self.breaker,
             "failure_threshold": self.failure_threshold,
             "cooldown_ops": self.cooldown_ops,
+            "shards": self.shards,
         }
 
     @classmethod
@@ -162,6 +191,7 @@ class CampaignConfig:
             breaker=bool(raw.get("breaker", True)),
             failure_threshold=int(raw.get("failure_threshold", 2)),
             cooldown_ops=int(raw.get("cooldown_ops", 6)),
+            shards=int(raw.get("shards", 0)),
         )
 
 
@@ -170,7 +200,7 @@ class CampaignRunner:
 
     def __init__(self, config: Optional[CampaignConfig] = None) -> None:
         self.config = config or CampaignConfig()
-        self._service: Optional[SupervisedQueryService] = None
+        self._service: Optional[ServingTier] = None
         self._breaker: Optional[CircuitBreaker] = None
         self._metrics = MetricsRegistry()
         self._handles: Dict[str, FaultHandle] = {}
@@ -208,7 +238,9 @@ class CampaignRunner:
         store = SnapshotStore(store_dir)
         store.save(IndexFramework.build(space, self._objects))
 
-        if cfg.breaker:
+        if cfg.breaker and cfg.shards == 0:
+            # The sharded tier brings its own per-shard breakers; the
+            # single serve-layer breaker only guards the in-process tier.
             self._breaker = CircuitBreaker(
                 failure_threshold=cfg.failure_threshold,
                 cooldown_ops=cfg.cooldown_ops,
@@ -221,6 +253,7 @@ class CampaignRunner:
         epoch = EpochOracle() if cfg.epoch_oracle else None
 
         executed = 0
+        breaker_state: Dict[str, Any] = {}
         try:
             self._service = self._start_service(store)
             for op in ops:
@@ -236,6 +269,7 @@ class CampaignRunner:
                 for action in plan.actions_at(index):
                     self._apply_action(action, index, store)
             self._final_probe(ops, differential)
+            breaker_state = self._breaker_state()
         finally:
             crashpoints.disarm_all()
             if self._service is not None:
@@ -251,21 +285,57 @@ class CampaignRunner:
                 quality: _percentiles(samples)
                 for quality, samples in sorted(self._latency.items())
             },
-            breaker=(
-                self._breaker.snapshot() if self._breaker is not None else {}
-            ),
+            breaker=breaker_state,
         )
         return report.finalize()
+
+    def _breaker_state(self) -> Dict[str, Any]:
+        """The breaker snapshot(s) for the report, whichever tier ran."""
+        if self._breaker is not None:
+            return self._breaker.snapshot()
+        if isinstance(self._service, ShardedQueryService):
+            router = self._service.router
+            if router is not None:
+                return {
+                    f"shard.{shard}": snap
+                    for shard, snap in router.breaker_snapshot().items()
+                }
+        return {}
 
     # ------------------------------------------------------------------
     # Service plumbing
     # ------------------------------------------------------------------
-    def _start_service(self, store: SnapshotStore) -> SupervisedQueryService:
+    def _start_service(self, store: SnapshotStore) -> ServingTier:
         cfg = self.config
 
         def rebuild() -> IndexFramework:
             # Last-resort rung only: every snapshot generation unloadable.
             return IndexFramework.build(BUILDINGS[cfg.building](), self._objects)
+
+        if cfg.shards > 0:
+            service = ShardedQueryService(
+                store=store,
+                rebuild=rebuild,
+                shards=cfg.shards,
+                metrics=self._metrics,
+                snapshot_on_shutdown=False,
+                failure_threshold=cfg.failure_threshold,
+                cooldown_ops=cfg.cooldown_ops,
+                # No answer cache: every op must hit the fleet so degraded
+                # windows are observable, and tight supervision timings
+                # keep kill → restart cycles inside the campaign's span.
+                cache_capacity=0,
+                shard_timeout_s=0.25,
+                heartbeat_interval=0.05,
+                liveness_timeout=0.4,
+                restart_backoff=0.02,
+                # Campaigns fork so worker restarts complete in
+                # milliseconds; workers never touch supervisor-side locks
+                # after the fork.  Production keeps the spawn default.
+                start_method="fork",
+            )
+            service.start(wait=True)
+            return service
 
         service = SupervisedQueryService(
             store,
@@ -281,6 +351,8 @@ class CampaignRunner:
         return service
 
     def _live_framework(self) -> IndexFramework:
+        if isinstance(self._service, ShardedQueryService):
+            return self._service.framework
         return self._service.service.engine.framework
 
     def _live_space(self) -> IndoorSpace:
@@ -295,6 +367,18 @@ class CampaignRunner:
         params = action.params
         label = action.label or action.action
         name = action.action
+        shard_mode = self.config.shards > 0
+        if shard_mode and name not in SHARD_ACTIONS and name != "heal":
+            # In-process injectors poison the supervisor-side framework,
+            # which no worker serves from — the fault would be invisible
+            # and the campaign would "pass" vacuously.  Refuse loudly.
+            raise ValueError(
+                f"action {name!r} is not available in a sharded campaign"
+            )
+        if not shard_mode and name in SHARD_ACTIONS:
+            raise ValueError(
+                f"action {name!r} requires a sharded campaign (shards > 0)"
+            )
         if name == "corrupt_md2d":
             self._handles[label] = corrupt_md2d(
                 self._live_framework(),
@@ -346,6 +430,53 @@ class CampaignRunner:
             crashpoints.arm(params["point"], skip=int(params.get("skip", 0)))
         elif name == "restart":
             self._restart(op_index, store)
+        elif name == "kill_shard":
+            shard = int(params["shard"])
+            cold = bool(params.get("cold", False))
+            self._service.kill_shard(shard, cold=cold)
+            # Tentative: the final probe decides whether the supervisor
+            # actually brought the shard back (RECOVERED) or not.
+            incident = Incident(
+                op_index,
+                "shard_killed",
+                IncidentClass.RECOVERED,
+                detail=f"{'cold-' if cold else ''}killed shard {shard}",
+            )
+            self._incidents.append(incident)
+            self._tentative.append(incident)
+        elif name == "hang_shard":
+            shard = int(params["shard"])
+            seconds = float(params.get("seconds", 1.0))
+            self._service.hang_shard(shard, seconds)
+            incident = Incident(
+                op_index,
+                "shard_hung",
+                IncidentClass.RECOVERED,
+                detail=f"hung shard {shard} for {seconds}s",
+            )
+            self._incidents.append(incident)
+            self._tentative.append(incident)
+        elif name == "corrupt_shard_snapshot":
+            shard = int(params["shard"])
+            handle = self._service.corrupt_shard_snapshot(
+                shard,
+                count=int(params.get("count", 1)),
+                seed=int(params.get("seed", 0)),
+            )
+            # The handle is deliberately dropped: the shard's restart
+            # ladder must quarantine the corrupt file and rebuild — the
+            # campaign never un-flips the bytes for it.
+            detail = (
+                f"bit-rotted shard {shard}'s snapshot"
+                if handle is not None
+                else f"shard {shard} has no snapshot to corrupt"
+            )
+            self._incidents.append(Incident(
+                op_index,
+                "shard_snapshot_corrupted",
+                IncidentClass.RECOVERED,
+                detail=detail,
+            ))
         else:  # unreachable: FaultAction validates against ACTIONS
             raise ValueError(f"unknown action {name!r}")
 
@@ -525,6 +656,12 @@ class CampaignRunner:
         if self._breaker is not None:
             self._breaker.reset()
         failures: List[str] = []
+        if isinstance(self._service, ShardedQueryService):
+            # Let in-flight restarts land, then force every shard breaker
+            # closed so the probe genuinely demands exact answers.
+            if not self._service.await_healthy(timeout=30.0):
+                failures.append("fleet never returned to READY")
+            self._service.reset_breakers()
         if differential is not None:
             differential.rebind(self._live_space(), self._objects)
         for op in ops[:FINAL_PROBE_OPS]:

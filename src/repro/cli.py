@@ -26,11 +26,23 @@ Commands:
   benchmark: naive sequential :class:`~repro.queries.engine.QueryEngine`
   loop vs. the batched + cached :class:`~repro.serve.QueryService`
   (scale via ``REPRO_BENCH_SCALE``, like ``bench``);
-* ``chaos run [--seed N] [--duration-ops M] [--report OUT.json]`` — a
-  deterministic fault-injection campaign (see :mod:`repro.chaos` and
-  ``docs/chaos.md``): exit 0 iff the verdict is PASS;
+* ``shard-bench [--json OUT.json] [--seed N]`` — three-way serving
+  benchmark adding the multi-process
+  :class:`~repro.shard.ShardedQueryService` tier to the comparison
+  (scale via ``REPRO_BENCH_SCALE``); exit 0 iff every tier's answers
+  match the sequential engine bit-for-bit;
+* ``bench --gate [--tolerance T]`` — regression-gate the committed
+  ``BENCH_serve.json`` / ``BENCH_shard.json`` artifacts against a fresh
+  run (exit non-zero on regression; see :mod:`repro.bench.gate`);
+* ``chaos run [--seed N] [--duration-ops M] [--report OUT.json]
+  [--shards N]`` — a deterministic fault-injection campaign (see
+  :mod:`repro.chaos` and ``docs/chaos.md``): exit 0 iff the verdict is
+  PASS; ``--shards N`` runs it against the multi-process sharded tier
+  with the shard fault plan (kill/hang/snapshot-rot);
 * ``chaos replay --report OUT.json`` — re-run a saved campaign's config
-  and verify the incident digest reproduces byte-for-byte;
+  and verify the incident digest reproduces byte-for-byte (single
+  process campaigns only: shard scheduling is real concurrency and is
+  not digest-stable, so shard reports are refused);
 * ``doctor ... [--campaign REPORT.json]`` — additionally surface the
   verdict of the last chaos campaign in the health report.
 
@@ -460,6 +472,30 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     return 0 if result["mismatches"] == 0 else 1
 
 
+def _cmd_shard_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.bench.shard import (
+        current_shard_scale,
+        measure_shard,
+        render_shard_summary,
+    )
+
+    scale = current_shard_scale()
+    print(
+        f"# scale: {scale.name} (set REPRO_BENCH_SCALE=paper for full runs)"
+    )
+    result = measure_shard(scale, seed=args.seed)
+    print(render_shard_summary(result))
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(result, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"# wrote {args.json}")
+    failed = result["mismatches"] != 0 or result["sharded"]["degraded"] != 0
+    return 1 if failed else 0
+
+
 def _render_campaign_summary(report) -> None:
     counts = report.counts()
     print(
@@ -500,6 +536,7 @@ def _cmd_chaos_run(args: argparse.Namespace) -> int:
         integrity_gate=not args.no_integrity_gate,
         breaker=not args.no_breaker,
         store_dir=args.store_dir,
+        shards=args.shards,
     )
     report = CampaignRunner(config).run()
     _render_campaign_summary(report)
@@ -527,6 +564,14 @@ def _cmd_chaos_replay(args: argparse.Namespace) -> int:
     from repro.chaos import CampaignConfig, CampaignReport, CampaignRunner
 
     saved = CampaignReport.load(args.report)
+    if int(saved.config.get("shards", 0)) > 0:
+        print(
+            "chaos replay: report is from a sharded campaign "
+            f"(shards={saved.config['shards']}); shard scheduling is real "
+            "concurrency, so its incident digest is not replay-stable. "
+            "Re-run it with 'chaos run --shards N' instead."
+        )
+        return 2
     config = CampaignConfig.from_dict(saved.config)
     replayed = CampaignRunner(config).run()
     _render_campaign_summary(replayed)
@@ -727,6 +772,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve_bench.set_defaults(handler=_cmd_serve_bench)
 
+    shard_bench = commands.add_parser(
+        "shard-bench",
+        help="serving throughput: sharded processes vs thread pool vs "
+        "sequential engine",
+    )
+    shard_bench.add_argument(
+        "--json", default=None, help="write the full result dict to this file"
+    )
+    shard_bench.add_argument(
+        "--seed", type=int, default=0, help="workload seed (default 0)"
+    )
+    shard_bench.set_defaults(handler=_cmd_shard_bench)
+
     chaos = commands.add_parser(
         "chaos", help="deterministic fault-injection campaigns"
     )
@@ -769,6 +827,11 @@ def build_parser() -> argparse.ArgumentParser:
         "silent-wrong-answer failure mode; expect a FAIL verdict)",
     )
     chaos_run.add_argument("--no-breaker", action="store_true")
+    chaos_run.add_argument(
+        "--shards", type=int, default=0, metavar="N",
+        help="run the campaign against an N-worker sharded tier with the "
+        "shard fault plan (kill/hang/snapshot-rot); 0 = single-process",
+    )
     chaos_run.set_defaults(handler=_cmd_chaos_run)
 
     chaos_replay = chaos_commands.add_parser(
@@ -785,6 +848,15 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    # argparse.REMAINDER refuses to start with an option-like token
+    # (bpo-17050), which would break ``repro bench --gate``: forward the
+    # bench subcommand's tail verbatim instead of parsing it here.
+    if argv and argv[0] == "bench":
+        from repro.bench.__main__ import main as bench_main
+
+        return bench_main(list(argv[1:]))
     args = build_parser().parse_args(argv)
     return args.handler(args)
 

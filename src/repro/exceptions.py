@@ -151,6 +151,20 @@ class ServiceUnavailableError(ReproError):
         super().__init__(message)
 
 
+class ShardUnavailableError(ServiceUnavailableError):
+    """A shard worker cannot take this request (dead, restarting, hung
+    past its liveness deadline, or out of restart budget).
+
+    The scatter-gather router catches this per shard and fills the missing
+    slice from the degradation ladder; it only escapes to callers who
+    target a shard directly.
+    """
+
+    def __init__(self, message: str, shard: int = -1, state: str = "") -> None:
+        self.shard = shard
+        super().__init__(message, state=state)
+
+
 __all__ = [
     "ReproError",
     "ModelError",
@@ -169,4 +183,5 @@ __all__ = [
     "RecoveryError",
     "InjectedCrashError",
     "ServiceUnavailableError",
+    "ShardUnavailableError",
 ]

@@ -64,6 +64,28 @@ class DistanceIndexMatrix:
         )
         return cls(distances)
 
+    @classmethod
+    def from_parts(
+        cls, distances: DoorDistanceMatrix, order: np.ndarray
+    ) -> "DistanceIndexMatrix":
+        """Assemble from a prebuilt (M_d2d, M_idx) pair without re-sorting.
+
+        The shared-memory fast-restart path of :mod:`repro.shard.shm`: a
+        respawned worker attaches read-only views of both matrices and must
+        not pay the O(N² log N) argsort again.  ``order`` must hold matrix
+        indices shaped exactly like M_d2d.
+        """
+        if order.shape != distances.matrix.shape:
+            raise ValueError(
+                f"scan order shape {order.shape} does not match "
+                f"M_d2d shape {distances.matrix.shape}"
+            )
+        self = cls.__new__(cls)
+        self._distances = distances
+        self._order = order
+        self._index_of = dict(distances.index_of)
+        return self
+
     # ------------------------------------------------------------------
     # M_d2d access
     # ------------------------------------------------------------------

@@ -83,25 +83,48 @@ class LatencyHistogram:
             rank = max(1, -(-len(ordered) * q // 100))  # ceil without math
             return ordered[int(rank) - 1]
 
-    def snapshot(self) -> Dict[str, float]:
-        """count / mean / p50 / p95 / p99 / max as one plain dict."""
+    def state(self) -> Dict[str, object]:
+        """A deep copy of the histogram's raw state, taken atomically.
+
+        The window is copied into a fresh list under the lock, so the
+        caller's view cannot shear against concurrent :meth:`observe`
+        calls (a deque being appended to while sorted elsewhere) — and
+        the (possibly expensive) percentile sort runs *outside* the lock,
+        off the request path.
+        """
         with self._lock:
-            ordered = sorted(self._samples)
-
-            def rank(q: float) -> float:
-                if not ordered:
-                    return 0.0
-                position = max(1, -(-len(ordered) * q // 100))
-                return ordered[int(position) - 1]
-
             return {
+                "samples": list(self._samples),
                 "count": self._count,
-                "mean_ms": self._total / self._count if self._count else 0.0,
-                "p50_ms": rank(50),
-                "p95_ms": rank(95),
-                "p99_ms": rank(99),
-                "max_ms": self._max,
+                "total": self._total,
+                "max": self._max,
             }
+
+    def snapshot(self) -> Dict[str, float]:
+        """count / mean / p50 / p95 / p99 / max as one plain dict.
+
+        Computed from an atomically deep-copied :meth:`state`, so a bench
+        thread snapshotting mid-record sees one consistent window and
+        never holds the lock through the sort.
+        """
+        state = self.state()
+        ordered = sorted(state["samples"])
+        count = state["count"]
+
+        def rank(q: float) -> float:
+            if not ordered:
+                return 0.0
+            position = max(1, -(-len(ordered) * q // 100))
+            return ordered[int(position) - 1]
+
+        return {
+            "count": count,
+            "mean_ms": state["total"] / count if count else 0.0,
+            "p50_ms": rank(50),
+            "p95_ms": rank(95),
+            "p99_ms": rank(99),
+            "max_ms": state["max"],
+        }
 
 
 class MetricsRegistry:
@@ -143,6 +166,16 @@ class MetricsRegistry:
         """Convenience: record a latency sample on histogram ``name``."""
         self.histogram(name).observe(value_ms)
 
+    def scoped(self, prefix: str) -> "ScopedMetrics":
+        """A prefixing view over this registry.
+
+        Everything recorded through the view lands in *this* registry
+        under ``<prefix>.<name>`` — how the sharded tier namespaces one
+        shard's serving metrics (``shard.2.serve.latency_ms``) while a
+        single snapshot still covers the whole fleet.
+        """
+        return ScopedMetrics(self, prefix)
+
     def snapshot(self) -> Dict[str, Dict]:
         """All counters and histogram summaries as one plain dict."""
         with self._lock:
@@ -154,3 +187,43 @@ class MetricsRegistry:
                 n: h.snapshot() for n, h in sorted(histograms.items())
             },
         }
+
+
+class ScopedMetrics:
+    """A registry view that prefixes every metric name (no own storage).
+
+    Exposes the same recording surface as :class:`MetricsRegistry`
+    (``counter`` / ``histogram`` / ``increment`` / ``observe``), so
+    instrumented code can take either interchangeably.
+    """
+
+    def __init__(self, registry: MetricsRegistry, prefix: str) -> None:
+        if not prefix:
+            raise ValueError("scoped metrics need a non-empty prefix")
+        self._registry = registry
+        self._prefix = prefix
+
+    def _scoped(self, name: str) -> str:
+        return f"{self._prefix}.{name}"
+
+    def counter(self, name: str) -> Counter:
+        """The registry's counter for the prefixed name."""
+        return self._registry.counter(self._scoped(name))
+
+    def histogram(
+        self, name: str, window: Optional[int] = None
+    ) -> LatencyHistogram:
+        """The registry's histogram for the prefixed name."""
+        return self._registry.histogram(self._scoped(name), window)
+
+    def increment(self, name: str, amount: int = 1) -> None:
+        """Increment the prefixed counter by ``amount``."""
+        self._registry.increment(self._scoped(name), amount)
+
+    def observe(self, name: str, value_ms: float) -> None:
+        """Record one sample into the prefixed histogram."""
+        self._registry.observe(self._scoped(name), value_ms)
+
+    def scoped(self, prefix: str) -> "ScopedMetrics":
+        """Nest a further prefix under this one."""
+        return ScopedMetrics(self._registry, self._scoped(prefix))

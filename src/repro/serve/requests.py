@@ -146,6 +146,10 @@ class QueryResponse:
         breaker: an open circuit breaker routed this request to its
             fallback rung (exact serving was suspended or just failed).
         latency_ms: submit-to-completion wall-clock time.
+        missing_shards: shards that failed to contribute exact results
+            (sharded serving only; empty for single-process services).
+            A non-empty tuple always comes with a degraded ``quality`` —
+            a partial answer is never presented as exact.
     """
 
     request: QueryRequest
@@ -157,8 +161,15 @@ class QueryResponse:
     shed: bool = False
     breaker: bool = False
     latency_ms: float = 0.0
+    missing_shards: Tuple[int, ...] = ()
 
     @property
     def degraded(self) -> bool:
         """True when the answer came from below the exact indexed rung."""
         return self.quality is not QualityLevel.EXACT_INDEXED
+
+    @property
+    def partial(self) -> bool:
+        """True when one or more shards failed to contribute exact results
+        and their slice of the answer was filled from a degraded rung."""
+        return bool(self.missing_shards)

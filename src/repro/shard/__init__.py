@@ -1,0 +1,42 @@
+"""Shared-nothing multi-process serving for distance-aware indoor queries.
+
+The paper's §IV indexes decompose naturally per floor: objects, their grid
+buckets, and their host partitions are floor-local, while M_d2d / M_idx /
+the DPT describe the whole building and are read-only at serving time.
+This package exploits exactly that split:
+
+* :mod:`~repro.shard.placement` — deterministic partition→shard mapping
+  (floor groups, or contiguous partition runs for small spaces);
+* :mod:`~repro.shard.shm` — the static matrices published once as
+  ``multiprocessing.shared_memory`` segments, reattached read-only by
+  every worker in milliseconds;
+* :mod:`~repro.shard.spec` / :mod:`~repro.shard.worker` — self-sufficient
+  worker specs and the arena → snapshot → rebuild restart ladder;
+* :mod:`~repro.shard.supervisor` — heartbeat supervision, liveness
+  deadlines, exponential-backoff restarts under a per-shard budget;
+* :mod:`~repro.shard.router` — scatter-gather range / kNN / pt2pt that is
+  bit-identical to the single-process engine while the fleet is healthy
+  and *explicitly degraded, never silently wrong* when it is not;
+* :mod:`~repro.shard.service` — the assembled tier behind the familiar
+  ``SupervisedQueryService``-style lifecycle.
+"""
+
+from repro.shard.placement import FloorPlacement
+from repro.shard.router import ScatterGatherRouter
+from repro.shard.service import ShardedQueryService
+from repro.shard.shm import SharedIndexArena
+from repro.shard.spec import ShardSpec, materialize, shard_framework, shard_specs
+from repro.shard.supervisor import ShardState, ShardSupervisor
+
+__all__ = [
+    "FloorPlacement",
+    "ScatterGatherRouter",
+    "ShardSpec",
+    "ShardState",
+    "ShardSupervisor",
+    "ShardedQueryService",
+    "SharedIndexArena",
+    "materialize",
+    "shard_framework",
+    "shard_specs",
+]

@@ -1,0 +1,209 @@
+"""Deterministic partition→shard placement for the sharded serving tier.
+
+The paper's §IV structures partition naturally per floor: a floor's
+partitions, their grid buckets, and the objects they host form a closed
+unit, while M_d2d / M_idx / the DPT describe the whole building and are
+shared read-only by every shard (see :mod:`repro.shard.shm`).
+
+:class:`FloorPlacement` owns the mapping.  Placement is computed once by
+the supervisor, embedded in every :class:`~repro.shard.spec.ShardSpec`,
+and never renegotiated at runtime — a restarted worker rejoins with the
+placement (and topology epoch) it crashed with, so the scatter-gather
+router never has to reason about ownership moving under a live query.
+
+Two layouts, picked automatically:
+
+* **floor groups** (the common case): floors are split into contiguous,
+  near-equal groups, one per shard; a partition follows its base floor.
+  Contiguity matters — staircases connect adjacent floors, so cross-shard
+  cut edges stay at group boundaries.
+* **partition split** (fewer floors than shards — e.g. the single-floor
+  Figure-1 running example): partitions ordered by ``(floor, id)`` are
+  split into contiguous runs, so chaos campaigns still exercise real
+  cross-shard scatter-gather on tiny spaces.
+
+Both layouts are pure functions of ``(sorted partition/floor ids,
+num_shards)``, hence byte-stable across runs — which the chaos incident
+taxonomy and the placement tests rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.model.builder import IndoorSpace
+
+
+def _contiguous_chunks(items: Sequence, chunks: int) -> List[List]:
+    """Split ``items`` into ``chunks`` contiguous, near-equal runs.
+
+    The first ``len(items) % chunks`` runs get one extra element; a run may
+    be empty only when there are more chunks than items.
+    """
+    if chunks < 1:
+        raise ValueError(f"chunks must be >= 1, got {chunks}")
+    base, extra = divmod(len(items), chunks)
+    out: List[List] = []
+    start = 0
+    for index in range(chunks):
+        size = base + (1 if index < extra else 0)
+        out.append(list(items[start:start + size]))
+        start += size
+    return out
+
+
+class FloorPlacement:
+    """An immutable partition→shard assignment.
+
+    Build with :meth:`for_space`; the raw constructor takes an explicit
+    mapping (tests, and :meth:`from_dict` for specs that travelled as
+    JSON).
+
+    Args:
+        num_shards: how many shards the assignment targets.
+        assignment: ``partition_id -> shard_id`` for every partition.
+        floor_of: ``partition_id -> base floor`` (used to route pt2pt
+            queries to the shard that owns the query position's floor).
+    """
+
+    def __init__(
+        self,
+        num_shards: int,
+        assignment: Dict[int, int],
+        floor_of: Dict[int, int],
+    ) -> None:
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        for partition_id, shard_id in assignment.items():
+            if not 0 <= shard_id < num_shards:
+                raise ValueError(
+                    f"partition {partition_id} assigned to shard {shard_id}, "
+                    f"outside 0..{num_shards - 1}"
+                )
+        self.num_shards = num_shards
+        self._assignment = dict(assignment)
+        self._floor_of = dict(floor_of)
+        self._partitions_of: Dict[int, Tuple[int, ...]] = {
+            shard: tuple(sorted(
+                pid for pid, sid in assignment.items() if sid == shard
+            ))
+            for shard in range(num_shards)
+        }
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_space(
+        cls, space: IndoorSpace, num_shards: int
+    ) -> "FloorPlacement":
+        """The deterministic placement for ``space`` over ``num_shards``."""
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        partitions = sorted(space.partitions(), key=lambda p: (p.floor, p.partition_id))
+        floor_of = {p.partition_id: p.floor for p in partitions}
+        floors = sorted({p.floor for p in partitions})
+        assignment: Dict[int, int] = {}
+        if len(floors) >= num_shards:
+            groups = _contiguous_chunks(floors, num_shards)
+            shard_of_floor = {
+                floor: shard
+                for shard, group in enumerate(groups)
+                for floor in group
+            }
+            for partition in partitions:
+                assignment[partition.partition_id] = shard_of_floor[partition.floor]
+        else:
+            groups = _contiguous_chunks(partitions, num_shards)
+            for shard, group in enumerate(groups):
+                for partition in group:
+                    assignment[partition.partition_id] = shard
+        return cls(num_shards, assignment, floor_of)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def shard_for_partition(self, partition_id: int) -> int:
+        """The shard that owns ``partition_id``'s objects."""
+        try:
+            return self._assignment[partition_id]
+        except KeyError:
+            raise KeyError(
+                f"partition {partition_id} is not in this placement"
+            ) from None
+
+    def preferred_shard_for_floor(self, floor: int) -> int:
+        """The shard a pt2pt query on ``floor`` routes to first.
+
+        Deterministic: the owner of the lowest-id partition on that floor;
+        floors outside the building clamp to the nearest assigned floor,
+        so the router never has to special-case an out-of-range position.
+        """
+        candidates = sorted(
+            pid for pid, f in self._floor_of.items() if f == floor
+        )
+        if not candidates:
+            nearest = min(
+                self._floor_of.values(),
+                key=lambda f: (abs(f - floor), f),
+                default=None,
+            )
+            if nearest is None:
+                return 0
+            candidates = sorted(
+                pid for pid, f in self._floor_of.items() if f == nearest
+            )
+        return self._assignment[candidates[0]]
+
+    def partitions_of(self, shard_id: int) -> Tuple[int, ...]:
+        """The partition ids shard ``shard_id`` owns (ascending)."""
+        try:
+            return self._partitions_of[shard_id]
+        except KeyError:
+            raise KeyError(f"shard {shard_id} is not in this placement") from None
+
+    def floors_of(self, shard_id: int) -> Tuple[int, ...]:
+        """The base floors shard ``shard_id`` touches (ascending)."""
+        return tuple(sorted({
+            self._floor_of[pid] for pid in self.partitions_of(shard_id)
+        }))
+
+    @property
+    def shard_ids(self) -> Tuple[int, ...]:
+        """Every shard id, ascending (including object-less shards)."""
+        return tuple(range(self.num_shards))
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict:
+        """JSON-safe form (rides inside shard specs and readiness payloads)."""
+        return {
+            "num_shards": self.num_shards,
+            "assignment": {str(k): v for k, v in sorted(self._assignment.items())},
+            "floor_of": {str(k): v for k, v in sorted(self._floor_of.items())},
+        }
+
+    @classmethod
+    def from_dict(cls, raw: Dict) -> "FloorPlacement":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            int(raw["num_shards"]),
+            {int(k): int(v) for k, v in raw["assignment"].items()},
+            {int(k): int(v) for k, v in raw["floor_of"].items()},
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FloorPlacement):
+            return NotImplemented
+        return (
+            self.num_shards == other.num_shards
+            and self._assignment == other._assignment
+            and self._floor_of == other._floor_of
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        sizes = {
+            shard: len(self.partitions_of(shard)) for shard in self.shard_ids
+        }
+        return f"FloorPlacement(num_shards={self.num_shards}, sizes={sizes})"

@@ -1,0 +1,426 @@
+"""Scatter-gather query routing with explicit partial-result semantics.
+
+:class:`ScatterGatherRouter` turns per-shard exact answers into one
+building-wide answer.  Its merges are *proofs*, not heuristics, because
+the placement partitions the object population exactly:
+
+* **range** — each healthy shard returns the sorted ids of *its* objects
+  inside the radius; the slices are disjoint, so their sorted union is
+  bit-identical to the single-process engine's answer.
+* **kNN** — each healthy shard returns its local exact top-k as
+  ``(id, distance)`` pairs; the global top-k is contained in the union of
+  local top-ks, and re-sorting the union by ``(distance, id)`` reproduces
+  the engine's tie-breaking exactly.
+* **pt2pt** — every shard indexes the whole topology, so any one shard's
+  answer is *the* answer; the router hedges sequentially from the shard
+  owning the query floor to the rest.
+
+The scatter itself is *distance-aware*: before fanning out, the router
+bounds each shard's best possible contribution from below using M_d2d.
+Any indoor path from the query's host partition to an object hosted
+elsewhere must leave through one of the partition's leaveable doors and
+enter the object's partition through an enterable door, so
+
+    dist(p, o)  >=  min over (d, d') of  M_d2d[d, d']
+
+with ``d`` ranging over P2D⊢(π(p)) and ``d'`` over the enterable doors
+of the shard's object-hosting partitions.  A range query therefore skips
+every shard whose bound exceeds the radius, and kNN probes the
+lowest-bound shard first, then visits only the shards whose bound does
+not exceed the k-th local distance.  The bound is a true lower bound on
+the indoor walking distance, so pruning never changes the answer — the
+merges stay bit-identical to the single-process engine — it only removes
+provably irrelevant work from the fan-out.
+
+When a shard is down, hung past its timeout, or circuit-broken, the
+router never fails the query and never silently omits the shard's slice:
+it fills the gap from the Euclidean rung of the
+:class:`~repro.runtime.ladder.QualityLevel` ladder using its local object
+table, marks the response ``quality=EUCLIDEAN`` with the culprit shards
+in ``missing_shards``, and lets the per-shard
+:class:`~repro.serve.breaker.CircuitBreaker` stop hammering the corpse.
+The rung guarantees still hold for the merged answer: a range fill is a
+superset of the missing slice (Euclidean lower bound ≤ true distance) and
+kNN / pt2pt report only lower-bound distances — exactly what the chaos
+:class:`~repro.chaos.oracles.DifferentialOracle` checks.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.exceptions import ReproError, ShardUnavailableError
+from repro.geometry import Point
+from repro.index.framework import IndexFramework
+from repro.runtime.ladder import QualityLevel, euclidean_lower_bound
+from repro.serve.breaker import CircuitBreaker
+from repro.serve.cache import EpochLRUCache
+from repro.serve.metrics import MetricsRegistry
+from repro.serve.requests import QueryKind, QueryRequest, QueryResponse
+from repro.shard.placement import FloorPlacement
+from repro.shard.supervisor import ShardSupervisor
+
+#: Matches the engine's range-predicate slack (see runtime.ladder).
+_RANGE_EPS = 1e-9
+
+
+class ScatterGatherRouter:
+    """Cross-shard range / kNN / pt2pt with degraded partial results.
+
+    Args:
+        supervisor: the worker fleet to scatter over.
+        placement: the partition→shard map (must match the supervisor's
+            specs).
+        framework: the supervisor-side framework the shards were carved
+            from; the router keeps per-shard ``(id, position)`` tables
+            from it for Euclidean gap filling.
+        metrics: shared registry (router metrics under ``serve.*``,
+            per-shard ones under ``shard.<id>.serve.*``).
+        shard_timeout_s: per-shard answer budget; it is also forwarded to
+            the worker as its query deadline, so a slow query degrades at
+            both ends.
+        failure_threshold / cooldown_ops: per-shard breaker tuning.
+        cache_capacity: entries in the exact-answer cache (0 disables).
+    """
+
+    def __init__(
+        self,
+        supervisor: ShardSupervisor,
+        placement: FloorPlacement,
+        framework: IndexFramework,
+        *,
+        metrics: Optional[MetricsRegistry] = None,
+        shard_timeout_s: float = 2.0,
+        failure_threshold: int = 3,
+        cooldown_ops: int = 8,
+        cache_capacity: int = 1024,
+    ) -> None:
+        self.supervisor = supervisor
+        self.placement = placement
+        self.metrics = metrics or MetricsRegistry()
+        self.shard_timeout_s = shard_timeout_s
+        # The sharded tier serves a static topology: the epoch is fixed at
+        # construction and every response carries it.
+        self._epoch = framework.space.topology_epoch
+        self._cache = EpochLRUCache(cache_capacity)
+        self._breakers: Dict[int, CircuitBreaker] = {}
+        self._shard_metrics: Dict[int, Any] = {}
+        self._objects: Dict[int, List[Tuple[int, Point]]] = {}
+        store = framework.objects
+        for shard_id in placement.shard_ids:
+            scoped = self.metrics.scoped(f"shard.{shard_id}")
+            self._shard_metrics[shard_id] = scoped
+            self._breakers[shard_id] = CircuitBreaker(
+                failure_threshold=failure_threshold,
+                cooldown_ops=cooldown_ops,
+                fallback=QualityLevel.EUCLIDEAN,
+                metrics=scoped,
+            )
+            self._objects[shard_id] = []
+        shard_partitions: Dict[int, Set[int]] = {
+            shard_id: set() for shard_id in placement.shard_ids
+        }
+        for obj in store:
+            partition_id = store.host_partition_id(obj.object_id)
+            shard_id = placement.shard_for_partition(partition_id)
+            self._objects[shard_id].append((obj.object_id, obj.position))
+            shard_partitions[shard_id].add(partition_id)
+        for table in self._objects.values():
+            table.sort()
+        # Distance-aware pruning state: M_d2d plus, per shard, the matrix
+        # columns of the enterable doors of its object-hosting partitions.
+        # Per-partition bounds are memoised lazily in `_bounds`.
+        self._topology = framework.space.topology
+        self._rtree = framework.rtree
+        self._md2d = framework.distance_index.md2d
+        door_col = {
+            door: index
+            for index, door in enumerate(framework.distance_index.door_ids)
+        }
+        self._door_col = door_col
+        self._shard_cols: Dict[int, np.ndarray] = {}
+        for shard_id, partitions in shard_partitions.items():
+            doors: Set[int] = set()
+            for partition_id in partitions:
+                doors |= self._topology.enterable_doors(partition_id)
+            self._shard_cols[shard_id] = np.asarray(
+                sorted(door_col[d] for d in doors if d in door_col),
+                dtype=np.intp,
+            )
+        self._bounds: Dict[int, Dict[int, float]] = {}
+        self._bounds_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Public surface
+    # ------------------------------------------------------------------
+    def execute(self, request: QueryRequest) -> QueryResponse:
+        """Serve one request; never raises for shard failures.
+
+        Healthy fleet → ``EXACT_INDEXED``, bit-identical to the
+        single-process engine.  Any missing shard → ``EUCLIDEAN`` with
+        ``missing_shards`` naming the gap — degraded, never silently
+        wrong.
+        """
+        start = time.perf_counter()
+        self.metrics.increment("serve.requests")
+        cached = self._cache.get(request.cache_key(), self._epoch, None)
+        if cached is not None:
+            self.metrics.increment("serve.cache_hits")
+            return self._respond(
+                request, cached, QualityLevel.EXACT_INDEXED, (),
+                start, from_cache=True,
+            )
+        self.metrics.increment("serve.cache_misses")
+        if request.kind is QueryKind.RANGE:
+            value, quality, missing = self._range(request)
+        elif request.kind is QueryKind.KNN:
+            value, quality, missing = self._knn(request)
+        else:
+            value, quality, missing = self._pt2pt(request)
+        if quality is QualityLevel.EXACT_INDEXED:
+            self._cache.put(request.cache_key(), self._epoch, value)
+        else:
+            self.metrics.increment("serve.degraded")
+        return self._respond(request, value, quality, missing, start)
+
+    def breaker_snapshot(self) -> Dict[int, Dict[str, Any]]:
+        """Per-shard breaker state."""
+        return {
+            shard: breaker.snapshot()
+            for shard, breaker in sorted(self._breakers.items())
+        }
+
+    def reset_breakers(self) -> None:
+        """Force every shard breaker CLOSED (heal / campaign probe)."""
+        for breaker in self._breakers.values():
+            breaker.reset()
+
+    @property
+    def served_epoch(self) -> int:
+        return self._epoch
+
+    # ------------------------------------------------------------------
+    # Scatter-gather internals
+    # ------------------------------------------------------------------
+    def _respond(
+        self,
+        request: QueryRequest,
+        value: Any,
+        quality: QualityLevel,
+        missing: Tuple[int, ...],
+        start: float,
+        from_cache: bool = False,
+    ) -> QueryResponse:
+        latency_ms = (time.perf_counter() - start) * 1000.0
+        self.metrics.increment("serve.responses")
+        self.metrics.observe("serve.latency_ms", latency_ms)
+        self.metrics.observe(
+            f"serve.latency_ms.{request.kind.value}", latency_ms
+        )
+        return QueryResponse(
+            request=request,
+            value=value,
+            quality=quality,
+            served_epoch=self._epoch,
+            cached=from_cache,
+            breaker=bool(missing),
+            latency_ms=latency_ms,
+            missing_shards=missing,
+        )
+
+    def _scatter(
+        self, shard_ids: List[int], request: QueryRequest
+    ) -> Tuple[Dict[int, Any], List[int]]:
+        """Fan ``request`` out to ``shard_ids`` and gather within the
+        timeout. Returns (answers by shard, missing shard ids)."""
+        futures: Dict[int, Future] = {}
+        missing: List[int] = []
+        for shard_id in shard_ids:
+            breaker = self._breakers[shard_id]
+            if not breaker.allow_exact():
+                missing.append(shard_id)
+                continue
+            shard_metrics = self._shard_metrics[shard_id]
+            try:
+                futures[shard_id] = self.supervisor.submit(
+                    shard_id, request, budget_s=self.shard_timeout_s
+                )
+                shard_metrics.increment("serve.requests")
+            except ShardUnavailableError:
+                shard_metrics.increment("serve.unavailable")
+                breaker.record_failure()
+                missing.append(shard_id)
+        answers: Dict[int, Any] = {}
+        deadline = time.monotonic() + self.shard_timeout_s
+        for shard_id, future in futures.items():
+            breaker = self._breakers[shard_id]
+            shard_metrics = self._shard_metrics[shard_id]
+            remaining = deadline - time.monotonic()
+            try:
+                answers[shard_id] = future.result(timeout=max(0.0, remaining))
+            except (TimeoutError, ReproError, OSError):
+                shard_metrics.increment("serve.failures")
+                breaker.record_failure()
+                missing.append(shard_id)
+            else:
+                shard_metrics.increment("serve.responses")
+                breaker.record_success()
+        return answers, sorted(missing)
+
+    def _populated(self) -> List[int]:
+        """Shards that own at least one object (empty shards cannot
+        contribute to range/kNN answers and are never scattered to)."""
+        return [
+            shard_id
+            for shard_id in self.placement.shard_ids
+            if self._objects[shard_id]
+        ]
+
+    def _shard_bounds(
+        self, position: Point
+    ) -> Optional[Dict[int, float]]:
+        """Lower bounds on the indoor distance from ``position`` to any
+        object of each shard (0.0 for the position's own shard; ``inf``
+        when no door path can reach the shard's partitions).  ``None``
+        when the position cannot be located, which disables pruning."""
+        partition_id = self._rtree.locate(position)
+        if partition_id is None:
+            return None
+        with self._bounds_lock:
+            bounds = self._bounds.get(partition_id)
+        if bounds is not None:
+            return bounds
+        leave_rows = np.asarray(
+            sorted(
+                self._door_col[d]
+                for d in self._topology.leaveable_doors(partition_id)
+                if d in self._door_col
+            ),
+            dtype=np.intp,
+        )
+        home = self.placement.shard_for_partition(partition_id)
+        bounds = {}
+        for shard_id in self.placement.shard_ids:
+            cols = self._shard_cols[shard_id]
+            if shard_id == home:
+                bounds[shard_id] = 0.0
+            elif leave_rows.size == 0 or cols.size == 0:
+                bounds[shard_id] = float("inf")
+            else:
+                bounds[shard_id] = float(
+                    self._md2d[np.ix_(leave_rows, cols)].min()
+                )
+        with self._bounds_lock:
+            self._bounds[partition_id] = bounds
+        return bounds
+
+    def _range(
+        self, request: QueryRequest
+    ) -> Tuple[List[int], QualityLevel, Tuple[int, ...]]:
+        populated = self._populated()
+        bounds = self._shard_bounds(request.position)
+        if bounds is None:
+            targets = populated
+        else:
+            # Sound: every object of a pruned shard sits at a walking
+            # distance >= its bound > radius + slack, so the engine's
+            # range predicate excludes it too.
+            limit = request.radius + _RANGE_EPS
+            targets = [s for s in populated if bounds[s] <= limit]
+        if len(targets) < len(populated):
+            self.metrics.increment(
+                "serve.shards_pruned", len(populated) - len(targets)
+            )
+        answers, missing = self._scatter(targets, request)
+        merged: List[int] = []
+        for ids in answers.values():
+            merged.extend(ids)
+        for shard_id in missing:
+            merged.extend(
+                oid
+                for oid, position in self._objects[shard_id]
+                if euclidean_lower_bound(request.position, position)
+                <= request.radius + _RANGE_EPS
+            )
+        quality = (
+            QualityLevel.EXACT_INDEXED if not missing else QualityLevel.EUCLIDEAN
+        )
+        return sorted(merged), quality, tuple(missing)
+
+    def _knn(
+        self, request: QueryRequest
+    ) -> Tuple[List[Tuple[int, float]], QualityLevel, Tuple[int, ...]]:
+        populated = self._populated()
+        bounds = self._shard_bounds(request.position)
+        if bounds is None or len(populated) <= 1:
+            answers, missing = self._scatter(populated, request)
+        else:
+            # Two-phase scatter: probe the lowest-bound shard, then visit
+            # only shards whose bound can still improve its k-th local
+            # distance.  A pruned shard's objects all sit strictly beyond
+            # that distance, so they cannot enter the global top-k even
+            # under (distance, id) tie-breaking.
+            order = sorted(populated, key=lambda s: (bounds[s], s))
+            first = order[0]
+            answers, missing = self._scatter([first], request)
+            pairs = answers.get(first)
+            if pairs is not None and len(pairs) >= request.k:
+                kth = pairs[-1][1]
+                rest = [s for s in order[1:] if bounds[s] <= kth]
+            else:
+                rest = order[1:]
+            if len(rest) < len(order) - 1:
+                self.metrics.increment(
+                    "serve.shards_pruned", len(order) - 1 - len(rest)
+                )
+            if rest:
+                more, missing_rest = self._scatter(rest, request)
+                answers.update(more)
+                missing = sorted(missing + missing_rest)
+        ranked: List[Tuple[float, int]] = []
+        for pairs in answers.values():
+            ranked.extend((dist, oid) for oid, dist in pairs)
+        for shard_id in missing:
+            # Every object of the missing shard enters at its Euclidean
+            # lower bound: reported distances stay <= the true walk, the
+            # rung guarantee the differential oracle checks.
+            ranked.extend(
+                (euclidean_lower_bound(request.position, position), oid)
+                for oid, position in self._objects[shard_id]
+            )
+        ranked.sort()
+        quality = (
+            QualityLevel.EXACT_INDEXED if not missing else QualityLevel.EUCLIDEAN
+        )
+        return (
+            [(oid, dist) for dist, oid in ranked[: request.k]],
+            quality,
+            tuple(missing),
+        )
+
+    def _pt2pt(
+        self, request: QueryRequest
+    ) -> Tuple[float, QualityLevel, Tuple[int, ...]]:
+        preferred = self.placement.preferred_shard_for_floor(
+            request.position.floor
+        )
+        order = [preferred] + [
+            shard_id
+            for shard_id in self.placement.shard_ids
+            if shard_id != preferred
+        ]
+        failed: List[int] = []
+        for shard_id in order:
+            answers, missing = self._scatter([shard_id], request)
+            if shard_id in answers:
+                # Any shard's pt2pt answer is exact over the full
+                # topology; earlier casualties don't degrade it.
+                return float(answers[shard_id]), QualityLevel.EXACT_INDEXED, ()
+            failed.extend(missing)
+        value = euclidean_lower_bound(request.position, request.target)
+        return value, QualityLevel.EUCLIDEAN, tuple(sorted(set(failed)))

@@ -1,0 +1,398 @@
+"""The sharded serving facade: one object, a fleet of processes behind it.
+
+:class:`ShardedQueryService` assembles the whole multi-process tier —
+recovery, placement, the shared-memory arena, per-shard snapshots, the
+:class:`~repro.shard.supervisor.ShardSupervisor`, and the
+:class:`~repro.shard.router.ScatterGatherRouter` — behind the same
+lifecycle surface as :class:`~repro.serve.lifecycle.SupervisedQueryService`
+(STARTING → READY → DRAINING → STOPPED, ``execute`` / ``serve`` /
+``readiness``), so callers, benchmarks, and chaos campaigns can swap the
+two tiers freely.
+
+Startup order matters and is fixed:
+
+1. recover (or accept) the full building framework;
+2. compute the deterministic placement and publish the arena;
+3. write each shard's private warm snapshot (the middle restart rung —
+   and the file chaos corrupts);
+4. spawn the supervisor and wait for every worker's ``ready``;
+5. stand up the router over the live fleet.
+
+Shutdown reverses it: drain the workers (each writes a final shard
+snapshot), optionally checkpoint the full framework into the store, then
+unlink the arena segments — the supervisor is the arena's only owner.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterable, List, Optional
+
+from repro.exceptions import ServiceUnavailableError
+from repro.index.framework import IndexFramework
+from repro.persist.recovery import RecoveryManager, RecoveryReport, SnapshotStore
+from repro.persist.snapshot import save_snapshot
+from repro.runtime.faults import FaultHandle, flip_snapshot_byte
+from repro.serve.metrics import MetricsRegistry
+from repro.serve.requests import QueryRequest, QueryResponse
+from repro.serve.service import ServiceState
+from repro.shard.placement import FloorPlacement
+from repro.shard.router import ScatterGatherRouter
+from repro.shard.shm import SharedIndexArena
+from repro.shard.spec import shard_framework, shard_specs
+from repro.shard.supervisor import ShardSupervisor
+
+
+class ShardedQueryService:
+    """Shared-nothing multi-process serving over one indoor space.
+
+    Construct from a :class:`SnapshotStore` (production shape: the crash
+    recovery ladder of :mod:`repro.persist` produces the framework) or
+    from a prebuilt :class:`IndexFramework` (benchmarks, tests).
+
+    Args:
+        store: snapshot store to recover from and checkpoint into.
+        framework: prebuilt framework (exactly one of ``store`` /
+            ``framework`` is required).
+        rebuild: zero-arg framework factory for the recovery ladder's
+            last rung (``store`` mode only).
+        shards: worker-process count.
+        metrics: shared registry for the whole tier.
+        snapshot_on_shutdown: checkpoint the full framework into the
+            store during :meth:`shutdown` (``store`` mode only).
+        client_threads: size of the :meth:`serve` dispatch pool.
+        shard_timeout_s / failure_threshold / cooldown_ops /
+        cache_capacity: router tuning (see
+            :class:`~repro.shard.router.ScatterGatherRouter`).
+        heartbeat_interval / liveness_timeout / start_timeout /
+        restart_backoff / restart_budget / start_method: supervisor
+            tuning (see :class:`~repro.shard.supervisor.ShardSupervisor`).
+    """
+
+    def __init__(
+        self,
+        store: Optional[SnapshotStore] = None,
+        *,
+        framework: Optional[IndexFramework] = None,
+        rebuild: Optional[Callable[[], IndexFramework]] = None,
+        shards: int = 3,
+        metrics: Optional[MetricsRegistry] = None,
+        snapshot_on_shutdown: bool = True,
+        client_threads: int = 8,
+        shard_timeout_s: float = 2.0,
+        failure_threshold: int = 3,
+        cooldown_ops: int = 8,
+        cache_capacity: int = 1024,
+        heartbeat_interval: float = 0.2,
+        liveness_timeout: float = 3.0,
+        start_timeout: float = 60.0,
+        restart_backoff: float = 0.05,
+        restart_budget: int = 5,
+        start_method: str = "spawn",
+    ) -> None:
+        if (store is None) == (framework is None):
+            raise ValueError(
+                "provide exactly one of store= or framework="
+            )
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        self.store = store
+        self.shards = shards
+        self.metrics = metrics or MetricsRegistry()
+        self._rebuild = rebuild
+        self._snapshot_on_shutdown = snapshot_on_shutdown
+        self._client_threads = client_threads
+        self._router_opts = {
+            "shard_timeout_s": shard_timeout_s,
+            "failure_threshold": failure_threshold,
+            "cooldown_ops": cooldown_ops,
+            "cache_capacity": cache_capacity,
+        }
+        self._supervisor_opts = {
+            "heartbeat_interval": heartbeat_interval,
+            "liveness_timeout": liveness_timeout,
+            "start_timeout": start_timeout,
+            "restart_backoff": restart_backoff,
+            "restart_budget": restart_budget,
+            "start_method": start_method,
+        }
+        self._lock = threading.Lock()
+        self._state = ServiceState.STARTING
+        self._framework: Optional[IndexFramework] = framework
+        self._report: Optional[RecoveryReport] = None
+        self._placement: Optional[FloorPlacement] = None
+        self._arena: Optional[SharedIndexArena] = None
+        self._supervisor: Optional[ShardSupervisor] = None
+        self._router: Optional[ScatterGatherRouter] = None
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._tempdir: Optional[tempfile.TemporaryDirectory] = None
+        self._snapshot_dir: Optional[Path] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> ServiceState:
+        with self._lock:
+            return self._state
+
+    def start(self, wait: bool = True) -> "ShardedQueryService":
+        """Bring the tier up (idempotent). Synchronous: by the time this
+        returns with ``wait=True`` every shard reported ready."""
+        with self._lock:
+            if self._state is not ServiceState.STARTING:
+                return self
+            if self._supervisor is not None:
+                return self
+            framework = self._framework
+        if framework is None:
+            recovery = RecoveryManager(self.store, rebuild=self._rebuild)
+            report = recovery.recover()
+            framework = report.framework
+        else:
+            report = None
+
+        placement = FloorPlacement.for_space(framework.space, self.shards)
+        arena = SharedIndexArena.create(framework.distance_index)
+        tempdir: Optional[tempfile.TemporaryDirectory] = None
+        if self.store is not None:
+            snapshot_dir = self.store.directory / "shards"
+            snapshot_dir.mkdir(parents=True, exist_ok=True)
+        else:
+            tempdir = tempfile.TemporaryDirectory(prefix="repro-shard-")
+            snapshot_dir = Path(tempdir.name)
+        specs = shard_specs(
+            framework,
+            placement,
+            arena=arena,
+            snapshot_dir=snapshot_dir,
+            # Same per-process budget as the router cache: each worker
+            # caches its slice's answers, so the tier's aggregate cache
+            # capacity scales with the shard count.
+            cache_capacity=self._router_opts["cache_capacity"],
+        )
+        for spec in specs:
+            save_snapshot(
+                shard_framework(framework, placement, spec.shard_id),
+                spec.snapshot_path,
+            )
+        supervisor = ShardSupervisor(
+            specs, metrics=self.metrics, **self._supervisor_opts
+        )
+        supervisor.start()
+        if wait and not supervisor.await_ready(
+            timeout=self._supervisor_opts["start_timeout"]
+        ):
+            supervisor.stop()
+            arena.unlink()
+            if tempdir is not None:
+                tempdir.cleanup()
+            raise ServiceUnavailableError(
+                "sharded service failed to start: "
+                f"shard states {supervisor.states()}",
+                state=ServiceState.STARTING.value,
+            )
+        router = ScatterGatherRouter(
+            supervisor,
+            placement,
+            framework,
+            metrics=self.metrics,
+            **self._router_opts,
+        )
+        pool = ThreadPoolExecutor(
+            max_workers=self._client_threads,
+            thread_name_prefix="repro-shard-client",
+        )
+        with self._lock:
+            self._framework = framework
+            self._report = report
+            self._placement = placement
+            self._arena = arena
+            self._supervisor = supervisor
+            self._router = router
+            self._pool = pool
+            self._tempdir = tempdir
+            self._snapshot_dir = snapshot_dir
+            self._state = ServiceState.READY
+        return self
+
+    def shutdown(self) -> Optional[RecoveryReport]:
+        """Drain the fleet, checkpoint, and release the arena."""
+        with self._lock:
+            if self._state in (ServiceState.DRAINING, ServiceState.STOPPED):
+                return self._report
+            self._state = ServiceState.DRAINING
+            supervisor = self._supervisor
+            arena = self._arena
+            pool = self._pool
+            framework = self._framework
+            tempdir = self._tempdir
+        if pool is not None:
+            pool.shutdown(wait=True)
+        if supervisor is not None:
+            supervisor.stop()
+        if arena is not None:
+            arena.unlink()
+        if (
+            self.store is not None
+            and self._snapshot_on_shutdown
+            and framework is not None
+        ):
+            self.store.checkpoint(framework)
+        if tempdir is not None:
+            tempdir.cleanup()
+        with self._lock:
+            self._state = ServiceState.STOPPED
+        return self._report
+
+    def __enter__(self) -> "ShardedQueryService":
+        return self.start(wait=True)
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown()
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def _require_router(self) -> ScatterGatherRouter:
+        with self._lock:
+            if self._state is not ServiceState.READY or self._router is None:
+                raise ServiceUnavailableError(
+                    f"sharded service is {self._state.value}, "
+                    "not admitting requests",
+                    state=self._state.value,
+                )
+            return self._router
+
+    def execute(self, request: QueryRequest) -> QueryResponse:
+        """Serve one request synchronously (only while READY).
+
+        Shard failures never propagate: the router degrades the missing
+        slice and marks the response (see
+        :class:`~repro.serve.requests.QueryResponse.missing_shards`).
+        """
+        return self._require_router().execute(request)
+
+    def serve(self, requests: Iterable[QueryRequest]) -> List[QueryResponse]:
+        """Serve many requests concurrently over the client pool,
+        preserving order (only while READY)."""
+        router = self._require_router()
+        with self._lock:
+            pool = self._pool
+        if pool is None:  # pragma: no cover - state machine excludes it
+            raise ServiceUnavailableError("client pool is gone")
+        return list(pool.map(router.execute, requests))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def framework(self) -> IndexFramework:
+        """The supervisor-side full framework (topology + all objects)."""
+        with self._lock:
+            if self._framework is None:
+                raise ServiceUnavailableError("service never started")
+            return self._framework
+
+    @property
+    def placement(self) -> FloorPlacement:
+        with self._lock:
+            if self._placement is None:
+                raise ServiceUnavailableError("service never started")
+            return self._placement
+
+    @property
+    def router(self) -> Optional[ScatterGatherRouter]:
+        with self._lock:
+            return self._router
+
+    @property
+    def recovery_report(self) -> Optional[RecoveryReport]:
+        with self._lock:
+            return self._report
+
+    def readiness(self) -> Dict[str, Any]:
+        """Health payload: lifecycle state plus the supervisor's per-shard
+        detail and the router's breaker states."""
+        with self._lock:
+            state = self._state
+            supervisor = self._supervisor
+            router = self._router
+            placement = self._placement
+        payload: Dict[str, Any] = {
+            "state": state.value,
+            "ready": state is ServiceState.READY,
+            "shards": self.shards,
+        }
+        if placement is not None:
+            payload["placement"] = placement.to_dict()
+        if supervisor is not None:
+            payload["supervision"] = supervisor.readiness()
+            payload["ready"] = (
+                payload["ready"] and payload["supervision"]["ready"]
+            )
+        if router is not None:
+            payload["breakers"] = {
+                str(shard): snap
+                for shard, snap in router.breaker_snapshot().items()
+            }
+        return payload
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        """Counters and latency histograms for the whole tier (router
+        metrics under ``serve.*``, per-shard under ``shard.<id>.*``)."""
+        return self.metrics.snapshot()
+
+    def await_healthy(self, timeout: float = 30.0) -> bool:
+        """Block until every shard is READY again (chaos final probe)."""
+        with self._lock:
+            supervisor = self._supervisor
+        return supervisor is not None and supervisor.await_ready(timeout)
+
+    def reset_breakers(self) -> None:
+        """Force every per-shard breaker CLOSED."""
+        router = self.router
+        if router is not None:
+            router.reset_breakers()
+
+    # ------------------------------------------------------------------
+    # Chaos hooks
+    # ------------------------------------------------------------------
+    def kill_shard(self, shard_id: int, cold: bool = False) -> None:
+        """SIGKILL one worker; ``cold=True`` also denies the respawn its
+        arena rung, forcing the snapshot (or rebuild) path."""
+        with self._lock:
+            supervisor = self._supervisor
+        if supervisor is None:
+            raise ServiceUnavailableError("service never started")
+        supervisor.kill_shard(shard_id, cold=cold)
+
+    def hang_shard(self, shard_id: int, seconds: float) -> None:
+        """Wedge one worker for ``seconds`` (the liveness deadline decides
+        whether it survives)."""
+        with self._lock:
+            supervisor = self._supervisor
+        if supervisor is None:
+            raise ServiceUnavailableError("service never started")
+        supervisor.hang_shard(shard_id, seconds)
+
+    def corrupt_shard_snapshot(
+        self, shard_id: int, count: int = 1, seed: int = 0
+    ) -> Optional[FaultHandle]:
+        """Flip bytes in one shard's private snapshot file.
+
+        Harmless until that shard cold-restarts — at which point the
+        worker must detect the damage, quarantine the file, rebuild from
+        the spec, and rewrite a healthy snapshot (self-healing).
+        """
+        with self._lock:
+            supervisor = self._supervisor
+        if supervisor is None:
+            raise ServiceUnavailableError("service never started")
+        path = supervisor.spec_of(shard_id).snapshot_path
+        if path is None or not Path(path).exists():
+            return None
+        return flip_snapshot_byte(path, count=count, seed=seed)

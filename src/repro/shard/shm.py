@@ -1,0 +1,225 @@
+"""Shared-memory placement of the static distance indexes (M_d2d, M_idx).
+
+The §IV-A matrices are immutable once built: every shard reads them, none
+writes.  Keeping a private copy per worker process would multiply the
+dominant memory cost (two N×N float64/int64 arrays) by the shard count and
+— worse — force a respawned worker to either re-run the all-pairs builder
+or re-parse a snapshot before serving again.
+
+:class:`SharedIndexArena` instead publishes the arrays once, as
+:mod:`multiprocessing.shared_memory` segments, and ships only the segment
+*descriptor* (names, dtypes, shapes — plain JSON) inside each
+:class:`~repro.shard.spec.ShardSpec`.  A restarting worker reattaches in
+milliseconds and reassembles the index via
+:meth:`~repro.index.distance_matrix.DistanceIndexMatrix.from_parts`,
+skipping both the Algorithm-1 build and the M_idx argsort.
+
+Ownership is strictly supervisor-side: workers ``close()`` their mapping
+on exit but never ``unlink()``; the supervisor unlinks the segments during
+shutdown.  Attached views are marked read-only so a buggy worker cannot
+corrupt the matrices under its siblings — index damage stays a
+:mod:`repro.chaos` *injected* fault, never an accidental one.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from multiprocessing import resource_tracker, shared_memory
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.distance.matrix import DoorDistanceMatrix
+from repro.index.distance_matrix import DistanceIndexMatrix
+
+#: segment key -> attribute of the arena holding its view
+_SEGMENTS = ("md2d", "order", "door_ids")
+
+_name_lock = threading.Lock()
+_name_seq = 0
+
+
+def _next_segment_name(key: str) -> str:
+    """A process-unique segment name (pid + monotonic counter — no uuid or
+    wall clock, so arena creation stays deterministic per process)."""
+    global _name_seq
+    with _name_lock:
+        _name_seq += 1
+        seq = _name_seq
+    return f"repro-shard-{os.getpid()}-{seq}-{key}"
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without resource-tracker registration.
+
+    On Python <= 3.12 every ``SharedMemory(name=...)`` attach registers the
+    segment with a resource tracker, which unlinks it when *any* attached
+    process exits — yanking the arena out from under the surviving shards
+    (cpython#82300; 3.13 grew ``track=False`` for exactly this).  Only the
+    creating supervisor may own the segment's lifetime, so attachment
+    suppresses registration entirely.
+    """
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+class SharedIndexArena:
+    """The static distance indexes, mapped into shared memory.
+
+    Exactly one process (the supervisor) calls :meth:`create` and later
+    :meth:`unlink`; every worker calls :meth:`attach` with the descriptor
+    and :meth:`close` on exit.
+
+    Attributes:
+        md2d: read-only N×N float64 view of M_d2d.
+        order: read-only N×N int64 view of the M_idx scan order
+            (matrix indices, not door ids — matching
+            :attr:`DistanceIndexMatrix.scan_order`).
+        door_ids: read-only length-N int64 view of the ascending door ids.
+        owner: True only for the creating process.
+    """
+
+    def __init__(
+        self,
+        segments: Dict[str, shared_memory.SharedMemory],
+        views: Dict[str, np.ndarray],
+        descriptor: Dict,
+        owner: bool,
+    ) -> None:
+        self._segments = segments
+        self._views = views
+        self._descriptor = descriptor
+        self.owner = owner
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(cls, index: DistanceIndexMatrix) -> "SharedIndexArena":
+        """Publish ``index``'s arrays into fresh shared-memory segments."""
+        arrays = {
+            "md2d": np.ascontiguousarray(index.md2d, dtype=np.float64),
+            "order": np.ascontiguousarray(index.scan_order, dtype=np.int64),
+            "door_ids": np.ascontiguousarray(index.door_ids, dtype=np.int64),
+        }
+        segments: Dict[str, shared_memory.SharedMemory] = {}
+        views: Dict[str, np.ndarray] = {}
+        described: Dict[str, Dict] = {}
+        try:
+            for key in _SEGMENTS:
+                source = arrays[key]
+                shm = shared_memory.SharedMemory(
+                    name=_next_segment_name(key),
+                    create=True,
+                    size=max(1, source.nbytes),
+                )
+                segments[key] = shm
+                view = np.ndarray(
+                    source.shape, dtype=source.dtype, buffer=shm.buf
+                )
+                view[...] = source
+                view.flags.writeable = False
+                views[key] = view
+                described[key] = {
+                    "name": shm.name,
+                    "dtype": str(source.dtype),
+                    "shape": list(source.shape),
+                }
+        except BaseException:
+            for shm in segments.values():
+                shm.close()
+                try:
+                    shm.unlink()
+                except FileNotFoundError:  # pragma: no cover
+                    pass
+            raise
+        descriptor = {"doors": int(arrays["door_ids"].shape[0]),
+                      "segments": described}
+        return cls(segments, views, descriptor, owner=True)
+
+    @classmethod
+    def attach(cls, descriptor: Dict) -> "SharedIndexArena":
+        """Map an existing arena from its JSON descriptor (worker side)."""
+        segments: Dict[str, shared_memory.SharedMemory] = {}
+        views: Dict[str, np.ndarray] = {}
+        try:
+            for key in _SEGMENTS:
+                spec = descriptor["segments"][key]
+                shm = _attach_untracked(spec["name"])
+                segments[key] = shm
+                view = np.ndarray(
+                    tuple(spec["shape"]),
+                    dtype=np.dtype(spec["dtype"]),
+                    buffer=shm.buf,
+                )
+                view.flags.writeable = False
+                views[key] = view
+        except BaseException:
+            for shm in segments.values():
+                shm.close()
+            raise
+        return cls(segments, views, dict(descriptor), owner=False)
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    @property
+    def md2d(self) -> np.ndarray:
+        return self._views["md2d"]
+
+    @property
+    def order(self) -> np.ndarray:
+        return self._views["order"]
+
+    @property
+    def door_ids(self) -> Tuple[int, ...]:
+        return tuple(int(d) for d in self._views["door_ids"])
+
+    @property
+    def descriptor(self) -> Dict:
+        """JSON-safe segment map; embed it in shard specs."""
+        return self._descriptor
+
+    def distance_index(self) -> DistanceIndexMatrix:
+        """Assemble a :class:`DistanceIndexMatrix` over the shared views
+        (no copy, no argsort — the millisecond-reattach path)."""
+        distances = DoorDistanceMatrix(self.md2d, self.door_ids)
+        return DistanceIndexMatrix.from_parts(distances, self.order)
+
+    # ------------------------------------------------------------------
+    # Teardown
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Drop this process's mapping (both sides, idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._views = {}
+        for shm in self._segments.values():
+            shm.close()
+
+    def unlink(self) -> None:
+        """Destroy the segments (owner only, after :meth:`close`)."""
+        if not self.owner:
+            raise ValueError("only the creating process may unlink the arena")
+        self.close()
+        for shm in self._segments.values():
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - double shutdown
+                pass
+
+    def __enter__(self) -> "SharedIndexArena":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self.owner:
+            self.unlink()
+        else:
+            self.close()

@@ -1,0 +1,262 @@
+"""Shard specs: everything a worker process needs to rebuild its world.
+
+A :class:`ShardSpec` is the sole message a freshly spawned worker receives.
+It must therefore be (a) picklable across a ``spawn`` boundary and (b)
+self-sufficient: with nothing but the spec, a worker can materialise a
+fully indexed :class:`~repro.index.framework.IndexFramework` for its slice
+of the building — even if the shared-memory arena is gone and its snapshot
+rotted on disk.
+
+:func:`materialize` is the restart ladder, fastest rung first:
+
+1. **arena** — reattach the shared M_d2d / M_idx segments and reassemble
+   the framework from the spec's embedded space/DPT/object rows
+   (milliseconds; no disk, no argsort).
+2. **snapshot** — load the shard's checksummed RPROSNAP file; corruption
+   quarantines the file (``.corrupt`` rename) and falls through, exactly
+   like the :mod:`repro.persist` recovery ladder.
+3. **rebuild** — recompute every index from the space model (the cold
+   rung; always succeeds if the model is sound).
+
+Each rung restores the *same* topology and built epochs the supervisor
+recorded, so a restarted shard provably rejoins the epoch it crashed with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.exceptions import SnapshotCorruptError
+from repro.geometry import Point
+from repro.index.framework import IndexFramework
+from repro.index.objects import IndoorObject, ObjectStore
+from repro.index.rtree import PartitionRTree
+from repro.io.json_io import space_from_dict, space_to_dict
+from repro.persist.snapshot import (
+    _dpt_from_rows,
+    _dpt_to_rows,
+    _objects_to_rows,
+    load_snapshot,
+)
+from repro.shard.placement import FloorPlacement
+from repro.shard.shm import SharedIndexArena
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """The complete recipe for one shard worker.
+
+    Attributes:
+        shard_id: this worker's slot in the placement.
+        partition_ids: partitions whose objects this shard owns (every
+            shard still indexes the *whole* topology — distances cross
+            floors — but answers only for its own objects).
+        floors: base floors covered (informational; readiness payloads).
+        space: the full indoor space as a JSON dict
+            (:func:`~repro.io.json_io.space_to_dict`).
+        topology_epoch: epoch the space must be restored to.
+        built_epoch: epoch the rebuilt indexes must report.
+        cell_size: grid cell edge for the object buckets.
+        dpt_rows: Door-to-Partition Table rows (snapshot codec).
+        object_rows: owned objects with host partitions (snapshot codec).
+        arena: shared-memory arena descriptor, or ``None`` to force the
+            snapshot/rebuild rungs (chaos "cold restart").
+        snapshot_path: this shard's private snapshot file, or ``None``.
+        cache_capacity: entries in the worker's own exact-answer cache
+            (0 disables).  Every worker gets the same per-process budget
+            as the router, so the *fleet's* aggregate cache grows with
+            the shard count — the capacity dimension sharding scales.
+    """
+
+    shard_id: int
+    partition_ids: Tuple[int, ...]
+    floors: Tuple[int, ...]
+    space: Dict = field(repr=False)
+    topology_epoch: int = 0
+    built_epoch: int = 0
+    cell_size: float = 5.0
+    dpt_rows: List = field(default_factory=list, repr=False)
+    object_rows: List = field(default_factory=list, repr=False)
+    arena: Optional[Dict] = field(default=None, repr=False)
+    snapshot_path: Optional[str] = None
+    cache_capacity: int = 0
+
+    def summary(self) -> Dict:
+        """JSON-safe readiness payload fragment."""
+        return {
+            "shard": self.shard_id,
+            "partitions": list(self.partition_ids),
+            "floors": list(self.floors),
+            "objects": len(self.object_rows),
+            "topology_epoch": self.topology_epoch,
+            "built_epoch": self.built_epoch,
+        }
+
+
+def owned_store(
+    framework: IndexFramework, placement: FloorPlacement, shard_id: int
+) -> ObjectStore:
+    """A new object store holding only ``shard_id``'s objects.
+
+    Ownership follows the object's *host partition* through the placement,
+    so the per-shard stores partition the population exactly (disjoint,
+    covering) — the property the scatter-gather merge proofs rest on.
+    """
+    full = framework.objects
+    store = ObjectStore(framework.space, full.cell_size)
+    for obj in full:
+        partition_id = full.host_partition_id(obj.object_id)
+        if placement.shard_for_partition(partition_id) == shard_id:
+            store.add(obj, partition_id=partition_id)
+    return store
+
+
+def shard_framework(
+    framework: IndexFramework, placement: FloorPlacement, shard_id: int
+) -> IndexFramework:
+    """``framework`` narrowed to ``shard_id``'s objects (static indexes
+    shared, so this is cheap — used to write per-shard snapshots)."""
+    return framework.with_objects(owned_store(framework, placement, shard_id))
+
+
+def shard_specs(
+    framework: IndexFramework,
+    placement: FloorPlacement,
+    *,
+    arena: Optional[SharedIndexArena] = None,
+    snapshot_dir: Optional[Path] = None,
+    cache_capacity: int = 0,
+) -> List[ShardSpec]:
+    """One spec per shard, partitioning ``framework``'s objects."""
+    space_dict = space_to_dict(framework.space)
+    dpt_rows = _dpt_to_rows(framework.dpt)
+    specs: List[ShardSpec] = []
+    for shard_id in placement.shard_ids:
+        store = owned_store(framework, placement, shard_id)
+        snapshot_path = (
+            str(Path(snapshot_dir) / f"shard-{shard_id}.snap")
+            if snapshot_dir is not None
+            else None
+        )
+        specs.append(
+            ShardSpec(
+                shard_id=shard_id,
+                partition_ids=placement.partitions_of(shard_id),
+                floors=placement.floors_of(shard_id),
+                space=space_dict,
+                topology_epoch=framework.space.topology_epoch,
+                built_epoch=framework.built_epoch,
+                cell_size=framework.objects.cell_size,
+                dpt_rows=dpt_rows,
+                object_rows=_objects_to_rows(store),
+                arena=arena.descriptor if arena is not None else None,
+                snapshot_path=snapshot_path,
+                cache_capacity=cache_capacity,
+            )
+        )
+    return specs
+
+
+def _store_from_rows(
+    space, cell_size: float, rows: List[dict]
+) -> ObjectStore:
+    store = ObjectStore(space, cell_size)
+    for row in rows:
+        x, y, floor = row["position"]
+        store.add(
+            IndoorObject(
+                int(row["id"]),
+                Point(float(x), float(y), int(floor)),
+                row.get("payload", ""),
+            ),
+            partition_id=int(row["partition"]),
+        )
+    return store
+
+
+def _materialize_from_arena(
+    spec: ShardSpec,
+) -> Tuple[IndexFramework, SharedIndexArena]:
+    arena = SharedIndexArena.attach(spec.arena)
+    try:
+        space = space_from_dict(spec.space)
+        space.restore_topology_epoch(spec.topology_epoch)
+        distance_index = arena.distance_index()
+        if set(distance_index.door_ids) != set(space.door_ids):
+            raise ValueError(
+                "arena door ids disagree with the shard's space model"
+            )
+        dpt = _dpt_from_rows(spec.dpt_rows)
+        rtree = PartitionRTree(space).install()
+        store = _store_from_rows(space, spec.cell_size, spec.object_rows)
+        framework = IndexFramework(space, distance_index, dpt, rtree, store)
+        framework.built_epoch = spec.built_epoch
+    except BaseException:
+        arena.close()
+        raise
+    return framework, arena
+
+
+def _materialize_from_snapshot(spec: ShardSpec) -> IndexFramework:
+    framework, manifest = load_snapshot(spec.snapshot_path)
+    if int(manifest["topology_epoch"]) != spec.topology_epoch:
+        raise SnapshotCorruptError(
+            f"shard {spec.shard_id} snapshot is from topology epoch "
+            f"{manifest['topology_epoch']}, expected {spec.topology_epoch}",
+        )
+    return framework
+
+
+def _materialize_by_rebuild(spec: ShardSpec) -> IndexFramework:
+    space = space_from_dict(spec.space)
+    space.restore_topology_epoch(spec.topology_epoch)
+    framework = IndexFramework.build(space, cell_size=spec.cell_size)
+    for row in spec.object_rows:
+        x, y, floor = row["position"]
+        framework.objects.add(
+            IndoorObject(
+                int(row["id"]),
+                Point(float(x), float(y), int(floor)),
+                row.get("payload", ""),
+            ),
+            partition_id=int(row["partition"]),
+        )
+    framework.built_epoch = spec.built_epoch
+    return framework
+
+
+def materialize(
+    spec: ShardSpec,
+) -> Tuple[IndexFramework, str, Optional[SharedIndexArena]]:
+    """Run the restart ladder for ``spec``.
+
+    Returns ``(framework, source, arena)`` where ``source`` names the rung
+    that succeeded (``"arena"``, ``"snapshot"``, or ``"rebuild"``) and
+    ``arena`` is the live attachment when the first rung won (the caller
+    must :meth:`~repro.shard.shm.SharedIndexArena.close` it on exit).
+    """
+    if spec.arena is not None:
+        try:
+            framework, arena = _materialize_from_arena(spec)
+            return framework, "arena", arena
+        except (FileNotFoundError, ValueError, KeyError):
+            pass  # arena gone or inconsistent; drop to disk
+    if spec.snapshot_path is not None and Path(spec.snapshot_path).exists():
+        try:
+            return _materialize_from_snapshot(spec), "snapshot", None
+        except SnapshotCorruptError:
+            quarantine_snapshot(spec.snapshot_path)
+    return _materialize_by_rebuild(spec), "rebuild", None
+
+
+def quarantine_snapshot(path: str) -> Optional[Path]:
+    """Move a damaged shard snapshot aside (``<name>.corrupt``) so the
+    next restart does not trip over it; returns the new path."""
+    source = Path(path)
+    if not source.exists():
+        return None
+    target = source.with_name(source.name + ".corrupt")
+    source.replace(target)
+    return target

@@ -1,0 +1,665 @@
+"""Process supervision for the sharded serving tier.
+
+:class:`ShardSupervisor` owns the worker fleet: it spawns one process per
+:class:`~repro.shard.spec.ShardSpec`, watches each with heartbeat pings
+and a liveness deadline, and restarts casualties with exponential backoff
+under a per-shard restart budget.  It deliberately mirrors the
+single-process :class:`~repro.serve.lifecycle.SupervisedQueryService`
+semantics one level up: a shard is STARTING until its worker reports
+``ready`` (having run the arena → snapshot → rebuild ladder), READY while
+it answers, RESTARTING between incarnations, and FAILED once its budget is
+spent — at which point the router simply treats it as permanently missing
+and keeps degrading that slice of every answer.
+
+Failure detection is two-pronged, matching the two ways a process dies:
+
+* **crash** — the worker's end of the pipe closes; the receiver thread
+  sees EOF and fails every pending future *immediately* (no query waits a
+  full timeout on a dead process).
+* **hang** — the process is alive but stopped answering pings; the monitor
+  thread kills it once ``liveness_timeout`` elapses without a pong.
+
+Workers default to the ``spawn`` start method: the supervisor runs inside
+a threaded service, and forking a multi-threaded process can deadlock the
+child in a held allocator or pipe lock — precisely at restart time, when
+it matters most.  Tests on Linux may pass ``start_method="fork"`` to skip
+interpreter boot.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import multiprocessing
+import threading
+import time
+from concurrent.futures import Future
+from typing import Any, Dict, List, Optional
+
+import repro.exceptions as _exceptions
+from repro.exceptions import ReproError, ShardUnavailableError
+from repro.serve.metrics import MetricsRegistry
+from repro.serve.requests import QueryRequest
+from repro.shard.spec import ShardSpec
+from repro.shard.worker import shard_worker_main
+
+
+class ShardState(enum.Enum):
+    """Lifecycle of one shard slot (not one process — slots survive their
+    incarnations)."""
+
+    STARTING = "starting"
+    READY = "ready"
+    RESTARTING = "restarting"
+    FAILED = "failed"
+    STOPPED = "stopped"
+
+
+def _rebuild_exception(name: str, message: str) -> Exception:
+    """Reconstruct a worker-side :class:`ReproError` by class name (falls
+    back to the base class for anything unknown)."""
+    cls = getattr(_exceptions, name, None)
+    if isinstance(cls, type) and issubclass(cls, ReproError):
+        try:
+            return cls(message)
+        except TypeError:  # multi-arg constructor
+            return ReproError(f"{name}: {message}")
+    return ReproError(f"{name}: {message}")
+
+
+#: Cap on queries combined into one ``batch`` pipe message, so a backlog
+#: can never wedge a worker behind an unbounded batch (liveness pings
+#: queue on the same pipe).
+_MAX_BATCH = 32
+
+
+class _Incarnation:
+    """One worker process plus its pipe and receiver thread.
+
+    All mutable state is guarded by ``self._lock``; the receiver thread is
+    the only writer of results, the monitor and router threads the only
+    senders.  A fresh incarnation is built for every (re)start — futures
+    never migrate between processes.
+
+    Query submission uses *send combining*: the first submitter becomes
+    the flusher and drains the outbox in combined ``batch`` messages;
+    submitters arriving while a send is in flight just append and return.
+    Under concurrent load the per-message pipe overhead (pickle header,
+    syscall, reader wake-up) amortises across the batch, and an idle
+    tier still sends every query immediately — no Nagle timer, no added
+    latency.  Actual pipe writes serialise on ``self._send_lock`` so a
+    combined send can never interleave with a ping or a control message.
+    """
+
+    def __init__(self, spec: ShardSpec, ctx) -> None:
+        self._lock = threading.Lock()
+        self._send_lock = threading.Lock()
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
+        self.process = ctx.Process(
+            target=shard_worker_main,
+            args=(spec, child_conn),
+            name=f"repro-shard-{spec.shard_id}",
+            daemon=True,
+        )
+        self.process.start()
+        child_conn.close()  # parent keeps one end only, so EOF propagates
+        self.conn = parent_conn
+        self.ready_event = threading.Event()
+        self.spec = spec
+        with self._lock:
+            self._pending: Dict[int, Future] = {}
+            self._outbox: List[Any] = []
+            self._flushing = False
+            self._seq = 0
+            self._last_pong = time.monotonic()
+            self._ready_info: Optional[Dict[str, Any]] = None
+            self._start_error: Optional[str] = None
+            self._dead = False
+        self.receiver = threading.Thread(
+            target=self._receive_loop,
+            name=f"repro-shard-recv-{spec.shard_id}",
+            daemon=True,
+        )
+        self.receiver.start()
+
+    # -- receiver thread ------------------------------------------------
+    def _receive_loop(self) -> None:
+        while True:
+            try:
+                message = self.conn.recv()
+            except (EOFError, OSError):
+                self._mark_dead("worker pipe closed")
+                return
+            kind = message[0]
+            if kind == "result" or kind == "error":
+                self._dispatch_reply(message)
+            elif kind == "batch_result":
+                for reply in message[1]:
+                    self._dispatch_reply(reply)
+            elif kind == "pong":
+                with self._lock:
+                    self._last_pong = time.monotonic()
+            elif kind == "ready":
+                with self._lock:
+                    self._ready_info = message[1]
+                    self._last_pong = time.monotonic()
+                self.ready_event.set()
+            elif kind == "start_failed":
+                with self._lock:
+                    self._start_error = message[1]
+                self.ready_event.set()
+            elif kind == "stopped":
+                self._mark_dead("worker stopped cleanly")
+                return
+
+    def _dispatch_reply(self, reply: Any) -> None:
+        """Resolve one ``result`` / ``error`` reply tuple's future."""
+        if reply[0] == "result":
+            _, seq, value = reply
+            future = self._pop_pending(seq)
+            if future is not None:
+                future.set_result(value)
+        else:
+            _, seq, exc_name, detail = reply
+            future = self._pop_pending(seq)
+            if future is not None:
+                future.set_exception(_rebuild_exception(exc_name, detail))
+
+    def _pop_pending(self, seq: int) -> Optional[Future]:
+        with self._lock:
+            return self._pending.pop(seq, None)
+
+    def _mark_dead(self, why: str) -> None:
+        with self._lock:
+            if self._dead:
+                return
+            self._dead = True
+            pending = list(self._pending.values())
+            self._pending.clear()
+            self._outbox.clear()
+        self.ready_event.set()
+        exc = ShardUnavailableError(
+            f"shard {self.spec.shard_id} became unavailable: {why}",
+            shard=self.spec.shard_id,
+            state=ShardState.RESTARTING.value,
+        )
+        for future in pending:
+            if not future.done():
+                future.set_exception(exc)
+
+    # -- senders (router / monitor threads) -----------------------------
+    def submit(self, request: QueryRequest, budget_s: Optional[float]) -> Future:
+        future: Future = Future()
+        with self._lock:
+            if self._dead:
+                raise ShardUnavailableError(
+                    f"shard {self.spec.shard_id} worker is gone",
+                    shard=self.spec.shard_id,
+                    state=ShardState.RESTARTING.value,
+                )
+            self._seq += 1
+            seq = self._seq
+            self._pending[seq] = future
+            self._outbox.append((seq, request, budget_s))
+            if self._flushing:
+                # The active flusher will pick this item up in its next
+                # combined send; returning now is what makes submits
+                # under load coalesce instead of queueing on the pipe.
+                return future
+            self._flushing = True
+        self._flush_outbox()
+        return future
+
+    def _flush_outbox(self) -> None:
+        """Drain the outbox in ``batch`` messages of at most
+        ``_MAX_BATCH`` queries.  Exactly one thread runs this at a time
+        (``self._flushing``); the pipe write happens outside
+        ``self._lock`` so concurrent submitters keep appending."""
+        while True:
+            with self._lock:
+                if self._dead:
+                    self._outbox.clear()
+                    self._flushing = False
+                    return
+                batch = self._outbox[:_MAX_BATCH]
+                del self._outbox[:_MAX_BATCH]
+                if not batch:
+                    self._flushing = False
+                    return
+            try:
+                with self._send_lock:
+                    if len(batch) == 1:
+                        seq, request, budget_s = batch[0]
+                        self.conn.send(("query", seq, request, budget_s))
+                    else:
+                        self.conn.send(("batch", batch))
+            except (BrokenPipeError, OSError):
+                # _mark_dead fails the batch's futures (still pending)
+                # along with everything else in flight.
+                self._mark_dead("worker pipe broke mid-send")
+                with self._lock:
+                    self._flushing = False
+                return
+
+    def send(self, *message: Any) -> bool:
+        """Best-effort control-plane send; False when the pipe is gone."""
+        with self._lock:
+            if self._dead:
+                return False
+        try:
+            with self._send_lock:
+                self.conn.send(tuple(message))
+        except (BrokenPipeError, OSError):
+            return False
+        return True
+
+    def ping(self) -> None:
+        with self._lock:
+            if self._dead:
+                return
+            self._seq += 1
+            seq = self._seq
+        try:
+            with self._send_lock:
+                self.conn.send(("ping", seq))
+        except (BrokenPipeError, OSError):
+            pass
+
+    # -- state ----------------------------------------------------------
+    @property
+    def dead(self) -> bool:
+        with self._lock:
+            return self._dead
+
+    @property
+    def last_pong(self) -> float:
+        with self._lock:
+            return self._last_pong
+
+    @property
+    def ready_info(self) -> Optional[Dict[str, Any]]:
+        with self._lock:
+            return self._ready_info
+
+    @property
+    def start_error(self) -> Optional[str]:
+        with self._lock:
+            return self._start_error
+
+    def close(self) -> None:
+        self._mark_dead("incarnation closed")
+        try:
+            self.conn.close()
+        except OSError:  # pragma: no cover
+            pass
+
+
+class _Slot:
+    """Supervisor-side bookkeeping for one shard id (lock: supervisor's)."""
+
+    def __init__(self, spec: ShardSpec) -> None:
+        self.spec = spec
+        self.state = ShardState.STARTING
+        self.incarnation: Optional[_Incarnation] = None
+        self.restarts = 0
+        self.next_restart_at = 0.0
+        self.cold_next = False  # strip the arena from the next respawn
+        self.source: Optional[str] = None
+        self.epoch: Optional[int] = None
+
+
+class ShardSupervisor:
+    """Spawn, watch, and restart the shard worker fleet.
+
+    Args:
+        specs: one spec per shard (shard ids must be dense from 0).
+        metrics: registry for supervision counters (shared with the
+            router so one snapshot shows the whole tier).
+        heartbeat_interval: seconds between liveness pings.
+        liveness_timeout: seconds without a pong before a worker is
+            declared hung and killed.
+        start_timeout: seconds a (re)started worker gets to report ready.
+        restart_backoff: initial restart delay, doubled per consecutive
+            restart up to ``max_backoff``.
+        restart_budget: restarts allowed per shard before it is FAILED.
+        start_method: ``multiprocessing`` start method (default
+            ``"spawn"``; see module docstring).
+    """
+
+    def __init__(
+        self,
+        specs: List[ShardSpec],
+        *,
+        metrics: Optional[MetricsRegistry] = None,
+        heartbeat_interval: float = 0.2,
+        liveness_timeout: float = 3.0,
+        start_timeout: float = 60.0,
+        restart_backoff: float = 0.05,
+        max_backoff: float = 2.0,
+        restart_budget: int = 5,
+        start_method: str = "spawn",
+    ) -> None:
+        if not specs:
+            raise ValueError("supervisor needs at least one shard spec")
+        if sorted(s.shard_id for s in specs) != list(range(len(specs))):
+            raise ValueError("shard ids must be dense starting from 0")
+        self.metrics = metrics or MetricsRegistry()
+        self.heartbeat_interval = heartbeat_interval
+        self.liveness_timeout = liveness_timeout
+        self.start_timeout = start_timeout
+        self.restart_backoff = restart_backoff
+        self.max_backoff = max_backoff
+        self.restart_budget = restart_budget
+        self._ctx = multiprocessing.get_context(start_method)
+        self._lock = threading.Lock()
+        with self._lock:
+            self._slots: Dict[int, _Slot] = {
+                spec.shard_id: _Slot(spec) for spec in specs
+            }
+            self._events: List[Dict[str, Any]] = []
+            self._stopping = False
+            self._monitor: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "ShardSupervisor":
+        """Spawn every worker and the monitor thread (idempotent)."""
+        with self._lock:
+            if self._monitor is not None:
+                return self
+            for slot in self._slots.values():
+                self._spawn_locked(slot)
+            self._monitor = threading.Thread(
+                target=self._monitor_loop,
+                name="repro-shard-monitor",
+                daemon=True,
+            )
+            self._monitor.start()
+        return self
+
+    def _spawn_locked(self, slot: _Slot) -> None:
+        """(Re)start ``slot``'s worker. Caller holds ``self._lock``."""
+        spec = slot.spec
+        if slot.cold_next:
+            spec = dataclasses.replace(spec, arena=None)
+            slot.cold_next = False
+        slot.incarnation = _Incarnation(spec, self._ctx)
+        slot.state = ShardState.STARTING
+        slot.source = None
+        self.metrics.increment("shard.supervisor.spawns")
+
+    def await_ready(self, timeout: Optional[float] = None) -> bool:
+        """Block until every non-FAILED shard is READY (True on success)."""
+        deadline = time.monotonic() + (timeout if timeout is not None else 3600.0)
+        while time.monotonic() < deadline:
+            states = self.states()
+            if any(
+                s in (ShardState.STARTING, ShardState.RESTARTING)
+                for s in states.values()
+            ):
+                time.sleep(0.01)
+                continue
+            return all(s is ShardState.READY for s in states.values())
+        return False
+
+    def stop(self) -> None:
+        """Drain and stop every worker, then the monitor."""
+        with self._lock:
+            self._stopping = True
+            monitor = self._monitor
+            slots = list(self._slots.values())
+        if monitor is not None:
+            monitor.join(timeout=5.0)
+        for slot in slots:
+            with self._lock:
+                incarnation = slot.incarnation
+                slot.state = ShardState.STOPPED
+            if incarnation is None:
+                continue
+            incarnation.send("stop")
+            if incarnation.process.is_alive():
+                incarnation.process.join(timeout=5.0)
+            if incarnation.process.is_alive():  # pragma: no cover - stuck
+                incarnation.process.kill()
+                incarnation.process.join(timeout=5.0)
+            incarnation.close()
+
+    def __enter__(self) -> "ShardSupervisor":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Monitoring
+    # ------------------------------------------------------------------
+    def _monitor_loop(self) -> None:
+        while True:
+            with self._lock:
+                if self._stopping:
+                    return
+                slots = list(self._slots.values())
+            for slot in slots:
+                self._check_slot(slot)
+            time.sleep(self.heartbeat_interval)
+
+    def _check_slot(self, slot: _Slot) -> None:
+        now = time.monotonic()
+        with self._lock:
+            if self._stopping:
+                return
+            incarnation = slot.incarnation
+            state = slot.state
+
+            if state is ShardState.FAILED or state is ShardState.STOPPED:
+                return
+
+            if state is ShardState.RESTARTING:
+                if now >= slot.next_restart_at:
+                    self._spawn_locked(slot)
+                return
+
+            assert incarnation is not None
+            if state is ShardState.STARTING:
+                info = incarnation.ready_info
+                if info is not None:
+                    if int(info.get("topology_epoch", -1)) != slot.spec.topology_epoch:
+                        self._record_event_locked(
+                            slot.spec.shard_id,
+                            "epoch_mismatch",
+                            f"worker rejoined at epoch {info.get('topology_epoch')}, "
+                            f"expected {slot.spec.topology_epoch}",
+                        )
+                        self._bury_locked(slot, incarnation, kill=True)
+                        return
+                    slot.state = ShardState.READY
+                    slot.source = info.get("source")
+                    slot.epoch = int(info.get("topology_epoch", -1))
+                    self._record_event_locked(
+                        slot.spec.shard_id, "ready", f"source={slot.source}"
+                    )
+                    return
+                if incarnation.start_error is not None:
+                    self._record_event_locked(
+                        slot.spec.shard_id,
+                        "start_failed",
+                        incarnation.start_error,
+                    )
+                    self._bury_locked(slot, incarnation, kill=True)
+                    return
+                if incarnation.dead or not incarnation.process.is_alive():
+                    self._record_event_locked(
+                        slot.spec.shard_id, "died_starting", ""
+                    )
+                    self._bury_locked(slot, incarnation, kill=False)
+                    return
+                if now - incarnation.last_pong > self.start_timeout:
+                    self._record_event_locked(
+                        slot.spec.shard_id, "start_timeout", ""
+                    )
+                    self._bury_locked(slot, incarnation, kill=True)
+                return
+
+            # READY: crash detection, then hang detection, then heartbeat.
+            if incarnation.dead or not incarnation.process.is_alive():
+                self._record_event_locked(slot.spec.shard_id, "died", "")
+                self._bury_locked(slot, incarnation, kill=False)
+                return
+            if now - incarnation.last_pong > self.liveness_timeout:
+                self._record_event_locked(
+                    slot.spec.shard_id,
+                    "hung",
+                    f"no pong for {now - incarnation.last_pong:.2f}s",
+                )
+                self._bury_locked(slot, incarnation, kill=True)
+                return
+        incarnation.ping()
+
+    def _bury_locked(
+        self, slot: _Slot, incarnation: _Incarnation, kill: bool
+    ) -> None:
+        """Retire a dead/hung incarnation and schedule (or refuse) the
+        restart. Caller holds ``self._lock``."""
+        if kill and incarnation.process.is_alive():
+            incarnation.process.kill()
+        incarnation.close()
+        slot.incarnation = None
+        self.metrics.increment("shard.supervisor.deaths")
+        if slot.restarts >= self.restart_budget:
+            slot.state = ShardState.FAILED
+            self._record_event_locked(
+                slot.spec.shard_id,
+                "failed",
+                f"restart budget of {self.restart_budget} exhausted",
+            )
+            return
+        slot.restarts += 1
+        backoff = min(
+            self.max_backoff,
+            self.restart_backoff * (2 ** (slot.restarts - 1)),
+        )
+        slot.next_restart_at = time.monotonic() + backoff
+        slot.state = ShardState.RESTARTING
+        self.metrics.increment("shard.supervisor.restarts")
+        self._record_event_locked(
+            slot.spec.shard_id,
+            "restart_scheduled",
+            f"attempt {slot.restarts}, backoff {backoff:.3f}s",
+        )
+
+    def _record_event_locked(self, shard: int, event: str, detail: str) -> None:
+        self._events.append(
+            {
+                "shard": shard,
+                "event": event,
+                "detail": detail,
+                "at": time.monotonic(),
+            }
+        )
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        shard_id: int,
+        request: QueryRequest,
+        budget_s: Optional[float] = None,
+    ) -> Future:
+        """Dispatch one request to one shard; the future resolves with the
+        worker's exact answer or fails with the worker's error.
+
+        Raises:
+            ShardUnavailableError: when the shard is not READY right now.
+        """
+        with self._lock:
+            slot = self._slots.get(shard_id)
+            if slot is None:
+                raise ShardUnavailableError(
+                    f"no such shard {shard_id}", shard=shard_id
+                )
+            if slot.state is not ShardState.READY or slot.incarnation is None:
+                raise ShardUnavailableError(
+                    f"shard {shard_id} is {slot.state.value}",
+                    shard=shard_id,
+                    state=slot.state.value,
+                )
+            incarnation = slot.incarnation
+        return incarnation.submit(request, budget_s)
+
+    # ------------------------------------------------------------------
+    # Chaos hooks
+    # ------------------------------------------------------------------
+    def kill_shard(self, shard_id: int, cold: bool = False) -> None:
+        """SIGKILL a worker (chaos). ``cold=True`` also strips the arena
+        descriptor from the next respawn, forcing the snapshot/rebuild
+        rungs — the warm restart is restored on later incarnations."""
+        with self._lock:
+            slot = self._require_slot_locked(shard_id)
+            slot.cold_next = slot.cold_next or cold
+            incarnation = slot.incarnation
+            self._record_event_locked(shard_id, "chaos_kill", f"cold={cold}")
+        if incarnation is not None and incarnation.process.is_alive():
+            incarnation.process.kill()
+
+    def hang_shard(self, shard_id: int, seconds: float) -> None:
+        """Wedge a worker (chaos): it stops answering for ``seconds`` and
+        the liveness deadline decides whether it lives."""
+        with self._lock:
+            slot = self._require_slot_locked(shard_id)
+            incarnation = slot.incarnation
+            self._record_event_locked(shard_id, "chaos_hang", f"{seconds}s")
+        if incarnation is not None:
+            incarnation.send("hang", float(seconds))
+
+    def _require_slot_locked(self, shard_id: int) -> _Slot:
+        slot = self._slots.get(shard_id)
+        if slot is None:
+            raise ShardUnavailableError(
+                f"no such shard {shard_id}", shard=shard_id
+            )
+        return slot
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def states(self) -> Dict[int, ShardState]:
+        """Current state per shard id."""
+        with self._lock:
+            return {sid: slot.state for sid, slot in self._slots.items()}
+
+    @property
+    def shard_ids(self) -> List[int]:
+        with self._lock:
+            return sorted(self._slots)
+
+    def spec_of(self, shard_id: int) -> ShardSpec:
+        """The spec shard ``shard_id`` was (re)spawned from."""
+        with self._lock:
+            return self._require_slot_locked(shard_id).spec
+
+    def readiness(self) -> Dict[str, Any]:
+        """Health-endpoint payload: per-shard state, provenance, restart
+        accounting, and the supervision event log."""
+        with self._lock:
+            shards = {}
+            for sid, slot in sorted(self._slots.items()):
+                shards[str(sid)] = {
+                    "state": slot.state.value,
+                    "source": slot.source,
+                    "restarts": slot.restarts,
+                    "topology_epoch": slot.epoch,
+                    "pid": (
+                        slot.incarnation.process.pid
+                        if slot.incarnation is not None
+                        else None
+                    ),
+                }
+            events = list(self._events)
+        states = {s["state"] for s in shards.values()}
+        return {
+            "ready": states == {ShardState.READY.value},
+            "shards": shards,
+            "events": events,
+        }

@@ -1,0 +1,204 @@
+"""The shard worker process: one spec in, exact answers out.
+
+:func:`shard_worker_main` is the ``multiprocessing`` entry point (module
+level, so it imports cleanly under the ``spawn`` start method).  A worker
+mirrors the :class:`~repro.serve.lifecycle.SupervisedQueryService`
+lifecycle in miniature — STARTING (materialise the spec via the restart
+ladder), READY (serve), draining on ``stop`` — but deliberately serves
+**exact answers only**: the whole degradation ladder lives in the router,
+where a shard's silence is turned into an explicitly degraded partial
+result.  A worker that cannot answer exactly says so (an error reply or,
+under a crash, pipe EOF); it never guesses.
+
+Wire protocol (tuples over a ``multiprocessing`` duplex pipe):
+
+========================  ==============================================
+supervisor → worker        meaning
+========================  ==============================================
+``("query", seq, req,      evaluate ``req`` with ``budget_s`` seconds of
+``budget_s)``              deadline; reply ``("result", seq, value)`` or
+                           ``("error", seq, exc_type, message)``
+``("batch", items)``       evaluate each ``(seq, req, budget_s)`` item in
+                           order; reply one ``("batch_result", replies)``
+                           carrying the per-item result/error tuples
+``("ping", seq)``          liveness probe; reply ``("pong", seq)``
+``("hang", seconds)``      chaos: stop replying for ``seconds``
+``("exit", code)``         chaos: die immediately (``os._exit``)
+``("stop",)``              drain (pipe order guarantees every earlier
+                           query was answered), snapshot, exit cleanly
+========================  ==============================================
+
+The first message a worker ever sends is ``("ready", summary)`` — where
+``summary`` carries the materialisation source and the epochs it rejoined
+at — or ``("start_failed", detail)``.
+
+Self-healing: when the ladder bottomed out at a full rebuild (the shard's
+snapshot was missing or quarantined as corrupt) the worker rewrites its
+snapshot immediately, so the *next* restart is warm again.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any, Optional, Tuple
+
+from repro.exceptions import ReproError
+from repro.queries.engine import QueryEngine
+from repro.runtime.deadline import Deadline
+from repro.serve.cache import EpochLRUCache
+from repro.serve.requests import QueryKind, QueryRequest
+from repro.shard.spec import ShardSpec, materialize
+
+#: Distinguishes "not cached" from any cached value (None, [], 0.0 …).
+_MISS = object()
+
+
+def evaluate_exact(
+    engine: QueryEngine,
+    request: QueryRequest,
+    deadline: Optional[Deadline] = None,
+) -> Any:
+    """One request on the exact indexed path, deadline forwarded.
+
+    Returns the same value shapes as the single-process service: a sorted
+    id list (range), ``(id, distance)`` pairs in ``(distance, id)`` order
+    (kNN), or metres (pt2pt) — the shapes the router's merge relies on.
+    """
+    if request.kind is QueryKind.RANGE:
+        return engine.range_query(
+            request.position, request.radius, deadline=deadline
+        )
+    if request.kind is QueryKind.KNN:
+        return engine.knn(request.position, request.k, deadline=deadline)
+    return engine.distance(request.position, request.target, deadline=deadline)
+
+
+def _evaluate_reply(
+    engine: QueryEngine,
+    seq: int,
+    request: QueryRequest,
+    budget_s: Optional[float],
+    cache: Optional[EpochLRUCache] = None,
+    epoch: int = 0,
+) -> Tuple:
+    """Evaluate one query and shape its wire reply tuple.
+
+    With a ``cache``, exact answers are memoised per request key: a
+    worker re-serving a warm key skips the whole expansion and answers
+    at pipe speed.  The router's own cache sees every key first, so the
+    worker caches earn their keep exactly when the router's evicted —
+    they are the tier's second, horizontally-scaled cache level.
+    """
+    if cache is not None:
+        key = request.cache_key()
+        hit = cache.get(key, epoch, _MISS)
+        if hit is not _MISS:
+            return ("result", seq, hit)
+    deadline = Deadline(budget_s) if budget_s is not None else None
+    try:
+        value = evaluate_exact(engine, request, deadline)
+    except ReproError as exc:
+        return ("error", seq, type(exc).__name__, str(exc))
+    if cache is not None:
+        cache.put(key, epoch, value)
+    return ("result", seq, value)
+
+
+def _maybe_self_heal_snapshot(
+    spec: ShardSpec, framework, source: str
+) -> None:
+    """After a cold rebuild, rewrite the shard snapshot so the next
+    restart takes the warm rung again."""
+    if source != "rebuild" or spec.snapshot_path is None:
+        return
+    from repro.persist.snapshot import save_snapshot
+
+    try:
+        save_snapshot(framework, spec.snapshot_path)
+    except OSError:  # pragma: no cover - disk trouble; serve anyway
+        pass
+
+
+def shard_worker_main(spec: ShardSpec, conn) -> None:
+    """Run one shard worker over its end of a duplex pipe (blocking)."""
+    arena = None
+    try:
+        try:
+            framework, source, arena = materialize(spec)
+        except BaseException as exc:
+            conn.send(("start_failed", f"{type(exc).__name__}: {exc}"))
+            return
+        _maybe_self_heal_snapshot(spec, framework, source)
+        # Warm the door-geometry memo caches before declaring READY: the
+        # arena/snapshot rungs skip the full index build that would have
+        # filled them, and a cold cache pays per-query geometry on the
+        # serving path instead of once here.
+        framework.space.distance_graph.precompute()
+        engine = QueryEngine(framework)
+        cache = (
+            EpochLRUCache(spec.cache_capacity)
+            if spec.cache_capacity > 0
+            else None
+        )
+        epoch = spec.topology_epoch
+        summary = dict(spec.summary())
+        summary["source"] = source
+        summary["pid"] = os.getpid()
+        conn.send(("ready", summary))
+
+        while True:
+            try:
+                message: Tuple = conn.recv()
+            except (EOFError, OSError):
+                return  # supervisor died; no one left to answer
+            op = message[0]
+            if op == "query":
+                _, seq, request, budget_s = message
+                conn.send(
+                    _evaluate_reply(engine, seq, request, budget_s, cache, epoch)
+                )
+            elif op == "batch":
+                # One combined reply per batch: the supervisor's send
+                # combining amortises pipe overhead in both directions.
+                conn.send((
+                    "batch_result",
+                    [
+                        _evaluate_reply(
+                            engine, seq, request, budget_s, cache, epoch
+                        )
+                        for seq, request, budget_s in message[1]
+                    ],
+                ))
+            elif op == "ping":
+                conn.send(("pong", message[1]))
+            elif op == "hang":
+                # Chaos: simulate a wedged worker. The supervisor's
+                # liveness deadline — not this sleep — decides its fate.
+                time.sleep(float(message[1]))
+            elif op == "exit":
+                os._exit(int(message[1]))
+            elif op == "stop":
+                # Pipe FIFO order means every earlier query was already
+                # answered: this *is* the drain barrier.
+                if spec.snapshot_path is not None:
+                    from repro.persist.snapshot import save_snapshot
+
+                    try:
+                        save_snapshot(framework, spec.snapshot_path)
+                    except OSError:  # pragma: no cover
+                        pass
+                try:
+                    conn.send(("stopped",))
+                except (BrokenPipeError, OSError):  # pragma: no cover
+                    pass
+                return
+            else:
+                conn.send(("error", -1, "ValueError", f"unknown op {op!r}"))
+    finally:
+        if arena is not None:
+            arena.close()
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover
+            pass

@@ -1,0 +1,107 @@
+"""The benchmark regression gate (``python -m repro bench --gate``)."""
+
+import pytest
+
+from repro.bench.gate import (
+    DEFAULT_TOLERANCE,
+    compare_benchmarks,
+    render_gate_report,
+    run_gate,
+)
+
+
+def _serve_result(speedup=2.0, mismatches=0):
+    return {"speedup": speedup, "mismatches": mismatches}
+
+
+def _shard_result(speedup=2.5, vs_service=1.2, mismatches=0, degraded=0):
+    return {
+        "speedup": speedup,
+        "speedup_vs_service": vs_service,
+        "mismatches": mismatches,
+        "sharded": {"degraded": degraded},
+    }
+
+
+class TestCompareBenchmarks:
+    def test_passes_within_tolerance(self):
+        checks = compare_benchmarks(
+            "BENCH_serve.json", _serve_result(2.0), _serve_result(1.7)
+        )
+        assert all(check["ok"] for check in checks)
+
+    def test_fails_below_the_ratio_floor(self):
+        checks = compare_benchmarks(
+            "BENCH_serve.json", _serve_result(2.0), _serve_result(1.5)
+        )
+        ratio = next(c for c in checks if c["metric"] == "speedup")
+        assert not ratio["ok"]
+        # Floor is committed * (1 - tolerance).
+        assert ratio["committed"] == 2.0
+        assert "floor 1.600" in ratio["detail"]
+
+    def test_faster_fresh_run_always_passes_the_ratio(self):
+        checks = compare_benchmarks(
+            "BENCH_serve.json", _serve_result(2.0), _serve_result(9.0)
+        )
+        assert all(check["ok"] for check in checks)
+
+    def test_mismatches_have_no_tolerance(self):
+        checks = compare_benchmarks(
+            "BENCH_serve.json",
+            _serve_result(),
+            _serve_result(speedup=99.0, mismatches=1),
+            tolerance=0.99,
+        )
+        exact = next(c for c in checks if c["metric"] == "mismatches")
+        assert not exact["ok"]
+        assert exact["kind"] == "exact"
+
+    def test_shard_artifact_gates_both_ratios_and_degraded(self):
+        checks = compare_benchmarks(
+            "BENCH_shard.json", _shard_result(), _shard_result(degraded=3)
+        )
+        by_metric = {c["metric"]: c for c in checks}
+        assert set(by_metric) == {
+            "speedup",
+            "speedup_vs_service",
+            "mismatches",
+            "sharded.degraded",
+        }
+        assert not by_metric["sharded.degraded"]["ok"]
+        assert by_metric["speedup_vs_service"]["ok"]
+
+    def test_unknown_artifact_rejected(self):
+        with pytest.raises(ValueError, match="no gate definition"):
+            compare_benchmarks("BENCH_bogus.json", {}, {})
+
+
+class TestRunGate:
+    def test_missing_artifacts_are_skipped_not_failed(self, tmp_path):
+        report = run_gate(root=tmp_path)
+        assert report["ok"] is True
+        assert report["checks"] == []
+        assert report["skipped"] == [
+            "BENCH_serve.json",
+            "BENCH_shard.json",
+        ]
+
+    def test_unknown_artifact_name_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="no gate definition"):
+            run_gate(root=tmp_path, artifacts=["BENCH_bogus.json"])
+
+
+class TestRendering:
+    def test_report_lines_and_verdict(self, tmp_path):
+        checks = compare_benchmarks(
+            "BENCH_serve.json", _serve_result(2.0), _serve_result(1.0)
+        )
+        text = render_gate_report(
+            {"ok": False, "checks": checks, "skipped": ["BENCH_shard.json"]}
+        )
+        assert "FAIL  BENCH_serve.json  speedup" in text
+        assert "SKIP  BENCH_shard.json" in text
+        assert text.endswith("GATE FAIL")
+
+    def test_default_tolerance_is_twenty_percent(self):
+        assert DEFAULT_TOLERANCE == pytest.approx(0.20)

@@ -1,0 +1,98 @@
+"""Chaos campaigns against the multi-process sharded tier.
+
+Shard campaigns are NOT replay-stable (worker death and restart land on
+OS scheduler timing), so these tests assert the safety verdicts — no
+silent wrong answers, no unrecovered incidents — rather than digests,
+and the CLI must refuse to ``replay`` a shard report outright.
+"""
+
+import json
+
+import pytest
+
+from repro.chaos import CampaignConfig, CampaignRunner, FaultAction, FaultPlan
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def shard_report():
+    config = CampaignConfig(seed=5, duration_ops=40, shards=3)
+    return CampaignRunner(config).run()
+
+
+class TestShardCampaign:
+    def test_standard_shard_plan_passes_all_safety_verdicts(
+        self, shard_report
+    ):
+        counts = shard_report.counts()
+        assert shard_report.verdict == "PASS"
+        assert counts["silent_wrong_answer"] == 0
+        assert counts["unrecovered"] == 0
+        assert shard_report.ops_executed == 40
+
+    def test_shard_faults_left_their_footprints(self, shard_report):
+        kinds = {i.kind for i in shard_report.incidents}
+        for expected in (
+            "shard_killed",
+            "shard_hung",
+            "shard_snapshot_corrupted",
+        ):
+            assert expected in kinds, expected
+
+    def test_report_records_per_shard_breakers(self, shard_report):
+        assert any(
+            key.startswith("shard.") for key in shard_report.breaker
+        )
+
+    def test_config_roundtrips_with_shards(self, shard_report):
+        restored = CampaignConfig.from_dict(shard_report.config)
+        assert restored.shards == 3
+
+
+class TestActionTierCompatibility:
+    def test_shard_action_rejected_in_single_process_campaign(self):
+        plan = FaultPlan([
+            FaultAction(2, "kill_shard", {"shard": 0}, label="x"),
+        ])
+        runner = CampaignRunner(
+            CampaignConfig(seed=0, duration_ops=10, plan=plan)
+        )
+        with pytest.raises(ValueError, match="requires a sharded campaign"):
+            runner.run()
+
+    def test_single_process_action_rejected_in_shard_campaign(self):
+        plan = FaultPlan([
+            FaultAction(
+                2, "corrupt_md2d", {"mode": "nan", "count": 1, "seed": 0},
+                label="x",
+            ),
+        ])
+        runner = CampaignRunner(
+            CampaignConfig(seed=0, duration_ops=25, shards=2, plan=plan)
+        )
+        with pytest.raises(ValueError, match="not available in a sharded"):
+            runner.run()
+
+
+class TestShardReplayRefusal:
+    def test_cli_refuses_to_replay_a_shard_report(
+        self, shard_report, tmp_path, capsys
+    ):
+        path = shard_report.save(tmp_path / "shard-report.json")
+        code = main(["chaos", "replay", "--report", str(path)])
+        out = capsys.readouterr().out
+        assert code == 2
+        assert "not replay-stable" in out
+
+    def test_cli_runs_shard_campaigns(self, tmp_path, capsys):
+        path = tmp_path / "report.json"
+        code = main([
+            "chaos", "run", "--seed", "2", "--duration-ops", "30",
+            "--shards", "2", "--report", str(path),
+        ])
+        assert code == 0
+        raw = json.loads(path.read_text(encoding="utf-8"))
+        assert raw["config"]["shards"] == 2
+        assert raw["verdict"] == "PASS"
+        assert raw["counts"]["silent_wrong_answer"] == 0
+        assert raw["counts"]["unrecovered"] == 0

@@ -99,3 +99,34 @@ class TestRegistry:
         assert snapshot["counters"] == {"a": 2, "b": 1}
         assert snapshot["latency"]["lat"]["count"] == 1
         assert list(snapshot["counters"]) == ["a", "b"]  # sorted
+
+    def test_snapshot_is_a_deep_copy(self):
+        registry = MetricsRegistry()
+        registry.increment("a")
+        registry.observe("lat", 5.0)
+        snapshot = registry.snapshot()
+        snapshot["counters"]["a"] = 99
+        snapshot["latency"]["lat"]["count"] = 99
+        assert registry.snapshot()["counters"]["a"] == 1
+        assert registry.snapshot()["latency"]["lat"]["count"] == 1
+
+
+class TestScopedMetrics:
+    def test_prefix_namespaces_counters_and_histograms(self):
+        registry = MetricsRegistry()
+        scoped = registry.scoped("shard.2")
+        scoped.increment("serve.requests", 3)
+        scoped.observe("serve.latency_ms", 7.0)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["shard.2.serve.requests"] == 3
+        assert snapshot["latency"]["shard.2.serve.latency_ms"]["count"] == 1
+
+    def test_scopes_nest(self):
+        registry = MetricsRegistry()
+        registry.scoped("shard.0").scoped("serve").increment("requests")
+        assert registry.snapshot()["counters"]["shard.0.serve.requests"] == 1
+
+    def test_scoped_shares_the_parent_registry_objects(self):
+        registry = MetricsRegistry()
+        scoped = registry.scoped("shard.1")
+        assert scoped.counter("x") is registry.counter("shard.1.x")

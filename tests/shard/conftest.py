@@ -1,0 +1,65 @@
+"""Shared fixtures for the sharded-serving tests.
+
+Everything runs over the Figure-1 space: single-floor, so the placement
+takes the partition-split layout and three shards still produce real
+cross-shard scatter-gather.  Workers fork (not spawn) to keep process
+startup in the milliseconds — the same trade the chaos campaigns make.
+"""
+
+import random
+
+import pytest
+
+from repro.index import IndexFramework, IndoorObject
+from repro.model.figure1 import build_figure1
+from repro.shard import ShardedQueryService
+from tests.queries.conftest import random_point_in
+
+
+@pytest.fixture(scope="module")
+def shard_framework_fixture():
+    """Figure-1 space + 48 deterministic objects, fully indexed."""
+    space = build_figure1()
+    rng = random.Random(1311)
+    indoor_ids = [p for p in space.partition_ids if p != 0]
+    objects = [
+        IndoorObject(i, random_point_in(space, rng, indoor_ids))
+        for i in range(48)
+    ]
+    return IndexFramework.build(space, objects)
+
+
+@pytest.fixture(scope="module")
+def shard_positions(shard_framework_fixture):
+    """A deterministic pool of valid query positions."""
+    space = shard_framework_fixture.space
+    rng = random.Random(23)
+    indoor_ids = [p for p in space.partition_ids if p != 0]
+    return [random_point_in(space, rng, indoor_ids) for _ in range(10)]
+
+
+def make_service(framework, **overrides):
+    """A ShardedQueryService with test-friendly supervision timings."""
+    options = dict(
+        framework=framework,
+        shards=3,
+        client_threads=4,
+        shard_timeout_s=2.0,
+        cache_capacity=32,
+        heartbeat_interval=0.05,
+        liveness_timeout=1.0,
+        start_timeout=30.0,
+        restart_backoff=0.05,
+        start_method="fork",
+    )
+    options.update(overrides)
+    return ShardedQueryService(**options)
+
+
+@pytest.fixture(scope="module")
+def sharded_service(shard_framework_fixture):
+    """One healthy 3-shard fleet shared by the read-only tests."""
+    service = make_service(shard_framework_fixture)
+    service.start(wait=True)
+    yield service
+    service.shutdown()

@@ -1,0 +1,77 @@
+"""FloorPlacement: determinism, coverage, both layouts, round-trips."""
+
+import pytest
+
+from repro.model.figure1 import build_figure1
+from repro.shard import FloorPlacement
+
+
+@pytest.fixture(scope="module")
+def space():
+    return build_figure1()
+
+
+class TestForSpace:
+    def test_deterministic(self, space):
+        assert FloorPlacement.for_space(space, 3) == FloorPlacement.for_space(
+            space, 3
+        )
+
+    def test_every_partition_assigned_exactly_once(self, space):
+        placement = FloorPlacement.for_space(space, 3)
+        covered = [
+            pid
+            for shard in placement.shard_ids
+            for pid in placement.partitions_of(shard)
+        ]
+        assert sorted(covered) == sorted(
+            p.partition_id for p in space.partitions()
+        )
+        assert len(covered) == len(set(covered))
+
+    def test_partition_split_when_fewer_floors_than_shards(self, space):
+        # Figure 1 is single-floor, so 3 shards force the partition-split
+        # layout: contiguous runs ordered by (floor, id).
+        placement = FloorPlacement.for_space(space, 3)
+        runs = [placement.partitions_of(s) for s in placement.shard_ids]
+        assert all(runs), "no shard may be left empty on a split"
+        flat = [pid for run in runs for pid in run]
+        assert flat == sorted(flat)
+
+    def test_lookup_matches_partitions_of(self, space):
+        placement = FloorPlacement.for_space(space, 2)
+        for shard in placement.shard_ids:
+            for pid in placement.partitions_of(shard):
+                assert placement.shard_for_partition(pid) == shard
+
+    def test_single_shard_owns_everything(self, space):
+        placement = FloorPlacement.for_space(space, 1)
+        assert placement.partitions_of(0) == tuple(
+            sorted(p.partition_id for p in space.partitions())
+        )
+
+
+class TestValidation:
+    def test_zero_shards_rejected(self, space):
+        with pytest.raises(ValueError, match="num_shards"):
+            FloorPlacement.for_space(space, 0)
+
+    def test_out_of_range_assignment_rejected(self):
+        with pytest.raises(ValueError, match="outside"):
+            FloorPlacement(2, {1: 5}, {1: 0})
+
+    def test_unknown_partition_raises_keyerror(self, space):
+        placement = FloorPlacement.for_space(space, 2)
+        with pytest.raises(KeyError, match="not in this placement"):
+            placement.shard_for_partition(10**9)
+
+
+class TestSerialisation:
+    def test_dict_roundtrip(self, space):
+        placement = FloorPlacement.for_space(space, 3)
+        assert FloorPlacement.from_dict(placement.to_dict()) == placement
+
+    def test_preferred_shard_clamps_unknown_floor(self, space):
+        placement = FloorPlacement.for_space(space, 3)
+        # Floors outside the building clamp to the nearest assigned one.
+        assert placement.preferred_shard_for_floor(99) in placement.shard_ids

@@ -1,0 +1,65 @@
+"""SharedIndexArena: zero-copy publish/attach round-trip and teardown."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.shard import SharedIndexArena
+
+
+@pytest.fixture
+def arena(shard_framework_fixture):
+    arena = SharedIndexArena.create(shard_framework_fixture.distance_index)
+    yield arena
+    arena.unlink()
+
+
+class TestRoundTrip:
+    def test_views_match_the_source_index(self, shard_framework_fixture, arena):
+        index = shard_framework_fixture.distance_index
+        np.testing.assert_array_equal(arena.md2d, index.md2d)
+        np.testing.assert_array_equal(arena.order, index.scan_order)
+        assert arena.door_ids == tuple(index.door_ids)
+        assert arena.owner
+
+    def test_attach_sees_identical_arrays(self, arena):
+        attached = SharedIndexArena.attach(arena.descriptor)
+        try:
+            np.testing.assert_array_equal(attached.md2d, arena.md2d)
+            np.testing.assert_array_equal(attached.order, arena.order)
+            assert attached.door_ids == arena.door_ids
+            assert not attached.owner
+        finally:
+            attached.close()
+
+    def test_descriptor_is_json_safe(self, arena):
+        assert json.loads(json.dumps(arena.descriptor)) == arena.descriptor
+
+    def test_distance_index_reassembles_equal_matrices(
+        self, shard_framework_fixture, arena
+    ):
+        index = arena.distance_index()
+        source = shard_framework_fixture.distance_index
+        np.testing.assert_array_equal(index.md2d, source.md2d)
+        np.testing.assert_array_equal(index.scan_order, source.scan_order)
+        assert tuple(index.door_ids) == tuple(source.door_ids)
+
+
+class TestImmutability:
+    def test_views_are_read_only(self, arena):
+        with pytest.raises(ValueError):
+            arena.md2d[0, 0] = -1.0
+
+
+class TestTeardown:
+    def test_close_is_idempotent(self, shard_framework_fixture):
+        arena = SharedIndexArena.create(
+            shard_framework_fixture.distance_index
+        )
+        attached = SharedIndexArena.attach(arena.descriptor)
+        attached.close()
+        attached.close()
+        arena.unlink()
+        with pytest.raises(FileNotFoundError):
+            SharedIndexArena.attach(arena.descriptor)

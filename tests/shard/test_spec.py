@@ -1,0 +1,131 @@
+"""ShardSpec and the materialize restart ladder."""
+
+import pickle
+
+import pytest
+
+from repro.persist.snapshot import save_snapshot
+from repro.runtime.faults import flip_snapshot_byte
+from repro.shard import FloorPlacement, ShardSpec, SharedIndexArena
+from repro.shard.spec import (
+    materialize,
+    owned_store,
+    shard_framework,
+    shard_specs,
+)
+
+
+@pytest.fixture(scope="module")
+def placement(shard_framework_fixture):
+    return FloorPlacement.for_space(shard_framework_fixture.space, 3)
+
+
+@pytest.fixture(scope="module")
+def specs(shard_framework_fixture, placement):
+    return shard_specs(
+        shard_framework_fixture, placement, cache_capacity=16
+    )
+
+
+class TestSpecs:
+    def test_one_spec_per_shard_with_plumbed_settings(
+        self, shard_framework_fixture, placement, specs
+    ):
+        assert [s.shard_id for s in specs] == list(placement.shard_ids)
+        for spec in specs:
+            assert spec.cache_capacity == 16
+            assert spec.topology_epoch == (
+                shard_framework_fixture.space.topology_epoch
+            )
+            assert spec.built_epoch == shard_framework_fixture.built_epoch
+            assert spec.partition_ids == placement.partitions_of(spec.shard_id)
+
+    def test_owned_stores_partition_the_population(
+        self, shard_framework_fixture, placement
+    ):
+        slices = [
+            sorted(
+                obj.object_id
+                for obj in owned_store(
+                    shard_framework_fixture, placement, shard
+                )
+            )
+            for shard in placement.shard_ids
+        ]
+        merged = sorted(oid for ids in slices for oid in ids)
+        assert merged == sorted(
+            obj.object_id for obj in shard_framework_fixture.objects
+        )
+
+    def test_specs_are_picklable(self, specs):
+        clone = pickle.loads(pickle.dumps(specs[0]))
+        assert clone == specs[0]
+
+
+class TestMaterializeLadder:
+    def test_rebuild_rung_restores_owned_objects_and_epochs(
+        self, shard_framework_fixture, specs
+    ):
+        spec = specs[0]
+        framework, source, arena = materialize(spec)
+        assert source == "rebuild"  # no arena, no snapshot in the spec
+        assert arena is None
+        assert framework.space.topology_epoch == spec.topology_epoch
+        assert framework.built_epoch == spec.built_epoch
+        assert sorted(obj.object_id for obj in framework.objects) == [
+            int(row["id"]) for row in sorted(
+                spec.object_rows, key=lambda r: int(r["id"])
+            )
+        ]
+
+    def test_arena_rung_wins_when_available(
+        self, shard_framework_fixture, placement
+    ):
+        arena = SharedIndexArena.create(
+            shard_framework_fixture.distance_index
+        )
+        try:
+            spec = shard_specs(
+                shard_framework_fixture, placement, arena=arena
+            )[1]
+            framework, source, attached = materialize(spec)
+            assert source == "arena"
+            attached.close()
+        finally:
+            arena.unlink()
+
+    def test_corrupt_snapshot_is_quarantined_then_rebuilt(
+        self, shard_framework_fixture, placement, tmp_path
+    ):
+        shard_id = 2
+        narrowed = shard_framework(
+            shard_framework_fixture, placement, shard_id
+        )
+        path = tmp_path / f"shard-{shard_id}.snap"
+        save_snapshot(narrowed, path)
+        flip_snapshot_byte(str(path), count=4, seed=7)
+        spec = shard_specs(
+            shard_framework_fixture, placement, snapshot_dir=tmp_path
+        )[shard_id]
+        framework, source, _ = materialize(spec)
+        assert source == "rebuild"
+        assert not path.exists()
+        assert path.with_name(path.name + ".corrupt").exists()
+        assert framework.space.topology_epoch == spec.topology_epoch
+
+    def test_healthy_snapshot_rung(
+        self, shard_framework_fixture, placement, tmp_path
+    ):
+        shard_id = 0
+        narrowed = shard_framework(
+            shard_framework_fixture, placement, shard_id
+        )
+        save_snapshot(narrowed, tmp_path / f"shard-{shard_id}.snap")
+        spec = shard_specs(
+            shard_framework_fixture, placement, snapshot_dir=tmp_path
+        )[shard_id]
+        framework, source, _ = materialize(spec)
+        assert source == "snapshot"
+        assert sorted(obj.object_id for obj in framework.objects) == sorted(
+            obj.object_id for obj in narrowed.objects
+        )
