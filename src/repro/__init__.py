@@ -37,6 +37,13 @@ The public API mirrors the paper's architecture:
   differential, metamorphic, and epoch oracles verify every served
   answer; a serve-layer :class:`CircuitBreaker` routes exact-path
   failures onto the degradation ladder.
+* **Labels** (:mod:`repro.labels`, beyond the paper): a hierarchical
+  2-hop distance-labeling backend (:class:`LabeledDistanceIndex`) behind
+  the :class:`DistanceBackend` protocol —
+  ``IndexFramework.build(space, backend="labels")`` answers
+  bit-identically to M_d2d / M_idx while replacing the O(N²) matrices
+  with campus-scale label sets; :func:`repro.synthetic.generate_campus`
+  builds the multi-building spaces that need it.
 * **Sharding** (:mod:`repro.shard`, beyond the paper): a shared-nothing
   multi-process serving tier — :class:`ShardSupervisor` keeps worker
   processes alive over a zero-copy :class:`SharedIndexArena`,
@@ -113,6 +120,7 @@ from repro.distance import (
     pt2pt_path,
 )
 from repro.index import (
+    DistanceBackend,
     DistanceIndexMatrix,
     DoorPartitionTable,
     IndexFramework,
@@ -121,6 +129,7 @@ from repro.index import (
     PartitionGrid,
     PartitionRTree,
 )
+from repro.labels import LabeledDistanceIndex
 from repro.persist import (
     RecoveryManager,
     RecoveryReport,
@@ -169,7 +178,7 @@ from repro.shard import (
     SharedIndexArena,
 )
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "AccessibilityGraph",
@@ -183,6 +192,7 @@ __all__ = [
     "Deadline",
     "DeadlineExceededError",
     "DistanceAwareGraph",
+    "DistanceBackend",
     "DistanceIndexMatrix",
     "Door",
     "DoorPartitionTable",
@@ -201,6 +211,7 @@ __all__ = [
     "IndoorSpace",
     "IndoorSpaceBuilder",
     "InjectedCrashError",
+    "LabeledDistanceIndex",
     "MetricsRegistry",
     "ModelError",
     "ObjectStore",

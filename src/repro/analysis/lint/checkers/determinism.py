@@ -5,9 +5,9 @@ event the runner emits; snapshots and synthetic workloads likewise
 promise byte-identical replay from a seed.  One stray wall-clock read or
 unseeded random draw silently breaks that contract.
 
-Inside the replay-critical scope (``repro.chaos``, ``repro.persist``,
-``repro.synthetic``, ``repro.runtime.faults``, ``repro.shard``) this
-rule forbids calls to:
+Inside the replay-critical scope (``repro.chaos``, ``repro.labels``,
+``repro.persist``, ``repro.synthetic``, ``repro.runtime.faults``,
+``repro.shard``) this rule forbids calls to:
 
 * ``time.time`` / ``time.time_ns`` (wall clock; ``time.monotonic`` and
   ``time.perf_counter`` stay allowed — they measure, they don't stamp)
@@ -31,6 +31,7 @@ from repro.analysis.lint.registry import Checker, register
 
 _SCOPE_PREFIXES = (
     "repro.chaos",
+    "repro.labels",
     "repro.persist",
     "repro.synthetic",
     "repro.runtime.faults",

@@ -1,5 +1,5 @@
-"""REP001 — lock discipline in ``repro.serve``, ``repro.persist``, and
-``repro.shard``.
+"""REP001 — lock discipline in ``repro.serve``, ``repro.persist``,
+``repro.shard``, and ``repro.labels``.
 
 A class that allocates a lock (``threading.Lock``, ``RLock``,
 ``Condition``, or a semaphore) is announcing that its ``self._*`` state
@@ -25,7 +25,12 @@ from repro.analysis.lint.context import ModuleContext, ProjectContext
 from repro.analysis.lint.findings import Finding
 from repro.analysis.lint.registry import Checker, register
 
-_SCOPE_PREFIXES = ("repro.serve", "repro.persist", "repro.shard")
+_SCOPE_PREFIXES = (
+    "repro.serve",
+    "repro.persist",
+    "repro.shard",
+    "repro.labels",
+)
 _LOCK_FACTORIES = {
     "Lock",
     "RLock",

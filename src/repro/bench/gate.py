@@ -1,20 +1,26 @@
 """Benchmark regression gate: ``python -m repro bench --gate``.
 
 Compares a fresh measurement against the benchmark artifacts committed
-at the repo root (``BENCH_serve.json``, ``BENCH_shard.json``) and exits
-non-zero when the serving tiers regressed.  Two kinds of checks:
+at the repo root (``BENCH_serve.json``, ``BENCH_shard.json``,
+``BENCH_labels.json``) and exits non-zero when the serving tiers or the
+labels backend regressed.  Two kinds of checks:
 
-* **ratio metrics** (``speedup``, ``speedup_vs_service``) — compared
-  with a relative tolerance (default 20%).  Ratios divide out the host's
-  absolute speed, so a fresh run on a slower machine still gates
-  meaningfully; absolute qps/wall numbers are deliberately *not*
-  compared across machines.
+* **ratio metrics** (``speedup``, ``speedup_vs_service``,
+  ``bytes_ratio``) — compared with a relative tolerance (default 20%).
+  Ratios divide out the host's absolute speed, so a fresh run on a
+  slower machine still gates meaningfully; absolute qps/wall numbers are
+  deliberately *not* compared across machines.
 * **exactness metrics** (``mismatches``, ``degraded``) — hard equality
   against zero, no tolerance ever: a serving tier that returns one wrong
   or silently partial answer has failed regardless of how fast it is.
 
 The fresh run replays the committed artifact's own scale and seed, so
-the comparison is workload-identical by construction.
+the comparison is workload-identical by construction.  One exception:
+the labels artifact commits a ``campus`` section (13k+ doors, the
+at-scale evidence) *and* a ``quick`` section, and the gate replays only
+the latter — rebuilding a campus-sized labeling on every gate run costs
+minutes of CPU for no extra regression signal, and the label-compactness
+ratio regresses at every scale or at none.
 """
 
 from __future__ import annotations
@@ -32,6 +38,10 @@ GATE_ARTIFACTS: Dict[str, Tuple[Tuple[str, ...], Tuple[str, ...]]] = {
     "BENCH_shard.json": (
         ("speedup", "speedup_vs_service"),
         ("mismatches", "sharded.degraded"),
+    ),
+    "BENCH_labels.json": (
+        ("quick.bytes_ratio",),
+        ("quick.mismatches",),
     ),
 }
 
@@ -104,9 +114,17 @@ def _fresh_shard(committed: Dict[str, Any]) -> Dict[str, Any]:
     return measure_shard(scale, seed=int(committed.get("seed", 0)))
 
 
+def _fresh_labels(committed: Dict[str, Any]) -> Dict[str, Any]:
+    from repro.bench.labels import LABELS_QUICK, measure_labels
+
+    seed = int(committed.get("seed", 0))
+    return {"seed": seed, "quick": measure_labels(LABELS_QUICK, seed=seed)}
+
+
 _FRESH_RUNNERS: Dict[str, Callable[[Dict[str, Any]], Dict[str, Any]]] = {
     "BENCH_serve.json": _fresh_serve,
     "BENCH_shard.json": _fresh_shard,
+    "BENCH_labels.json": _fresh_labels,
 }
 
 

@@ -63,6 +63,7 @@ from repro.persist.recovery import SnapshotStore
 from repro.runtime import crashpoints
 from repro.runtime.faults import (
     FaultHandle,
+    corrupt_labels,
     corrupt_md2d,
     drop_dpt_records,
     flip_snapshot_byte,
@@ -129,6 +130,11 @@ class CampaignConfig:
             :class:`~repro.shard.service.ShardedQueryService` with that
             many worker processes (shard campaigns are not
             replay-stable — see the module docstring).
+        backend: distance backend the *served* stack is built with
+            (``"matrix"`` or ``"labels"``).  The differential oracle's
+            pristine engine always stays on the dense matrix, so a
+            ``backend="labels"`` campaign is an end-to-end proof that the
+            label index answers bit-identically to M_idx under faults.
     """
 
     seed: int = 0
@@ -145,6 +151,7 @@ class CampaignConfig:
     cooldown_ops: int = 6
     store_dir: Optional[str] = None
     shards: int = 0
+    backend: str = "matrix"
 
     def resolved_plan(self) -> FaultPlan:
         """The plan actually run (defaults to the standard campaign of
@@ -172,6 +179,7 @@ class CampaignConfig:
             "failure_threshold": self.failure_threshold,
             "cooldown_ops": self.cooldown_ops,
             "shards": self.shards,
+            "backend": self.backend,
         }
 
     @classmethod
@@ -192,6 +200,7 @@ class CampaignConfig:
             failure_threshold=int(raw.get("failure_threshold", 2)),
             cooldown_ops=int(raw.get("cooldown_ops", 6)),
             shards=int(raw.get("shards", 0)),
+            backend=str(raw.get("backend", "matrix")),
         )
 
 
@@ -236,7 +245,9 @@ class CampaignRunner:
         else:
             store_dir = str(cfg.store_dir)
         store = SnapshotStore(store_dir)
-        store.save(IndexFramework.build(space, self._objects))
+        store.save(
+            IndexFramework.build(space, self._objects, backend=cfg.backend)
+        )
 
         if cfg.breaker and cfg.shards == 0:
             # The sharded tier brings its own per-shard breakers; the
@@ -310,7 +321,9 @@ class CampaignRunner:
 
         def rebuild() -> IndexFramework:
             # Last-resort rung only: every snapshot generation unloadable.
-            return IndexFramework.build(BUILDINGS[cfg.building](), self._objects)
+            return IndexFramework.build(
+                BUILDINGS[cfg.building](), self._objects, backend=cfg.backend
+            )
 
         if cfg.shards > 0:
             service = ShardedQueryService(
@@ -380,12 +393,25 @@ class CampaignRunner:
                 f"action {name!r} requires a sharded campaign (shards > 0)"
             )
         if name == "corrupt_md2d":
-            self._handles[label] = corrupt_md2d(
-                self._live_framework(),
-                mode=params.get("mode", "nan"),
-                count=int(params.get("count", 1)),
-                seed=int(params.get("seed", 0)),
-            )
+            framework = self._live_framework()
+            mode = params.get("mode", "nan")
+            if getattr(framework.distance_index, "kind", "matrix") == "labels":
+                # Same adversary, labels-shaped: the plan's "asymmetric"
+                # mode maps to the labels "skew" mode (both are the
+                # finite, silently-wrong corruption of their backend).
+                self._handles[label] = corrupt_labels(
+                    framework,
+                    mode="skew" if mode == "asymmetric" else mode,
+                    count=int(params.get("count", 1)),
+                    seed=int(params.get("seed", 0)),
+                )
+            else:
+                self._handles[label] = corrupt_md2d(
+                    framework,
+                    mode=mode,
+                    count=int(params.get("count", 1)),
+                    seed=int(params.get("seed", 0)),
+                )
         elif name == "drop_dpt":
             self._handles[label] = drop_dpt_records(
                 self._live_framework(),

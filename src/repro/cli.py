@@ -31,9 +31,16 @@ Commands:
   :class:`~repro.shard.ShardedQueryService` tier to the comparison
   (scale via ``REPRO_BENCH_SCALE``); exit 0 iff every tier's answers
   match the sequential engine bit-for-bit;
+* ``labels-bench [--json OUT.json] [--seed N] [--artifact]`` — distance
+  backends head to head: the 2-hop labeling of :mod:`repro.labels` vs
+  the dense M_d2d/M_idx pair (build time, resident bytes, bitwise
+  agreement on sampled pairs; scale via ``REPRO_BENCH_SCALE``, plus a
+  ``campus`` scale where the dense matrices are analytic-only);
+  ``--artifact`` measures the committed two-scale ``BENCH_labels.json``;
 * ``bench --gate [--tolerance T]`` — regression-gate the committed
-  ``BENCH_serve.json`` / ``BENCH_shard.json`` artifacts against a fresh
-  run (exit non-zero on regression; see :mod:`repro.bench.gate`);
+  ``BENCH_serve.json`` / ``BENCH_shard.json`` / ``BENCH_labels.json``
+  artifacts against a fresh run (exit non-zero on regression; see
+  :mod:`repro.bench.gate`);
 * ``chaos run [--seed N] [--duration-ops M] [--report OUT.json]
   [--shards N]`` — a deterministic fault-injection campaign (see
   :mod:`repro.chaos` and ``docs/chaos.md``): exit 0 iff the verdict is
@@ -496,6 +503,36 @@ def _cmd_shard_bench(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _cmd_labels_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.bench.labels import (
+        current_labels_scale,
+        measure_labels,
+        measure_labels_artifact,
+        render_labels_summary,
+    )
+
+    if args.artifact:
+        result = measure_labels_artifact(seed=args.seed)
+        print(render_labels_summary(result["campus"]))
+        print(render_labels_summary(result["quick"]))
+    else:
+        scale = current_labels_scale()
+        print(
+            f"# scale: {scale.name} "
+            "(set REPRO_BENCH_SCALE=paper|campus for larger runs)"
+        )
+        result = measure_labels(scale, seed=args.seed)
+        print(render_labels_summary(result))
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(result, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"# wrote {args.json}")
+    return 0 if result["mismatches"] == 0 else 1
+
+
 def _render_campaign_summary(report) -> None:
     counts = report.counts()
     print(
@@ -537,6 +574,7 @@ def _cmd_chaos_run(args: argparse.Namespace) -> int:
         breaker=not args.no_breaker,
         store_dir=args.store_dir,
         shards=args.shards,
+        backend=args.backend,
     )
     report = CampaignRunner(config).run()
     _render_campaign_summary(report)
@@ -785,6 +823,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     shard_bench.set_defaults(handler=_cmd_shard_bench)
 
+    labels_bench = commands.add_parser(
+        "labels-bench",
+        help="distance backends: 2-hop labeling vs dense matrix "
+        "(build time, resident bytes, bitwise agreement)",
+    )
+    labels_bench.add_argument(
+        "--json", default=None, help="write the full result dict to this file"
+    )
+    labels_bench.add_argument(
+        "--seed", type=int, default=0, help="workload seed (default 0)"
+    )
+    labels_bench.add_argument(
+        "--artifact", action="store_true",
+        help="measure the committed two-scale BENCH_labels.json artifact "
+        "(campus evidence + the quick section the gate replays)",
+    )
+    labels_bench.set_defaults(handler=_cmd_labels_bench)
+
     chaos = commands.add_parser(
         "chaos", help="deterministic fault-injection campaigns"
     )
@@ -831,6 +887,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--shards", type=int, default=0, metavar="N",
         help="run the campaign against an N-worker sharded tier with the "
         "shard fault plan (kill/hang/snapshot-rot); 0 = single-process",
+    )
+    chaos_run.add_argument(
+        "--backend", default="matrix", choices=("matrix", "labels"),
+        help="distance backend of the served stack; the differential "
+        "oracle always judges against the dense matrix, so "
+        "--backend labels proves the label index bit-identical under "
+        "faults",
     )
     chaos_run.set_defaults(handler=_cmd_chaos_run)
 

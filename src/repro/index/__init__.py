@@ -14,6 +14,7 @@
   the query algorithms of §V consume.
 """
 
+from repro.index.backend import BACKEND_KINDS, DistanceBackend, validate_backend
 from repro.index.distance_matrix import DistanceIndexMatrix
 from repro.index.dpt import DoorPartitionTable, DptRecord
 from repro.index.grid import PartitionGrid
@@ -22,6 +23,9 @@ from repro.index.rtree import PartitionRTree
 from repro.index.framework import IndexFramework
 
 __all__ = [
+    "BACKEND_KINDS",
+    "DistanceBackend",
+    "validate_backend",
     "DistanceIndexMatrix",
     "DoorPartitionTable",
     "DptRecord",

@@ -12,7 +12,7 @@ experiment.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterator, Optional, Tuple
+from typing import Dict, Iterator, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -33,6 +33,9 @@ class DistanceIndexMatrix:
     API boundary, matching the paper's presentation (Figure 4 shows door
     ids).
     """
+
+    #: Backend name for :class:`repro.index.backend.DistanceBackend`.
+    kind = "matrix"
 
     def __init__(self, distances: DoorDistanceMatrix) -> None:
         self._distances = distances
@@ -183,7 +186,29 @@ class DistanceIndexMatrix:
                 break
         return tuple(result)
 
+    def min_distance_between(
+        self, from_doors: Sequence[int], to_doors: Sequence[int]
+    ) -> float:
+        """Minimum M_d2d entry over the ``from_doors`` × ``to_doors``
+        rectangle — the scatter-gather shard-pruning lower bound."""
+        try:
+            rows = [self._index_of[d] for d in from_doors]
+            cols = [self._index_of[d] for d in to_doors]
+        except KeyError as exc:
+            raise UnknownEntityError("door", exc.args[0]) from None
+        if not rows or not cols:
+            return math.inf
+        return float(self._distances.matrix[np.ix_(rows, cols)].min())
+
     def memory_bytes(self) -> int:
         """Approximate memory footprint of M_d2d + M_idx, for the §VI-B
         storage-size accounting."""
         return int(self._distances.matrix.nbytes + self._order.nbytes)
+
+    def memory_report(self) -> dict:
+        """Per-component byte accounting (dense backend: the two N×N
+        matrices dominate everything else)."""
+        return {
+            "md2d_bytes": int(self._distances.matrix.nbytes),
+            "midx_bytes": int(self._order.nbytes),
+        }

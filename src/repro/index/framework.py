@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Iterable, Optional
 
 from repro.exceptions import StaleIndexError
+from repro.index.backend import DistanceBackend, validate_backend
 from repro.index.distance_matrix import DistanceIndexMatrix
 from repro.index.dpt import DoorPartitionTable
 from repro.index.objects import DEFAULT_CELL_SIZE, IndoorObject, ObjectStore
@@ -34,7 +35,7 @@ class IndexFramework:
     def __init__(
         self,
         space: IndoorSpace,
-        distance_index: DistanceIndexMatrix,
+        distance_index: DistanceBackend,
         dpt: DoorPartitionTable,
         rtree: PartitionRTree,
         objects: ObjectStore,
@@ -47,6 +48,12 @@ class IndexFramework:
         #: Topology epoch of ``space`` at the moment the indexes were built;
         #: compared against ``space.topology_epoch`` by :meth:`check_fresh`.
         self.built_epoch = space.topology_epoch
+        #: How :meth:`build` was parameterised; :meth:`rebuild` replays it
+        #: so a rebuilt framework keeps its backend and builder choices.
+        self.build_config = {
+            "backend": getattr(distance_index, "kind", "matrix"),
+            "reference_matrix": False,
+        }
 
     @classmethod
     def build(
@@ -55,6 +62,7 @@ class IndexFramework:
         objects: Optional[Iterable[IndoorObject]] = None,
         cell_size: float = DEFAULT_CELL_SIZE,
         reference_matrix: bool = False,
+        backend: str = "matrix",
     ) -> "IndexFramework":
         """Precompute every index structure for ``space``.
 
@@ -64,17 +72,38 @@ class IndexFramework:
             cell_size: grid cell edge for the per-partition object index.
             reference_matrix: build M_d2d with the paper-faithful per-door
                 Algorithm 1 instead of the fast bulk builder (validation
-                only; identical result).
+                only; identical result; matrix backend only).
+            backend: distance backend — ``"matrix"`` for the dense
+                M_d2d / M_idx pair of §IV, ``"labels"`` for the 2-hop
+                labeling of :mod:`repro.labels` (bit-identical answers,
+                O(label entries) instead of O(N²) resident bytes).
         """
+        validate_backend(backend)
+        if reference_matrix and backend != "matrix":
+            raise ValueError(
+                "reference_matrix only applies to the matrix backend"
+            )
         graph = space.distance_graph
         graph.precompute()
-        distance_index = DistanceIndexMatrix.build(graph, reference=reference_matrix)
+        if backend == "labels":
+            from repro.labels import LabeledDistanceIndex
+
+            distance_index: DistanceBackend = LabeledDistanceIndex.build(graph)
+        else:
+            distance_index = DistanceIndexMatrix.build(
+                graph, reference=reference_matrix
+            )
         dpt = DoorPartitionTable.build(graph)
         rtree = PartitionRTree(space).install()
         store = ObjectStore(space, cell_size)
         if objects is not None:
             store.add_all(objects)
-        return cls(space, distance_index, dpt, rtree, store)
+        framework = cls(space, distance_index, dpt, rtree, store)
+        framework.build_config = {
+            "backend": backend,
+            "reference_matrix": reference_matrix,
+        }
+        return framework
 
     def with_objects(self, store: ObjectStore) -> "IndexFramework":
         """A framework sharing this one's static indexes (matrix, DPT,
@@ -90,6 +119,7 @@ class IndexFramework:
         # The shared static indexes are exactly as fresh as this framework's,
         # regardless of what the space's epoch says right now.
         derived.built_epoch = self.built_epoch
+        derived.build_config = dict(self.build_config)
         return derived
 
     # ------------------------------------------------------------------
@@ -118,13 +148,20 @@ class IndexFramework:
 
     def rebuild(self) -> "IndexFramework":
         """Recompute every index structure against the space's current
-        topology, carrying the object population over.
+        topology, carrying the object population over — **and** the build
+        configuration: a labels-backed (or reference-matrix) framework
+        rebuilds with the same backend instead of silently reverting to
+        the fast dense matrix.
 
         Returns a fresh framework; the original is left untouched so callers
         can swap atomically.
         """
         return IndexFramework.build(
-            self.space, list(self.objects), self.objects.cell_size
+            self.space,
+            list(self.objects),
+            self.objects.cell_size,
+            reference_matrix=bool(self.build_config.get("reference_matrix")),
+            backend=str(self.build_config.get("backend", "matrix")),
         )
 
     @property
@@ -134,11 +171,18 @@ class IndexFramework:
 
     def memory_report(self) -> dict:
         """Sizes of the main-memory structures, in bytes, mirroring the
-        paper's §VI-B accounting (matrix: N×N×8 for distances plus N×N×8 for
-        the index ordering as stored; DPT: 28 bytes per record)."""
+        paper's §VI-B accounting (matrix backend: N×N×8 for distances plus
+        N×N×8 for the index ordering as stored; DPT: 28 bytes per record).
+
+        ``backend_bytes`` breaks the distance structure down per component
+        (labels vs corrections vs patches for the labeled backend), so
+        dense and labeled footprints are directly comparable.
+        """
         return {
             "doors": self.distance_index.size,
+            "backend": getattr(self.distance_index, "kind", "matrix"),
             "matrix_bytes": self.distance_index.memory_bytes(),
+            "backend_bytes": self.distance_index.memory_report(),
             "dpt_bytes": self.dpt.memory_bytes(),
             "objects": len(self.objects),
         }

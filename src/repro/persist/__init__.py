@@ -28,6 +28,7 @@ from repro.persist.recovery import (
 )
 from repro.persist.snapshot import (
     SNAPSHOT_FORMAT_VERSION,
+    SUPPORTED_FORMAT_VERSIONS,
     load_snapshot,
     read_manifest,
     save_snapshot,
@@ -46,6 +47,7 @@ __all__ = [
     "RecoverySource",
     "ReplayReport",
     "SNAPSHOT_FORMAT_VERSION",
+    "SUPPORTED_FORMAT_VERSIONS",
     "SnapshotStore",
     "TopologyWAL",
     "WalRecord",

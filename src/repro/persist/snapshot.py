@@ -1,10 +1,14 @@
 """The versioned, checksummed snapshot format for an :class:`IndexFramework`.
 
 A snapshot captures the five §IV structures — the indoor space model (from
-which G_dist and the R-tree are reconstructed), M_d2d (M_idx is re-derived
-by the same stable argsort that built it, so it is bit-identical), the
+which G_dist and the R-tree are reconstructed), the distance backend
+(M_d2d for the matrix backend, with M_idx re-derived by the same stable
+argsort that built it, so it is bit-identical; or the 2-hop label arrays
+for the labels backend, via the :mod:`repro.labels.serialize` codec), the
 Door-to-Partition Table, and the grid-indexed object buckets (objects are
 stored with their host partition id, so no point location runs on load).
+The manifest's ``backend`` key names which layout the file carries;
+format-1 files predate it and always hold a matrix.
 
 Container layout (all integers big-endian)::
 
@@ -59,10 +63,29 @@ PathLike = Union[str, Path]
 MAGIC = b"RPROSNAP"
 
 #: Bumped on any incompatible change to the container or a section codec.
-SNAPSHOT_FORMAT_VERSION = 1
+#: Version 2 adds the manifest ``backend`` key and, for labels-backed
+#: frameworks, replaces the ``md2d`` section with a ``labels`` section
+#: (:mod:`repro.labels.serialize` codec).  Version 1 files still load.
+SNAPSHOT_FORMAT_VERSION = 2
 
-#: Section names, in on-disk order.
+#: Every container version this reader understands.
+SUPPORTED_FORMAT_VERSIONS = (1, 2)
+
+#: Section names for a matrix-backed snapshot, in on-disk order.
 SECTIONS = ("space", "md2d", "door_ids", "dpt", "objects")
+
+#: Section layout per distance backend.
+SECTIONS_BY_BACKEND = {
+    "matrix": SECTIONS,
+    "labels": ("space", "labels", "door_ids", "dpt", "objects"),
+}
+
+#: Codec recorded in the manifest for each section name.
+_SECTION_CODECS = {
+    "md2d": "npy",
+    "door_ids": "npy",
+    "labels": "labels",
+}
 
 _HEAD = struct.Struct(">II")  # format version, manifest length
 
@@ -133,22 +156,31 @@ def _objects_to_rows(store: ObjectStore) -> List[dict]:
 def snapshot_bytes(framework: IndexFramework, wal_seq: int = 0) -> bytes:
     """Serialise a framework to the snapshot wire format (no file I/O)."""
     space = framework.space
+    backend = str(getattr(framework.distance_index, "kind", "matrix"))
+    section_order = SECTIONS_BY_BACKEND.get(backend)
+    if section_order is None:
+        raise ValueError(f"unknown distance backend {backend!r}")
     payloads: Dict[str, bytes] = {
         "space": _json_bytes(space_to_dict(space)),
-        "md2d": _npy_bytes(framework.distance_index.md2d),
         "door_ids": _npy_bytes(
             np.asarray(framework.distance_index.door_ids, dtype=np.int64)
         ),
         "dpt": _json_bytes(_dpt_to_rows(framework.dpt)),
         "objects": _json_bytes(_objects_to_rows(framework.objects)),
     }
+    if backend == "labels":
+        from repro.labels.serialize import labels_to_bytes
+
+        payloads["labels"] = labels_to_bytes(framework.distance_index)
+    else:
+        payloads["md2d"] = _npy_bytes(framework.distance_index.md2d)
     sections = []
-    for name in SECTIONS:
+    for name in section_order:
         payload = payloads[name]
         sections.append(
             {
                 "name": name,
-                "codec": "npy" if name in ("md2d", "door_ids") else "json",
+                "codec": _SECTION_CODECS.get(name, "json"),
                 "length": len(payload),
                 "crc32": zlib.crc32(payload),
                 "sha256": hashlib.sha256(payload).hexdigest(),
@@ -156,6 +188,7 @@ def snapshot_bytes(framework: IndexFramework, wal_seq: int = 0) -> bytes:
         )
     manifest = {
         "format_version": SNAPSHOT_FORMAT_VERSION,
+        "backend": backend,
         # Operator-facing provenance stamp only: verify/load never read
         # it and it is excluded from integrity and replay digests.
         "created_at": time.time(),  # repro: noqa REP002
@@ -173,7 +206,7 @@ def snapshot_bytes(framework: IndexFramework, wal_seq: int = 0) -> bytes:
     body.write(MAGIC)
     body.write(_HEAD.pack(SNAPSHOT_FORMAT_VERSION, len(manifest_bytes)))
     body.write(manifest_bytes)
-    for name in SECTIONS:
+    for name in section_order:
         body.write(payloads[name])
     digest = hashlib.sha256(body.getvalue()).digest()
     body.write(digest)
@@ -229,7 +262,7 @@ def _split_container(data: bytes, source: str) -> Tuple[dict, Dict[str, bytes]]:
             "or was truncated"
         )
     version, manifest_len = _HEAD.unpack_from(data, len(MAGIC))
-    if version != SNAPSHOT_FORMAT_VERSION:
+    if version not in SUPPORTED_FORMAT_VERSIONS:
         raise SnapshotCorruptError(
             f"{source}: unsupported snapshot format version {version}"
         )
@@ -267,7 +300,14 @@ def _split_container(data: bytes, source: str) -> Tuple[dict, Dict[str, bytes]]:
             f"{source}: {len(body) - offset} trailing bytes after the last "
             "section"
         )
-    missing = [name for name in SECTIONS if name not in payloads]
+    backend = str(manifest.get("backend", "matrix"))
+    expected = SECTIONS_BY_BACKEND.get(backend)
+    if expected is None:
+        raise SnapshotCorruptError(
+            f"{source}: manifest names unknown backend {backend!r}",
+            section="manifest",
+        )
+    missing = [name for name in expected if name not in payloads]
     if missing:
         raise SnapshotCorruptError(
             f"{source}: sections missing from manifest: {missing}",
@@ -317,24 +357,47 @@ def load_snapshot(path: PathLike) -> Tuple[IndexFramework, dict]:
         ) from exc
     space.restore_topology_epoch(int(manifest["topology_epoch"]))
 
-    matrix = _npy_load(payloads["md2d"], "md2d")
+    backend = str(manifest.get("backend", "matrix"))
     door_ids = tuple(int(d) for d in _npy_load(payloads["door_ids"], "door_ids"))
-    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
-        raise SnapshotCorruptError(
-            f"{path}: M_d2d is not square: {matrix.shape}", section="md2d"
-        )
-    if matrix.shape[0] != len(door_ids):
-        raise SnapshotCorruptError(
-            f"{path}: door id count {len(door_ids)} does not match matrix "
-            f"size {matrix.shape[0]}",
-            section="door_ids",
-        )
-    if set(door_ids) != set(space.door_ids):
-        raise SnapshotCorruptError(
-            f"{path}: M_d2d door ids disagree with the space model",
-            section="door_ids",
-        )
-    distance_index = DistanceIndexMatrix(DoorDistanceMatrix(matrix, door_ids))
+    if backend == "labels":
+        from repro.exceptions import SerializationError
+        from repro.labels.serialize import labels_from_bytes
+
+        try:
+            distance_index = labels_from_bytes(payloads["labels"])
+        except SerializationError as exc:
+            raise SnapshotCorruptError(
+                f"{path}: labels section does not decode: {exc}",
+                section="labels",
+            ) from exc
+        if tuple(distance_index.door_ids) != door_ids:
+            raise SnapshotCorruptError(
+                f"{path}: labels door ids disagree with the door_ids section",
+                section="labels",
+            )
+        if set(door_ids) != set(space.door_ids):
+            raise SnapshotCorruptError(
+                f"{path}: labels door ids disagree with the space model",
+                section="door_ids",
+            )
+    else:
+        matrix = _npy_load(payloads["md2d"], "md2d")
+        if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+            raise SnapshotCorruptError(
+                f"{path}: M_d2d is not square: {matrix.shape}", section="md2d"
+            )
+        if matrix.shape[0] != len(door_ids):
+            raise SnapshotCorruptError(
+                f"{path}: door id count {len(door_ids)} does not match matrix "
+                f"size {matrix.shape[0]}",
+                section="door_ids",
+            )
+        if set(door_ids) != set(space.door_ids):
+            raise SnapshotCorruptError(
+                f"{path}: M_d2d door ids disagree with the space model",
+                section="door_ids",
+            )
+        distance_index = DistanceIndexMatrix(DoorDistanceMatrix(matrix, door_ids))
 
     try:
         dpt = _dpt_from_rows(json.loads(payloads["dpt"].decode("utf-8")))

@@ -46,9 +46,16 @@ class QueryEngine:
         space: IndoorSpace,
         objects: Optional[Iterable[IndoorObject]] = None,
         cell_size: float = DEFAULT_CELL_SIZE,
+        backend: str = "matrix",
     ) -> "QueryEngine":
-        """Build every index structure for ``space`` and wrap it."""
-        return cls(IndexFramework.build(space, objects, cell_size))
+        """Build every index structure for ``space`` and wrap it.
+
+        ``backend`` selects the distance structure (``"matrix"`` or
+        ``"labels"``); see :class:`repro.index.backend.DistanceBackend`.
+        """
+        return cls(
+            IndexFramework.build(space, objects, cell_size, backend=backend)
+        )
 
     @classmethod
     def load(

@@ -24,6 +24,7 @@ from repro.runtime.deadline import Deadline, DeadlineLike, as_deadline
 from repro.runtime.faults import (
     FaultHandle,
     FlakyDistanceIndex,
+    corrupt_labels,
     corrupt_md2d,
     drop_dpt_records,
     flip_snapshot_byte,
@@ -51,6 +52,7 @@ __all__ = [
     "require_index_integrity",
     "FaultHandle",
     "FlakyDistanceIndex",
+    "corrupt_labels",
     "corrupt_md2d",
     "drop_dpt_records",
     "flip_snapshot_byte",

@@ -9,6 +9,9 @@ aspirational:
 
 * :func:`corrupt_md2d` — seed-deterministically poison M_d2d entries with
   NaN, negative, or symmetry-breaking values;
+* :func:`corrupt_labels` — the same adversary for the 2-hop labels
+  backend: poison stored hub distances with NaN, negative, or finite-skew
+  values;
 * :func:`drop_dpt_records` — remove DPT records (queries expanding through
   the affected doors raise ``UnknownEntityError``);
 * :func:`install_flaky_distance_index` — let the matrix serve ``fail_after``
@@ -36,6 +39,11 @@ from repro.index.framework import IndexFramework
 
 #: The three supported M_d2d corruption modes.
 MD2D_MODES = ("nan", "negative", "asymmetric")
+
+#: The three supported label-array corruption modes.  ``"skew"`` is the
+#: labels analogue of ``"asymmetric"``: it shifts stored hub distances so
+#: answers silently deviate from canonical without tripping NaN checks.
+LABELS_MODES = ("nan", "negative", "skew")
 
 
 @dataclass
@@ -110,6 +118,11 @@ def corrupt_md2d(
     """
     if mode not in MD2D_MODES:
         raise ValueError(f"mode must be one of {MD2D_MODES}, got {mode!r}")
+    if getattr(framework.distance_index, "kind", "matrix") != "matrix":
+        raise ValueError(
+            "corrupt_md2d requires the dense matrix backend; this framework "
+            f"uses {framework.distance_index.kind!r} — use corrupt_labels"
+        )
     matrix = framework.distance_index.md2d
     rng = random.Random(seed)
     cells = _corruptible_cells(matrix, rng, count)
@@ -129,6 +142,68 @@ def corrupt_md2d(
     return FaultHandle(
         f"corrupt_md2d(mode={mode}, count={count}, seed={seed})",
         cells=tuple(cells),
+        _undo=restore,
+    )
+
+
+def corrupt_labels(
+    framework: IndexFramework,
+    mode: str = "nan",
+    count: int = 1,
+    seed: int = 0,
+) -> FaultHandle:
+    """Poison ``count`` stored L_out hub distances of a labels backend.
+
+    The labels sibling of :func:`corrupt_md2d`.  L_out entries feed both
+    the pair-query hub intersection and the materialised scan rows, so one
+    poisoned entry is visible to ``distance`` and ``doors_by_distance``
+    alike.  ``"nan"`` and ``"negative"`` violations are caught by the
+    backend's :meth:`self_check` (and hence ``check_index_integrity``);
+    ``"skew"`` shifts a distance by a finite amount and is only observable
+    differentially — exactly the adversary the chaos
+    :class:`~repro.chaos.oracles.DifferentialOracle` exists to catch.
+
+    Args:
+        framework: the victim framework (must be labels-backed).
+        mode: one of :data:`LABELS_MODES`.
+        count: how many distinct label entries to poison.
+        seed: RNG seed — the same seed always poisons the same entries.
+    """
+    if mode not in LABELS_MODES:
+        raise ValueError(f"mode must be one of {LABELS_MODES}, got {mode!r}")
+    index = framework.distance_index
+    if getattr(index, "kind", "matrix") != "labels":
+        raise ValueError(
+            "corrupt_labels requires the labels backend; this framework "
+            f"uses {getattr(index, 'kind', 'matrix')!r} — use corrupt_md2d"
+        )
+    dists = index.labeling.out_dists
+    candidates = [int(k) for k in np.flatnonzero(np.isfinite(dists))]
+    if len(candidates) < count:
+        raise ValueError(
+            f"labeling has only {len(candidates)} corruptible entries, "
+            f"{count} requested"
+        )
+    rng = random.Random(seed)
+    picks = rng.sample(candidates, count)
+    saved = [(k, float(dists[k])) for k in picks]
+    for k in picks:
+        if mode == "nan":
+            dists[k] = np.nan
+        elif mode == "negative":
+            dists[k] = -abs(dists[k]) - 1.0
+        else:  # skew: finite shift, silently wrong answers
+            dists[k] = dists[k] + 7.5
+    index.drop_row_cache()
+
+    def restore() -> None:
+        for k, value in saved:
+            dists[k] = value
+        index.drop_row_cache()
+
+    return FaultHandle(
+        f"corrupt_labels(mode={mode}, count={count}, seed={seed})",
+        cells=tuple((k, 0) for k in sorted(picks)),
         _undo=restore,
     )
 

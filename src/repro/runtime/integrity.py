@@ -19,6 +19,12 @@ invariants:
 * **epoch freshness** — the framework was built at the space's current
   topology epoch (optional, on by default).
 
+The matrix checks apply to the dense backend only; a labels-backed
+framework (:class:`repro.labels.index.LabeledDistanceIndex`) is audited
+through its own :meth:`self_check` structural invariants instead, with
+each violation reported as a ``labels-corrupt`` finding.  The DPT,
+door-set, and epoch checks are backend-independent and always run.
+
 Findings are reported as :class:`repro.model.validation.Issue` values so the
 ``repro doctor`` CLI can render floor-plan lint and index health in one
 report.  :func:`require_index_integrity` converts error-severity findings
@@ -64,6 +70,59 @@ def check_index_integrity(
             )
         )
 
+    if getattr(framework.distance_index, "kind", "matrix") == "labels":
+        issues.extend(_labels_issues(framework))
+    else:
+        issues.extend(_matrix_issues(framework))
+
+    missing = [
+        d for d in space.topology.door_ids if not framework.dpt.has_record(d)
+    ]
+    if missing:
+        issues.append(
+            Issue(
+                Severity.ERROR,
+                "dpt-missing",
+                f"DPT lacks records for doors {missing}; range/kNN expansion "
+                "through them would fail",
+            )
+        )
+
+    index_doors = set(framework.distance_index.door_ids)
+    space_doors = set(space.topology.door_ids)
+    if index_doors != space_doors:
+        issues.append(
+            Issue(
+                Severity.ERROR,
+                "md2d-door-mismatch",
+                f"distance index covers doors {sorted(index_doors)} but the "
+                f"space has {sorted(space_doors)}",
+            )
+        )
+
+    issues.sort(key=lambda issue: (issue.severity is not Severity.ERROR,))
+    return issues
+
+
+def _labels_issues(framework: IndexFramework) -> List[Issue]:
+    """Invariant findings for the 2-hop labels backend.
+
+    The label arrays carry their own structural invariants (monotone
+    indptrs, finite non-negative distances, in-range hubs, zero
+    self-distance), audited by
+    :meth:`repro.labels.index.LabeledDistanceIndex.self_check`; each
+    violation surfaces as an error-severity ``labels-corrupt`` finding.
+    """
+    return [
+        Issue(Severity.ERROR, "labels-corrupt", problem)
+        for problem in framework.distance_index.self_check()
+    ]
+
+
+def _matrix_issues(framework: IndexFramework) -> List[Issue]:
+    """Invariant findings for the dense M_d2d / M_idx backend."""
+    issues: List[Issue] = []
+    space = framework.space
     matrix = framework.distance_index.md2d
     nan_count = int(np.isnan(matrix).sum())
     if nan_count:
@@ -147,32 +206,6 @@ def check_index_integrity(
                 )
             )
 
-    missing = [
-        d for d in space.topology.door_ids if not framework.dpt.has_record(d)
-    ]
-    if missing:
-        issues.append(
-            Issue(
-                Severity.ERROR,
-                "dpt-missing",
-                f"DPT lacks records for doors {missing}; range/kNN expansion "
-                "through them would fail",
-            )
-        )
-
-    matrix_doors = set(framework.distance_index.door_ids)
-    space_doors = set(space.topology.door_ids)
-    if matrix_doors != space_doors:
-        issues.append(
-            Issue(
-                Severity.ERROR,
-                "md2d-door-mismatch",
-                f"M_d2d covers doors {sorted(matrix_doors)} but the space "
-                f"has {sorted(space_doors)}",
-            )
-        )
-
-    issues.sort(key=lambda issue: (issue.severity is not Severity.ERROR,))
     return issues
 
 

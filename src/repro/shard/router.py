@@ -16,7 +16,10 @@ the placement partitions the object population exactly:
   owning the query floor to the rest.
 
 The scatter itself is *distance-aware*: before fanning out, the router
-bounds each shard's best possible contribution from below using M_d2d.
+bounds each shard's best possible contribution from below via the
+framework's distance backend (``min_distance_between`` — a dense
+submatrix minimum for M_d2d, a label join for :mod:`repro.labels`; both
+produce bit-identical bounds).
 Any indoor path from the query's host partition to an object hosted
 elsewhere must leave through one of the partition's leaveable doors and
 enter the object's partition through an enterable door, so
@@ -51,8 +54,6 @@ import threading
 import time
 from concurrent.futures import Future
 from typing import Any, Dict, List, Optional, Set, Tuple
-
-import numpy as np
 
 from repro.exceptions import ReproError, ShardUnavailableError
 from repro.geometry import Point
@@ -132,26 +133,22 @@ class ScatterGatherRouter:
             shard_partitions[shard_id].add(partition_id)
         for table in self._objects.values():
             table.sort()
-        # Distance-aware pruning state: M_d2d plus, per shard, the matrix
-        # columns of the enterable doors of its object-hosting partitions.
+        # Distance-aware pruning state: the distance backend plus, per
+        # shard, the enterable doors of its object-hosting partitions.
+        # Works for any DistanceBackend via `min_distance_between` (dense
+        # submatrix min for the matrix, vectorised label join for labels).
         # Per-partition bounds are memoised lazily in `_bounds`.
         self._topology = framework.space.topology
         self._rtree = framework.rtree
-        self._md2d = framework.distance_index.md2d
-        door_col = {
-            door: index
-            for index, door in enumerate(framework.distance_index.door_ids)
-        }
-        self._door_col = door_col
-        self._shard_cols: Dict[int, np.ndarray] = {}
+        self._distance_index = framework.distance_index
+        known_doors = set(framework.distance_index.door_ids)
+        self._known_doors = known_doors
+        self._shard_doors: Dict[int, List[int]] = {}
         for shard_id, partitions in shard_partitions.items():
             doors: Set[int] = set()
             for partition_id in partitions:
                 doors |= self._topology.enterable_doors(partition_id)
-            self._shard_cols[shard_id] = np.asarray(
-                sorted(door_col[d] for d in doors if d in door_col),
-                dtype=np.intp,
-            )
+            self._shard_doors[shard_id] = sorted(doors & known_doors)
         self._bounds: Dict[int, Dict[int, float]] = {}
         self._bounds_lock = threading.Lock()
 
@@ -295,25 +292,18 @@ class ScatterGatherRouter:
             bounds = self._bounds.get(partition_id)
         if bounds is not None:
             return bounds
-        leave_rows = np.asarray(
-            sorted(
-                self._door_col[d]
-                for d in self._topology.leaveable_doors(partition_id)
-                if d in self._door_col
-            ),
-            dtype=np.intp,
+        leave_doors = sorted(
+            self._topology.leaveable_doors(partition_id) & self._known_doors
         )
         home = self.placement.shard_for_partition(partition_id)
         bounds = {}
         for shard_id in self.placement.shard_ids:
-            cols = self._shard_cols[shard_id]
+            doors = self._shard_doors[shard_id]
             if shard_id == home:
                 bounds[shard_id] = 0.0
-            elif leave_rows.size == 0 or cols.size == 0:
-                bounds[shard_id] = float("inf")
             else:
-                bounds[shard_id] = float(
-                    self._md2d[np.ix_(leave_rows, cols)].min()
+                bounds[shard_id] = self._distance_index.min_distance_between(
+                    leave_doors, doors
                 )
         with self._bounds_lock:
             self._bounds[partition_id] = bounds

@@ -156,7 +156,14 @@ class ShardedQueryService:
             report = None
 
         placement = FloorPlacement.for_space(framework.space, self.shards)
-        arena = SharedIndexArena.create(framework.distance_index)
+        # The shared-memory arena holds the dense M_d2d / M_idx pair, so a
+        # labels-backed tier skips it — workers restart via snapshot/rebuild.
+        backend = str(framework.build_config.get("backend", "matrix"))
+        arena = (
+            SharedIndexArena.create(framework.distance_index)
+            if backend == "matrix"
+            else None
+        )
         tempdir: Optional[tempfile.TemporaryDirectory] = None
         if self.store is not None:
             snapshot_dir = self.store.directory / "shards"
@@ -187,7 +194,8 @@ class ShardedQueryService:
             timeout=self._supervisor_opts["start_timeout"]
         ):
             supervisor.stop()
-            arena.unlink()
+            if arena is not None:
+                arena.unlink()
             if tempdir is not None:
                 tempdir.cleanup()
             raise ServiceUnavailableError(

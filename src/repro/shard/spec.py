@@ -68,6 +68,10 @@ class ShardSpec:
             (0 disables).  Every worker gets the same per-process budget
             as the router, so the *fleet's* aggregate cache grows with
             the shard count — the capacity dimension sharding scales.
+        backend: distance backend the worker must build
+            (``"matrix"`` or ``"labels"``).  The shared-memory arena is
+            matrix-shaped, so labels-backed fleets restart through the
+            snapshot/rebuild rungs.
     """
 
     shard_id: int
@@ -82,6 +86,7 @@ class ShardSpec:
     arena: Optional[Dict] = field(default=None, repr=False)
     snapshot_path: Optional[str] = None
     cache_capacity: int = 0
+    backend: str = "matrix"
 
     def summary(self) -> Dict:
         """JSON-safe readiness payload fragment."""
@@ -154,6 +159,7 @@ def shard_specs(
                 arena=arena.descriptor if arena is not None else None,
                 snapshot_path=snapshot_path,
                 cache_capacity=cache_capacity,
+                backend=str(framework.build_config.get("backend", "matrix")),
             )
         )
     return specs
@@ -212,7 +218,9 @@ def _materialize_from_snapshot(spec: ShardSpec) -> IndexFramework:
 def _materialize_by_rebuild(spec: ShardSpec) -> IndexFramework:
     space = space_from_dict(spec.space)
     space.restore_topology_epoch(spec.topology_epoch)
-    framework = IndexFramework.build(space, cell_size=spec.cell_size)
+    framework = IndexFramework.build(
+        space, cell_size=spec.cell_size, backend=spec.backend
+    )
     for row in spec.object_rows:
         x, y, floor = row["position"]
         framework.objects.add(
@@ -237,7 +245,7 @@ def materialize(
     ``arena`` is the live attachment when the first rung won (the caller
     must :meth:`~repro.shard.shm.SharedIndexArena.close` it on exit).
     """
-    if spec.arena is not None:
+    if spec.arena is not None and spec.backend == "matrix":
         try:
             framework, arena = _materialize_from_arena(spec)
             return framework, "arena", arena

@@ -3,6 +3,9 @@
 * :mod:`repro.synthetic.building` — the paper's multi-floor office building
   generator: 30 rooms + 2 staircases per floor, star-connected to a hallway,
   staircases flattened into virtual rooms (§VI-A).
+* :mod:`repro.synthetic.campus` — N-building composites joined by ground
+  corridors and seed-chosen skybridges, for door graphs 10x-100x the
+  paper's single-building scale (the labels-backend benchmark regime).
 * :mod:`repro.synthetic.objects` — uniformly random indoor objects / POIs
   (§VI-B: random floor → random partition → random position).
 * :mod:`repro.synthetic.workload` — random query positions, position pairs,
@@ -10,6 +13,7 @@
 """
 
 from repro.synthetic.building import BuildingConfig, SyntheticBuilding, generate_building
+from repro.synthetic.campus import CampusConfig, SyntheticCampus, generate_campus
 from repro.synthetic.objects import build_object_store, generate_objects
 from repro.synthetic.workload import (
     random_position,
@@ -19,8 +23,11 @@ from repro.synthetic.workload import (
 
 __all__ = [
     "BuildingConfig",
+    "CampusConfig",
     "SyntheticBuilding",
+    "SyntheticCampus",
     "generate_building",
+    "generate_campus",
     "generate_objects",
     "build_object_store",
     "random_position",

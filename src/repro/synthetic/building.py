@@ -112,15 +112,25 @@ class SyntheticBuilding:
         return list(self.space.partition_ids)
 
 
-def generate_building(config: Optional[BuildingConfig] = None) -> SyntheticBuilding:
-    """Generate the §VI-A synthetic building for ``config``."""
-    if config is None:
-        config = BuildingConfig()
-    builder = IndoorSpaceBuilder()
-    result = SyntheticBuilding(space=None, config=config)  # space set below
+def _emit_building(
+    builder: IndoorSpaceBuilder,
+    config: BuildingConfig,
+    result: SyntheticBuilding,
+    first_partition: int = 1,
+    first_door: int = 1,
+    dx: float = 0.0,
+    name_prefix: str = "",
+) -> tuple:
+    """Emit one §VI-A building into a shared ``builder``.
 
-    next_partition = 1
-    next_door = 1
+    ``dx`` shifts the whole building along x and ``first_partition`` /
+    ``first_door`` offset the id sequences, so several buildings can share
+    one :class:`IndoorSpaceBuilder` (the campus generator's mechanism).
+    Returns ``(next_partition, next_door)`` for the caller to continue
+    numbering from; bookkeeping lands in ``result``.
+    """
+    next_partition = first_partition
+    next_door = first_door
     south_y0 = 0.0
     south_y1 = config.room_depth
     hall_y1 = south_y1 + config.hallway_width
@@ -132,15 +142,15 @@ def generate_building(config: Optional[BuildingConfig] = None) -> SyntheticBuild
         next_partition += 1
         builder.add_partition(
             hallway_id,
-            rectangle(0, south_y1, length, hall_y1, floor=floor),
+            rectangle(dx, south_y1, dx + length, hall_y1, floor=floor),
             PartitionKind.HALLWAY,
-            name=f"hallway F{floor}",
+            name=f"{name_prefix}hallway F{floor}",
         )
         result.hallway_ids[floor] = hallway_id
         result.room_ids[floor] = []
 
         for i in range(config.rooms_per_side):
-            x0 = i * config.room_width
+            x0 = dx + i * config.room_width
             x1 = x0 + config.room_width
             mid = (x0 + x1) / 2.0
             # South room: door on the wall it shares with the hallway.
@@ -149,7 +159,7 @@ def generate_building(config: Optional[BuildingConfig] = None) -> SyntheticBuild
             builder.add_partition(
                 south_id,
                 rectangle(x0, south_y0, x1, south_y1, floor=floor),
-                name=f"room F{floor}S{i}",
+                name=f"{name_prefix}room F{floor}S{i}",
             )
             builder.add_door(
                 next_door,
@@ -166,7 +176,7 @@ def generate_building(config: Optional[BuildingConfig] = None) -> SyntheticBuild
             builder.add_partition(
                 north_id,
                 rectangle(x0, hall_y1, x1, north_y1, floor=floor),
-                name=f"room F{floor}N{i}",
+                name=f"{name_prefix}room F{floor}N{i}",
             )
             builder.add_door(
                 next_door,
@@ -183,8 +193,10 @@ def generate_building(config: Optional[BuildingConfig] = None) -> SyntheticBuild
     hall_mid = (south_y1 + hall_y1) / 2.0
     for floor in range(config.floors - 1):
         ends = [
-            (-config.staircase_size, 0.0, 0.0),  # west: x0, x1=0, door at x=0
-            (length, length + config.staircase_size, length),  # east
+            # West: x0, x1, door at the hallway's west wall.
+            (dx - config.staircase_size, dx, dx),
+            # East, mirrored.
+            (dx + length, dx + length + config.staircase_size, dx + length),
         ]
         for end_index in range(config.staircases_per_gap):
             x0, x1, door_x = ends[end_index]
@@ -194,7 +206,7 @@ def generate_building(config: Optional[BuildingConfig] = None) -> SyntheticBuild
                 staircase_id,
                 rectangle(x0, south_y1, x1, hall_y1, floor=floor),
                 PartitionKind.STAIRCASE,
-                name=f"stairs F{floor}-{floor + 1} {'WE'[end_index]}",
+                name=f"{name_prefix}stairs F{floor}-{floor + 1} {'WE'[end_index]}",
                 stair_length=config.stair_length,
             )
             result.staircase_ids.append(staircase_id)
@@ -218,6 +230,15 @@ def generate_building(config: Optional[BuildingConfig] = None) -> SyntheticBuild
                 connects=(staircase_id, result.hallway_ids[floor + 1]),
             )
             next_door += 1
+    return next_partition, next_door
 
+
+def generate_building(config: Optional[BuildingConfig] = None) -> SyntheticBuilding:
+    """Generate the §VI-A synthetic building for ``config``."""
+    if config is None:
+        config = BuildingConfig()
+    builder = IndoorSpaceBuilder()
+    result = SyntheticBuilding(space=None, config=config)  # space set below
+    _emit_building(builder, config, result)
     result.space = builder.build()
     return result

@@ -82,6 +82,7 @@ class TestRunGate:
         assert report["ok"] is True
         assert report["checks"] == []
         assert report["skipped"] == [
+            "BENCH_labels.json",
             "BENCH_serve.json",
             "BENCH_shard.json",
         ]

@@ -1,0 +1,64 @@
+"""The labels-vs-dense benchmark harness (repro.bench.labels)."""
+
+import pytest
+
+from repro.bench.labels import (
+    DENSE_BYTES_PER_CELL,
+    LABELS_CAMPUS,
+    LABELS_QUICK,
+    current_labels_scale,
+    measure_labels,
+    render_labels_summary,
+)
+
+
+@pytest.fixture(scope="module")
+def quick_result():
+    return measure_labels(LABELS_QUICK, seed=13)
+
+
+class TestScales:
+    def test_quick_is_the_default_scale(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        assert current_labels_scale() is LABELS_QUICK
+
+    def test_scale_env_selects_campus(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "campus")
+        assert current_labels_scale() is LABELS_CAMPUS
+
+    def test_unknown_scale_falls_back_to_quick(self, monkeypatch):
+        """Same forgiving behavior as the Table-3 harness scales."""
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "galactic")
+        assert current_labels_scale() is LABELS_QUICK
+
+    def test_campus_skips_the_dense_build(self):
+        assert LABELS_CAMPUS.build_dense is False
+        assert LABELS_QUICK.build_dense is True
+
+
+class TestMeasure:
+    def test_zero_mismatches_against_the_canonical_reference(
+        self, quick_result
+    ):
+        assert quick_result["mismatches"] == 0
+        assert quick_result["sampled_pairs"] == LABELS_QUICK.sample_pairs
+
+    def test_metrics_are_populated(self, quick_result):
+        labels = quick_result["labels"]
+        dense = quick_result["dense"]
+        assert labels["bytes"] > 0
+        assert labels["build_s"] > 0
+        assert labels["query_us"] > 0
+        assert dense["built"] is True
+        assert dense["bytes"] == (
+            quick_result["doors"] ** 2 * DENSE_BYTES_PER_CELL
+        )
+        assert quick_result["bytes_ratio"] == pytest.approx(
+            dense["bytes"] / labels["bytes"]
+        )
+
+    def test_summary_renders_both_backends(self, quick_result):
+        text = render_labels_summary(quick_result)
+        assert "labels" in text
+        assert "dense" in text
+        assert "mismatches" in text

@@ -1,0 +1,55 @@
+"""Chaos campaigns served from the labels backend.
+
+The differential oracle's pristine engine always stays on the dense
+matrix, so a passing ``backend="labels"`` campaign is the end-to-end
+proof that the 2-hop label index answers bit-identically to M_idx —
+including while faults are live and after every recovery rung.
+"""
+
+import pytest
+
+from repro.chaos import CampaignConfig, CampaignRunner
+
+
+def _run(**overrides):
+    config = CampaignConfig(**overrides)
+    return CampaignRunner(config).run()
+
+
+@pytest.fixture(scope="module")
+def labels_report():
+    return _run(seed=7, duration_ops=120, backend="labels")
+
+
+class TestLabelsCampaign:
+    def test_standard_campaign_passes(self, labels_report):
+        counts = labels_report.counts()
+        assert labels_report.verdict == "PASS"
+        assert counts["silent_wrong_answer"] == 0
+        assert counts["unrecovered"] == 0
+
+    def test_corruption_was_actually_injected(self, labels_report):
+        """The pass is not vacuous: the plan's matrix corruption mapped
+        onto the label arrays and the detection layer caught it."""
+        assert labels_report.counts()["degraded_correctly"] > 0
+        assert "breaker_degraded" in {
+            i.kind for i in labels_report.incidents
+        }
+
+    def test_backend_survives_the_config_roundtrip(self):
+        config = CampaignConfig(seed=7, duration_ops=120, backend="labels")
+        clone = CampaignConfig.from_dict(config.to_dict())
+        assert clone.backend == "labels"
+        assert clone.to_dict() == config.to_dict()
+
+    def test_replay_reproduces_the_digest(self, labels_report):
+        again = _run(seed=7, duration_ops=120, backend="labels")
+        assert again.digest == labels_report.digest
+
+    def test_dense_and_labels_disagree_only_in_backend(self, labels_report):
+        """Same seed, other backend: both campaigns must pass — the
+        serving tier's correctness story is backend-independent."""
+        dense = _run(seed=7, duration_ops=120, backend="matrix")
+        assert dense.verdict == "PASS"
+        assert dense.config["backend"] == "matrix"
+        assert labels_report.config["backend"] == "labels"

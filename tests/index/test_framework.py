@@ -3,7 +3,7 @@
 import pytest
 
 from repro.exceptions import ModelError, UnknownEntityError
-from repro.geometry import Point
+from repro.geometry import Point, rectangle
 from repro.index import IndexFramework, IndoorObject, ObjectStore
 from repro.model.figure1 import (
     HALLWAY,
@@ -123,3 +123,82 @@ class TestIndexFramework:
         framework = IndexFramework.build(space)
         stats = framework.graph.cache_stats()
         assert stats["fd2d_entries"] > 0
+
+
+class TestBackendSelection:
+    def test_default_backend_is_the_dense_matrix(self, space):
+        framework = IndexFramework.build(space)
+        assert framework.distance_index.kind == "matrix"
+        assert framework.build_config == {
+            "backend": "matrix",
+            "reference_matrix": False,
+        }
+
+    def test_labels_backend_is_selectable(self, space):
+        framework = IndexFramework.build(space, backend="labels")
+        assert framework.distance_index.kind == "labels"
+        assert framework.build_config["backend"] == "labels"
+
+    def test_unknown_backend_rejected(self, space):
+        with pytest.raises(ValueError, match="unknown distance backend"):
+            IndexFramework.build(space, backend="btree")
+
+    def test_reference_matrix_is_matrix_only(self, space):
+        with pytest.raises(ValueError, match="reference_matrix"):
+            IndexFramework.build(
+                space, backend="labels", reference_matrix=True
+            )
+
+    def test_rebuild_preserves_the_backend(self, space, objects):
+        framework = IndexFramework.build(space, objects, backend="labels")
+        space.add_partition(70, rectangle(40, 40, 44, 44))
+        rebuilt = framework.rebuild()
+        assert rebuilt.is_fresh
+        assert rebuilt.distance_index.kind == "labels"
+        assert rebuilt.build_config["backend"] == "labels"
+        assert len(rebuilt.objects) == len(framework.objects)
+
+    def test_rebuild_preserves_reference_matrix(self, space):
+        framework = IndexFramework.build(space, reference_matrix=True)
+        space.add_partition(71, rectangle(50, 50, 54, 54))
+        rebuilt = framework.rebuild()
+        assert rebuilt.build_config["reference_matrix"] is True
+
+    def test_with_objects_copies_epoch_and_config(self, space, objects):
+        framework = IndexFramework.build(space, backend="labels")
+        space.add_partition(72, rectangle(60, 60, 64, 64))
+        derived = framework.with_objects(ObjectStore(space))
+        assert derived.built_epoch == framework.built_epoch
+        assert not derived.is_fresh
+        assert derived.build_config == framework.build_config
+        # The config is a copy, not a shared dict.
+        derived.build_config["backend"] = "matrix"
+        assert framework.build_config["backend"] == "labels"
+
+    def test_stale_labels_framework_raises(self, space):
+        from repro.exceptions import StaleIndexError
+        from repro.model.figure1 import D15
+
+        framework = IndexFramework.build(space, backend="labels")
+        space.remove_door(D15)
+        with pytest.raises(StaleIndexError):
+            framework.check_fresh()
+
+    def test_backend_swap_across_rebuild_answers_identically(self, space):
+        """Rebuilding with the other backend answers bit-identically —
+        the DistanceBackend contract the query layer relies on."""
+        labels = IndexFramework.build(space, backend="labels")
+        dense = IndexFramework.build(space, backend="matrix")
+        for u in dense.distance_index.door_ids:
+            for v in dense.distance_index.door_ids:
+                assert labels.distance_index.distance(
+                    u, v
+                ) == dense.distance_index.distance(u, v)
+
+    def test_memory_report_names_the_backend(self, space):
+        labels = IndexFramework.build(space, backend="labels").memory_report()
+        dense = IndexFramework.build(space).memory_report()
+        assert labels["backend"] == "labels"
+        assert dense["backend"] == "matrix"
+        assert "labels_bytes" in labels["backend_bytes"]
+        assert "md2d_bytes" in dense["backend_bytes"]

@@ -1,0 +1,37 @@
+"""Shared fixtures for the 2-hop labeling tests."""
+
+import pytest
+
+from repro.index import IndexFramework
+from repro.model.figure1 import build_figure1
+from repro.synthetic import BuildingConfig, generate_building
+
+
+@pytest.fixture(scope="module")
+def building_space():
+    """A 3-floor synthetic building — multi-floor, staircases, ~34 doors."""
+    return generate_building(
+        BuildingConfig(floors=3, rooms_per_floor=6)
+    ).space
+
+
+@pytest.fixture(scope="module")
+def building_pair(building_space):
+    """(labels framework, matrix framework) over the same building."""
+    return (
+        IndexFramework.build(building_space, backend="labels"),
+        IndexFramework.build(building_space, backend="matrix"),
+    )
+
+
+@pytest.fixture
+def figure1_pair():
+    """(labels framework, matrix framework) over a fresh Figure-1 space.
+
+    Function-scoped: several tests mutate the topology afterwards.
+    """
+    space = build_figure1()
+    return (
+        IndexFramework.build(space, backend="labels"),
+        IndexFramework.build(space, backend="matrix"),
+    )

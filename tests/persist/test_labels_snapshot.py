@@ -1,0 +1,100 @@
+"""Snapshot format v2: the labels-backend section (repro.persist.snapshot)."""
+
+import pytest
+
+from repro.exceptions import SnapshotCorruptError
+from repro.index import IndexFramework
+from repro.persist import load_snapshot, read_manifest, save_snapshot
+from repro.persist.snapshot import (
+    SNAPSHOT_FORMAT_VERSION,
+    SUPPORTED_FORMAT_VERSIONS,
+    snapshot_bytes,
+)
+from tests.persist.test_snapshot import _reseal, _section_offsets
+
+
+@pytest.fixture
+def labels_framework(figure1_framework):
+    """The same Figure-1 population, indexed through the labels backend."""
+    return IndexFramework.build(
+        figure1_framework.space,
+        list(figure1_framework.objects),
+        backend="labels",
+    )
+
+
+class TestFormat:
+    def test_version_2_and_the_v1_range(self):
+        assert SNAPSHOT_FORMAT_VERSION == 2
+        assert SUPPORTED_FORMAT_VERSIONS == (1, 2)
+
+    def test_manifest_records_the_backend(
+        self, labels_framework, figure1_framework, tmp_path
+    ):
+        labels_path = save_snapshot(labels_framework, tmp_path / "l.snap")
+        matrix_path = save_snapshot(figure1_framework, tmp_path / "m.snap")
+        assert read_manifest(labels_path)["backend"] == "labels"
+        assert read_manifest(matrix_path)["backend"] == "matrix"
+
+    def test_labels_section_replaces_the_matrices(
+        self, labels_framework, tmp_path
+    ):
+        path = save_snapshot(labels_framework, tmp_path / "l.snap")
+        names = [s["name"] for s in read_manifest(path)["sections"]]
+        assert "labels" in names
+        assert "md2d" not in names
+
+    def test_labels_section_bytes_deterministic(self, labels_framework):
+        """The manifest carries a wall-clock ``created_at``, but the labels
+        payload itself must encode identically on every save."""
+        first = snapshot_bytes(labels_framework)
+        second = snapshot_bytes(labels_framework)
+        start1, length1 = _section_offsets(first)["labels"]
+        start2, length2 = _section_offsets(second)["labels"]
+        assert first[start1 : start1 + length1] == (
+            second[start2 : start2 + length2]
+        )
+
+
+class TestRoundTrip:
+    def test_labels_framework_survives_bit_identically(
+        self, labels_framework, tmp_path
+    ):
+        path = save_snapshot(labels_framework, tmp_path / "l.snap")
+        restored, manifest = load_snapshot(path)
+        original = labels_framework.distance_index
+        loaded = restored.distance_index
+        assert loaded.kind == "labels"
+        assert loaded.door_ids == original.door_ids
+        for u in original.door_ids:
+            assert list(loaded.doors_by_distance(u)) == list(
+                original.doors_by_distance(u)
+            )
+        assert restored.is_fresh
+        assert restored.build_config["backend"] == "labels"
+        assert manifest["objects"] == len(labels_framework.objects)
+
+    def test_reloaded_labels_match_the_dense_backend(
+        self, labels_framework, figure1_framework, tmp_path
+    ):
+        path = save_snapshot(labels_framework, tmp_path / "l.snap")
+        restored, _ = load_snapshot(path)
+        dense = figure1_framework.distance_index
+        for u in dense.door_ids:
+            for v in dense.door_ids:
+                assert restored.distance_index.distance(
+                    u, v
+                ) == dense.distance(u, v)
+
+
+class TestCorruption:
+    def test_corrupt_labels_section_is_named(self, labels_framework, tmp_path):
+        path = save_snapshot(labels_framework, tmp_path / "l.snap")
+        data = path.read_bytes()
+        start, length = _section_offsets(data)["labels"]
+        corrupted = bytearray(data)
+        corrupted[start + length // 2] ^= 0xFF
+        path.write_bytes(_reseal(bytes(corrupted)))
+        with pytest.raises(SnapshotCorruptError) as excinfo:
+            load_snapshot(path)
+        assert excinfo.value.section == "labels"

@@ -1,0 +1,113 @@
+"""corrupt_labels and the labels branch of check_index_integrity."""
+
+import pytest
+
+from repro.index import IndexFramework
+from repro.model.figure1 import build_figure1
+from repro.runtime import check_index_integrity, corrupt_labels, corrupt_md2d
+from repro.runtime.faults import LABELS_MODES
+from repro.runtime.integrity import Severity
+
+
+@pytest.fixture
+def labels_framework():
+    return IndexFramework.build(build_figure1(), backend="labels")
+
+
+def _all_answers(framework):
+    index = framework.distance_index
+    return [
+        index.distance(u, v)
+        for u in index.door_ids
+        for v in index.door_ids
+    ]
+
+
+class TestCorruptLabels:
+    def test_modes_constant(self):
+        assert LABELS_MODES == ("nan", "negative", "skew")
+
+    def test_unknown_mode_rejected(self, labels_framework):
+        with pytest.raises(ValueError, match="mode must be one of"):
+            corrupt_labels(labels_framework, mode="bogus")
+
+    def test_matrix_framework_rejected(self):
+        dense = IndexFramework.build(build_figure1())
+        with pytest.raises(ValueError, match="labels backend"):
+            corrupt_labels(dense)
+
+    def test_labels_framework_rejected_by_corrupt_md2d(self, labels_framework):
+        with pytest.raises(ValueError, match="dense matrix backend"):
+            corrupt_md2d(labels_framework)
+
+    @pytest.mark.parametrize("mode", ["nan", "negative"])
+    def test_structural_modes_trip_integrity(self, labels_framework, mode):
+        handle = corrupt_labels(labels_framework, mode=mode, count=2, seed=3)
+        issues = check_index_integrity(labels_framework)
+        assert any(
+            issue.code == "labels-corrupt"
+            and issue.severity is Severity.ERROR
+            for issue in issues
+        )
+        handle.undo()
+        assert check_index_integrity(labels_framework) == []
+
+    def test_skew_is_silent_but_changes_answers(self, labels_framework):
+        """Finite skew passes structural integrity — only the differential
+        oracle can see it.  That asymmetry is the point of the mode."""
+        before = _all_answers(labels_framework)
+        handle = corrupt_labels(labels_framework, mode="skew", seed=1)
+        assert not any(
+            issue.code == "labels-corrupt"
+            for issue in check_index_integrity(labels_framework)
+        )
+        assert _all_answers(labels_framework) != before
+        handle.undo()
+        assert _all_answers(labels_framework) == before
+
+    def test_undo_restores_bit_identity(self, labels_framework):
+        before = _all_answers(labels_framework)
+        scans_before = [
+            list(labels_framework.distance_index.doors_by_distance(u))
+            for u in labels_framework.distance_index.door_ids
+        ]
+        handle = corrupt_labels(labels_framework, mode="nan", count=3, seed=9)
+        handle.undo()
+        assert _all_answers(labels_framework) == before
+        assert [
+            list(labels_framework.distance_index.doors_by_distance(u))
+            for u in labels_framework.distance_index.door_ids
+        ] == scans_before
+
+    def test_same_seed_same_entries(self, labels_framework):
+        first = corrupt_labels(labels_framework, mode="skew", count=2, seed=5)
+        first.undo()
+        second = corrupt_labels(labels_framework, mode="skew", count=2, seed=5)
+        second.undo()
+        assert first.cells == second.cells
+
+    def test_row_cache_is_invalidated(self, labels_framework):
+        """A scan row materialised before the fault must not keep serving
+        pre-fault values (and the same on undo)."""
+        index = labels_framework.distance_index
+        u = index.door_ids[0]
+        before = list(index.doors_by_distance(u))
+        handle = corrupt_labels(labels_framework, mode="skew", count=4, seed=2)
+        during = list(index.doors_by_distance(u))
+        handle.undo()
+        after = list(index.doors_by_distance(u))
+        assert during != before
+        assert after == before
+
+
+class TestIntegrityDispatch:
+    def test_clean_labels_framework_has_no_issues(self, labels_framework):
+        assert check_index_integrity(labels_framework) == []
+
+    def test_dpt_check_still_runs_for_labels(self, labels_framework):
+        from repro.runtime import drop_dpt_records
+
+        handle = drop_dpt_records(labels_framework, count=1, seed=0)
+        issues = check_index_integrity(labels_framework)
+        assert any(issue.code == "dpt-missing" for issue in issues)
+        handle.undo()

@@ -1,0 +1,87 @@
+"""Backend plumbing through ShardSpec and the materialize ladder."""
+
+import pickle
+
+import pytest
+
+from repro.index import IndexFramework
+from repro.shard import FloorPlacement
+from repro.shard.spec import materialize, shard_specs
+
+
+@pytest.fixture(scope="module")
+def labels_shard_framework(shard_framework_fixture):
+    """The shard population re-indexed through the labels backend."""
+    return IndexFramework.build(
+        shard_framework_fixture.space,
+        list(shard_framework_fixture.objects),
+        backend="labels",
+    )
+
+
+@pytest.fixture(scope="module")
+def labels_specs(labels_shard_framework):
+    placement = FloorPlacement.for_space(labels_shard_framework.space, 3)
+    return shard_specs(labels_shard_framework, placement, cache_capacity=8)
+
+
+class TestBackendField:
+    def test_specs_carry_the_framework_backend(
+        self, labels_specs, shard_framework_fixture
+    ):
+        assert all(spec.backend == "labels" for spec in labels_specs)
+        placement = FloorPlacement.for_space(
+            shard_framework_fixture.space, 3
+        )
+        dense = shard_specs(shard_framework_fixture, placement)
+        assert all(spec.backend == "matrix" for spec in dense)
+
+    def test_backend_survives_pickling(self, labels_specs):
+        clone = pickle.loads(pickle.dumps(labels_specs[0]))
+        assert clone.backend == "labels"
+        assert clone == labels_specs[0]
+
+
+class TestMaterialize:
+    def test_rebuild_rung_honors_the_backend(self, labels_specs):
+        framework, source, arena = materialize(labels_specs[0])
+        assert source == "rebuild"
+        assert arena is None
+        assert framework.distance_index.kind == "labels"
+        assert framework.build_config["backend"] == "labels"
+
+    def test_arena_rung_is_skipped_for_labels(
+        self, labels_shard_framework, shard_framework_fixture
+    ):
+        """A shared dense arena cannot serve a labels worker — the ladder
+        must fall through to the next rung instead of attaching."""
+        from repro.shard import SharedIndexArena
+
+        placement = FloorPlacement.for_space(
+            labels_shard_framework.space, 3
+        )
+        arena = SharedIndexArena.create(
+            shard_framework_fixture.distance_index
+        )
+        try:
+            spec = shard_specs(
+                labels_shard_framework, placement, arena=arena
+            )[0]
+            assert spec.arena is not None
+            framework, source, attached = materialize(spec)
+            assert source == "rebuild"
+            assert attached is None
+            assert framework.distance_index.kind == "labels"
+        finally:
+            arena.unlink()
+
+    def test_materialized_labels_match_the_dense_answers(
+        self, labels_specs, shard_framework_fixture
+    ):
+        framework, _, _ = materialize(labels_specs[0])
+        dense = shard_framework_fixture.distance_index
+        for u in dense.door_ids:
+            for v in dense.door_ids:
+                assert framework.distance_index.distance(
+                    u, v
+                ) == dense.distance(u, v)

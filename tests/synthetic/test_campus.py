@@ -1,0 +1,130 @@
+"""Tests for the campus-scale composite generator (repro.synthetic.campus)."""
+
+import json
+import math
+
+import pytest
+
+from repro.exceptions import ModelError
+from repro.io import space_to_dict
+from repro.model.validation import Severity, validate_space
+from repro.synthetic import BuildingConfig, CampusConfig, generate_campus
+
+
+@pytest.fixture(scope="module")
+def small_campus():
+    """3 buildings x 3 floors x 6 rooms, 1 skybridge per gap."""
+    return generate_campus(
+        CampusConfig(
+            buildings=3,
+            building=BuildingConfig(floors=3, rooms_per_floor=6),
+            skybridges_per_gap=1,
+            seed=11,
+        )
+    )
+
+
+class TestConfig:
+    def test_invalid_configs_raise(self):
+        with pytest.raises(ModelError):
+            CampusConfig(buildings=0)
+        with pytest.raises(ModelError):
+            CampusConfig(corridor_length=0.0)
+        with pytest.raises(ModelError):
+            CampusConfig(skybridges_per_gap=-1)
+
+    def test_door_accounting(self, small_campus):
+        config = small_campus.config
+        assert config.joins_per_gap == 2  # ground corridor + 1 skybridge
+        assert small_campus.door_count == config.doors_total
+
+    def test_skybridges_capped_by_floors(self):
+        config = CampusConfig(
+            buildings=2,
+            building=BuildingConfig(floors=2, rooms_per_floor=4),
+            skybridges_per_gap=10,
+        )
+        assert config.joins_per_gap == 2  # corridor + the single upper floor
+
+    def test_ten_times_paper_scale(self):
+        """The labels-benchmark campus really is >= 10x the paper's
+        ~1 300-door building."""
+        config = CampusConfig(
+            buildings=10,
+            building=BuildingConfig(floors=40),
+            skybridges_per_gap=2,
+        )
+        assert config.doors_total >= 10 * 1356
+
+
+class TestStructure:
+    def test_counts_and_bookkeeping(self, small_campus):
+        config = small_campus.config
+        assert len(small_campus.buildings) == config.buildings
+        assert len(small_campus.corridor_ids) == config.buildings - 1
+        assert len(small_campus.skybridge_ids) == (
+            (config.buildings - 1) * (config.joins_per_gap - 1)
+        )
+        assert small_campus.space.num_doors == config.doors_total
+
+    def test_validates_cleanly(self, small_campus):
+        """No overlap errors and no door-off-wall warnings: corridor doors
+        dock exactly on staircase landings / hallway walls."""
+        issues = validate_space(small_campus.space)
+        assert [i for i in issues if i.severity is Severity.ERROR] == []
+        assert [i for i in issues if i.code == "door-off-wall"] == []
+
+    def test_campus_is_connected(self, small_campus):
+        """A door in the west building reaches a door in the east one."""
+        space = small_campus.space
+        framework_doors = space.topology.door_ids
+        graph = space.distance_graph
+        graph.precompute()
+        from repro.index import IndexFramework
+
+        framework = IndexFramework.build(space)
+        west = framework_doors[0]
+        east = framework_doors[-1]
+        assert math.isfinite(framework.distance_index.distance(west, east))
+        assert math.isfinite(framework.distance_index.distance(east, west))
+
+    def test_buildings_share_the_built_space(self, small_campus):
+        for building in small_campus.buildings:
+            assert building.space is small_campus.space
+
+
+class TestDeterminism:
+    def test_same_config_same_campus(self):
+        config = CampusConfig(
+            buildings=2,
+            building=BuildingConfig(floors=4, rooms_per_floor=6),
+            skybridges_per_gap=2,
+            seed=5,
+        )
+        first = json.dumps(
+            space_to_dict(generate_campus(config).space), sort_keys=True
+        )
+        second = json.dumps(
+            space_to_dict(generate_campus(config).space), sort_keys=True
+        )
+        assert first == second
+
+    def test_seed_moves_the_skybridges(self):
+        building = BuildingConfig(floors=6, rooms_per_floor=6)
+        layouts = {
+            json.dumps(
+                space_to_dict(
+                    generate_campus(
+                        CampusConfig(
+                            buildings=2,
+                            building=building,
+                            skybridges_per_gap=2,
+                            seed=seed,
+                        )
+                    ).space
+                ),
+                sort_keys=True,
+            )
+            for seed in (1, 2, 3)
+        }
+        assert len(layouts) > 1
