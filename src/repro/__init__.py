@@ -51,6 +51,13 @@ The public API mirrors the paper's architecture:
   shard pruning and merges bit-identical answers, and
   :class:`ShardedQueryService` wraps the fleet in the same
   request/response surface as :class:`QueryService`.
+* **Overload control** (:mod:`repro.overload`, beyond the paper): an
+  AIMD :class:`AdaptiveConcurrencyLimiter` tracking measured p99
+  against a latency SLO, a token-bucket :class:`RetryBudget` that keeps
+  retry storms from amplifying outages, and a :class:`HedgePolicy` for
+  deadline-aware hedged scatter-gather probes — threaded through both
+  serving tiers and exercised by the flash-crowd chaos campaign and
+  ``repro overload-bench``.
 
 Quickstart::
 
@@ -155,6 +162,11 @@ from repro.runtime import (
     RetryPolicy,
     check_index_integrity,
 )
+from repro.overload import (
+    AdaptiveConcurrencyLimiter,
+    HedgePolicy,
+    RetryBudget,
+)
 from repro.serve import (
     BreakerState,
     CircuitBreaker,
@@ -178,10 +190,11 @@ from repro.shard import (
     SharedIndexArena,
 )
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "AccessibilityGraph",
+    "AdaptiveConcurrencyLimiter",
     "BoundingBox",
     "BreakerState",
     "CampaignConfig",
@@ -202,6 +215,7 @@ __all__ = [
     "FaultPlan",
     "FloorPlacement",
     "GeometryError",
+    "HedgePolicy",
     "Incident",
     "IncidentClass",
     "IndexError_",
@@ -235,6 +249,7 @@ __all__ = [
     "ReproError",
     "ResilientQueryEngine",
     "ResilientResult",
+    "RetryBudget",
     "RetryPolicy",
     "ScatterGatherRouter",
     "Segment",

@@ -7,7 +7,7 @@ unseeded random draw silently breaks that contract.
 
 Inside the replay-critical scope (``repro.chaos``, ``repro.labels``,
 ``repro.persist``, ``repro.synthetic``, ``repro.runtime.faults``,
-``repro.shard``) this rule forbids calls to:
+``repro.shard``, ``repro.overload``) this rule forbids calls to:
 
 * ``time.time`` / ``time.time_ns`` (wall clock; ``time.monotonic`` and
   ``time.perf_counter`` stay allowed — they measure, they don't stamp)
@@ -36,6 +36,7 @@ _SCOPE_PREFIXES = (
     "repro.synthetic",
     "repro.runtime.faults",
     "repro.shard",
+    "repro.overload",
 )
 
 #: Fully-qualified call targets that break replay determinism.

@@ -1,5 +1,5 @@
 """REP001 — lock discipline in ``repro.serve``, ``repro.persist``,
-``repro.shard``, and ``repro.labels``.
+``repro.shard``, ``repro.labels``, and ``repro.overload``.
 
 A class that allocates a lock (``threading.Lock``, ``RLock``,
 ``Condition``, or a semaphore) is announcing that its ``self._*`` state
@@ -30,6 +30,7 @@ _SCOPE_PREFIXES = (
     "repro.persist",
     "repro.shard",
     "repro.labels",
+    "repro.overload",
 )
 _LOCK_FACTORIES = {
     "Lock",

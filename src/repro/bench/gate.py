@@ -2,8 +2,9 @@
 
 Compares a fresh measurement against the benchmark artifacts committed
 at the repo root (``BENCH_serve.json``, ``BENCH_shard.json``,
-``BENCH_labels.json``) and exits non-zero when the serving tiers or the
-labels backend regressed.  Two kinds of checks:
+``BENCH_labels.json``, ``BENCH_overload.json``) and exits non-zero when
+the serving tiers, the labels backend, or the overload-control stack
+regressed.  Two kinds of checks:
 
 * **ratio metrics** (``speedup``, ``speedup_vs_service``,
   ``bytes_ratio``) — compared with a relative tolerance (default 20%).
@@ -42,6 +43,10 @@ GATE_ARTIFACTS: Dict[str, Tuple[Tuple[str, ...], Tuple[str, ...]]] = {
     "BENCH_labels.json": (
         ("quick.bytes_ratio",),
         ("quick.mismatches",),
+    ),
+    "BENCH_overload.json": (
+        ("protected.goodput_ratio_capped", "protected.slo_attainment"),
+        ("mismatches",),
     ),
 }
 
@@ -121,10 +126,24 @@ def _fresh_labels(committed: Dict[str, Any]) -> Dict[str, Any]:
     return {"seed": seed, "quick": measure_labels(LABELS_QUICK, seed=seed)}
 
 
+def _fresh_overload(committed: Dict[str, Any]) -> Dict[str, Any]:
+    from repro.bench.overload import (
+        OVERLOAD_PAPER,
+        OVERLOAD_QUICK,
+        measure_overload,
+    )
+
+    scale = (
+        OVERLOAD_PAPER if committed.get("scale") == "paper" else OVERLOAD_QUICK
+    )
+    return measure_overload(scale, seed=int(committed.get("seed", 0)))
+
+
 _FRESH_RUNNERS: Dict[str, Callable[[Dict[str, Any]], Dict[str, Any]]] = {
     "BENCH_serve.json": _fresh_serve,
     "BENCH_shard.json": _fresh_shard,
     "BENCH_labels.json": _fresh_labels,
+    "BENCH_overload.json": _fresh_overload,
 }
 
 

@@ -43,6 +43,7 @@ from repro.chaos.plan import (
     INJECTING_ACTIONS,
     FaultAction,
     FaultPlan,
+    flash_crowd_plan,
     standard_plan,
 )
 from repro.chaos.report import (
@@ -77,6 +78,7 @@ __all__ = [
     "OracleViolation",
     "apply_topology_action",
     "euclidean_bound_violation",
+    "flash_crowd_plan",
     "incident_digest",
     "install_latency",
     "space_is_undirected",

@@ -235,3 +235,35 @@ def shard_standard_plan(duration_ops: int, shards: int = 3) -> FaultPlan:
         FaultAction(at(0.55), "kill_shard", {"shard": victim, "cold": True}),
         FaultAction(at(0.75), "kill_shard", {"shard": 0, "cold": False}),
     ])
+
+
+def flash_crowd_plan(duration_ops: int, shards: int = 3) -> FaultPlan:
+    """Shard casualties timed into the flash crowd's spike.
+
+    The flash-crowd workload
+    (:func:`~repro.synthetic.workload.flash_crowd_workload`) peaks
+    between 40% and 60% of the op stream; this plan concentrates every
+    casualty inside that window — a worker killed as the ramp climbs, a
+    second hung right at the peak (the straggler the hedged
+    scatter-gather exists for), and the first re-killed before the ramp
+    is fully down.  The overload-control acceptance bar: zero silent
+    wrong answers and zero unrecovered incidents *while the fleet is
+    losing workers at the worst possible moment*.
+    """
+    if duration_ops < 20:
+        raise ValueError(
+            f"flash-crowd plan needs duration_ops >= 20, got {duration_ops}"
+        )
+    if shards < 2:
+        raise ValueError(f"flash-crowd plan needs shards >= 2, got {shards}")
+
+    def at(fraction: float) -> int:
+        return max(1, int(duration_ops * fraction))
+
+    return FaultPlan([
+        FaultAction(at(0.35), "kill_shard", {"shard": 0, "cold": False}),
+        FaultAction(at(0.45), "hang_shard", {"shard": 1, "seconds": 1.0}),
+        FaultAction(at(0.55), "kill_shard",
+                    {"shard": shards - 1, "cold": True}),
+        FaultAction(at(0.65), "kill_shard", {"shard": 0, "cold": False}),
+    ])

@@ -117,6 +117,10 @@ class CampaignReport:
         latency_ms: per-quality-rung latency percentiles (informational;
             never digested).
         breaker: final breaker snapshot (informational).
+        overload: final overload-control snapshot — shed / hedged /
+            budget counters plus limiter and budget state — for
+            campaigns run with hedging enabled (informational; never
+            digested, because hedge wins depend on real scheduling).
     """
 
     config: Dict[str, Any]
@@ -125,6 +129,7 @@ class CampaignReport:
     ops_executed: int = 0
     latency_ms: Dict[str, Dict[str, float]] = field(default_factory=dict)
     breaker: Dict[str, Any] = field(default_factory=dict)
+    overload: Dict[str, Any] = field(default_factory=dict)
 
     def finalize(self) -> "CampaignReport":
         """Seal the digest over the current incident sequence."""
@@ -169,6 +174,7 @@ class CampaignReport:
             "incidents": [i.to_dict() for i in self.incidents],
             "latency_ms": self.latency_ms,
             "breaker": self.breaker,
+            "overload": self.overload,
         }
 
     def save(self, path: PathLike) -> Path:
@@ -191,4 +197,5 @@ class CampaignReport:
             ops_executed=int(raw.get("ops_executed", 0)),
             latency_ms=raw.get("latency_ms", {}),
             breaker=raw.get("breaker", {}),
+            overload=raw.get("overload", {}),
         )

@@ -51,6 +51,7 @@ from repro.chaos.plan import (
     SHARD_ACTIONS,
     FaultAction,
     FaultPlan,
+    flash_crowd_plan,
     shard_standard_plan,
     standard_plan,
 )
@@ -69,13 +70,19 @@ from repro.runtime.faults import (
     flip_snapshot_byte,
     install_flaky_distance_index,
 )
+from repro.overload import (
+    AdaptiveConcurrencyLimiter,
+    HedgePolicy,
+    RetryBudget,
+    overload_snapshot,
+)
 from repro.serve.breaker import CircuitBreaker
 from repro.serve.lifecycle import SupervisedQueryService
 from repro.serve.metrics import MetricsRegistry
 from repro.serve.requests import QueryRequest, QueryResponse
 from repro.shard.service import ShardedQueryService
 from repro.synthetic.objects import generate_objects
-from repro.synthetic.workload import WorkloadOp, query_workload
+from repro.synthetic.workload import WorkloadOp, flash_crowd_ops, query_workload
 
 #: Buildings a campaign can run against, by config name.
 BUILDINGS = {"figure1": build_figure1}
@@ -135,6 +142,15 @@ class CampaignConfig:
             pristine engine always stays on the dense matrix, so a
             ``backend="labels"`` campaign is an end-to-end proof that the
             label index answers bit-identically to M_idx under faults.
+        workload: op-stream shape — ``"mixed"`` (the uniform default) or
+            ``"flash_crowd"`` (zipfian hotspots + tracking bursts; the
+            default plan becomes
+            :func:`~repro.chaos.plan.flash_crowd_plan`, shard casualties
+            timed into the spike).
+        hedging: install the overload-control stack on the sharded tier
+            (hedged scatter-gather with a retry budget and a generous
+            limiter).  Requires ``shards > 0`` — hedging is a
+            scatter-gather concept.
     """
 
     seed: int = 0
@@ -152,6 +168,20 @@ class CampaignConfig:
     store_dir: Optional[str] = None
     shards: int = 0
     backend: str = "matrix"
+    workload: str = "mixed"
+    hedging: bool = False
+
+    def __post_init__(self) -> None:
+        if self.workload not in ("mixed", "flash_crowd"):
+            raise ValueError(
+                f"workload must be 'mixed' or 'flash_crowd', "
+                f"got {self.workload!r}"
+            )
+        if self.hedging and self.shards <= 0:
+            raise ValueError(
+                "hedging requires a sharded campaign (shards > 0): hedged "
+                "probes are a scatter-gather concept"
+            )
 
     def resolved_plan(self) -> FaultPlan:
         """The plan actually run (defaults to the standard campaign of
@@ -159,6 +189,8 @@ class CampaignConfig:
         if self.plan is not None:
             return self.plan
         if self.shards > 0:
+            if self.workload == "flash_crowd":
+                return flash_crowd_plan(self.duration_ops, shards=self.shards)
             return shard_standard_plan(self.duration_ops, shards=self.shards)
         return standard_plan(self.duration_ops)
 
@@ -180,6 +212,8 @@ class CampaignConfig:
             "cooldown_ops": self.cooldown_ops,
             "shards": self.shards,
             "backend": self.backend,
+            "workload": self.workload,
+            "hedging": self.hedging,
         }
 
     @classmethod
@@ -201,6 +235,8 @@ class CampaignConfig:
             cooldown_ops=int(raw.get("cooldown_ops", 6)),
             shards=int(raw.get("shards", 0)),
             backend=str(raw.get("backend", "matrix")),
+            workload=str(raw.get("workload", "mixed")),
+            hedging=bool(raw.get("hedging", False)),
         )
 
 
@@ -211,6 +247,8 @@ class CampaignRunner:
         self.config = config or CampaignConfig()
         self._service: Optional[ServingTier] = None
         self._breaker: Optional[CircuitBreaker] = None
+        self._limiter: Optional[AdaptiveConcurrencyLimiter] = None
+        self._retry_budget: Optional[RetryBudget] = None
         self._metrics = MetricsRegistry()
         self._handles: Dict[str, FaultHandle] = {}
         self._incidents: List[Incident] = []
@@ -236,7 +274,10 @@ class CampaignRunner:
                 space, cfg.object_count, seed=cfg.seed
             )
         ]
-        ops = query_workload(space, cfg.duration_ops, seed=cfg.seed)
+        if cfg.workload == "flash_crowd":
+            ops = flash_crowd_ops(space, cfg.duration_ops, seed=cfg.seed)
+        else:
+            ops = query_workload(space, cfg.duration_ops, seed=cfg.seed)
 
         tempdir: Optional[tempfile.TemporaryDirectory] = None
         if cfg.store_dir is None:
@@ -297,6 +338,14 @@ class CampaignRunner:
                 for quality, samples in sorted(self._latency.items())
             },
             breaker=breaker_state,
+            overload=(
+                overload_snapshot(
+                    self._metrics,
+                    limiter=self._limiter,
+                    budget=self._retry_budget,
+                )
+                if cfg.hedging else {}
+            ),
         )
         return report.finalize()
 
@@ -326,6 +375,20 @@ class CampaignRunner:
             )
 
         if cfg.shards > 0:
+            overload_opts: Dict[str, Any] = {}
+            if cfg.hedging:
+                # The full overload-control stack, tuned for a serial
+                # campaign: hedges re-probe stragglers (the hung-shard
+                # case) from a shared retry budget; the limiter's SLO is
+                # generous enough that one-at-a-time ops never shed, so
+                # every degradation in the report is fault-driven.
+                self._limiter = AdaptiveConcurrencyLimiter(slo_ms=500.0)
+                self._retry_budget = RetryBudget()
+                overload_opts = {
+                    "hedge_policy": HedgePolicy(),
+                    "retry_budget": self._retry_budget,
+                    "limiter": self._limiter,
+                }
             service = ShardedQueryService(
                 store=store,
                 rebuild=rebuild,
@@ -334,6 +397,7 @@ class CampaignRunner:
                 snapshot_on_shutdown=False,
                 failure_threshold=cfg.failure_threshold,
                 cooldown_ops=cfg.cooldown_ops,
+                **overload_opts,
                 # No answer cache: every op must hit the fleet so degraded
                 # windows are observable, and tight supervision timings
                 # keep kill → restart cycles inside the campaign's span.

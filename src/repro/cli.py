@@ -37,15 +37,25 @@ Commands:
   agreement on sampled pairs; scale via ``REPRO_BENCH_SCALE``, plus a
   ``campus`` scale where the dense matrices are analytic-only);
   ``--artifact`` measures the committed two-scale ``BENCH_labels.json``;
+* ``overload-bench [--json OUT.json] [--seed N]`` — open-loop flash
+  crowd: an unprotected :class:`~repro.serve.QueryService` driven past
+  its collapse point, then the adaptive limiter + shed policy offered
+  2x that load (scale via ``REPRO_BENCH_SCALE``); exit 0 iff the
+  protected run holds its p99 inside the SLO at >= 0.8x the unprotected
+  peak goodput with zero exact-answer mismatches;
 * ``bench --gate [--tolerance T]`` — regression-gate the committed
-  ``BENCH_serve.json`` / ``BENCH_shard.json`` / ``BENCH_labels.json``
-  artifacts against a fresh run (exit non-zero on regression; see
-  :mod:`repro.bench.gate`);
+  ``BENCH_serve.json`` / ``BENCH_shard.json`` / ``BENCH_labels.json`` /
+  ``BENCH_overload.json`` artifacts against a fresh run (exit non-zero
+  on regression; see :mod:`repro.bench.gate`);
 * ``chaos run [--seed N] [--duration-ops M] [--report OUT.json]
-  [--shards N]`` — a deterministic fault-injection campaign (see
-  :mod:`repro.chaos` and ``docs/chaos.md``): exit 0 iff the verdict is
-  PASS; ``--shards N`` runs it against the multi-process sharded tier
-  with the shard fault plan (kill/hang/snapshot-rot);
+  [--shards N] [--workload mixed|flash-crowd] [--hedging]`` — a
+  deterministic fault-injection campaign (see :mod:`repro.chaos` and
+  ``docs/chaos.md``): exit 0 iff the verdict is PASS; ``--shards N``
+  runs it against the multi-process sharded tier with the shard fault
+  plan (kill/hang/snapshot-rot); ``--workload flash-crowd`` swaps in
+  the zipfian rush-hour op stream with casualties timed into the spike,
+  and ``--hedging`` arms the overload-control stack (hedged
+  scatter-gather, retry budget, limiter) on the sharded tier;
 * ``chaos replay --report OUT.json`` — re-run a saved campaign's config
   and verify the incident digest reproduces byte-for-byte (single
   process campaigns only: shard scheduling is real concurrency and is
@@ -165,6 +175,9 @@ def _doctor_campaign(path: str) -> int:
         f"({report.ops_executed} ops, digest {report.digest[:12]}...)"
     )
     for name, count in sorted(counts.items()):
+        if count:
+            print(f"  {name}: {count}")
+    for name, count in sorted(report.overload.get("counters", {}).items()):
         if count:
             print(f"  {name}: {count}")
     return 0 if report.passed else 1
@@ -533,6 +546,35 @@ def _cmd_labels_bench(args: argparse.Namespace) -> int:
     return 0 if result["mismatches"] == 0 else 1
 
 
+def _cmd_overload_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.bench.overload import (
+        current_overload_scale,
+        measure_overload,
+        render_overload_summary,
+    )
+
+    scale = current_overload_scale()
+    print(
+        f"# scale: {scale.name} (set REPRO_BENCH_SCALE=paper for full runs)"
+    )
+    result = measure_overload(scale, seed=args.seed)
+    print(render_overload_summary(result))
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(result, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"# wrote {args.json}")
+    protected = result["protected"]
+    failed = (
+        result["mismatches"] != 0
+        or protected["p99_ms"] > result["slo_ms"]
+        or protected["goodput_ratio"] < 0.8
+    )
+    return 1 if failed else 0
+
+
 def _render_campaign_summary(report) -> None:
     counts = report.counts()
     print(
@@ -547,6 +589,9 @@ def _render_campaign_summary(report) -> None:
             f"p90={stats['p90']}ms p99={stats['p99']}ms "
             f"(n={int(stats['count'])})"
         )
+    for name, count in sorted(report.overload.get("counters", {}).items()):
+        if count:
+            print(f"  {name}: {count}")
 
 
 def _cmd_chaos_run(args: argparse.Namespace) -> int:
@@ -575,6 +620,8 @@ def _cmd_chaos_run(args: argparse.Namespace) -> int:
         store_dir=args.store_dir,
         shards=args.shards,
         backend=args.backend,
+        workload=args.workload.replace("-", "_"),
+        hedging=args.hedging,
     )
     report = CampaignRunner(config).run()
     _render_campaign_summary(report)
@@ -841,6 +888,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     labels_bench.set_defaults(handler=_cmd_labels_bench)
 
+    overload_bench = commands.add_parser(
+        "overload-bench",
+        help="flash-crowd overload: adaptive limiter + shedding vs an "
+        "unprotected service driven past collapse",
+    )
+    overload_bench.add_argument(
+        "--json", default=None, help="write the full result dict to this file"
+    )
+    overload_bench.add_argument(
+        "--seed", type=int, default=0, help="workload seed (default 0)"
+    )
+    overload_bench.set_defaults(handler=_cmd_overload_bench)
+
     chaos = commands.add_parser(
         "chaos", help="deterministic fault-injection campaigns"
     )
@@ -887,6 +947,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--shards", type=int, default=0, metavar="N",
         help="run the campaign against an N-worker sharded tier with the "
         "shard fault plan (kill/hang/snapshot-rot); 0 = single-process",
+    )
+    chaos_run.add_argument(
+        "--workload", default="mixed", choices=("mixed", "flash-crowd"),
+        help="op-stream shape; flash-crowd is the zipfian rush-hour "
+        "spike (with --shards, the default plan times its casualties "
+        "into the spike window)",
+    )
+    chaos_run.add_argument(
+        "--hedging", action="store_true",
+        help="arm the overload-control stack on the sharded tier: "
+        "hedged scatter-gather probes, a retry budget, and an adaptive "
+        "concurrency limiter (requires --shards)",
     )
     chaos_run.add_argument(
         "--backend", default="matrix", choices=("matrix", "labels"),

@@ -1,0 +1,32 @@
+"""Adaptive overload control for the serving tiers.
+
+Three cooperating mechanisms keep the service answering — degraded but
+never wrong — when offered load exceeds capacity:
+
+* :class:`AdaptiveConcurrencyLimiter` — an AIMD admission limit that
+  tracks measured p99 against a latency SLO, replacing the fixed queue
+  bound and shedding down the QualityLevel ladder when breached.
+* :class:`RetryBudget` — a per-service token bucket (successes refill
+  ~10%) that gates rebuild retries, router re-scatters, and hedges so
+  retry storms cannot amplify an outage.
+* :class:`HedgePolicy` — p95-derived delays for re-issuing straggling
+  shard probes, first answer wins, merges bit-identical.
+
+See ``docs/serving.md`` ("Overload control") for how the pieces thread
+through :class:`~repro.serve.service.QueryService` and
+:class:`~repro.shard.service.ShardedQueryService`.
+"""
+
+from repro.overload.budget import RetryBudget, run_with_budget
+from repro.overload.hedge import HedgePolicy
+from repro.overload.introspect import OVERLOAD_COUNTERS, overload_snapshot
+from repro.overload.limiter import AdaptiveConcurrencyLimiter
+
+__all__ = [
+    "AdaptiveConcurrencyLimiter",
+    "HedgePolicy",
+    "OVERLOAD_COUNTERS",
+    "RetryBudget",
+    "overload_snapshot",
+    "run_with_budget",
+]

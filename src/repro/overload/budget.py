@@ -1,0 +1,136 @@
+"""Per-service retry budgets: token buckets that starve retry storms.
+
+Unbounded retries amplify outages: when a dependency slows down, every
+caller retries, multiplying offered load exactly when capacity is
+scarcest.  A :class:`RetryBudget` caps fleet-wide retry volume at a
+fraction of *successful* work — the classic token-bucket scheme where
+each success deposits ``refill_ratio`` tokens (≈10%) and each retry,
+hedge, or re-scatter withdraws one.  While the service is healthy the
+bucket stays near capacity and retries flow freely; during an outage
+successes stop, the bucket drains after ``capacity`` retries, and
+further retries are denied until real work succeeds again.
+
+The budget is shared per service instance (thread-pool tier or sharded
+tier), not per request — that is the point: one hot request cannot spend
+tokens that a thousand cold ones refilled, but a thousand hot ones
+cannot each retry twice either.
+
+Everything is counted in operations, never wall-clock, so budget
+decisions replay deterministically under the chaos harness.
+"""
+
+from __future__ import annotations
+
+from threading import Lock
+from typing import Any, Callable, Dict, Optional, TypeVar
+
+from repro.exceptions import ReproError
+from repro.runtime.retry import RetryPolicy
+from repro.serve.metrics import MetricsRegistry
+
+T = TypeVar("T")
+
+
+class RetryBudget:
+    """Token bucket gating retries to a fraction of successful work.
+
+    Attributes:
+        capacity: maximum tokens the bucket holds (also the initial
+            balance — a fresh service can absorb a burst of retries
+            before any successes land).
+        refill_ratio: tokens deposited per recorded success (~0.1 keeps
+            steady-state retry volume at ~10% of throughput).
+        metrics: optional registry; denials increment
+            ``overload.budget_denied``, spends ``overload.budget_spent``.
+    """
+
+    def __init__(
+        self,
+        capacity: float = 32.0,
+        refill_ratio: float = 0.1,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if refill_ratio < 0:
+            raise ValueError("refill_ratio must be non-negative")
+        self.capacity = float(capacity)
+        self.refill_ratio = float(refill_ratio)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._lock = Lock()
+        self._tokens = float(capacity)
+        self._successes = 0
+        self._spent = 0
+        self._denied = 0
+
+    def record_success(self) -> None:
+        """Deposit ``refill_ratio`` tokens for one successful operation."""
+        with self._lock:
+            self._successes += 1
+            self._tokens = min(self.capacity, self._tokens + self.refill_ratio)
+
+    def try_spend(self, cost: float = 1.0) -> bool:
+        """Withdraw ``cost`` tokens; False (and no withdrawal) if broke."""
+        with self._lock:
+            if self._tokens >= cost:
+                self._tokens -= cost
+                self._spent += 1
+                granted = True
+            else:
+                self._denied += 1
+                granted = False
+        if granted:
+            self.metrics.increment("overload.budget_spent")
+        else:
+            self.metrics.increment("overload.budget_denied")
+        return granted
+
+    @property
+    def tokens(self) -> float:
+        """Current balance (for tests and introspection)."""
+        with self._lock:
+            return self._tokens
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-safe state for readiness probes and reports."""
+        with self._lock:
+            return {
+                "tokens": round(self._tokens, 3),
+                "capacity": self.capacity,
+                "refill_ratio": self.refill_ratio,
+                "successes": self._successes,
+                "spent": self._spent,
+                "denied": self._denied,
+            }
+
+
+def run_with_budget(
+    policy: RetryPolicy,
+    operation: Callable[[], T],
+    budget: Optional[RetryBudget],
+) -> T:
+    """``policy.run(operation)`` with every attempt after the first paid
+    for from ``budget``.
+
+    The first attempt is ordinary work and always free; each *retry*
+    withdraws one token.  When the budget denies, the most recent error
+    propagates immediately — exactly what an exhausted ``RetryPolicy``
+    would have raised, so callers need no new failure mode.
+    """
+    if budget is None:
+        return policy.run(operation)
+    last_error: Optional[ReproError] = None
+    for attempt, delay in enumerate(policy.delays()):
+        if attempt > 0:
+            assert last_error is not None
+            if not budget.try_spend():
+                raise last_error
+            if delay > 0:
+                policy.sleep(delay)
+        try:
+            return operation()
+        except ReproError as exc:
+            last_error = exc
+    if last_error is None:
+        raise RuntimeError("retry policy permitted no attempts")
+    raise last_error

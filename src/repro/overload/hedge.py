@@ -1,0 +1,84 @@
+"""Hedged-request policy: when to re-issue a straggling shard probe.
+
+A scatter-gather answer is as slow as its slowest shard, and under
+faults that slowest shard is often a restarting worker that will never
+answer inside the deadline.  Hedging re-issues the probe after a delay
+derived from observed probe latency — the p95 by default, so only the
+slowest ~5% of probes ever pay for a duplicate — and takes whichever
+answer lands first.  Because the duplicate goes to the *same* shard
+(same objects, same index, same epoch), either answer merges
+bit-identically; hedging changes tail latency, never results.
+
+:class:`HedgePolicy` is a frozen value object: it computes the delay,
+the router supplies the latency source and spends the retry budget.
+``fixed_delay_s`` pins the delay for tests and deterministic chaos
+campaigns; ``quantile``/``multiplier`` drive the adaptive path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.serve.metrics import LatencyHistogram
+
+
+@dataclass(frozen=True)
+class HedgePolicy:
+    """When to hedge a shard probe.
+
+    Attributes:
+        quantile: latency percentile the delay tracks (95.0 → p95).
+        multiplier: slack over the tracked percentile before hedging.
+        min_delay_s: floor — never hedge faster than this (guards
+            against a cold histogram full of sub-millisecond probes).
+        max_delay_s: optional ceiling; the router additionally clamps to
+            its own remaining deadline.
+        min_samples: observations required before the percentile is
+            trusted; below this, ``default_fraction`` of the deadline is
+            used instead.
+        default_fraction: cold-start delay as a fraction of the
+            caller-supplied deadline.
+        fixed_delay_s: when set, overrides everything — the delay is
+            this constant (0.0 hedges every probe still pending at
+            gather time; useful in tests).
+    """
+
+    quantile: float = 95.0
+    multiplier: float = 1.5
+    min_delay_s: float = 0.002
+    max_delay_s: Optional[float] = None
+    min_samples: int = 16
+    default_fraction: float = 0.5
+    fixed_delay_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.quantile <= 100.0:
+            raise ValueError("quantile must be in (0, 100]")
+        if self.multiplier <= 0:
+            raise ValueError("multiplier must be positive")
+        if self.min_delay_s < 0:
+            raise ValueError("min_delay_s must be non-negative")
+        if not 0.0 < self.default_fraction <= 1.0:
+            raise ValueError("default_fraction must be in (0, 1]")
+
+    def delay_s(
+        self, probes: Optional[LatencyHistogram], deadline_s: float
+    ) -> float:
+        """Seconds to wait before hedging one probe.
+
+        ``probes`` is the router's observed per-probe latency histogram
+        (may be None or cold); ``deadline_s`` is the full per-scatter
+        deadline the delay must stay inside.
+        """
+        if self.fixed_delay_s is not None:
+            return self.fixed_delay_s
+        if probes is not None and probes.count >= self.min_samples:
+            delay = (probes.percentile(self.quantile) / 1000.0) * (
+                self.multiplier
+            )
+        else:
+            delay = deadline_s * self.default_fraction
+        if self.max_delay_s is not None:
+            delay = min(delay, self.max_delay_s)
+        return max(self.min_delay_s, delay)

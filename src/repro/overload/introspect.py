@@ -1,0 +1,45 @@
+"""One JSON-safe view of the overload-control state, for probes.
+
+Both serving tiers surface the same payload — readiness endpoints,
+``repro doctor``, and chaos reports all render it — so the counters are
+named once here instead of being re-listed at every call site.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Union
+
+from repro.overload.budget import RetryBudget
+from repro.overload.limiter import AdaptiveConcurrencyLimiter
+from repro.serve.metrics import MetricsRegistry, ScopedMetrics
+
+#: Counters every overload-aware component feeds (zero until touched).
+OVERLOAD_COUNTERS = (
+    "serve.shed",
+    "overload.hedged",
+    "overload.hedge_wins",
+    "overload.hedge_cancelled",
+    "overload.budget_spent",
+    "overload.budget_denied",
+    "overload.limit_increased",
+    "overload.limit_decreased",
+)
+
+
+def overload_snapshot(
+    metrics: Union[MetricsRegistry, ScopedMetrics],
+    *,
+    limiter: Optional[AdaptiveConcurrencyLimiter] = None,
+    budget: Optional[RetryBudget] = None,
+) -> Dict[str, Any]:
+    """Shed / hedge / budget counters plus component snapshots."""
+    payload: Dict[str, Any] = {
+        "counters": {
+            name: metrics.counter(name).value for name in OVERLOAD_COUNTERS
+        }
+    }
+    if limiter is not None:
+        payload["limiter"] = limiter.snapshot()
+    if budget is not None:
+        payload["budget"] = budget.snapshot()
+    return payload

@@ -1,0 +1,156 @@
+"""AIMD adaptive concurrency limiting against a latency SLO.
+
+A fixed admission-queue bound is the wrong control surface for
+overload: the queue length that keeps p99 inside the SLO depends on how
+fast the hardware drains it, which varies per host and per workload
+mix.  :class:`AdaptiveConcurrencyLimiter` replaces the fixed bound with
+a limit the service *measures* its way to — classic
+additive-increase / multiplicative-decrease over the served-latency
+signal:
+
+* every ``adjust_every`` completed requests, compare the windowed p99
+  against ``slo_ms``;
+* breach → multiplicative decrease (``limit ×= decrease_factor``,
+  floored at ``min_limit``) — shed hard, recover capacity;
+* healthy → additive increase (``limit += increase_by``, capped at
+  ``max_limit``) — probe for headroom.
+
+A single observation beyond ``brake_factor × slo_ms`` triggers an
+immediate decrease (at most once per adjustment window) so a sudden
+stall does not wait out the window while the queue melts down.
+
+The limiter only *publishes* a limit; admission control stays where it
+always was (``QueryService.submit`` occupancy shedding, the sharded
+tier's in-flight gate).  Occupancy relative to ``limit`` feeds the
+existing :class:`~repro.serve.service.ShedPolicy` quality ladder, so
+"over the limit" degrades answers rung by rung instead of failing them.
+
+Adjustment is op-counted — no wall clock — so limiter trajectories
+replay deterministically from a workload's latency sequence.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from threading import Lock
+from typing import Any, Deque, Dict, Optional
+
+from repro.serve.metrics import MetricsRegistry
+
+
+class AdaptiveConcurrencyLimiter:
+    """AIMD concurrency limit tracking measured p99 vs ``slo_ms``."""
+
+    def __init__(
+        self,
+        slo_ms: float = 100.0,
+        initial_limit: int = 32,
+        min_limit: int = 4,
+        max_limit: int = 512,
+        adjust_every: int = 32,
+        increase_by: int = 2,
+        decrease_factor: float = 0.6,
+        brake_factor: float = 3.0,
+        window: int = 256,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if slo_ms <= 0:
+            raise ValueError("slo_ms must be positive")
+        if not (1 <= min_limit <= initial_limit <= max_limit):
+            raise ValueError(
+                "limits must satisfy 1 <= min_limit <= initial_limit"
+                " <= max_limit"
+            )
+        if adjust_every < 1:
+            raise ValueError("adjust_every must be >= 1")
+        if not 0.0 < decrease_factor < 1.0:
+            raise ValueError("decrease_factor must be in (0, 1)")
+        if increase_by < 1:
+            raise ValueError("increase_by must be >= 1")
+        self.slo_ms = float(slo_ms)
+        self.min_limit = int(min_limit)
+        self.max_limit = int(max_limit)
+        self.adjust_every = int(adjust_every)
+        self.increase_by = int(increase_by)
+        self.decrease_factor = float(decrease_factor)
+        self.brake_factor = float(brake_factor)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._lock = Lock()
+        self._limit = int(initial_limit)
+        self._samples: Deque[float] = deque(maxlen=int(window))
+        self._since_adjust = 0
+        self._braked_this_window = False
+        self._increases = 0
+        self._decreases = 0
+        self._last_p99_ms = 0.0
+
+    @property
+    def limit(self) -> int:
+        """The current admission limit (concurrent/queued requests)."""
+        with self._lock:
+            return self._limit
+
+    def occupancy(self, outstanding: int) -> float:
+        """Outstanding work as a fraction of the current limit."""
+        with self._lock:
+            return outstanding / self._limit
+
+    def observe(self, latency_ms: float) -> None:
+        """Feed one served-request latency; adjusts the limit in-band."""
+        decreased = increased = False
+        with self._lock:
+            self._samples.append(float(latency_ms))
+            self._since_adjust += 1
+            braking = (
+                latency_ms > self.brake_factor * self.slo_ms
+                and not self._braked_this_window
+                and self._limit > self.min_limit
+            )
+            if braking:
+                self._braked_this_window = True
+                self._decrease_locked()
+                decreased = True
+            elif self._since_adjust >= self.adjust_every:
+                self._since_adjust = 0
+                self._braked_this_window = False
+                self._last_p99_ms = self._p99_locked()
+                if self._last_p99_ms > self.slo_ms:
+                    self._decrease_locked()
+                    decreased = True
+                elif self._limit < self.max_limit:
+                    self._limit = min(
+                        self.max_limit, self._limit + self.increase_by
+                    )
+                    self._increases += 1
+                    increased = True
+        if decreased:
+            self.metrics.increment("overload.limit_decreased")
+        if increased:
+            self.metrics.increment("overload.limit_increased")
+
+    def _decrease_locked(self) -> None:
+        self._limit = max(
+            self.min_limit, int(self._limit * self.decrease_factor)
+        )
+        self._decreases += 1
+
+    def _p99_locked(self) -> float:
+        ordered = sorted(self._samples)
+        if not ordered:
+            return 0.0
+        rank = max(0, math.ceil(0.99 * len(ordered)) - 1)
+        return ordered[rank]
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-safe state for readiness probes and reports."""
+        with self._lock:
+            return {
+                "limit": self._limit,
+                "slo_ms": self.slo_ms,
+                "min_limit": self.min_limit,
+                "max_limit": self.max_limit,
+                "p99_ms": round(self._last_p99_ms, 3),
+                "increases": self._increases,
+                "decreases": self._decreases,
+            }

@@ -97,20 +97,24 @@ class CircuitBreaker:
     def allow_exact(self) -> bool:
         """Whether the exact indexed path may be tried right now.
 
-        OPEN counts this call against the cooldown; once the cooldown is
-        spent the breaker moves to HALF_OPEN and the *next* call probes.
-        HALF_OPEN always allows the probe — a probing round that happens to
-        be answered entirely from cache simply leaves the breaker probing,
-        it can never wedge it.
+        OPEN counts this call against the cooldown; the call that spends
+        the last cooldown op moves the breaker to HALF_OPEN and is
+        *itself* the probe — short-circuiting it too would waste one
+        operation per cooldown, and under concurrent callers the
+        remaining count could underflow far below zero, stretching the
+        next cooldown.  HALF_OPEN always allows the probe — a probing
+        round that happens to be answered entirely from cache simply
+        leaves the breaker probing, it can never wedge it.
         """
         with self._lock:
             if self._state is BreakerState.CLOSED:
                 return True
             if self._state is BreakerState.OPEN:
-                self._cooldown_remaining -= 1
+                self._cooldown_remaining = max(0, self._cooldown_remaining - 1)
                 if self._cooldown_remaining <= 0:
                     self._state = BreakerState.HALF_OPEN
                     self.metrics.increment("serve.breaker.half_open")
+                    return True  # this call is the probe
                 self.metrics.increment("serve.breaker.short_circuited")
                 return False
             return True  # HALF_OPEN: probe

@@ -28,6 +28,7 @@ from typing import Any, Callable, Dict, Iterable, List, Optional
 
 from repro.exceptions import ServiceUnavailableError
 from repro.index.framework import IndexFramework
+from repro.overload.introspect import overload_snapshot
 from repro.persist.recovery import (
     RecoveryManager,
     RecoveryReport,
@@ -151,6 +152,7 @@ class SupervisedQueryService:
             state = self._state
             report = self._report
             error = self._startup_error
+            service = self._service
         payload: Dict[str, Any] = {
             "state": state.value,
             "ready": state is ServiceState.READY,
@@ -162,6 +164,12 @@ class SupervisedQueryService:
                 "replayed": report.replay.applied if report.replay else 0,
                 "quarantined": [p.name for p in report.quarantined],
             }
+        if service is not None:
+            payload["overload"] = overload_snapshot(
+                service.metrics,
+                limiter=service.limiter,
+                budget=service.retry_budget,
+            )
         if error is not None:
             payload["error"] = str(error)
         return payload

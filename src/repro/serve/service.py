@@ -40,6 +40,8 @@ from repro.exceptions import (
     StaleIndexError,
 )
 from repro.index.framework import IndexFramework
+from repro.overload.budget import RetryBudget, run_with_budget
+from repro.overload.limiter import AdaptiveConcurrencyLimiter
 from repro.queries.baselines import brute_force_knn, brute_force_range
 from repro.queries.engine import QueryEngine
 from repro.runtime.integrity import require_index_integrity
@@ -163,6 +165,18 @@ class QueryService:
             corrupt M_d2d is *detected* (and, with a breaker, degraded
             around) rather than served.  Off by default — the check is
             O(doors²) per round.
+        limiter: an :class:`~repro.overload.AdaptiveConcurrencyLimiter`.
+            With one installed, shed occupancy is measured against its
+            adaptive limit instead of the fixed ``queue_capacity``, and
+            every served latency feeds its AIMD adjustment — admission
+            tightens when measured p99 breaches the SLO.  The hard
+            ``2 × queue_capacity`` backpressure bound stays.
+        retry_budget: a :class:`~repro.overload.RetryBudget` shared by
+            the staleness re-admissions and the rebuild retries.  When
+            the budget denies, a stale ticket is answered exactly but
+            index-free (``EXACT_FALLBACK``) instead of re-queued, and a
+            rebuild raises its last error instead of retrying — retry
+            storms cannot amplify an outage.
     """
 
     def __init__(
@@ -181,6 +195,8 @@ class QueryService:
         metrics: Optional[MetricsRegistry] = None,
         breaker: Optional[CircuitBreaker] = None,
         integrity_gate: bool = False,
+        limiter: Optional[AdaptiveConcurrencyLimiter] = None,
+        retry_budget: Optional[RetryBudget] = None,
     ) -> None:
         if isinstance(engine, ResilientQueryEngine):
             engine = engine.engine
@@ -206,6 +222,12 @@ class QueryService:
         self.metrics = metrics or MetricsRegistry()
         self.breaker = breaker
         self._integrity_gate = integrity_gate
+        self.limiter = limiter
+        self.retry_budget = retry_budget
+        if limiter is not None and limiter.metrics is not self.metrics:
+            limiter.metrics = self.metrics
+        if retry_budget is not None and retry_budget.metrics is not self.metrics:
+            retry_budget.metrics = self.metrics
         if breaker is not None and breaker.metrics is not self.metrics:
             # One registry, one picture: transitions land next to the
             # serve counters they explain.
@@ -314,7 +336,12 @@ class QueryService:
                 and not self._stopping
             ):
                 self._cv.wait(timeout=0.05)
-            occupancy = len(self._queue) / self._queue_capacity
+            capacity = (
+                self.limiter.limit
+                if self.limiter is not None
+                else self._queue_capacity
+            )
+            occupancy = len(self._queue) / capacity
             cap = self._shed_policy.quality_cap(occupancy)
             ticket = _Ticket(request, future, time.perf_counter(), cap)
             self._queue.append(ticket)
@@ -448,6 +475,14 @@ class QueryService:
         if not self._rebuild_on_stale or ticket.retries >= 2:
             self._fail(ticket, exc)
             return
+        if (
+            self.retry_budget is not None
+            and not self.retry_budget.try_spend()
+        ):
+            # Retry storm underway: answer exactly but index-free
+            # rather than re-amplify the rebuild queue.
+            self._serve_degraded(ticket, level=QualityLevel.EXACT_FALLBACK)
+            return
         ticket.retries += 1
         self.metrics.increment("serve.retries")
         if self._threads:
@@ -465,8 +500,10 @@ class QueryService:
             self.engine.framework.check_fresh()  # raises StaleIndexError
         with self._rebuild_lock:
             if not self.engine.framework.is_fresh:
-                self.engine.framework = self._retry_policy.run(
-                    self.engine.framework.rebuild
+                self.engine.framework = run_with_budget(
+                    self._retry_policy,
+                    self.engine.framework.rebuild,
+                    self.retry_budget,
                 )
                 self.metrics.increment("serve.rebuilds")
 
@@ -586,6 +623,12 @@ class QueryService:
         self.metrics.observe(
             f"serve.latency_ms.{ticket.request.kind.value}", latency_ms
         )
+        if self.limiter is not None:
+            self.limiter.observe(latency_ms)
+        if self.retry_budget is not None and not shed and not breaker:
+            # Only full-quality answers refill the budget: a degraded
+            # service must not finance the retries that keep it degraded.
+            self.retry_budget.record_success()
         ticket.future.set_result(response)
 
     def _fail(self, ticket: _Ticket, exc: Exception) -> None:

@@ -52,12 +52,16 @@ from __future__ import annotations
 
 import threading
 import time
-from concurrent.futures import Future
+from concurrent.futures import FIRST_COMPLETED, Future
+from concurrent.futures import TimeoutError as FutureTimeout
+from concurrent.futures import wait as wait_futures
 from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.exceptions import ReproError, ShardUnavailableError
 from repro.geometry import Point
 from repro.index.framework import IndexFramework
+from repro.overload.budget import RetryBudget
+from repro.overload.hedge import HedgePolicy
 from repro.runtime.ladder import QualityLevel, euclidean_lower_bound
 from repro.serve.breaker import CircuitBreaker
 from repro.serve.cache import EpochLRUCache
@@ -68,6 +72,11 @@ from repro.shard.supervisor import ShardSupervisor
 
 #: Matches the engine's range-predicate slack (see runtime.ladder).
 _RANGE_EPS = 1e-9
+
+#: Everything a gather can fail with.  ``FutureTimeout`` is distinct
+#: from the builtin ``TimeoutError`` before Python 3.11, and
+#: ``Future.result`` raises the former.
+_GATHER_FAULTS = (FutureTimeout, TimeoutError, ReproError, OSError)
 
 
 class ScatterGatherRouter:
@@ -87,6 +96,16 @@ class ScatterGatherRouter:
             both ends.
         failure_threshold / cooldown_ops: per-shard breaker tuning.
         cache_capacity: entries in the exact-answer cache (0 disables).
+        hedge_policy: an :class:`~repro.overload.HedgePolicy`.  With one
+            installed, a probe still pending after the policy's delay
+            (p95-derived from observed probe latency) is re-issued to the
+            same shard's worker and the first answer wins — because both
+            probes ask the same worker population the same question, the
+            merge stays bit-identical to the unhedged path.  ``None``
+            (default) keeps plain single-probe gathers.
+        retry_budget: a :class:`~repro.overload.RetryBudget` that hedges
+            and pt2pt re-scatters draw from, so a struggling fleet is not
+            pelted with duplicates; shard successes refill it.
     """
 
     def __init__(
@@ -100,11 +119,16 @@ class ScatterGatherRouter:
         failure_threshold: int = 3,
         cooldown_ops: int = 8,
         cache_capacity: int = 1024,
+        hedge_policy: Optional[HedgePolicy] = None,
+        retry_budget: Optional[RetryBudget] = None,
     ) -> None:
         self.supervisor = supervisor
         self.placement = placement
         self.metrics = metrics or MetricsRegistry()
         self.shard_timeout_s = shard_timeout_s
+        self.hedge_policy = hedge_policy
+        self.retry_budget = retry_budget
+        self._probe_ms = self.metrics.histogram("serve.probe_ms")
         # The sharded tier serves a static topology: the epoch is fixed at
         # construction and every response carries it.
         self._epoch = framework.space.topology_epoch
@@ -185,6 +209,40 @@ class ScatterGatherRouter:
             self.metrics.increment("serve.degraded")
         return self._respond(request, value, quality, missing, start)
 
+    def shed_execute(self, request: QueryRequest) -> QueryResponse:
+        """Answer at the Euclidean rung from the router's local object
+        tables without touching the fleet (the admission limiter's shed
+        path).
+
+        The rung guarantee matches the gap fill: range answers are
+        supersets (Euclidean bound ≤ true walk), kNN / pt2pt report
+        lower-bound distances — degraded, never silently wrong.
+        """
+        start = time.perf_counter()
+        self.metrics.increment("serve.requests")
+        self.metrics.increment("serve.shed")
+        if request.kind is QueryKind.RANGE:
+            limit = request.radius + _RANGE_EPS
+            value: Any = sorted(
+                oid
+                for table in self._objects.values()
+                for oid, position in table
+                if euclidean_lower_bound(request.position, position) <= limit
+            )
+        elif request.kind is QueryKind.KNN:
+            ranked = sorted(
+                (euclidean_lower_bound(request.position, position), oid)
+                for table in self._objects.values()
+                for oid, position in table
+            )
+            value = [(oid, dist) for dist, oid in ranked[: request.k]]
+        else:
+            value = euclidean_lower_bound(request.position, request.target)
+        self.metrics.increment("serve.degraded")
+        return self._respond(
+            request, value, QualityLevel.EUCLIDEAN, (), start, shed=True
+        )
+
     def breaker_snapshot(self) -> Dict[int, Dict[str, Any]]:
         """Per-shard breaker state."""
         return {
@@ -212,6 +270,7 @@ class ScatterGatherRouter:
         missing: Tuple[int, ...],
         start: float,
         from_cache: bool = False,
+        shed: bool = False,
     ) -> QueryResponse:
         latency_ms = (time.perf_counter() - start) * 1000.0
         self.metrics.increment("serve.responses")
@@ -225,6 +284,7 @@ class ScatterGatherRouter:
             quality=quality,
             served_epoch=self._epoch,
             cached=from_cache,
+            shed=shed,
             breaker=bool(missing),
             latency_ms=latency_ms,
             missing_shards=missing,
@@ -253,21 +313,121 @@ class ScatterGatherRouter:
                 breaker.record_failure()
                 missing.append(shard_id)
         answers: Dict[int, Any] = {}
-        deadline = time.monotonic() + self.shard_timeout_s
+        scattered_at = time.monotonic()
+        deadline = scattered_at + self.shard_timeout_s
         for shard_id, future in futures.items():
             breaker = self._breakers[shard_id]
             shard_metrics = self._shard_metrics[shard_id]
-            remaining = deadline - time.monotonic()
             try:
-                answers[shard_id] = future.result(timeout=max(0.0, remaining))
-            except (TimeoutError, ReproError, OSError):
+                answers[shard_id] = self._gather_one(
+                    shard_id, request, future, deadline
+                )
+            except _GATHER_FAULTS:
                 shard_metrics.increment("serve.failures")
                 breaker.record_failure()
                 missing.append(shard_id)
             else:
+                self._probe_ms.observe(
+                    (time.monotonic() - scattered_at) * 1000.0
+                )
                 shard_metrics.increment("serve.responses")
                 breaker.record_success()
+                if self.retry_budget is not None:
+                    self.retry_budget.record_success()
         return answers, sorted(missing)
+
+    def _gather_one(
+        self,
+        shard_id: int,
+        request: QueryRequest,
+        future: Future,
+        deadline: float,
+    ) -> Any:
+        """One shard's answer, hedged when a policy is installed.
+
+        Waits out the hedge delay on the primary probe; if it is still
+        pending, pays one retry-budget token to re-issue the probe to the
+        same shard (its restarted worker, after a casualty) and returns
+        whichever answer lands first.  Raises a :data:`_GATHER_FAULTS`
+        member when no probe answers inside the deadline — the caller
+        turns that into the Euclidean gap fill, exactly as unhedged.
+        """
+        remaining = deadline - time.monotonic()
+        if self.hedge_policy is None:
+            return future.result(timeout=max(0.0, remaining))
+        delay = self.hedge_policy.delay_s(self._probe_ms, self.shard_timeout_s)
+        if delay >= remaining:
+            return future.result(timeout=max(0.0, remaining))
+        try:
+            return future.result(timeout=max(0.0, delay))
+        except (FutureTimeout, TimeoutError):
+            pass
+        hedge = self._launch_hedge(shard_id, request, deadline)
+        if hedge is None:
+            return future.result(timeout=max(0.0, deadline - time.monotonic()))
+        return self._first_answer(future, hedge, deadline)
+
+    def _launch_hedge(
+        self, shard_id: int, request: QueryRequest, deadline: float
+    ) -> Optional[Future]:
+        """Re-issue a straggler's probe; None when denied or impossible."""
+        if self.retry_budget is not None and not self.retry_budget.try_spend():
+            return None
+        try:
+            hedge = self.supervisor.submit(
+                shard_id,
+                request,
+                budget_s=max(0.0, deadline - time.monotonic()),
+            )
+        except ShardUnavailableError:
+            # Worker mid-restart: nothing to hedge to.  The Euclidean
+            # gap fill covers the shard if the primary stays silent.
+            self._shard_metrics[shard_id].increment("serve.unavailable")
+            return None
+        self.metrics.increment("overload.hedged")
+        self._shard_metrics[shard_id].increment("serve.hedges")
+        return hedge
+
+    def _first_answer(
+        self, primary: Future, hedge: Future, deadline: float
+    ) -> Any:
+        """First successful result of the two probes (first-answer-wins).
+
+        The loser is cancelled best-effort; if one probe errors the
+        other is still waited out.  Raises the last probe error, or the
+        timeout, when neither answers.
+        """
+        pending = [primary, hedge]
+        last_error: Optional[BaseException] = None
+        while pending:
+            remaining = deadline - time.monotonic()
+            done, _ = wait_futures(
+                pending,
+                timeout=max(0.0, remaining),
+                return_when=FIRST_COMPLETED,
+            )
+            if not done:
+                break  # deadline: neither probe answered in time
+            for future in list(pending):
+                if future not in done:
+                    continue
+                pending.remove(future)
+                try:
+                    value = future.result(timeout=0)
+                except _GATHER_FAULTS as exc:
+                    last_error = exc
+                    continue
+                for loser in pending:
+                    loser.cancel()
+                    self.metrics.increment("overload.hedge_cancelled")
+                if future is hedge:
+                    self.metrics.increment("overload.hedge_wins")
+                return value
+        if last_error is not None:
+            raise last_error
+        raise FutureTimeout(
+            "neither primary nor hedge probe answered within the deadline"
+        )
 
     def _populated(self) -> List[int]:
         """Shards that own at least one object (empty shards cannot
@@ -405,7 +565,16 @@ class ScatterGatherRouter:
             if shard_id != preferred
         ]
         failed: List[int] = []
-        for shard_id in order:
+        for index, shard_id in enumerate(order):
+            if (
+                index > 0
+                and self.retry_budget is not None
+                and not self.retry_budget.try_spend()
+            ):
+                # Every shard after the preferred one is a re-scatter;
+                # when the budget is broke, stop hammering the fleet and
+                # answer at the Euclidean bound.
+                break
             answers, missing = self._scatter([shard_id], request)
             if shard_id in answers:
                 # Any shard's pt2pt answer is exact over the full

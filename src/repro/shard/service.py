@@ -33,6 +33,10 @@ from typing import Any, Callable, Dict, Iterable, List, Optional
 
 from repro.exceptions import ServiceUnavailableError
 from repro.index.framework import IndexFramework
+from repro.overload.budget import RetryBudget
+from repro.overload.hedge import HedgePolicy
+from repro.overload.introspect import overload_snapshot
+from repro.overload.limiter import AdaptiveConcurrencyLimiter
 from repro.persist.recovery import RecoveryManager, RecoveryReport, SnapshotStore
 from repro.persist.snapshot import save_snapshot
 from repro.runtime.faults import FaultHandle, flip_snapshot_byte
@@ -70,6 +74,15 @@ class ShardedQueryService:
         heartbeat_interval / liveness_timeout / start_timeout /
         restart_backoff / restart_budget / start_method: supervisor
             tuning (see :class:`~repro.shard.supervisor.ShardSupervisor`).
+        limiter: an :class:`~repro.overload.AdaptiveConcurrencyLimiter`
+            gating admission.  Requests beyond its limit (in-flight,
+            counted at :meth:`execute`) are answered from the router's
+            Euclidean shed path without touching the fleet; every served
+            latency feeds the AIMD adjustment.
+        hedge_policy / retry_budget: hedged scatter-gather tuning,
+            forwarded to the router (see
+            :class:`~repro.shard.router.ScatterGatherRouter`); the retry
+            budget also gates pt2pt re-scatters.
     """
 
     def __init__(
@@ -92,6 +105,9 @@ class ShardedQueryService:
         restart_backoff: float = 0.05,
         restart_budget: int = 5,
         start_method: str = "spawn",
+        limiter: Optional[AdaptiveConcurrencyLimiter] = None,
+        hedge_policy: Optional[HedgePolicy] = None,
+        retry_budget: Optional[RetryBudget] = None,
     ) -> None:
         if (store is None) == (framework is None):
             raise ValueError(
@@ -102,6 +118,16 @@ class ShardedQueryService:
         self.store = store
         self.shards = shards
         self.metrics = metrics or MetricsRegistry()
+        self.limiter = limiter
+        self.hedge_policy = hedge_policy
+        self.retry_budget = retry_budget
+        if limiter is not None and limiter.metrics is not self.metrics:
+            limiter.metrics = self.metrics
+        if (
+            retry_budget is not None
+            and retry_budget.metrics is not self.metrics
+        ):
+            retry_budget.metrics = self.metrics
         self._rebuild = rebuild
         self._snapshot_on_shutdown = snapshot_on_shutdown
         self._client_threads = client_threads
@@ -110,6 +136,8 @@ class ShardedQueryService:
             "failure_threshold": failure_threshold,
             "cooldown_ops": cooldown_ops,
             "cache_capacity": cache_capacity,
+            "hedge_policy": hedge_policy,
+            "retry_budget": retry_budget,
         }
         self._supervisor_opts = {
             "heartbeat_interval": heartbeat_interval,
@@ -121,6 +149,7 @@ class ShardedQueryService:
         }
         self._lock = threading.Lock()
         self._state = ServiceState.STARTING
+        self._inflight = 0
         self._framework: Optional[IndexFramework] = framework
         self._report: Optional[RecoveryReport] = None
         self._placement: Optional[FloorPlacement] = None
@@ -282,7 +311,32 @@ class ShardedQueryService:
         slice and marks the response (see
         :class:`~repro.serve.requests.QueryResponse.missing_shards`).
         """
-        return self._require_router().execute(request)
+        return self._guarded_execute(self._require_router(), request)
+
+    def _guarded_execute(
+        self, router: ScatterGatherRouter, request: QueryRequest
+    ) -> QueryResponse:
+        """Route one request through the admission limiter (when
+        installed): over-limit requests are answered from the router's
+        local Euclidean shed path — degraded instantly instead of
+        queueing on a saturated fleet — and every served latency feeds
+        the AIMD adjustment."""
+        limiter = self.limiter
+        if limiter is None:
+            return router.execute(request)
+        with self._lock:
+            self._inflight += 1
+            inflight = self._inflight
+        try:
+            if inflight > limiter.limit:
+                response = router.shed_execute(request)
+            else:
+                response = router.execute(request)
+        finally:
+            with self._lock:
+                self._inflight -= 1
+        limiter.observe(response.latency_ms)
+        return response
 
     def serve(self, requests: Iterable[QueryRequest]) -> List[QueryResponse]:
         """Serve many requests concurrently over the client pool,
@@ -292,7 +346,12 @@ class ShardedQueryService:
             pool = self._pool
         if pool is None:  # pragma: no cover - state machine excludes it
             raise ServiceUnavailableError("client pool is gone")
-        return list(pool.map(router.execute, requests))
+        return list(
+            pool.map(
+                lambda request: self._guarded_execute(router, request),
+                requests,
+            )
+        )
 
     # ------------------------------------------------------------------
     # Introspection
@@ -347,6 +406,9 @@ class ShardedQueryService:
                 str(shard): snap
                 for shard, snap in router.breaker_snapshot().items()
             }
+        payload["overload"] = overload_snapshot(
+            self.metrics, limiter=self.limiter, budget=self.retry_budget
+        )
         return payload
 
     def metrics_snapshot(self) -> Dict[str, Any]:

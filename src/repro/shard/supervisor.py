@@ -31,9 +31,10 @@ from __future__ import annotations
 import dataclasses
 import enum
 import multiprocessing
+import random
 import threading
 import time
-from concurrent.futures import Future
+from concurrent.futures import Future, InvalidStateError
 from typing import Any, Dict, List, Optional
 
 import repro.exceptions as _exceptions
@@ -153,17 +154,30 @@ class _Incarnation:
                 return
 
     def _dispatch_reply(self, reply: Any) -> None:
-        """Resolve one ``result`` / ``error`` reply tuple's future."""
+        """Resolve one ``result`` / ``error`` reply tuple's future.
+
+        A hedged gather cancels the losing probe's future; its reply
+        still arrives here later, and resolving a cancelled future would
+        raise and kill the receive loop — wedging every request the
+        shard has in flight.  Late replies to cancelled futures are
+        simply dropped.
+        """
         if reply[0] == "result":
             _, seq, value = reply
             future = self._pop_pending(seq)
             if future is not None:
-                future.set_result(value)
+                try:
+                    future.set_result(value)
+                except InvalidStateError:
+                    pass  # cancelled mid-dispatch: drop the late reply
         else:
             _, seq, exc_name, detail = reply
             future = self._pop_pending(seq)
             if future is not None:
-                future.set_exception(_rebuild_exception(exc_name, detail))
+                try:
+                    future.set_exception(_rebuild_exception(exc_name, detail))
+                except InvalidStateError:
+                    pass  # cancelled mid-dispatch: drop the late reply
 
     def _pop_pending(self, seq: int) -> Optional[Future]:
         with self._lock:
@@ -184,8 +198,11 @@ class _Incarnation:
             state=ShardState.RESTARTING.value,
         )
         for future in pending:
-            if not future.done():
-                future.set_exception(exc)
+            try:
+                if not future.done():
+                    future.set_exception(exc)
+            except InvalidStateError:
+                pass  # a hedge cancellation won the race; nothing waits
 
     # -- senders (router / monitor threads) -----------------------------
     def submit(self, request: QueryRequest, budget_s: Optional[float]) -> Future:
@@ -306,6 +323,11 @@ class _Slot:
         self.cold_next = False  # strip the arena from the next respawn
         self.source: Optional[str] = None
         self.epoch: Optional[int] = None
+        # Per-slot seeded RNG for decorrelated restart jitter: shards
+        # draw different delays from each other, yet every supervisor
+        # run over the same casualty sequence replays identically.
+        self.backoff_rng = random.Random(0xBACC0FF ^ spec.shard_id)
+        self.prev_backoff = 0.0
 
 
 class ShardSupervisor:
@@ -319,8 +341,12 @@ class ShardSupervisor:
         liveness_timeout: seconds without a pong before a worker is
             declared hung and killed.
         start_timeout: seconds a (re)started worker gets to report ready.
-        restart_backoff: initial restart delay, doubled per consecutive
-            restart up to ``max_backoff``.
+        restart_backoff: base restart delay.  Consecutive restarts back
+            off with decorrelated jitter — each delay drawn uniformly
+            from ``[restart_backoff, 3 × previous]``, capped at
+            ``max_backoff`` — so simultaneous casualties don't restart
+            in lockstep and stampede.  Each slot's jitter RNG is seeded
+            from its shard id (deterministic replay).
         restart_budget: restarts allowed per shard before it is FAILED.
         start_method: ``multiprocessing`` start method (default
             ``"spawn"``; see module docstring).
@@ -535,10 +561,17 @@ class ShardSupervisor:
             )
             return
         slot.restarts += 1
+        # Decorrelated jitter, not deterministic doubling: simultaneous
+        # casualties restarting in lockstep re-stampede the same startup
+        # path on every retry.  Each delay is drawn from
+        # [base, 3 × previous], so consecutive restarts still back off
+        # exponentially in expectation while the fleet spreads out.
+        prev = max(slot.prev_backoff, self.restart_backoff)
         backoff = min(
             self.max_backoff,
-            self.restart_backoff * (2 ** (slot.restarts - 1)),
+            slot.backoff_rng.uniform(self.restart_backoff, prev * 3.0),
         )
+        slot.prev_backoff = backoff
         slot.next_restart_at = time.monotonic() + backoff
         slot.state = ShardState.RESTARTING
         self.metrics.increment("shard.supervisor.restarts")

@@ -16,6 +16,12 @@ from repro.synthetic.building import BuildingConfig, SyntheticBuilding, generate
 from repro.synthetic.campus import CampusConfig, SyntheticCampus, generate_campus
 from repro.synthetic.objects import build_object_store, generate_objects
 from repro.synthetic.workload import (
+    FlashCrowdConfig,
+    TimedOp,
+    WorkloadOp,
+    flash_crowd_ops,
+    flash_crowd_workload,
+    query_workload,
     random_position,
     random_position_pairs,
     random_positions,
@@ -24,12 +30,18 @@ from repro.synthetic.workload import (
 __all__ = [
     "BuildingConfig",
     "CampusConfig",
+    "FlashCrowdConfig",
     "SyntheticBuilding",
     "SyntheticCampus",
+    "TimedOp",
+    "WorkloadOp",
+    "flash_crowd_ops",
+    "flash_crowd_workload",
     "generate_building",
     "generate_campus",
     "generate_objects",
     "build_object_store",
+    "query_workload",
     "random_position",
     "random_positions",
     "random_position_pairs",

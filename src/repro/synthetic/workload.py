@@ -9,6 +9,14 @@ Beyond the paper, :func:`query_workload` generates mixed serving workloads
 (range / kNN / pt2pt, as plain :class:`WorkloadOp` descriptors) over any
 :class:`~repro.model.builder.IndoorSpace` — the deterministic op stream the
 chaos campaigns of :mod:`repro.chaos` replay by seed.
+
+:func:`flash_crowd_workload` extends that to *open-loop* load: each op
+carries an offered-at timestamp following a rush-hour arrival ramp
+(trapezoid rate profile peaking at ``peak_multiplier`` times the base
+rate), positions concentrate on a small set of zipfian POI hotspots, and
+tracking updates arrive in bursts of consecutive pt2pt ops — the load
+shape the overload-control stack (:mod:`repro.overload`) is built to
+survive.
 """
 
 from __future__ import annotations
@@ -159,3 +167,185 @@ def query_workload(
                 )
             )
     return ops
+
+
+@dataclass(frozen=True)
+class FlashCrowdConfig:
+    """Shape of a rush-hour flash-crowd workload.
+
+    The arrival rate follows a trapezoid over the op stream: flat at the
+    base rate until ``ramp_start``, ramping linearly up to
+    ``peak_multiplier`` times the base rate between ``ramp_start`` and
+    ``peak_start``, flat at the peak through ``peak_end``, then ramping
+    back down by ``ramp_end`` (all fractions of ``count``).
+
+    Attributes:
+        count: total operations in the workload.
+        hotspots: size of the zipfian POI hotspot pool (rush-hour crowds
+            converge on a handful of entrances / food courts).
+        zipf_exponent: exponent ``s`` of the hotspot popularity law
+            ``1 / (rank + 1) ** s``.
+        hotspot_weight: fraction of positions drawn from the hotspot pool
+            (the rest stay area-uniform background traffic).
+        peak_multiplier: arrival-rate multiplier at the top of the ramp.
+        ramp_start / peak_start / peak_end / ramp_end: trapezoid knots as
+            fractions of ``count``, strictly increasing within [0, 1].
+        base_interval_ms: mean inter-arrival gap at the base rate
+            (exponential; at the peak the mean shrinks by
+            ``peak_multiplier``).
+        tracking_burst_prob: per-op probability of opening a tracking
+            burst — a run of consecutive pt2pt ops sharing one moving
+            subject, the bursty-update half of the flash-crowd shape.
+        tracking_burst_len: ops per tracking burst.
+        mix: relative (range, knn, pt2pt) weights for non-burst ops.
+    """
+
+    count: int
+    hotspots: int = 6
+    zipf_exponent: float = 1.1
+    hotspot_weight: float = 0.8
+    peak_multiplier: float = 5.0
+    ramp_start: float = 0.3
+    peak_start: float = 0.4
+    peak_end: float = 0.6
+    ramp_end: float = 0.7
+    base_interval_ms: float = 10.0
+    tracking_burst_prob: float = 0.08
+    tracking_burst_len: int = 4
+    mix: Sequence[float] = (0.4, 0.3, 0.3)
+
+    def __post_init__(self) -> None:
+        if self.count < 0:
+            raise ValueError(f"count must be >= 0, got {self.count}")
+        if self.hotspots < 1:
+            raise ValueError(f"hotspots must be >= 1, got {self.hotspots}")
+        if not 0.0 <= self.hotspot_weight <= 1.0:
+            raise ValueError(
+                f"hotspot_weight must be in [0, 1], got {self.hotspot_weight}"
+            )
+        if self.peak_multiplier < 1.0:
+            raise ValueError(
+                f"peak_multiplier must be >= 1, got {self.peak_multiplier}"
+            )
+        knots = (self.ramp_start, self.peak_start, self.peak_end, self.ramp_end)
+        if not all(0.0 <= k <= 1.0 for k in knots) or not all(
+            a < b for a, b in zip(knots, knots[1:])
+        ):
+            raise ValueError(
+                "trapezoid knots must be strictly increasing within "
+                f"[0, 1], got {knots}"
+            )
+        if self.base_interval_ms <= 0:
+            raise ValueError(
+                f"base_interval_ms must be > 0, got {self.base_interval_ms}"
+            )
+        if self.tracking_burst_len < 1:
+            raise ValueError(
+                f"tracking_burst_len must be >= 1, got {self.tracking_burst_len}"
+            )
+
+    def rate_multiplier(self, fraction: float) -> float:
+        """Arrival-rate multiplier at ``fraction`` of the way through."""
+        if fraction <= self.ramp_start or fraction >= self.ramp_end:
+            return 1.0
+        if fraction < self.peak_start:
+            progress = (fraction - self.ramp_start) / (
+                self.peak_start - self.ramp_start
+            )
+        elif fraction <= self.peak_end:
+            progress = 1.0
+        else:
+            progress = (self.ramp_end - fraction) / (
+                self.ramp_end - self.peak_end
+            )
+        return 1.0 + (self.peak_multiplier - 1.0) * progress
+
+
+@dataclass(frozen=True)
+class TimedOp:
+    """A :class:`WorkloadOp` plus the instant it is *offered* to the
+    service (ms since workload start) — open-loop load, unlike the
+    closed-loop streams chaos campaigns replay."""
+
+    op: WorkloadOp
+    offered_at_ms: float
+
+
+def flash_crowd_workload(
+    space: IndoorSpace,
+    config: FlashCrowdConfig,
+    seed: int = 0,
+) -> List[TimedOp]:
+    """A rush-hour flash crowd over ``space`` — deterministic per seed.
+
+    Positions are zipfian over a fixed hotspot pool with area-uniform
+    background traffic mixed in; inter-arrival gaps are exponential with
+    the mean shrunk by the trapezoid ramp of ``config``; tracking bursts
+    emit runs of consecutive pt2pt ops following one subject between
+    hotspots.
+    """
+    rng = random.Random(seed)
+    pool = [random_indoor_position(space, rng) for _ in range(config.hotspots)]
+    weights = [
+        1.0 / (rank + 1.0) ** config.zipf_exponent
+        for rank in range(config.hotspots)
+    ]
+
+    def draw_position() -> Point:
+        if rng.random() < config.hotspot_weight:
+            (position,) = rng.choices(pool, weights=weights, k=1)
+            return position
+        return random_indoor_position(space, rng)
+
+    timed: List[TimedOp] = []
+    offered_at_ms = 0.0
+    burst_left = 0
+    burst_subject: Optional[Point] = None
+    while len(timed) < config.count:
+        index = len(timed)
+        fraction = index / config.count if config.count else 0.0
+        mean_gap = config.base_interval_ms / config.rate_multiplier(fraction)
+        offered_at_ms += rng.expovariate(1.0 / mean_gap)
+        if burst_left == 0 and rng.random() < config.tracking_burst_prob:
+            burst_left = config.tracking_burst_len
+            burst_subject = draw_position()
+        if burst_left > 0:
+            burst_left -= 1
+            destination = draw_position()
+            op = WorkloadOp(
+                index, "pt2pt", burst_subject,
+                target=destination,
+                pivot=random_indoor_position(space, rng),
+            )
+            burst_subject = destination  # the subject keeps moving
+        else:
+            (kind,) = rng.choices(("range", "knn", "pt2pt"), weights=config.mix, k=1)
+            position = draw_position()
+            if kind == "range":
+                op = WorkloadOp(
+                    index, kind, position,
+                    radius=round(rng.uniform(2.0, 15.0), 3),
+                )
+            elif kind == "knn":
+                op = WorkloadOp(index, kind, position, k=rng.randint(1, 8))
+            else:
+                op = WorkloadOp(
+                    index, kind, position,
+                    target=draw_position(),
+                    pivot=random_indoor_position(space, rng),
+                )
+        timed.append(TimedOp(op=op, offered_at_ms=offered_at_ms))
+    return timed
+
+
+def flash_crowd_ops(
+    space: IndoorSpace,
+    count: int,
+    seed: int = 0,
+    **overrides,
+) -> List[WorkloadOp]:
+    """The flash-crowd op stream without timestamps, for closed-loop
+    replay (chaos campaigns execute ops back-to-back; only the hotspot
+    skew and burstiness matter there, not the arrival clock)."""
+    config = FlashCrowdConfig(count=count, **overrides)
+    return [timed.op for timed in flash_crowd_workload(space, config, seed)]

@@ -23,6 +23,16 @@ def _shard_result(speedup=2.5, vs_service=1.2, mismatches=0, degraded=0):
     }
 
 
+def _overload_result(goodput=1.0, attainment=1.0, mismatches=0):
+    return {
+        "protected": {
+            "goodput_ratio_capped": goodput,
+            "slo_attainment": attainment,
+        },
+        "mismatches": mismatches,
+    }
+
+
 class TestCompareBenchmarks:
     def test_passes_within_tolerance(self):
         checks = compare_benchmarks(
@@ -71,6 +81,43 @@ class TestCompareBenchmarks:
         assert not by_metric["sharded.degraded"]["ok"]
         assert by_metric["speedup_vs_service"]["ok"]
 
+    def test_overload_artifact_gates_goodput_attainment_and_mismatches(self):
+        checks = compare_benchmarks(
+            "BENCH_overload.json",
+            _overload_result(),
+            _overload_result(goodput=0.85, attainment=0.9),
+        )
+        by_metric = {c["metric"]: c for c in checks}
+        assert set(by_metric) == {
+            "protected.goodput_ratio_capped",
+            "protected.slo_attainment",
+            "mismatches",
+        }
+        # Committed 1.0 with the 20% tolerance puts the floor at 0.8 —
+        # exactly the acceptance bar for goodput under 2x collapse load.
+        assert all(check["ok"] for check in checks)
+        failing = compare_benchmarks(
+            "BENCH_overload.json",
+            _overload_result(),
+            _overload_result(goodput=0.7),
+        )
+        goodput = next(
+            c
+            for c in failing
+            if c["metric"] == "protected.goodput_ratio_capped"
+        )
+        assert not goodput["ok"]
+
+    def test_overload_mismatches_are_exact(self):
+        checks = compare_benchmarks(
+            "BENCH_overload.json",
+            _overload_result(),
+            _overload_result(mismatches=1),
+        )
+        exact = next(c for c in checks if c["metric"] == "mismatches")
+        assert not exact["ok"]
+        assert exact["kind"] == "exact"
+
     def test_unknown_artifact_rejected(self):
         with pytest.raises(ValueError, match="no gate definition"):
             compare_benchmarks("BENCH_bogus.json", {}, {})
@@ -83,6 +130,7 @@ class TestRunGate:
         assert report["checks"] == []
         assert report["skipped"] == [
             "BENCH_labels.json",
+            "BENCH_overload.json",
             "BENCH_serve.json",
             "BENCH_shard.json",
         ]

@@ -1,0 +1,91 @@
+"""Flash-crowd campaign config, plan, and overload report plumbing."""
+
+import pytest
+
+from repro.chaos import (
+    CampaignConfig,
+    CampaignReport,
+    FaultPlan,
+    flash_crowd_plan,
+)
+
+
+class TestFlashCrowdPlan:
+    def test_casualties_land_inside_the_spike_window(self):
+        plan = flash_crowd_plan(200, shards=3)
+        assert isinstance(plan, FaultPlan)
+        for action in plan.actions:
+            assert 200 * 0.3 <= action.at_op <= 200 * 0.7
+        kinds = [action.action for action in plan.actions]
+        assert kinds.count("kill_shard") == 3
+        assert kinds.count("hang_shard") == 1
+
+    def test_targets_stay_inside_the_fleet(self):
+        plan = flash_crowd_plan(100, shards=2)
+        for action in plan.actions:
+            shard = action.params.get("shard")
+            if shard is not None:
+                assert 0 <= shard < 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="duration_ops"):
+            flash_crowd_plan(10)
+        with pytest.raises(ValueError, match="shards"):
+            flash_crowd_plan(100, shards=1)
+
+
+class TestCampaignConfig:
+    def test_workload_and_hedging_round_trip(self):
+        config = CampaignConfig(
+            seed=5,
+            duration_ops=60,
+            shards=3,
+            workload="flash_crowd",
+            hedging=True,
+        )
+        restored = CampaignConfig.from_dict(config.to_dict())
+        assert restored.workload == "flash_crowd"
+        assert restored.hedging is True
+        assert restored.shards == 3
+
+    def test_flash_crowd_default_plan_is_the_spike_plan(self):
+        config = CampaignConfig(
+            duration_ops=80, shards=3, workload="flash_crowd"
+        )
+        assert (
+            config.resolved_plan().actions
+            == flash_crowd_plan(80, shards=3).actions
+        )
+
+    def test_rejects_unknown_workload(self):
+        with pytest.raises(ValueError, match="workload"):
+            CampaignConfig(workload="thundering_herd")
+
+    def test_rejects_hedging_without_shards(self):
+        with pytest.raises(ValueError, match="hedg"):
+            CampaignConfig(hedging=True, shards=0)
+
+
+class TestOverloadReportField:
+    def test_overload_survives_a_save_load_cycle(self, tmp_path):
+        report = CampaignReport(
+            config={"seed": 0},
+            incidents=[],
+            ops_executed=10,
+            overload={"counters": {"overload.hedged": 3}},
+        ).finalize()
+        loaded = CampaignReport.load(report.save(tmp_path / "r.json"))
+        assert loaded.overload == {"counters": {"overload.hedged": 3}}
+
+    def test_overload_never_enters_the_digest(self):
+        base = CampaignReport(
+            config={"seed": 0}, incidents=[], ops_executed=10
+        ).finalize()
+        noisy = CampaignReport(
+            config={"seed": 0},
+            incidents=[],
+            ops_executed=10,
+            overload={"counters": {"overload.hedged": 99}},
+        ).finalize()
+        assert base.digest == noisy.digest
+        assert base.digest  # sealed, not the empty sentinel

@@ -1,0 +1,6 @@
+"""Overload-control test fixtures (reuses the serving-layer building)."""
+
+from tests.serve.conftest import (  # noqa: F401
+    query_positions,
+    serve_framework,
+)

@@ -1,0 +1,118 @@
+"""Retry-budget token bucket and budget-gated retry-loop tests."""
+
+import pytest
+
+from repro.exceptions import StaleIndexError
+from repro.overload import RetryBudget, run_with_budget
+from repro.runtime import RetryPolicy
+from repro.serve import MetricsRegistry
+
+
+class TestTokenBucket:
+    def test_starts_full_and_spends_down(self):
+        budget = RetryBudget(capacity=3.0)
+        assert budget.tokens == 3.0
+        assert budget.try_spend()
+        assert budget.try_spend()
+        assert budget.try_spend()
+        assert not budget.try_spend()
+
+    def test_successes_refill_at_the_ratio(self):
+        budget = RetryBudget(capacity=4.0, refill_ratio=0.5)
+        for _ in range(4):
+            assert budget.try_spend()
+        assert not budget.try_spend()
+        budget.record_success()
+        budget.record_success()
+        assert budget.tokens == pytest.approx(1.0)
+        assert budget.try_spend()
+        assert not budget.try_spend()
+
+    def test_refill_never_exceeds_capacity(self):
+        budget = RetryBudget(capacity=2.0, refill_ratio=1.0)
+        for _ in range(10):
+            budget.record_success()
+        assert budget.tokens == pytest.approx(2.0)
+
+    def test_denied_spend_withdraws_nothing(self):
+        budget = RetryBudget(capacity=1.0)
+        assert budget.try_spend()
+        balance = budget.tokens
+        assert not budget.try_spend()
+        assert budget.tokens == balance
+
+    def test_counters_and_snapshot(self):
+        metrics = MetricsRegistry()
+        budget = RetryBudget(capacity=1.0, metrics=metrics)
+        budget.try_spend()
+        budget.try_spend()
+        budget.record_success()
+        counters = metrics.snapshot()["counters"]
+        assert counters["overload.budget_spent"] == 1
+        assert counters["overload.budget_denied"] == 1
+        snapshot = budget.snapshot()
+        assert snapshot["capacity"] == 1.0
+        assert snapshot["successes"] == 1
+        assert snapshot["spent"] == 1
+        assert snapshot["denied"] == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryBudget(capacity=0.0)
+        with pytest.raises(ValueError):
+            RetryBudget(refill_ratio=-0.1)
+
+
+class FlakyOperation:
+    """Fails ``failures`` times, then succeeds."""
+
+    def __init__(self, failures):
+        self.failures = failures
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise StaleIndexError(f"attempt {self.calls} fails")
+        return "ok"
+
+
+def instant_policy(max_attempts):
+    return RetryPolicy(max_attempts=max_attempts, sleep=lambda _: None)
+
+
+class TestRunWithBudget:
+    def test_first_attempt_is_free(self):
+        budget = RetryBudget(capacity=1.0)
+        budget.try_spend()  # drain it
+        assert run_with_budget(
+            instant_policy(2), FlakyOperation(0), budget
+        ) == "ok"
+        assert budget.tokens == 0.0
+
+    def test_retries_spend_one_token_each(self):
+        budget = RetryBudget(capacity=4.0)
+        op = FlakyOperation(2)
+        assert run_with_budget(instant_policy(3), op, budget) == "ok"
+        assert op.calls == 3
+        assert budget.tokens == pytest.approx(2.0)
+
+    def test_exhausted_budget_raises_the_last_error(self):
+        budget = RetryBudget(capacity=1.0)
+        budget.try_spend()
+        op = FlakyOperation(5)
+        with pytest.raises(StaleIndexError, match="attempt 1"):
+            run_with_budget(instant_policy(3), op, budget)
+        assert op.calls == 1  # denied before the second attempt
+
+    def test_policy_exhaustion_still_raises_last_error(self):
+        budget = RetryBudget(capacity=8.0)
+        op = FlakyOperation(5)
+        with pytest.raises(StaleIndexError, match="attempt 2"):
+            run_with_budget(instant_policy(2), op, budget)
+        assert op.calls == 2
+
+    def test_none_budget_falls_back_to_plain_policy(self):
+        op = FlakyOperation(1)
+        assert run_with_budget(instant_policy(2), op, None) == "ok"
+        assert op.calls == 2

@@ -1,0 +1,66 @@
+"""HedgePolicy delay-derivation tests."""
+
+import pytest
+
+from repro.overload import HedgePolicy
+from repro.serve.metrics import LatencyHistogram
+
+
+def warm_histogram(values_ms):
+    histogram = LatencyHistogram("probe_ms")
+    for value in values_ms:
+        histogram.observe(value)
+    return histogram
+
+
+class TestDelay:
+    def test_fixed_delay_overrides_everything(self):
+        policy = HedgePolicy(fixed_delay_s=0.0)
+        probes = warm_histogram([100.0] * 32)
+        assert policy.delay_s(probes, deadline_s=5.0) == 0.0
+
+    def test_warm_histogram_uses_percentile_times_multiplier(self):
+        # 100 samples 1..100 ms: p95 is 95 ms; x1.5 -> 142.5 ms.
+        policy = HedgePolicy(multiplier=1.5, min_samples=16)
+        probes = warm_histogram([float(i) for i in range(1, 101)])
+        assert policy.delay_s(probes, deadline_s=10.0) == pytest.approx(
+            0.1425, rel=1e-3
+        )
+
+    def test_cold_histogram_uses_deadline_fraction(self):
+        policy = HedgePolicy(min_samples=16, default_fraction=0.5)
+        probes = warm_histogram([10.0] * 4)  # below min_samples
+        assert policy.delay_s(probes, deadline_s=2.0) == pytest.approx(1.0)
+
+    def test_missing_histogram_uses_deadline_fraction(self):
+        policy = HedgePolicy(default_fraction=0.25)
+        assert policy.delay_s(None, deadline_s=4.0) == pytest.approx(1.0)
+
+    def test_min_delay_floors_fast_probes(self):
+        policy = HedgePolicy(min_delay_s=0.002)
+        probes = warm_histogram([0.1] * 32)  # p95 x1.5 ~ 0.15 ms
+        assert policy.delay_s(probes, deadline_s=1.0) == 0.002
+
+    def test_max_delay_caps_slow_probes(self):
+        policy = HedgePolicy(max_delay_s=0.05)
+        probes = warm_histogram([1_000.0] * 32)
+        assert policy.delay_s(probes, deadline_s=10.0) == 0.05
+
+
+class TestValidation:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            HedgePolicy(quantile=0.0)
+        with pytest.raises(ValueError):
+            HedgePolicy(quantile=101.0)
+        with pytest.raises(ValueError):
+            HedgePolicy(multiplier=0.0)
+        with pytest.raises(ValueError):
+            HedgePolicy(min_delay_s=-0.001)
+        with pytest.raises(ValueError):
+            HedgePolicy(default_fraction=0.0)
+
+    def test_is_frozen(self):
+        policy = HedgePolicy()
+        with pytest.raises(AttributeError):
+            policy.multiplier = 2.0

@@ -1,0 +1,107 @@
+"""AIMD adaptive concurrency limiter unit tests."""
+
+import pytest
+
+from repro.overload import AdaptiveConcurrencyLimiter
+from repro.serve import MetricsRegistry
+
+
+def make_limiter(**overrides):
+    options = dict(
+        slo_ms=100.0,
+        initial_limit=16,
+        min_limit=4,
+        max_limit=64,
+        adjust_every=8,
+        increase_by=2,
+        decrease_factor=0.5,
+        brake_factor=3.0,
+    )
+    options.update(overrides)
+    return AdaptiveConcurrencyLimiter(**options)
+
+
+class TestAdjustment:
+    def test_healthy_window_increases_additively(self):
+        limiter = make_limiter()
+        for _ in range(8):
+            limiter.observe(10.0)
+        assert limiter.limit == 18
+
+    def test_breached_window_decreases_multiplicatively(self):
+        limiter = make_limiter()
+        for _ in range(8):
+            limiter.observe(200.0)  # p99 far above the SLO
+        assert limiter.limit == 8
+
+    def test_limit_never_leaves_its_bounds(self):
+        limiter = make_limiter()
+        for _ in range(20 * 8):
+            limiter.observe(500.0)
+        assert limiter.limit == 4
+        for _ in range(100 * 8):
+            limiter.observe(1.0)
+        assert limiter.limit == 64
+
+    def test_mixed_window_adjusts_on_p99_not_mean(self):
+        # One bad sample in a window of 8: nearest-rank p99 of 8 samples
+        # is the max, so a single outlier above the SLO decreases.
+        limiter = make_limiter()
+        for _ in range(7):
+            limiter.observe(5.0)
+        limiter.observe(150.0)
+        assert limiter.limit == 8
+
+    def test_brake_fires_immediately_on_extreme_latency(self):
+        limiter = make_limiter()
+        limiter.observe(301.0)  # > brake_factor * slo: no window wait
+        assert limiter.limit == 8
+
+    def test_brake_fires_at_most_once_per_window(self):
+        limiter = make_limiter()
+        limiter.observe(301.0)
+        limiter.observe(301.0)  # same window: no second brake
+        assert limiter.limit == 8
+
+    def test_counters_track_adjustments(self):
+        metrics = MetricsRegistry()
+        limiter = make_limiter(metrics=metrics)
+        for _ in range(8):
+            limiter.observe(10.0)
+        for _ in range(8):
+            limiter.observe(200.0)
+        counters = metrics.snapshot()["counters"]
+        assert counters["overload.limit_increased"] == 1
+        assert counters["overload.limit_decreased"] == 1
+
+
+class TestSnapshotAndOccupancy:
+    def test_snapshot_shape(self):
+        limiter = make_limiter()
+        for _ in range(8):
+            limiter.observe(10.0)
+        snapshot = limiter.snapshot()
+        assert snapshot["limit"] == 18
+        assert snapshot["slo_ms"] == 100.0
+        assert snapshot["increases"] == 1
+        assert snapshot["decreases"] == 0
+        assert snapshot["p99_ms"] == 10.0
+
+    def test_occupancy_is_relative_to_the_live_limit(self):
+        limiter = make_limiter()
+        assert limiter.occupancy(8) == pytest.approx(0.5)
+        for _ in range(8):
+            limiter.observe(200.0)
+        assert limiter.occupancy(8) == pytest.approx(1.0)
+
+
+class TestValidation:
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError):
+            make_limiter(min_limit=32, initial_limit=16)
+        with pytest.raises(ValueError):
+            make_limiter(max_limit=8, initial_limit=16)
+        with pytest.raises(ValueError):
+            make_limiter(slo_ms=0.0)
+        with pytest.raises(ValueError):
+            make_limiter(decrease_factor=1.0)

@@ -39,13 +39,24 @@ class TestStateMachine:
         breaker = CircuitBreaker(failure_threshold=1, cooldown_ops=3)
         breaker.record_failure()
         assert breaker.state is BreakerState.OPEN
-        # Three short-circuited rounds spend the cooldown...
+        # Two short-circuited rounds spend the cooldown down to its last
+        # op...
         assert not breaker.allow_exact()
         assert not breaker.allow_exact()
-        assert not breaker.allow_exact()
-        assert breaker.state is BreakerState.HALF_OPEN
-        # ...then the probe is allowed through.
+        # ...and the call that spends that last op transitions to
+        # HALF_OPEN and is itself the probe — no wasted round.
         assert breaker.allow_exact()
+        assert breaker.state is BreakerState.HALF_OPEN
+        # Until the probe resolves, further rounds keep probing.
+        assert breaker.allow_exact()
+
+    def test_cooldown_never_underflows_below_zero(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_ops=1)
+        breaker.record_failure()
+        assert breaker.allow_exact()  # spends the single op: the probe
+        breaker.record_failure()  # probe failed: re-open, full cooldown
+        assert breaker.snapshot()["cooldown_remaining"] == 1
+        assert breaker.allow_exact()  # again exactly one op to probe
 
     def test_half_open_success_closes(self):
         breaker = CircuitBreaker(failure_threshold=1, cooldown_ops=1)
@@ -95,13 +106,14 @@ class TestTransitionMetrics:
         )
         breaker.record_failure()          # -> OPEN
         breaker.allow_exact()             # cooldown 1 (short-circuit)
-        breaker.allow_exact()             # cooldown 0 -> HALF_OPEN
+        breaker.allow_exact()             # cooldown 0 -> HALF_OPEN probe
         breaker.record_success()          # -> CLOSED
         counters = metrics.snapshot()["counters"]
         assert counters["serve.breaker.opened"] == 1
         assert counters["serve.breaker.half_open"] == 1
         assert counters["serve.breaker.closed"] == 1
-        assert counters["serve.breaker.short_circuited"] == 2
+        # The transitioning call probes instead of short-circuiting.
+        assert counters["serve.breaker.short_circuited"] == 1
 
 
 class TestServiceIntegration:
@@ -137,10 +149,11 @@ class TestServiceIntegration:
         handle.undo()
         # Cooldown rounds still short-circuit (correct, exact fallback)...
         responses = [
-            service.execute(QueryRequest.knn(position, 2)) for _ in range(3)
+            service.execute(QueryRequest.knn(position, 2)) for _ in range(2)
         ]
         assert all(r.breaker for r in responses)
-        # ...then the half-open probe sees the healed index and closes.
+        # ...then the round that spends the last cooldown op is the
+        # half-open probe: it sees the healed index and closes.
         probe = service.execute(QueryRequest.knn(position, 2))
         assert not probe.breaker
         assert probe.quality is QualityLevel.EXACT_INDEXED

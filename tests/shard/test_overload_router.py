@@ -1,0 +1,196 @@
+"""Overload-path router tests: all-breakers-open gap fill, hedged
+scatter-gather bit-identity, and the shed fast path.
+
+The all-breakers-open scenario is the total-outage floor of the
+degradation ladder: every shard breaker is OPEN, no probe reaches the
+fleet, and the router must still answer every query from its local
+object tables at the Euclidean rung — supersets for range, lower-bound
+distances for kNN / pt2pt — with ``missing_shards`` naming the gap.
+Never an exception, never a truncated answer.
+"""
+
+import pytest
+
+from repro.overload import HedgePolicy, RetryBudget
+from repro.queries import QueryEngine
+from repro.runtime import QualityLevel
+from repro.runtime.ladder import euclidean_lower_bound
+from repro.serve import BreakerState, QueryRequest
+
+from tests.shard.conftest import make_service
+
+
+@pytest.fixture(scope="module")
+def overload_service(shard_framework_fixture):
+    """A private 3-shard fleet (breaker state is mutated in here)."""
+    service = make_service(shard_framework_fixture)
+    service.start(wait=True)
+    yield service
+    service.shutdown()
+
+
+def trip_all_breakers(router):
+    for breaker in router._breakers.values():
+        while breaker.state is not BreakerState.OPEN:
+            breaker.record_failure()
+
+
+class TestAllBreakersOpen:
+    """Satellite: total outage still answers, degraded and flagged."""
+
+    @pytest.fixture(autouse=True)
+    def tripped(self, overload_service):
+        router = overload_service.router
+        trip_all_breakers(router)
+        yield
+        router.reset_breakers()
+
+    def test_range_is_a_flagged_euclidean_superset(
+        self, overload_service, shard_framework_fixture, shard_positions
+    ):
+        engine = QueryEngine(shard_framework_fixture)
+        position = shard_positions[0]
+        request = QueryRequest.range_query(position, radius=10.0)
+        response = overload_service.execute(request)
+        assert response.quality is QualityLevel.EUCLIDEAN
+        assert response.missing_shards
+        assert response.breaker
+        # Superset of the exact answer: the Euclidean bound never
+        # excludes a truly in-range object, so nothing is truncated.
+        exact = set(engine.range_query(position, 10.0))
+        assert exact <= set(response.value)
+
+    def test_knn_reports_lower_bound_distances_for_all_objects(
+        self, overload_service, shard_framework_fixture, shard_positions
+    ):
+        position = shard_positions[1]
+        request = QueryRequest.knn(position, k=5)
+        response = overload_service.execute(request)
+        assert response.quality is QualityLevel.EUCLIDEAN
+        assert len(response.value) == 5  # never truncated below k
+        # With every shard missing the gap fill ranks the full object
+        # table by Euclidean bound — compare against brute force.
+        expected = sorted(
+            (euclidean_lower_bound(position, obj.position), obj.object_id)
+            for obj in shard_framework_fixture.objects
+        )[:5]
+        assert response.value == [(oid, dist) for dist, oid in expected]
+
+    def test_knn_missing_shards_cover_every_populated_shard(
+        self, overload_service, shard_positions
+    ):
+        response = overload_service.execute(
+            QueryRequest.knn(shard_positions[2], k=3)
+        )
+        router = overload_service.router
+        populated = {
+            shard for shard, table in router._objects.items() if table
+        }
+        assert set(response.missing_shards) == populated
+
+    def test_pt2pt_falls_back_to_the_euclidean_bound(
+        self, overload_service, shard_positions
+    ):
+        source, target = shard_positions[3], shard_positions[4]
+        response = overload_service.execute(
+            QueryRequest.pt2pt(source, target)
+        )
+        assert response.quality is QualityLevel.EUCLIDEAN
+        assert response.value == pytest.approx(
+            euclidean_lower_bound(source, target)
+        )
+        assert response.missing_shards
+
+    def test_recovers_to_exact_after_breakers_reset(
+        self, overload_service, shard_positions
+    ):
+        overload_service.reset_breakers()
+        response = overload_service.execute(
+            QueryRequest.range_query(shard_positions[0], radius=10.0)
+        )
+        assert response.quality is QualityLevel.EXACT_INDEXED
+        assert not response.missing_shards
+
+
+class TestShedExecute:
+    def test_shed_range_matches_local_euclidean_filter(
+        self, overload_service, shard_framework_fixture, shard_positions
+    ):
+        router = overload_service.router
+        position = shard_positions[5]
+        response = router.shed_execute(
+            QueryRequest.range_query(position, radius=9.0)
+        )
+        assert response.shed
+        assert response.quality is QualityLevel.EUCLIDEAN
+        expected = sorted(
+            obj.object_id
+            for obj in shard_framework_fixture.objects
+            if euclidean_lower_bound(position, obj.position) <= 9.0 + 1e-9
+        )
+        assert response.value == expected
+
+    def test_shed_knn_ranks_by_euclidean_bound(
+        self, overload_service, shard_framework_fixture, shard_positions
+    ):
+        router = overload_service.router
+        position = shard_positions[6]
+        response = router.shed_execute(QueryRequest.knn(position, k=4))
+        expected = sorted(
+            (euclidean_lower_bound(position, obj.position), obj.object_id)
+            for obj in shard_framework_fixture.objects
+        )[:4]
+        assert response.value == [(oid, dist) for dist, oid in expected]
+
+    def test_shed_pt2pt_is_the_euclidean_bound(
+        self, overload_service, shard_positions
+    ):
+        router = overload_service.router
+        source, target = shard_positions[7], shard_positions[8]
+        response = router.shed_execute(QueryRequest.pt2pt(source, target))
+        assert response.value == pytest.approx(
+            euclidean_lower_bound(source, target)
+        )
+
+
+class TestHedgedScatterGather:
+    """Hedging changes tail latency, never results."""
+
+    @pytest.fixture(scope="class")
+    def hedged_service(self, shard_framework_fixture):
+        # fixed_delay_s=0.0 hedges every probe still pending at gather
+        # time — the most hedge-heavy configuration possible.
+        service = make_service(
+            shard_framework_fixture,
+            hedge_policy=HedgePolicy(fixed_delay_s=0.0),
+            retry_budget=RetryBudget(capacity=1024.0),
+        )
+        service.start(wait=True)
+        yield service
+        service.shutdown()
+
+    def test_hedged_answers_are_bit_identical_to_unhedged(
+        self, overload_service, hedged_service, shard_positions
+    ):
+        overload_service.reset_breakers()
+        requests = (
+            [
+                QueryRequest.range_query(p, radius=8.0)
+                for p in shard_positions
+            ]
+            + [QueryRequest.knn(p, k=4) for p in shard_positions]
+            + [
+                QueryRequest.pt2pt(shard_positions[i], shard_positions[-1 - i])
+                for i in range(4)
+            ]
+        )
+        for request in requests:
+            plain = overload_service.execute(request)
+            hedged = hedged_service.execute(request)
+            assert hedged.value == plain.value
+            assert hedged.quality is plain.quality
+            assert hedged.quality is QualityLevel.EXACT_INDEXED
+
+    def test_hedges_were_actually_issued(self, hedged_service):
+        counters = hedged_service.metrics_snapshot()["counters"]
+        assert counters.get("overload.hedged", 0) > 0

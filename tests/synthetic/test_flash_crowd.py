@@ -1,0 +1,134 @@
+"""Flash-crowd workload generator tests (rush-hour ramps, zipfian
+hotspots, tracking bursts)."""
+
+from collections import Counter
+
+import pytest
+
+from repro.synthetic import (
+    BuildingConfig,
+    FlashCrowdConfig,
+    flash_crowd_ops,
+    flash_crowd_workload,
+    generate_building,
+)
+
+
+@pytest.fixture(scope="module")
+def building():
+    return generate_building(BuildingConfig(floors=2, rooms_per_floor=6))
+
+
+@pytest.fixture(scope="module")
+def workload(building):
+    config = FlashCrowdConfig(count=600)
+    return flash_crowd_workload(building.space, config, seed=11)
+
+
+class TestRateMultiplier:
+    def test_trapezoid_shape(self):
+        config = FlashCrowdConfig(count=100, peak_multiplier=5.0)
+        assert config.rate_multiplier(0.0) == 1.0
+        assert config.rate_multiplier(0.2) == 1.0
+        assert config.rate_multiplier(0.35) == pytest.approx(3.0)  # mid-ramp
+        assert config.rate_multiplier(0.5) == 5.0  # plateau
+        assert config.rate_multiplier(0.65) == pytest.approx(3.0)
+        assert config.rate_multiplier(0.9) == 1.0
+        assert config.rate_multiplier(1.0) == 1.0
+
+    def test_unit_multiplier_is_flat(self):
+        config = FlashCrowdConfig(count=10, peak_multiplier=1.0)
+        assert all(
+            config.rate_multiplier(f / 10.0) == 1.0 for f in range(11)
+        )
+
+
+class TestValidation:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            FlashCrowdConfig(count=-1)
+        with pytest.raises(ValueError):
+            FlashCrowdConfig(count=10, hotspots=0)
+        with pytest.raises(ValueError):
+            FlashCrowdConfig(count=10, hotspot_weight=1.5)
+        with pytest.raises(ValueError):
+            FlashCrowdConfig(count=10, peak_multiplier=0.5)
+        with pytest.raises(ValueError):
+            FlashCrowdConfig(count=10, ramp_start=0.5, peak_start=0.4)
+        with pytest.raises(ValueError):
+            FlashCrowdConfig(count=10, base_interval_ms=0.0)
+        with pytest.raises(ValueError):
+            FlashCrowdConfig(count=10, tracking_burst_len=0)
+
+
+class TestWorkloadShape:
+    def test_count_indexes_and_monotone_clock(self, workload):
+        assert len(workload) == 600
+        assert [t.op.index for t in workload] == list(range(600))
+        times = [t.offered_at_ms for t in workload]
+        assert all(b > a for a, b in zip(times, times[1:]))
+
+    def test_seed_determinism(self, building):
+        config = FlashCrowdConfig(count=120)
+        a = flash_crowd_workload(building.space, config, seed=3)
+        b = flash_crowd_workload(building.space, config, seed=3)
+        assert a == b
+        c = flash_crowd_workload(building.space, config, seed=4)
+        assert a != c
+
+    def test_positions_are_indoor(self, building, workload):
+        space = building.space
+        for timed in workload[:100]:
+            host = space.get_host_partition(timed.op.position)
+            assert host is not None
+
+    def test_peak_window_arrives_faster_than_the_base(self, workload):
+        times = [t.offered_at_ms for t in workload]
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        base = gaps[: int(0.25 * len(gaps))]
+        peak = gaps[int(0.45 * len(gaps)) : int(0.55 * len(gaps))]
+        base_mean = sum(base) / len(base)
+        peak_mean = sum(peak) / len(peak)
+        # Peak-of-trapezoid gaps shrink by ~peak_multiplier (5.0); allow
+        # generous slack for exponential sampling noise.
+        assert peak_mean < base_mean / 2.0
+
+    def test_hotspots_dominate_positions(self, workload):
+        counts = Counter(
+            (t.op.position.x, t.op.position.y, t.op.position.floor)
+            for t in workload
+        )
+        # ~80% of draws come from a 6-position zipfian pool, so the top
+        # positions repeat heavily while background traffic is unique.
+        top = counts.most_common(6)
+        assert sum(n for _, n in top) > 0.5 * len(workload)
+        assert top[0][1] > top[5][1]
+
+    def test_tracking_bursts_chain_pt2pt_subjects(self, workload):
+        # A burst is a run of consecutive pt2pt ops where each op's
+        # source is the previous op's destination (the moving subject).
+        chained = sum(
+            1
+            for a, b in zip(workload, workload[1:])
+            if a.op.kind == "pt2pt"
+            and b.op.kind == "pt2pt"
+            and b.op.position == a.op.target
+        )
+        assert chained >= 10  # burst_prob 0.08 * 600 ops * (len-1) links
+
+    def test_ops_are_well_formed(self, workload):
+        for timed in workload:
+            op = timed.op
+            if op.kind == "range":
+                assert 2.0 <= op.radius <= 15.0
+            elif op.kind == "knn":
+                assert 1 <= op.k <= 8
+            else:
+                assert op.target is not None and op.pivot is not None
+
+    def test_flash_crowd_ops_strips_timestamps(self, building):
+        ops = flash_crowd_ops(building.space, 50, seed=9)
+        timed = flash_crowd_workload(
+            building.space, FlashCrowdConfig(count=50), seed=9
+        )
+        assert ops == [t.op for t in timed]
