@@ -51,6 +51,9 @@ The public API mirrors the paper's architecture:
   shard pruning and merges bit-identical answers, and
   :class:`ShardedQueryService` wraps the fleet in the same
   request/response surface as :class:`QueryService`.
+  :class:`ReconfigCoordinator` rolls topology mutations through the
+  live fleet as epoch-fenced prepare/commit rounds — zero downtime, no
+  answer ever merged across two epochs.
 * **Overload control** (:mod:`repro.overload`, beyond the paper): an
   AIMD :class:`AdaptiveConcurrencyLimiter` tracking measured p99
   against a latency SLO, a token-bucket :class:`RetryBudget` that keeps
@@ -182,6 +185,8 @@ from repro.serve import (
 )
 from repro.shard import (
     FloorPlacement,
+    ReconfigCoordinator,
+    ReconfigRecorder,
     ScatterGatherRouter,
     ShardSpec,
     ShardState,
@@ -190,7 +195,7 @@ from repro.shard import (
     SharedIndexArena,
 )
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 __all__ = [
     "AccessibilityGraph",
@@ -243,6 +248,8 @@ __all__ = [
     "QueryRequest",
     "QueryResponse",
     "QueryService",
+    "ReconfigCoordinator",
+    "ReconfigRecorder",
     "RecoveryError",
     "RecoveryManager",
     "RecoveryReport",

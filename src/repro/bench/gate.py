@@ -2,12 +2,14 @@
 
 Compares a fresh measurement against the benchmark artifacts committed
 at the repo root (``BENCH_serve.json``, ``BENCH_shard.json``,
-``BENCH_labels.json``, ``BENCH_overload.json``) and exits non-zero when
-the serving tiers, the labels backend, or the overload-control stack
-regressed.  Two kinds of checks:
+``BENCH_labels.json``, ``BENCH_overload.json``, ``BENCH_reconfig.json``)
+and exits non-zero when the serving tiers, the labels backend, the
+overload-control stack, or live reconfiguration regressed.  Two kinds of
+checks:
 
 * **ratio metrics** (``speedup``, ``speedup_vs_service``,
-  ``bytes_ratio``) — compared with a relative tolerance (default 20%).
+  ``bytes_ratio``, ``availability``) — compared with a relative
+  tolerance (default 20%).
   Ratios divide out the host's absolute speed, so a fresh run on a
   slower machine still gates meaningfully; absolute qps/wall numbers are
   deliberately *not* compared across machines.
@@ -47,6 +49,10 @@ GATE_ARTIFACTS: Dict[str, Tuple[Tuple[str, ...], Tuple[str, ...]]] = {
     "BENCH_overload.json": (
         ("protected.goodput_ratio_capped", "protected.slo_attainment"),
         ("mismatches",),
+    ),
+    "BENCH_reconfig.json": (
+        ("rolling.availability", "rolling.answered_fraction"),
+        ("rolling.mismatches", "rolling.epoch_mix_violations"),
     ),
 }
 
@@ -139,11 +145,25 @@ def _fresh_overload(committed: Dict[str, Any]) -> Dict[str, Any]:
     return measure_overload(scale, seed=int(committed.get("seed", 0)))
 
 
+def _fresh_reconfig(committed: Dict[str, Any]) -> Dict[str, Any]:
+    from repro.bench.reconfig import (
+        RECONFIG_PAPER,
+        RECONFIG_QUICK,
+        measure_reconfig,
+    )
+
+    scale = (
+        RECONFIG_PAPER if committed.get("scale") == "paper" else RECONFIG_QUICK
+    )
+    return measure_reconfig(scale, seed=int(committed.get("seed", 0)))
+
+
 _FRESH_RUNNERS: Dict[str, Callable[[Dict[str, Any]], Dict[str, Any]]] = {
     "BENCH_serve.json": _fresh_serve,
     "BENCH_shard.json": _fresh_shard,
     "BENCH_labels.json": _fresh_labels,
     "BENCH_overload.json": _fresh_overload,
+    "BENCH_reconfig.json": _fresh_reconfig,
 }
 
 

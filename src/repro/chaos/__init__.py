@@ -44,6 +44,8 @@ from repro.chaos.plan import (
     FaultAction,
     FaultPlan,
     flash_crowd_plan,
+    shard_reconfig_plan,
+    shard_standard_plan,
     standard_plan,
 )
 from repro.chaos.report import (
@@ -81,6 +83,8 @@ __all__ = [
     "flash_crowd_plan",
     "incident_digest",
     "install_latency",
+    "shard_reconfig_plan",
+    "shard_standard_plan",
     "space_is_undirected",
     "standard_plan",
     "symmetry_violation",

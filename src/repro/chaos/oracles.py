@@ -17,7 +17,9 @@ Three independent oracles judge every served answer:
   d(p,q) ≤ d(p,m) + d(m,q) for exact answers.
 * :class:`EpochOracle` — linearizability of topology epochs: once any
   response computed at epoch E has been returned, no later response may
-  claim an earlier epoch.
+  claim an earlier epoch; and no single merged answer may mix shard
+  replies from two different epochs (``reply_epochs`` must be uniform —
+  the router's reconfiguration fencing invariant).
 
 All comparisons use an absolute/relative tolerance of :data:`EPS` so
 float formatting never masquerades as corruption.
@@ -279,13 +281,25 @@ def triangle_violation(
 class EpochOracle:
     """No response may be served from an epoch older than one already
     observed: topology mutations linearize at the first response that
-    reflects them."""
+    reflects them.  On sharded services the oracle additionally audits
+    the router's fencing invariant: the shard replies merged into one
+    answer must all carry the same topology epoch — a mixed merge is a
+    silent wrong answer even if the value happens to look plausible."""
 
     def __init__(self) -> None:
         self._max_seen = -1
 
     def observe(self, op_index: int, response: QueryResponse) -> None:
-        """Record one response; raise on an epoch regression."""
+        """Record one response; raise on an epoch regression or a merge
+        that mixed shard replies from different epochs."""
+        epochs = set(response.reply_epochs)
+        if len(epochs) > 1:
+            raise OracleViolation(
+                "epoch",
+                f"op {op_index}: merged shard replies from mixed epochs "
+                f"{sorted(epochs)} into one answer (fencing invariant "
+                "violated)",
+            )
         epoch = response.served_epoch
         if epoch < self._max_seen:
             raise OracleViolation(

@@ -28,8 +28,15 @@ action              params
 
 The three ``*_shard`` actions only make sense against the multi-process
 :class:`~repro.shard.service.ShardedQueryService` tier and are rejected
-by single-process campaigns (and vice versa — see
-:class:`~repro.chaos.runner.CampaignRunner`).
+by single-process campaigns; the injected-fault actions conversely only
+apply single-process (see :class:`~repro.chaos.runner.CampaignRunner`).
+Topology mutations (``remove_door`` / ``add_door``) and ``arm_crash``
+work in *both* modes: against the sharded tier they route through the
+:class:`~repro.shard.reconfig.ReconfigRecorder` and so drive a live
+epoch-fenced rolling update, and ``arm_crash`` may arm the
+reconfiguration crash points (``reconfig.prepare.torn``,
+``reconfig.commit.torn``, ``reconfig.kill_after_prepare``) to tear a
+round mid-flight.
 
 Injected-fault actions take a ``label`` so a later ``heal`` can target
 them.  Plans serialise to JSON (:meth:`FaultPlan.to_json_dict`) and ride
@@ -234,6 +241,60 @@ def shard_standard_plan(duration_ops: int, shards: int = 3) -> FaultPlan:
                     {"shard": victim, "count": 3, "seed": 21}),
         FaultAction(at(0.55), "kill_shard", {"shard": victim, "cold": True}),
         FaultAction(at(0.75), "kill_shard", {"shard": 0, "cold": False}),
+    ])
+
+
+def shard_reconfig_plan(duration_ops: int, shards: int = 3) -> FaultPlan:
+    """Live topology reconfiguration under fire: the rolling-update bar.
+
+    Scaled to ``duration_ops``, the timeline drives four epoch-fenced
+    rolling rounds through the :class:`~repro.shard.reconfig.
+    ReconfigCoordinator` while the query stream keeps flowing:
+
+    1. a clean rolling ``remove_door`` (the zero-downtime baseline);
+    2. the door re-added with ``reconfig.commit.torn`` armed — the
+       coordinator dies right after the first commit ack, leaving the
+       fleet straddling two epochs until ``resume`` heals the round;
+    3. the door removed again with ``reconfig.kill_after_prepare``
+       armed — a worker is SIGKILLed between its prepare ack and its
+       commit, and its respawn must rejoin at the new epoch;
+    4. a worker hung past its liveness deadline immediately before the
+       final ``add_door`` — the prepare hits a stalled (or
+       just-restarted) worker and must fall to the rebuild rung.
+
+    Like :func:`standard_plan`, every mutation toggles Figure 1's d24
+    (rooms 21–22 stay connected through d21/d22), so the differential
+    oracle keeps a meaningful exact answer at every epoch.  The
+    acceptance bar: zero silent wrong answers, zero unrecovered
+    incidents, and no merge that mixes epochs — while the topology is
+    changing under the running fleet.
+    """
+    if duration_ops < 20:
+        raise ValueError(
+            f"reconfig plan needs duration_ops >= 20, got {duration_ops}"
+        )
+    if shards < 2:
+        raise ValueError(f"reconfig plan needs shards >= 2, got {shards}")
+
+    def at(fraction: float) -> int:
+        return max(1, int(duration_ops * fraction))
+
+    door_24 = {
+        "id": 24,
+        "geometry": {"segment": [[16.0, 1.6, 0], [16.0, 2.4, 0]]},
+        "connects": [21, 22],
+        "one_way": False,
+    }
+    return FaultPlan([
+        FaultAction(at(0.10), "remove_door", {"id": 24}),
+        FaultAction(at(0.30), "arm_crash",
+                    {"point": "reconfig.commit.torn"}),
+        FaultAction(at(0.30), "add_door", door_24),
+        FaultAction(at(0.55), "arm_crash",
+                    {"point": "reconfig.kill_after_prepare"}),
+        FaultAction(at(0.55), "remove_door", {"id": 24}),
+        FaultAction(at(0.75), "hang_shard", {"shard": 1, "seconds": 1.0}),
+        FaultAction(at(0.78), "add_door", door_24),
     ])
 
 

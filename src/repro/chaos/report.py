@@ -121,6 +121,11 @@ class CampaignReport:
             budget counters plus limiter and budget state — for
             campaigns run with hedging enabled (informational; never
             digested, because hedge wins depend on real scheduling).
+        reconfig: final reconfiguration snapshot — committed / fence
+            epoch, prepare / commit / abort / resume counters, fenced
+            and retried reply counts — for sharded campaigns that ran
+            topology mutations (informational; never digested, because
+            retry and restart counts depend on real scheduling).
     """
 
     config: Dict[str, Any]
@@ -130,6 +135,7 @@ class CampaignReport:
     latency_ms: Dict[str, Dict[str, float]] = field(default_factory=dict)
     breaker: Dict[str, Any] = field(default_factory=dict)
     overload: Dict[str, Any] = field(default_factory=dict)
+    reconfig: Dict[str, Any] = field(default_factory=dict)
 
     def finalize(self) -> "CampaignReport":
         """Seal the digest over the current incident sequence."""
@@ -175,6 +181,7 @@ class CampaignReport:
             "latency_ms": self.latency_ms,
             "breaker": self.breaker,
             "overload": self.overload,
+            "reconfig": self.reconfig,
         }
 
     def save(self, path: PathLike) -> Path:
@@ -198,4 +205,5 @@ class CampaignReport:
             latency_ms=raw.get("latency_ms", {}),
             breaker=raw.get("breaker", {}),
             overload=raw.get("overload", {}),
+            reconfig=raw.get("reconfig", {}),
         )

@@ -306,6 +306,7 @@ class CampaignRunner:
 
         executed = 0
         breaker_state: Dict[str, Any] = {}
+        reconfig_state: Dict[str, Any] = {}
         try:
             self._service = self._start_service(store)
             for op in ops:
@@ -322,6 +323,7 @@ class CampaignRunner:
                     self._apply_action(action, index, store)
             self._final_probe(ops, differential)
             breaker_state = self._breaker_state()
+            reconfig_state = self._reconfig_state()
         finally:
             crashpoints.disarm_all()
             if self._service is not None:
@@ -346,6 +348,7 @@ class CampaignRunner:
                 )
                 if cfg.hedging else {}
             ),
+            reconfig=reconfig_state,
         )
         return report.finalize()
 
@@ -360,6 +363,15 @@ class CampaignRunner:
                     f"shard.{shard}": snap
                     for shard, snap in router.breaker_snapshot().items()
                 }
+        return {}
+
+    def _reconfig_state(self) -> Dict[str, Any]:
+        """The coordinator's end-of-campaign snapshot (sharded tier only;
+        informational — never digested)."""
+        if isinstance(self._service, ShardedQueryService):
+            coordinator = self._service.reconfig
+            if coordinator is not None:
+                return coordinator.snapshot()
         return {}
 
     # ------------------------------------------------------------------
@@ -445,7 +457,12 @@ class CampaignRunner:
         label = action.label or action.action
         name = action.action
         shard_mode = self.config.shards > 0
-        if shard_mode and name not in SHARD_ACTIONS and name != "heal":
+        # Topology mutations and crash-point arming are tier-agnostic: on
+        # the sharded tier the WAL recorder is the ReconfigRecorder, so a
+        # remove_door / add_door drives a live epoch-fenced rolling round
+        # (and arm_crash may tear that round at a reconfig.* point).
+        shared = ("heal", "remove_door", "add_door", "arm_crash")
+        if shard_mode and name not in SHARD_ACTIONS and name not in shared:
             # In-process injectors poison the supervisor-side framework,
             # which no worker serves from — the fault would be invisible
             # and the campaign would "pass" vacuously.  Refuse loudly.

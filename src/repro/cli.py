@@ -43,19 +43,29 @@ Commands:
   2x that load (scale via ``REPRO_BENCH_SCALE``); exit 0 iff the
   protected run holds its p99 inside the SLO at >= 0.8x the unprotected
   peak goodput with zero exact-answer mismatches;
+* ``reconfig-bench [--json OUT.json] [--seed N]`` — live topology
+  reconfiguration: an epoch-fenced rolling update of the sharded tier
+  vs a stop-the-world restart, under a continuous query pump
+  (availability, p50/p99, per-epoch differential mismatches, epoch-mix
+  violations; scale via ``REPRO_BENCH_SCALE``); exit 0 iff the rolling
+  run had zero mismatches, zero epoch mixes, and zero unavailable
+  attempts;
 * ``bench --gate [--tolerance T]`` — regression-gate the committed
   ``BENCH_serve.json`` / ``BENCH_shard.json`` / ``BENCH_labels.json`` /
-  ``BENCH_overload.json`` artifacts against a fresh run (exit non-zero
-  on regression; see :mod:`repro.bench.gate`);
+  ``BENCH_overload.json`` / ``BENCH_reconfig.json`` artifacts against a
+  fresh run (exit non-zero on regression; see :mod:`repro.bench.gate`);
 * ``chaos run [--seed N] [--duration-ops M] [--report OUT.json]
-  [--shards N] [--workload mixed|flash-crowd] [--hedging]`` — a
+  [--shards N] [--workload mixed|flash-crowd] [--hedging]
+  [--reconfig]`` — a
   deterministic fault-injection campaign (see :mod:`repro.chaos` and
   ``docs/chaos.md``): exit 0 iff the verdict is PASS; ``--shards N``
   runs it against the multi-process sharded tier with the shard fault
   plan (kill/hang/snapshot-rot); ``--workload flash-crowd`` swaps in
   the zipfian rush-hour op stream with casualties timed into the spike,
-  and ``--hedging`` arms the overload-control stack (hedged
-  scatter-gather, retry budget, limiter) on the sharded tier;
+  ``--hedging`` arms the overload-control stack (hedged
+  scatter-gather, retry budget, limiter) on the sharded tier, and
+  ``--reconfig`` swaps in the live-reconfiguration plan (epoch-fenced
+  rolling topology mutations with the reconfig crash points armed);
 * ``chaos replay --report OUT.json`` — re-run a saved campaign's config
   and verify the incident digest reproduces byte-for-byte (single
   process campaigns only: shard scheduling is real concurrency and is
@@ -180,6 +190,27 @@ def _doctor_campaign(path: str) -> int:
     for name, count in sorted(report.overload.get("counters", {}).items()):
         if count:
             print(f"  {name}: {count}")
+    reconfig = report.reconfig
+    if reconfig:
+        print(
+            f"  reconfig: epoch {reconfig.get('committed_epoch', 0)} "
+            f"(fence {reconfig.get('fence_epoch', 0)})"
+        )
+        for key in (
+            "rounds", "prepares", "prepare_failures", "commits",
+            "commit_failures", "aborts", "resumes", "planned_restarts",
+            "fenced_replies", "retried_replies", "replans",
+        ):
+            value = reconfig.get(key, 0)
+            if value:
+                print(f"  reconfig.{key}: {value}")
+        lagging = {
+            shard: skew
+            for shard, skew in reconfig.get("epoch_skew", {}).items()
+            if skew
+        }
+        if lagging:
+            print(f"  reconfig epoch skew (laggards): {lagging}")
     return 0 if report.passed else 1
 
 
@@ -575,6 +606,35 @@ def _cmd_overload_bench(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _cmd_reconfig_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.bench.reconfig import (
+        current_reconfig_scale,
+        measure_reconfig,
+        render_reconfig_summary,
+    )
+
+    scale = current_reconfig_scale()
+    print(
+        f"# scale: {scale.name} (set REPRO_BENCH_SCALE=paper for more rounds)"
+    )
+    result = measure_reconfig(scale, seed=args.seed)
+    print(render_reconfig_summary(result))
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(result, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"# wrote {args.json}")
+    rolling = result["rolling"]
+    failed = (
+        rolling["mismatches"] != 0
+        or rolling["epoch_mix_violations"] != 0
+        or rolling["unavailable"] != 0
+    )
+    return 1 if failed else 0
+
+
 def _render_campaign_summary(report) -> None:
     counts = report.counts()
     print(
@@ -592,12 +652,35 @@ def _render_campaign_summary(report) -> None:
     for name, count in sorted(report.overload.get("counters", {}).items()):
         if count:
             print(f"  {name}: {count}")
+    reconfig = report.reconfig
+    if reconfig:
+        print(
+            f"  reconfig: epoch {reconfig.get('committed_epoch', 0)} "
+            f"(fence {reconfig.get('fence_epoch', 0)}), "
+            f"{reconfig.get('rounds', 0)} rounds, "
+            f"{reconfig.get('prepares', 0)} prepares, "
+            f"{reconfig.get('commits', 0)} commits, "
+            f"{reconfig.get('resumes', 0)} resumes, "
+            f"{reconfig.get('fenced_replies', 0)} fenced replies"
+        )
+        lagging = {
+            shard: skew
+            for shard, skew in reconfig.get("epoch_skew", {}).items()
+            if skew
+        }
+        if lagging:
+            print(f"  reconfig epoch skew: {lagging}")
 
 
 def _cmd_chaos_run(args: argparse.Namespace) -> int:
     import json
 
-    from repro.chaos import CampaignConfig, CampaignRunner, FaultPlan
+    from repro.chaos import (
+        CampaignConfig,
+        CampaignRunner,
+        FaultPlan,
+        shard_reconfig_plan,
+    )
 
     plan = None
     if args.plan:
@@ -607,6 +690,14 @@ def _cmd_chaos_run(args: argparse.Namespace) -> int:
         except (OSError, KeyError, ValueError) as exc:
             print(f"chaos run: unreadable plan {args.plan}: {exc}")
             return 2
+    if args.reconfig:
+        if args.shards <= 0:
+            print("chaos run: --reconfig requires --shards N (N >= 2)")
+            return 2
+        if plan is not None:
+            print("chaos run: --reconfig and --plan are mutually exclusive")
+            return 2
+        plan = shard_reconfig_plan(args.duration_ops, shards=args.shards)
     config = CampaignConfig(
         seed=args.seed,
         duration_ops=args.duration_ops,
@@ -901,6 +992,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     overload_bench.set_defaults(handler=_cmd_overload_bench)
 
+    reconfig_bench = commands.add_parser(
+        "reconfig-bench",
+        help="live topology reconfiguration: epoch-fenced rolling update "
+        "vs stop-the-world restart (availability, p99, exactness)",
+    )
+    reconfig_bench.add_argument(
+        "--json", default=None, help="write the full result dict to this file"
+    )
+    reconfig_bench.add_argument(
+        "--seed", type=int, default=0, help="workload seed (default 0)"
+    )
+    reconfig_bench.set_defaults(handler=_cmd_reconfig_bench)
+
     chaos = commands.add_parser(
         "chaos", help="deterministic fault-injection campaigns"
     )
@@ -953,6 +1057,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="op-stream shape; flash-crowd is the zipfian rush-hour "
         "spike (with --shards, the default plan times its casualties "
         "into the spike window)",
+    )
+    chaos_run.add_argument(
+        "--reconfig", action="store_true",
+        help="swap in the live-reconfiguration fault plan: topology "
+        "mutations rolled through the fleet mid-campaign, with the "
+        "reconfig crash points (torn commit, kill-after-prepare) armed "
+        "(requires --shards)",
     )
     chaos_run.add_argument(
         "--hedging", action="store_true",

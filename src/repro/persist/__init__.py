@@ -39,6 +39,8 @@ from repro.persist.wal import (
     TopologyWAL,
     WalRecord,
     WalRecorder,
+    apply_record,
+    replay_records,
 )
 
 __all__ = [
@@ -52,8 +54,10 @@ __all__ = [
     "TopologyWAL",
     "WalRecord",
     "WalRecorder",
+    "apply_record",
     "load_snapshot",
     "read_manifest",
+    "replay_records",
     "save_snapshot",
     "snapshot_bytes",
 ]

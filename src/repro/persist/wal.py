@@ -94,6 +94,19 @@ class WalRecord:
             sort_keys=True,
         ).encode("utf-8")
 
+    def to_dict(self) -> dict:
+        """JSON/pipe-safe representation (the reconfig delta wire format)."""
+        return {"seq": self.seq, "epoch": self.epoch, "op": self.op,
+                "args": self.args}
+
+    @staticmethod
+    def from_dict(raw: dict) -> "WalRecord":
+        """Inverse of :meth:`to_dict`."""
+        return WalRecord(
+            int(raw["seq"]), int(raw["epoch"]), str(raw["op"]),
+            dict(raw["args"]),
+        )
+
     def to_line(self) -> bytes:
         """Serialise as one JSON log line (CRC32 over :meth:`payload`)."""
         body = {"seq": self.seq, "epoch": self.epoch, "op": self.op,
@@ -335,6 +348,45 @@ class TopologyWAL:
         return ReplayReport(applied, skipped, dropped, last)
 
 
+def apply_record(space: IndoorSpace, record: WalRecord) -> None:
+    """Apply one record to a space whose epoch is exactly ``record.epoch - 1``.
+
+    This is the single mutation interpreter shared by WAL replay and the
+    sharded tier's reconfiguration protocol (workers apply the prepare
+    delta to a private copy of their space with it).  The same epoch
+    contract as :meth:`TopologyWAL.replay` holds: applying the record must
+    leave the space at ``record.epoch``.
+    """
+    if record.epoch != space.topology_epoch + 1:
+        raise WalCorruptError(
+            f"record seq={record.seq} targets epoch {record.epoch} but the "
+            f"space is at {space.topology_epoch}"
+        )
+    _apply(space, record)
+    if space.topology_epoch != record.epoch:
+        raise WalCorruptError(
+            f"applying seq={record.seq} left the space at epoch "
+            f"{space.topology_epoch}, expected {record.epoch}"
+        )
+
+
+def replay_records(space: IndoorSpace, records: List[WalRecord]) -> int:
+    """Apply every record newer than the space's epoch, in order.
+
+    File-less counterpart of :meth:`TopologyWAL.replay` for deltas that
+    arrived over a pipe rather than from disk.  Returns the number of
+    records applied; records at or below the space's epoch are skipped
+    (idempotent re-delivery is expected under retries).
+    """
+    applied = 0
+    for record in records:
+        if record.epoch <= space.topology_epoch:
+            continue
+        apply_record(space, record)
+        applied += 1
+    return applied
+
+
 def _apply(space: IndoorSpace, record: WalRecord) -> None:
     args = record.args
     if record.op == "add_partition":
@@ -378,6 +430,10 @@ class WalRecorder:
     def __init__(self, space: IndoorSpace, wal: TopologyWAL) -> None:
         self.space = space
         self.wal = wal
+        #: The record the most recent successful mutation appended — the
+        #: sharded tier reads it back as the prepare delta for the round
+        #: it is about to run.  ``None`` until the first mutation lands.
+        self.last_record: Optional[WalRecord] = None
 
     def add_partition(
         self,
@@ -405,13 +461,15 @@ class WalRecorder:
             epoch=self.space.topology_epoch + 1,
         )
         try:
-            return self.space.add_partition(
+            result = self.space.add_partition(
                 partition_id, polygon, kind, name, tuple(obstacles),
                 stair_length,
             )
         except BaseException:
             self.wal.rollback(record)
             raise
+        self.last_record = record
+        return result
 
     def add_door(
         self,
@@ -434,12 +492,14 @@ class WalRecorder:
             epoch=self.space.topology_epoch + 1,
         )
         try:
-            return self.space.add_door(
+            result = self.space.add_door(
                 door_id, geometry, connects, one_way, name
             )
         except BaseException:
             self.wal.rollback(record)
             raise
+        self.last_record = record
+        return result
 
     def remove_door(self, door_id: int):
         """Log then remove a door (see :meth:`IndoorSpace.remove_door`)."""
@@ -448,7 +508,9 @@ class WalRecorder:
             epoch=self.space.topology_epoch + 1,
         )
         try:
-            return self.space.remove_door(door_id)
+            result = self.space.remove_door(door_id)
         except BaseException:
             self.wal.rollback(record)
             raise
+        self.last_record = record
+        return result

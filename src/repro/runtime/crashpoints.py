@@ -21,7 +21,17 @@ Known points:
   classic torn tail a WAL reader must tolerate);
 * ``wal.append.before_fsync`` — record written and flushed to the OS but
   not fsynced (the record may or may not survive; the reader must accept
-  both).
+  both);
+* ``reconfig.prepare.torn`` — the reconfiguration coordinator dies after
+  the WAL record and the fleet retarget but before any worker prepares
+  (the fence is up, nothing is staged);
+* ``reconfig.commit.torn`` — the coordinator dies right after the first
+  successful commit ack (the fleet straddles two epochs; the router's
+  fencing must keep every merge single-epoch until ``resume`` heals the
+  round);
+* ``reconfig.kill_after_prepare`` — consumed per shard between its
+  prepare ack and its commit: that worker is SIGKILLed so its respawn
+  must rejoin at the new epoch from the retargeted spec.
 """
 
 from __future__ import annotations

@@ -150,6 +150,11 @@ class QueryResponse:
             (sharded serving only; empty for single-process services).
             A non-empty tuple always comes with a degraded ``quality`` —
             a partial answer is never presented as exact.
+        reply_epochs: the distinct topology epochs of the shard replies
+            merged into ``value`` (sharded serving only; empty for
+            single-process services, cacheless rungs, and gap-fill-only
+            answers).  The router's fencing invariant keeps this at most
+            one epoch long — the evidence the chaos EpochOracle audits.
     """
 
     request: QueryRequest
@@ -162,6 +167,7 @@ class QueryResponse:
     breaker: bool = False
     latency_ms: float = 0.0
     missing_shards: Tuple[int, ...] = ()
+    reply_epochs: Tuple[int, ...] = ()
 
     @property
     def degraded(self) -> bool:

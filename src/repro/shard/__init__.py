@@ -17,26 +17,46 @@ This package exploits exactly that split:
 * :mod:`~repro.shard.router` — scatter-gather range / kNN / pt2pt that is
   bit-identical to the single-process engine while the fleet is healthy
   and *explicitly degraded, never silently wrong* when it is not;
+* :mod:`~repro.shard.reconfig` — epoch-fenced live topology
+  reconfiguration: WAL-recorded mutations rolled across the fleet with a
+  two-phase prepare/commit, zero downtime, and a router fence that
+  guarantees no merge ever mixes epochs;
 * :mod:`~repro.shard.service` — the assembled tier behind the familiar
   ``SupervisedQueryService``-style lifecycle.
 """
 
 from repro.shard.placement import FloorPlacement
+from repro.shard.reconfig import (
+    ReconfigCoordinator,
+    ReconfigRecorder,
+    stage_framework,
+)
 from repro.shard.router import ScatterGatherRouter
 from repro.shard.service import ShardedQueryService
 from repro.shard.shm import SharedIndexArena
-from repro.shard.spec import ShardSpec, materialize, shard_framework, shard_specs
-from repro.shard.supervisor import ShardState, ShardSupervisor
+from repro.shard.spec import (
+    ShardSpec,
+    materialize,
+    respec_for_epoch,
+    shard_framework,
+    shard_specs,
+)
+from repro.shard.supervisor import ShardAnswer, ShardState, ShardSupervisor
 
 __all__ = [
     "FloorPlacement",
+    "ReconfigCoordinator",
+    "ReconfigRecorder",
     "ScatterGatherRouter",
+    "ShardAnswer",
     "ShardSpec",
     "ShardState",
     "ShardSupervisor",
     "ShardedQueryService",
     "SharedIndexArena",
     "materialize",
+    "respec_for_epoch",
     "shard_framework",
     "shard_specs",
+    "stage_framework",
 ]

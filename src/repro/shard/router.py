@@ -46,6 +46,19 @@ The rung guarantees still hold for the merged answer: a range fill is a
 superset of the missing slice (Euclidean lower bound ≤ true distance) and
 kNN / pt2pt report only lower-bound distances — exactly what the chaos
 :class:`~repro.chaos.oracles.DifferentialOracle` checks.
+
+**Epoch fencing.**  Under live reconfiguration
+(:mod:`repro.shard.reconfig`) different workers may momentarily serve
+different topology epochs.  Every worker reply carries the epoch it was
+computed at (:class:`~repro.shard.supervisor.ShardAnswer`), and the
+router enforces one invariant: *a merge never mixes epochs*.  The fence
+for a request is the maximum of the supervisor's fence epoch (raised the
+instant a round retargets the fleet) and every gathered reply's epoch; a
+reply below the fence is retried once against its (possibly just
+flipped) worker and otherwise discarded into the Euclidean gap fill —
+degraded, never mixed.  The router's served epoch is therefore a
+per-request property, monotonically non-decreasing, and the epoch-keyed
+caches invalidate naturally the moment the fence rises.
 """
 
 from __future__ import annotations
@@ -68,7 +81,7 @@ from repro.serve.cache import EpochLRUCache
 from repro.serve.metrics import MetricsRegistry
 from repro.serve.requests import QueryKind, QueryRequest, QueryResponse
 from repro.shard.placement import FloorPlacement
-from repro.shard.supervisor import ShardSupervisor
+from repro.shard.supervisor import ShardAnswer, ShardSupervisor
 
 #: Matches the engine's range-predicate slack (see runtime.ladder).
 _RANGE_EPS = 1e-9
@@ -129,9 +142,14 @@ class ScatterGatherRouter:
         self.hedge_policy = hedge_policy
         self.retry_budget = retry_budget
         self._probe_ms = self.metrics.histogram("serve.probe_ms")
-        # The sharded tier serves a static topology: the epoch is fixed at
-        # construction and every response carries it.
-        self._epoch = framework.space.topology_epoch
+        # The served epoch is a *per-request* property: the monotone floor
+        # below rises with every fence a merge observes, and the
+        # supervisor's fence epoch rises the moment a reconfig round
+        # retargets the fleet.  (It was pinned at construction before the
+        # tier could reconfigure live.)
+        self._epoch_lock = threading.Lock()
+        self._floor = framework.space.topology_epoch
+        self._reconfiguring = False
         self._cache = EpochLRUCache(cache_capacity)
         self._breakers: Dict[int, CircuitBreaker] = {}
         self._shard_metrics: Dict[int, Any] = {}
@@ -147,34 +165,75 @@ class ScatterGatherRouter:
                 metrics=scoped,
             )
             self._objects[shard_id] = []
-        shard_partitions: Dict[int, Set[int]] = {
-            shard_id: set() for shard_id in placement.shard_ids
-        }
         for obj in store:
             partition_id = store.host_partition_id(obj.object_id)
             shard_id = placement.shard_for_partition(partition_id)
             self._objects[shard_id].append((obj.object_id, obj.position))
-            shard_partitions[shard_id].add(partition_id)
         for table in self._objects.values():
             table.sort()
-        # Distance-aware pruning state: the distance backend plus, per
-        # shard, the enterable doors of its object-hosting partitions.
-        # Works for any DistanceBackend via `min_distance_between` (dense
-        # submatrix min for the matrix, vectorised label join for labels).
-        # Per-partition bounds are memoised lazily in `_bounds`.
-        self._topology = framework.space.topology
-        self._rtree = framework.rtree
-        self._distance_index = framework.distance_index
+        self._bounds: Dict[int, Dict[int, float]] = {}
+        self._bounds_lock = threading.Lock()
+        self._install_pruning_state(framework)
+
+    def _install_pruning_state(self, framework: IndexFramework) -> None:
+        """(Re)build the distance-aware pruning state from ``framework``:
+        the distance backend plus, per shard, the enterable doors of its
+        object-hosting partitions.  Works for any DistanceBackend via
+        ``min_distance_between`` (dense submatrix min for the matrix,
+        vectorised label join for labels).  Per-partition bounds are
+        memoised lazily in ``_bounds``; called again by
+        :meth:`finish_reconfig` because the bounds are epoch-sensitive."""
+        store = framework.objects
+        shard_partitions: Dict[int, Set[int]] = {
+            shard_id: set() for shard_id in self.placement.shard_ids
+        }
+        for obj in store:
+            partition_id = store.host_partition_id(obj.object_id)
+            shard_partitions[
+                self.placement.shard_for_partition(partition_id)
+            ].add(partition_id)
+        topology = framework.space.topology
         known_doors = set(framework.distance_index.door_ids)
-        self._known_doors = known_doors
-        self._shard_doors: Dict[int, List[int]] = {}
+        shard_doors = {}
         for shard_id, partitions in shard_partitions.items():
             doors: Set[int] = set()
             for partition_id in partitions:
-                doors |= self._topology.enterable_doors(partition_id)
-            self._shard_doors[shard_id] = sorted(doors & known_doors)
-        self._bounds: Dict[int, Dict[int, float]] = {}
-        self._bounds_lock = threading.Lock()
+                doors |= topology.enterable_doors(partition_id)
+            shard_doors[shard_id] = sorted(doors & known_doors)
+        with self._bounds_lock:
+            self._topology = topology
+            self._rtree = framework.rtree
+            self._distance_index = framework.distance_index
+            self._known_doors = known_doors
+            self._shard_doors = shard_doors
+            self._bounds.clear()
+
+    # ------------------------------------------------------------------
+    # Reconfiguration hooks (driven by ReconfigCoordinator)
+    # ------------------------------------------------------------------
+    def begin_reconfig(self) -> None:
+        """Pause distance-aware pruning for the duration of a round.
+
+        The pruning bounds are computed from one epoch's distance index
+        and door graph; while the fleet straddles two epochs a bound from
+        either side could wrongly prune a shard for the other.  Unpruned
+        scatters stay correct at any epoch — the merge proofs never
+        depended on pruning."""
+        with self._epoch_lock:
+            self._reconfiguring = True
+        with self._bounds_lock:
+            self._bounds.clear()
+
+    def abort_reconfig(self) -> None:
+        """Re-enable pruning after a round that mutated nothing."""
+        with self._epoch_lock:
+            self._reconfiguring = False
+
+    def finish_reconfig(self, framework: IndexFramework) -> None:
+        """Swap in the new epoch's pruning state and resume pruning."""
+        self._install_pruning_state(framework)
+        with self._epoch_lock:
+            self._reconfiguring = False
 
     # ------------------------------------------------------------------
     # Public surface
@@ -189,25 +248,28 @@ class ScatterGatherRouter:
         """
         start = time.perf_counter()
         self.metrics.increment("serve.requests")
-        cached = self._cache.get(request.cache_key(), self._epoch, None)
+        epoch = self.served_epoch
+        cached = self._cache.get(request.cache_key(), epoch, None)
         if cached is not None:
             self.metrics.increment("serve.cache_hits")
             return self._respond(
                 request, cached, QualityLevel.EXACT_INDEXED, (),
-                start, from_cache=True,
+                start, epoch, (epoch,), from_cache=True,
             )
         self.metrics.increment("serve.cache_misses")
         if request.kind is QueryKind.RANGE:
-            value, quality, missing = self._range(request)
+            value, quality, missing, fence, epochs = self._range(request)
         elif request.kind is QueryKind.KNN:
-            value, quality, missing = self._knn(request)
+            value, quality, missing, fence, epochs = self._knn(request)
         else:
-            value, quality, missing = self._pt2pt(request)
+            value, quality, missing, fence, epochs = self._pt2pt(request)
         if quality is QualityLevel.EXACT_INDEXED:
-            self._cache.put(request.cache_key(), self._epoch, value)
+            self._cache.put(request.cache_key(), fence, value)
         else:
             self.metrics.increment("serve.degraded")
-        return self._respond(request, value, quality, missing, start)
+        return self._respond(
+            request, value, quality, missing, start, fence, epochs
+        )
 
     def shed_execute(self, request: QueryRequest) -> QueryResponse:
         """Answer at the Euclidean rung from the router's local object
@@ -240,7 +302,8 @@ class ScatterGatherRouter:
             value = euclidean_lower_bound(request.position, request.target)
         self.metrics.increment("serve.degraded")
         return self._respond(
-            request, value, QualityLevel.EUCLIDEAN, (), start, shed=True
+            request, value, QualityLevel.EUCLIDEAN, (), start,
+            self.served_epoch, (), shed=True,
         )
 
     def breaker_snapshot(self) -> Dict[int, Dict[str, Any]]:
@@ -257,7 +320,21 @@ class ScatterGatherRouter:
 
     @property
     def served_epoch(self) -> int:
-        return self._epoch
+        """The epoch a request admitted *now* would be fenced at: the
+        monotone floor of observed merges, lifted by the supervisor's
+        fence epoch the instant a reconfig round begins."""
+        with self._epoch_lock:
+            floor = self._floor
+        return max(floor, self.supervisor.fence_epoch)
+
+    def _raise_floor(self, epoch: int) -> None:
+        with self._epoch_lock:
+            if epoch > self._floor:
+                self._floor = epoch
+
+    def _reconfig_in_flight(self) -> bool:
+        with self._epoch_lock:
+            return self._reconfiguring
 
     # ------------------------------------------------------------------
     # Scatter-gather internals
@@ -269,6 +346,8 @@ class ScatterGatherRouter:
         quality: QualityLevel,
         missing: Tuple[int, ...],
         start: float,
+        epoch: int,
+        reply_epochs: Tuple[int, ...],
         from_cache: bool = False,
         shed: bool = False,
     ) -> QueryResponse:
@@ -282,19 +361,81 @@ class ScatterGatherRouter:
             request=request,
             value=value,
             quality=quality,
-            served_epoch=self._epoch,
+            served_epoch=epoch,
             cached=from_cache,
             shed=shed,
             breaker=bool(missing),
             latency_ms=latency_ms,
             missing_shards=missing,
+            reply_epochs=reply_epochs,
         )
+
+    def _apply_fence(
+        self,
+        raw: Dict[int, ShardAnswer],
+        request: QueryRequest,
+    ) -> Tuple[Dict[int, Any], List[int], int, Tuple[int, ...]]:
+        """Enforce the single-epoch merge invariant over gathered replies.
+
+        The fence is the max of the supervisor's fence epoch and every
+        reply's epoch.  A reply below it is retried once against its
+        worker (which has usually just committed the flip) and otherwise
+        dropped into the gap fill.  Returns ``(values by shard, fenced
+        shard ids, fence epoch, distinct merged epochs)`` — the last is
+        the evidence the chaos EpochOracle audits.
+        """
+        fence = self.served_epoch
+        for answer in raw.values():
+            fence = max(fence, answer.epoch)
+        fenced: List[int] = []
+        retried: Set[int] = set()
+        in_flight = self._reconfig_in_flight()
+        for _ in range(3):  # re-fence when a retry lands above the fence
+            stale = [s for s, a in raw.items() if a.epoch < fence]
+            if not stale:
+                break
+            for shard_id in stale:
+                answer = None
+                if shard_id not in retried and not in_flight:
+                    retried.add(shard_id)
+                    answer = self._retry_fenced(shard_id, request)
+                if answer is not None and answer.epoch >= fence:
+                    raw[shard_id] = answer
+                    fence = max(fence, answer.epoch)
+                else:
+                    raw.pop(shard_id)
+                    fenced.append(shard_id)
+                    self.metrics.increment("reconfig.fenced_replies")
+                    self._shard_metrics[shard_id].increment("serve.fenced")
+        self._raise_floor(fence)
+        epochs = tuple(sorted({a.epoch for a in raw.values()}))
+        return (
+            {s: a.value for s, a in raw.items()},
+            sorted(fenced),
+            fence,
+            epochs,
+        )
+
+    def _retry_fenced(self, shard_id: int, request: QueryRequest):
+        """One immediate re-probe of a shard whose reply was fenced —
+        its worker has usually just committed the new epoch, so the
+        retry recovers an exact merge instead of degrading."""
+        self.metrics.increment("reconfig.retried_replies")
+        try:
+            future = self.supervisor.submit(
+                shard_id, request, budget_s=self.shard_timeout_s
+            )
+            return future.result(timeout=self.shard_timeout_s)
+        except _GATHER_FAULTS:
+            return None
 
     def _scatter(
         self, shard_ids: List[int], request: QueryRequest
-    ) -> Tuple[Dict[int, Any], List[int]]:
+    ) -> Tuple[Dict[int, ShardAnswer], List[int]]:
         """Fan ``request`` out to ``shard_ids`` and gather within the
-        timeout. Returns (answers by shard, missing shard ids)."""
+        timeout. Returns (epoch-stamped answers by shard, missing shard
+        ids); the caller runs the gathered replies through
+        :meth:`_apply_fence` before merging."""
         futures: Dict[int, Future] = {}
         missing: List[int] = []
         for shard_id in shard_ids:
@@ -312,7 +453,7 @@ class ScatterGatherRouter:
                 shard_metrics.increment("serve.unavailable")
                 breaker.record_failure()
                 missing.append(shard_id)
-        answers: Dict[int, Any] = {}
+        answers: Dict[int, ShardAnswer] = {}
         scattered_at = time.monotonic()
         deadline = scattered_at + self.shard_timeout_s
         for shard_id, future in futures.items():
@@ -455,7 +596,12 @@ class ScatterGatherRouter:
         leave_doors = sorted(
             self._topology.leaveable_doors(partition_id) & self._known_doors
         )
-        home = self.placement.shard_for_partition(partition_id)
+        try:
+            home = self.placement.shard_for_partition(partition_id)
+        except KeyError:
+            # A partition added by a reconfig round the placement has not
+            # absorbed yet: no sound bound exists, so don't prune.
+            return None
         bounds = {}
         for shard_id in self.placement.shard_ids:
             doors = self._shard_doors[shard_id]
@@ -471,9 +617,14 @@ class ScatterGatherRouter:
 
     def _range(
         self, request: QueryRequest
-    ) -> Tuple[List[int], QualityLevel, Tuple[int, ...]]:
+    ) -> Tuple[List[int], QualityLevel, Tuple[int, ...], int, Tuple[int, ...]]:
         populated = self._populated()
-        bounds = self._shard_bounds(request.position)
+        fence_at_plan = self.served_epoch
+        bounds = (
+            None
+            if self._reconfig_in_flight()
+            else self._shard_bounds(request.position)
+        )
         if bounds is None:
             targets = populated
         else:
@@ -482,15 +633,26 @@ class ScatterGatherRouter:
             # range predicate excludes it too.
             limit = request.radius + _RANGE_EPS
             targets = [s for s in populated if bounds[s] <= limit]
-        if len(targets) < len(populated):
+        pruned = len(targets) < len(populated)
+        if pruned:
             self.metrics.increment(
                 "serve.shards_pruned", len(populated) - len(targets)
             )
-        answers, missing = self._scatter(targets, request)
+        raw, missing = self._scatter(targets, request)
+        values, fenced, fence, epochs = self._apply_fence(raw, request)
+        if pruned and fence > fence_at_plan:
+            # The pruning decision used bounds from the epoch this query
+            # was planned at, but the fence moved mid-flight — a pruned
+            # shard might matter at the new epoch.  One unpruned redo is
+            # sound at any epoch (the merge proofs never needed pruning).
+            self.metrics.increment("reconfig.replans")
+            raw, missing = self._scatter(populated, request)
+            values, fenced, fence, epochs = self._apply_fence(raw, request)
         merged: List[int] = []
-        for ids in answers.values():
+        for ids in values.values():
             merged.extend(ids)
-        for shard_id in missing:
+        gap = sorted(set(missing) | set(fenced))
+        for shard_id in gap:
             merged.extend(
                 oid
                 for oid, position in self._objects[shard_id]
@@ -498,17 +660,26 @@ class ScatterGatherRouter:
                 <= request.radius + _RANGE_EPS
             )
         quality = (
-            QualityLevel.EXACT_INDEXED if not missing else QualityLevel.EUCLIDEAN
+            QualityLevel.EXACT_INDEXED if not gap else QualityLevel.EUCLIDEAN
         )
-        return sorted(merged), quality, tuple(missing)
+        return sorted(merged), quality, tuple(gap), fence, epochs
 
     def _knn(
         self, request: QueryRequest
-    ) -> Tuple[List[Tuple[int, float]], QualityLevel, Tuple[int, ...]]:
+    ) -> Tuple[
+        List[Tuple[int, float]], QualityLevel, Tuple[int, ...], int,
+        Tuple[int, ...],
+    ]:
         populated = self._populated()
-        bounds = self._shard_bounds(request.position)
+        fence_at_plan = self.served_epoch
+        bounds = (
+            None
+            if self._reconfig_in_flight()
+            else self._shard_bounds(request.position)
+        )
+        pruned = False
         if bounds is None or len(populated) <= 1:
-            answers, missing = self._scatter(populated, request)
+            raw, missing = self._scatter(populated, request)
         else:
             # Two-phase scatter: probe the lowest-bound shard, then visit
             # only shards whose bound can still improve its k-th local
@@ -517,25 +688,35 @@ class ScatterGatherRouter:
             # under (distance, id) tie-breaking.
             order = sorted(populated, key=lambda s: (bounds[s], s))
             first = order[0]
-            answers, missing = self._scatter([first], request)
-            pairs = answers.get(first)
-            if pairs is not None and len(pairs) >= request.k:
-                kth = pairs[-1][1]
+            raw, missing = self._scatter([first], request)
+            answer = raw.get(first)
+            if answer is not None and len(answer.value) >= request.k:
+                kth = answer.value[-1][1]
                 rest = [s for s in order[1:] if bounds[s] <= kth]
             else:
                 rest = order[1:]
             if len(rest) < len(order) - 1:
+                pruned = True
                 self.metrics.increment(
                     "serve.shards_pruned", len(order) - 1 - len(rest)
                 )
             if rest:
                 more, missing_rest = self._scatter(rest, request)
-                answers.update(more)
+                raw.update(more)
                 missing = sorted(missing + missing_rest)
+        values, fenced, fence, epochs = self._apply_fence(raw, request)
+        if pruned and fence > fence_at_plan:
+            # Pruning (both the bound table and the k-th-distance cut)
+            # was decided at the plan epoch; the fence moved, so redo
+            # once with the full fan-out — sound at any epoch.
+            self.metrics.increment("reconfig.replans")
+            raw, missing = self._scatter(populated, request)
+            values, fenced, fence, epochs = self._apply_fence(raw, request)
         ranked: List[Tuple[float, int]] = []
-        for pairs in answers.values():
+        for pairs in values.values():
             ranked.extend((dist, oid) for oid, dist in pairs)
-        for shard_id in missing:
+        gap = sorted(set(missing) | set(fenced))
+        for shard_id in gap:
             # Every object of the missing shard enters at its Euclidean
             # lower bound: reported distances stay <= the true walk, the
             # rung guarantee the differential oracle checks.
@@ -545,17 +726,19 @@ class ScatterGatherRouter:
             )
         ranked.sort()
         quality = (
-            QualityLevel.EXACT_INDEXED if not missing else QualityLevel.EUCLIDEAN
+            QualityLevel.EXACT_INDEXED if not gap else QualityLevel.EUCLIDEAN
         )
         return (
             [(oid, dist) for dist, oid in ranked[: request.k]],
             quality,
-            tuple(missing),
+            tuple(gap),
+            fence,
+            epochs,
         )
 
     def _pt2pt(
         self, request: QueryRequest
-    ) -> Tuple[float, QualityLevel, Tuple[int, ...]]:
+    ) -> Tuple[float, QualityLevel, Tuple[int, ...], int, Tuple[int, ...]]:
         preferred = self.placement.preferred_shard_for_floor(
             request.position.floor
         )
@@ -565,6 +748,7 @@ class ScatterGatherRouter:
             if shard_id != preferred
         ]
         failed: List[int] = []
+        fence = self.served_epoch
         for index, shard_id in enumerate(order):
             if (
                 index > 0
@@ -575,11 +759,26 @@ class ScatterGatherRouter:
                 # when the budget is broke, stop hammering the fleet and
                 # answer at the Euclidean bound.
                 break
-            answers, missing = self._scatter([shard_id], request)
-            if shard_id in answers:
+            raw, missing = self._scatter([shard_id], request)
+            values, fenced, fence, epochs = self._apply_fence(raw, request)
+            if shard_id in values:
                 # Any shard's pt2pt answer is exact over the full
-                # topology; earlier casualties don't degrade it.
-                return float(answers[shard_id]), QualityLevel.EXACT_INDEXED, ()
+                # topology at the fence epoch; earlier casualties don't
+                # degrade it.
+                return (
+                    float(values[shard_id]),
+                    QualityLevel.EXACT_INDEXED,
+                    (),
+                    fence,
+                    epochs,
+                )
             failed.extend(missing)
+            failed.extend(fenced)
         value = euclidean_lower_bound(request.position, request.target)
-        return value, QualityLevel.EUCLIDEAN, tuple(sorted(set(failed)))
+        return (
+            value,
+            QualityLevel.EUCLIDEAN,
+            tuple(sorted(set(failed))),
+            fence,
+            (),
+        )

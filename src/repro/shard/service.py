@@ -39,11 +39,13 @@ from repro.overload.introspect import overload_snapshot
 from repro.overload.limiter import AdaptiveConcurrencyLimiter
 from repro.persist.recovery import RecoveryManager, RecoveryReport, SnapshotStore
 from repro.persist.snapshot import save_snapshot
+from repro.persist.wal import TopologyWAL
 from repro.runtime.faults import FaultHandle, flip_snapshot_byte
 from repro.serve.metrics import MetricsRegistry
 from repro.serve.requests import QueryRequest, QueryResponse
 from repro.serve.service import ServiceState
 from repro.shard.placement import FloorPlacement
+from repro.shard.reconfig import ReconfigCoordinator, ReconfigRecorder
 from repro.shard.router import ScatterGatherRouter
 from repro.shard.shm import SharedIndexArena
 from repro.shard.spec import shard_framework, shard_specs
@@ -83,6 +85,9 @@ class ShardedQueryService:
             forwarded to the router (see
             :class:`~repro.shard.router.ScatterGatherRouter`); the retry
             budget also gates pt2pt re-scatters.
+        reconfig_ack_timeout_s: per-worker prepare/commit ack budget for
+            live topology reconfiguration rounds (see
+            :class:`~repro.shard.reconfig.ReconfigCoordinator`).
     """
 
     def __init__(
@@ -108,6 +113,7 @@ class ShardedQueryService:
         limiter: Optional[AdaptiveConcurrencyLimiter] = None,
         hedge_policy: Optional[HedgePolicy] = None,
         retry_budget: Optional[RetryBudget] = None,
+        reconfig_ack_timeout_s: float = 30.0,
     ) -> None:
         if (store is None) == (framework is None):
             raise ValueError(
@@ -159,6 +165,8 @@ class ShardedQueryService:
         self._pool: Optional[ThreadPoolExecutor] = None
         self._tempdir: Optional[tempfile.TemporaryDirectory] = None
         self._snapshot_dir: Optional[Path] = None
+        self._reconfig_ack_timeout_s = reconfig_ack_timeout_s
+        self._coordinator: Optional[ReconfigCoordinator] = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -243,6 +251,25 @@ class ShardedQueryService:
             max_workers=self._client_threads,
             thread_name_prefix="repro-shard-client",
         )
+        # The reconfiguration WAL: shared with crash recovery in store
+        # mode (the recovery ladder already replayed it into the space we
+        # just recovered, so mutations recorded here are re-applied on
+        # the next restart for free).
+        wal = (
+            self.store.wal()
+            if self.store is not None
+            else TopologyWAL(snapshot_dir / "wal.log")
+        )
+        coordinator = ReconfigCoordinator(
+            supervisor,
+            router,
+            framework,
+            wal,
+            placement.shard_ids,
+            metrics=self.metrics,
+            ack_timeout_s=self._reconfig_ack_timeout_s,
+            on_adopt=self._adopt_framework,
+        )
         with self._lock:
             self._framework = framework
             self._report = report
@@ -253,6 +280,7 @@ class ShardedQueryService:
             self._pool = pool
             self._tempdir = tempdir
             self._snapshot_dir = snapshot_dir
+            self._coordinator = coordinator
             self._state = ServiceState.READY
         return self
 
@@ -381,6 +409,32 @@ class ShardedQueryService:
         with self._lock:
             return self._report
 
+    @property
+    def reconfig(self) -> Optional[ReconfigCoordinator]:
+        """The live-reconfiguration coordinator (``None`` before start)."""
+        with self._lock:
+            return self._coordinator
+
+    def wal_recorder(self) -> ReconfigRecorder:
+        """The tier's topology-mutation surface.
+
+        Same shape as the single-process tier's
+        :class:`~repro.persist.wal.WalRecorder`, but every call here runs
+        a full epoch-fenced rolling round across the fleet (see
+        :mod:`repro.shard.reconfig`), so chaos campaigns and operators
+        mutate either tier identically.
+        """
+        with self._lock:
+            coordinator = self._coordinator
+        if coordinator is None:
+            raise ServiceUnavailableError("service never started")
+        return ReconfigRecorder(coordinator)
+
+    def _adopt_framework(self, framework: IndexFramework) -> None:
+        """Publish the post-round full framework (coordinator callback)."""
+        with self._lock:
+            self._framework = framework
+
     def readiness(self) -> Dict[str, Any]:
         """Health payload: lifecycle state plus the supervisor's per-shard
         detail and the router's breaker states."""
@@ -406,6 +460,10 @@ class ShardedQueryService:
                 str(shard): snap
                 for shard, snap in router.breaker_snapshot().items()
             }
+        with self._lock:
+            coordinator = self._coordinator
+        if coordinator is not None:
+            payload["reconfig"] = coordinator.snapshot()
         payload["overload"] = overload_snapshot(
             self.metrics, limiter=self.limiter, budget=self.retry_budget
         )
@@ -417,10 +475,25 @@ class ShardedQueryService:
         return self.metrics.snapshot()
 
     def await_healthy(self, timeout: float = 30.0) -> bool:
-        """Block until every shard is READY again (chaos final probe)."""
+        """Block until every shard is READY again (chaos final probe).
+
+        Also completes any torn reconfiguration round first: once the
+        fleet is READY the coordinator re-runs the idempotent
+        prepare/commit pass, so "healthy" means *converged to the fence
+        epoch*, not merely alive.
+        """
         with self._lock:
             supervisor = self._supervisor
-        return supervisor is not None and supervisor.await_ready(timeout)
+            coordinator = self._coordinator
+        if supervisor is None:
+            return False
+        if not supervisor.await_ready(timeout):
+            return False
+        if coordinator is not None and coordinator.resume():
+            # The resume may have planned-restarted stragglers onto the
+            # new epoch; wait those restarts out too.
+            return supervisor.await_ready(timeout)
+        return True
 
     def reset_breakers(self) -> None:
         """Force every per-shard breaker CLOSED."""

@@ -24,6 +24,7 @@ recorded, so a restarted shard provably rejoins the epoch it crashed with.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
@@ -165,6 +166,34 @@ def shard_specs(
     return specs
 
 
+def respec_for_epoch(
+    spec: ShardSpec, framework: IndexFramework
+) -> ShardSpec:
+    """``spec`` retargeted to ``framework``'s (newer) topology epoch.
+
+    Built during a reconfig round from the supervisor-side framework that
+    already absorbed the WAL delta.  The new spec carries the mutated
+    space and DPT; object ownership rows are kept verbatim (topology
+    mutations never move objects between shards — partition geometry is
+    immutable, doors only rewire the graph).  The shared-memory arena is
+    dropped: it still holds the old epoch's dense matrices, so any
+    restart from this spec takes the snapshot/rebuild rungs until a new
+    arena is published.
+    """
+    return dataclasses.replace(
+        spec,
+        space=space_to_dict(framework.space),
+        topology_epoch=framework.space.topology_epoch,
+        built_epoch=framework.built_epoch,
+        dpt_rows=_dpt_to_rows(framework.dpt),
+        arena=None,
+    )
+
+
+class _StaleShardSnapshot(Exception):
+    """Snapshot is healthy but from another epoch — skip, don't quarantine."""
+
+
 def _store_from_rows(
     space, cell_size: float, rows: List[dict]
 ) -> ObjectStore:
@@ -208,7 +237,11 @@ def _materialize_from_arena(
 def _materialize_from_snapshot(spec: ShardSpec) -> IndexFramework:
     framework, manifest = load_snapshot(spec.snapshot_path)
     if int(manifest["topology_epoch"]) != spec.topology_epoch:
-        raise SnapshotCorruptError(
+        # Not rot: a healthy snapshot from before (or after) a reconfig
+        # round.  The worker must rejoin at the spec's epoch, so this
+        # rung loses — but quarantining a good file would throw away the
+        # warm restart for every *other* epoch too.
+        raise _StaleShardSnapshot(
             f"shard {spec.shard_id} snapshot is from topology epoch "
             f"{manifest['topology_epoch']}, expected {spec.topology_epoch}",
         )
@@ -254,6 +287,8 @@ def materialize(
     if spec.snapshot_path is not None and Path(spec.snapshot_path).exists():
         try:
             return _materialize_from_snapshot(spec), "snapshot", None
+        except _StaleShardSnapshot:
+            pass  # wrong epoch, healthy file: rebuild, leave it in place
         except SnapshotCorruptError:
             quarantine_snapshot(spec.snapshot_path)
     return _materialize_by_rebuild(spec), "rebuild", None

@@ -35,7 +35,8 @@ import random
 import threading
 import time
 from concurrent.futures import Future, InvalidStateError
-from typing import Any, Dict, List, Optional
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from typing import Any, Dict, List, NamedTuple, Optional, Tuple
 
 import repro.exceptions as _exceptions
 from repro.exceptions import ReproError, ShardUnavailableError
@@ -43,6 +44,14 @@ from repro.serve.metrics import MetricsRegistry
 from repro.serve.requests import QueryRequest
 from repro.shard.spec import ShardSpec
 from repro.shard.worker import shard_worker_main
+
+
+class ShardAnswer(NamedTuple):
+    """One worker's exact answer plus the topology epoch it was computed
+    at — the unit the router's epoch fence filters on."""
+
+    value: Any
+    epoch: int
 
 
 class ShardState(enum.Enum):
@@ -109,6 +118,7 @@ class _Incarnation:
         self.spec = spec
         with self._lock:
             self._pending: Dict[int, Future] = {}
+            self._control: Dict[Tuple[str, int], Future] = {}
             self._outbox: List[Any] = []
             self._flushing = False
             self._seq = 0
@@ -140,6 +150,22 @@ class _Incarnation:
             elif kind == "pong":
                 with self._lock:
                     self._last_pong = time.monotonic()
+            elif kind in ("prepare_ack", "commit_ack", "abort_ack"):
+                # Reconfig control-plane acks double as liveness proof:
+                # a worker deep in a staging rebuild answers no pings,
+                # but its eventual ack resets the hang clock.
+                epoch = int(message[1])
+                result = tuple(message[2:])
+                with self._lock:
+                    self._last_pong = time.monotonic()
+                    future = self._control.pop(
+                        (kind.split("_")[0], epoch), None
+                    )
+                if future is not None:
+                    try:
+                        future.set_result(result)
+                    except InvalidStateError:  # pragma: no cover - late ack
+                        pass
             elif kind == "ready":
                 with self._lock:
                     self._ready_info = message[1]
@@ -163,15 +189,15 @@ class _Incarnation:
         simply dropped.
         """
         if reply[0] == "result":
-            _, seq, value = reply
+            _, seq, value, epoch = reply
             future = self._pop_pending(seq)
             if future is not None:
                 try:
-                    future.set_result(value)
+                    future.set_result(ShardAnswer(value, int(epoch)))
                 except InvalidStateError:
                     pass  # cancelled mid-dispatch: drop the late reply
         else:
-            _, seq, exc_name, detail = reply
+            _, seq, exc_name, detail, _epoch = reply
             future = self._pop_pending(seq)
             if future is not None:
                 try:
@@ -189,7 +215,9 @@ class _Incarnation:
                 return
             self._dead = True
             pending = list(self._pending.values())
+            pending.extend(self._control.values())
             self._pending.clear()
+            self._control.clear()
             self._outbox.clear()
         self.ready_event.set()
         exc = ShardUnavailableError(
@@ -258,6 +286,26 @@ class _Incarnation:
                     self._flushing = False
                 return
 
+    def request_control(self, kind: str, epoch: int, message: Tuple) -> Future:
+        """Send one reconfig control message and return the future its
+        ``<kind>_ack`` will resolve (fails with
+        :class:`ShardUnavailableError` if the worker dies first)."""
+        future: Future = Future()
+        with self._lock:
+            if self._dead:
+                raise ShardUnavailableError(
+                    f"shard {self.spec.shard_id} worker is gone",
+                    shard=self.spec.shard_id,
+                    state=ShardState.RESTARTING.value,
+                )
+            self._control[(kind, epoch)] = future
+        try:
+            with self._send_lock:
+                self.conn.send(message)
+        except (BrokenPipeError, OSError):
+            self._mark_dead("worker pipe broke mid-send")
+        return future
+
     def send(self, *message: Any) -> bool:
         """Best-effort control-plane send; False when the pipe is gone."""
         with self._lock:
@@ -323,6 +371,10 @@ class _Slot:
         self.cold_next = False  # strip the arena from the next respawn
         self.source: Optional[str] = None
         self.epoch: Optional[int] = None
+        # When the worker's served epoch started trailing its spec's —
+        # the monitor restarts it once the lag outlives the grace period
+        # (the self-healing path for a torn commit).
+        self.lag_since: Optional[float] = None
         # Per-slot seeded RNG for decorrelated restart jitter: shards
         # draw different delays from each other, yet every supervisor
         # run over the same casualty sequence replays identically.
@@ -350,6 +402,11 @@ class ShardSupervisor:
         restart_budget: restarts allowed per shard before it is FAILED.
         start_method: ``multiprocessing`` start method (default
             ``"spawn"``; see module docstring).
+        epoch_lag_grace: seconds a READY worker may serve an epoch older
+            than its spec's before the monitor restarts it onto the new
+            spec (the self-healing path when a reconfig round was torn
+            mid-commit).  Defaults to twice the liveness timeout so a
+            healthy in-flight round never trips it.
     """
 
     def __init__(
@@ -364,6 +421,7 @@ class ShardSupervisor:
         max_backoff: float = 2.0,
         restart_budget: int = 5,
         start_method: str = "spawn",
+        epoch_lag_grace: Optional[float] = None,
     ) -> None:
         if not specs:
             raise ValueError("supervisor needs at least one shard spec")
@@ -376,6 +434,11 @@ class ShardSupervisor:
         self.restart_backoff = restart_backoff
         self.max_backoff = max_backoff
         self.restart_budget = restart_budget
+        self.epoch_lag_grace = (
+            epoch_lag_grace
+            if epoch_lag_grace is not None
+            else 2.0 * liveness_timeout
+        )
         self._ctx = multiprocessing.get_context(start_method)
         self._lock = threading.Lock()
         with self._lock:
@@ -385,6 +448,12 @@ class ShardSupervisor:
             self._events: List[Dict[str, Any]] = []
             self._stopping = False
             self._monitor: Optional[threading.Thread] = None
+            # The fence epoch rises the moment a reconfig round retargets
+            # the fleet (no exact answer below it may leave the router);
+            # the committed epoch follows once the round completes.
+            base_epoch = max(spec.topology_epoch for spec in specs)
+            self._fence_epoch = base_epoch
+            self._committed_epoch = base_epoch
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -491,17 +560,28 @@ class ShardSupervisor:
                 info = incarnation.ready_info
                 if info is not None:
                     if int(info.get("topology_epoch", -1)) != slot.spec.topology_epoch:
+                        # A planned transition, not a fault: the worker
+                        # rejoined from stale state (old arena, old
+                        # private snapshot) while the fleet moved on.
+                        # Restarting it from the current spec forces the
+                        # rebuild rung at the spec's epoch without
+                        # burning the fault budget.
                         self._record_event_locked(
                             slot.spec.shard_id,
                             "epoch_mismatch",
                             f"worker rejoined at epoch {info.get('topology_epoch')}, "
                             f"expected {slot.spec.topology_epoch}",
                         )
-                        self._bury_locked(slot, incarnation, kill=True)
+                        self.metrics.increment("reconfig.planned_restarts")
+                        slot.cold_next = True
+                        self._bury_locked(
+                            slot, incarnation, kill=True, planned=True
+                        )
                         return
                     slot.state = ShardState.READY
                     slot.source = info.get("source")
                     slot.epoch = int(info.get("topology_epoch", -1))
+                    slot.lag_since = None
                     self._record_event_locked(
                         slot.spec.shard_id, "ready", f"source={slot.source}"
                     )
@@ -527,7 +607,8 @@ class ShardSupervisor:
                     self._bury_locked(slot, incarnation, kill=True)
                 return
 
-            # READY: crash detection, then hang detection, then heartbeat.
+            # READY: crash detection, then hang detection, then epoch-lag
+            # convergence, then heartbeat.
             if incarnation.dead or not incarnation.process.is_alive():
                 self._record_event_locked(slot.spec.shard_id, "died", "")
                 self._bury_locked(slot, incarnation, kill=False)
@@ -540,17 +621,62 @@ class ShardSupervisor:
                 )
                 self._bury_locked(slot, incarnation, kill=True)
                 return
+            # A worker serving an epoch older than its spec's is lagging a
+            # reconfig round.  Normally the coordinator commits it within
+            # milliseconds; if the coordinator died between prepare and
+            # commit (a torn round), the lag persists and this planned
+            # restart re-materialises the worker from the already
+            # retargeted spec — it rejoins at the new epoch with no
+            # operator involvement.
+            if (
+                slot.epoch is not None
+                and slot.epoch < slot.spec.topology_epoch
+            ):
+                if slot.lag_since is None:
+                    slot.lag_since = now
+                elif now - slot.lag_since > self.epoch_lag_grace:
+                    self._record_event_locked(
+                        slot.spec.shard_id,
+                        "epoch_lag_restart",
+                        f"serving epoch {slot.epoch}, spec demands "
+                        f"{slot.spec.topology_epoch}",
+                    )
+                    self.metrics.increment("reconfig.planned_restarts")
+                    slot.lag_since = None
+                    self._bury_locked(slot, incarnation, kill=True)
+                    return
+            else:
+                slot.lag_since = None
         incarnation.ping()
 
     def _bury_locked(
-        self, slot: _Slot, incarnation: _Incarnation, kill: bool
+        self,
+        slot: _Slot,
+        incarnation: _Incarnation,
+        kill: bool,
+        planned: bool = False,
     ) -> None:
         """Retire a dead/hung incarnation and schedule (or refuse) the
-        restart. Caller holds ``self._lock``."""
+        restart. Caller holds ``self._lock``.
+
+        ``planned=True`` marks a reconfig-driven transition (epoch
+        mismatch, epoch lag, a worker that nacked a prepare): it restarts
+        promptly at the base backoff and does not burn the fault budget —
+        rolling the fleet forward is not a crash.
+        """
         if kill and incarnation.process.is_alive():
             incarnation.process.kill()
         incarnation.close()
         slot.incarnation = None
+        if planned:
+            slot.next_restart_at = time.monotonic() + self.restart_backoff
+            slot.state = ShardState.RESTARTING
+            self._record_event_locked(
+                slot.spec.shard_id,
+                "planned_restart_scheduled",
+                f"rejoin at epoch {slot.spec.topology_epoch}",
+            )
+            return
         self.metrics.increment("shard.supervisor.deaths")
         if slot.restarts >= self.restart_budget:
             slot.state = ShardState.FAILED
@@ -622,6 +748,125 @@ class ShardSupervisor:
         return incarnation.submit(request, budget_s)
 
     # ------------------------------------------------------------------
+    # Reconfiguration control plane (driven by ReconfigCoordinator)
+    # ------------------------------------------------------------------
+    @property
+    def fence_epoch(self) -> int:
+        """Minimum topology epoch an exact reply must carry to be merged.
+        Rises the instant a round retargets the fleet."""
+        with self._lock:
+            return self._fence_epoch
+
+    @property
+    def committed_epoch(self) -> int:
+        """Epoch of the last reconfig round that ran to completion."""
+        with self._lock:
+            return self._committed_epoch
+
+    def retarget(self, specs: Dict[int, ShardSpec], fence_epoch: int) -> None:
+        """Swap every slot's spec to the next epoch and raise the fence.
+
+        From this call on, **any** restart — planned or crash — rejoins
+        at the new epoch, and the router discards exact replies below
+        ``fence_epoch``.  This is the round's point of no return: even if
+        the coordinator dies immediately after, the fleet converges to
+        the new epoch via the monitor's epoch-lag restarts.
+        """
+        with self._lock:
+            for shard_id, spec in specs.items():
+                slot = self._require_slot_locked(shard_id)
+                slot.spec = spec
+            self._fence_epoch = max(self._fence_epoch, fence_epoch)
+
+    def mark_committed(self, epoch: int) -> None:
+        """Record that the round for ``epoch`` completed fleet-wide."""
+        with self._lock:
+            self._committed_epoch = max(self._committed_epoch, epoch)
+
+    def prepare_shard(
+        self,
+        shard_id: int,
+        target_epoch: int,
+        records: List[Dict[str, Any]],
+        timeout: float,
+    ) -> Tuple[bool, str]:
+        """Two-phase step 1 for one shard: ship the WAL delta, await the
+        staging ack.  ``(ok, detail)``; never raises for per-shard
+        trouble — an unavailable/dead/timing-out worker is ``(False, …)``
+        and the caller decides between retry and planned restart."""
+        try:
+            incarnation = self._ready_incarnation(shard_id)
+            future = incarnation.request_control(
+                "prepare", target_epoch,
+                ("prepare", target_epoch, records),
+            )
+            ok, detail = future.result(timeout)
+        except ShardUnavailableError as exc:
+            return False, str(exc)
+        except FutureTimeoutError:
+            return False, f"no prepare ack within {timeout:.2f}s"
+        return bool(ok), str(detail)
+
+    def commit_shard(
+        self, shard_id: int, target_epoch: int, timeout: float
+    ) -> Tuple[bool, str]:
+        """Two-phase step 2 for one shard: flip its served epoch."""
+        try:
+            incarnation = self._ready_incarnation(shard_id)
+            future = incarnation.request_control(
+                "commit", target_epoch, ("commit", target_epoch)
+            )
+            ok, detail = future.result(timeout)
+        except ShardUnavailableError as exc:
+            return False, str(exc)
+        except FutureTimeoutError:
+            return False, f"no commit ack within {timeout:.2f}s"
+        if ok:
+            with self._lock:
+                slot = self._slots.get(shard_id)
+                if slot is not None:
+                    slot.epoch = target_epoch
+                    slot.lag_since = None
+        return bool(ok), str(detail)
+
+    def abort_shard(self, shard_id: int, target_epoch: int) -> None:
+        """Tell one shard to drop anything staged for ``target_epoch``
+        (best-effort; a dead worker has nothing staged anyway)."""
+        with self._lock:
+            slot = self._slots.get(shard_id)
+            incarnation = slot.incarnation if slot is not None else None
+        if incarnation is not None:
+            incarnation.send("abort", target_epoch)
+
+    def planned_restart(self, shard_id: int) -> None:
+        """Restart one worker as a planned epoch transition: it rejoins
+        by re-materialising from its (already retargeted) slot spec
+        without burning the fault budget."""
+        with self._lock:
+            slot = self._require_slot_locked(shard_id)
+            incarnation = slot.incarnation
+            if incarnation is None:
+                return  # already between incarnations; respawn is queued
+            self._record_event_locked(
+                shard_id,
+                "planned_restart",
+                f"rejoin at epoch {slot.spec.topology_epoch}",
+            )
+            self.metrics.increment("reconfig.planned_restarts")
+            self._bury_locked(slot, incarnation, kill=True, planned=True)
+
+    def _ready_incarnation(self, shard_id: int) -> _Incarnation:
+        with self._lock:
+            slot = self._require_slot_locked(shard_id)
+            if slot.state is not ShardState.READY or slot.incarnation is None:
+                raise ShardUnavailableError(
+                    f"shard {shard_id} is {slot.state.value}",
+                    shard=shard_id,
+                    state=slot.state.value,
+                )
+            return slot.incarnation
+
+    # ------------------------------------------------------------------
     # Chaos hooks
     # ------------------------------------------------------------------
     def kill_shard(self, shard_id: int, cold: bool = False) -> None:
@@ -674,8 +919,11 @@ class ShardSupervisor:
 
     def readiness(self) -> Dict[str, Any]:
         """Health-endpoint payload: per-shard state, provenance, restart
-        accounting, and the supervision event log."""
+        accounting, epoch skew against the committed epoch, and the
+        supervision event log."""
         with self._lock:
+            committed = self._committed_epoch
+            fence = self._fence_epoch
             shards = {}
             for sid, slot in sorted(self._slots.items()):
                 shards[str(sid)] = {
@@ -683,6 +931,11 @@ class ShardSupervisor:
                     "source": slot.source,
                     "restarts": slot.restarts,
                     "topology_epoch": slot.epoch,
+                    "epoch_skew": (
+                        committed - slot.epoch
+                        if slot.epoch is not None
+                        else None
+                    ),
                     "pid": (
                         slot.incarnation.process.pid
                         if slot.incarnation is not None
@@ -693,6 +946,8 @@ class ShardSupervisor:
         states = {s["state"] for s in shards.values()}
         return {
             "ready": states == {ShardState.READY.value},
+            "committed_epoch": committed,
+            "fence_epoch": fence,
             "shards": shards,
             "events": events,
         }

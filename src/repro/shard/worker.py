@@ -16,12 +16,23 @@ Wire protocol (tuples over a ``multiprocessing`` duplex pipe):
 supervisor → worker        meaning
 ========================  ==============================================
 ``("query", seq, req,      evaluate ``req`` with ``budget_s`` seconds of
-``budget_s)``              deadline; reply ``("result", seq, value)`` or
-                           ``("error", seq, exc_type, message)``
+``budget_s)``              deadline; reply ``("result", seq, value,
+                           epoch)`` or ``("error", seq, exc_type,
+                           message, epoch)`` — every data-plane reply is
+                           stamped with the topology epoch it was
+                           computed at so the router can fence merges
 ``("batch", items)``       evaluate each ``(seq, req, budget_s)`` item in
                            order; reply one ``("batch_result", replies)``
                            carrying the per-item result/error tuples
 ``("ping", seq)``          liveness probe; reply ``("pong", seq)``
+``("prepare", epoch,       stage the next topology epoch from the WAL
+``records)``               delta without touching the serving index;
+                           reply ``("prepare_ack", epoch, ok, detail)``
+``("commit", epoch)``      atomically flip the staged index into
+                           service; reply ``("commit_ack", epoch, ok,
+                           detail)`` then rewrite the shard snapshot
+``("abort", epoch)``       discard the staged index; reply
+                           ``("abort_ack", epoch)``
 ``("hang", seconds)``      chaos: stop replying for ``seconds``
 ``("exit", code)``         chaos: die immediately (``os._exit``)
 ``("stop",)``              drain (pipe order guarantees every earlier
@@ -31,6 +42,20 @@ supervisor → worker        meaning
 The first message a worker ever sends is ``("ready", summary)`` — where
 ``summary`` carries the materialisation source and the epochs it rejoined
 at — or ``("start_failed", detail)``.
+
+Reconfiguration happens on a **private copy** of the space: ``prepare``
+round-trips the current space through its dict form, replays the delta on
+the copy, and builds the staged index from it (labels shards reuse the
+WAL-driven incremental repair; matrix shards rebuild — see
+:func:`repro.shard.reconfig.stage_framework`).  The serving framework is
+untouched until ``commit``, so queries interleaved with a prepare keep
+answering exactly at the old epoch, and a crash mid-stage loses nothing
+but staging work.  ``prepare``/``commit`` for an epoch the worker already
+reached ack success idempotently — the coordinator re-delivers both when
+it resumes a torn round.  Staging runs inline on the serving loop, so it
+must finish well inside the supervisor's liveness deadline; a worker that
+blows that deadline is treated as hung and restarted onto the new spec,
+which is the planned fallback, not a fault.
 
 Self-healing: when the ladder bottomed out at a full rebuild (the shard's
 snapshot was missing or quarantined as corrupt) the worker rewrites its
@@ -94,15 +119,15 @@ def _evaluate_reply(
         key = request.cache_key()
         hit = cache.get(key, epoch, _MISS)
         if hit is not _MISS:
-            return ("result", seq, hit)
+            return ("result", seq, hit, epoch)
     deadline = Deadline(budget_s) if budget_s is not None else None
     try:
         value = evaluate_exact(engine, request, deadline)
     except ReproError as exc:
-        return ("error", seq, type(exc).__name__, str(exc))
+        return ("error", seq, type(exc).__name__, str(exc), epoch)
     if cache is not None:
         cache.put(key, epoch, value)
-    return ("result", seq, value)
+    return ("result", seq, value, epoch)
 
 
 def _maybe_self_heal_snapshot(
@@ -118,6 +143,34 @@ def _maybe_self_heal_snapshot(
         save_snapshot(framework, spec.snapshot_path)
     except OSError:  # pragma: no cover - disk trouble; serve anyway
         pass
+
+
+def _stage_for_prepare(
+    framework, spec: ShardSpec, epoch: int, target: int, raw_records
+) -> Tuple:
+    """Build the staged framework for a ``prepare``; returns the ack tuple
+    plus the staged ``(target, framework)`` pair (``None`` on failure or
+    when the worker is already at/beyond the target)."""
+    from repro.shard.reconfig import stage_framework
+
+    if target <= epoch:
+        return ("prepare_ack", target, True, f"already at epoch {epoch}"), None
+    try:
+        from repro.persist.wal import WalRecord
+
+        records = [WalRecord.from_dict(raw) for raw in raw_records]
+        staged_fw, how = stage_framework(framework, records, spec.backend)
+    except BaseException as exc:
+        return (
+            "prepare_ack", target, False, f"{type(exc).__name__}: {exc}",
+        ), None
+    if staged_fw.space.topology_epoch != target:
+        return (
+            "prepare_ack", target, False,
+            f"delta lands at epoch {staged_fw.space.topology_epoch}, "
+            f"not {target}",
+        ), None
+    return ("prepare_ack", target, True, how), (target, staged_fw)
 
 
 def shard_worker_main(spec: ShardSpec, conn) -> None:
@@ -142,6 +195,7 @@ def shard_worker_main(spec: ShardSpec, conn) -> None:
             else None
         )
         epoch = spec.topology_epoch
+        staged: Optional[Tuple[int, Any]] = None
         summary = dict(spec.summary())
         summary["source"] = source
         summary["pid"] = os.getpid()
@@ -172,6 +226,49 @@ def shard_worker_main(spec: ShardSpec, conn) -> None:
                 ))
             elif op == "ping":
                 conn.send(("pong", message[1]))
+            elif op == "prepare":
+                _, target, raw_records = message
+                ack, new_staged = _stage_for_prepare(
+                    framework, spec, epoch, int(target), raw_records
+                )
+                if new_staged is not None:
+                    staged = new_staged
+                conn.send(ack)
+            elif op == "commit":
+                _, target = message
+                target = int(target)
+                if staged is not None and staged[0] == target:
+                    framework = staged[1]
+                    engine = QueryEngine(framework)
+                    epoch = target
+                    staged = None
+                    conn.send(("commit_ack", target, True, "flipped"))
+                    # Rewrite the snapshot *after* the ack so the flip is
+                    # visible to the coordinator at pipe speed; the next
+                    # restart then takes the warm rung at the new epoch.
+                    if spec.snapshot_path is not None:
+                        from repro.persist.snapshot import save_snapshot
+
+                        try:
+                            save_snapshot(framework, spec.snapshot_path)
+                        except OSError:  # pragma: no cover
+                            pass
+                elif epoch >= target:
+                    conn.send((
+                        "commit_ack", target, True,
+                        f"already at epoch {epoch}",
+                    ))
+                else:
+                    conn.send((
+                        "commit_ack", target, False,
+                        f"nothing staged for epoch {target} "
+                        f"(serving {epoch})",
+                    ))
+            elif op == "abort":
+                _, target = message
+                if staged is not None and staged[0] == int(target):
+                    staged = None
+                conn.send(("abort_ack", int(target)))
             elif op == "hang":
                 # Chaos: simulate a wedged worker. The supervisor's
                 # liveness deadline — not this sleep — decides its fate.
@@ -194,7 +291,9 @@ def shard_worker_main(spec: ShardSpec, conn) -> None:
                     pass
                 return
             else:
-                conn.send(("error", -1, "ValueError", f"unknown op {op!r}"))
+                conn.send(
+                    ("error", -1, "ValueError", f"unknown op {op!r}", epoch)
+                )
     finally:
         if arena is not None:
             arena.close()

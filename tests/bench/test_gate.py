@@ -33,6 +33,19 @@ def _overload_result(goodput=1.0, attainment=1.0, mismatches=0):
     }
 
 
+def _reconfig_result(
+    availability=0.9, answered=1.0, mismatches=0, epoch_mix=0
+):
+    return {
+        "rolling": {
+            "availability": availability,
+            "answered_fraction": answered,
+            "mismatches": mismatches,
+            "epoch_mix_violations": epoch_mix,
+        },
+    }
+
+
 class TestCompareBenchmarks:
     def test_passes_within_tolerance(self):
         checks = compare_benchmarks(
@@ -118,6 +131,47 @@ class TestCompareBenchmarks:
         assert not exact["ok"]
         assert exact["kind"] == "exact"
 
+    def test_reconfig_artifact_gates_availability_and_fencing(self):
+        checks = compare_benchmarks(
+            "BENCH_reconfig.json",
+            _reconfig_result(),
+            _reconfig_result(availability=0.8),
+        )
+        by_metric = {c["metric"]: c for c in checks}
+        assert set(by_metric) == {
+            "rolling.availability",
+            "rolling.answered_fraction",
+            "rolling.mismatches",
+            "rolling.epoch_mix_violations",
+        }
+        # Committed 0.9 with 20% tolerance floors availability at 0.72.
+        assert all(check["ok"] for check in checks)
+        failing = compare_benchmarks(
+            "BENCH_reconfig.json",
+            _reconfig_result(),
+            _reconfig_result(availability=0.6),
+        )
+        availability = next(
+            c for c in failing if c["metric"] == "rolling.availability"
+        )
+        assert not availability["ok"]
+
+    def test_reconfig_epoch_mixing_is_exact(self):
+        # One merged answer straddling two epochs fails the gate no
+        # matter how available the rolling run was.
+        checks = compare_benchmarks(
+            "BENCH_reconfig.json",
+            _reconfig_result(),
+            _reconfig_result(availability=1.0, epoch_mix=1),
+        )
+        exact = next(
+            c
+            for c in checks
+            if c["metric"] == "rolling.epoch_mix_violations"
+        )
+        assert not exact["ok"]
+        assert exact["kind"] == "exact"
+
     def test_unknown_artifact_rejected(self):
         with pytest.raises(ValueError, match="no gate definition"):
             compare_benchmarks("BENCH_bogus.json", {}, {})
@@ -131,6 +185,7 @@ class TestRunGate:
         assert report["skipped"] == [
             "BENCH_labels.json",
             "BENCH_overload.json",
+            "BENCH_reconfig.json",
             "BENCH_serve.json",
             "BENCH_shard.json",
         ]

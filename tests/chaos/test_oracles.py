@@ -224,3 +224,27 @@ class TestEpochOracle:
         oracle.observe(0, self._response(2))
         with pytest.raises(OracleViolation, match="epoch"):
             oracle.observe(1, self._response(1))
+
+    def test_mixed_epoch_merge_is_caught(self):
+        # The reconfig fencing invariant: one answer must never merge
+        # shard replies from two different topology epochs.
+        request = QueryRequest.knn(
+            build_figure1().partition(11).polygon.centroid, 1
+        )
+        response = QueryResponse(
+            request=request, value=[], quality=QualityLevel.EXACT_INDEXED,
+            served_epoch=2, reply_epochs=(1, 2),
+        )
+        oracle = EpochOracle()
+        with pytest.raises(OracleViolation, match="mixed epochs"):
+            oracle.observe(0, response)
+
+    def test_uniform_reply_epochs_pass(self):
+        request = QueryRequest.knn(
+            build_figure1().partition(11).polygon.centroid, 1
+        )
+        response = QueryResponse(
+            request=request, value=[], quality=QualityLevel.EXACT_INDEXED,
+            served_epoch=3, reply_epochs=(3, 3, 3),
+        )
+        EpochOracle().observe(0, response)

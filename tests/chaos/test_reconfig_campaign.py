@@ -1,0 +1,103 @@
+"""Chaos campaigns that mutate topology mid-flight on the sharded tier.
+
+The reconfiguration plan removes and re-adds Figure 1's d24 while
+arming the ``reconfig.*`` crash points, so workers die between prepare
+and commit and whole rounds tear at the WAL boundary.  Like every shard
+campaign this is not replay-stable; the tests pin the safety verdicts
+and the report's reconfiguration footprint, not digests.
+"""
+
+import json
+
+import pytest
+
+from repro.chaos import (
+    CampaignConfig,
+    CampaignReport,
+    CampaignRunner,
+    shard_reconfig_plan,
+)
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def reconfig_report():
+    config = CampaignConfig(
+        seed=7,
+        duration_ops=60,
+        shards=3,
+        plan=shard_reconfig_plan(60, shards=3),
+    )
+    return CampaignRunner(config).run()
+
+
+class TestReconfigCampaign:
+    def test_no_silent_wrong_answers_and_everything_recovers(
+        self, reconfig_report
+    ):
+        counts = reconfig_report.counts()
+        assert reconfig_report.verdict == "PASS"
+        assert counts["silent_wrong_answer"] == 0
+        assert counts["unrecovered"] == 0
+        assert reconfig_report.ops_executed == 60
+
+    def test_armed_crash_points_tore_rounds_that_then_healed(
+        self, reconfig_report
+    ):
+        kinds = {i.kind for i in reconfig_report.incidents}
+        # The commit.torn arm kills a mutation mid-round ...
+        assert "injected_crash" in kinds
+        assert "shard_hung" in kinds
+        # ... and the final probe heals it through resume().
+        state = reconfig_report.reconfig
+        assert state["resumes"] >= 1
+        assert state["rounds"] > 4  # torn rounds re-run, 4 would be clean
+
+    def test_report_carries_the_reconfig_footprint(self, reconfig_report):
+        state = reconfig_report.reconfig
+        # Four mutations land in the plan; torn rounds heal via resume,
+        # so the committed epoch must have converged to the fence.
+        assert state["committed_epoch"] == state["fence_epoch"]
+        assert state["committed_epoch"] >= 4
+        assert state["rounds"] >= 4
+        assert state["pending_records"] == 0
+        assert all(skew == 0 for skew in state["epoch_skew"].values())
+
+    def test_reconfig_state_roundtrips_through_json(
+        self, reconfig_report, tmp_path
+    ):
+        path = reconfig_report.save(tmp_path / "report.json")
+        restored = CampaignReport.load(path)
+        assert restored.reconfig == reconfig_report.reconfig
+
+
+class TestReconfigPlanValidation:
+    def test_plan_rejects_short_campaigns(self):
+        with pytest.raises(ValueError):
+            shard_reconfig_plan(10)
+
+    def test_plan_rejects_single_shard(self):
+        with pytest.raises(ValueError):
+            shard_reconfig_plan(60, shards=1)
+
+    def test_topology_action_rejected_without_shards_flag(self, capsys):
+        code = main(["chaos", "run", "--reconfig", "--duration-ops", "40"])
+        assert code == 2
+        assert "--shards" in capsys.readouterr().out
+
+
+class TestReconfigCli:
+    def test_cli_runs_reconfig_campaigns(self, tmp_path, capsys):
+        path = tmp_path / "report.json"
+        code = main([
+            "chaos", "run", "--seed", "3", "--duration-ops", "40",
+            "--shards", "3", "--reconfig", "--report", str(path),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "reconfig" in out
+        raw = json.loads(path.read_text(encoding="utf-8"))
+        assert raw["verdict"] == "PASS"
+        assert raw["counts"]["silent_wrong_answer"] == 0
+        assert raw["counts"]["unrecovered"] == 0
+        assert raw["reconfig"]["committed_epoch"] >= 4
