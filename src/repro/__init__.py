@@ -195,7 +195,7 @@ from repro.shard import (
     SharedIndexArena,
 )
 
-__version__ = "1.9.0"
+__version__ = "1.10.0"
 
 __all__ = [
     "AccessibilityGraph",

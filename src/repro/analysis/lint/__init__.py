@@ -1,6 +1,6 @@
 """AST-based project linter enforcing repro's cross-cutting contracts.
 
-``repro lint`` runs five project-specific rules over the tree:
+``repro lint`` runs eight project-specific rules over the tree:
 
 =======  ==========================================================
 REP001   writes to ``self._*`` state of lock-owning classes must
@@ -9,11 +9,26 @@ REP002   no wall-clock or unseeded randomness in replay-critical
          modules (``repro.chaos``, ``repro.persist``,
          ``repro.synthetic``, ``repro.runtime.faults``)
 REP003   functions accepting ``deadline``/``budget`` must forward
-         it to every deadline-aware callee
+         it to every deadline-aware callee (import-aware callee
+         resolution via the interprocedural call graph)
 REP004   broad ``except`` handlers must re-raise, classify, or
          leave an observable trace
 REP005   ``__all__`` coherent, public defs exported, versions agree
+REP006   the global lock-acquisition-order graph must be acyclic
+         (interprocedural; cycles reported with witness paths)
+REP007   no blocking primitive — pipe sends/recvs, joins, sleeps,
+         queue ops, subprocess/future waits — reachable while a
+         lock is held
+REP008   shard-reply merges must flow through the epoch fence and
+         every ``QueryResponse`` must stamp ``reply_epochs``
 =======  ==========================================================
+
+REP006–REP008 share one interprocedural substrate
+(:mod:`repro.analysis.lint.callgraph`): a project-wide call graph with
+per-function lock summaries iterated to a fixed point.  The static
+lock-order graph is cross-checkable against *observed* acquisition
+orders recorded by :mod:`repro.analysis.witness` (``repro chaos run
+--witness`` → ``repro lint --witness``).
 
 See ``docs/analysis.md`` for the rule catalogue, the
 ``# repro: noqa REP00x`` suppression syntax, the committed-baseline

@@ -1,0 +1,1452 @@
+"""Project-wide call graph with per-function lock summaries.
+
+This module is the interprocedural substrate under REP006 (lock-order
+cycles), REP007 (blocking calls under a held lock), and REP008
+(epoch-fenced reply merging).  One :class:`ProjectGraph` is built per
+lint run (cached per :class:`~repro.analysis.lint.context.ProjectContext`)
+in three passes:
+
+1. **Symbols** — every module contributes its import table, its
+   top-level functions, and its classes (methods, resolved base classes,
+   declared lock attributes with their factory kind and allocation
+   site, and inferred attribute types).  Lock identity is the pair
+   ``(owner, attr)`` where *owner* is the **declaring** class key
+   (``repro.shard.supervisor:ShardSupervisor``) or the module name for
+   module-level locks, so subclasses and aliased imports collapse onto
+   one node in the lock graph.
+2. **Events** — each function body is walked once, tracking the stack
+   of syntactically held locks (``with self._lock:``), and emits
+   acquire events, call events (with import-aware callee resolution),
+   and blocking-primitive events, each stamped with the held stack.
+3. **Fixed points** — transitive *acquires* and *blocking* summaries
+   are propagated over the call graph to a fixed point, each with a
+   shortest witness path (deterministic: ties break lexicographically),
+   and the global lock-order graph is derived: an edge ``A -> B`` means
+   some thread can try to take ``B`` while holding ``A``, either
+   directly or through any chain of calls.
+
+Resolution is deliberately *under*-approximate (an unresolvable call
+contributes no edges); the dynamic :mod:`repro.analysis.witness`
+runtime exists to catch the holes — any observed acquisition edge
+missing from this static graph fails the ``repro lint --witness``
+cross-check.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.lint.context import ModuleContext, ProjectContext
+
+__all__ = [
+    "AcquireEvent",
+    "BlockEvent",
+    "CallEvent",
+    "ClassInfo",
+    "FunctionInfo",
+    "LockEdge",
+    "LockId",
+    "ProjectGraph",
+    "build_graph",
+    "lock_label",
+    "render_dot",
+]
+
+#: ("module:Class" | "module", attribute-or-name)
+LockId = Tuple[str, str]
+
+#: Lock factories considered reentrant: re-acquiring the same identity
+#: on the same thread is legal, so self-edges on them are not cycles.
+_REENTRANT_KINDS = {"RLock", "Condition"}
+
+_LOCK_FACTORIES = {
+    "Lock",
+    "RLock",
+    "Condition",
+    "Semaphore",
+    "BoundedSemaphore",
+}
+
+#: Runtime-kind tags inferred for variables/attributes, used by the
+#: blocking-primitive classifier (receiver of ``.join()``, ``.recv()``…).
+_KIND_PIPE = "pipe"
+_KIND_PROCESS = "process"
+_KIND_THREAD = "thread"
+_KIND_QUEUE = "queue"
+_KIND_FUTURE = "future"
+
+_CTOR_KINDS = {
+    "Pipe": _KIND_PIPE,
+    "Process": _KIND_PROCESS,
+    "Thread": _KIND_THREAD,
+    "Timer": _KIND_THREAD,
+    "Queue": _KIND_QUEUE,
+    "SimpleQueue": _KIND_QUEUE,
+    "JoinableQueue": _KIND_QUEUE,
+    "LifoQueue": _KIND_QUEUE,
+    "PriorityQueue": _KIND_QUEUE,
+    "Future": _KIND_FUTURE,
+}
+
+_ANNOTATION_KINDS = {
+    "Connection": _KIND_PIPE,
+    "Process": _KIND_PROCESS,
+    "BaseProcess": _KIND_PROCESS,
+    "SpawnProcess": _KIND_PROCESS,
+    "Thread": _KIND_THREAD,
+    "Queue": _KIND_QUEUE,
+    "Future": _KIND_FUTURE,
+}
+
+_PIPE_NAME_HINTS = ("conn", "pipe")
+_PROCESS_NAME_HINTS = ("process", "proc", "popen", "worker_process")
+_THREAD_NAME_HINTS = ("thread",)
+_FUTURE_NAME_HINTS = ("future", "fut")
+_QUEUE_NAME_HINTS = ("queue",)
+
+
+def lock_label(lock: LockId) -> str:
+    """Human form of a lock identity: ``ShardSupervisor._lock``."""
+    owner, attr = lock
+    if ":" in owner:
+        owner = owner.split(":", 1)[1]
+    else:
+        owner = owner.rsplit(".", 1)[-1]
+    return f"{owner}.{attr}"
+
+
+@dataclass(frozen=True)
+class AcquireEvent:
+    """One syntactic lock acquisition inside a function body."""
+
+    lock: LockId
+    line: int
+    col: int
+    held: Tuple[LockId, ...]
+    #: True when the receiver is not ``self`` / the defining module —
+    #: e.g. ``incarnation._lock`` taken from supervisor code.  Used to
+    #: ignore same-identity "self" edges that are really two instances.
+    cross_instance: bool = False
+
+
+@dataclass(frozen=True)
+class CallEvent:
+    """One resolved call site inside a function body."""
+
+    callees: Tuple[str, ...]
+    line: int
+    col: int
+    held: Tuple[LockId, ...]
+    text: str
+
+
+@dataclass(frozen=True)
+class BlockEvent:
+    """One potentially-blocking primitive inside a function body."""
+
+    kind: str
+    line: int
+    col: int
+    held: Tuple[LockId, ...]
+    text: str
+
+
+@dataclass
+class FunctionInfo:
+    """Summary of one top-level function or method."""
+
+    key: str
+    module_name: str
+    relpath: str
+    name: str
+    lineno: int
+    class_key: Optional[str] = None
+    returns: str = ""
+    #: positional + keyword-only parameter names, in order.
+    params: Tuple[str, ...] = ()
+    param_annotations: Dict[str, str] = field(default_factory=dict)
+    acquires: List[AcquireEvent] = field(default_factory=list)
+    calls: List[CallEvent] = field(default_factory=list)
+    blocks: List[BlockEvent] = field(default_factory=list)
+    #: True when the body compares some ``<expr>.epoch`` — the marker
+    #: REP008 uses to recognise fence logic.
+    epoch_compare: bool = False
+
+
+@dataclass
+class ClassInfo:
+    """Summary of one class definition."""
+
+    key: str
+    module_name: str
+    name: str
+    bases: List[str] = field(default_factory=list)
+    methods: Dict[str, str] = field(default_factory=dict)
+    #: declared lock attribute -> factory kind ("Lock", "RLock", ...)
+    locks: Dict[str, str] = field(default_factory=dict)
+    #: attribute -> candidate class keys (from annotations/constructor
+    #: assignments in any method)
+    attr_types: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+    #: attribute -> runtime kind tag (pipe/process/thread/queue/future)
+    attr_kinds: Dict[str, str] = field(default_factory=dict)
+    #: ``Callable``-annotated ctor param -> the ``self.<attr>`` slot it
+    #: is stored into; call sites passing ``self.m`` for such a param
+    #: register m as a dispatch target for that slot.
+    callback_params: Dict[str, str] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class LockEdge:
+    """``src`` is held while ``dst`` is (possibly transitively) taken."""
+
+    src: LockId
+    dst: LockId
+    relpath: str
+    line: int
+    #: function-key chain from the holder down to the direct acquirer;
+    #: length 1 means the nesting is syntactic within one function.
+    path: Tuple[str, ...]
+
+
+class ProjectGraph:
+    """The assembled interprocedural summaries for one lint run."""
+
+    def __init__(self) -> None:
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        #: module name -> {local alias -> dotted target}
+        self.imports: Dict[str, Dict[str, str]] = {}
+        #: module name -> {module-level lock name -> factory kind}
+        self.module_locks: Dict[str, Dict[str, str]] = {}
+        #: (relpath, line of the factory call) -> lock identity; the
+        #: join key between this graph and witness traces.
+        self.alloc_sites: Dict[Tuple[str, int], LockId] = {}
+        #: lock factory kind per identity.
+        self.lock_kinds: Dict[LockId, str] = {}
+        #: transitive acquires with a shortest witness call path.
+        self.acquire_paths: Dict[str, Dict[LockId, Tuple[str, ...]]] = {}
+        #: transitive blocking kinds with a shortest witness call path
+        #: and the line of the primitive at the end of the path.
+        self.block_paths: Dict[str, Dict[str, Tuple[Tuple[str, ...], int]]] = {}
+        #: (class_key, attr) -> function keys registered into that
+        #: callback slot at any constructor call site project-wide.
+        #: Populated on the first body walk; calls through the slot
+        #: resolve on the second (see :func:`build_graph`).
+        self.callback_targets: Dict[Tuple[str, str], Tuple[str, ...]] = {}
+        #: (src, dst) -> first deterministic witness edge.
+        self.edges: Dict[Tuple[LockId, LockId], LockEdge] = {}
+
+    # -- lookup helpers -------------------------------------------------
+
+    def resolve_method(self, class_key: str, name: str) -> Optional[str]:
+        """MRO-ish lookup of ``name`` starting at ``class_key``."""
+        seen: Set[str] = set()
+        stack = [class_key]
+        while stack:
+            key = stack.pop(0)
+            if key in seen:
+                continue
+            seen.add(key)
+            info = self.classes.get(key)
+            if info is None:
+                continue
+            found = info.methods.get(name)
+            if found is not None:
+                return found
+            stack.extend(info.bases)
+        return None
+
+    def declaring_class(self, class_key: str, attr: str) -> Optional[str]:
+        """The base class that declares lock ``attr`` (MRO order)."""
+        seen: Set[str] = set()
+        stack = [class_key]
+        while stack:
+            key = stack.pop(0)
+            if key in seen:
+                continue
+            seen.add(key)
+            info = self.classes.get(key)
+            if info is None:
+                continue
+            if attr in info.locks:
+                return key
+            stack.extend(info.bases)
+        return None
+
+    def lock_for(self, class_key: str, attr: str) -> Optional[LockId]:
+        """The identity of ``self.<attr>`` seen from ``class_key`` — keyed
+        by the *declaring* class, so subclasses share the base's lock."""
+        owner = self.declaring_class(class_key, attr)
+        if owner is None:
+            return None
+        return (owner, attr)
+
+    def cycles(self) -> List[List[LockId]]:
+        """Elementary cycles of the lock graph (Tarjan SCCs + self loops).
+
+        Each cycle is returned as the node list in edge order, rotated so
+        the lexicographically-smallest lock leads — stable output for
+        fingerprinting.
+        """
+        adjacency: Dict[LockId, List[LockId]] = {}
+        for src, dst in self.edges:
+            adjacency.setdefault(src, []).append(dst)
+            adjacency.setdefault(dst, [])
+        for peers in adjacency.values():
+            peers.sort()
+
+        index: Dict[LockId, int] = {}
+        low: Dict[LockId, int] = {}
+        on_stack: Set[LockId] = set()
+        stack: List[LockId] = []
+        sccs: List[List[LockId]] = []
+        counter = [0]
+
+        def strongconnect(node: LockId) -> None:
+            index[node] = low[node] = counter[0]
+            counter[0] += 1
+            stack.append(node)
+            on_stack.add(node)
+            for peer in adjacency.get(node, []):
+                if peer not in index:
+                    strongconnect(peer)
+                    low[node] = min(low[node], low[peer])
+                elif peer in on_stack:
+                    low[node] = min(low[node], index[peer])
+            if low[node] == index[node]:
+                component: List[LockId] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                sccs.append(component)
+
+        for node in sorted(adjacency):
+            if node not in index:
+                strongconnect(node)
+
+        cycles: List[List[LockId]] = []
+        for component in sccs:
+            if len(component) > 1:
+                ordered = sorted(component)
+                cycles.append(ordered)
+            elif (component[0], component[0]) in self.edges:
+                cycles.append([component[0]])
+        cycles.sort()
+        return cycles
+
+
+# ---------------------------------------------------------------------------
+# Pass 1: symbols
+# ---------------------------------------------------------------------------
+
+
+def _dotted(node: ast.expr) -> str:
+    """``a.b.c`` attribute/name chain as a string ("" if not a chain)."""
+    parts: List[str] = []
+    cursor: ast.expr = node
+    while isinstance(cursor, ast.Attribute):
+        parts.append(cursor.attr)
+        cursor = cursor.value
+    if isinstance(cursor, ast.Name):
+        parts.append(cursor.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def _self_attr(node: ast.expr) -> str:
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return ""
+
+
+def _annotation_text(node: Optional[ast.expr]) -> str:
+    """Flatten an annotation to source text, unquoting string forms."""
+    if node is None:
+        return ""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    try:
+        return ast.unparse(node)
+    except ValueError:  # pragma: no cover - unparse is total on 3.9+
+        return ""
+
+
+def _annotation_core(text: str) -> str:
+    """Strip ``Optional[...]``/quotes to the innermost dotted name."""
+    text = text.strip().strip("'\"")
+    for wrapper in ("Optional[", "typing.Optional["):
+        if text.startswith(wrapper) and text.endswith("]"):
+            return _annotation_core(text[len(wrapper):-1])
+    return text
+
+
+def _is_lock_factory(node: ast.expr) -> Optional[str]:
+    """Factory kind when ``node`` is ``threading.Lock()`` etc., else None."""
+    if not isinstance(node, ast.Call):
+        return None
+    func = node.func
+    name = ""
+    if isinstance(func, ast.Name):
+        name = func.id
+    elif isinstance(func, ast.Attribute):
+        name = func.attr
+    return name if name in _LOCK_FACTORIES else None
+
+
+def _ctor_kind(value: ast.expr) -> Optional[str]:
+    """Runtime-kind tag when ``value`` constructs a known primitive."""
+    if not isinstance(value, ast.Call):
+        return None
+    func = value.func
+    name = func.id if isinstance(func, ast.Name) else (
+        func.attr if isinstance(func, ast.Attribute) else ""
+    )
+    if name in _CTOR_KINDS:
+        return _CTOR_KINDS[name]
+    if name == "submit" or name == "shutdown_future":
+        return _KIND_FUTURE
+    return None
+
+
+def _kind_from_annotation(text: str) -> Optional[str]:
+    core = _annotation_core(text)
+    leaf = core.split("[", 1)[0].rsplit(".", 1)[-1]
+    return _ANNOTATION_KINDS.get(leaf)
+
+
+def _kind_from_name(name: str) -> Optional[str]:
+    low = name.lower().lstrip("_")
+    for hints, kind in (
+        (_PIPE_NAME_HINTS, _KIND_PIPE),
+        (_PROCESS_NAME_HINTS, _KIND_PROCESS),
+        (_THREAD_NAME_HINTS, _KIND_THREAD),
+        (_FUTURE_NAME_HINTS, _KIND_FUTURE),
+        (_QUEUE_NAME_HINTS, _KIND_QUEUE),
+    ):
+        if any(low == hint or low.endswith(hint) for hint in hints):
+            return kind
+    return None
+
+
+def _import_table(tree: ast.Module) -> Dict[str, str]:
+    """Top-level ``import``/``from`` bindings: alias -> dotted target."""
+    table: Dict[str, str] = {}
+    for node in tree.body:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".", 1)[0]
+                target = alias.name if alias.asname else local
+                table[local] = target
+        elif isinstance(node, ast.ImportFrom) and node.level == 0:
+            base = node.module or ""
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                table[local] = f"{base}.{alias.name}" if base else alias.name
+    return table
+
+
+def _collect_symbols(graph: ProjectGraph, module: ModuleContext) -> None:
+    mod = module.module_name
+    graph.imports[mod] = _import_table(module.tree)
+    graph.module_locks[mod] = {}
+
+    for node in module.tree.body:
+        if isinstance(node, ast.Assign):
+            kind = _is_lock_factory(node.value)
+            if kind is not None:
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        lock: LockId = (mod, target.id)
+                        graph.module_locks[mod][target.id] = kind
+                        graph.lock_kinds[lock] = kind
+                        graph.alloc_sites[
+                            (module.relpath, node.value.lineno)
+                        ] = lock
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            _register_function(graph, module, node, class_key=None)
+        elif isinstance(node, ast.ClassDef):
+            _collect_class(graph, module, node)
+
+
+def _register_function(
+    graph: ProjectGraph,
+    module: ModuleContext,
+    node: ast.FunctionDef,
+    class_key: Optional[str],
+) -> FunctionInfo:
+    if class_key is None:
+        key = f"{module.module_name}:{node.name}"
+    else:
+        key = f"{class_key}.{node.name}"
+    info = FunctionInfo(
+        key=key,
+        module_name=module.module_name,
+        relpath=module.relpath,
+        name=node.name,
+        lineno=node.lineno,
+        class_key=class_key,
+        returns=_annotation_text(node.returns),
+    )
+    args = node.args
+    all_args = args.posonlyargs + args.args + args.kwonlyargs
+    info.params = tuple(arg.arg for arg in all_args)
+    for arg in all_args:
+        text = _annotation_text(arg.annotation)
+        if text:
+            info.param_annotations[arg.arg] = text
+    graph.functions[key] = info
+    return info
+
+
+def _collect_class(
+    graph: ProjectGraph, module: ModuleContext, cls: ast.ClassDef
+) -> None:
+    key = f"{module.module_name}:{cls.name}"
+    info = ClassInfo(key=key, module_name=module.module_name, name=cls.name)
+    for base in cls.bases:
+        dotted = _dotted(base)
+        if dotted:
+            info.bases.append(dotted)  # resolved in pass 1.5
+
+    for stmt in cls.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            func = _register_function(graph, module, stmt, class_key=key)
+            info.methods[stmt.name] = func.key
+            _collect_attr_facts(graph, module, info, stmt)
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(
+            stmt.target, ast.Name
+        ):
+            text = _annotation_text(stmt.annotation)
+            kind = _kind_from_annotation(text)
+            if kind is not None:
+                info.attr_kinds.setdefault(stmt.target.id, kind)
+    graph.classes[key] = info
+
+
+def _collect_attr_facts(
+    graph: ProjectGraph,
+    module: ModuleContext,
+    info: ClassInfo,
+    method: ast.FunctionDef,
+) -> None:
+    """Harvest ``self.x = ...`` lock declarations / type facts."""
+    param_ann = {
+        arg.arg: _annotation_text(arg.annotation)
+        for arg in (
+            method.args.posonlyargs + method.args.args + method.args.kwonlyargs
+        )
+        if arg.annotation is not None
+    }
+    for node in ast.walk(method):
+        targets: List[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(node, ast.Assign):
+            targets, value = list(node.targets), node.value
+        elif isinstance(node, ast.AnnAssign):
+            targets, value = [node.target], node.value
+            attr = _self_attr(node.target)
+            text = _annotation_text(node.annotation)
+            if attr and text:
+                info.attr_types.setdefault(attr, (_annotation_core(text),))
+                kind = _kind_from_annotation(text)
+                if kind is not None:
+                    info.attr_kinds.setdefault(attr, kind)
+        if value is None:
+            continue
+
+        lock_kind = _is_lock_factory(value)
+        tuple_ctor = _ctor_kind(value)
+        for target in targets:
+            if isinstance(target, (ast.Tuple, ast.List)) and tuple_ctor:
+                # e.g. ``self.conn, child = ctx.Pipe()``
+                for element in target.elts:
+                    attr = _self_attr(element)
+                    if attr:
+                        info.attr_kinds.setdefault(attr, tuple_ctor)
+                continue
+            attr = _self_attr(target)
+            if not attr:
+                continue
+            if lock_kind is not None:
+                info.locks[attr] = lock_kind
+                lock: LockId = (info.key, attr)
+                graph.lock_kinds[lock] = lock_kind
+                graph.alloc_sites[(module.relpath, value.lineno)] = lock
+                continue
+            if tuple_ctor is not None:
+                info.attr_kinds.setdefault(attr, tuple_ctor)
+            if isinstance(value, ast.Name) and "Callable" in param_ann.get(
+                value.id, ""
+            ):
+                # ``self._on_adopt = on_adopt`` with a Callable-annotated
+                # param: a callback slot.  Witness traces caught a real
+                # edge flowing through exactly this pattern (reconfig's
+                # adopt hook taking the sharded service's state lock).
+                info.callback_params[value.id] = attr
+            for candidate in _value_type_candidates(value, param_ann):
+                existing = info.attr_types.get(attr, ())
+                if candidate not in existing:
+                    info.attr_types[attr] = existing + (candidate,)
+
+
+def _value_type_candidates(
+    value: ast.expr, param_annotations: Dict[str, str]
+) -> List[str]:
+    """Dotted type-name candidates for an assignment's right-hand side."""
+    candidates: List[str] = []
+    queue: List[ast.expr] = [value]
+    while queue:
+        expr = queue.pop(0)
+        if isinstance(expr, ast.BoolOp):
+            queue.extend(expr.values)
+        elif isinstance(expr, ast.IfExp):
+            queue.extend([expr.body, expr.orelse])
+        elif isinstance(expr, ast.Call):
+            dotted = _dotted(expr.func)
+            if dotted and dotted[0].isupper() or (
+                "." in dotted and dotted.rsplit(".", 1)[-1][:1].isupper()
+            ):
+                candidates.append(dotted)
+        elif isinstance(expr, ast.Name):
+            text = param_annotations.get(expr.id, "")
+            if text:
+                candidates.append(_annotation_core(text))
+    return candidates
+
+
+def _resolve_bases(graph: ProjectGraph) -> None:
+    """Rewrite ClassInfo.bases from dotted names to class keys."""
+    for info in graph.classes.values():
+        resolved: List[str] = []
+        for dotted in info.bases:
+            key = _resolve_class_name(graph, info.module_name, dotted)
+            if key is not None:
+                resolved.append(key)
+        info.bases = resolved
+
+
+def _resolve_class_name(
+    graph: ProjectGraph, module_name: str, dotted: str
+) -> Optional[str]:
+    """Resolve a (possibly imported) dotted class name to a class key."""
+    dotted = _annotation_core(dotted).split("[", 1)[0]
+    if not dotted:
+        return None
+    head, _, rest = dotted.partition(".")
+    table = graph.imports.get(module_name, {})
+
+    # Local class in the same module.
+    local = f"{module_name}:{dotted}"
+    if local in graph.classes:
+        return local
+    # ``from mod import Class`` (possibly aliased).
+    if not rest and head in table:
+        target = table[head]
+        target_mod, _, target_name = target.rpartition(".")
+        key = f"{target_mod}:{target_name}"
+        if key in graph.classes:
+            return key
+    # ``import mod`` / ``from pkg import mod`` then ``mod.Class``.
+    if rest and head in table:
+        key = f"{table[head]}:{rest}"
+        if key in graph.classes:
+            return key
+    # Fully-qualified already.
+    mod, _, name = dotted.rpartition(".")
+    if mod:
+        key = f"{mod}:{name}"
+        if key in graph.classes:
+            return key
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Pass 2: per-function events
+# ---------------------------------------------------------------------------
+
+
+class _FunctionWalker(ast.NodeVisitor):
+    """Walk one function body tracking the syntactic held-lock stack."""
+
+    def __init__(
+        self,
+        graph: ProjectGraph,
+        module: ModuleContext,
+        info: FunctionInfo,
+    ) -> None:
+        self.graph = graph
+        self.module = module
+        self.info = info
+        self.held: List[LockId] = []
+        # name -> runtime kind tag / candidate class keys, flow-insensitive
+        self.var_kinds: Dict[str, str] = {}
+        self.var_types: Dict[str, Tuple[str, ...]] = {}
+        self._seed_params()
+
+    # -- environment ----------------------------------------------------
+
+    def _seed_params(self) -> None:
+        for name, text in self.info.param_annotations.items():
+            kind = _kind_from_annotation(text)
+            if kind is not None:
+                self.var_kinds[name] = kind
+            resolved = _resolve_class_name(
+                self.graph, self.info.module_name, text
+            )
+            if resolved is not None:
+                self.var_types[name] = (resolved,)
+
+    def _class_info(self) -> Optional[ClassInfo]:
+        if self.info.class_key is None:
+            return None
+        return self.graph.classes.get(self.info.class_key)
+
+    def _expr_kind(self, expr: ast.expr) -> Optional[str]:
+        """Runtime-kind tag of a receiver expression."""
+        if isinstance(expr, ast.Name):
+            kind = self.var_kinds.get(expr.id)
+            if kind is not None:
+                return kind
+            return _kind_from_name(expr.id)
+        attr = _self_attr(expr)
+        if attr:
+            cls = self._class_info()
+            if cls is not None:
+                kind = self._attr_kind(cls, attr)
+                if kind is not None:
+                    return kind
+            return _kind_from_name(attr)
+        if isinstance(expr, ast.Attribute):
+            return _kind_from_name(expr.attr)
+        return None
+
+    def _attr_kind(self, cls: ClassInfo, attr: str) -> Optional[str]:
+        seen: Set[str] = set()
+        stack = [cls.key]
+        while stack:
+            key = stack.pop(0)
+            if key in seen:
+                continue
+            seen.add(key)
+            info = self.graph.classes.get(key)
+            if info is None:
+                continue
+            if attr in info.attr_kinds:
+                return info.attr_kinds[attr]
+            stack.extend(info.bases)
+        return None
+
+    def _expr_types(self, expr: ast.expr) -> Tuple[str, ...]:
+        """Candidate class keys of a receiver expression."""
+        if isinstance(expr, ast.Name):
+            return self.var_types.get(expr.id, ())
+        if isinstance(expr, ast.Call):
+            # Chained call (``self.counter(name).increment()``): type
+            # the receiver from the resolved callee's return annotation,
+            # or the class itself when the callee is a constructor.
+            # Witness traces caught this exact hole — the registry's
+            # get-or-create accessors return the lock-bearing object.
+            out: List[str] = []
+            for callee in self._resolve_call(expr):
+                info = self.graph.functions.get(callee)
+                if info is None:
+                    continue
+                if info.name == "__init__" and info.class_key is not None:
+                    resolved: Optional[str] = info.class_key
+                else:
+                    core = _annotation_core(info.returns)
+                    if not core:
+                        continue
+                    resolved = _resolve_class_name(
+                        self.graph, info.module_name, core
+                    )
+                if resolved is not None and resolved not in out:
+                    out.append(resolved)
+            return tuple(out)
+        attr = _self_attr(expr)
+        if attr:
+            cls = self._class_info()
+            seen: Set[str] = set()
+            stack = [cls.key] if cls is not None else []
+            while stack:
+                key = stack.pop(0)
+                if key in seen:
+                    continue
+                seen.add(key)
+                info = self.graph.classes.get(key)
+                if info is None:
+                    continue
+                if attr in info.attr_types:
+                    out: List[str] = []
+                    for dotted in info.attr_types[attr]:
+                        resolved = _resolve_class_name(
+                            self.graph, info.module_name, dotted
+                        )
+                        if resolved is not None:
+                            out.append(resolved)
+                    return tuple(out)
+                stack.extend(info.bases)
+        return ()
+
+    # -- lock identification --------------------------------------------
+
+    def _lock_id(self, expr: ast.expr) -> Tuple[Optional[LockId], bool]:
+        """(lock identity, cross_instance) for a lock expression."""
+        attr = _self_attr(expr)
+        if attr and self.info.class_key is not None:
+            lock = self.graph.lock_for(self.info.class_key, attr)
+            if lock is not None:
+                return lock, False
+        if isinstance(expr, ast.Name):
+            kinds = self.graph.module_locks.get(self.info.module_name, {})
+            if expr.id in kinds:
+                return (self.info.module_name, expr.id), False
+            # Local alias of a known lock type? Not tracked — unknown.
+            return None, False
+        if isinstance(expr, ast.Attribute) and not attr:
+            # ``obj._lock`` on a typed receiver: cross-instance identity.
+            for class_key in self._expr_types(expr.value):
+                lock = self.graph.lock_for(class_key, expr.attr)
+                if lock is not None:
+                    return lock, True
+        return None, False
+
+    # -- traversal ------------------------------------------------------
+
+    def visit_With(self, node: ast.With) -> None:
+        pushed = 0
+        for item in node.items:
+            lock, cross = self._lock_id(item.context_expr)
+            if lock is None:
+                # Non-lock context managers may still contain calls
+                # (evaluated with the earlier items' locks held).
+                self.visit(item.context_expr)
+                continue
+            self._record_acquire(lock, item.context_expr, cross)
+            self.held.append(lock)
+            pushed += 1
+        for stmt in node.body:
+            self.visit(stmt)
+        for _ in range(pushed):
+            self.held.pop()
+
+    visit_AsyncWith = visit_With  # type: ignore[assignment]
+
+    def _record_acquire(
+        self, lock: LockId, expr: ast.expr, cross: bool
+    ) -> None:
+        self.info.acquires.append(
+            AcquireEvent(
+                lock=lock,
+                line=expr.lineno,
+                col=expr.col_offset,
+                held=tuple(self.held),
+                cross_instance=cross,
+            )
+        )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        ctor = _ctor_kind(node.value)
+        for target in node.targets:
+            if isinstance(target, (ast.Tuple, ast.List)) and ctor:
+                for element in target.elts:
+                    if isinstance(element, ast.Name):
+                        self.var_kinds.setdefault(element.id, ctor)
+                continue
+            if not isinstance(target, ast.Name):
+                continue
+            if ctor is not None:
+                self.var_kinds.setdefault(target.id, ctor)
+            for dotted in _value_type_candidates(
+                node.value, self.info.param_annotations
+            ):
+                resolved = _resolve_class_name(
+                    self.graph, self.info.module_name, dotted
+                )
+                if resolved is not None:
+                    existing = self.var_types.get(target.id, ())
+                    if resolved not in existing:
+                        self.var_types[target.id] = existing + (resolved,)
+            if isinstance(node.value, ast.Call):
+                # ``inc = self._ready_incarnation(...)`` — type the
+                # binding from the callee's return annotation so method
+                # calls on it resolve.  Witness traces caught this hole:
+                # the supervisor's prepare/commit paths reach the
+                # incarnation's send lock only through such a binding.
+                for resolved in self._expr_types(node.value):
+                    existing = self.var_types.get(target.id, ())
+                    if resolved not in existing:
+                        self.var_types[target.id] = existing + (resolved,)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        # Manual ``x.acquire(...)`` counts as an acquisition event (the
+        # held-region itself is not tracked; witness traces cover that).
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "acquire"
+        ):
+            lock, cross = self._lock_id(node.func.value)
+            if lock is not None:
+                self._record_acquire(lock, node.func, cross)
+
+        block = self._classify_blocking(node)
+        if block is not None:
+            kind, text = block
+            self.info.blocks.append(
+                BlockEvent(
+                    kind=kind,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    held=tuple(self.held),
+                    text=text,
+                )
+            )
+
+        callees = self._resolve_call(node)
+        self._register_callbacks(node, callees)
+        if callees:
+            self.info.calls.append(
+                CallEvent(
+                    callees=callees,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    held=tuple(self.held),
+                    text=_dotted(node.func) or "<call>",
+                )
+            )
+        self.generic_visit(node)
+
+    # Closures run later, usually off-lock: reset the held stack inside
+    # (same conservative choice REP001 makes).
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        saved, self.held = self.held, []
+        self.generic_visit(node)
+        self.held = saved
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        saved, self.held = self.held, []
+        self.generic_visit(node)
+        self.held = saved
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        for operand in [node.left] + list(node.comparators):
+            if isinstance(operand, ast.Attribute) and operand.attr == "epoch":
+                self.info.epoch_compare = True
+        self.generic_visit(node)
+
+    # -- callback slots --------------------------------------------------
+
+    def _register_callbacks(
+        self, node: ast.Call, callees: Tuple[str, ...]
+    ) -> None:
+        """Record callables passed into ``Callable``-annotated ctor slots."""
+        for callee in callees:
+            info = self.graph.functions.get(callee)
+            if info is None or info.name != "__init__":
+                continue
+            if info.class_key is None:
+                continue
+            cls = self.graph.classes.get(info.class_key)
+            if cls is None or not cls.callback_params:
+                continue
+            params = (
+                info.params[1:]
+                if info.params[:1] in (("self",), ("cls",))
+                else info.params
+            )
+            bindings: List[Tuple[str, ast.expr]] = [
+                (params[idx], arg)
+                for idx, arg in enumerate(node.args)
+                if idx < len(params)
+            ]
+            bindings.extend(
+                (kw.arg, kw.value) for kw in node.keywords if kw.arg
+            )
+            for name, value in bindings:
+                attr = cls.callback_params.get(name)
+                if attr is None:
+                    continue
+                target = self._callable_target(value)
+                if target is None:
+                    continue
+                slot = (info.class_key, attr)
+                existing = self.graph.callback_targets.get(slot, ())
+                if target not in existing:
+                    self.graph.callback_targets[slot] = existing + (target,)
+
+    def _callable_target(self, expr: ast.expr) -> Optional[str]:
+        """Function key of a callback argument (``self.m`` / local f)."""
+        attr = _self_attr(expr)
+        if attr and self.info.class_key is not None:
+            return self.graph.resolve_method(self.info.class_key, attr)
+        if isinstance(expr, ast.Name):
+            mod = self.info.module_name
+            local = f"{mod}:{expr.id}"
+            if local in self.graph.functions:
+                return local
+            target = self.graph.imports.get(mod, {}).get(expr.id)
+            if target:
+                t_mod, _, t_name = target.rpartition(".")
+                key = f"{t_mod}:{t_name}"
+                if key in self.graph.functions:
+                    return key
+        return None
+
+    # -- call resolution ------------------------------------------------
+
+    def _resolve_call(self, node: ast.Call) -> Tuple[str, ...]:
+        func = node.func
+        graph = self.graph
+        mod = self.info.module_name
+
+        if isinstance(func, ast.Name):
+            name = func.id
+            local = f"{mod}:{name}"
+            if local in graph.functions:
+                return (local,)
+            local_cls = f"{mod}:{name}"
+            if local_cls in graph.classes:
+                init = graph.resolve_method(local_cls, "__init__")
+                return (init,) if init else ()
+            target = graph.imports.get(mod, {}).get(name)
+            if target:
+                target_mod, _, target_name = target.rpartition(".")
+                key = f"{target_mod}:{target_name}"
+                if key in graph.functions:
+                    return (key,)
+                if key in graph.classes:
+                    init = graph.resolve_method(key, "__init__")
+                    return (init,) if init else ()
+            return ()
+
+        if not isinstance(func, ast.Attribute):
+            return ()
+
+        # super().m()
+        if (
+            isinstance(func.value, ast.Call)
+            and isinstance(func.value.func, ast.Name)
+            and func.value.func.id == "super"
+            and self.info.class_key is not None
+        ):
+            cls = graph.classes.get(self.info.class_key)
+            if cls is not None:
+                for base in cls.bases:
+                    found = graph.resolve_method(base, func.attr)
+                    if found is not None:
+                        return (found,)
+            return ()
+
+        # self.m() / cls.m()
+        receiver_attr = _self_attr(func)
+        if receiver_attr and self.info.class_key is not None:
+            found = graph.resolve_method(self.info.class_key, receiver_attr)
+            if found:
+                return (found,)
+            # ``self._on_adopt(...)``: not a method, so try the callback
+            # slots — dispatch to every callable any constructor call
+            # site registered into this attribute (MRO order).
+            seen: Set[str] = set()
+            stack = [self.info.class_key]
+            while stack:
+                key = stack.pop(0)
+                if key in seen:
+                    continue
+                seen.add(key)
+                targets = graph.callback_targets.get((key, receiver_attr))
+                if targets:
+                    return targets
+                cls = graph.classes.get(key)
+                if cls is not None:
+                    stack.extend(cls.bases)
+            return ()
+
+        # mod.f() / mod.Class()
+        dotted = _dotted(func.value)
+        if dotted:
+            table = graph.imports.get(mod, {})
+            head, _, rest = dotted.partition(".")
+            if head in table and not rest:
+                base = table[head]
+                key = f"{base}:{func.attr}"
+                if key in graph.functions:
+                    return (key,)
+                cls_key = f"{base}:{func.attr}"
+                if cls_key in graph.classes:
+                    init = graph.resolve_method(cls_key, "__init__")
+                    return (init,) if init else ()
+                # mod.Class(...) handled; mod.obj.m() falls through.
+            # ClassName.method(...) — unbound call through the class.
+            cls_key2 = _resolve_class_name(graph, mod, dotted)
+            if cls_key2 is not None:
+                found = graph.resolve_method(cls_key2, func.attr)
+                if found is not None:
+                    return (found,)
+
+        # obj.m() via inferred receiver type(s).
+        out: List[str] = []
+        for class_key in self._expr_types(func.value):
+            found = graph.resolve_method(class_key, func.attr)
+            if found is not None and found not in out:
+                out.append(found)
+        return tuple(out)
+
+    # -- blocking classification ----------------------------------------
+
+    def _classify_blocking(
+        self, node: ast.Call
+    ) -> Optional[Tuple[str, str]]:
+        func = node.func
+        text = _dotted(func) or "<call>"
+        keywords = {kw.arg for kw in node.keywords if kw.arg}
+
+        if isinstance(func, ast.Name):
+            table = self.graph.imports.get(self.info.module_name, {})
+            target = table.get(func.id, "")
+            if target == "time.sleep" or (
+                func.id == "sleep" and target.endswith("sleep")
+            ):
+                return "sleep", text
+            if func.id == "SharedMemory" or target.endswith("SharedMemory"):
+                return "shm-attach", text
+            return None
+
+        if not isinstance(func, ast.Attribute):
+            return None
+
+        attr = func.attr
+        receiver = func.value
+        recv_kind = self._expr_kind(receiver)
+        recv_dotted = _dotted(receiver)
+
+        if attr == "sleep" and recv_dotted == "time":
+            return "sleep", text
+        if attr == "SharedMemory" and recv_dotted.endswith("shared_memory"):
+            return "shm-attach", text
+        if recv_dotted == "subprocess" and attr in (
+            "run",
+            "call",
+            "check_call",
+            "check_output",
+        ):
+            return "subprocess", text
+
+        if attr in ("send", "recv", "send_bytes", "recv_bytes"):
+            if recv_kind == _KIND_PIPE:
+                return f"pipe-{attr.split('_', 1)[0]}", text
+            return None
+
+        if attr == "join":
+            if isinstance(receiver, ast.Constant):
+                return None  # ", ".join(...)
+            if recv_kind in (_KIND_THREAD, _KIND_PROCESS):
+                return "join", text
+            if not node.args and not node.keywords:
+                # str.join always takes an argument; a bare .join() is a
+                # thread/process join on an untyped receiver.
+                return "join", text
+            if "timeout" in keywords:
+                return "join", text
+            return None
+
+        if attr == "start" and recv_kind == _KIND_PROCESS:
+            # Spawning a worker pickles state and forks an interpreter —
+            # tens of milliseconds minimum, unbounded under load.
+            return "process-spawn", text
+
+        if attr == "wait":
+            if recv_kind == _KIND_PROCESS:
+                return "subprocess", text
+            lock, _ = self._lock_id(receiver)
+            if lock is not None and lock in self.held:
+                # Condition.wait() on the held condition *releases* it.
+                return None
+            return "wait", text
+
+        if attr == "communicate":
+            return "subprocess", text
+
+        if attr == "result":
+            if recv_kind == _KIND_FUTURE:
+                return "future-wait", text
+            return None
+
+        if attr in ("get", "put"):
+            if recv_kind != _KIND_QUEUE:
+                return None
+            for kw in node.keywords:
+                if (
+                    kw.arg == "block"
+                    and isinstance(kw.value, ast.Constant)
+                    and kw.value.value is False
+                ):
+                    return None
+            if attr == "get" and node.args:
+                return None  # dict.get(key) shape
+            return "queue", text
+
+        return None
+
+
+# ---------------------------------------------------------------------------
+# Pass 3: fixed points and the lock graph
+# ---------------------------------------------------------------------------
+
+
+def _better_path(
+    current: Optional[Tuple[str, ...]], candidate: Tuple[str, ...]
+) -> bool:
+    if current is None:
+        return True
+    return (len(candidate), candidate) < (len(current), current)
+
+
+def _propagate(graph: ProjectGraph) -> None:
+    """Compute transitive acquire/blocking summaries to a fixed point."""
+    acquire_paths = graph.acquire_paths
+    block_paths = graph.block_paths
+    for key, info in graph.functions.items():
+        own_a: Dict[LockId, Tuple[str, ...]] = {}
+        for event in info.acquires:
+            if event.lock not in own_a:
+                own_a[event.lock] = (key,)
+        acquire_paths[key] = own_a
+        own_b: Dict[str, Tuple[Tuple[str, ...], int]] = {}
+        for block in info.blocks:
+            if block.kind not in own_b:
+                own_b[block.kind] = ((key,), block.line)
+        block_paths[key] = own_b
+
+    changed = True
+    while changed:
+        changed = False
+        for key in sorted(graph.functions):
+            info = graph.functions[key]
+            mine_a = acquire_paths[key]
+            mine_b = block_paths[key]
+            for call in info.calls:
+                for callee in call.callees:
+                    if callee == key:
+                        continue
+                    for lock, path in acquire_paths.get(callee, {}).items():
+                        candidate = (key,) + path
+                        if _better_path(mine_a.get(lock), candidate):
+                            mine_a[lock] = candidate
+                            changed = True
+                    for kind, (path, line) in block_paths.get(
+                        callee, {}
+                    ).items():
+                        candidate = (key,) + path
+                        current = mine_b.get(kind)
+                        if current is None or _better_path(
+                            current[0], candidate
+                        ):
+                            mine_b[kind] = (candidate, line)
+                            changed = True
+
+
+def _build_edges(graph: ProjectGraph) -> None:
+    """Derive the lock-order graph from events + transitive acquires."""
+
+    def add_edge(
+        src: LockId,
+        dst: LockId,
+        relpath: str,
+        line: int,
+        path: Tuple[str, ...],
+    ) -> None:
+        if src == dst:
+            return
+        key = (src, dst)
+        existing = graph.edges.get(key)
+        candidate = LockEdge(
+            src=src, dst=dst, relpath=relpath, line=line, path=path
+        )
+        if existing is None or (
+            (len(candidate.path), candidate.relpath, candidate.line)
+            < (len(existing.path), existing.relpath, existing.line)
+        ):
+            graph.edges[key] = candidate
+
+    for key in sorted(graph.functions):
+        info = graph.functions[key]
+        for event in info.acquires:
+            for held in event.held:
+                if held == event.lock and (
+                    event.cross_instance
+                    or graph.lock_kinds.get(event.lock) in _REENTRANT_KINDS
+                ):
+                    # Reentrant re-take or a sibling instance's lock of
+                    # the same class: not a self-deadlock edge.
+                    continue
+                add_edge(held, event.lock, info.relpath, event.line, (key,))
+        for call in info.calls:
+            if not call.held:
+                continue
+            for callee in call.callees:
+                for lock, path in graph.acquire_paths.get(
+                    callee, {}
+                ).items():
+                    for held in call.held:
+                        if held == lock:
+                            # Same identity through a call chain: only a
+                            # cycle for non-reentrant kinds, and those
+                            # are handled by the acquire-event pass when
+                            # the chain stays on ``self``.  Through calls
+                            # the receiver is usually another instance —
+                            # skip rather than guess.
+                            continue
+                        add_edge(
+                            held,
+                            lock,
+                            info.relpath,
+                            call.line,
+                            (key,) + path,
+                        )
+
+
+def build_graph(project: ProjectContext) -> ProjectGraph:
+    """Assemble (or fetch the cached) graph for ``project``."""
+    cached = _CACHE.get(id(project))
+    if cached is not None and cached[0] is project:
+        return cached[1]
+
+    graph = ProjectGraph()
+    modules = [
+        m for m in project.modules if m.module_name.startswith("repro")
+    ]
+    for module in modules:
+        _collect_symbols(graph, module)
+    _resolve_bases(graph)
+
+    # Two walk rounds: the first discovers callback registrations
+    # (``on_adopt=self._m`` at constructor call sites); the second
+    # re-walks with the slot table populated so calls *through* the
+    # stored callbacks resolve.  Skipped when nothing registered.
+    for walk_round in (1, 2):
+        for module in modules:
+            for node in module.tree.body:
+                if isinstance(
+                    node, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    key = f"{module.module_name}:{node.name}"
+                    _walk_function(graph, module, key, node)
+                elif isinstance(node, ast.ClassDef):
+                    class_key = f"{module.module_name}:{node.name}"
+                    for stmt in node.body:
+                        if isinstance(
+                            stmt, (ast.FunctionDef, ast.AsyncFunctionDef)
+                        ):
+                            key = f"{class_key}.{stmt.name}"
+                            _walk_function(graph, module, key, stmt)
+        if walk_round == 1:
+            if not graph.callback_targets:
+                break
+            for info in graph.functions.values():
+                info.acquires.clear()
+                info.calls.clear()
+                info.blocks.clear()
+                info.epoch_compare = False
+
+    _propagate(graph)
+    _build_edges(graph)
+    _CACHE[id(project)] = (project, graph)
+    if len(_CACHE) > 4:  # keep the cache from growing across many runs
+        for stale in list(_CACHE)[:-4]:
+            del _CACHE[stale]
+    return graph
+
+
+_CACHE: Dict[int, Tuple[ProjectContext, ProjectGraph]] = {}
+
+
+def _walk_function(
+    graph: ProjectGraph,
+    module: ModuleContext,
+    key: str,
+    node: ast.FunctionDef,
+) -> None:
+    info = graph.functions.get(key)
+    if info is None:  # pragma: no cover - registration covers all keys
+        return
+    walker = _FunctionWalker(graph, module, info)
+    for stmt in node.body:
+        walker.visit(stmt)
+
+
+# ---------------------------------------------------------------------------
+# DOT export
+# ---------------------------------------------------------------------------
+
+
+def render_dot(
+    graph: ProjectGraph, observed: Optional[Iterable[Tuple[LockId, LockId]]] = None
+) -> str:
+    """The lock-order graph in Graphviz DOT form.
+
+    Static edges are solid; edges in ``observed`` (witness traces) that
+    the static graph also knows are bold; cycle edges are red.
+    """
+    observed_set: Set[Tuple[LockId, LockId]] = set(observed or ())
+    cycle_edges: Set[Tuple[LockId, LockId]] = set()
+    for cycle in graph.cycles():
+        if len(cycle) == 1:
+            cycle_edges.add((cycle[0], cycle[0]))
+            continue
+        for src in cycle:
+            for dst in cycle:
+                if src != dst and (src, dst) in graph.edges:
+                    cycle_edges.add((src, dst))
+
+    nodes: Set[LockId] = set()
+    for src, dst in graph.edges:
+        nodes.add(src)
+        nodes.add(dst)
+
+    def node_id(lock: LockId) -> str:
+        return f'"{lock[0]}.{lock[1]}"'
+
+    lines = [
+        "digraph lock_order {",
+        "  rankdir=LR;",
+        '  node [shape=box, fontname="Helvetica", fontsize=10];',
+        '  edge [fontname="Helvetica", fontsize=8];',
+    ]
+    for lock in sorted(nodes):
+        kind = graph.lock_kinds.get(lock, "Lock")
+        lines.append(
+            f"  {node_id(lock)} [label=\"{lock_label(lock)}\\n"
+            f"{lock[0].split(':', 1)[0]} ({kind})\"];"
+        )
+    for (src, dst) in sorted(graph.edges):
+        edge = graph.edges[(src, dst)]
+        attrs = [f'label="{edge.relpath.rsplit("/", 1)[-1]}:{edge.line}"']
+        if (src, dst) in cycle_edges:
+            attrs.append("color=red")
+            attrs.append("penwidth=2")
+        if (src, dst) in observed_set:
+            attrs.append("style=bold")
+        lines.append(
+            f"  {node_id(src)} -> {node_id(dst)} [{', '.join(attrs)}];"
+        )
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def witness_chain(path: Sequence[str]) -> str:
+    """Render a function-key chain for a finding message."""
+    return " -> ".join(part.split(":", 1)[-1] for part in path)

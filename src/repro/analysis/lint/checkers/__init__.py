@@ -6,16 +6,22 @@ you.  Each rule lives in its own module and is documented in
 ``docs/analysis.md``.
 """
 
+from repro.analysis.lint.checkers.blocking import BlockingUnderLockChecker
 from repro.analysis.lint.checkers.deadlines import DeadlinePropagationChecker
 from repro.analysis.lint.checkers.determinism import DeterminismChecker
+from repro.analysis.lint.checkers.epochflow import EpochFlowChecker
 from repro.analysis.lint.checkers.exceptions import ExceptionHygieneChecker
 from repro.analysis.lint.checkers.exports import ExportCoherenceChecker
+from repro.analysis.lint.checkers.lockorder import LockOrderChecker
 from repro.analysis.lint.checkers.locks import LockDisciplineChecker
 
 __all__ = [
+    "BlockingUnderLockChecker",
     "DeadlinePropagationChecker",
     "DeterminismChecker",
+    "EpochFlowChecker",
     "ExceptionHygieneChecker",
     "ExportCoherenceChecker",
     "LockDisciplineChecker",
+    "LockOrderChecker",
 ]

@@ -1,0 +1,130 @@
+"""REP007 — no blocking primitives while a lock is held.
+
+A held lock turns any blocking call into a system-wide stall: a pipe
+``send`` to a wedged worker, a ``Thread.join``, a ``time.sleep``, a
+blocking ``queue.get``/``put``, a ``shared_memory`` attach, a
+``future.result`` wait, or spawning a worker process all park the
+holding thread for unbounded time, and every other thread then queues
+behind the lock.  The sharded tier's send-combining path and the
+reconfig prepare/commit rounds are exactly where that bites — a slow
+worker must degrade *that worker*, not freeze the supervisor.
+
+The rule is interprocedural: a function's *blocking summary* (which
+blocking kinds it can reach through any resolved call chain) comes from
+:mod:`repro.analysis.lint.callgraph`.  A finding fires at the precise
+site inside the lock-holding function — either a blocking primitive
+directly under a syntactic ``with <lock>:``, or a call (under a lock)
+to a callee whose summary says a blocking primitive is reachable — so
+an inline ``# repro: noqa REP007`` lands exactly where the decision to
+block-under-lock is made, with the justification next to it.
+
+Exemption built into the classifier: ``cv.wait()`` while ``cv`` itself
+is the held lock *releases* the lock and is never flagged; ``Event.wait``
+under some *other* lock still is.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.analysis.lint.callgraph import (
+    build_graph,
+    lock_label,
+    witness_chain,
+)
+from repro.analysis.lint.context import ModuleContext, ProjectContext
+from repro.analysis.lint.findings import Finding
+from repro.analysis.lint.registry import Checker, register
+
+_SCOPE_PREFIXES = (
+    "repro.serve",
+    "repro.persist",
+    "repro.shard",
+    "repro.labels",
+    "repro.overload",
+    "repro.runtime",
+)
+
+_KIND_TEXT = {
+    "sleep": "time.sleep",
+    "pipe-send": "a pipe send",
+    "pipe-recv": "a pipe recv",
+    "join": "a thread/process join",
+    "wait": "an event/condition wait",
+    "queue": "a blocking queue get/put",
+    "shm-attach": "a shared_memory attach",
+    "subprocess": "a subprocess wait",
+    "future-wait": "a future.result wait",
+    "process-spawn": "a worker-process spawn",
+}
+
+
+@register
+class BlockingUnderLockChecker(Checker):
+    rule_id = "REP007"
+    summary = "no blocking primitive may be reached while a lock is held"
+
+    def check(
+        self, module: ModuleContext, project: ProjectContext
+    ) -> Iterable[Finding]:
+        if not module.module_name.startswith(_SCOPE_PREFIXES):
+            return []
+        graph = build_graph(project)
+        findings: List[Finding] = []
+
+        for key in sorted(graph.functions):
+            info = graph.functions[key]
+            if info.relpath != module.relpath:
+                continue
+
+            for block in info.blocks:
+                if not block.held:
+                    continue
+                held = ", ".join(lock_label(lock) for lock in block.held)
+                kind_text = _KIND_TEXT.get(block.kind, block.kind)
+                findings.append(
+                    self.finding(
+                        module,
+                        block.line,
+                        block.col,
+                        f"{info.name}() performs {kind_text} "
+                        f"({block.text}) while holding {held}",
+                        hint=(
+                            "move the blocking call outside the lock, or "
+                            "collect work under the lock and perform it "
+                            "after release"
+                        ),
+                    )
+                )
+
+            for call in info.calls:
+                if not call.held:
+                    continue
+                held = ", ".join(lock_label(lock) for lock in call.held)
+                reported: set = set()
+                for callee in call.callees:
+                    for kind, (path, line) in sorted(
+                        graph.block_paths.get(callee, {}).items()
+                    ):
+                        if kind in reported:
+                            continue
+                        reported.add(kind)
+                        kind_text = _KIND_TEXT.get(kind, kind)
+                        chain = witness_chain((key,) + path)
+                        findings.append(
+                            self.finding(
+                                module,
+                                call.line,
+                                call.col,
+                                f"{info.name}() calls {call.text}() while "
+                                f"holding {held}, and that reaches "
+                                f"{kind_text} (chain: {chain}, primitive "
+                                f"at line {line} of the final callee)",
+                                hint=(
+                                    "hoist the call out of the locked "
+                                    "region, or split the callee so its "
+                                    "blocking half runs lock-free"
+                                ),
+                            )
+                        )
+        return findings

@@ -13,17 +13,25 @@ calls to deadline-accepting callees that pass neither a
 ``deadline=``/``budget=`` keyword nor any argument whose name mentions
 deadline/budget.
 
-Callee resolution is by simple name (``self._engine.range_query`` →
-``range_query``), which is deliberately coarse: a same-named local
-function shadows nothing in this codebase, and coarse resolution errs
-toward catching dropped deadlines rather than missing them.
+Callee resolution rides the interprocedural call graph
+(:mod:`repro.analysis.lint.callgraph`): imports, ``self.m()`` dispatch,
+and typed-receiver methods resolve to concrete function summaries, so a
+same-named helper in an unrelated module no longer triggers a false
+positive.  Calls the resolver cannot pin down fall back to the old
+coarse simple-name match — unresolved calls err toward catching dropped
+deadlines rather than missing them.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Iterable, List, Optional, Set
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
+from repro.analysis.lint.callgraph import (
+    FunctionInfo,
+    ProjectGraph,
+    build_graph,
+)
 from repro.analysis.lint.context import ModuleContext, ProjectContext
 from repro.analysis.lint.findings import Finding
 from repro.analysis.lint.registry import Checker, register
@@ -89,6 +97,10 @@ class _FunctionCollector(ast.NodeVisitor):
     visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
 
 
+def _accepts_deadline(info: "FunctionInfo") -> bool:
+    return any(name in _DEADLINE_PARAMS for name in info.params)
+
+
 @register
 class DeadlinePropagationChecker(Checker):
     rule_id = "REP003"
@@ -96,6 +108,9 @@ class DeadlinePropagationChecker(Checker):
 
     def __init__(self) -> None:
         self._aware: Set[str] = set()
+        self._graph: Optional[ProjectGraph] = None
+        self._aware_keys: Set[str] = set()
+        self._by_site: Dict[Tuple[str, int, str], FunctionInfo] = {}
 
     def scan(self, project: ProjectContext) -> None:
         collector = _FunctionCollector(self._aware)
@@ -104,6 +119,17 @@ class DeadlinePropagationChecker(Checker):
         # The Deadline machinery itself is not a "callee to forward to".
         self._aware.discard("__init__")
         self._aware.discard("as_deadline")
+        self._graph = build_graph(project)
+        self._aware_keys = {
+            key
+            for key, info in self._graph.functions.items()
+            if _accepts_deadline(info)
+            and info.name not in ("__init__", "as_deadline")
+        }
+        self._by_site = {
+            (info.relpath, info.lineno, info.name): info
+            for info in self._graph.functions.values()
+        }
 
     def check(
         self, module: ModuleContext, project: ProjectContext
@@ -118,6 +144,28 @@ class DeadlinePropagationChecker(Checker):
                     continue
                 findings.extend(self._check_function(module, node, param))
         return findings
+
+    def _resolved_aware(
+        self, module: ModuleContext, function: ast.FunctionDef, call: ast.Call
+    ) -> Optional[bool]:
+        """Graph-resolved awareness of a call's callee.
+
+        ``True``/``False`` when the call graph pinned the callee down;
+        ``None`` when it could not (caller falls back to name matching).
+        """
+        if self._graph is None:
+            return None
+        info = self._by_site.get(
+            (module.relpath, function.lineno, function.name)
+        )
+        if info is None:
+            return None
+        for event in info.calls:
+            if event.line == call.lineno and event.col == call.col_offset:
+                return any(
+                    callee in self._aware_keys for callee in event.callees
+                )
+        return None
 
     def _check_function(
         self,
@@ -138,7 +186,10 @@ class DeadlinePropagationChecker(Checker):
             callee = _callee_simple_name(node.func)
             if callee is None or callee == function.name:
                 continue
-            if callee not in self._aware:
+            resolved = self._resolved_aware(module, function, node)
+            if resolved is False:
+                continue  # resolved to a callee with no deadline param
+            if resolved is None and callee not in self._aware:
                 continue
             if _call_forwards_deadline(node):
                 continue

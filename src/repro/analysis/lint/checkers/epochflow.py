@@ -1,0 +1,289 @@
+"""REP008 — shard replies must flow through the epoch fence.
+
+PR 9's live-reconfiguration invariant: no answer may merge replies
+computed against two different topology epochs.  The router enforces it
+by stamping every :class:`~repro.shard.supervisor.ShardAnswer` with the
+worker's committed epoch and running all gathered replies through
+``_apply_fence`` (drop-or-retry anything below the fence) before any
+values are merged, then recording the surviving epochs on the
+``QueryResponse.reply_epochs`` field the chaos EpochOracle audits.
+
+The rule is a dataflow walk over each function in ``repro.shard``:
+
+* **Sources** taint a name: calls whose resolved callee returns a
+  *container* of ``ShardAnswer`` (``_scatter``'s
+  ``Dict[int, ShardAnswer]``), and parameters annotated with such a
+  container (a merge helper receives replies from somewhere).
+* **Fences** clear taint: passing a tainted name to a function whose
+  body compares ``<expr>.epoch`` or whose name mentions ``fence``.
+  A function that *is* such a fence is exempt entirely — it is the
+  comparison site itself.
+* **Sinks** fire when still tainted: a ``return`` mentioning a tainted
+  name, or a ``QueryResponse(...)`` construction fed a tainted name —
+  either merges replies nobody fenced.
+
+Separately, any ``QueryResponse(...)`` constructed in ``repro.shard``
+must stamp ``reply_epochs=``; a response without the stamp is invisible
+to the EpochOracle, which is how an epoch-mix bug would go silent.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.analysis.lint.callgraph import (
+    FunctionInfo,
+    ProjectGraph,
+    build_graph,
+)
+from repro.analysis.lint.context import ModuleContext, ProjectContext
+from repro.analysis.lint.findings import Finding
+from repro.analysis.lint.registry import Checker, register
+
+_SCOPE_PREFIX = "repro.shard"
+
+_CONTAINER_MARKS = ("Dict[", "List[", "Tuple[", "Iterable[", "Sequence[",
+                    "Mapping[", "dict[", "list[", "tuple[")
+
+
+def _is_reply_container(annotation: str) -> bool:
+    """Does an annotation describe a *plurality* of ShardAnswers?"""
+    if "ShardAnswer" not in annotation:
+        return False
+    return any(mark in annotation for mark in _CONTAINER_MARKS)
+
+
+def _names_in(expr: ast.expr) -> Set[str]:
+    return {n.id for n in ast.walk(expr) if isinstance(n, ast.Name)}
+
+
+def _call_dotted(func: ast.expr) -> str:
+    parts: List[str] = []
+    cursor = func
+    while isinstance(cursor, ast.Attribute):
+        parts.append(cursor.attr)
+        cursor = cursor.value
+    if isinstance(cursor, ast.Name):
+        parts.append(cursor.id)
+    return ".".join(reversed(parts))
+
+
+@register
+class EpochFlowChecker(Checker):
+    rule_id = "REP008"
+    summary = "shard-reply merges must pass the epoch fence and stamp epochs"
+
+    def check(
+        self, module: ModuleContext, project: ProjectContext
+    ) -> Iterable[Finding]:
+        if not module.module_name.startswith(_SCOPE_PREFIX):
+            return []
+        graph = build_graph(project)
+        findings: List[Finding] = []
+
+        for key in sorted(graph.functions):
+            info = graph.functions[key]
+            if info.relpath != module.relpath:
+                continue
+            node = self._function_node(module, info)
+            if node is None:
+                continue
+            findings.extend(self._check_function(module, graph, info, node))
+            findings.extend(self._check_responses(module, node))
+        return findings
+
+    # ------------------------------------------------------------------
+
+    def _function_node(
+        self, module: ModuleContext, info: FunctionInfo
+    ) -> Optional[ast.FunctionDef]:
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and node.name == info.name
+                and node.lineno == info.lineno
+            ):
+                return node
+        return None
+
+    def _is_fence_function(self, info: FunctionInfo) -> bool:
+        return info.epoch_compare or "fence" in info.name.lower()
+
+    def _callees_at(
+        self, info: FunctionInfo, call: ast.Call
+    ) -> Tuple[str, ...]:
+        for event in info.calls:
+            if event.line == call.lineno and event.col == call.col_offset:
+                return event.callees
+        return ()
+
+    def _is_source_call(
+        self, graph: ProjectGraph, info: FunctionInfo, call: ast.Call
+    ) -> bool:
+        for callee in self._callees_at(info, call):
+            target = graph.functions.get(callee)
+            if target is not None and _is_reply_container(target.returns):
+                return True
+        return False
+
+    def _is_fence_call(
+        self, graph: ProjectGraph, info: FunctionInfo, call: ast.Call
+    ) -> bool:
+        dotted = _call_dotted(call.func)
+        if "fence" in dotted.lower():
+            return True
+        for callee in self._callees_at(info, call):
+            target = graph.functions.get(callee)
+            if target is not None and self._is_fence_function(target):
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+
+    def _check_function(
+        self,
+        module: ModuleContext,
+        graph: ProjectGraph,
+        info: FunctionInfo,
+        node: ast.FunctionDef,
+    ) -> Iterable[Finding]:
+        if self._is_fence_function(info):
+            return []
+
+        tainted: Set[str] = set()
+        source_sites: Dict[str, Tuple[int, int, str]] = {}
+
+        args = node.args
+        for arg in args.posonlyargs + args.args + args.kwonlyargs:
+            annotation = info.param_annotations.get(arg.arg, "")
+            if _is_reply_container(annotation):
+                tainted.add(arg.arg)
+                source_sites[arg.arg] = (
+                    node.lineno,
+                    node.col_offset,
+                    f"parameter '{arg.arg}'",
+                )
+
+        body_calls: List[ast.Call] = []
+        returns: List[ast.Return] = []
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Call):
+                body_calls.append(sub)
+            elif isinstance(sub, ast.Return) and sub.value is not None:
+                returns.append(sub)
+
+        for sub in ast.walk(node):
+            if not isinstance(sub, ast.Assign):
+                continue
+            has_source = any(
+                isinstance(inner, ast.Call)
+                and self._is_source_call(graph, info, inner)
+                for inner in ast.walk(sub.value)
+            )
+            if not has_source:
+                continue
+            label = ""
+            for inner in ast.walk(sub.value):
+                if isinstance(inner, ast.Call) and self._is_source_call(
+                    graph, info, inner
+                ):
+                    label = _call_dotted(inner.func) or "<call>"
+                    break
+            for target in sub.targets:
+                elements = (
+                    target.elts
+                    if isinstance(target, (ast.Tuple, ast.List))
+                    else [target]
+                )
+                for element in elements:
+                    if isinstance(element, ast.Name):
+                        tainted.add(element.id)
+                        source_sites.setdefault(
+                            element.id,
+                            (sub.lineno, sub.col_offset, f"{label}()"),
+                        )
+
+        if not tainted:
+            return []
+
+        fenced = any(
+            self._is_fence_call(graph, info, call)
+            and any(
+                _names_in(arg) & tainted
+                for arg in list(call.args)
+                + [kw.value for kw in call.keywords]
+            )
+            for call in body_calls
+        )
+        if fenced:
+            return []
+
+        findings: List[Finding] = []
+        flagged: Set[str] = set()
+
+        def flag(names: Set[str], how: str) -> None:
+            for name in sorted(names & tainted):
+                if name in flagged:
+                    continue
+                flagged.add(name)
+                line, col, origin = source_sites[name]
+                findings.append(
+                    self.finding(
+                        module,
+                        line,
+                        col,
+                        f"{info.name}() merges shard replies "
+                        f"('{name}' from {origin}) {how} without passing "
+                        "them through an epoch fence",
+                        hint=(
+                            "run the gathered replies through "
+                            "_apply_fence (or compare reply .epoch "
+                            "values and drop sub-fence answers) before "
+                            "merging"
+                        ),
+                    )
+                )
+
+        for ret in returns:
+            flag(_names_in(ret.value), "into a return value")
+        for call in body_calls:
+            if _call_dotted(call.func).split(".")[-1] != "QueryResponse":
+                continue
+            used: Set[str] = set()
+            for arg in list(call.args) + [kw.value for kw in call.keywords]:
+                used |= _names_in(arg)
+            flag(used, "into a QueryResponse")
+        return findings
+
+    # ------------------------------------------------------------------
+
+    def _check_responses(
+        self, module: ModuleContext, node: ast.FunctionDef
+    ) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for sub in ast.walk(node):
+            if not isinstance(sub, ast.Call):
+                continue
+            if _call_dotted(sub.func).split(".")[-1] != "QueryResponse":
+                continue
+            has_stamp = any(
+                kw.arg == "reply_epochs" or kw.arg is None  # **kwargs
+                for kw in sub.keywords
+            )
+            if not has_stamp:
+                findings.append(
+                    self.finding(
+                        module,
+                        sub.lineno,
+                        sub.col_offset,
+                        f"{node.name}() constructs a QueryResponse without "
+                        "stamping reply_epochs — the EpochOracle cannot "
+                        "audit an unstamped response",
+                        hint=(
+                            "pass reply_epochs=<distinct merged epochs> "
+                            "(the fourth result of _apply_fence)"
+                        ),
+                    )
+                )
+        return findings

@@ -1,0 +1,114 @@
+"""REP006 — global lock-acquisition ordering.
+
+Two threads that take the same pair of locks in opposite orders can
+deadlock; no per-module rule can see that, because the two halves of the
+inversion usually live in different files (the supervisor monitor
+holding ``ShardSupervisor._lock`` while poking an incarnation, reconfig
+holding the coordinator lock while fencing the router...).
+
+The checker reads the project-wide lock graph from
+:mod:`repro.analysis.lint.callgraph`: an edge ``A -> B`` means some
+code path can attempt ``B`` while holding ``A``, either syntactically
+nested or through any resolved call chain.  Any cycle in that graph is
+a potential deadlock and is reported on **every** edge of the cycle,
+each finding carrying the full cycle and both witness call paths, so a
+``# repro: noqa REP006`` suppression must be argued at each
+participating acquisition site separately.
+
+Self-edges are skipped for reentrant kinds (``RLock``, ``Condition``)
+and for cross-instance acquisitions (``incarnation._lock`` taken from
+supervisor code is another instance's lock, not a re-take).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.analysis.lint.callgraph import (
+    LockId,
+    ProjectGraph,
+    build_graph,
+    lock_label,
+    witness_chain,
+)
+from repro.analysis.lint.context import ModuleContext, ProjectContext
+from repro.analysis.lint.findings import Finding
+from repro.analysis.lint.registry import Checker, register
+
+#: Same reporting scope as REP001/REP007: the concurrent subsystems.
+_SCOPE_PREFIXES = (
+    "repro.serve",
+    "repro.persist",
+    "repro.shard",
+    "repro.labels",
+    "repro.overload",
+    "repro.runtime",
+)
+
+
+@register
+class LockOrderChecker(Checker):
+    rule_id = "REP006"
+    summary = "lock-acquisition graph must be cycle-free (deadlock risk)"
+
+    def __init__(self) -> None:
+        self._by_module: Dict[str, List[Finding]] = {}
+
+    def scan(self, project: ProjectContext) -> None:
+        graph = build_graph(project)
+        module_by_path = {m.relpath: m for m in project.modules}
+        for cycle in graph.cycles():
+            for finding in self._cycle_findings(graph, cycle, module_by_path):
+                self._by_module.setdefault(finding.path, []).append(finding)
+
+    def check(
+        self, module: ModuleContext, project: ProjectContext
+    ) -> Iterable[Finding]:
+        return self._by_module.get(module.relpath, [])
+
+    def _cycle_findings(
+        self,
+        graph: ProjectGraph,
+        cycle: List[LockId],
+        module_by_path: Dict[str, ModuleContext],
+    ) -> Iterable[Finding]:
+        if len(cycle) == 1:
+            edges = [(cycle[0], cycle[0])]
+        else:
+            edges = [
+                (src, dst)
+                for src in cycle
+                for dst in cycle
+                if src != dst and (src, dst) in graph.edges
+            ]
+        ring = " -> ".join(lock_label(lock) for lock in cycle)
+        ring += f" -> {lock_label(cycle[0])}"
+        witness_lines = "; ".join(
+            f"{lock_label(src)}->{lock_label(dst)} via "
+            f"{witness_chain(graph.edges[(src, dst)].path)} "
+            f"({graph.edges[(src, dst)].relpath}:"
+            f"{graph.edges[(src, dst)].line})"
+            for src, dst in edges
+            if (src, dst) in graph.edges
+        )
+        for src, dst in edges:
+            edge = graph.edges.get((src, dst))
+            if edge is None:
+                continue
+            module = module_by_path.get(edge.relpath)
+            if module is None:
+                continue
+            if not module.module_name.startswith(_SCOPE_PREFIXES):
+                continue
+            yield self.finding(
+                module,
+                edge.line,
+                0,
+                f"lock-order cycle: {ring} — this site takes "
+                f"{lock_label(dst)} while holding {lock_label(src)} "
+                f"(via {witness_chain(edge.path)})",
+                hint=(
+                    "pick one global order for these locks and restructure "
+                    f"the losing side; witnesses: {witness_lines}"
+                ),
+            )

@@ -1,0 +1,387 @@
+"""LockWitness — dynamic lock-order recording and static cross-check.
+
+The REP006 lock-order rule (:mod:`repro.analysis.lint.callgraph`) builds
+its acquisition graph *statically*: every edge it knows about was read
+out of the AST.  A static graph can have holes — locks taken through
+``getattr`` indirection, callbacks the resolver could not follow, C
+extensions — and every hole is an edge a deadlock can hide behind.  The
+witness closes the loop from the other side:
+
+* :func:`witness_session` monkey-patches the ``threading.Lock`` /
+  ``threading.RLock`` factories for the duration of a real run (the
+  chaos campaign, a shard test).  Locks allocated at a *known* static
+  allocation site — the ``(relpath, lineno)`` of the factory call, the
+  same join key :class:`~repro.analysis.lint.callgraph.ProjectGraph`
+  records in ``alloc_sites`` — come back wrapped; every other
+  allocation (threading internals, ``Event`` internals, third-party
+  code) gets the untouched primitive.
+* Each wrapped lock pushes its site onto a thread-local held stack on
+  acquire; acquiring site *B* while site *A* is held records the
+  observed order edge *A → B*.
+* :func:`crosscheck` joins the observed edges back to the static graph.
+  An **observed edge the static graph does not know** is a call-graph
+  hole — the static analysis missed a real nesting, so its "no cycles"
+  verdict is unsound: that is an *error*.  A **static cycle no run ever
+  exercised** stays a *warning* — it may be a false positive or simply
+  an untested interleaving.
+
+The recorder is deliberately free of wall-clock time and randomness:
+wrapping locks must not perturb the chaos campaign's deterministic
+replay (the acquire/release fast path adds two dict operations under an
+*unwrapped* guard lock and nothing else).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (
+    Collection,
+    Dict,
+    FrozenSet,
+    Iterator,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
+
+from repro.analysis.lint.callgraph import (
+    LockId,
+    ProjectGraph,
+    lock_label,
+)
+
+#: The witness/static join key: root-relative posix path of the source
+#: file and the 1-based line of the ``threading.Lock()`` (etc.) call.
+Site = Tuple[str, int]
+
+_TRACE_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# Trace
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class WitnessTrace:
+    """Observed lock behaviour from one instrumented run.
+
+    ``edges`` maps an ordered site pair (outer held while inner taken)
+    to the number of times it was observed; ``sites`` is every witnessed
+    allocation site that was acquired at least once.
+    """
+
+    edges: Dict[Tuple[Site, Site], int] = field(default_factory=dict)
+    sites: Set[Site] = field(default_factory=set)
+
+    def merge(self, other: "WitnessTrace") -> None:
+        """Fold another trace (e.g. a second campaign) into this one."""
+        for pair, count in other.edges.items():
+            self.edges[pair] = self.edges.get(pair, 0) + count
+        self.sites |= other.sites
+
+    # -- (de)serialisation ---------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready form (sorted, so identical runs diff clean)."""
+        return {
+            "version": _TRACE_VERSION,
+            "edges": [
+                {
+                    "src": list(src),
+                    "dst": list(dst),
+                    "count": self.edges[(src, dst)],
+                }
+                for src, dst in sorted(self.edges)
+            ],
+            "sites": [list(site) for site in sorted(self.sites)],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "WitnessTrace":
+        """Parse :meth:`to_dict` output; rejects unknown versions."""
+        version = payload.get("version")
+        if version != _TRACE_VERSION:
+            raise ValueError(f"unsupported witness-trace version {version!r}")
+        trace = cls()
+        for entry in payload.get("edges", []):  # type: ignore[union-attr]
+            src = (str(entry["src"][0]), int(entry["src"][1]))
+            dst = (str(entry["dst"][0]), int(entry["dst"][1]))
+            trace.edges[(src, dst)] = int(entry["count"])
+        for raw in payload.get("sites", []):  # type: ignore[union-attr]
+            trace.sites.add((str(raw[0]), int(raw[1])))
+        return trace
+
+    def save(self, path: "Path | str") -> None:
+        """Write the trace as deterministic, pretty-printed JSON."""
+        Path(path).write_text(
+            json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    @classmethod
+    def load(cls, path: "Path | str") -> "WitnessTrace":
+        """Read a trace previously written by :meth:`save`."""
+        return cls.from_dict(
+            json.loads(Path(path).read_text(encoding="utf-8"))
+        )
+
+
+# ---------------------------------------------------------------------------
+# Recorder
+# ---------------------------------------------------------------------------
+
+
+class LockWitness:
+    """Thread-safe recorder of observed acquisition-order edges."""
+
+    def __init__(self) -> None:
+        # The guard MUST be an original primitive (created before any
+        # patching, never wrapped): recording an edge while holding a
+        # witnessed lock would recurse into the recorder.
+        self._guard = threading.Lock()
+        self._edges: Dict[Tuple[Site, Site], int] = {}
+        self._sites: Set[Site] = set()
+        self._local = threading.local()
+
+    def _stack(self) -> List[Site]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def record_acquire(self, site: Site) -> None:
+        """Called by a wrapped lock *after* a successful acquire."""
+        stack = self._stack()
+        held = [outer for outer in stack if outer != site]
+        with self._guard:
+            self._sites.add(site)
+            for outer in held:
+                pair = (outer, site)
+                self._edges[pair] = self._edges.get(pair, 0) + 1
+        stack.append(site)
+
+    def record_release(self, site: Site) -> None:
+        """Called by a wrapped lock *before* releasing."""
+        stack = self._stack()
+        # Remove the innermost occurrence: out-of-order releases are
+        # legal Python, LIFO is merely the common case.
+        for index in range(len(stack) - 1, -1, -1):
+            if stack[index] == site:
+                del stack[index]
+                break
+
+    def trace(self) -> WitnessTrace:
+        """A consistent snapshot of everything recorded so far."""
+        with self._guard:
+            return WitnessTrace(edges=dict(self._edges), sites=set(self._sites))
+
+
+class _WitnessedLock:
+    """A lock/RLock proxy that reports acquisitions to a witness.
+
+    Unknown attributes (``_is_owned``, ``_acquire_restore``,
+    ``_release_save`` — the hooks :class:`threading.Condition` lifts off
+    its lock) delegate to the wrapped primitive.  ``Condition.wait``
+    therefore releases/reacquires the *inner* lock directly; the held
+    stack keeps the site listed across the wait, which is accurate
+    enough — a waiting thread cannot acquire anything else meanwhile.
+    """
+
+    __slots__ = ("_inner", "_site", "_witness")
+
+    def __init__(self, inner: object, site: Site, witness: LockWitness) -> None:
+        self._inner = inner
+        self._site = site
+        self._witness = witness
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        acquired = self._inner.acquire(blocking, timeout)  # type: ignore[attr-defined]
+        if acquired:
+            self._witness.record_acquire(self._site)
+        return bool(acquired)
+
+    def release(self) -> None:
+        self._witness.record_release(self._site)
+        self._inner.release()  # type: ignore[attr-defined]
+
+    def locked(self) -> bool:
+        return bool(self._inner.locked())  # type: ignore[attr-defined]
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        self.release()
+
+    def __getattr__(self, name: str) -> object:
+        return getattr(self._inner, name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<witnessed {self._inner!r} @ {self._site[0]}:{self._site[1]}>"
+
+
+# ---------------------------------------------------------------------------
+# Session (factory patching)
+# ---------------------------------------------------------------------------
+
+
+def _caller_site(root: Path, skip_files: FrozenSet[str]) -> Optional[Site]:
+    """The first stack frame outside threading/witness code, as a Site.
+
+    Returns ``None`` when that frame's file does not live under
+    ``root`` (third-party or stdlib allocations stay unwrapped).
+    """
+    frame = sys._getframe(2)  # skip _caller_site and the factory
+    while frame is not None:
+        filename = frame.f_code.co_filename
+        if filename not in skip_files:
+            try:
+                relpath = (
+                    Path(filename).resolve().relative_to(root).as_posix()
+                )
+            except ValueError:
+                return None
+            return (relpath, frame.f_lineno)
+        frame = frame.f_back
+    return None
+
+
+@contextmanager
+def witness_session(
+    root: "Path | str", known_sites: Collection[Site]
+) -> Iterator[LockWitness]:
+    """Patch the ``threading`` lock factories for the enclosed block.
+
+    ``known_sites`` is the static graph's ``alloc_sites`` key set
+    (see :func:`static_sites`); only allocations attributable to one of
+    those sites are wrapped, so threading internals and code the static
+    analysis does not model keep untouched primitives.  ``Condition``
+    needs no patching of its own: ``threading.Condition()`` allocates
+    its internal RLock through the (patched) module-level factory, and
+    the frame walk attributes it to the user's ``Condition(...)`` line —
+    exactly the site the static graph recorded.
+    """
+    resolved_root = Path(root).resolve()
+    sites = set(known_sites)
+    witness = LockWitness()
+    original_lock = threading.Lock
+    original_rlock = threading.RLock
+    skip_files = frozenset(
+        {threading.__file__, __file__}
+    )
+
+    def _factory(original: object) -> object:
+        def allocate(*args: object, **kwargs: object) -> object:
+            inner = original(*args, **kwargs)  # type: ignore[operator]
+            site = _caller_site(resolved_root, skip_files)
+            if site is None or site not in sites:
+                return inner
+            return _WitnessedLock(inner, site, witness)
+
+        return allocate
+
+    threading.Lock = _factory(original_lock)  # type: ignore[misc]
+    threading.RLock = _factory(original_rlock)  # type: ignore[misc]
+    try:
+        yield witness
+    finally:
+        threading.Lock = original_lock  # type: ignore[misc]
+        threading.RLock = original_rlock  # type: ignore[misc]
+
+
+def static_sites(graph: ProjectGraph) -> Set[Site]:
+    """The static graph's allocation sites, in witness join-key form."""
+    return set(graph.alloc_sites)
+
+
+# ---------------------------------------------------------------------------
+# Cross-check
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CrossCheckResult:
+    """Outcome of joining a witness trace against the static graph."""
+
+    #: observed edges the static graph also derived (used to bold DOT
+    #: edges and to mark static cycles as runtime-confirmed).
+    confirmed: Set[Tuple[LockId, LockId]] = field(default_factory=set)
+    #: fatal disagreements: the run exhibited behaviour the static
+    #: analysis failed to model, so its REP006 verdict is unsound.
+    errors: List[str] = field(default_factory=list)
+    #: static findings no run has confirmed (kept advisory).
+    warnings: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no soundness hole was observed (warnings allowed)."""
+        return not self.errors
+
+
+def crosscheck(trace: WitnessTrace, graph: ProjectGraph) -> CrossCheckResult:
+    """Join observed acquisition orders against the static lock graph.
+
+    * An observed site the graph has no identity for, or an observed
+      edge absent from ``graph.edges``, is an **error**: the static
+      call graph has a hole and REP006's cycle verdict cannot be
+      trusted until the resolver models that path.
+    * A static cycle whose ring was never (fully) observed is a
+      **warning**: possibly a false positive, possibly an untested
+      interleaving — either way not proof of soundness loss.
+    """
+    result = CrossCheckResult()
+
+    for site in sorted(trace.sites):
+        if site not in graph.alloc_sites:
+            result.errors.append(
+                f"witnessed lock allocated at {site[0]}:{site[1]} has no "
+                "static identity — the allocation-site scanner missed it"
+            )
+
+    for (src_site, dst_site), count in sorted(trace.edges.items()):
+        src = graph.alloc_sites.get(src_site)
+        dst = graph.alloc_sites.get(dst_site)
+        if src is None or dst is None:
+            continue  # already reported as an unknown site above
+        if src == dst:
+            # Two instances sharing one identity (per-shard locks) or a
+            # reentrant reacquire — the static graph deliberately skips
+            # same-identity self edges, so the witness does too.
+            continue
+        if (src, dst) in graph.edges:
+            result.confirmed.add((src, dst))
+            continue
+        result.errors.append(
+            f"observed order {lock_label(src)} -> {lock_label(dst)} "
+            f"({count}x; held {src_site[0]}:{src_site[1]}, took "
+            f"{dst_site[0]}:{dst_site[1]}) is MISSING from the static "
+            "graph — call-graph hole; REP006's no-cycle verdict is "
+            "unsound until the resolver covers this path"
+        )
+
+    for cycle in graph.cycles():
+        ring = list(cycle) + [cycle[0]]
+        unobserved = [
+            (ring[i], ring[i + 1])
+            for i in range(len(ring) - 1)
+            if (ring[i], ring[i + 1]) not in result.confirmed
+        ]
+        if unobserved:
+            arrows = " -> ".join(lock_label(lock) for lock in ring)
+            missing = ", ".join(
+                f"{lock_label(a)}->{lock_label(b)}" for a, b in unobserved
+            )
+            result.warnings.append(
+                f"static cycle {arrows} not confirmed at runtime "
+                f"(unobserved: {missing}) — false positive or untested "
+                "interleaving"
+            )
+    return result

@@ -367,7 +367,43 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         Path(args.json).write_text(
             json.dumps(report.to_dict(), indent=2) + "\n", encoding="utf-8"
         )
-    exit_code = report.exit_code(strict=args.strict)
+
+    witness_failed = False
+    if args.lock_graph or args.witness:
+        from repro.analysis.lint.callgraph import build_graph, render_dot
+        from repro.analysis.lint.engine import build_project
+        from repro.analysis.witness import WitnessTrace, crosscheck
+
+        graph = build_graph(build_project(config))
+        observed = None
+        if args.witness:
+            try:
+                trace = WitnessTrace.load(args.witness)
+            except (OSError, ValueError, KeyError) as exc:
+                print(f"witness: unreadable trace {args.witness}: {exc}")
+                return 2
+            result = crosscheck(trace, graph)
+            observed = result.confirmed
+            for message in result.errors:
+                print(f"witness: ERROR: {message}")
+            for message in result.warnings:
+                print(f"witness: warning: {message}")
+            print(
+                f"witness: {len(trace.edges)} observed edges, "
+                f"{len(result.confirmed)} confirmed static, "
+                f"{len(result.errors)} errors, "
+                f"{len(result.warnings)} warnings"
+            )
+            witness_failed = not result.ok
+        if args.lock_graph:
+            Path(args.lock_graph).write_text(
+                render_dot(graph, observed), encoding="utf-8"
+            )
+            print(f"wrote lock graph to {args.lock_graph}")
+
+    exit_code = report.exit_code(strict=args.strict) or (
+        1 if witness_failed else 0
+    )
     print(
         f"lint: {report.checked_modules} modules, "
         f"{len(report.rules)} rules, {len(report.new)} new, "
@@ -714,7 +750,19 @@ def _cmd_chaos_run(args: argparse.Namespace) -> int:
         workload=args.workload.replace("-", "_"),
         hedging=args.hedging,
     )
-    report = CampaignRunner(config).run()
+    if args.witness:
+        from repro.analysis.lint.callgraph import build_graph
+        from repro.analysis.lint.engine import LintConfig, build_project
+        from repro.analysis.witness import static_sites, witness_session
+
+        root = _project_root()
+        graph = build_graph(build_project(LintConfig(root=root)))
+        with witness_session(root, static_sites(graph)) as witness:
+            report = CampaignRunner(config).run()
+        witness.trace().save(args.witness)
+        print(f"wrote witness trace to {args.witness}")
+    else:
+        report = CampaignRunner(config).run()
     _render_campaign_summary(report)
     if args.report:
         report.save(args.report)
@@ -856,6 +904,17 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "--list-rules", action="store_true",
         help="list registered rules and exit",
+    )
+    lint.add_argument(
+        "--lock-graph", default=None, metavar="OUT.dot",
+        help="write the interprocedural lock-acquisition graph as "
+        "Graphviz DOT (cycle edges red; witness-confirmed edges bold)",
+    )
+    lint.add_argument(
+        "--witness", default=None, metavar="TRACE.json",
+        help="cross-check a LockWitness trace ('chaos run --witness') "
+        "against the static graph: observed edges the graph lacks are "
+        "call-graph holes and fail the run",
     )
     lint.set_defaults(handler=_cmd_lint)
 
@@ -1033,6 +1092,12 @@ def build_parser() -> argparse.ArgumentParser:
     chaos_run.add_argument(
         "--bench-json", default=None, metavar="OUT.json",
         help="write per-quality-level latency percentiles",
+    )
+    chaos_run.add_argument(
+        "--witness", default=None, metavar="TRACE.json",
+        help="run with LockWitness instrumentation (observed "
+        "lock-acquisition orders) and write the trace for "
+        "'lint --witness'",
     )
     chaos_run.add_argument(
         "--store-dir", default=None,

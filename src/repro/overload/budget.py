@@ -21,7 +21,9 @@ decisions replay deterministically under the chaos harness.
 
 from __future__ import annotations
 
-from threading import Lock
+# Late-bound factory lookup (not ``from threading import Lock``) so
+# the LockWitness session's patched factory sees these allocations.
+import threading
 from typing import Any, Callable, Dict, Optional, TypeVar
 
 from repro.exceptions import ReproError
@@ -57,7 +59,7 @@ class RetryBudget:
         self.capacity = float(capacity)
         self.refill_ratio = float(refill_ratio)
         self.metrics = metrics if metrics is not None else MetricsRegistry()
-        self._lock = Lock()
+        self._lock = threading.Lock()
         self._tokens = float(capacity)
         self._successes = 0
         self._spent = 0

@@ -33,7 +33,9 @@ from __future__ import annotations
 
 import math
 from collections import deque
-from threading import Lock
+# Late-bound factory lookup (not ``from threading import Lock``) so
+# the LockWitness session's patched factory sees these allocations.
+import threading
 from typing import Any, Deque, Dict, Optional
 
 from repro.serve.metrics import MetricsRegistry
@@ -76,7 +78,7 @@ class AdaptiveConcurrencyLimiter:
         self.decrease_factor = float(decrease_factor)
         self.brake_factor = float(brake_factor)
         self.metrics = metrics if metrics is not None else MetricsRegistry()
-        self._lock = Lock()
+        self._lock = threading.Lock()
         self._limit = int(initial_limit)
         self._samples: Deque[float] = deque(maxlen=int(window))
         self._since_adjust = 0

@@ -122,13 +122,18 @@ class SupervisedQueryService:
                 self._state = ServiceState.STOPPED
             self._ready.set()
             return
+        stale: Optional[QueryService] = None
         with self._lock:
             if self._state is ServiceState.STARTING:
                 self._report = report
                 self._service = service
                 self._state = ServiceState.READY
             else:  # shutdown() won the race; don't leak workers
-                service.stop(wait=False)
+                stale = service
+        if stale is not None:
+            # Stopped outside the lock: stop() can join worker threads,
+            # and nothing here still needs the state guarded.
+            stale.stop(wait=False)
         self._ready.set()
 
     def wait_ready(self, timeout: Optional[float] = None) -> bool:

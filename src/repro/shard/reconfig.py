@@ -207,7 +207,16 @@ class ReconfigCoordinator:
         self.ack_timeout_s = ack_timeout_s
         self._on_adopt = on_adopt
         self._shard_ids = list(shard_ids)
-        self._lock = threading.RLock()
+        # Two locks with one global order (round -> state -> everything
+        # the supervisor/router own).  ``_round_lock`` serialises whole
+        # mutation rounds and is deliberately held across the blocking
+        # per-worker prepare/commit acks; it guards nothing the query
+        # path reads.  ``_lock`` is the short-critical-section guard for
+        # the reference state below (framework, recorder, pending,
+        # staged) so readiness probes and chaos injectors never wedge
+        # behind a slow worker's ack.
+        self._round_lock = threading.RLock()
+        self._lock = threading.Lock()
         self._framework = framework
         self._recorder = WalRecorder(framework.space, wal)
         #: Records of every round not yet committed fleet-wide.  Workers
@@ -263,41 +272,55 @@ class ReconfigCoordinator:
         including an injected crash — leaves a torn round that
         :meth:`resume` (or the supervisor's epoch-lag monitor) heals.
         """
+        # The round lock is held across the blocking worker acks on
+        # purpose: it serialises rounds, and nothing the query path or
+        # the readiness probe reads is guarded by it (that state lives
+        # under self._lock), so a slow worker stalls only other
+        # mutations.
+        with self._round_lock:
+            return self._mutate_round(fn)  # repro: noqa REP007
+
+    def _mutate_round(self, fn: Callable[[WalRecorder], Any]) -> Any:
+        """One full round; caller holds ``self._round_lock``."""
+        self._resume_round()  # heal any torn round before a new one
+        # Pruning bounds mix the distance index with door geometry,
+        # so they must freeze *before* the space mutates under them.
+        self.router.begin_reconfig()
         with self._lock:
-            self._resume_locked()  # heal any torn round before a new one
-            # Pruning bounds mix the distance index with door geometry,
-            # so they must freeze *before* the space mutates under them.
-            self.router.begin_reconfig()
-            try:
-                result = fn(self._recorder)
-            except BaseException:
-                self.metrics.increment("reconfig.aborts")
-                self.router.abort_reconfig()
-                raise
-            record = self._recorder.last_record
-            assert record is not None
+            recorder = self._recorder
+        try:
+            result = fn(recorder)
+        except BaseException:
+            self.metrics.increment("reconfig.aborts")
+            self.router.abort_reconfig()
+            raise
+        record = recorder.last_record
+        assert record is not None
+        with self._lock:
             self._pending.append(record)
-            target = self._framework.space.topology_epoch
-            # Reindex the full framework and retarget every slot BEFORE
-            # any prepare: from this instant every restart rejoins at
-            # ``target`` and the router fences below it — no exact
-            # old-epoch answer can be merged even if we die right here.
-            self._staged_fw, _ = reindex_framework(
-                self._framework, self._pending
-            )
-            self.supervisor.retarget(
-                {
-                    shard_id: respec_for_epoch(
-                        self.supervisor.spec_of(shard_id), self._staged_fw
-                    )
-                    for shard_id in self._shard_ids
-                },
-                target,
-            )
-            crashpoints.fire("reconfig.prepare.torn")
-            self._run_round_locked(target)
-            self._finish_round_locked(target)
-            return result
+            pending = list(self._pending)
+            framework = self._framework
+        target = framework.space.topology_epoch
+        # Reindex the full framework and retarget every slot BEFORE
+        # any prepare: from this instant every restart rejoins at
+        # ``target`` and the router fences below it — no exact
+        # old-epoch answer can be merged even if we die right here.
+        staged, _ = reindex_framework(framework, pending)
+        with self._lock:
+            self._staged_fw = staged
+        self.supervisor.retarget(
+            {
+                shard_id: respec_for_epoch(
+                    self.supervisor.spec_of(shard_id), staged
+                )
+                for shard_id in self._shard_ids
+            },
+            target,
+        )
+        crashpoints.fire("reconfig.prepare.torn")
+        self._run_round(target)
+        self._finish_round(target)
+        return result
 
     def resume(self) -> bool:
         """Complete a torn round, if any; returns whether one was healed.
@@ -305,32 +328,38 @@ class ReconfigCoordinator:
         Safe to call any time (``await_healthy`` does): when the fence
         and committed epochs agree there is nothing to do.
         """
-        with self._lock:
-            return self._resume_locked()
+        # Held across worker acks by design — see mutate().
+        with self._round_lock:
+            return self._resume_round()  # repro: noqa REP007
 
-    def _resume_locked(self) -> bool:
+    def _resume_round(self) -> bool:
+        """Heal a torn round; caller holds ``self._round_lock``."""
         target = self.supervisor.fence_epoch
         if self.supervisor.committed_epoch >= target:
             return False
         self.metrics.increment("reconfig.resumes")
-        if (
-            self._staged_fw is None
-            or self._staged_fw.space.topology_epoch != target
-        ):
+        with self._lock:
+            staged = self._staged_fw
+            framework = self._framework
+            pending = list(self._pending)
+        if staged is None or staged.space.topology_epoch != target:
             # The staged framework was lost with the torn round; the live
             # space already carries the mutation (it applied before the
             # fence rose), so reindexing it lands at the target.
-            self._staged_fw, _ = reindex_framework(
-                self._framework, self._pending
-            )
-        self._run_round_locked(target)
-        self._finish_round_locked(target)
+            staged, _ = reindex_framework(framework, pending)
+            with self._lock:
+                self._staged_fw = staged
+        self._run_round(target)
+        self._finish_round(target)
         return True
 
-    def _run_round_locked(self, target: int) -> None:
+    def _run_round(self, target: int) -> None:
         """Prepare then commit every shard; failures fall to the rebuild
-        rung (a planned restart from the already-retargeted spec)."""
-        records = [record.to_dict() for record in self._pending]
+        rung (a planned restart from the already-retargeted spec).
+        Caller holds ``self._round_lock`` only — the ack waits must not
+        block state readers."""
+        with self._lock:
+            records = [record.to_dict() for record in self._pending]
         self.metrics.increment("reconfig.rounds")
         prepared: List[int] = []
         for shard_id in self._shard_ids:
@@ -361,16 +390,18 @@ class ReconfigCoordinator:
                 self.metrics.increment("reconfig.commit_failures")
                 self.supervisor.planned_restart(shard_id)
 
-    def _finish_round_locked(self, target: int) -> None:
+    def _finish_round(self, target: int) -> None:
         """Publish the round: every shard either flipped or is restarting
-        onto the new spec, so the epoch is committed fleet-wide."""
+        onto the new spec, so the epoch is committed fleet-wide.
+        Caller holds ``self._round_lock``."""
         self.supervisor.mark_committed(target)
-        new_fw = self._staged_fw
-        assert new_fw is not None
-        self._framework = new_fw
-        self._recorder = WalRecorder(new_fw.space, self.wal)
-        self._pending.clear()
-        self._staged_fw = None
+        with self._lock:
+            new_fw = self._staged_fw
+            assert new_fw is not None
+            self._framework = new_fw
+            self._recorder = WalRecorder(new_fw.space, self.wal)
+            self._pending.clear()
+            self._staged_fw = None
         self.router.finish_reconfig(new_fw)
         if self._on_adopt is not None:
             self._on_adopt(new_fw)

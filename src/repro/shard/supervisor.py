@@ -272,12 +272,21 @@ class _Incarnation:
                     self._flushing = False
                     return
             try:
+                # ``_send_lock`` exists solely to serialise pipe writes;
+                # it guards no shared state, ``self._lock`` is never held
+                # here (the batch was copied out above), and every other
+                # contender is itself a sender — so a slow drain delays
+                # only other traffic to the same worker, never the
+                # supervisor.  The monitor's ping() uses a non-blocking
+                # acquire, so it can't wedge behind this send either.
                 with self._send_lock:
                     if len(batch) == 1:
                         seq, request, budget_s = batch[0]
-                        self.conn.send(("query", seq, request, budget_s))
+                        self.conn.send(  # repro: noqa REP007
+                            ("query", seq, request, budget_s)
+                        )
                     else:
-                        self.conn.send(("batch", batch))
+                        self.conn.send(("batch", batch))  # repro: noqa REP007
             except (BrokenPipeError, OSError):
                 # _mark_dead fails the batch's futures (still pending)
                 # along with everything else in flight.
@@ -300,8 +309,10 @@ class _Incarnation:
                 )
             self._control[(kind, epoch)] = future
         try:
+            # Dedicated pipe-write serialiser, no state guarded, no other
+            # lock held (see _flush_outbox) — only senders contend.
             with self._send_lock:
-                self.conn.send(message)
+                self.conn.send(message)  # repro: noqa REP007
         except (BrokenPipeError, OSError):
             self._mark_dead("worker pipe broke mid-send")
         return future
@@ -312,8 +323,10 @@ class _Incarnation:
             if self._dead:
                 return False
         try:
+            # Dedicated pipe-write serialiser, no state guarded, no other
+            # lock held (see _flush_outbox) — only senders contend.
             with self._send_lock:
-                self.conn.send(tuple(message))
+                self.conn.send(tuple(message))  # repro: noqa REP007
         except (BrokenPipeError, OSError):
             return False
         return True
@@ -324,11 +337,19 @@ class _Incarnation:
                 return
             self._seq += 1
             seq = self._seq
+        # Never *wait* for the send lock: if a data-plane send is stuck
+        # on a full pipe (hung worker), blocking here would wedge the
+        # monitor's liveness sweep for every other shard.  Skipping the
+        # ping is safe — the pong clock keeps ageing, so hang detection
+        # still fires on schedule.
+        if not self._send_lock.acquire(blocking=False):
+            return
         try:
-            with self._send_lock:
-                self.conn.send(("ping", seq))
+            self.conn.send(("ping", seq))
         except (BrokenPipeError, OSError):
             pass
+        finally:
+            self._send_lock.release()
 
     # -- state ----------------------------------------------------------
     @property
@@ -463,25 +484,46 @@ class ShardSupervisor:
         with self._lock:
             if self._monitor is not None:
                 return self
-            for slot in self._slots.values():
-                self._spawn_locked(slot)
             self._monitor = threading.Thread(
                 target=self._monitor_loop,
                 name="repro-shard-monitor",
                 daemon=True,
             )
-            self._monitor.start()
+            slots = list(self._slots.values())
+        for slot in slots:
+            self._spawn(slot)
+        self._monitor.start()
         return self
 
-    def _spawn_locked(self, slot: _Slot) -> None:
-        """(Re)start ``slot``'s worker. Caller holds ``self._lock``."""
-        spec = slot.spec
-        if slot.cold_next:
-            spec = dataclasses.replace(spec, arena=None)
-            slot.cold_next = False
-        slot.incarnation = _Incarnation(spec, self._ctx)
-        slot.state = ShardState.STARTING
-        slot.source = None
+    def _spawn(self, slot: _Slot) -> None:
+        """(Re)start ``slot``'s worker.  Call *without* ``self._lock``:
+        spawning pickles the spec and forks an interpreter — far too slow
+        to run under the lock every submitter needs.  The slot is claimed
+        under the lock, the process started lock-free, and the
+        incarnation installed under the lock again (discarded if the
+        supervisor began stopping or the slot was retired meanwhile)."""
+        with self._lock:
+            if self._stopping:
+                return
+            spec = slot.spec
+            if slot.cold_next:
+                spec = dataclasses.replace(spec, arena=None)
+                slot.cold_next = False
+            slot.incarnation = None
+            slot.state = ShardState.STARTING
+            slot.source = None
+        incarnation = _Incarnation(spec, self._ctx)
+        with self._lock:
+            installed = (
+                not self._stopping
+                and slot.state is ShardState.STARTING
+                and slot.incarnation is None
+            )
+            if installed:
+                slot.incarnation = incarnation
+        if not installed:
+            incarnation.close()
+            return
         self.metrics.increment("shard.supervisor.spawns")
 
     def await_ready(self, timeout: Optional[float] = None) -> bool:
@@ -541,19 +583,35 @@ class ShardSupervisor:
 
     def _check_slot(self, slot: _Slot) -> None:
         now = time.monotonic()
+        ping, respawn = self._check_slot_locked(slot, now)
+        # Both the respawn (pickle + fork) and the heartbeat (pipe write)
+        # run after self._lock is released: a restarting or slow shard
+        # must never stall submitters queued on the supervisor lock.
+        if respawn:
+            self._spawn(slot)
+        elif ping is not None:
+            ping.ping()
+
+    def _check_slot_locked(
+        self, slot: _Slot, now: float
+    ) -> Tuple[Optional[_Incarnation], bool]:
+        """One monitor pass over ``slot`` under ``self._lock``.
+
+        Returns ``(incarnation to ping, respawn due)`` — the blocking
+        halves of both actions happen in :meth:`_check_slot` after the
+        lock is dropped.
+        """
         with self._lock:
             if self._stopping:
-                return
+                return None, False
             incarnation = slot.incarnation
             state = slot.state
 
             if state is ShardState.FAILED or state is ShardState.STOPPED:
-                return
+                return None, False
 
             if state is ShardState.RESTARTING:
-                if now >= slot.next_restart_at:
-                    self._spawn_locked(slot)
-                return
+                return None, now >= slot.next_restart_at
 
             assert incarnation is not None
             if state is ShardState.STARTING:
@@ -577,7 +635,7 @@ class ShardSupervisor:
                         self._bury_locked(
                             slot, incarnation, kill=True, planned=True
                         )
-                        return
+                        return None, False
                     slot.state = ShardState.READY
                     slot.source = info.get("source")
                     slot.epoch = int(info.get("topology_epoch", -1))
@@ -585,7 +643,7 @@ class ShardSupervisor:
                     self._record_event_locked(
                         slot.spec.shard_id, "ready", f"source={slot.source}"
                     )
-                    return
+                    return None, False
                 if incarnation.start_error is not None:
                     self._record_event_locked(
                         slot.spec.shard_id,
@@ -593,26 +651,26 @@ class ShardSupervisor:
                         incarnation.start_error,
                     )
                     self._bury_locked(slot, incarnation, kill=True)
-                    return
+                    return None, False
                 if incarnation.dead or not incarnation.process.is_alive():
                     self._record_event_locked(
                         slot.spec.shard_id, "died_starting", ""
                     )
                     self._bury_locked(slot, incarnation, kill=False)
-                    return
+                    return None, False
                 if now - incarnation.last_pong > self.start_timeout:
                     self._record_event_locked(
                         slot.spec.shard_id, "start_timeout", ""
                     )
                     self._bury_locked(slot, incarnation, kill=True)
-                return
+                return None, False
 
             # READY: crash detection, then hang detection, then epoch-lag
             # convergence, then heartbeat.
             if incarnation.dead or not incarnation.process.is_alive():
                 self._record_event_locked(slot.spec.shard_id, "died", "")
                 self._bury_locked(slot, incarnation, kill=False)
-                return
+                return None, False
             if now - incarnation.last_pong > self.liveness_timeout:
                 self._record_event_locked(
                     slot.spec.shard_id,
@@ -620,7 +678,7 @@ class ShardSupervisor:
                     f"no pong for {now - incarnation.last_pong:.2f}s",
                 )
                 self._bury_locked(slot, incarnation, kill=True)
-                return
+                return None, False
             # A worker serving an epoch older than its spec's is lagging a
             # reconfig round.  Normally the coordinator commits it within
             # milliseconds; if the coordinator died between prepare and
@@ -644,10 +702,10 @@ class ShardSupervisor:
                     self.metrics.increment("reconfig.planned_restarts")
                     slot.lag_since = None
                     self._bury_locked(slot, incarnation, kill=True)
-                    return
+                    return None, False
             else:
                 slot.lag_since = None
-        incarnation.ping()
+            return incarnation, False
 
     def _bury_locked(
         self,

@@ -1,0 +1,576 @@
+"""Fixtures for the interprocedural rules (REP006/REP007/REP008) and the
+call-graph substrate they share — plus the REP003 import-aware
+resolution and the baseline/suppression interactions the interprocedural
+findings must respect."""
+
+import textwrap
+
+from repro.analysis.lint import Baseline, LintConfig, run_lint
+
+
+def lint_project(tmp_path, files, select=None, baseline=None):
+    """Write ``{relpath: source}`` under ``tmp_path`` and lint it."""
+    for relpath, source in files.items():
+        path = tmp_path / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+    config = LintConfig(
+        root=tmp_path,
+        paths=[tmp_path / "src"],
+        select=set(select) if select else None,
+        baseline_path=baseline,
+        jobs=1,
+    )
+    return run_lint(config)
+
+
+def rules_of(report):
+    return [f.rule for f in report.new]
+
+
+# ---------------------------------------------------------------------------
+# REP006 — lock-order cycles
+# ---------------------------------------------------------------------------
+
+CYCLIC_PAIR = """\
+    import threading
+
+
+    class Alpha:
+        def __init__(self, peer: "Beta") -> None:
+            self._lock = threading.Lock()
+            self._peer = peer
+
+        def forward(self) -> None:
+            with self._lock:
+                self._peer.poke()
+
+        def poke(self) -> None:
+            with self._lock:
+                pass
+
+
+    class Beta:
+        def __init__(self, peer: "Alpha") -> None:
+            self._lock = threading.Lock()
+            self._peer = peer
+
+        def backward(self) -> None:
+            with self._lock:
+                self._peer.poke()
+
+        def poke(self) -> None:
+            with self._lock:
+                pass
+    """
+
+ORDERED_PAIR = """\
+    import threading
+
+
+    class Alpha:
+        def __init__(self, peer: "Beta") -> None:
+            self._lock = threading.Lock()
+            self._peer = peer
+
+        def forward(self) -> None:
+            with self._lock:
+                self._peer.poke()
+
+        def poke(self) -> None:
+            pass
+
+
+    class Beta:
+        def __init__(self, peer: "Alpha") -> None:
+            self._lock = threading.Lock()
+            self._peer = peer
+
+        def backward(self) -> None:
+            self._peer.poke()
+
+        def poke(self) -> None:
+            with self._lock:
+                pass
+    """
+
+
+class TestLockOrder:
+    def test_interprocedural_cycle_fires(self, tmp_path):
+        report = lint_project(
+            tmp_path,
+            {"src/repro/serve/pair.py": CYCLIC_PAIR},
+            select={"REP006"},
+        )
+        assert "REP006" in rules_of(report)
+        message = report.new[0].message
+        assert "Alpha._lock" in message
+        assert "Beta._lock" in message
+
+    def test_consistent_order_is_clean(self, tmp_path):
+        report = lint_project(
+            tmp_path,
+            {"src/repro/serve/pair.py": ORDERED_PAIR},
+            select={"REP006"},
+        )
+        assert report.new == []
+
+    def test_reentrant_rlock_self_reacquire_is_clean(self, tmp_path):
+        source = """\
+            import threading
+
+
+            class Tree:
+                def __init__(self) -> None:
+                    self._lock = threading.RLock()
+
+                def outer(self) -> None:
+                    with self._lock:
+                        self.inner()
+
+                def inner(self) -> None:
+                    with self._lock:
+                        pass
+            """
+        report = lint_project(
+            tmp_path,
+            {"src/repro/serve/tree.py": source},
+            select={"REP006"},
+        )
+        assert report.new == []
+
+
+# ---------------------------------------------------------------------------
+# REP007 — blocking under a held lock
+# ---------------------------------------------------------------------------
+
+SLEEP_UNDER_LOCK = """\
+    import threading
+    import time
+
+
+    class Worker:
+        def __init__(self) -> None:
+            self._lock = threading.Lock()
+
+        def direct(self) -> None:
+            with self._lock:
+                time.sleep(0.1)
+    """
+
+TRANSITIVE_SLEEP = """\
+    import threading
+    import time
+
+
+    class Worker:
+        def __init__(self) -> None:
+            self._lock = threading.Lock()
+
+        def outer(self) -> None:
+            with self._lock:
+                self._nap()
+
+        def _nap(self) -> None:
+            time.sleep(0.1)
+    """
+
+
+class TestBlockingUnderLock:
+    def test_direct_sleep_fires(self, tmp_path):
+        report = lint_project(
+            tmp_path,
+            {"src/repro/serve/worker.py": SLEEP_UNDER_LOCK},
+            select={"REP007"},
+        )
+        assert rules_of(report) == ["REP007"]
+        assert "sleep" in report.new[0].message
+
+    def test_transitive_sleep_fires_at_call_site(self, tmp_path):
+        report = lint_project(
+            tmp_path,
+            {"src/repro/serve/worker.py": TRANSITIVE_SLEEP},
+            select={"REP007"},
+        )
+        assert rules_of(report) == ["REP007"]
+        finding = report.new[0]
+        assert "_nap" in finding.message  # the chain names the callee
+        # The finding anchors at the call made under the lock, not at
+        # the primitive buried in the helper.
+        assert finding.line == 11
+
+    def test_sleep_outside_lock_is_clean(self, tmp_path):
+        source = """\
+            import threading
+            import time
+
+
+            class Worker:
+                def __init__(self) -> None:
+                    self._lock = threading.Lock()
+
+                def tidy(self) -> None:
+                    with self._lock:
+                        pass
+                    time.sleep(0.1)
+            """
+        report = lint_project(
+            tmp_path,
+            {"src/repro/serve/worker.py": source},
+            select={"REP007"},
+        )
+        assert report.new == []
+
+    def test_condition_wait_on_held_cv_is_exempt(self, tmp_path):
+        source = """\
+            import threading
+
+
+            class Box:
+                def __init__(self) -> None:
+                    self._cv = threading.Condition()
+                    self._full = False
+
+                def take(self) -> None:
+                    with self._cv:
+                        while not self._full:
+                            self._cv.wait()
+            """
+        report = lint_project(
+            tmp_path,
+            {"src/repro/serve/box.py": source},
+            select={"REP007"},
+        )
+        assert report.new == []
+
+    def test_noqa_suppresses_interprocedural_finding(self, tmp_path):
+        source = TRANSITIVE_SLEEP.replace(
+            "self._nap()", "self._nap()  # repro: noqa REP007"
+        )
+        report = lint_project(
+            tmp_path,
+            {"src/repro/serve/worker.py": source},
+            select={"REP007"},
+        )
+        assert report.new == []
+        assert report.suppressed == 1
+
+
+# ---------------------------------------------------------------------------
+# REP008 — epoch-fence dataflow
+# ---------------------------------------------------------------------------
+
+UNFENCED_MERGE = """\
+    from typing import Dict
+
+
+    class ShardAnswer:
+        epoch = 0
+
+
+    def gather() -> "Dict[int, ShardAnswer]":
+        return {}
+
+
+    def merge():
+        replies = gather()
+        return replies
+    """
+
+FENCED_MERGE = """\
+    from typing import Dict
+
+
+    class ShardAnswer:
+        epoch = 0
+
+
+    def gather() -> "Dict[int, ShardAnswer]":
+        return {}
+
+
+    def drop_stale(replies, floor: int) -> None:
+        for reply in list(replies.values()):
+            if reply.epoch < floor:
+                del replies[0]
+
+
+    def merge():
+        replies = gather()
+        drop_stale(replies, 1)
+        return replies
+    """
+
+
+class TestEpochFlow:
+    def test_unfenced_merge_fires(self, tmp_path):
+        report = lint_project(
+            tmp_path,
+            {"src/repro/shard/merge.py": UNFENCED_MERGE},
+            select={"REP008"},
+        )
+        assert rules_of(report) == ["REP008"]
+        assert "epoch fence" in report.new[0].message
+
+    def test_fenced_merge_is_clean(self, tmp_path):
+        report = lint_project(
+            tmp_path,
+            {"src/repro/shard/merge.py": FENCED_MERGE},
+            select={"REP008"},
+        )
+        assert report.new == []
+
+    def test_rule_scoped_to_shard_package(self, tmp_path):
+        report = lint_project(
+            tmp_path,
+            {"src/repro/serve/merge.py": UNFENCED_MERGE},
+            select={"REP008"},
+        )
+        assert report.new == []
+
+    def test_unstamped_query_response_fires(self, tmp_path):
+        source = """\
+            def respond(value):
+                return QueryResponse(value=value)
+            """
+        report = lint_project(
+            tmp_path,
+            {"src/repro/shard/reply.py": source},
+            select={"REP008"},
+        )
+        assert rules_of(report) == ["REP008"]
+        assert "reply_epochs" in report.new[0].message
+
+    def test_stamped_query_response_is_clean(self, tmp_path):
+        source = """\
+            def respond(value, epochs):
+                return QueryResponse(value=value, reply_epochs=epochs)
+            """
+        report = lint_project(
+            tmp_path,
+            {"src/repro/shard/reply.py": source},
+            select={"REP008"},
+        )
+        assert report.new == []
+
+
+# ---------------------------------------------------------------------------
+# Resolver extensions the witness traces forced (call-result bindings,
+# callback slots) — each closed a real call-graph hole.
+# ---------------------------------------------------------------------------
+
+CALL_RESULT_SLEEP = """\
+    import threading
+    import time
+
+
+    class Helper:
+        def nap(self) -> None:
+            time.sleep(0.1)
+
+
+    class Owner:
+        def __init__(self) -> None:
+            self._lock = threading.Lock()
+
+        def _get(self) -> "Helper":
+            return Helper()
+
+        def outer(self) -> None:
+            helper = self._get()
+            with self._lock:
+                helper.nap()
+    """
+
+CALLBACK_SLEEP = """\
+    import threading
+    import time
+    from typing import Callable, Optional
+
+
+    class Coordinator:
+        def __init__(
+            self, on_adopt: Optional[Callable[[int], None]] = None
+        ) -> None:
+            self._lock = threading.Lock()
+            self._on_adopt = on_adopt
+
+        def run(self) -> None:
+            with self._lock:
+                if self._on_adopt is not None:
+                    self._on_adopt(1)
+
+
+    class Service:
+        def __init__(self) -> None:
+            self._coord = Coordinator(on_adopt=self._adopt)
+
+        def _adopt(self, epoch: int) -> None:
+            time.sleep(0.1)
+    """
+
+
+class TestResolverExtensions:
+    def test_call_result_binding_resolves(self, tmp_path):
+        report = lint_project(
+            tmp_path,
+            {"src/repro/serve/binding.py": CALL_RESULT_SLEEP},
+            select={"REP007"},
+        )
+        assert rules_of(report) == ["REP007"]
+        assert "nap" in report.new[0].message
+
+    def test_callback_slot_dispatches(self, tmp_path):
+        report = lint_project(
+            tmp_path,
+            {"src/repro/shard/hook.py": CALLBACK_SLEEP},
+            select={"REP007"},
+        )
+        assert rules_of(report) == ["REP007"]
+        assert "_adopt" in report.new[0].message
+
+    def test_unregistered_callback_slot_stays_silent(self, tmp_path):
+        # No call site ever passes on_adopt: the slot resolves to
+        # nothing and the run-under-lock call contributes no finding.
+        coordinator_only = CALLBACK_SLEEP.split("class Service")[0]
+        report = lint_project(
+            tmp_path,
+            {"src/repro/shard/hook.py": coordinator_only},
+            select={"REP007"},
+        )
+        assert report.new == []
+
+
+# ---------------------------------------------------------------------------
+# REP003 — import-aware callee resolution (satellite: same-named helpers)
+# ---------------------------------------------------------------------------
+
+AWARE_HELPER = """\
+    def helper(x, deadline=None):
+        return x
+    """
+
+
+class TestDeadlineResolution:
+    def test_same_named_local_helper_no_longer_false_positives(
+        self, tmp_path
+    ):
+        local = """\
+            def helper(x):
+                return x
+
+
+            def caller(x, deadline=None):
+                return helper(x)
+            """
+        report = lint_project(
+            tmp_path,
+            {
+                "src/repro/labels/util.py": AWARE_HELPER,
+                "src/repro/serve/use.py": local,
+            },
+            select={"REP003"},
+        )
+        # ``helper`` resolves to the local, deadline-free function; the
+        # same-named aware helper in another module is irrelevant.
+        assert report.new == []
+
+    def test_imported_aware_helper_still_fires(self, tmp_path):
+        use = """\
+            from repro.labels.util import helper
+
+
+            def caller(x, deadline=None):
+                return helper(x)
+            """
+        report = lint_project(
+            tmp_path,
+            {
+                "src/repro/labels/util.py": AWARE_HELPER,
+                "src/repro/serve/use.py": use,
+            },
+            select={"REP003"},
+        )
+        assert rules_of(report) == ["REP003"]
+        assert "helper" in report.new[0].message
+
+    def test_unresolved_callee_falls_back_to_name_match(self, tmp_path):
+        use = """\
+            def caller(engine, x, deadline=None):
+                return engine.helper(x)
+            """
+        report = lint_project(
+            tmp_path,
+            {
+                "src/repro/labels/util.py": AWARE_HELPER,
+                "src/repro/serve/use.py": use,
+            },
+            select={"REP003"},
+        )
+        # ``engine`` has no inferable type: coarse matching still errs
+        # toward catching the dropped deadline.
+        assert rules_of(report) == ["REP003"]
+
+
+# ---------------------------------------------------------------------------
+# Baseline / fingerprint interactions
+# ---------------------------------------------------------------------------
+
+
+class TestInterprocBaseline:
+    def test_fingerprints_stable_under_unrelated_additions(self, tmp_path):
+        before = lint_project(
+            tmp_path,
+            {"src/repro/serve/worker.py": TRANSITIVE_SLEEP},
+            select={"REP007"},
+        )
+        grown = (
+            TRANSITIVE_SLEEP
+            + "\n\n    def unrelated() -> int:\n        return 1\n"
+        )
+        after = lint_project(
+            tmp_path,
+            {"src/repro/serve/worker.py": grown},
+            select={"REP007"},
+        )
+        assert {f.fingerprint for f in before.new} == {
+            f.fingerprint for f in after.new
+        }
+
+    def test_baselined_interproc_finding_does_not_gate(self, tmp_path):
+        first = lint_project(
+            tmp_path,
+            {"src/repro/serve/worker.py": TRANSITIVE_SLEEP},
+            select={"REP007"},
+        )
+        baseline_path = tmp_path / "baseline.json"
+        Baseline.from_findings(first.findings).save(baseline_path)
+        second = lint_project(
+            tmp_path,
+            {"src/repro/serve/worker.py": TRANSITIVE_SLEEP},
+            select={"REP007"},
+            baseline=baseline_path,
+        )
+        assert second.new == []
+        assert len(second.baselined) == 1
+        assert second.exit_code(strict=True) == 0
+
+    def test_expired_baseline_entry_fails_only_under_strict(self, tmp_path):
+        first = lint_project(
+            tmp_path,
+            {"src/repro/serve/worker.py": TRANSITIVE_SLEEP},
+            select={"REP007"},
+        )
+        baseline_path = tmp_path / "baseline.json"
+        Baseline.from_findings(first.findings).save(baseline_path)
+        fixed = TRANSITIVE_SLEEP.replace("time.sleep(0.1)", "pass")
+        second = lint_project(
+            tmp_path,
+            {"src/repro/serve/worker.py": fixed},
+            select={"REP007"},
+            baseline=baseline_path,
+        )
+        assert second.new == []
+        assert len(second.expired) == 1
+        assert second.exit_code(strict=False) == 0
+        assert second.exit_code(strict=True) == 1

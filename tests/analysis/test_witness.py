@@ -1,0 +1,284 @@
+"""LockWitness runtime: wrapping, edge recording, trace round-trip, and
+the static/dynamic cross-check."""
+
+import importlib.util
+import textwrap
+import threading
+
+import pytest
+
+from repro.analysis.lint import LintConfig
+from repro.analysis.lint.callgraph import (
+    LockEdge,
+    ProjectGraph,
+    build_graph,
+)
+from repro.analysis.lint.engine import build_project
+from repro.analysis.witness import (
+    LockWitness,
+    WitnessTrace,
+    _WitnessedLock,
+    crosscheck,
+    static_sites,
+    witness_session,
+)
+
+PAIR_SOURCE = """\
+    import threading
+
+
+    class Pair:
+        def __init__(self) -> None:
+            self._a = threading.Lock()
+            self._b = threading.Lock()
+
+        def ab(self) -> None:
+            with self._a:
+                with self._b:
+                    pass
+"""
+
+
+def _materialise(tmp_path, relpath, source):
+    path = tmp_path / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source))
+    return path
+
+
+def _import_file(path, name):
+    spec = importlib.util.spec_from_file_location(name, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture()
+def pair_project(tmp_path):
+    """A tiny project with a two-lock class, parsed AND importable."""
+    path = _materialise(tmp_path, "src/repro/serve/pair.py", PAIR_SOURCE)
+    project = build_project(
+        LintConfig(root=tmp_path, paths=[tmp_path / "src"], jobs=1)
+    )
+    graph = build_graph(project)
+    module = _import_file(path, "witness_pair_fixture")
+    return tmp_path, graph, module
+
+
+class TestRecorder:
+    def test_nested_acquire_records_one_edge(self):
+        witness = LockWitness()
+        a, b = ("m.py", 1), ("m.py", 2)
+        witness.record_acquire(a)
+        witness.record_acquire(b)
+        witness.record_release(b)
+        witness.record_release(a)
+        trace = witness.trace()
+        assert trace.edges == {(a, b): 1}
+        assert trace.sites == {a, b}
+
+    def test_reentrant_same_site_is_not_an_edge(self):
+        witness = LockWitness()
+        a = ("m.py", 1)
+        witness.record_acquire(a)
+        witness.record_acquire(a)  # RLock-style reacquire
+        trace = witness.trace()
+        assert trace.edges == {}
+
+    def test_out_of_order_release_keeps_stack_consistent(self):
+        witness = LockWitness()
+        a, b = ("m.py", 1), ("m.py", 2)
+        witness.record_acquire(a)
+        witness.record_acquire(b)
+        witness.record_release(a)  # hand-over-hand: outer drops first
+        witness.record_acquire(a)
+        trace = witness.trace()
+        # b was still held when a was re-acquired: b -> a observed.
+        assert trace.edges == {(a, b): 1, (b, a): 1}
+
+    def test_wrapper_delegates_and_counts(self):
+        witness = LockWitness()
+        site = ("m.py", 9)
+        lock = _WitnessedLock(threading.Lock(), site, witness)
+        with lock:
+            assert lock.locked()
+        assert not lock.locked()
+        assert witness.trace().sites == {site}
+
+
+class TestSession:
+    def test_known_site_allocations_are_wrapped(self, pair_project):
+        root, graph, module = pair_project
+        with witness_session(root, static_sites(graph)) as witness:
+            pair = module.Pair()
+            pair.ab()
+        trace = witness.trace()
+        site_a = ("src/repro/serve/pair.py", 6)
+        site_b = ("src/repro/serve/pair.py", 7)
+        assert trace.edges == {(site_a, site_b): 1}
+
+    def test_unknown_sites_stay_unwrapped(self, pair_project):
+        root, graph, module = pair_project
+        with witness_session(root, set()) as witness:
+            pair = module.Pair()
+            pair.ab()
+        assert witness.trace().sites == set()
+        assert isinstance(pair._a, type(threading.Lock()))
+
+    def test_factories_restored_after_session(self, pair_project):
+        root, graph, _ = pair_project
+        original_lock = threading.Lock
+        original_rlock = threading.RLock
+        with witness_session(root, static_sites(graph)):
+            assert threading.Lock is not original_lock
+        assert threading.Lock is original_lock
+        assert threading.RLock is original_rlock
+
+    def test_replay_safety_no_clock_or_rng(self):
+        import ast
+        import pathlib
+
+        import repro.analysis.witness as witness_module
+
+        tree = ast.parse(pathlib.Path(witness_module.__file__).read_text())
+        names = {
+            node.attr
+            for node in ast.walk(tree)
+            if isinstance(node, ast.Attribute)
+        }
+        assert "time" not in names
+        assert "random" not in names
+
+
+class TestTrace:
+    def test_round_trip(self, tmp_path):
+        trace = WitnessTrace(
+            edges={(("a.py", 1), ("b.py", 2)): 3},
+            sites={("a.py", 1), ("b.py", 2)},
+        )
+        path = tmp_path / "trace.json"
+        trace.save(path)
+        loaded = WitnessTrace.load(path)
+        assert loaded.edges == trace.edges
+        assert loaded.sites == trace.sites
+
+    def test_merge_sums_counts(self):
+        one = WitnessTrace(edges={(("a", 1), ("b", 2)): 1}, sites={("a", 1)})
+        two = WitnessTrace(edges={(("a", 1), ("b", 2)): 2}, sites={("b", 2)})
+        one.merge(two)
+        assert one.edges[(("a", 1), ("b", 2))] == 3
+        assert one.sites == {("a", 1), ("b", 2)}
+
+    def test_version_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            WitnessTrace.from_dict({"version": 99})
+
+
+def _graph_with(edges, sites, kinds=None):
+    graph = ProjectGraph()
+    for site, lock in sites.items():
+        graph.alloc_sites[site] = lock
+        graph.lock_kinds[lock] = (kinds or {}).get(lock, "Lock")
+    for src, dst in edges:
+        graph.edges[(src, dst)] = LockEdge(
+            src=src, dst=dst, relpath="m.py", line=1, path=("m:f",)
+        )
+    return graph
+
+
+class TestCrossCheck:
+    A = ("m:Alpha", "_lock")
+    B = ("m:Beta", "_lock")
+    SITE_A = ("m.py", 10)
+    SITE_B = ("m.py", 20)
+
+    def test_observed_edge_in_graph_is_confirmed(self):
+        graph = _graph_with(
+            [(self.A, self.B)], {self.SITE_A: self.A, self.SITE_B: self.B}
+        )
+        trace = WitnessTrace(
+            edges={(self.SITE_A, self.SITE_B): 5},
+            sites={self.SITE_A, self.SITE_B},
+        )
+        result = crosscheck(trace, graph)
+        assert result.ok
+        assert result.confirmed == {(self.A, self.B)}
+        assert result.warnings == []
+
+    def test_observed_edge_missing_statically_is_an_error(self):
+        graph = _graph_with(
+            [], {self.SITE_A: self.A, self.SITE_B: self.B}
+        )
+        trace = WitnessTrace(
+            edges={(self.SITE_A, self.SITE_B): 1},
+            sites={self.SITE_A, self.SITE_B},
+        )
+        result = crosscheck(trace, graph)
+        assert not result.ok
+        assert "call-graph hole" in result.errors[0]
+
+    def test_unknown_site_is_an_error(self):
+        graph = _graph_with([], {})
+        trace = WitnessTrace(edges={}, sites={("mystery.py", 3)})
+        result = crosscheck(trace, graph)
+        assert not result.ok
+        assert "no static identity" in result.errors[0]
+
+    def test_unobserved_static_cycle_stays_a_warning(self):
+        graph = _graph_with(
+            [(self.A, self.B), (self.B, self.A)],
+            {self.SITE_A: self.A, self.SITE_B: self.B},
+        )
+        result = crosscheck(WitnessTrace(), graph)
+        assert result.ok  # warnings do not fail the check
+        assert len(result.warnings) == 1
+        assert "not confirmed at runtime" in result.warnings[0]
+
+    def test_same_identity_instances_skipped(self):
+        graph = _graph_with([], {self.SITE_A: self.A})
+        # Two instances of one class: same identity on both sides.
+        trace = WitnessTrace(
+            edges={(self.SITE_A, self.SITE_A): 4}, sites={self.SITE_A}
+        )
+        assert crosscheck(trace, graph).ok
+
+
+class TestEndToEnd:
+    def test_session_trace_crosschecks_clean(self, pair_project):
+        root, graph, module = pair_project
+        with witness_session(root, static_sites(graph)) as witness:
+            pair = module.Pair()
+            pair.ab()
+        result = crosscheck(witness.trace(), graph)
+        assert result.ok
+        assert result.confirmed  # the a->b edge was derived statically
+
+    def test_condition_attributed_to_user_line(self, tmp_path):
+        source = """\
+            import threading
+
+
+            class Box:
+                def __init__(self) -> None:
+                    self._cv = threading.Condition()
+                    self._lock = threading.Lock()
+
+                def both(self) -> None:
+                    with self._cv:
+                        with self._lock:
+                            pass
+        """
+        path = _materialise(tmp_path, "src/repro/serve/box.py", source)
+        project = build_project(
+            LintConfig(root=tmp_path, paths=[tmp_path / "src"], jobs=1)
+        )
+        graph = build_graph(project)
+        module = _import_file(path, "witness_box_fixture")
+        with witness_session(root=tmp_path, known_sites=static_sites(graph)) as witness:
+            box = module.Box()
+            box.both()
+        trace = witness.trace()
+        cv_site = ("src/repro/serve/box.py", 6)
+        lock_site = ("src/repro/serve/box.py", 7)
+        assert (cv_site, lock_site) in trace.edges
+        assert crosscheck(trace, graph).ok
